@@ -1,0 +1,238 @@
+//! Join indicators (Getoor et al., SIGMOD 2001).
+//!
+//! For a join edge `R.a = S.b`, the join indicator `J` is a binary variable
+//! over tuple pairs that is 1 when the pair joins. Two statistics are
+//! learned a priori per edge:
+//!
+//! * `P(J = 1)` — the **join selectivity** `|R ⋈ S| / (|R| · |S|)`, counted
+//!   exactly via the hash join index, and
+//! * a uniform **sample of joined pairs**, used at query time to estimate
+//!   `P(preds | J = 1)` — how a sample constraint's predicates behave on
+//!   tuples that actually join, which is where cross-relation correlation
+//!   lives (e.g. lakes that have a `geo_lake` row are the well-known, large
+//!   ones).
+
+use prism_db::graph::EdgeId;
+use prism_db::schema::ColumnRef;
+use prism_db::Database;
+use prism_lang::{matches_value, ValueConstraint};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A trained join indicator for one schema-graph edge.
+#[derive(Debug, Clone)]
+pub struct JoinIndicator {
+    pub edge: EdgeId,
+    /// `P(J = 1)` for a uniformly random tuple pair.
+    pub selectivity: f64,
+    /// Exact number of joining pairs observed during training.
+    pub pair_count: u64,
+    /// Endpoint columns (a-side, b-side) as declared on the edge.
+    a_col: ColumnRef,
+    b_col: ColumnRef,
+    /// Uniform reservoir sample of joined pairs `(a_row, b_row)`.
+    sample: Vec<(u32, u32)>,
+}
+
+impl JoinIndicator {
+    /// Train the indicator for `edge_id` by enumerating the join through the
+    /// precomputed hash index, keeping a reservoir of at most `sample_cap`
+    /// joined pairs.
+    pub fn train(db: &Database, edge_id: EdgeId, sample_cap: usize, seed: u64) -> JoinIndicator {
+        let edge = db.graph().edge(edge_id);
+        let (a_col, b_col) = (edge.a, edge.b);
+        let mut rng =
+            StdRng::seed_from_u64(seed ^ (edge_id.0 as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        let a_table = db.table(a_col.table);
+        let mut pair_count = 0u64;
+        let mut sample: Vec<(u32, u32)> = Vec::with_capacity(sample_cap);
+        let b_index = db.join_index(b_col);
+        for (a_row, v) in a_table.column(a_col.column).iter().enumerate() {
+            if v.is_null() {
+                continue;
+            }
+            let matches: &[u32] = match b_index {
+                Some(ix) => ix.get(v).map(|r| r.as_slice()).unwrap_or(&[]),
+                None => &[],
+            };
+            for &b_row in matches {
+                // Reservoir sampling over the stream of joined pairs.
+                if sample.len() < sample_cap {
+                    sample.push((a_row as u32, b_row));
+                } else {
+                    let j = rng.gen_range(0..=pair_count as usize);
+                    if j < sample_cap {
+                        sample[j] = (a_row as u32, b_row);
+                    }
+                }
+                pair_count += 1;
+            }
+        }
+        let denom = (db.row_count(a_col.table) as f64) * (db.row_count(b_col.table) as f64);
+        let selectivity = if denom > 0.0 {
+            pair_count as f64 / denom
+        } else {
+            0.0
+        };
+        JoinIndicator {
+            edge: edge_id,
+            selectivity,
+            pair_count,
+            a_col,
+            b_col,
+            sample,
+        }
+    }
+
+    /// Number of sampled joined pairs available for conditioning.
+    pub fn sample_size(&self) -> usize {
+        self.sample.len()
+    }
+
+    /// Estimate `P(preds_a ∧ preds_b | J = 1)` from the joined-pair sample,
+    /// where each predicate list gives `(column, constraint)` pairs on the
+    /// a-side / b-side table respectively. Add-half smoothing keeps the
+    /// estimate usable on small samples. Returns `None` when no sample is
+    /// available (empty join).
+    pub fn conditional_joint(
+        &self,
+        db: &Database,
+        preds_a: &[(u32, &ValueConstraint)],
+        preds_b: &[(u32, &ValueConstraint)],
+    ) -> Option<f64> {
+        if self.sample.is_empty() {
+            return None;
+        }
+        let a_table = db.table(self.a_col.table);
+        let b_table = db.table(self.b_col.table);
+        let mut hits = 0usize;
+        for &(ar, br) in &self.sample {
+            let a_ok = preds_a
+                .iter()
+                .all(|(c, k)| matches_value(k, a_table.value(ar, *c)));
+            if !a_ok {
+                continue;
+            }
+            let b_ok = preds_b
+                .iter()
+                .all(|(c, k)| matches_value(k, b_table.value(br, *c)));
+            if b_ok {
+                hits += 1;
+            }
+        }
+        Some((hits as f64 + 0.5) / (self.sample.len() as f64 + 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prism_db::database::DatabaseBuilder;
+    use prism_db::schema::ColumnDef;
+    use prism_db::types::{DataType, Value};
+    use prism_lang::parse_value_constraint;
+
+    /// Lakes where only large lakes (area >= 100) have geo rows — a
+    /// join/attribute correlation that independence misses.
+    fn correlated_db() -> Database {
+        let mut b = DatabaseBuilder::new("corr");
+        b.add_table(
+            "Lake",
+            vec![
+                ColumnDef::new("Name", DataType::Text).not_null(),
+                ColumnDef::new("Area", DataType::Decimal),
+            ],
+        )
+        .unwrap();
+        b.add_table(
+            "geo_lake",
+            vec![
+                ColumnDef::new("Lake", DataType::Text).not_null(),
+                ColumnDef::new("Province", DataType::Text).not_null(),
+            ],
+        )
+        .unwrap();
+        for i in 0..50 {
+            let name = format!("Lake {i}");
+            let area = if i < 25 { 10.0 } else { 500.0 + i as f64 };
+            b.add_row("Lake", vec![name.clone().into(), Value::Decimal(area)])
+                .unwrap();
+            if i >= 25 {
+                b.add_row(
+                    "geo_lake",
+                    vec![name.into(), format!("Province {}", i % 5).into()],
+                )
+                .unwrap();
+            }
+        }
+        b.add_foreign_key("geo_lake", "Lake", "Lake", "Name")
+            .unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn selectivity_counts_joining_pairs_exactly() {
+        let db = correlated_db();
+        let ji = JoinIndicator::train(&db, EdgeId(0), 64, 42);
+        // 25 geo rows, each joining exactly one lake: 25 pairs over 25*50.
+        assert_eq!(ji.pair_count, 25);
+        assert!((ji.selectivity - 25.0 / (25.0 * 50.0)).abs() < 1e-12);
+        assert_eq!(ji.sample_size(), 25);
+    }
+
+    #[test]
+    fn conditional_detects_join_attribute_correlation() {
+        let db = correlated_db();
+        let ji = JoinIndicator::train(&db, EdgeId(0), 64, 42);
+        let big = parse_value_constraint(">= 100").unwrap();
+        // On the b-side (Lake), area >= 100 holds for *every* joined pair,
+        // although only half of all lakes satisfy it.
+        let p = ji
+            .conditional_joint(&db, &[], &[(1, &big)])
+            .expect("sample exists");
+        assert!(p > 0.9, "P(area >= 100 | joined) = {p}");
+        let small = parse_value_constraint("< 100").unwrap();
+        let q = ji.conditional_joint(&db, &[], &[(1, &small)]).unwrap();
+        assert!(q < 0.1, "P(area < 100 | joined) = {q}");
+    }
+
+    #[test]
+    fn conditional_joint_with_both_sides() {
+        let db = correlated_db();
+        let ji = JoinIndicator::train(&db, EdgeId(0), 64, 42);
+        let p0 = parse_value_constraint("Province 0").unwrap();
+        let big = parse_value_constraint(">= 100").unwrap();
+        let p = ji
+            .conditional_joint(&db, &[(1, &p0)], &[(1, &big)])
+            .unwrap();
+        // 5 of 25 joined pairs are in Province 0, all with big areas.
+        assert!((p - 0.2).abs() < 0.1, "joint = {p}");
+    }
+
+    #[test]
+    fn empty_join_yields_none() {
+        let mut b = DatabaseBuilder::new("empty");
+        b.add_table("A", vec![ColumnDef::new("k", DataType::Text)])
+            .unwrap();
+        b.add_table("B", vec![ColumnDef::new("k", DataType::Text)])
+            .unwrap();
+        b.add_row("A", vec!["x".into()]).unwrap();
+        b.add_row("B", vec!["y".into()]).unwrap();
+        b.add_foreign_key("A", "k", "B", "k").unwrap();
+        let db = b.build();
+        let ji = JoinIndicator::train(&db, EdgeId(0), 16, 1);
+        assert_eq!(ji.pair_count, 0);
+        assert_eq!(ji.selectivity, 0.0);
+        assert!(ji.conditional_joint(&db, &[], &[]).is_none());
+    }
+
+    #[test]
+    fn reservoir_caps_sample_size_deterministically() {
+        let db = correlated_db();
+        let ji1 = JoinIndicator::train(&db, EdgeId(0), 8, 42);
+        let ji2 = JoinIndicator::train(&db, EdgeId(0), 8, 42);
+        assert_eq!(ji1.sample_size(), 8);
+        assert_eq!(ji1.sample, ji2.sample, "same seed, same sample");
+        assert_eq!(ji1.pair_count, 25, "counting is unaffected by sampling");
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests of the Bayesian estimator's probabilistic
+//! invariants on randomized relations.
+
+use prism_bayes::{BayesEstimator, RelationModel, TrainConfig};
+use prism_db::schema::ColumnDef;
+use prism_db::types::{DataType, Value};
+use prism_db::{Database, DatabaseBuilder};
+use prism_lang::parse_value_constraint;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A two-column relation with controllable correlation.
+fn build_relation(rows: &[(i64, i64)]) -> (prism_db::Table, usize) {
+    let schema = prism_db::TableSchema {
+        name: "T".into(),
+        columns: vec![
+            ColumnDef::new("a", DataType::Int),
+            ColumnDef::new("b", DataType::Int),
+        ],
+    };
+    let mut t = prism_db::Table::new(&schema);
+    for &(a, b) in rows {
+        t.push_row(&schema, vec![Value::Int(a), Value::Int(b)])
+            .unwrap();
+    }
+    (t, 2)
+}
+
+fn two_table_db(a_rows: &[(i64, i64)], b_keys: &[i64]) -> Database {
+    let mut builder = DatabaseBuilder::new("p");
+    builder
+        .add_table(
+            "A",
+            vec![
+                ColumnDef::new("k", DataType::Int),
+                ColumnDef::new("x", DataType::Int),
+            ],
+        )
+        .unwrap();
+    builder
+        .add_table("B", vec![ColumnDef::new("k", DataType::Int)])
+        .unwrap();
+    for &(k, x) in a_rows {
+        builder
+            .add_row("A", vec![Value::Int(k), Value::Int(x)])
+            .unwrap();
+    }
+    for &k in b_keys {
+        builder.add_row("B", vec![Value::Int(k)]).unwrap();
+    }
+    builder.add_foreign_key("A", "k", "B", "k").unwrap();
+    builder.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn relation_probability_is_a_probability(
+        rows in proptest::collection::vec((0i64..6, 0i64..6), 1..200),
+        probe in 0i64..6,
+    ) {
+        let (t, cols) = build_relation(&rows);
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = RelationModel::train(&t, cols, 8, &mut rng);
+        let c = parse_value_constraint(&probe.to_string()).unwrap();
+        let p = m.probability(&[(0, &c)]);
+        prop_assert!((0.0..=1.0).contains(&p), "p = {p}");
+    }
+
+    #[test]
+    fn disjunction_never_decreases_probability(
+        rows in proptest::collection::vec((0i64..6, 0i64..6), 10..200),
+    ) {
+        let (t, cols) = build_relation(&rows);
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = RelationModel::train(&t, cols, 8, &mut rng);
+        let single = parse_value_constraint("2").unwrap();
+        let wide = parse_value_constraint("2 || 3").unwrap();
+        let p1 = m.probability(&[(0, &single)]);
+        let p2 = m.probability(&[(0, &wide)]);
+        prop_assert!(p2 + 1e-9 >= p1, "P(2||3)={p2} < P(2)={p1}");
+    }
+
+    #[test]
+    fn conjunction_never_exceeds_marginal(
+        rows in proptest::collection::vec((0i64..6, 0i64..6), 10..200),
+    ) {
+        let (t, cols) = build_relation(&rows);
+        let mut rng = StdRng::seed_from_u64(9);
+        let m = RelationModel::train(&t, cols, 8, &mut rng);
+        let ca = parse_value_constraint("1").unwrap();
+        let cb = parse_value_constraint("4").unwrap();
+        let joint = m.probability(&[(0, &ca), (1, &cb)]);
+        let marginal = m.probability(&[(0, &ca)]);
+        prop_assert!(joint <= marginal + 1e-9, "joint {joint} > marginal {marginal}");
+    }
+
+    #[test]
+    fn marginal_tracks_empirical_frequency(
+        rows in proptest::collection::vec((0i64..4, 0i64..4), 50..300),
+    ) {
+        let (t, cols) = build_relation(&rows);
+        let mut rng = StdRng::seed_from_u64(11);
+        let m = RelationModel::train(&t, cols, 8, &mut rng);
+        let c = parse_value_constraint("1").unwrap();
+        let p = m.probability(&[(0, &c)]);
+        let truth = rows.iter().filter(|(a, _)| *a == 1).count() as f64 / rows.len() as f64;
+        prop_assert!((p - truth).abs() < 0.25, "model {p} vs empirical {truth}");
+    }
+
+    #[test]
+    fn failure_probability_is_exp_of_negative_expectation(
+        a_rows in proptest::collection::vec((0i64..5, 0i64..10), 5..80),
+        b_keys in proptest::collection::vec(0i64..5, 1..40),
+    ) {
+        let db = two_table_db(&a_rows, &b_keys);
+        let est = BayesEstimator::train(&db, &TrainConfig::default());
+        let anchors: Vec<prism_db::TableId> =
+            db.catalog().tables().map(|(t, _)| t).collect();
+        let tree = db
+            .graph()
+            .enumerate_trees(2, &anchors)
+            .into_iter()
+            .find(|t| t.table_count() == 2)
+            .unwrap();
+        let c = parse_value_constraint(">= 3").unwrap();
+        let col = db.catalog().column_ref("A", "x").unwrap();
+        let e = est.expected_matches(&db, &tree, &[(col, &c)]);
+        let p = est.failure_probability(&db, &tree, &[(col, &c)]);
+        prop_assert!(e >= 0.0);
+        prop_assert!((p - (-e).exp()).abs() < 1e-9);
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn tighter_predicates_never_raise_expected_matches(
+        a_rows in proptest::collection::vec((0i64..5, 0i64..10), 5..80),
+        b_keys in proptest::collection::vec(0i64..5, 1..40),
+    ) {
+        let db = two_table_db(&a_rows, &b_keys);
+        let est = BayesEstimator::train(&db, &TrainConfig::default());
+        let anchors: Vec<prism_db::TableId> =
+            db.catalog().tables().map(|(t, _)| t).collect();
+        let tree = db
+            .graph()
+            .enumerate_trees(2, &anchors)
+            .into_iter()
+            .find(|t| t.table_count() == 2)
+            .unwrap();
+        let col = db.catalog().column_ref("A", "x").unwrap();
+        let loose = parse_value_constraint(">= 2").unwrap();
+        let tight = parse_value_constraint(">= 2 && <= 4").unwrap();
+        let e_loose = est.expected_matches(&db, &tree, &[(col, &loose)]);
+        let e_tight = est.expected_matches(&db, &tree, &[(col, &tight)]);
+        // The per-bin weights of the conjunction are pointwise ≤ those of
+        // the single predicate, and the lift clamp is shared, so expectation
+        // must not grow. Allow tiny numerical slack.
+        prop_assert!(e_tight <= e_loose * 1.5 + 1e-6,
+            "tight {e_tight} >> loose {e_loose}");
+    }
+}

@@ -1,0 +1,118 @@
+//! E3 — wall-clock cost of the filter schedulers on identical filter sets.
+//!
+//! Complements `exp-scheduling` (which reports validation *counts*, the
+//! paper's metric) with the time axis: Naive whole-query validation versus
+//! the PathLength baseline versus Prism's Bayesian scheduling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prism_bayes::{BayesEstimator, TrainConfig};
+use prism_bench::task_constraints;
+use prism_core::scheduler::{run_greedy, run_naive, BayesModel, PathLengthModel};
+use prism_core::{
+    candidates::enumerate_candidates, filters::build_filters, related::find_related,
+    DiscoveryConfig, TargetConstraints,
+};
+use prism_datasets::{mondial, Resolution, TaskGenConfig, TaskGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_schedulers(c: &mut Criterion) {
+    let db = mondial(42, 1);
+    let config = DiscoveryConfig::default();
+    let est = BayesEstimator::train(&db, &TrainConfig::default());
+    let taskgen = TaskGenerator::new(&db, TaskGenConfig::default());
+    let mut rng = StdRng::seed_from_u64(0xE3);
+    // Pre-build candidate/filter sets once; scheduling is what's measured.
+    let cases: Vec<(TargetConstraints, prism_core::filters::FilterSet)> = taskgen
+        .generate_many(Resolution::Disjunction, 5, &mut rng)
+        .iter()
+        .filter_map(|task| {
+            let constraints = task_constraints(task);
+            let related = find_related(&db, &constraints, &config);
+            let cands = enumerate_candidates(&db, &related, &config, None).candidates;
+            if cands.is_empty() {
+                return None;
+            }
+            let fs = build_filters(&db, &cands, &constraints, None);
+            Some((constraints, fs))
+        })
+        .collect();
+    assert!(!cases.is_empty());
+
+    let mut group = c.benchmark_group("e3_scheduler_time");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group.bench_with_input(BenchmarkId::from_parameter("naive"), &cases, |b, cases| {
+        b.iter(|| {
+            let mut v = 0u64;
+            for (tc, fs) in cases {
+                v += run_naive(&db, tc, fs, None).validations;
+            }
+            v
+        })
+    });
+    group.bench_with_input(
+        BenchmarkId::from_parameter("filter_path_length"),
+        &cases,
+        |b, cases| {
+            b.iter(|| {
+                let mut v = 0u64;
+                for (tc, fs) in cases {
+                    v += run_greedy(&db, tc, fs, &PathLengthModel, None).validations;
+                }
+                v
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::from_parameter("prism_bayes"),
+        &cases,
+        |b, cases| {
+            b.iter(|| {
+                let mut v = 0u64;
+                for (tc, fs) in cases {
+                    v += run_greedy(
+                        &db,
+                        tc,
+                        fs,
+                        &BayesModel {
+                            estimator: &est,
+                            constraints: tc,
+                        },
+                        None,
+                    )
+                    .validations;
+                }
+                v
+            })
+        },
+    );
+    group.finish();
+}
+
+fn bench_estimator(c: &mut Criterion) {
+    // The per-filter probability query must be cheap enough to run inside
+    // the scheduling loop; also benchmark a priori training.
+    let db = mondial(42, 1);
+    let est = BayesEstimator::train(&db, &TrainConfig::default());
+    let tree = db
+        .graph()
+        .enumerate_trees(2, &[db.catalog().table_id("Lake").unwrap()])
+        .into_iter()
+        .find(|t| t.table_count() == 2)
+        .unwrap();
+    let constraint = prism_lang::parse_value_constraint("California || Nevada").unwrap();
+    let col = db.catalog().column_ref("geo_lake", "Province").unwrap();
+    c.bench_function("bayes_failure_probability", |b| {
+        b.iter(|| est.failure_probability(&db, &tree, &[(col, &constraint)]))
+    });
+    let mut group = c.benchmark_group("bayes_training");
+    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group.bench_function("bayes_training_a_priori", |b| {
+        b.iter(|| BayesEstimator::train(&db, &TrainConfig::default()).has_join_indicators())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers, bench_estimator);
+criterion_main!(benches);

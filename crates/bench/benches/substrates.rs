@@ -1,0 +1,113 @@
+//! Micro-benchmarks of the substrate layers: the inverted index, schema
+//! graph enumeration, PJ execution, statistics, and the constraint parser.
+//!
+//! These are the pieces the paper assumes a DBMS provides ("the inverted
+//! index provided in most DBMS systems", "metadata … collected during
+//! preprocessing"); the benches document that our own implementations are
+//! fast enough to never dominate a discovery round.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use prism_datasets::mondial;
+use prism_db::{ExecStats, JoinCond, PjQuery, Value};
+use prism_lang::{parse_metadata_constraint, parse_value_constraint};
+
+fn bench_index(c: &mut Criterion) {
+    let db = mondial(42, 4);
+    c.bench_function("index_cell_lookup_hit", |b| {
+        b.iter(|| db.index().lookup_cell("lake tahoe").len())
+    });
+    c.bench_function("index_cell_lookup_miss", |b| {
+        b.iter(|| db.index().lookup_cell("no such keyword").len())
+    });
+    c.bench_function("index_contains_lookup", |b| {
+        b.iter(|| db.index().lookup_contains("lake").len())
+    });
+}
+
+fn bench_graph(c: &mut Criterion) {
+    let db = mondial(42, 1);
+    let anchors: Vec<_> = db.catalog().tables().map(|(t, _)| t).collect();
+    c.bench_function("join_tree_enumeration_4tables", |b| {
+        b.iter(|| db.graph().enumerate_trees(4, &anchors).len())
+    });
+    let tree = db
+        .graph()
+        .enumerate_trees(4, &anchors)
+        .into_iter()
+        .max_by_key(|t| t.table_count())
+        .unwrap();
+    c.bench_function("subtree_enumeration", |b| {
+        b.iter(|| db.graph().subtrees(&tree).len())
+    });
+}
+
+fn bench_execution(c: &mut Criterion) {
+    let db = mondial(42, 4);
+    let lake = db.catalog().table_id("Lake").unwrap();
+    let geo = db.catalog().table_id("geo_lake").unwrap();
+    let q = PjQuery {
+        nodes: vec![lake, geo],
+        joins: vec![JoinCond {
+            left_node: 1,
+            left_col: 0,
+            right_node: 0,
+            right_col: 0,
+        }],
+        projection: vec![(1, 2), (0, 0), (0, 1)],
+    };
+    let is_cal = |v: &Value| v == &Value::text("California");
+    let is_tahoe = |v: &Value| v == &Value::text("Lake Tahoe");
+    c.bench_function("pj_exists_matching_hit", |b| {
+        b.iter(|| {
+            let mut stats = ExecStats::default();
+            q.exists_matching(&db, &[Some(&is_cal), Some(&is_tahoe), None], &mut stats)
+                .unwrap()
+        })
+    });
+    let is_nowhere = |v: &Value| v == &Value::text("Atlantis");
+    c.bench_function("pj_exists_matching_miss_full_scan", |b| {
+        b.iter(|| {
+            let mut stats = ExecStats::default();
+            q.exists_matching(&db, &[Some(&is_nowhere), None, None], &mut stats)
+                .unwrap()
+        })
+    });
+    c.bench_function("pj_full_execution", |b| {
+        b.iter(|| q.execute(&db, usize::MAX).unwrap().len())
+    });
+}
+
+fn bench_stats_and_lang(c: &mut Criterion) {
+    let db = mondial(42, 4);
+    let area = db.catalog().column_ref("Lake", "Area").unwrap();
+    let stats = db.stats().column(area);
+    let range = parse_value_constraint(">= 100 && <= 600").unwrap();
+    c.bench_function("stats_selectivity_estimate", |b| {
+        b.iter(|| prism_lang::estimate_selectivity(&range, stats))
+    });
+    c.bench_function("parse_value_constraint", |b| {
+        b.iter(|| parse_value_constraint("California || Nevada || 'New Mexico'").unwrap())
+    });
+    c.bench_function("parse_metadata_constraint", |b| {
+        b.iter(|| {
+            parse_metadata_constraint("DataType=='decimal' AND MinValue>='0' AND MaxValue<='99'")
+                .unwrap()
+        })
+    });
+    let mut group = c.benchmark_group("preprocessing");
+    group.sample_size(20).measurement_time(Duration::from_secs(6));
+    group.bench_function("database_build_preprocessing", |b| {
+        b.iter(|| mondial(42, 1).total_rows())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_index,
+    bench_graph,
+    bench_execution,
+    bench_stats_and_lang
+);
+criterion_main!(benches);

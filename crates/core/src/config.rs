@@ -1,0 +1,70 @@
+//! Discovery configuration.
+
+use crate::scheduler::SchedulerKind;
+use std::time::Duration;
+
+/// Knobs for one round of query discovery. The defaults mirror the demo
+/// deployment: a 60-second interactive budget and join trees of up to four
+/// tables.
+#[derive(Debug, Clone)]
+pub struct DiscoveryConfig {
+    /// Maximum number of tables in a candidate join tree.
+    pub max_tables: usize,
+    /// Hard cap on enumerated candidates (guards pathological constraint
+    /// sets; hitting it is reported in the stats).
+    pub max_candidates: usize,
+    /// Cap on related columns kept per target column. Only unconstrained
+    /// target columns ever approach this; constrained columns are narrowed
+    /// by the index and statistics.
+    pub max_related_per_column: usize,
+    /// Wall-clock budget for one discovery round (the paper's "60-second
+    /// time limit for each round of query discovery").
+    pub time_budget: Duration,
+    /// Maximum number of satisfying queries to return.
+    pub result_limit: usize,
+    /// Which filter-validation scheduler to use.
+    pub scheduler: SchedulerKind,
+}
+
+impl Default for DiscoveryConfig {
+    fn default() -> DiscoveryConfig {
+        DiscoveryConfig {
+            max_tables: 4,
+            max_candidates: 20_000,
+            max_related_per_column: 64,
+            time_budget: Duration::from_secs(60),
+            result_limit: 64,
+            scheduler: SchedulerKind::Bayes,
+        }
+    }
+}
+
+impl DiscoveryConfig {
+    /// A configuration with the given scheduler and defaults elsewhere.
+    pub fn with_scheduler(scheduler: SchedulerKind) -> DiscoveryConfig {
+        DiscoveryConfig {
+            scheduler,
+            ..DiscoveryConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_demo_deployment() {
+        let c = DiscoveryConfig::default();
+        assert_eq!(c.time_budget, Duration::from_secs(60));
+        assert_eq!(c.max_tables, 4);
+        assert_eq!(c.scheduler, SchedulerKind::Bayes);
+    }
+
+    #[test]
+    fn with_scheduler_overrides_only_the_scheduler() {
+        let c = DiscoveryConfig::with_scheduler(SchedulerKind::PathLength);
+        assert_eq!(c.scheduler, SchedulerKind::PathLength);
+        assert_eq!(c.max_tables, DiscoveryConfig::default().max_tables);
+    }
+}

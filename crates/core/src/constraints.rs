@@ -1,0 +1,297 @@
+//! The user's multiresolution constraint set.
+//!
+//! A discovery round takes one [`TargetConstraints`]: the number of target
+//! columns, one or more **sample constraint rows** (each cell an optional
+//! value constraint), and optional per-column **metadata constraints** —
+//! exactly the Description section of the demo UI (Figure 3).
+
+use prism_lang::{
+    parse_metadata_constraint, parse_value_constraint, CmpOp, MetaField, MetadataConstraint,
+    ParseError, UdfRegistry, ValueConstraint,
+};
+use std::fmt;
+
+/// One row of the Sample/Result Constraints grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleConstraint {
+    /// One optional value constraint per target column.
+    pub cells: Vec<Option<ValueConstraint>>,
+}
+
+impl SampleConstraint {
+    /// Indexes of constrained cells.
+    pub fn constrained_columns(&self) -> impl Iterator<Item = usize> + '_ {
+        self.cells
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.as_ref().map(|_| i))
+    }
+}
+
+/// Everything the user said about the desired target schema.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TargetConstraints {
+    pub column_count: usize,
+    pub samples: Vec<SampleConstraint>,
+    pub metadata: Vec<Option<MetadataConstraint>>,
+    /// User-defined functions referenced by `@name` predicates (the paper's
+    /// future-work extension). Empty by default.
+    pub udfs: UdfRegistry,
+}
+
+/// Errors constructing a constraint set.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConstraintError {
+    /// A cell or metadata string failed to parse.
+    Parse {
+        row: Option<usize>,
+        column: usize,
+        error: ParseError,
+    },
+    /// A sample row's arity differs from the declared column count.
+    Arity {
+        row: usize,
+        expected: usize,
+        got: usize,
+    },
+    /// No cell in any sample row and no metadata constraint was given.
+    Empty,
+}
+
+impl fmt::Display for ConstraintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConstraintError::Parse { row, column, error } => match row {
+                Some(r) => write!(f, "sample row {r}, column {column}: {error}"),
+                None => write!(f, "metadata for column {column}: {error}"),
+            },
+            ConstraintError::Arity { row, expected, got } => write!(
+                f,
+                "sample row {row} has {got} cells but the target schema has {expected} columns"
+            ),
+            ConstraintError::Empty => {
+                write!(f, "at least one value or metadata constraint is required")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConstraintError {}
+
+impl TargetConstraints {
+    /// Build from raw constraint strings as typed into the demo UI. Empty /
+    /// `None` cells are unconstrained. `metadata` may be shorter than
+    /// `column_count`; missing entries mean "no metadata constraint".
+    pub fn parse(
+        column_count: usize,
+        sample_rows: &[Vec<Option<String>>],
+        metadata: &[Option<String>],
+    ) -> Result<TargetConstraints, ConstraintError> {
+        let mut samples = Vec::with_capacity(sample_rows.len());
+        for (r, row) in sample_rows.iter().enumerate() {
+            if row.len() != column_count {
+                return Err(ConstraintError::Arity {
+                    row: r,
+                    expected: column_count,
+                    got: row.len(),
+                });
+            }
+            let mut cells = Vec::with_capacity(column_count);
+            for (c, cell) in row.iter().enumerate() {
+                match cell.as_deref().map(str::trim) {
+                    None | Some("") => cells.push(None),
+                    Some(text) => match parse_value_constraint(text) {
+                        Ok(vc) => cells.push(Some(vc)),
+                        Err(error) => {
+                            return Err(ConstraintError::Parse {
+                                row: Some(r),
+                                column: c,
+                                error,
+                            })
+                        }
+                    },
+                }
+            }
+            samples.push(SampleConstraint { cells });
+        }
+        let mut meta = vec![None; column_count];
+        for (c, m) in metadata.iter().enumerate().take(column_count) {
+            if let Some(text) = m.as_deref().map(str::trim) {
+                if text.is_empty() {
+                    continue;
+                }
+                match parse_metadata_constraint(text) {
+                    Ok(mc) => meta[c] = Some(mc),
+                    Err(error) => {
+                        return Err(ConstraintError::Parse {
+                            row: None,
+                            column: c,
+                            error,
+                        })
+                    }
+                }
+            }
+        }
+        let out = TargetConstraints {
+            column_count,
+            samples,
+            metadata: meta,
+            udfs: UdfRegistry::new(),
+        };
+        if out.is_empty() {
+            return Err(ConstraintError::Empty);
+        }
+        Ok(out)
+    }
+
+    /// Attach a UDF registry resolving the `@name` predicates.
+    pub fn with_udfs(mut self, udfs: UdfRegistry) -> TargetConstraints {
+        self.udfs = udfs;
+        self
+    }
+
+    /// Names of `@name` predicates that are NOT registered — callers should
+    /// surface these to the user before searching (unregistered UDFs are
+    /// false, which silently yields no results).
+    pub fn missing_udfs(&self) -> Vec<String> {
+        let mut value_names: Vec<&str> = Vec::new();
+        for s in &self.samples {
+            for c in s.cells.iter().flatten() {
+                for p in c.predicates() {
+                    if p.op == CmpOp::Udf {
+                        value_names.push(&p.lit.raw);
+                    }
+                }
+            }
+        }
+        let mut column_names: Vec<&str> = Vec::new();
+        for m in self.metadata.iter().flatten() {
+            for p in m.predicates() {
+                if p.field == MetaField::Udf {
+                    column_names.push(&p.lit.raw);
+                }
+            }
+        }
+        self.udfs.missing_names(value_names, column_names)
+    }
+
+    /// True when not a single constraint was provided.
+    pub fn is_empty(&self) -> bool {
+        self.samples
+            .iter()
+            .all(|s| s.cells.iter().all(Option::is_none))
+            && self.metadata.iter().all(Option::is_none)
+    }
+
+    /// The value constraints on target column `col` across all samples:
+    /// `(sample index, constraint)`.
+    pub fn column_value_constraints(
+        &self,
+        col: usize,
+    ) -> impl Iterator<Item = (usize, &ValueConstraint)> + '_ {
+        self.samples
+            .iter()
+            .enumerate()
+            .filter_map(move |(s, row)| row.cells[col].as_ref().map(|c| (s, c)))
+    }
+
+    /// Total number of constrained cells plus metadata constraints — a
+    /// rough "amount of user knowledge" measure used in reports.
+    pub fn constraint_count(&self) -> usize {
+        let cells: usize = self
+            .samples
+            .iter()
+            .map(|s| s.constrained_columns().count())
+            .sum();
+        cells + self.metadata.iter().filter(|m| m.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn some(s: &str) -> Option<String> {
+        Some(s.to_string())
+    }
+
+    /// The paper's demonstration walk-through, Section 3 step 2.
+    fn walkthrough() -> TargetConstraints {
+        TargetConstraints::parse(
+            3,
+            &[vec![some("California || Nevada"), some("Lake Tahoe"), None]],
+            &[None, None, some("DataType=='decimal' AND MinValue>='0'")],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn parses_the_papers_walkthrough() {
+        let tc = walkthrough();
+        assert_eq!(tc.column_count, 3);
+        assert_eq!(tc.samples.len(), 1);
+        assert!(tc.samples[0].cells[0].is_some());
+        assert!(tc.samples[0].cells[2].is_none());
+        assert!(tc.metadata[2].is_some());
+        assert_eq!(tc.constraint_count(), 3);
+    }
+
+    #[test]
+    fn empty_strings_are_unconstrained_cells() {
+        let tc = TargetConstraints::parse(2, &[vec![some("x"), some("   ")]], &[]).unwrap();
+        assert!(tc.samples[0].cells[1].is_none());
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected() {
+        let err = TargetConstraints::parse(3, &[vec![some("x")]], &[]);
+        assert!(matches!(err, Err(ConstraintError::Arity { .. })));
+    }
+
+    #[test]
+    fn bad_cell_reports_row_and_column() {
+        let err = TargetConstraints::parse(2, &[vec![some("x"), some("a ||")]], &[]);
+        match err {
+            Err(ConstraintError::Parse { row, column, .. }) => {
+                assert_eq!(row, Some(0));
+                assert_eq!(column, 1);
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_metadata_reports_column() {
+        let err = TargetConstraints::parse(1, &[vec![some("x")]], &[some("Widget == 1")]);
+        match err {
+            Err(ConstraintError::Parse { row, column, .. }) => {
+                assert_eq!(row, None);
+                assert_eq!(column, 0);
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fully_empty_constraints_rejected() {
+        let err = TargetConstraints::parse(2, &[vec![None, None]], &[]);
+        assert!(matches!(err, Err(ConstraintError::Empty)));
+    }
+
+    #[test]
+    fn column_value_constraints_spans_samples() {
+        let tc =
+            TargetConstraints::parse(2, &[vec![some("a"), None], vec![some("b"), some("c")]], &[])
+                .unwrap();
+        assert_eq!(tc.column_value_constraints(0).count(), 2);
+        let idxs: Vec<usize> = tc.column_value_constraints(1).map(|(s, _)| s).collect();
+        assert_eq!(idxs, vec![1]);
+    }
+
+    #[test]
+    fn metadata_only_constraints_are_allowed() {
+        let tc = TargetConstraints::parse(1, &[vec![None]], &[some("DataType == 'int'")]).unwrap();
+        assert!(!tc.is_empty());
+        assert_eq!(tc.constraint_count(), 1);
+    }
+}

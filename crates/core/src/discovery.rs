@@ -1,0 +1,475 @@
+//! The end-to-end discovery pipeline (Figure 2).
+//!
+//! `constraints → related columns → candidate queries → filter validation →
+//! final schema mapping queries`, under the interactive time budget. A
+//! [`Discovery`] owns the trained Bayesian estimator (training happens "a
+//! priori", like the paper's preprocessing) and can be reused across rounds.
+
+use crate::candidates::{enumerate_candidates, Candidate};
+use crate::config::DiscoveryConfig;
+use crate::constraints::TargetConstraints;
+use crate::filters::build_filters;
+use crate::related::find_related;
+use crate::scheduler::{
+    oracle_schedule, run_greedy, run_naive, BayesModel, PathLengthModel, ScheduleOutcome,
+    SchedulerKind,
+};
+use prism_bayes::{BayesEstimator, TrainConfig};
+use prism_db::{canonical_key, render_sql, Database, ExecStats, Value};
+use std::time::{Duration, Instant};
+
+/// One satisfying schema mapping query, ready for the Result section.
+#[derive(Debug, Clone)]
+pub struct DiscoveredQuery {
+    pub candidate: Candidate,
+    /// SQL text (Figure 4b).
+    pub sql: String,
+    /// Canonical identity (for ground-truth matching in experiments).
+    pub key: String,
+    /// A few result rows for preview.
+    pub preview: Vec<Vec<Value>>,
+    /// Statistics-based estimate of the query's result size, used for
+    /// ranking (smaller results = more specific mappings).
+    pub estimated_rows: f64,
+}
+
+impl DiscoveredQuery {
+    /// Render the preview rows as an aligned text table headed by the
+    /// projected column names — Figure 4b's "schema mapping query content"
+    /// panel.
+    pub fn preview_table(&self, db: &Database) -> String {
+        let headers: Vec<String> = self
+            .candidate
+            .assignment
+            .iter()
+            .map(|c| db.catalog().column_name(*c))
+            .collect();
+        let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+        let rows: Vec<Vec<String>> = self
+            .preview
+            .iter()
+            .map(|r| r.iter().map(Value::to_string).collect())
+            .collect();
+        for row in &rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let render = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:<w$}", w = widths[i]))
+                .collect::<Vec<_>>()
+                .join(" | ")
+                .trim_end()
+                .to_string()
+        };
+        let mut out = render(&headers);
+        out.push('\n');
+        out.push_str(
+            &widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("-+-"),
+        );
+        for row in &rows {
+            out.push('\n');
+            out.push_str(&render(row));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+/// Statistics of one discovery round.
+#[derive(Debug, Clone, Default)]
+pub struct DiscoveryStats {
+    /// Related columns found per target column.
+    pub related_per_column: Vec<usize>,
+    /// Candidates enumerated.
+    pub candidates: usize,
+    /// Deduplicated filters built.
+    pub filters: usize,
+    /// Filter validations executed.
+    pub validations: u64,
+    /// Filters resolved by success/failure propagation.
+    pub implied_successes: u64,
+    pub implied_failures: u64,
+    /// Hindsight-optimal validations (populated for the Oracle scheduler,
+    /// or on request via [`Discovery::run_with_oracle`]).
+    pub oracle_validations: Option<u64>,
+    /// Raw execution work.
+    pub exec: ExecStats,
+    /// Wall-clock time of the round.
+    pub elapsed: Duration,
+    /// Candidate enumeration or filter decomposition was truncated.
+    pub truncated: bool,
+}
+
+/// The outcome of one discovery round.
+#[derive(Debug, Clone, Default)]
+pub struct DiscoveryResult {
+    pub queries: Vec<DiscoveredQuery>,
+    pub stats: DiscoveryStats,
+    /// The round hit its time budget before classifying every candidate
+    /// (the demo reports this as a failure/timeout).
+    pub timed_out: bool,
+}
+
+/// A reusable discovery engine over one database.
+pub struct Discovery<'a> {
+    db: &'a Database,
+    config: DiscoveryConfig,
+    estimator: Option<BayesEstimator>,
+}
+
+impl<'a> Discovery<'a> {
+    /// Create an engine; trains the Bayesian estimator a priori when the
+    /// configured scheduler needs it.
+    pub fn new(db: &'a Database, config: DiscoveryConfig) -> Discovery<'a> {
+        let estimator = match config.scheduler {
+            SchedulerKind::Bayes => Some(BayesEstimator::train(db, &TrainConfig::default())),
+            _ => None,
+        };
+        Discovery {
+            db,
+            config,
+            estimator,
+        }
+    }
+
+    /// Use a pre-trained estimator (e.g. shared across engines, or an
+    /// ablation variant without join indicators).
+    pub fn with_estimator(mut self, estimator: BayesEstimator) -> Discovery<'a> {
+        self.estimator = Some(estimator);
+        self
+    }
+
+    pub fn config(&self) -> &DiscoveryConfig {
+        &self.config
+    }
+
+    pub fn database(&self) -> &'a Database {
+        self.db
+    }
+
+    /// Run one discovery round.
+    pub fn run(&self, constraints: &TargetConstraints) -> DiscoveryResult {
+        self.run_inner(constraints, false)
+    }
+
+    /// Run one round and additionally compute the hindsight optimum
+    /// (`stats.oracle_validations`) — used by the E3 experiment.
+    pub fn run_with_oracle(&self, constraints: &TargetConstraints) -> DiscoveryResult {
+        self.run_inner(constraints, true)
+    }
+
+    fn run_inner(&self, constraints: &TargetConstraints, want_oracle: bool) -> DiscoveryResult {
+        let start = Instant::now();
+        let deadline = start + self.config.time_budget;
+
+        // Step 1: related columns and candidate enumeration.
+        let related = find_related(self.db, constraints, &self.config);
+        let cand_set = enumerate_candidates(self.db, &related, &self.config, Some(deadline));
+        let mut stats = DiscoveryStats {
+            related_per_column: related.per_column.iter().map(Vec::len).collect(),
+            candidates: cand_set.candidates.len(),
+            truncated: cand_set.truncated,
+            ..DiscoveryStats::default()
+        };
+        if cand_set.candidates.is_empty() {
+            stats.elapsed = start.elapsed();
+            return DiscoveryResult {
+                queries: Vec::new(),
+                stats,
+                timed_out: cand_set.truncated,
+            };
+        }
+
+        // Step 2: filters and scheduling.
+        let fs = build_filters(self.db, &cand_set.candidates, constraints, Some(deadline));
+        stats.filters = fs.len();
+        stats.truncated |= fs.truncated;
+
+        let outcome: ScheduleOutcome = match self.config.scheduler {
+            SchedulerKind::Naive => run_naive(self.db, constraints, &fs, Some(deadline)),
+            SchedulerKind::PathLength => {
+                run_greedy(self.db, constraints, &fs, &PathLengthModel, Some(deadline))
+            }
+            SchedulerKind::Bayes => {
+                let est = self
+                    .estimator
+                    .as_ref()
+                    .expect("Bayes scheduler requires a trained estimator");
+                run_greedy(
+                    self.db,
+                    constraints,
+                    &fs,
+                    &BayesModel {
+                        estimator: est,
+                        constraints,
+                    },
+                    Some(deadline),
+                )
+            }
+            SchedulerKind::Oracle => {
+                let (v, o) = oracle_schedule(self.db, constraints, &fs);
+                stats.oracle_validations = Some(v);
+                o
+            }
+        };
+        if want_oracle && stats.oracle_validations.is_none() {
+            let (v, _) = oracle_schedule(self.db, constraints, &fs);
+            stats.oracle_validations = Some(v);
+        }
+
+        stats.validations = outcome.validations;
+        stats.implied_successes = outcome.implied_successes;
+        stats.implied_failures = outcome.implied_failures;
+        stats.exec = outcome.exec;
+
+        // Materialize the Result section, ranked for the browsing user:
+        // fewer joins first (simpler mappings), then smaller estimated
+        // results (more specific mappings), then SQL for determinism.
+        // Ranking happens before the result cap so the cap keeps the best.
+        let mut ranked: Vec<(usize, f64, String, u32)> = outcome
+            .accepted
+            .iter()
+            .map(|&cid| {
+                let cand = &cand_set.candidates[cid as usize];
+                (
+                    cand.query.join_count(),
+                    estimate_result_rows(self.db, cand),
+                    render_sql(&cand.query, self.db),
+                    cid,
+                )
+            })
+            .collect();
+        ranked.sort_by(|a, b| {
+            a.0.cmp(&b.0)
+                .then_with(|| a.1.partial_cmp(&b.1).expect("finite estimates"))
+                .then_with(|| a.2.cmp(&b.2))
+        });
+        let mut queries = Vec::new();
+        for (_, estimated_rows, sql, cid) in ranked.into_iter().take(self.config.result_limit) {
+            let candidate = cand_set.candidates[cid as usize].clone();
+            let key = canonical_key(&candidate.query, self.db);
+            let preview = candidate.query.execute(self.db, 5).unwrap_or_default();
+            queries.push(DiscoveredQuery {
+                candidate,
+                sql,
+                key,
+                preview,
+                estimated_rows,
+            });
+        }
+        stats.elapsed = start.elapsed();
+        DiscoveryResult {
+            queries,
+            stats,
+            timed_out: outcome.timed_out,
+        }
+    }
+}
+
+/// Statistics-only estimate of a candidate's result cardinality:
+/// `Π |R_t| / Π max(distinct(a), distinct(b))` over the tree's join edges —
+/// the classic System R key-join approximation. No execution involved.
+fn estimate_result_rows(db: &Database, cand: &Candidate) -> f64 {
+    let mut est = 1.0f64;
+    for &t in &cand.tree.tables {
+        est *= db.row_count(t).max(1) as f64;
+    }
+    for &e in &cand.tree.edges {
+        let edge = db.graph().edge(e);
+        let d = db
+            .stats()
+            .column(edge.a)
+            .distinct_count
+            .max(db.stats().column(edge.b).distinct_count)
+            .max(1);
+        est /= d as f64;
+    }
+    est
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prism_datasets::{mondial, nba};
+
+    fn some(s: &str) -> Option<String> {
+        Some(s.to_string())
+    }
+
+    fn walkthrough_constraints() -> TargetConstraints {
+        TargetConstraints::parse(
+            3,
+            &[vec![some("California || Nevada"), some("Lake Tahoe"), None]],
+            &[None, None, some("DataType=='decimal' AND MinValue>='0'")],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn end_to_end_walkthrough_finds_the_desired_query() {
+        let db = mondial(42, 1);
+        let engine = Discovery::new(&db, DiscoveryConfig::default());
+        let result = engine.run(&walkthrough_constraints());
+        assert!(!result.timed_out);
+        assert!(!result.queries.is_empty());
+        let want = "SELECT geo_lake.Province, Lake.Name, Lake.Area \
+                    FROM Lake, geo_lake WHERE geo_lake.Lake = Lake.Name";
+        assert!(
+            result.queries.iter().any(|q| q.sql == want),
+            "desired query not found; got: {:?}",
+            result.queries.iter().map(|q| &q.sql).collect::<Vec<_>>()
+        );
+        // Previews contain real rows.
+        let hit = result.queries.iter().find(|q| q.sql == want).unwrap();
+        assert!(!hit.preview.is_empty());
+        assert!(result.stats.validations > 0);
+        assert!(result.stats.elapsed < Duration::from_secs(60));
+    }
+
+    #[test]
+    fn all_schedulers_find_the_same_queries() {
+        let db = mondial(42, 1);
+        let tc = walkthrough_constraints();
+        let mut keys: Vec<Vec<String>> = Vec::new();
+        for kind in [
+            SchedulerKind::Naive,
+            SchedulerKind::PathLength,
+            SchedulerKind::Bayes,
+            SchedulerKind::Oracle,
+        ] {
+            let engine = Discovery::new(&db, DiscoveryConfig::with_scheduler(kind));
+            let result = engine.run(&tc);
+            let mut ks: Vec<String> = result.queries.iter().map(|q| q.key.clone()).collect();
+            ks.sort();
+            keys.push(ks);
+        }
+        assert_eq!(keys[0], keys[1]);
+        assert_eq!(keys[1], keys[2]);
+        assert_eq!(keys[2], keys[3]);
+    }
+
+    #[test]
+    fn unsatisfiable_constraints_return_no_queries_quickly() {
+        let db = mondial(42, 1);
+        let engine = Discovery::new(&db, DiscoveryConfig::default());
+        let tc = TargetConstraints::parse(1, &[vec![some("Atlantis Prime")]], &[]).unwrap();
+        let result = engine.run(&tc);
+        assert!(result.queries.is_empty());
+        assert!(!result.timed_out);
+        assert_eq!(result.stats.candidates, 0);
+    }
+
+    #[test]
+    fn tiny_time_budget_reports_timeout() {
+        let db = mondial(42, 2);
+        let config = DiscoveryConfig {
+            time_budget: Duration::from_nanos(1),
+            ..DiscoveryConfig::default()
+        };
+        let engine = Discovery::new(&db, config);
+        let result = engine.run(&walkthrough_constraints());
+        assert!(result.timed_out || result.queries.is_empty());
+    }
+
+    #[test]
+    fn oracle_stats_available_on_request() {
+        let db = mondial(42, 1);
+        let engine = Discovery::new(&db, DiscoveryConfig::default());
+        let result = engine.run_with_oracle(&walkthrough_constraints());
+        let oracle = result.stats.oracle_validations.expect("requested");
+        assert!(oracle <= result.stats.validations);
+    }
+
+    #[test]
+    fn works_on_nba_with_parallel_edges() {
+        let db = nba(42, 1);
+        let engine = Discovery::new(&db, DiscoveryConfig::default());
+        // "Lakers" joined with a numeric score column via metadata.
+        let tc = TargetConstraints::parse(
+            2,
+            &[vec![some("Lakers"), None]],
+            &[None, some("DataType=='int' AND MinValue>='0'")],
+        )
+        .unwrap();
+        let result = engine.run(&tc);
+        assert!(!result.queries.is_empty());
+        // Both home and away join routes should be discoverable.
+        let has_home = result
+            .queries
+            .iter()
+            .any(|q| q.sql.contains("HomeTeam = Team.Id"));
+        let has_away = result
+            .queries
+            .iter()
+            .any(|q| q.sql.contains("AwayTeam = Team.Id"));
+        assert!(
+            has_home && has_away,
+            "parallel edges should yield both join routes: {:?}",
+            result.queries.iter().map(|q| &q.sql).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn results_are_ranked_simplest_and_most_specific_first() {
+        let db = mondial(42, 1);
+        let engine = Discovery::new(&db, DiscoveryConfig::default());
+        let result = engine.run(&walkthrough_constraints());
+        // Join counts are non-decreasing down the result list.
+        let joins: Vec<usize> = result
+            .queries
+            .iter()
+            .map(|q| q.candidate.query.join_count())
+            .collect();
+        let mut sorted = joins.clone();
+        sorted.sort_unstable();
+        assert_eq!(joins, sorted, "results must be ordered by join count");
+        // Within the 1-join block, estimated sizes are non-decreasing.
+        let one_join: Vec<f64> = result
+            .queries
+            .iter()
+            .filter(|q| q.candidate.query.join_count() == 1)
+            .map(|q| q.estimated_rows)
+            .collect();
+        for w in one_join.windows(2) {
+            assert!(w[0] <= w[1], "size ranking violated: {w:?}");
+        }
+        assert!(result.queries.iter().all(|q| q.estimated_rows >= 1.0));
+    }
+
+    #[test]
+    fn preview_table_renders_headers_and_rows() {
+        let db = mondial(42, 1);
+        let engine = Discovery::new(&db, DiscoveryConfig::default());
+        let result = engine.run(&walkthrough_constraints());
+        let want = "SELECT geo_lake.Province, Lake.Name, Lake.Area \
+                    FROM Lake, geo_lake WHERE geo_lake.Lake = Lake.Name";
+        let q = result.queries.iter().find(|q| q.sql == want).unwrap();
+        let table = q.preview_table(&db);
+        assert!(table.contains("geo_lake.Province"), "{table}");
+        assert!(table.contains("Lake.Area"));
+        assert!(table.contains("Lake Tahoe"));
+        let lines: Vec<&str> = table.lines().collect();
+        assert!(lines.len() >= 3, "header + separator + >=1 row");
+        assert!(lines[1].starts_with('-'));
+    }
+
+    #[test]
+    fn result_limit_caps_returned_queries() {
+        let db = mondial(42, 1);
+        let config = DiscoveryConfig {
+            result_limit: 1,
+            ..DiscoveryConfig::default()
+        };
+        let engine = Discovery::new(&db, config);
+        let result = engine.run(&walkthrough_constraints());
+        assert_eq!(result.queries.len(), 1);
+    }
+}

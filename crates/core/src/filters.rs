@@ -1,0 +1,376 @@
+//! Step 2a: filter decomposition and the filter dependency graph.
+//!
+//! Section 2.3: *"we divide such an expensive verification task into a set
+//! of cheap validations of filters, i.e. sub(join)trees along with projected
+//! attributes (shorter PJ queries) … If a filter fails, its parent filters
+//! and entire candidate schema mapping query, from which the filter is
+//! derived, automatically fail, and thereby pruned."*
+//!
+//! A **filter** is `(subtree, constrained projected columns, sample index)`.
+//! For each candidate and each sample constraint, every connected subtree of
+//! the candidate's join tree that hosts at least one constrained column
+//! yields a filter; the subtree equal to the full tree is the candidate's
+//! **top filter** for that sample (validating it accepts the sample).
+//! Filters are deduplicated *across* candidates — shared filters are what
+//! make scheduling pay off: one failed validation can kill many candidates.
+//!
+//! Dependency edges are per-candidate tree containment: within one
+//! candidate and sample, `f ⊑ g` iff `f.tree ⊆ g.tree` (predicate inclusion
+//! is then automatic). Failure propagates up (`f` fails ⇒ every `g ⊒ f`
+//! fails ⇒ all their member candidates fail); success propagates down
+//! (`g` succeeds ⇒ every `f ⊑ g` succeeds without validation).
+//!
+//! Single-table, single-predicate filters are **pre-validated**: Step 1's
+//! related-column search already proved a matching value exists (this is
+//! why the paper performs keyword checks in Step 1 and defers joins to
+//! Step 2).
+
+use crate::candidates::Candidate;
+use crate::constraints::TargetConstraints;
+use prism_db::graph::{EdgeId, JoinTree};
+use prism_db::schema::{ColumnRef, TableId};
+use prism_db::Database;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Index of a filter within a [`FilterSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FilterId(pub u32);
+
+impl FilterId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One deduplicated filter.
+#[derive(Debug, Clone)]
+pub struct Filter {
+    pub id: FilterId,
+    /// The sub-join-tree this filter executes.
+    pub tree: JoinTree,
+    /// Constrained projected columns within the subtree:
+    /// `(target column, source column)`, sorted by target column. May be
+    /// empty only for a top filter of a fully-unconstrained sample row
+    /// (plain non-emptiness check).
+    pub preds: Vec<(usize, ColumnRef)>,
+    /// Which sample-constraint row this filter tests.
+    pub sample: usize,
+    /// Candidate ids containing this filter.
+    pub members: Vec<u32>,
+    /// Candidates for which this is the top (full-tree) filter.
+    pub top_for: Vec<u32>,
+    /// Filters strictly contained in this one (success propagates to them).
+    pub subfilters: Vec<FilterId>,
+    /// Filters strictly containing this one (failure propagates to them).
+    pub superfilters: Vec<FilterId>,
+    /// Proven satisfiable by Step 1's related-column search.
+    pub prevalidated: bool,
+}
+
+impl Filter {
+    /// The number of joins — the baseline scheduler's "join path length".
+    pub fn join_count(&self) -> usize {
+        self.tree.edges.len()
+    }
+}
+
+/// All filters of a discovery round plus per-candidate bookkeeping.
+#[derive(Debug, Clone, Default)]
+pub struct FilterSet {
+    pub filters: Vec<Filter>,
+    /// `per_candidate[c]` = ids of all filters of candidate `c`.
+    pub per_candidate: Vec<Vec<FilterId>>,
+    /// `tops[c][s]` = the top filter of candidate `c` for sample `s`.
+    pub tops: Vec<Vec<FilterId>>,
+    /// True if decomposition stopped early on the deadline.
+    pub truncated: bool,
+}
+
+impl FilterSet {
+    pub fn filter(&self, id: FilterId) -> &Filter {
+        &self.filters[id.index()]
+    }
+
+    pub fn len(&self) -> usize {
+        self.filters.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.filters.is_empty()
+    }
+}
+
+/// Canonical identity of a filter for cross-candidate deduplication.
+#[derive(PartialEq, Eq, Hash)]
+struct FilterKey {
+    edges: Vec<EdgeId>,
+    tables: Vec<TableId>,
+    preds: Vec<(usize, ColumnRef)>,
+    sample: usize,
+}
+
+/// Decompose every candidate into filters.
+pub fn build_filters(
+    db: &Database,
+    candidates: &[Candidate],
+    constraints: &TargetConstraints,
+    deadline: Option<Instant>,
+) -> FilterSet {
+    let mut set = FilterSet {
+        per_candidate: vec![Vec::new(); candidates.len()],
+        tops: vec![Vec::new(); candidates.len()],
+        ..FilterSet::default()
+    };
+    let mut by_key: HashMap<FilterKey, FilterId> = HashMap::new();
+    // Subtree enumeration is per unique tree, cached.
+    let mut subtree_cache: HashMap<Vec<EdgeId>, Vec<JoinTree>> = HashMap::new();
+
+    for cand in candidates {
+        if let Some(d) = deadline {
+            if Instant::now() >= d {
+                set.truncated = true;
+                break;
+            }
+        }
+        let subtrees = subtree_cache
+            .entry(cand.tree.edges.clone())
+            .or_insert_with(|| db.graph().subtrees(&cand.tree))
+            .clone();
+        // Constrained assignments per sample.
+        for (s, sample) in constraints.samples.iter().enumerate() {
+            let constrained: Vec<(usize, ColumnRef)> = sample
+                .constrained_columns()
+                .map(|i| (i, cand.assignment[i]))
+                .collect();
+            let mut cand_filter_ids: Vec<FilterId> = Vec::new();
+            for sub in &subtrees {
+                let preds: Vec<(usize, ColumnRef)> = constrained
+                    .iter()
+                    .copied()
+                    .filter(|(_, col)| sub.contains_table(col.table))
+                    .collect();
+                let is_top = sub.edges == cand.tree.edges && sub.tables == cand.tree.tables;
+                if preds.is_empty() && !is_top {
+                    continue; // unconstrained interior subtrees prune nothing
+                }
+                let key = FilterKey {
+                    edges: sub.edges.clone(),
+                    tables: sub.tables.clone(),
+                    preds: preds.clone(),
+                    sample: s,
+                };
+                let id = *by_key.entry(key).or_insert_with(|| {
+                    let id = FilterId(set.filters.len() as u32);
+                    let prevalidated = sub.edges.is_empty() && preds.len() == 1;
+                    set.filters.push(Filter {
+                        id,
+                        tree: sub.clone(),
+                        preds,
+                        sample: s,
+                        members: Vec::new(),
+                        top_for: Vec::new(),
+                        subfilters: Vec::new(),
+                        superfilters: Vec::new(),
+                        prevalidated,
+                    });
+                    id
+                });
+                let f = &mut set.filters[id.index()];
+                if f.members.last() != Some(&(cand.id as u32)) {
+                    f.members.push(cand.id as u32);
+                }
+                if is_top {
+                    f.top_for.push(cand.id as u32);
+                    set.tops[cand.id].push(id);
+                }
+                cand_filter_ids.push(id);
+            }
+            // Containment lattice within this candidate+sample: tree
+            // containment implies predicate containment here.
+            for (x, &fx) in cand_filter_ids.iter().enumerate() {
+                for &fy in cand_filter_ids.iter().skip(x + 1) {
+                    let (small, large) = (fx.min(fy), fx.max(fy));
+                    // Subtrees are enumerated small-to-large, but compare
+                    // explicitly: containment, not id order, is what counts.
+                    let a = &set.filters[fx.index()];
+                    let b = &set.filters[fy.index()];
+                    let (sub_id, sup_id) = if b.tree.contains_tree(&a.tree)
+                        && a.tree.table_count() < b.tree.table_count()
+                    {
+                        (fx, fy)
+                    } else if a.tree.contains_tree(&b.tree)
+                        && b.tree.table_count() < a.tree.table_count()
+                    {
+                        (fy, fx)
+                    } else {
+                        let _ = (small, large);
+                        continue;
+                    };
+                    if !set.filters[sup_id.index()].subfilters.contains(&sub_id) {
+                        set.filters[sup_id.index()].subfilters.push(sub_id);
+                        set.filters[sub_id.index()].superfilters.push(sup_id);
+                    }
+                }
+            }
+            set.per_candidate[cand.id].extend(cand_filter_ids);
+        }
+        // A candidate's filter list may repeat ids across samples; dedupe.
+        let list = &mut set.per_candidate[cand.id];
+        list.sort_unstable();
+        list.dedup();
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::enumerate_candidates;
+    use crate::config::DiscoveryConfig;
+    use crate::related::find_related;
+    use prism_datasets::mondial;
+
+    fn some(s: &str) -> Option<String> {
+        Some(s.to_string())
+    }
+
+    fn walkthrough_filters(db: &Database) -> (Vec<Candidate>, TargetConstraints, FilterSet) {
+        let tc = TargetConstraints::parse(
+            3,
+            &[vec![some("California || Nevada"), some("Lake Tahoe"), None]],
+            &[None, None, some("DataType=='decimal' AND MinValue>='0'")],
+        )
+        .unwrap();
+        let config = DiscoveryConfig::default();
+        let rel = find_related(db, &tc, &config);
+        let cands = enumerate_candidates(db, &rel, &config, None).candidates;
+        let filters = build_filters(db, &cands, &tc, None);
+        (cands, tc, filters)
+    }
+
+    #[test]
+    fn every_candidate_gets_one_top_filter_per_sample() {
+        let db = mondial(42, 1);
+        let (cands, tc, fs) = walkthrough_filters(&db);
+        assert_eq!(fs.tops.len(), cands.len());
+        for (c, tops) in fs.tops.iter().enumerate() {
+            assert_eq!(
+                tops.len(),
+                tc.samples.len(),
+                "candidate {c} missing top filters"
+            );
+            for &t in tops {
+                let f = fs.filter(t);
+                assert!(f.top_for.contains(&(c as u32)));
+                assert_eq!(f.tree.edges, cands[c].tree.edges);
+            }
+        }
+    }
+
+    #[test]
+    fn filters_are_shared_across_candidates() {
+        let db = mondial(42, 1);
+        let (cands, _, fs) = walkthrough_filters(&db);
+        assert!(cands.len() > 1);
+        let shared = fs.filters.iter().filter(|f| f.members.len() > 1).count();
+        assert!(
+            shared > 0,
+            "some filters must be shared across the {} candidates",
+            cands.len()
+        );
+        // Sharing means total filters < sum of per-candidate filters.
+        let total_refs: usize = fs.per_candidate.iter().map(Vec::len).sum();
+        assert!(fs.len() < total_refs);
+    }
+
+    #[test]
+    fn single_table_single_pred_filters_are_prevalidated() {
+        let db = mondial(42, 1);
+        let (_, _, fs) = walkthrough_filters(&db);
+        let mut saw_prevalidated = false;
+        for f in &fs.filters {
+            if f.tree.edges.is_empty() && f.preds.len() == 1 {
+                assert!(f.prevalidated, "{f:?}");
+                saw_prevalidated = true;
+            } else {
+                assert!(!f.prevalidated, "{f:?}");
+            }
+        }
+        assert!(saw_prevalidated);
+    }
+
+    #[test]
+    fn containment_edges_are_consistent() {
+        let db = mondial(42, 1);
+        let (_, _, fs) = walkthrough_filters(&db);
+        let mut edge_count = 0;
+        for f in &fs.filters {
+            for &sub in &f.subfilters {
+                edge_count += 1;
+                let g = fs.filter(sub);
+                assert_eq!(g.sample, f.sample);
+                assert!(f.tree.contains_tree(&g.tree));
+                assert!(g.tree.table_count() < f.tree.table_count());
+                assert!(g.superfilters.contains(&f.id));
+                // Predicate inclusion must follow from tree inclusion.
+                for p in &g.preds {
+                    assert!(f.preds.contains(p), "{p:?} of sub not in super");
+                }
+            }
+        }
+        assert!(edge_count > 0, "the lattice must be non-trivial");
+    }
+
+    #[test]
+    fn interior_subtrees_without_preds_are_skipped() {
+        let db = mondial(42, 1);
+        let (_, _, fs) = walkthrough_filters(&db);
+        for f in &fs.filters {
+            if f.preds.is_empty() {
+                assert!(
+                    !f.top_for.is_empty(),
+                    "pred-less filters may exist only as non-emptiness tops"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multiple_samples_produce_per_sample_filters() {
+        let db = mondial(42, 1);
+        let tc = TargetConstraints::parse(
+            2,
+            &[
+                vec![some("Lake Tahoe"), some("California")],
+                vec![some("Crater Lake"), some("Oregon")],
+            ],
+            &[],
+        )
+        .unwrap();
+        let config = DiscoveryConfig::default();
+        let rel = find_related(&db, &tc, &config);
+        let cands = enumerate_candidates(&db, &rel, &config, None).candidates;
+        assert!(!cands.is_empty());
+        let fs = build_filters(&db, &cands, &tc, None);
+        let s0 = fs.filters.iter().filter(|f| f.sample == 0).count();
+        let s1 = fs.filters.iter().filter(|f| f.sample == 1).count();
+        assert!(s0 > 0 && s1 > 0);
+        for tops in &fs.tops {
+            assert_eq!(tops.len(), 2);
+        }
+    }
+
+    #[test]
+    fn deadline_truncates_decomposition() {
+        let db = mondial(42, 1);
+        let tc = TargetConstraints::parse(1, &[vec![some("Lake Tahoe")]], &[]).unwrap();
+        let config = DiscoveryConfig::default();
+        let rel = find_related(&db, &tc, &config);
+        let cands = enumerate_candidates(&db, &rel, &config, None).candidates;
+        let past = Instant::now() - std::time::Duration::from_millis(1);
+        let fs = build_filters(&db, &cands, &tc, Some(past));
+        assert!(fs.truncated);
+        assert!(fs.is_empty());
+    }
+}

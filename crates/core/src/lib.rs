@@ -1,0 +1,51 @@
+//! # prism-core — multiresolution schema mapping query discovery
+//!
+//! This crate is the paper's primary contribution: given a source
+//! [`prism_db::Database`] and a set of **multiresolution constraints**
+//! (exact sample values, disjunctions, value ranges, column metadata — see
+//! [`prism_lang`]), synthesize every Project–Join query whose result
+//! satisfies all of them.
+//!
+//! Discovery follows the two-step architecture of Section 2.3:
+//!
+//! 1. **Candidate discovery** ([`related`], [`candidates`]) — find *related
+//!    columns* (columns matching at least one value or metadata constraint,
+//!    answered by the inverted index and the statistics store), then walk
+//!    the schema graph enumerating join trees that connect a full
+//!    assignment of target columns to related columns.
+//! 2. **Validation through filters** ([`filters`], [`validate`],
+//!    [`scheduler`]) — decompose each candidate into *filters* (sub-join-tree
+//!    PJ queries with the sample constraint restricted to their columns),
+//!    dedupe filters shared across candidates, and validate them in an order
+//!    chosen by a pluggable scheduler. A failed filter kills every candidate
+//!    containing it; a satisfied filter certifies all of its sub-filters for
+//!    free. Schedulers: [`scheduler::SchedulerKind::PathLength`] is the
+//!    baseline of Shen et al. (the paper's "Filter"), `Bayes` uses the
+//!    trained [`prism_bayes::BayesEstimator`], `Oracle` computes the
+//!    hindsight optimum, `Naive` skips decomposition entirely.
+//!
+//! [`discovery::Discovery`] orchestrates both steps under an interactive
+//! time budget (the demo's 60-second limit), [`explain`] renders the
+//! Figure-4c query graphs, and [`session`] mirrors the demo UI's
+//! Configuration / Description / Result workflow.
+
+pub mod candidates;
+pub mod config;
+pub mod constraints;
+pub mod discovery;
+pub mod explain;
+pub mod filters;
+pub mod related;
+pub mod scheduler;
+pub mod session;
+pub mod validate;
+
+pub use candidates::Candidate;
+pub use config::DiscoveryConfig;
+pub use constraints::TargetConstraints;
+pub use discovery::{DiscoveredQuery, Discovery, DiscoveryResult, DiscoveryStats};
+pub use explain::QueryGraph;
+pub use filters::{Filter, FilterId, FilterSet};
+pub use related::RelatedColumns;
+pub use scheduler::SchedulerKind;
+pub use session::{Session, SessionConfig};

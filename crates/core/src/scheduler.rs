@@ -1,0 +1,771 @@
+//! Step 2c: filter validation scheduling.
+//!
+//! Section 2.3: *"A new important issue becomes the filter validation
+//! scheduling: in what order the filters are validated so that the most
+//! number of filters are pruned, as well as overall filter validation time
+//! is minimized. A filter scheduling algorithm should naturally consider
+//! two important aspects of a filter: pruning power and cost."*
+//!
+//! The greedy loop repeatedly validates the pending filter maximizing
+//!
+//! ```text
+//! score(f) = (P_fail(f) · pruned_if_fail(f) + (1 − P_fail(f)) · implied_if_succeed(f)) / cost(f)
+//! ```
+//!
+//! where `pruned_if_fail` counts the pending filters of the candidates `f`
+//! would kill and `implied_if_succeed` counts `f`'s pending sub-filters. The
+//! **cost model is shared by all schedulers** (the paper explicitly scopes
+//! cost estimation out and focuses on pruning power), so differences come
+//! only from `P_fail`:
+//!
+//! * [`SchedulerKind::PathLength`] — the "Filter" baseline of Shen et al.
+//!   \[8\]: failure probability proportional to the join path length.
+//! * [`SchedulerKind::Bayes`] — Prism: failure probability from the trained
+//!   [`prism_bayes::BayesEstimator`].
+//! * [`SchedulerKind::Naive`] — no decomposition: validate each candidate's
+//!   full queries in enumeration order (the paper's "naïve solution").
+//! * [`SchedulerKind::Oracle`] — hindsight optimum (Section 2.4's
+//!   "optimum"): with outcomes known, accepted candidates cost one top
+//!   validation per sample (shared maximal tops counted once) and failing
+//!   candidates are covered by a greedy minimum set cover of failing
+//!   filters.
+
+use crate::constraints::TargetConstraints;
+use crate::filters::{FilterId, FilterSet};
+use crate::validate::validate_filter;
+use prism_bayes::BayesEstimator;
+use prism_db::{Database, ExecStats};
+use prism_lang::ValueConstraint;
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// Which validation strategy to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedulerKind {
+    /// Whole-query validation in enumeration order (ablation A2).
+    Naive,
+    /// Filter decomposition with path-length failure probabilities — the
+    /// paper's baseline "Filter" \[8\].
+    PathLength,
+    /// Filter decomposition with Bayesian failure probabilities — Prism.
+    Bayes,
+    /// Hindsight optimum (not executable interactively; used as the E3
+    /// yardstick).
+    Oracle,
+}
+
+impl SchedulerKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerKind::Naive => "naive",
+            SchedulerKind::PathLength => "filter(path-length)",
+            SchedulerKind::Bayes => "prism(bayes)",
+            SchedulerKind::Oracle => "oracle",
+        }
+    }
+}
+
+/// Failure-probability model used by the greedy loop.
+pub trait FailureModel {
+    fn failure_probability(&self, db: &Database, fs: &FilterSet, f: FilterId) -> f64;
+}
+
+/// Baseline \[8\]: `P(fail) ∝ join path length`.
+pub struct PathLengthModel;
+
+impl FailureModel for PathLengthModel {
+    fn failure_probability(&self, _db: &Database, fs: &FilterSet, f: FilterId) -> f64 {
+        let len = fs.filter(f).join_count() as f64;
+        (0.15 * (len + 1.0)).min(0.9)
+    }
+}
+
+/// Prism: Bayesian models + join indicators.
+pub struct BayesModel<'a> {
+    pub estimator: &'a BayesEstimator,
+    pub constraints: &'a TargetConstraints,
+}
+
+impl FailureModel for BayesModel<'_> {
+    fn failure_probability(&self, db: &Database, fs: &FilterSet, f: FilterId) -> f64 {
+        let filter = fs.filter(f);
+        let sample = &self.constraints.samples[filter.sample];
+        let preds: Vec<(prism_db::ColumnRef, &ValueConstraint)> = filter
+            .preds
+            .iter()
+            .map(|(target, col)| {
+                (
+                    *col,
+                    sample.cells[*target].as_ref().expect("constrained cell"),
+                )
+            })
+            .collect();
+        self.estimator.failure_probability(db, &filter.tree, &preds)
+    }
+}
+
+/// Outcome of running a schedule to completion (or deadline).
+#[derive(Debug, Clone, Default)]
+pub struct ScheduleOutcome {
+    /// Candidate ids whose every top filter was (directly or transitively)
+    /// validated successfully.
+    pub accepted: Vec<u32>,
+    /// Filter validations actually executed.
+    pub validations: u64,
+    /// Filters resolved for free by success propagation.
+    pub implied_successes: u64,
+    /// Filters resolved for free by failure propagation.
+    pub implied_failures: u64,
+    /// Execution work across all validations.
+    pub exec: ExecStats,
+    /// True if the deadline expired before every candidate was classified.
+    pub timed_out: bool,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum FState {
+    Pending,
+    Succeeded,
+    Failed,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum CState {
+    Alive,
+    Accepted,
+    Failed,
+}
+
+/// Shared state of one scheduling run.
+struct Run<'a> {
+    db: &'a Database,
+    constraints: &'a TargetConstraints,
+    fs: &'a FilterSet,
+    fstate: Vec<FState>,
+    cstate: Vec<CState>,
+    /// Unresolved top filters per candidate. This — not raw pending filter
+    /// counts — is the currency of scheduling: the only validations that are
+    /// ever *required* are top resolutions (for acceptance) and one failing
+    /// filter per doomed candidate (for rejection).
+    unresolved_tops: Vec<u32>,
+    outcome: ScheduleOutcome,
+}
+
+impl<'a> Run<'a> {
+    fn new(db: &'a Database, constraints: &'a TargetConstraints, fs: &'a FilterSet) -> Run<'a> {
+        let n_cands = fs.per_candidate.len();
+        let mut run = Run {
+            db,
+            constraints,
+            fs,
+            fstate: vec![FState::Pending; fs.len()],
+            cstate: vec![CState::Alive; n_cands],
+            unresolved_tops: fs.tops.iter().map(|v| v.len() as u32).collect(),
+            outcome: ScheduleOutcome::default(),
+        };
+        // Step-1 pre-validated filters start out succeeded (no propagation
+        // needed: they have no subfilters).
+        for f in &fs.filters {
+            if f.prevalidated {
+                run.fstate[f.id.index()] = FState::Succeeded;
+                for &c in &f.top_for {
+                    run.unresolved_tops[c as usize] -= 1;
+                }
+            }
+        }
+        // Degenerate candidates (e.g. single-table, single-pred tops) may be
+        // fully resolved already.
+        for c in 0..n_cands {
+            run.check_acceptance(c as u32);
+        }
+        run
+    }
+
+    fn alive(&self, c: u32) -> bool {
+        self.cstate[c as usize] == CState::Alive
+    }
+
+    /// Mark `f` succeeded; propagate to subfilters; update acceptance.
+    fn mark_success(&mut self, f: FilterId, implied: bool) {
+        if self.fstate[f.index()] != FState::Pending {
+            return;
+        }
+        self.fstate[f.index()] = FState::Succeeded;
+        if implied {
+            self.outcome.implied_successes += 1;
+        }
+        for &c in &self.fs.filter(f).top_for {
+            self.unresolved_tops[c as usize] -= 1;
+        }
+        let subs = self.fs.filter(f).subfilters.clone();
+        for s in subs {
+            self.mark_success(s, true);
+        }
+        for &c in &self.fs.filter(f).top_for.clone() {
+            self.check_acceptance(c);
+        }
+    }
+
+    /// Mark `f` failed; propagate to superfilters; kill member candidates.
+    fn mark_failure(&mut self, f: FilterId, implied: bool) {
+        if self.fstate[f.index()] != FState::Pending {
+            return;
+        }
+        self.fstate[f.index()] = FState::Failed;
+        if implied {
+            self.outcome.implied_failures += 1;
+        }
+        for &c in &self.fs.filter(f).top_for {
+            self.unresolved_tops[c as usize] -= 1;
+        }
+        for &c in &self.fs.filter(f).members {
+            if self.cstate[c as usize] == CState::Alive {
+                self.cstate[c as usize] = CState::Failed;
+            }
+        }
+        let sups = self.fs.filter(f).superfilters.clone();
+        for s in sups {
+            self.mark_failure(s, true);
+        }
+    }
+
+    fn check_acceptance(&mut self, c: u32) {
+        if self.cstate[c as usize] != CState::Alive {
+            return;
+        }
+        let all_tops_ok = self.fs.tops[c as usize]
+            .iter()
+            .all(|t| self.fstate[t.index()] == FState::Succeeded);
+        if all_tops_ok {
+            self.cstate[c as usize] = CState::Accepted;
+            self.outcome.accepted.push(c);
+        }
+    }
+
+    /// Validate one filter for real.
+    fn validate(&mut self, f: FilterId) {
+        self.outcome.validations += 1;
+        let ok = validate_filter(
+            self.db,
+            self.fs.filter(f),
+            self.constraints,
+            &mut self.outcome.exec,
+        );
+        if ok {
+            self.mark_success(f, false);
+        } else {
+            self.mark_failure(f, false);
+        }
+    }
+
+    fn finish(mut self) -> ScheduleOutcome {
+        self.outcome.accepted.sort_unstable();
+        self.outcome
+    }
+}
+
+/// Shared validation-cost proxy: the expected intermediate result size of
+/// the filter's join tree under attribute independence. Both PathLength and
+/// Bayes use this — the paper isolates its contribution to pruning-power
+/// estimation.
+pub fn filter_cost(db: &Database, fs: &FilterSet, f: FilterId) -> f64 {
+    let filter = fs.filter(f);
+    let mut cost = 1.0f64;
+    for &t in &filter.tree.tables {
+        cost *= db.row_count(t).max(1) as f64;
+    }
+    for &e in &filter.tree.edges {
+        let edge = db.graph().edge(e);
+        let d = db
+            .stats()
+            .column(edge.a)
+            .distinct_count
+            .max(db.stats().column(edge.b).distinct_count)
+            .max(1);
+        cost /= d as f64;
+    }
+    cost.max(1.0)
+}
+
+/// Run the greedy filter schedule with the given failure model.
+pub fn run_greedy(
+    db: &Database,
+    constraints: &TargetConstraints,
+    fs: &FilterSet,
+    model: &dyn FailureModel,
+    deadline: Option<Instant>,
+) -> ScheduleOutcome {
+    let mut run = Run::new(db, constraints, fs);
+    // Failure probabilities and costs are fixed per filter; compute once.
+    let p_fail: Vec<f64> = (0..fs.len())
+        .map(|i| model.failure_probability(db, fs, FilterId(i as u32)))
+        .collect();
+    let cost: Vec<f64> = (0..fs.len())
+        .map(|i| filter_cost(db, fs, FilterId(i as u32)))
+        .collect();
+
+    loop {
+        if let Some(d) = deadline {
+            if Instant::now() >= d {
+                run.outcome.timed_out = true;
+                break;
+            }
+        }
+        // Any alive candidate left?
+        if !run.cstate.contains(&CState::Alive) {
+            break;
+        }
+        // Pick the pending filter (relevant to an alive candidate) with the
+        // best score. Benefit accounting:
+        //   failure  → every alive member candidate dies, saving its
+        //              remaining required top validations;
+        //   success  → progress only if the filter IS an unresolved top (of
+        //              itself or, via implication, of another candidate);
+        //              non-top successes are pure information and score 0.
+        let is_alive_pending_top = |run: &Run<'_>, t: FilterId| {
+            run.fstate[t.index()] == FState::Pending
+                && fs.filter(t).top_for.iter().any(|&c| run.alive(c))
+        };
+        let mut best: Option<(f64, FilterId)> = None;
+        for f in &fs.filters {
+            if run.fstate[f.id.index()] != FState::Pending {
+                continue;
+            }
+            let kills_saved: u64 = f
+                .members
+                .iter()
+                .filter(|&&c| run.alive(c))
+                .map(|&c| run.unresolved_tops[c as usize].max(1) as u64)
+                .sum();
+            if kills_saved == 0 {
+                continue; // irrelevant: no alive candidate contains f
+            }
+            let mut tops_resolved = 0u64;
+            if is_alive_pending_top(&run, f.id) {
+                tops_resolved += 1;
+            }
+            tops_resolved += f
+                .subfilters
+                .iter()
+                .filter(|&&s| is_alive_pending_top(&run, s))
+                .count() as u64;
+            let p = p_fail[f.id.index()];
+            let score =
+                (p * kills_saved as f64 + (1.0 - p) * tops_resolved as f64) / cost[f.id.index()];
+            if best.is_none_or(|(b, bid)| score > b || (score == b && f.id < bid)) {
+                best = Some((score, f.id));
+            }
+        }
+        let Some((score, pick)) = best else { break };
+        // When nothing scores positive (all remaining candidates are
+        // expected to succeed and only non-top information filters are
+        // cheap), fall through to the cheapest unresolved alive top — the
+        // required work.
+        let pick = if score > 0.0 {
+            pick
+        } else {
+            let mut required: Option<(f64, FilterId)> = None;
+            for f in &fs.filters {
+                if run.fstate[f.id.index()] == FState::Pending && is_alive_pending_top(&run, f.id) {
+                    let c = cost[f.id.index()];
+                    if required.is_none_or(|(rc, rid)| c < rc || (c == rc && f.id < rid)) {
+                        required = Some((c, f.id));
+                    }
+                }
+            }
+            match required {
+                Some((_, id)) => id,
+                None => pick,
+            }
+        };
+        run.validate(pick);
+    }
+    run.finish()
+}
+
+/// Naive whole-query validation: each candidate's top filters in
+/// enumeration order, no decomposition, no sharing.
+pub fn run_naive(
+    db: &Database,
+    constraints: &TargetConstraints,
+    fs: &FilterSet,
+    deadline: Option<Instant>,
+) -> ScheduleOutcome {
+    let mut run = Run::new(db, constraints, fs);
+    'cands: for c in 0..fs.per_candidate.len() {
+        if let Some(d) = deadline {
+            if Instant::now() >= d {
+                run.outcome.timed_out = true;
+                break;
+            }
+        }
+        if !run.alive(c as u32) {
+            continue;
+        }
+        for &t in &fs.tops[c] {
+            if run.fstate[t.index()] != FState::Pending {
+                continue;
+            }
+            // Naive validation ignores sharing: count one validation even
+            // for filters another candidate also contains, but do not let
+            // success/failure imply anything beyond this candidate's fate.
+            run.outcome.validations += 1;
+            let ok = validate_filter(db, fs.filter(t), constraints, &mut run.outcome.exec);
+            if ok {
+                run.mark_success(t, false);
+            } else {
+                run.mark_failure(t, false);
+                continue 'cands;
+            }
+        }
+        run.check_acceptance(c as u32);
+    }
+    run.finish()
+}
+
+/// Ground-truth outcome of every filter, memoized. Not counted as
+/// scheduling work — this is the oracle's hindsight knowledge (and the
+/// test suite's source of truth).
+pub fn ground_truth_outcomes(
+    db: &Database,
+    constraints: &TargetConstraints,
+    fs: &FilterSet,
+) -> Vec<bool> {
+    let mut scratch = ExecStats::default();
+    fs.filters
+        .iter()
+        .map(|f| f.prevalidated || validate_filter(db, f, constraints, &mut scratch))
+        .collect()
+}
+
+/// The hindsight-optimal number of validations, plus the ground-truth
+/// accepted candidates.
+///
+/// * Accepted candidates: their top filters must be validated; validating a
+///   filter certifies all sub-filters, so only ⊑-maximal tops among the
+///   accepted set are counted.
+/// * Failed candidates: one failing validation suffices per candidate, and
+///   a shared failing filter covers all candidates that (transitively)
+///   contain it — a minimum set cover, approximated greedily (the exact
+///   optimum is NP-hard; greedy is within `ln n`, and this quantity is the
+///   yardstick, not a competitor).
+pub fn oracle_schedule(
+    db: &Database,
+    constraints: &TargetConstraints,
+    fs: &FilterSet,
+) -> (u64, ScheduleOutcome) {
+    let outcomes = ground_truth_outcomes(db, constraints, fs);
+    let n_cands = fs.per_candidate.len();
+    // Ground-truth candidate classification.
+    let accepted: Vec<u32> = (0..n_cands as u32)
+        .filter(|&c| fs.tops[c as usize].iter().all(|t| outcomes[t.index()]))
+        .collect();
+    let failing: Vec<u32> = (0..n_cands as u32)
+        .filter(|c| !accepted.contains(c))
+        .collect();
+
+    // Success side: count ⊑-maximal tops among accepted candidates,
+    // skipping pre-validated ones (they cost nothing).
+    let mut accepted_tops: Vec<FilterId> = accepted
+        .iter()
+        .flat_map(|&c| fs.tops[c as usize].iter().copied())
+        .collect();
+    accepted_tops.sort_unstable();
+    accepted_tops.dedup();
+    let top_is_accepted = |f: FilterId| accepted_tops.binary_search(&f).is_ok();
+    let success_validations = accepted_tops
+        .iter()
+        .filter(|&&t| {
+            if fs.filter(t).prevalidated {
+                return false;
+            }
+            // Maximal: no accepted top (transitively) above it. Superfilter
+            // chains suffice because ⊑ edges are transitive via the lattice.
+            let mut queue: VecDeque<FilterId> = fs.filter(t).superfilters.iter().copied().collect();
+            let mut seen: Vec<FilterId> = Vec::new();
+            while let Some(s) = queue.pop_front() {
+                if seen.contains(&s) {
+                    continue;
+                }
+                seen.push(s);
+                if outcomes[s.index()] && top_is_accepted(s) {
+                    return false; // covered by a larger accepted top
+                }
+                queue.extend(fs.filter(s).superfilters.iter().copied());
+            }
+            true
+        })
+        .count() as u64;
+
+    // Failure side: greedy set cover of failing candidates by failing
+    // filters (coverage closure through superfilters).
+    let mut covered = vec![false; n_cands];
+    for &c in &accepted {
+        covered[c as usize] = true; // not in the universe
+    }
+    let mut cover_validations = 0u64;
+    // Precompute each failing filter's coverage closure.
+    let coverage: Vec<(FilterId, Vec<u32>)> = fs
+        .filters
+        .iter()
+        .filter(|f| !outcomes[f.id.index()])
+        .map(|f| {
+            let mut cands: Vec<u32> = Vec::new();
+            let mut queue = VecDeque::from([f.id]);
+            let mut seen: Vec<FilterId> = Vec::new();
+            while let Some(x) = queue.pop_front() {
+                if seen.contains(&x) {
+                    continue;
+                }
+                seen.push(x);
+                cands.extend(fs.filter(x).members.iter().copied());
+                queue.extend(fs.filter(x).superfilters.iter().copied());
+            }
+            cands.sort_unstable();
+            cands.dedup();
+            (f.id, cands)
+        })
+        .collect();
+    loop {
+        let uncovered = |cands: &Vec<u32>| cands.iter().filter(|&&c| !covered[c as usize]).count();
+        let Some((best_idx, gain)) = coverage
+            .iter()
+            .enumerate()
+            .map(|(i, (_, cands))| (i, uncovered(cands)))
+            .max_by_key(|&(i, gain)| (gain, std::cmp::Reverse(i)))
+        else {
+            break;
+        };
+        if gain == 0 {
+            break;
+        }
+        cover_validations += 1;
+        for &c in &coverage[best_idx].1 {
+            covered[c as usize] = true;
+        }
+    }
+    debug_assert!(
+        failing.iter().all(|&c| covered[c as usize]),
+        "every failing candidate must have a failing filter"
+    );
+
+    let outcome = ScheduleOutcome {
+        accepted: accepted.clone(),
+        validations: success_validations + cover_validations,
+        ..ScheduleOutcome::default()
+    };
+    (success_validations + cover_validations, outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::enumerate_candidates;
+    use crate::config::DiscoveryConfig;
+    use crate::filters::build_filters;
+    use crate::related::find_related;
+    use prism_bayes::TrainConfig;
+    use prism_datasets::mondial;
+    use prism_db::render_sql;
+
+    fn some(s: &str) -> Option<String> {
+        Some(s.to_string())
+    }
+
+    struct Setup {
+        db: prism_db::Database,
+        tc: TargetConstraints,
+    }
+
+    fn walkthrough() -> Setup {
+        Setup {
+            db: mondial(42, 1),
+            tc: TargetConstraints::parse(
+                3,
+                &[vec![some("California || Nevada"), some("Lake Tahoe"), None]],
+                &[None, None, some("DataType=='decimal' AND MinValue>='0'")],
+            )
+            .unwrap(),
+        }
+    }
+
+    fn prepare(s: &Setup) -> (Vec<crate::Candidate>, FilterSet) {
+        let config = DiscoveryConfig::default();
+        let rel = find_related(&s.db, &s.tc, &config);
+        let cands = enumerate_candidates(&s.db, &rel, &config, None).candidates;
+        let fs = build_filters(&s.db, &cands, &s.tc, None);
+        (cands, fs)
+    }
+
+    fn accepted_sqls(
+        db: &prism_db::Database,
+        cands: &[crate::Candidate],
+        accepted: &[u32],
+    ) -> Vec<String> {
+        accepted
+            .iter()
+            .map(|&c| render_sql(&cands[c as usize].query, db))
+            .collect()
+    }
+
+    #[test]
+    fn all_schedulers_agree_on_the_accepted_set() {
+        let s = walkthrough();
+        let (cands, fs) = prepare(&s);
+        let est = prism_bayes::BayesEstimator::train(&s.db, &TrainConfig::default());
+        let path = run_greedy(&s.db, &s.tc, &fs, &PathLengthModel, None);
+        let bayes = run_greedy(
+            &s.db,
+            &s.tc,
+            &fs,
+            &BayesModel {
+                estimator: &est,
+                constraints: &s.tc,
+            },
+            None,
+        );
+        let naive = run_naive(&s.db, &s.tc, &fs, None);
+        let (_, oracle) = oracle_schedule(&s.db, &s.tc, &fs);
+        assert_eq!(path.accepted, bayes.accepted, "schedulers must be sound");
+        assert_eq!(path.accepted, naive.accepted);
+        assert_eq!(path.accepted, oracle.accepted);
+        assert!(
+            !path.accepted.is_empty(),
+            "walkthrough has satisfying queries"
+        );
+        // The desired query is among the accepted.
+        let want = "SELECT geo_lake.Province, Lake.Name, Lake.Area \
+                    FROM Lake, geo_lake WHERE geo_lake.Lake = Lake.Name";
+        assert!(
+            accepted_sqls(&s.db, &cands, &path.accepted)
+                .iter()
+                .any(|x| x == want),
+            "desired query must be accepted"
+        );
+    }
+
+    #[test]
+    fn accepted_candidates_really_satisfy_the_constraints() {
+        let s = walkthrough();
+        let (cands, fs) = prepare(&s);
+        let outcome = run_greedy(&s.db, &s.tc, &fs, &PathLengthModel, None);
+        // Re-verify each accepted candidate end-to-end.
+        for &c in &outcome.accepted {
+            let cand = &cands[c as usize];
+            let rows = cand.query.execute(&s.db, 100_000).unwrap();
+            let witness = rows.iter().any(|row| {
+                s.tc.samples[0].cells.iter().enumerate().all(|(i, cell)| {
+                    cell.as_ref()
+                        .map(|c| prism_lang::matches_value(c, &row[i]))
+                        .unwrap_or(true)
+                })
+            });
+            assert!(
+                witness,
+                "accepted {} has no witness row",
+                render_sql(&cand.query, &s.db)
+            );
+        }
+    }
+
+    #[test]
+    fn decomposed_schedulers_use_fewer_validations_than_naive() {
+        let s = walkthrough();
+        let (_, fs) = prepare(&s);
+        let est = prism_bayes::BayesEstimator::train(&s.db, &TrainConfig::default());
+        let naive = run_naive(&s.db, &s.tc, &fs, None);
+        let bayes = run_greedy(
+            &s.db,
+            &s.tc,
+            &fs,
+            &BayesModel {
+                estimator: &est,
+                constraints: &s.tc,
+            },
+            None,
+        );
+        // Sharing + implication should not be worse than validating every
+        // candidate separately.
+        assert!(
+            bayes.validations <= naive.validations,
+            "bayes {} vs naive {}",
+            bayes.validations,
+            naive.validations
+        );
+        assert!(bayes.implied_successes + bayes.implied_failures > 0);
+    }
+
+    #[test]
+    fn oracle_is_a_lower_bound() {
+        let s = walkthrough();
+        let (_, fs) = prepare(&s);
+        let est = prism_bayes::BayesEstimator::train(&s.db, &TrainConfig::default());
+        let (v_opt, _) = oracle_schedule(&s.db, &s.tc, &fs);
+        let path = run_greedy(&s.db, &s.tc, &fs, &PathLengthModel, None);
+        let bayes = run_greedy(
+            &s.db,
+            &s.tc,
+            &fs,
+            &BayesModel {
+                estimator: &est,
+                constraints: &s.tc,
+            },
+            None,
+        );
+        assert!(
+            v_opt <= path.validations,
+            "oracle {v_opt} > path {}",
+            path.validations
+        );
+        assert!(
+            v_opt <= bayes.validations,
+            "oracle {v_opt} > bayes {}",
+            bayes.validations
+        );
+        assert!(v_opt >= 1);
+    }
+
+    #[test]
+    fn deadline_interrupts_scheduling_soundly() {
+        let s = walkthrough();
+        let (cands, fs) = prepare(&s);
+        let past = Instant::now() - std::time::Duration::from_millis(1);
+        let outcome = run_greedy(&s.db, &s.tc, &fs, &PathLengthModel, Some(past));
+        assert!(outcome.timed_out);
+        // Anything accepted before the timeout must still be genuinely
+        // satisfying (soundness under interruption).
+        for &c in &outcome.accepted {
+            let rows = cands[c as usize].query.execute(&s.db, 100_000).unwrap();
+            assert!(!rows.is_empty());
+        }
+    }
+
+    #[test]
+    fn filter_cost_grows_with_tree_size() {
+        let s = walkthrough();
+        let (_, fs) = prepare(&s);
+        let mut single = f64::MAX;
+        let mut multi = 0.0f64;
+        for f in &fs.filters {
+            let c = filter_cost(&s.db, &fs, f.id);
+            if f.tree.table_count() == 1 {
+                single = single.min(c);
+            } else {
+                multi = multi.max(c);
+            }
+        }
+        assert!(multi > single);
+    }
+
+    #[test]
+    fn ground_truth_outcomes_respect_prevalidation() {
+        let s = walkthrough();
+        let (_, fs) = prepare(&s);
+        let outcomes = ground_truth_outcomes(&s.db, &s.tc, &fs);
+        for f in &fs.filters {
+            if f.prevalidated {
+                assert!(outcomes[f.id.index()]);
+            }
+        }
+    }
+}

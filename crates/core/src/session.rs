@@ -1,0 +1,338 @@
+//! The demo workflow: Configuration → Description → Result (Figures 2–4).
+//!
+//! [`Session`] is the programmatic mirror of the web UI's three sections.
+//! The `examples/interactive_demo.rs` binary drives it as a scripted CLI,
+//! reproducing the demonstration walk-through of Section 3 step by step:
+//! configure the source database and grid shape, type constraints into the
+//! Description grid, hit "Start Searching!", then inspect SQL, pick
+//! constraints, and render the explanation graph.
+
+use crate::config::DiscoveryConfig;
+use crate::constraints::{ConstraintError, TargetConstraints};
+use crate::discovery::{Discovery, DiscoveryResult};
+use crate::explain::{all_picks, explain, ConstraintPick, QueryGraph};
+use prism_db::Database;
+use prism_lang::UdfRegistry;
+
+/// The Configuration section (Figure 2 / Section 3 step 1).
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Number of columns in the target schema.
+    pub target_columns: usize,
+    /// Number of sample-constraint rows.
+    pub sample_rows: usize,
+    /// Whether the Description section offers a metadata row.
+    pub with_metadata: bool,
+    /// Engine configuration (time budget, scheduler, …).
+    pub discovery: DiscoveryConfig,
+}
+
+impl Default for SessionConfig {
+    fn default() -> SessionConfig {
+        SessionConfig {
+            target_columns: 3,
+            sample_rows: 1,
+            with_metadata: true,
+            discovery: DiscoveryConfig::default(),
+        }
+    }
+}
+
+/// Errors surfaced to the demo UI.
+#[derive(Debug)]
+pub enum SessionError {
+    /// Cell indices outside the configured grid.
+    OutOfRange { row: usize, column: usize },
+    /// Metadata entry attempted with metadata disabled.
+    MetadataDisabled,
+    /// Constraint text failed to parse/validate.
+    Constraint(ConstraintError),
+    /// "Start Searching!" pressed before any constraint was entered, or a
+    /// result index out of range.
+    Protocol(String),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::OutOfRange { row, column } => {
+                write!(f, "cell ({row}, {column}) is outside the constraint grid")
+            }
+            SessionError::MetadataDisabled => {
+                write!(f, "metadata constraints are disabled in the configuration")
+            }
+            SessionError::Constraint(e) => write!(f, "{e}"),
+            SessionError::Protocol(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// One interactive schema-mapping session against a source database.
+pub struct Session<'a> {
+    engine: Discovery<'a>,
+    config: SessionConfig,
+    /// The Description grid, as raw text.
+    grid: Vec<Vec<Option<String>>>,
+    metadata: Vec<Option<String>>,
+    udfs: UdfRegistry,
+    /// Parsed constraints of the last search.
+    last_constraints: Option<TargetConstraints>,
+    /// The Result section of the last search.
+    last_result: Option<DiscoveryResult>,
+}
+
+impl<'a> Session<'a> {
+    /// Step 1: choose the source database and configure the grid.
+    pub fn new(db: &'a Database, config: SessionConfig) -> Session<'a> {
+        let grid = vec![vec![None; config.target_columns]; config.sample_rows];
+        let metadata = vec![None; config.target_columns];
+        Session {
+            engine: Discovery::new(db, config.discovery.clone()),
+            config,
+            grid,
+            metadata,
+            udfs: UdfRegistry::new(),
+            last_constraints: None,
+            last_result: None,
+        }
+    }
+
+    /// Register user-defined functions available to `@name` predicates.
+    pub fn set_udfs(&mut self, udfs: UdfRegistry) {
+        self.udfs = udfs;
+    }
+
+    pub fn database_name(&self) -> &str {
+        self.engine.database().name()
+    }
+
+    /// Step 2: type into a cell of the Sample/Result Constraints grid.
+    pub fn set_sample_cell(
+        &mut self,
+        row: usize,
+        column: usize,
+        text: impl Into<String>,
+    ) -> Result<(), SessionError> {
+        if row >= self.config.sample_rows || column >= self.config.target_columns {
+            return Err(SessionError::OutOfRange { row, column });
+        }
+        let text = text.into();
+        self.grid[row][column] = if text.trim().is_empty() {
+            None
+        } else {
+            Some(text)
+        };
+        Ok(())
+    }
+
+    /// Step 2 (metadata row): type into a Metadata Constraints cell.
+    pub fn set_metadata_cell(
+        &mut self,
+        column: usize,
+        text: impl Into<String>,
+    ) -> Result<(), SessionError> {
+        if !self.config.with_metadata {
+            return Err(SessionError::MetadataDisabled);
+        }
+        if column >= self.config.target_columns {
+            return Err(SessionError::OutOfRange { row: 0, column });
+        }
+        let text = text.into();
+        self.metadata[column] = if text.trim().is_empty() {
+            None
+        } else {
+            Some(text)
+        };
+        Ok(())
+    }
+
+    /// Step 3: hit "Start Searching!". Parses the grid, runs discovery, and
+    /// stores the Result section.
+    pub fn start_searching(&mut self) -> Result<&DiscoveryResult, SessionError> {
+        let constraints =
+            TargetConstraints::parse(self.config.target_columns, &self.grid, &self.metadata)
+                .map_err(SessionError::Constraint)?
+                .with_udfs(self.udfs.clone());
+        let missing = constraints.missing_udfs();
+        if !missing.is_empty() {
+            return Err(SessionError::Protocol(format!(
+                "unknown user-defined functions: {}",
+                missing.join(", ")
+            )));
+        }
+        let result = self.engine.run(&constraints);
+        self.last_constraints = Some(constraints);
+        self.last_result = Some(result);
+        Ok(self.last_result.as_ref().expect("just stored"))
+    }
+
+    /// The Result section of the last search.
+    pub fn result(&self) -> Option<&DiscoveryResult> {
+        self.last_result.as_ref()
+    }
+
+    /// Step 4.1: the SQL text of one discovered query (Figure 4b).
+    pub fn result_sql(&self, index: usize) -> Result<&str, SessionError> {
+        let r = self
+            .last_result
+            .as_ref()
+            .ok_or_else(|| SessionError::Protocol("no search has been run".into()))?;
+        r.queries
+            .get(index)
+            .map(|q| q.sql.as_str())
+            .ok_or_else(|| SessionError::Protocol(format!("no result #{index}")))
+    }
+
+    /// Steps 4.2–4.3: the query graph of one discovered query with the
+    /// chosen constraints drawn in (Figure 4c). `picks = None` draws all.
+    pub fn explain_result(
+        &self,
+        index: usize,
+        picks: Option<&[ConstraintPick]>,
+    ) -> Result<QueryGraph, SessionError> {
+        let r = self
+            .last_result
+            .as_ref()
+            .ok_or_else(|| SessionError::Protocol("no search has been run".into()))?;
+        let q = r
+            .queries
+            .get(index)
+            .ok_or_else(|| SessionError::Protocol(format!("no result #{index}")))?;
+        let constraints = self
+            .last_constraints
+            .as_ref()
+            .expect("constraints stored with result");
+        let owned_all;
+        let picks = match picks {
+            Some(p) => p,
+            None => {
+                owned_all = all_picks(constraints);
+                &owned_all
+            }
+        };
+        Ok(explain(
+            self.engine.database(),
+            &q.candidate,
+            constraints,
+            picks,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prism_datasets::mondial;
+
+    /// The full Section 3 walk-through as a session script.
+    #[test]
+    fn section_3_walkthrough() {
+        let db = mondial(42, 1);
+        // Step 1: configure — Mondial, 3 columns, 1 sample, metadata on.
+        let mut session = Session::new(&db, SessionConfig::default());
+        assert_eq!(session.database_name(), "Mondial");
+        // Step 2: describe.
+        session
+            .set_sample_cell(0, 0, "California || Nevada")
+            .unwrap();
+        session.set_sample_cell(0, 1, "Lake Tahoe").unwrap();
+        session
+            .set_metadata_cell(2, "DataType=='decimal' AND MinValue>='0'")
+            .unwrap();
+        // Step 3: search.
+        let result = session.start_searching().unwrap();
+        assert!(!result.queries.is_empty());
+        // Step 4: view the first queries and explain them.
+        let n = result.queries.len();
+        let want = "SELECT geo_lake.Province, Lake.Name, Lake.Area \
+                    FROM Lake, geo_lake WHERE geo_lake.Lake = Lake.Name";
+        let idx = (0..n)
+            .find(|&i| session.result_sql(i).unwrap() == want)
+            .expect("desired query listed");
+        let graph = session.explain_result(idx, None).unwrap();
+        assert_eq!(graph.relations.len(), 2);
+        assert_eq!(graph.constraints.len(), 3);
+        // Step 4.3: picking a single constraint draws only it.
+        let one = session
+            .explain_result(
+                idx,
+                Some(&[ConstraintPick::Value {
+                    sample: 0,
+                    column: 1,
+                }]),
+            )
+            .unwrap();
+        assert_eq!(one.constraints.len(), 1);
+        assert!(one.constraints[0].label.contains("Lake Tahoe"));
+    }
+
+    #[test]
+    fn grid_bounds_are_enforced() {
+        let db = mondial(42, 1);
+        let mut session = Session::new(&db, SessionConfig::default());
+        assert!(matches!(
+            session.set_sample_cell(5, 0, "x"),
+            Err(SessionError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            session.set_metadata_cell(7, "DataType=='int'"),
+            Err(SessionError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn metadata_can_be_disabled() {
+        let db = mondial(42, 1);
+        let mut session = Session::new(
+            &db,
+            SessionConfig {
+                with_metadata: false,
+                ..SessionConfig::default()
+            },
+        );
+        assert!(matches!(
+            session.set_metadata_cell(0, "DataType=='int'"),
+            Err(SessionError::MetadataDisabled)
+        ));
+    }
+
+    #[test]
+    fn searching_without_constraints_fails_cleanly() {
+        let db = mondial(42, 1);
+        let mut session = Session::new(&db, SessionConfig::default());
+        assert!(matches!(
+            session.start_searching(),
+            Err(SessionError::Constraint(_))
+        ));
+        assert!(session.result().is_none());
+        assert!(session.result_sql(0).is_err());
+    }
+
+    #[test]
+    fn clearing_a_cell_removes_the_constraint() {
+        let db = mondial(42, 1);
+        let mut session = Session::new(&db, SessionConfig::default());
+        session.set_sample_cell(0, 0, "Lake Tahoe").unwrap();
+        session.set_sample_cell(0, 0, "   ").unwrap();
+        assert!(matches!(
+            session.start_searching(),
+            Err(SessionError::Constraint(ConstraintError::Empty))
+        ));
+    }
+
+    #[test]
+    fn bad_constraint_text_reports_cell() {
+        let db = mondial(42, 1);
+        let mut session = Session::new(&db, SessionConfig::default());
+        session.set_sample_cell(0, 1, "a ||").unwrap();
+        match session.start_searching() {
+            Err(SessionError::Constraint(ConstraintError::Parse { row, column, .. })) => {
+                assert_eq!(row, Some(0));
+                assert_eq!(column, 1);
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Step 2b: executing one filter against the database.
+//!
+//! Validating a filter asks: *does the result of the filter's sub-join-tree
+//! contain at least one tuple satisfying the sample constraint restricted to
+//! the filter's columns?* This maps directly onto
+//! [`prism_db::PjQuery::exists_matching`], which early-exits on the first
+//! witness.
+
+use crate::candidates::build_query;
+use crate::constraints::TargetConstraints;
+use crate::filters::Filter;
+use prism_db::{Database, ExecStats, PjQuery, ProjPred, Value};
+use prism_lang::matches_value_with;
+
+/// A boxed per-slot predicate closure.
+type BoxedPred<'a> = Box<dyn Fn(&Value) -> bool + 'a>;
+
+/// Validate `filter` against `db` under `constraints`. Returns whether the
+/// filter is satisfied; work is accumulated into `stats`.
+pub fn validate_filter(
+    db: &Database,
+    filter: &Filter,
+    constraints: &TargetConstraints,
+    stats: &mut ExecStats,
+) -> bool {
+    let query = filter_query(db, filter);
+    let sample = &constraints.samples[filter.sample];
+    // One closure per projection slot (= per filter predicate).
+    let preds: Vec<BoxedPred<'_>> = filter
+        .preds
+        .iter()
+        .map(|(target, _)| {
+            let c = sample.cells[*target]
+                .as_ref()
+                .expect("filter predicates reference constrained cells");
+            let udfs = &constraints.udfs;
+            Box::new(move |v: &Value| matches_value_with(c, v, udfs)) as BoxedPred<'_>
+        })
+        .collect();
+    let pred_refs: Vec<ProjPred<'_>> = preds
+        .iter()
+        .map(|p| Some(p.as_ref() as &dyn Fn(&Value) -> bool))
+        .collect();
+    query
+        .exists_matching(db, &pred_refs, stats)
+        .expect("filter queries are structurally valid by construction")
+}
+
+/// The executable PJ query of a filter: its subtree with the constrained
+/// columns projected.
+pub fn filter_query(db: &Database, filter: &Filter) -> PjQuery {
+    let cols: Vec<prism_db::ColumnRef> = filter.preds.iter().map(|(_, c)| *c).collect();
+    if cols.is_empty() {
+        // Non-emptiness top filter: project the first column of the first
+        // table (any column works for an existence check).
+        let t = filter.tree.tables[0];
+        return build_query(db, &filter.tree, &[prism_db::ColumnRef::new(t, 0)]);
+    }
+    build_query(db, &filter.tree, &cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::enumerate_candidates;
+    use crate::config::DiscoveryConfig;
+    use crate::filters::build_filters;
+    use crate::related::find_related;
+    use prism_datasets::mondial;
+    use prism_db::render_sql;
+
+    fn some(s: &str) -> Option<String> {
+        Some(s.to_string())
+    }
+
+    #[test]
+    fn walkthrough_top_filter_of_the_true_candidate_succeeds() {
+        let db = mondial(42, 1);
+        let tc = TargetConstraints::parse(
+            3,
+            &[vec![some("California || Nevada"), some("Lake Tahoe"), None]],
+            &[None, None, some("DataType=='decimal' AND MinValue>='0'")],
+        )
+        .unwrap();
+        let config = DiscoveryConfig::default();
+        let rel = find_related(&db, &tc, &config);
+        let cands = enumerate_candidates(&db, &rel, &config, None).candidates;
+        let fs = build_filters(&db, &cands, &tc, None);
+        // Find the ground-truth candidate (Lake ⋈ geo_lake with the right
+        // projection) and check its top filter validates.
+        let want = "SELECT geo_lake.Province, Lake.Name, Lake.Area \
+                    FROM Lake, geo_lake WHERE geo_lake.Lake = Lake.Name";
+        let truth = cands
+            .iter()
+            .find(|c| render_sql(&c.query, &db) == want)
+            .expect("ground truth enumerated");
+        let mut stats = ExecStats::default();
+        let top = fs.filter(fs.tops[truth.id][0]);
+        assert!(validate_filter(&db, top, &tc, &mut stats));
+        assert!(stats.rows_examined > 0);
+    }
+
+    #[test]
+    fn contradictory_filter_fails() {
+        let db = mondial(42, 1);
+        // Crater Lake is in Oregon, not California — the joined pair fails.
+        let tc = TargetConstraints::parse(2, &[vec![some("California"), some("Crater Lake")]], &[])
+            .unwrap();
+        let config = DiscoveryConfig::default();
+        let rel = find_related(&db, &tc, &config);
+        let cands = enumerate_candidates(&db, &rel, &config, None).candidates;
+        let fs = build_filters(&db, &cands, &tc, None);
+        // Among candidates joining geo_lake.Province with Lake.Name, every
+        // two-table top filter must fail.
+        let mut validated_any = false;
+        for c in &cands {
+            if c.tree.table_count() != 2 {
+                continue;
+            }
+            let geo = db.catalog().table_id("geo_lake").unwrap();
+            let lake = db.catalog().table_id("Lake").unwrap();
+            if !(c.tree.contains_table(geo) && c.tree.contains_table(lake)) {
+                continue;
+            }
+            let mut stats = ExecStats::default();
+            let top = fs.filter(fs.tops[c.id][0]);
+            assert!(
+                !validate_filter(&db, top, &tc, &mut stats),
+                "candidate {} should fail",
+                render_sql(&c.query, &db)
+            );
+            validated_any = true;
+        }
+        assert!(validated_any, "expected geo_lake ⋈ Lake candidates");
+    }
+
+    #[test]
+    fn filter_query_projects_constrained_columns() {
+        let db = mondial(42, 1);
+        let tc = TargetConstraints::parse(2, &[vec![some("Lake Tahoe"), some("California")]], &[])
+            .unwrap();
+        let config = DiscoveryConfig::default();
+        let rel = find_related(&db, &tc, &config);
+        let cands = enumerate_candidates(&db, &rel, &config, None).candidates;
+        let fs = build_filters(&db, &cands, &tc, None);
+        for f in &fs.filters {
+            let q = filter_query(&db, f);
+            q.validate(&db).expect("valid filter query");
+            assert_eq!(q.projection.len(), f.preds.len().max(1));
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! Synthetic IMDB: movies, people, casting, directing, genres.
+//!
+//! A handful of real anchor films are embedded so demo constraints have
+//! memorable keywords; the fill is deterministic synthetic data. The FK
+//! graph is the classic star around `Movie` with two association tables
+//! reaching `Person` (acting vs directing are *parallel paths*, so mapping
+//! "movie, person" has genuinely ambiguous join routes — ideal for
+//! exercising Prism's result disambiguation).
+
+use crate::vocab;
+use prism_db::schema::ColumnDef;
+use prism_db::types::{DataType, Date, Value};
+use prism_db::{Database, DatabaseBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn txt(s: impl Into<String>) -> Value {
+    Value::Text(s.into())
+}
+
+/// Real anchor films: (title, year, runtime, rating, director).
+const ANCHORS: &[(&str, i64, i64, f64, &str)] = &[
+    ("The Godfather", 1972, 175, 9.2, "Francis Ford Coppola"),
+    ("Seven Samurai", 1954, 207, 8.6, "Akira Kurosawa"),
+    ("Casablanca", 1942, 102, 8.5, "Michael Curtiz"),
+    ("Spirited Away", 2001, 125, 8.6, "Hayao Miyazaki"),
+    ("Pulp Fiction", 1994, 154, 8.9, "Quentin Tarantino"),
+];
+
+/// Build synthetic IMDB. Scale 1 ≈ 700 rows.
+pub fn imdb(seed: u64, scale: usize) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x494d4442 /* "IMDB" */);
+    let scale = scale.max(1);
+    let mut b = DatabaseBuilder::new("IMDB");
+
+    b.add_table(
+        "Movie",
+        vec![
+            ColumnDef::new("Id", DataType::Int).not_null(),
+            ColumnDef::new("Title", DataType::Text).not_null(),
+            ColumnDef::new("Year", DataType::Int),
+            ColumnDef::new("Runtime", DataType::Int),
+            ColumnDef::new("Rating", DataType::Decimal),
+            ColumnDef::new("ReleaseDate", DataType::Date),
+        ],
+    )
+    .unwrap();
+    b.add_table(
+        "Person",
+        vec![
+            ColumnDef::new("Id", DataType::Int).not_null(),
+            ColumnDef::new("Name", DataType::Text).not_null(),
+            ColumnDef::new("BirthYear", DataType::Int),
+        ],
+    )
+    .unwrap();
+    b.add_table(
+        "Genre",
+        vec![
+            ColumnDef::new("Id", DataType::Int).not_null(),
+            ColumnDef::new("Name", DataType::Text).not_null(),
+        ],
+    )
+    .unwrap();
+    b.add_table(
+        "CastInfo",
+        vec![
+            ColumnDef::new("MovieId", DataType::Int).not_null(),
+            ColumnDef::new("PersonId", DataType::Int).not_null(),
+            ColumnDef::new("Role", DataType::Text),
+        ],
+    )
+    .unwrap();
+    b.add_table(
+        "Directs",
+        vec![
+            ColumnDef::new("MovieId", DataType::Int).not_null(),
+            ColumnDef::new("PersonId", DataType::Int).not_null(),
+        ],
+    )
+    .unwrap();
+    b.add_table(
+        "MovieGenre",
+        vec![
+            ColumnDef::new("MovieId", DataType::Int).not_null(),
+            ColumnDef::new("GenreId", DataType::Int).not_null(),
+        ],
+    )
+    .unwrap();
+    for (f_t, f_c, t_t, t_c) in [
+        ("CastInfo", "MovieId", "Movie", "Id"),
+        ("CastInfo", "PersonId", "Person", "Id"),
+        ("Directs", "MovieId", "Movie", "Id"),
+        ("Directs", "PersonId", "Person", "Id"),
+        ("MovieGenre", "MovieId", "Movie", "Id"),
+        ("MovieGenre", "GenreId", "Genre", "Id"),
+    ] {
+        b.add_foreign_key(f_t, f_c, t_t, t_c).unwrap();
+    }
+
+    for (gid, g) in vocab::GENRES.iter().enumerate() {
+        b.add_row("Genre", vec![Value::Int(gid as i64), txt(*g)])
+            .unwrap();
+    }
+
+    // People: anchor directors first (stable ids), then synthetic fill.
+    let mut person_id = 0i64;
+    let mut people: Vec<i64> = Vec::new();
+    for (_, _, _, _, director) in ANCHORS {
+        b.add_row(
+            "Person",
+            vec![
+                Value::Int(person_id),
+                txt(*director),
+                Value::Int(rng.gen_range(1890..1970)),
+            ],
+        )
+        .unwrap();
+        people.push(person_id);
+        person_id += 1;
+    }
+    let n_people = 80 * scale;
+    for _ in 0..n_people {
+        let fname = vocab::FIRST_NAMES[rng.gen_range(0..vocab::FIRST_NAMES.len())];
+        let lname = vocab::LAST_NAMES[rng.gen_range(0..vocab::LAST_NAMES.len())];
+        let birth = if rng.gen_bool(0.9) {
+            Value::Int(rng.gen_range(1920i64..2000))
+        } else {
+            Value::Null
+        };
+        b.add_row(
+            "Person",
+            vec![
+                Value::Int(person_id),
+                txt(format!("{fname} {lname}")),
+                birth,
+            ],
+        )
+        .unwrap();
+        people.push(person_id);
+        person_id += 1;
+    }
+
+    // Movies: anchors then synthetic.
+    let mut movie_id = 0i64;
+    let mut movies: Vec<i64> = Vec::new();
+    for (i, (title, year, runtime, rating, _)) in ANCHORS.iter().enumerate() {
+        b.add_row(
+            "Movie",
+            vec![
+                Value::Int(movie_id),
+                txt(*title),
+                Value::Int(*year),
+                Value::Int(*runtime),
+                Value::Decimal(*rating),
+                Value::Date(Date::new(*year as i16, 6, 1)),
+            ],
+        )
+        .unwrap();
+        b.add_row("Directs", vec![Value::Int(movie_id), Value::Int(i as i64)])
+            .unwrap();
+        movies.push(movie_id);
+        movie_id += 1;
+    }
+    let n_movies = 60 * scale;
+    for i in 0..n_movies {
+        let adj = vocab::TITLE_ADJECTIVES[rng.gen_range(0..vocab::TITLE_ADJECTIVES.len())];
+        let noun = vocab::TITLE_NOUNS[rng.gen_range(0..vocab::TITLE_NOUNS.len())];
+        let title = format!("The {adj} {noun} {}", i / 8 + 1);
+        let year = rng.gen_range(1960i64..2019);
+        let rating = if rng.gen_bool(0.85) {
+            Value::Decimal((rng.gen_range(3.0..9.5f64) * 10.0).round() / 10.0)
+        } else {
+            Value::Null
+        };
+        b.add_row(
+            "Movie",
+            vec![
+                Value::Int(movie_id),
+                txt(title),
+                Value::Int(year),
+                Value::Int(rng.gen_range(70i64..200)),
+                rating,
+                Value::Date(Date::new(
+                    year as i16,
+                    rng.gen_range(1u8..=12),
+                    rng.gen_range(1u8..=28),
+                )),
+            ],
+        )
+        .unwrap();
+        movies.push(movie_id);
+        movie_id += 1;
+    }
+
+    // Associations: casts (3–5 per movie), one director, 1–2 genres.
+    for &mid in &movies {
+        let cast_n = rng.gen_range(3..=5);
+        for _ in 0..cast_n {
+            let pid = people[rng.gen_range(0..people.len())];
+            let role = ["lead", "supporting", "cameo"][rng.gen_range(0..3)];
+            b.add_row(
+                "CastInfo",
+                vec![Value::Int(mid), Value::Int(pid), txt(role)],
+            )
+            .unwrap();
+        }
+        if mid >= ANCHORS.len() as i64 {
+            let pid = people[rng.gen_range(0..people.len())];
+            b.add_row("Directs", vec![Value::Int(mid), Value::Int(pid)])
+                .unwrap();
+        }
+        for _ in 0..rng.gen_range(1..=2) {
+            let gid = rng.gen_range(0..vocab::GENRES.len()) as i64;
+            b.add_row("MovieGenre", vec![Value::Int(mid), Value::Int(gid)])
+                .unwrap();
+        }
+    }
+
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_shape() {
+        let db = imdb(42, 1);
+        assert_eq!(db.catalog().table_count(), 6);
+        assert_eq!(db.graph().edge_count(), 6);
+        assert!(db.total_rows() > 500);
+    }
+
+    #[test]
+    fn anchor_films_and_directors_exist() {
+        let db = imdb(42, 1);
+        assert!(db.index().columns_with_cell("Seven Samurai").count() >= 1);
+        assert!(db.index().columns_with_cell("Akira Kurosawa").count() >= 1);
+    }
+
+    #[test]
+    fn determinism() {
+        let a = imdb(9, 1);
+        let b2 = imdb(9, 1);
+        assert_eq!(a.total_rows(), b2.total_rows());
+        let m = a.catalog().table_id("Movie").unwrap();
+        assert_eq!(a.table(m).row(7), b2.table(m).row(7));
+    }
+
+    #[test]
+    fn cast_references_are_valid() {
+        let db = imdb(11, 1);
+        let ci = db.catalog().table_id("CastInfo").unwrap();
+        let movie_id = db.catalog().column_ref("Movie", "Id").unwrap();
+        let person_id = db.catalog().column_ref("Person", "Id").unwrap();
+        let m_ix = db.join_index(movie_id).unwrap();
+        let p_ix = db.join_index(person_id).unwrap();
+        let t = db.table(ci);
+        for r in 0..t.row_count() as u32 {
+            assert!(m_ix.contains_key(t.value(r, 0)));
+            assert!(p_ix.contains_key(t.value(r, 1)));
+        }
+    }
+
+    #[test]
+    fn anchor_director_join_works() {
+        // Kurosawa directs Seven Samurai through the Directs table.
+        let db = imdb(42, 1);
+        let movie = db.catalog().table_id("Movie").unwrap();
+        let person = db.catalog().table_id("Person").unwrap();
+        let directs = db.catalog().table_id("Directs").unwrap();
+        let q = prism_db::PjQuery {
+            nodes: vec![movie, directs, person],
+            joins: vec![
+                prism_db::JoinCond {
+                    left_node: 1,
+                    left_col: 0,
+                    right_node: 0,
+                    right_col: 0,
+                },
+                prism_db::JoinCond {
+                    left_node: 1,
+                    left_col: 1,
+                    right_node: 2,
+                    right_col: 0,
+                },
+            ],
+            projection: vec![(0, 1), (2, 1)],
+        };
+        let rows = q.execute(&db, 100_000).unwrap();
+        assert!(rows.contains(&vec![
+            Value::text("Seven Samurai"),
+            Value::text("Akira Kurosawa")
+        ]));
+    }
+}

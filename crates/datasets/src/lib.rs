@@ -1,0 +1,32 @@
+//! # prism-datasets — the demo source databases and task synthesis
+//!
+//! The Prism demonstration runs against three source databases — **Mondial**
+//! (relational geography), **IMDB**, and **NBA** (Section 3). Real dumps are
+//! not redistributable here, so this crate generates deterministic synthetic
+//! databases with the same relational shape: the same tables, foreign-key
+//! graph, and data types, with embedded real-world seed vocabularies so the
+//! paper's walk-through works verbatim (Lake Tahoe really is a decimal-area
+//! lake in California *and* Nevada here).
+//!
+//! The crate also provides [`taskgen`], the generator of *synthesized test
+//! cases* that Section 2.4 evaluates on: it picks a ground-truth PJ query,
+//! executes it, samples result rows, and derives multiresolution constraints
+//! at a controlled resolution level (exact → disjunction → range → metadata
+//! → missing).
+
+pub mod imdb;
+pub mod mondial;
+pub mod nba;
+pub mod taskgen;
+pub mod vocab;
+
+pub use imdb::imdb;
+pub use mondial::mondial;
+pub use nba::nba;
+pub use taskgen::{MappingTask, Resolution, TaskGenConfig, TaskGenerator};
+
+/// Convenience: all three demo databases at default scale, seeded
+/// deterministically.
+pub fn all_databases(seed: u64) -> Vec<prism_db::Database> {
+    vec![mondial(seed, 1), imdb(seed, 1), nba(seed, 1)]
+}

@@ -1,0 +1,254 @@
+//! Synthetic NBA: teams, players, rosters, games, box scores.
+//!
+//! Notable schema features exercised here: **parallel join edges**
+//! (`Game.HomeTeam` and `Game.AwayTeam` both reference `Team.Id`, so a
+//! "team, game" mapping has two distinct legitimate join conditions) and
+//! `Date`/`Time` typed columns (game date and tip-off time), covering the
+//! full data-type list of the paper's metadata constraints.
+
+use crate::vocab;
+use prism_db::schema::ColumnDef;
+use prism_db::types::{DataType, Date, Time, Value};
+use prism_db::{Database, DatabaseBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn txt(s: impl Into<String>) -> Value {
+    Value::Text(s.into())
+}
+
+/// Build synthetic NBA. Scale 1 ≈ 1,000 rows.
+pub fn nba(seed: u64, scale: usize) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4e4241 /* "NBA" */);
+    let scale = scale.max(1);
+    let mut b = DatabaseBuilder::new("NBA");
+
+    b.add_table(
+        "Team",
+        vec![
+            ColumnDef::new("Id", DataType::Int).not_null(),
+            ColumnDef::new("Name", DataType::Text).not_null(),
+            ColumnDef::new("City", DataType::Text).not_null(),
+            ColumnDef::new("Arena", DataType::Text),
+            ColumnDef::new("Founded", DataType::Int),
+        ],
+    )
+    .unwrap();
+    b.add_table(
+        "Player",
+        vec![
+            ColumnDef::new("Id", DataType::Int).not_null(),
+            ColumnDef::new("Name", DataType::Text).not_null(),
+            ColumnDef::new("Height", DataType::Int),
+            ColumnDef::new("Weight", DataType::Int),
+            ColumnDef::new("College", DataType::Text),
+        ],
+    )
+    .unwrap();
+    b.add_table(
+        "Roster",
+        vec![
+            ColumnDef::new("PlayerId", DataType::Int).not_null(),
+            ColumnDef::new("TeamId", DataType::Int).not_null(),
+            ColumnDef::new("Season", DataType::Text).not_null(),
+            ColumnDef::new("Number", DataType::Int),
+        ],
+    )
+    .unwrap();
+    b.add_table(
+        "Game",
+        vec![
+            ColumnDef::new("Id", DataType::Int).not_null(),
+            ColumnDef::new("HomeTeam", DataType::Int).not_null(),
+            ColumnDef::new("AwayTeam", DataType::Int).not_null(),
+            ColumnDef::new("GameDate", DataType::Date),
+            ColumnDef::new("Tipoff", DataType::Time),
+            ColumnDef::new("HomeScore", DataType::Int),
+            ColumnDef::new("AwayScore", DataType::Int),
+        ],
+    )
+    .unwrap();
+    b.add_table(
+        "PlayerGameStats",
+        vec![
+            ColumnDef::new("GameId", DataType::Int).not_null(),
+            ColumnDef::new("PlayerId", DataType::Int).not_null(),
+            ColumnDef::new("Points", DataType::Int),
+            ColumnDef::new("Rebounds", DataType::Int),
+            ColumnDef::new("Assists", DataType::Int),
+        ],
+    )
+    .unwrap();
+    for (f_t, f_c, t_t, t_c) in [
+        ("Roster", "PlayerId", "Player", "Id"),
+        ("Roster", "TeamId", "Team", "Id"),
+        ("Game", "HomeTeam", "Team", "Id"),
+        ("Game", "AwayTeam", "Team", "Id"),
+        ("PlayerGameStats", "GameId", "Game", "Id"),
+        ("PlayerGameStats", "PlayerId", "Player", "Id"),
+    ] {
+        b.add_foreign_key(f_t, f_c, t_t, t_c).unwrap();
+    }
+
+    let n_teams = vocab::TEAMS.len();
+    for (tid, (name, city, arena)) in vocab::TEAMS.iter().enumerate() {
+        b.add_row(
+            "Team",
+            vec![
+                Value::Int(tid as i64),
+                txt(*name),
+                txt(*city),
+                txt(*arena),
+                Value::Int(rng.gen_range(1946i64..1990)),
+            ],
+        )
+        .unwrap();
+    }
+
+    // Players: 10·scale per team, rostered for the 2018-19 season.
+    let mut player_id = 0i64;
+    let mut players: Vec<i64> = Vec::new();
+    for tid in 0..n_teams {
+        for _ in 0..10 * scale {
+            let fname = vocab::FIRST_NAMES[rng.gen_range(0..vocab::FIRST_NAMES.len())];
+            let lname = vocab::LAST_NAMES[rng.gen_range(0..vocab::LAST_NAMES.len())];
+            let college = if rng.gen_bool(0.8) {
+                txt(vocab::COLLEGES[rng.gen_range(0..vocab::COLLEGES.len())])
+            } else {
+                Value::Null
+            };
+            b.add_row(
+                "Player",
+                vec![
+                    Value::Int(player_id),
+                    txt(format!("{fname} {lname}")),
+                    Value::Int(rng.gen_range(175i64..225)),
+                    Value::Int(rng.gen_range(70i64..135)),
+                    college,
+                ],
+            )
+            .unwrap();
+            b.add_row(
+                "Roster",
+                vec![
+                    Value::Int(player_id),
+                    Value::Int(tid as i64),
+                    txt("2018-19"),
+                    Value::Int(rng.gen_range(0i64..99)),
+                ],
+            )
+            .unwrap();
+            players.push(player_id);
+            player_id += 1;
+        }
+    }
+
+    // Games with box scores for 8 players per game.
+    let n_games = 60 * scale;
+    for gid in 0..n_games {
+        let home = rng.gen_range(0..n_teams) as i64;
+        let mut away = rng.gen_range(0..n_teams) as i64;
+        if away == home {
+            away = (away + 1) % n_teams as i64;
+        }
+        let date = Date::new(
+            if rng.gen_bool(0.5) { 2018 } else { 2019 },
+            rng.gen_range(1u8..=12),
+            rng.gen_range(1u8..=28),
+        );
+        let tip = Time::new(rng.gen_range(17u8..=21), [0u8, 30][rng.gen_range(0..2)], 0);
+        let home_score = rng.gen_range(85i64..135);
+        let away_score = rng.gen_range(85i64..135);
+        b.add_row(
+            "Game",
+            vec![
+                Value::Int(gid as i64),
+                Value::Int(home),
+                Value::Int(away),
+                Value::Date(date),
+                Value::Time(tip),
+                Value::Int(home_score),
+                Value::Int(away_score),
+            ],
+        )
+        .unwrap();
+        for _ in 0..8 {
+            let pid = players[rng.gen_range(0..players.len())];
+            b.add_row(
+                "PlayerGameStats",
+                vec![
+                    Value::Int(gid as i64),
+                    Value::Int(pid),
+                    Value::Int(rng.gen_range(0i64..45)),
+                    Value::Int(rng.gen_range(0i64..18)),
+                    Value::Int(rng.gen_range(0i64..15)),
+                ],
+            )
+            .unwrap();
+        }
+    }
+
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_shape_with_parallel_edges() {
+        let db = nba(42, 1);
+        assert_eq!(db.catalog().table_count(), 5);
+        assert_eq!(db.graph().edge_count(), 6);
+        // Game ↔ Team has two parallel edges (home and away).
+        let game = db.catalog().table_id("Game").unwrap();
+        let team = db.catalog().table_id("Team").unwrap();
+        let parallel = (0..db.graph().edge_count())
+            .map(|i| db.graph().edge(prism_db::EdgeId(i as u32)))
+            .filter(|e| {
+                (e.a.table == game && e.b.table == team) || (e.a.table == team && e.b.table == game)
+            })
+            .count();
+        assert_eq!(parallel, 2);
+    }
+
+    #[test]
+    fn date_and_time_columns_present() {
+        let db = nba(42, 1);
+        let d = db.catalog().column_ref("Game", "GameDate").unwrap();
+        let t = db.catalog().column_ref("Game", "Tipoff").unwrap();
+        assert_eq!(db.stats().column(d).dtype, DataType::Date);
+        assert_eq!(db.stats().column(t).dtype, DataType::Time);
+    }
+
+    #[test]
+    fn teams_are_real_and_rosters_reference_them() {
+        let db = nba(42, 1);
+        assert!(db.index().columns_with_cell("Lakers").count() >= 1);
+        let roster = db.catalog().table_id("Roster").unwrap();
+        let team_id = db.catalog().column_ref("Team", "Id").unwrap();
+        let ix = db.join_index(team_id).unwrap();
+        let t = db.table(roster);
+        for r in 0..t.row_count() as u32 {
+            assert!(ix.contains_key(t.value(r, 1)));
+        }
+    }
+
+    #[test]
+    fn games_never_pair_a_team_with_itself() {
+        let db = nba(13, 1);
+        let game = db.catalog().table_id("Game").unwrap();
+        let t = db.table(game);
+        for r in 0..t.row_count() as u32 {
+            assert_ne!(t.value(r, 1), t.value(r, 2), "game {r} is a self-match");
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let a = nba(5, 1);
+        let b2 = nba(5, 1);
+        let g = a.catalog().table_id("Game").unwrap();
+        assert_eq!(a.table(g).row(3), b2.table(g).row(3));
+    }
+}

@@ -1,0 +1,548 @@
+//! Synthesis of schema-mapping test cases at controlled resolutions.
+//!
+//! Section 2.4 evaluates Prism *"on a set of synthesized test cases created
+//! from a public relational database Mondial"*, sweeping how "loose" the
+//! user constraints are. This module reproduces that workload generator:
+//!
+//! 1. pick a ground-truth PJ query (a join tree plus projected columns),
+//! 2. execute it and sample result rows,
+//! 3. rewrite the sampled rows into constraints at the requested
+//!    [`Resolution`] — exact values, disjunctions with distractors, value
+//!    ranges, metadata-only columns, or missing cells.
+//!
+//! Every task records its ground truth, so experiments can check that
+//! discovery still finds the intended query as constraints loosen.
+
+use prism_db::graph::JoinTree;
+use prism_db::schema::{ColumnRef, TableId};
+use prism_db::types::{DataType, Value};
+use prism_db::{canonical_key, render_sql, Database, JoinCond, PjQuery};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// How much the user is assumed to know — the looseness axis of the
+/// Section 2.4 sweep. Listed from highest to lowest resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Resolution {
+    /// Complete sample rows with exact values (the sample-driven baseline
+    /// interaction of MWeaver/S4).
+    Exact,
+    /// Text cells become disjunctions of the true value and distractors
+    /// ("Lake Tahoe is in California or Nevada").
+    Disjunction,
+    /// Numeric cells additionally become value ranges ("the area is a few
+    /// hundred km²").
+    Range,
+    /// Numeric cells lose their sample values entirely; the column is
+    /// described only by metadata (data type, min/max bounds).
+    Metadata,
+    /// Some cells are simply left blank.
+    Missing,
+}
+
+impl Resolution {
+    /// All levels, in decreasing resolution — the sweep order of E1/E2.
+    pub const ALL: [Resolution; 5] = [
+        Resolution::Exact,
+        Resolution::Disjunction,
+        Resolution::Range,
+        Resolution::Metadata,
+        Resolution::Missing,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Resolution::Exact => "exact",
+            Resolution::Disjunction => "disjunction",
+            Resolution::Range => "range",
+            Resolution::Metadata => "metadata",
+            Resolution::Missing => "missing",
+        }
+    }
+}
+
+/// A synthesized schema-mapping task: the user-visible constraint grid plus
+/// the hidden ground truth.
+#[derive(Debug, Clone)]
+pub struct MappingTask {
+    /// Source database name.
+    pub database: String,
+    /// Number of target-schema columns.
+    pub column_count: usize,
+    /// Sample-constraint rows; `None` cells are unconstrained.
+    pub samples: Vec<Vec<Option<String>>>,
+    /// Per-column metadata constraints (`None` = none given).
+    pub metadata: Vec<Option<String>>,
+    /// The resolution this task was generated at.
+    pub resolution: Resolution,
+    /// The generating query.
+    pub truth: PjQuery,
+    /// Its SQL rendering (for reports).
+    pub truth_sql: String,
+    /// Its canonical identity (for matching discovered queries).
+    pub truth_key: String,
+}
+
+/// Knobs for task synthesis.
+#[derive(Debug, Clone)]
+pub struct TaskGenConfig {
+    /// Maximum tables in the ground-truth join tree.
+    pub max_tables: usize,
+    /// Target-schema column count range (inclusive).
+    pub min_columns: usize,
+    pub max_columns: usize,
+    /// Sample-constraint rows per task.
+    pub sample_rows: usize,
+    /// Cells to blank out for [`Resolution::Missing`].
+    pub missing_cells: usize,
+    /// Attempts before giving up on a database (some trees are empty).
+    pub max_attempts: usize,
+}
+
+impl Default for TaskGenConfig {
+    fn default() -> TaskGenConfig {
+        TaskGenConfig {
+            max_tables: 3,
+            min_columns: 2,
+            max_columns: 3,
+            sample_rows: 1,
+            missing_cells: 1,
+            max_attempts: 60,
+        }
+    }
+}
+
+/// Generates tasks against one database.
+pub struct TaskGenerator<'a> {
+    db: &'a Database,
+    config: TaskGenConfig,
+    /// Ground-truth candidate trees with at least 2 tables.
+    trees: Vec<JoinTree>,
+}
+
+impl<'a> TaskGenerator<'a> {
+    pub fn new(db: &'a Database, config: TaskGenConfig) -> TaskGenerator<'a> {
+        let all_tables: Vec<TableId> = db.catalog().tables().map(|(t, _)| t).collect();
+        let trees = db
+            .graph()
+            .enumerate_trees(config.max_tables, &all_tables)
+            .into_iter()
+            .filter(|t| t.table_count() >= 2)
+            .collect();
+        TaskGenerator { db, config, trees }
+    }
+
+    /// Synthesize one task at `resolution`, or `None` if no suitable
+    /// ground-truth query was found within the attempt budget.
+    pub fn generate(&self, resolution: Resolution, rng: &mut StdRng) -> Option<MappingTask> {
+        for _ in 0..self.config.max_attempts {
+            if let Some(task) = self.try_generate(resolution, rng) {
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    /// Synthesize a batch of tasks (skipping failed attempts).
+    pub fn generate_many(
+        &self,
+        resolution: Resolution,
+        count: usize,
+        rng: &mut StdRng,
+    ) -> Vec<MappingTask> {
+        (0..count)
+            .filter_map(|_| self.generate(resolution, rng))
+            .collect()
+    }
+
+    fn try_generate(&self, resolution: Resolution, rng: &mut StdRng) -> Option<MappingTask> {
+        let tree = self.trees.choose(rng)?;
+        let k = rng.gen_range(self.config.min_columns..=self.config.max_columns);
+        let projection = self.choose_projection(tree, k, resolution, rng)?;
+        let truth = build_query(tree, &projection, self.db);
+        let rows = truth.execute(self.db, 4_000).ok()?;
+        if rows.is_empty() {
+            return None;
+        }
+        // Sample rows whose cells are all non-NULL (a user cannot write a
+        // constraint for a value she cannot see).
+        let complete: Vec<&Vec<Value>> = rows
+            .iter()
+            .filter(|r| r.iter().all(|v| !v.is_null()))
+            .collect();
+        if complete.len() < self.config.sample_rows {
+            return None;
+        }
+        let mut picked: Vec<&Vec<Value>> = Vec::new();
+        let mut tries = 0;
+        while picked.len() < self.config.sample_rows && tries < 200 {
+            tries += 1;
+            let cand = complete[rng.gen_range(0..complete.len())];
+            if !picked.contains(&cand) {
+                picked.push(cand);
+            }
+        }
+        if picked.len() < self.config.sample_rows {
+            return None;
+        }
+
+        let col_types: Vec<DataType> = projection
+            .iter()
+            .map(|c| self.db.catalog().column_def(*c).dtype)
+            .collect();
+
+        let mut samples: Vec<Vec<Option<String>>> = Vec::new();
+        let mut metadata: Vec<Option<String>> = vec![None; k];
+        for row in &picked {
+            let mut cells: Vec<Option<String>> = Vec::with_capacity(k);
+            for (i, v) in row.iter().enumerate() {
+                cells.push(Some(self.constrain_cell(
+                    v,
+                    projection[i],
+                    col_types[i],
+                    resolution,
+                    rng,
+                )));
+            }
+            samples.push(cells);
+        }
+
+        match resolution {
+            Resolution::Metadata => {
+                // Numeric columns: drop value constraints, add metadata.
+                for (i, c) in projection.iter().enumerate() {
+                    if col_types[i].is_numeric() {
+                        for row in &mut samples {
+                            row[i] = None;
+                        }
+                        metadata[i] = Some(self.metadata_for(*c, col_types[i]));
+                    }
+                }
+            }
+            Resolution::Missing => {
+                // Blank out cells, keeping at least one constrained cell per
+                // sample row.
+                for row in &mut samples {
+                    let mut idx: Vec<usize> = (0..k).collect();
+                    idx.shuffle(rng);
+                    for &i in idx.iter().take(self.config.missing_cells.min(k - 1)) {
+                        row[i] = None;
+                    }
+                }
+            }
+            _ => {}
+        }
+
+        Some(MappingTask {
+            database: self.db.name().to_string(),
+            column_count: k,
+            samples,
+            metadata,
+            resolution,
+            truth_sql: render_sql(&truth, self.db),
+            truth_key: canonical_key(&truth, self.db),
+            truth,
+        })
+    }
+
+    /// Pick `k` projected columns over the tree's tables such that every
+    /// leaf table hosts at least one (minimality of the ground truth).
+    /// Metadata tasks additionally require at least one text column so the
+    /// task keeps a keyword anchor.
+    fn choose_projection(
+        &self,
+        tree: &JoinTree,
+        k: usize,
+        resolution: Resolution,
+        rng: &mut StdRng,
+    ) -> Option<Vec<ColumnRef>> {
+        let leaves = tree.leaf_tables(self.db.graph());
+        if leaves.len() > k {
+            return None;
+        }
+        let all_cols: Vec<ColumnRef> = tree
+            .tables
+            .iter()
+            .flat_map(|&t| {
+                let arity = self.db.catalog().table(t).arity() as u32;
+                (0..arity).map(move |c| ColumnRef::new(t, c))
+            })
+            .collect();
+        for _ in 0..40 {
+            let mut chosen: Vec<ColumnRef> = Vec::with_capacity(k);
+            // One column per leaf first.
+            for &leaf in &leaves {
+                let opts: Vec<&ColumnRef> = all_cols.iter().filter(|c| c.table == leaf).collect();
+                chosen.push(**opts.choose(rng)?);
+            }
+            while chosen.len() < k {
+                let c = *all_cols.choose(rng)?;
+                if !chosen.contains(&c) {
+                    chosen.push(c);
+                }
+            }
+            chosen.shuffle(rng);
+            let has_text = chosen
+                .iter()
+                .any(|c| self.db.catalog().column_def(*c).dtype == DataType::Text);
+            if resolution == Resolution::Metadata && !has_text {
+                continue;
+            }
+            // Text anchors make discovery tractable at every resolution;
+            // require one across the board (the paper's user always knows
+            // *some* keyword).
+            if has_text {
+                return Some(chosen);
+            }
+        }
+        None
+    }
+
+    /// Rewrite a sampled cell value into a constraint string at the given
+    /// resolution.
+    fn constrain_cell(
+        &self,
+        v: &Value,
+        col: ColumnRef,
+        dtype: DataType,
+        resolution: Resolution,
+        rng: &mut StdRng,
+    ) -> String {
+        let exact = || quote(v);
+        match resolution {
+            Resolution::Exact => exact(),
+            Resolution::Disjunction | Resolution::Missing => {
+                if dtype == DataType::Text {
+                    self.disjunction(v, col, rng)
+                } else {
+                    exact()
+                }
+            }
+            Resolution::Range | Resolution::Metadata => {
+                if dtype == DataType::Text {
+                    self.disjunction(v, col, rng)
+                } else if let Some(x) = v.as_number() {
+                    let spread = (x.abs() * 0.4).max(2.0);
+                    let lo = (x - spread).floor();
+                    let hi = (x + spread).ceil();
+                    format!(">= '{lo}' && <= '{hi}'")
+                } else {
+                    exact()
+                }
+            }
+        }
+    }
+
+    /// Build `'true' || 'distractor' [|| 'distractor']` from other values of
+    /// the same source column.
+    fn disjunction(&self, v: &Value, col: ColumnRef, rng: &mut StdRng) -> String {
+        let column = self.db.table(col.table).column(col.column);
+        let mut parts = vec![quote(v)];
+        let n_distractors = rng.gen_range(1..=2);
+        let mut tries = 0;
+        while parts.len() <= n_distractors && tries < 50 {
+            tries += 1;
+            let cand = &column[rng.gen_range(0..column.len())];
+            if cand.is_null() || cand == v {
+                continue;
+            }
+            let q = quote(cand);
+            if !parts.contains(&q) {
+                parts.push(q);
+            }
+        }
+        parts.join(" || ")
+    }
+
+    /// Metadata description of a numeric column: its type plus loosened
+    /// min/max bounds (the user knows the ballpark, not the exact values).
+    fn metadata_for(&self, col: ColumnRef, dtype: DataType) -> String {
+        let stats = self.db.stats().column(col);
+        let mut parts = vec![format!("DataType == '{}'", dtype.name())];
+        if let (Some(mn), Some(mx)) = (stats.min_num, stats.max_num) {
+            let lo = if mn >= 0.0 { 0.0 } else { (mn * 2.0).floor() };
+            let hi = (mx.abs().max(1.0) * 2.0).ceil();
+            parts.push(format!("MinValue >= '{lo}'"));
+            parts.push(format!("MaxValue <= '{hi}'"));
+        }
+        parts.join(" AND ")
+    }
+}
+
+/// Materialize a PJ query from a tree and projection list.
+fn build_query(tree: &JoinTree, projection: &[ColumnRef], db: &Database) -> PjQuery {
+    let nodes: Vec<TableId> = tree.tables.clone();
+    let slot_of = |t: TableId| nodes.iter().position(|&x| x == t).expect("table in tree");
+    let joins: Vec<JoinCond> = tree
+        .edges
+        .iter()
+        .map(|&e| {
+            let edge = db.graph().edge(e);
+            JoinCond {
+                left_node: slot_of(edge.a.table),
+                left_col: edge.a.column,
+                right_node: slot_of(edge.b.table),
+                right_col: edge.b.column,
+            }
+        })
+        .collect();
+    let projection = projection
+        .iter()
+        .map(|c| (slot_of(c.table), c.column))
+        .collect();
+    PjQuery {
+        nodes,
+        joins,
+        projection,
+    }
+}
+
+/// Quote a value as a constraint constant.
+fn quote(v: &Value) -> String {
+    match v {
+        Value::Text(s) => format!("'{s}'"),
+        other => format!("'{other}'"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mondial;
+    use prism_lang::{matches_value, parse_metadata_constraint, parse_value_constraint};
+    use rand::SeedableRng;
+
+    fn generator(db: &Database) -> TaskGenerator<'_> {
+        TaskGenerator::new(db, TaskGenConfig::default())
+    }
+
+    #[test]
+    fn exact_tasks_have_fully_constrained_rows() {
+        let db = mondial(42, 1);
+        let g = generator(&db);
+        let mut rng = StdRng::seed_from_u64(1);
+        let task = g.generate(Resolution::Exact, &mut rng).expect("task");
+        assert_eq!(task.samples.len(), 1);
+        assert!(task.samples[0].iter().all(|c| c.is_some()));
+        assert!(task.metadata.iter().all(|m| m.is_none()));
+        assert!(task.truth_sql.starts_with("SELECT"));
+    }
+
+    #[test]
+    fn constraints_parse_and_match_the_generating_row() {
+        let db = mondial(42, 1);
+        let g = generator(&db);
+        let mut rng = StdRng::seed_from_u64(7);
+        for resolution in Resolution::ALL {
+            let Some(task) = g.generate(resolution, &mut rng) else {
+                panic!("no task at {resolution:?}");
+            };
+            // Every non-empty cell parses; the ground-truth result must
+            // contain a row matching every parsed constraint.
+            let rows = task.truth.execute(&db, 4_000).unwrap();
+            for sample in &task.samples {
+                let parsed: Vec<Option<prism_lang::ValueConstraint>> = sample
+                    .iter()
+                    .map(|c| c.as_ref().map(|s| parse_value_constraint(s).unwrap()))
+                    .collect();
+                let witness = rows.iter().any(|row| {
+                    row.iter().zip(&parsed).all(|(v, c)| match c {
+                        Some(c) => matches_value(c, v),
+                        None => true,
+                    })
+                });
+                assert!(
+                    witness,
+                    "{resolution:?}: no result row satisfies {sample:?} for {}",
+                    task.truth_sql
+                );
+            }
+            for m in task.metadata.iter().flatten() {
+                parse_metadata_constraint(m).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn metadata_tasks_replace_numeric_cells() {
+        let db = mondial(42, 1);
+        let g = generator(&db);
+        let mut rng = StdRng::seed_from_u64(11);
+        // Find a metadata task that projects a numeric column.
+        for _ in 0..30 {
+            let task = g.generate(Resolution::Metadata, &mut rng).expect("task");
+            let numeric_cols: Vec<usize> = (0..task.column_count)
+                .filter(|&i| task.metadata[i].is_some())
+                .collect();
+            if numeric_cols.is_empty() {
+                continue; // all-text projection: nothing to replace
+            }
+            for &i in &numeric_cols {
+                assert!(task.samples.iter().all(|r| r[i].is_none()));
+                let m = task.metadata[i].as_ref().unwrap();
+                assert!(m.contains("DataType"), "metadata {m}");
+            }
+            return;
+        }
+        panic!("no metadata task with numeric columns in 30 draws");
+    }
+
+    #[test]
+    fn missing_tasks_blank_cells_but_keep_an_anchor() {
+        let db = mondial(42, 1);
+        let g = TaskGenerator::new(
+            &db,
+            TaskGenConfig {
+                missing_cells: 1,
+                ..TaskGenConfig::default()
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(3);
+        let task = g.generate(Resolution::Missing, &mut rng).expect("task");
+        for row in &task.samples {
+            let blanks = row.iter().filter(|c| c.is_none()).count();
+            assert!(blanks >= 1, "missing task must blank at least one cell");
+            assert!(
+                row.iter().any(|c| c.is_some()),
+                "at least one constrained cell must remain"
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_given_seed() {
+        let db = mondial(42, 1);
+        let g = generator(&db);
+        let t1 = g
+            .generate(Resolution::Exact, &mut StdRng::seed_from_u64(5))
+            .unwrap();
+        let t2 = g
+            .generate(Resolution::Exact, &mut StdRng::seed_from_u64(5))
+            .unwrap();
+        assert_eq!(t1.truth_key, t2.truth_key);
+        assert_eq!(t1.samples, t2.samples);
+    }
+
+    #[test]
+    fn generate_many_yields_varied_ground_truths() {
+        let db = mondial(42, 1);
+        let g = generator(&db);
+        let mut rng = StdRng::seed_from_u64(9);
+        let tasks = g.generate_many(Resolution::Exact, 12, &mut rng);
+        assert!(tasks.len() >= 10, "got {}", tasks.len());
+        let distinct: std::collections::HashSet<&str> =
+            tasks.iter().map(|t| t.truth_key.as_str()).collect();
+        assert!(distinct.len() >= 4, "tasks should vary: {}", distinct.len());
+    }
+
+    #[test]
+    fn ground_truth_trees_span_multiple_tables() {
+        let db = mondial(42, 1);
+        let g = generator(&db);
+        let mut rng = StdRng::seed_from_u64(2);
+        let task = g.generate(Resolution::Exact, &mut rng).unwrap();
+        assert!(task.truth.nodes.len() >= 2);
+        assert_eq!(task.truth.joins.len(), task.truth.nodes.len() - 1);
+    }
+}

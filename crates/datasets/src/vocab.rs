@@ -1,0 +1,439 @@
+//! Embedded seed vocabularies.
+//!
+//! Real names anchor the synthetic databases so the paper's demo constraints
+//! (`Lake Tahoe`, `California || Nevada`, …) hit real rows; synthetic fill
+//! rows are derived from these lists deterministically.
+
+/// US states — the provinces of country `USA` in synthetic Mondial.
+pub const US_STATES: &[&str] = &[
+    "Alabama",
+    "Alaska",
+    "Arizona",
+    "Arkansas",
+    "California",
+    "Colorado",
+    "Connecticut",
+    "Delaware",
+    "Florida",
+    "Georgia",
+    "Hawaii",
+    "Idaho",
+    "Illinois",
+    "Indiana",
+    "Iowa",
+    "Kansas",
+    "Kentucky",
+    "Louisiana",
+    "Maine",
+    "Maryland",
+    "Massachusetts",
+    "Michigan",
+    "Minnesota",
+    "Mississippi",
+    "Missouri",
+    "Montana",
+    "Nebraska",
+    "Nevada",
+    "New Hampshire",
+    "New Jersey",
+    "New Mexico",
+    "New York",
+    "North Carolina",
+    "North Dakota",
+    "Ohio",
+    "Oklahoma",
+    "Oregon",
+    "Pennsylvania",
+    "Rhode Island",
+    "South Carolina",
+    "South Dakota",
+    "Tennessee",
+    "Texas",
+    "Utah",
+    "Vermont",
+    "Virginia",
+    "Washington",
+    "West Virginia",
+    "Wisconsin",
+    "Wyoming",
+];
+
+/// Canadian provinces.
+pub const CA_PROVINCES: &[&str] = &[
+    "Ontario",
+    "Quebec",
+    "British Columbia",
+    "Alberta",
+    "Manitoba",
+    "Saskatchewan",
+    "Nova Scotia",
+    "New Brunswick",
+];
+
+/// German Länder.
+pub const DE_STATES: &[&str] = &[
+    "Bavaria",
+    "Baden-Wurttemberg",
+    "North Rhine-Westphalia",
+    "Hesse",
+    "Saxony",
+    "Berlin",
+    "Hamburg",
+    "Brandenburg",
+];
+
+/// Countries: (name, code, capital, continent).
+pub const COUNTRIES: &[(&str, &str, &str, &str)] = &[
+    ("United States", "USA", "Washington", "America"),
+    ("Canada", "CDN", "Ottawa", "America"),
+    ("Mexico", "MEX", "Mexico City", "America"),
+    ("Germany", "D", "Berlin", "Europe"),
+    ("France", "F", "Paris", "Europe"),
+    ("Italy", "I", "Rome", "Europe"),
+    ("Spain", "E", "Madrid", "Europe"),
+    ("Japan", "J", "Tokyo", "Asia"),
+    ("China", "TJ", "Beijing", "Asia"),
+    ("India", "IND", "New Delhi", "Asia"),
+    ("Brazil", "BR", "Brasilia", "America"),
+    ("Egypt", "ET", "Cairo", "Africa"),
+    ("Kenya", "EAK", "Nairobi", "Africa"),
+    ("Australia", "AUS", "Canberra", "Australia/Oceania"),
+];
+
+pub const CONTINENTS: &[(&str, f64)] = &[
+    ("America", 39_872_000.0),
+    ("Europe", 9_938_000.0),
+    ("Asia", 44_579_000.0),
+    ("Africa", 30_370_000.0),
+    ("Australia/Oceania", 8_526_000.0),
+];
+
+/// Real lakes: (name, area km², depth m, state/province, country code).
+/// The first three rows are the paper's Table 1 verbatim — including
+/// `Fort Peck Lake / Florida`, which reproduces the paper's own table —
+/// and Lake Tahoe additionally belongs to Nevada, which the walk-through's
+/// `California || Nevada` constraint depends on.
+pub const LAKES: &[(&str, f64, f64, &str, &str)] = &[
+    ("Lake Tahoe", 497.0, 501.0, "California", "USA"),
+    ("Crater Lake", 53.2, 594.0, "Oregon", "USA"),
+    ("Fort Peck Lake", 981.0, 67.0, "Florida", "USA"),
+    ("Lake Michigan", 58_016.0, 281.0, "Michigan", "USA"),
+    ("Lake Superior", 82_103.0, 406.0, "Minnesota", "USA"),
+    ("Lake Huron", 59_590.0, 229.0, "Michigan", "USA"),
+    ("Lake Erie", 25_744.0, 64.0, "Ohio", "USA"),
+    ("Lake Ontario", 19_011.0, 244.0, "New York", "USA"),
+    ("Great Salt Lake", 4_400.0, 10.0, "Utah", "USA"),
+    ("Lake Okeechobee", 1_900.0, 3.7, "Florida", "USA"),
+    ("Lake Champlain", 1_269.0, 122.0, "Vermont", "USA"),
+    ("Lake of the Woods", 4_350.0, 64.0, "Minnesota", "USA"),
+    ("Great Bear Lake", 31_153.0, 446.0, "Ontario", "CDN"),
+    ("Great Slave Lake", 27_200.0, 614.0, "Alberta", "CDN"),
+    ("Lake Winnipeg", 24_514.0, 36.0, "Manitoba", "CDN"),
+    ("Lake Constance", 536.0, 251.0, "Bavaria", "D"),
+    ("Chiemsee", 79.9, 72.7, "Bavaria", "D"),
+    ("Lake Geneva", 580.0, 310.0, "Hesse", "F"),
+    ("Lake Garda", 370.0, 346.0, "Saxony", "I"),
+    ("Lake Biwa", 670.0, 104.0, "Hamburg", "J"),
+    ("Lake Victoria", 68_870.0, 84.0, "Berlin", "EAK"),
+    ("Lake Nasser", 5_250.0, 130.0, "Brandenburg", "ET"),
+];
+
+/// Real rivers: (name, length km, country code).
+pub const RIVERS: &[(&str, f64, &str)] = &[
+    ("Mississippi", 3_766.0, "USA"),
+    ("Missouri", 3_767.0, "USA"),
+    ("Colorado", 2_333.0, "USA"),
+    ("Columbia", 2_000.0, "USA"),
+    ("Rio Grande", 3_051.0, "USA"),
+    ("Yukon", 3_190.0, "CDN"),
+    ("Rhine", 1_233.0, "D"),
+    ("Danube", 2_850.0, "D"),
+    ("Seine", 775.0, "F"),
+    ("Loire", 1_006.0, "F"),
+    ("Po", 652.0, "I"),
+    ("Ebro", 930.0, "E"),
+    ("Yangtze", 6_300.0, "TJ"),
+    ("Ganges", 2_525.0, "IND"),
+    ("Nile", 6_650.0, "ET"),
+    ("Amazon", 6_400.0, "BR"),
+];
+
+/// Real seas: (name, max depth m).
+pub const SEAS: &[(&str, f64)] = &[
+    ("Atlantic Ocean", 9_219.0),
+    ("Pacific Ocean", 11_034.0),
+    ("Mediterranean Sea", 5_121.0),
+    ("Caribbean Sea", 7_240.0),
+    ("North Sea", 725.0),
+    ("Baltic Sea", 459.0),
+    ("Sea of Japan", 3_742.0),
+    ("Arabian Sea", 4_652.0),
+];
+
+/// Real mountains: (name, height m, country code).
+pub const MOUNTAINS: &[(&str, f64, &str)] = &[
+    ("Denali", 6_190.0, "USA"),
+    ("Mount Whitney", 4_421.0, "USA"),
+    ("Mount Rainier", 4_392.0, "USA"),
+    ("Mount Logan", 5_959.0, "CDN"),
+    ("Zugspitze", 2_962.0, "D"),
+    ("Mont Blanc", 4_808.0, "F"),
+    ("Monte Rosa", 4_634.0, "I"),
+    ("Mulhacen", 3_479.0, "E"),
+    ("Mount Fuji", 3_776.0, "J"),
+    ("Everest", 8_849.0, "TJ"),
+    ("Kangchenjunga", 8_586.0, "IND"),
+    ("Kilimanjaro", 5_895.0, "EAK"),
+];
+
+/// City base names beyond capitals.
+pub const CITIES: &[&str] = &[
+    "Springfield",
+    "Riverton",
+    "Georgetown",
+    "Franklin",
+    "Clinton",
+    "Fairview",
+    "Salem",
+    "Madison",
+    "Arlington",
+    "Ashland",
+    "Dover",
+    "Oxford",
+    "Jackson",
+    "Milton",
+    "Newport",
+    "Centerville",
+    "Lebanon",
+    "Kingston",
+    "Burlington",
+    "Manchester",
+    "Clayton",
+    "Dayton",
+    "Lexington",
+    "Milford",
+    "Riverside",
+    "Cleveland",
+    "Hudson",
+    "Auburn",
+    "Bristol",
+    "Florence",
+];
+
+/// Person first names (movie people, players).
+pub const FIRST_NAMES: &[&str] = &[
+    "James",
+    "Mary",
+    "Robert",
+    "Patricia",
+    "John",
+    "Jennifer",
+    "Michael",
+    "Linda",
+    "David",
+    "Elizabeth",
+    "William",
+    "Barbara",
+    "Richard",
+    "Susan",
+    "Joseph",
+    "Jessica",
+    "Thomas",
+    "Sarah",
+    "Charles",
+    "Karen",
+    "Akira",
+    "Sofia",
+    "Marcus",
+    "Elena",
+    "Hiroshi",
+    "Ingrid",
+    "Rajesh",
+    "Fatima",
+];
+
+/// Person last names.
+pub const LAST_NAMES: &[&str] = &[
+    "Smith",
+    "Johnson",
+    "Williams",
+    "Brown",
+    "Jones",
+    "Garcia",
+    "Miller",
+    "Davis",
+    "Rodriguez",
+    "Martinez",
+    "Hernandez",
+    "Lopez",
+    "Gonzalez",
+    "Wilson",
+    "Anderson",
+    "Thomas",
+    "Taylor",
+    "Moore",
+    "Kurosawa",
+    "Bergman",
+    "Kapoor",
+    "Chen",
+    "Nakamura",
+    "Schmidt",
+    "Dubois",
+    "Rossi",
+];
+
+/// Movie title fragments (adjective, noun).
+pub const TITLE_ADJECTIVES: &[&str] = &[
+    "Silent",
+    "Crimson",
+    "Endless",
+    "Broken",
+    "Golden",
+    "Midnight",
+    "Forgotten",
+    "Electric",
+    "Savage",
+    "Hidden",
+    "Burning",
+    "Frozen",
+    "Distant",
+    "Hollow",
+    "Radiant",
+    "Shattered",
+];
+
+pub const TITLE_NOUNS: &[&str] = &[
+    "Horizon",
+    "Empire",
+    "Garden",
+    "Mirror",
+    "Station",
+    "Harvest",
+    "Voyage",
+    "Kingdom",
+    "Shadow",
+    "Symphony",
+    "Frontier",
+    "Labyrinth",
+    "Covenant",
+    "Paradox",
+    "Monsoon",
+    "Eclipse",
+];
+
+pub const GENRES: &[&str] = &[
+    "Drama",
+    "Comedy",
+    "Action",
+    "Thriller",
+    "Documentary",
+    "Romance",
+    "Science Fiction",
+    "Horror",
+    "Animation",
+    "Western",
+];
+
+/// NBA-style teams: (team name, city, arena).
+pub const TEAMS: &[(&str, &str, &str)] = &[
+    ("Lakers", "Los Angeles", "Crypto Arena"),
+    ("Celtics", "Boston", "TD Garden"),
+    ("Warriors", "San Francisco", "Chase Center"),
+    ("Bulls", "Chicago", "United Center"),
+    ("Knicks", "New York", "Madison Square Garden"),
+    ("Heat", "Miami", "Kaseya Center"),
+    ("Spurs", "San Antonio", "Frost Bank Center"),
+    ("Suns", "Phoenix", "Footprint Center"),
+    ("Bucks", "Milwaukee", "Fiserv Forum"),
+    ("Nuggets", "Denver", "Ball Arena"),
+    ("Mavericks", "Dallas", "American Airlines Center"),
+    ("Raptors", "Toronto", "Scotiabank Arena"),
+];
+
+/// Colleges for player bios.
+pub const COLLEGES: &[&str] = &[
+    "UCLA",
+    "Duke",
+    "Kentucky",
+    "Kansas",
+    "North Carolina",
+    "Michigan State",
+    "Gonzaga",
+    "Villanova",
+    "Arizona",
+    "Connecticut",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn papers_table1_rows_are_present() {
+        let tahoe = LAKES.iter().find(|l| l.0 == "Lake Tahoe").unwrap();
+        assert_eq!(tahoe.1, 497.0);
+        assert_eq!(tahoe.3, "California");
+        let crater = LAKES.iter().find(|l| l.0 == "Crater Lake").unwrap();
+        assert_eq!(crater.1, 53.2);
+        assert_eq!(crater.3, "Oregon");
+        let fort_peck = LAKES.iter().find(|l| l.0 == "Fort Peck Lake").unwrap();
+        assert_eq!(fort_peck.1, 981.0);
+        assert_eq!(fort_peck.3, "Florida");
+    }
+
+    #[test]
+    fn states_include_the_demo_disjunction() {
+        assert!(US_STATES.contains(&"California"));
+        assert!(US_STATES.contains(&"Nevada"));
+    }
+
+    #[test]
+    fn lake_states_exist_in_province_lists() {
+        let all: HashSet<&str> = US_STATES
+            .iter()
+            .chain(CA_PROVINCES)
+            .chain(DE_STATES)
+            .copied()
+            .collect();
+        for (name, _, _, state, _) in LAKES {
+            assert!(
+                all.contains(state),
+                "lake {name} references unknown state {state}"
+            );
+        }
+    }
+
+    #[test]
+    fn country_codes_are_unique() {
+        let codes: HashSet<&str> = COUNTRIES.iter().map(|c| c.1).collect();
+        assert_eq!(codes.len(), COUNTRIES.len());
+    }
+
+    #[test]
+    fn geo_features_reference_known_country_codes() {
+        let codes: HashSet<&str> = COUNTRIES.iter().map(|c| c.1).collect();
+        for (n, _, c) in RIVERS {
+            assert!(
+                codes.contains(c),
+                "river {n} references unknown country {c}"
+            );
+        }
+        for (n, _, c) in MOUNTAINS {
+            assert!(
+                codes.contains(c),
+                "mountain {n} references unknown country {c}"
+            );
+        }
+        for (n, _, _, _, c) in LAKES {
+            assert!(codes.contains(c), "lake {n} references unknown country {c}");
+        }
+        let continents: HashSet<&str> = CONTINENTS.iter().map(|c| c.0).collect();
+        for (n, _, _, cont) in COUNTRIES {
+            assert!(
+                continents.contains(cont),
+                "country {n} on unknown continent {cont}"
+            );
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests of the synthesized-task generator: whatever the
+//! seed and resolution, tasks must be well-formed, parseable, and anchored
+//! by their own ground truth.
+
+use prism_datasets::{imdb, mondial, nba, Resolution, TaskGenConfig, TaskGenerator};
+use prism_lang::{matches_value, parse_metadata_constraint, parse_value_constraint};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+
+fn dbs() -> &'static [prism_db::Database; 3] {
+    static DBS: OnceLock<[prism_db::Database; 3]> = OnceLock::new();
+    DBS.get_or_init(|| [mondial(42, 1), imdb(42, 1), nba(42, 1)])
+}
+
+fn arb_resolution() -> impl Strategy<Value = Resolution> {
+    prop_oneof![
+        Just(Resolution::Exact),
+        Just(Resolution::Disjunction),
+        Just(Resolution::Range),
+        Just(Resolution::Metadata),
+        Just(Resolution::Missing),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn tasks_are_well_formed_for_any_seed(
+        seed in 0u64..10_000,
+        db_idx in 0usize..3,
+        resolution in arb_resolution(),
+    ) {
+        let db = &dbs()[db_idx];
+        let generator = TaskGenerator::new(db, TaskGenConfig::default());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let Some(task) = generator.generate(resolution, &mut rng) else {
+            // Some (seed, resolution) combinations legitimately fail within
+            // the attempt budget; that is not an error.
+            return Ok(());
+        };
+        // Grid shape.
+        prop_assert_eq!(task.metadata.len(), task.column_count);
+        for row in &task.samples {
+            prop_assert_eq!(row.len(), task.column_count);
+            prop_assert!(row.iter().any(Option::is_some),
+                "every sample row keeps at least one constraint");
+        }
+        // Everything parses.
+        for cell in task.samples.iter().flatten().flatten() {
+            parse_value_constraint(cell)
+                .unwrap_or_else(|e| panic!("cell `{cell}` failed: {e}"));
+        }
+        for m in task.metadata.iter().flatten() {
+            parse_metadata_constraint(m)
+                .unwrap_or_else(|e| panic!("metadata `{m}` failed: {e}"));
+        }
+        // Ground truth is executable and non-empty.
+        let rows = task.truth.execute(db, 4_000).unwrap();
+        prop_assert!(!rows.is_empty());
+        // The ground truth satisfies every sample row it generated.
+        for sample in &task.samples {
+            let parsed: Vec<_> = sample
+                .iter()
+                .map(|c| c.as_ref().map(|s| parse_value_constraint(s).unwrap()))
+                .collect();
+            let witness = rows.iter().any(|row| {
+                row.iter().zip(&parsed).all(|(v, c)| {
+                    c.as_ref().map(|c| matches_value(c, v)).unwrap_or(true)
+                })
+            });
+            prop_assert!(witness, "ground truth lost its own sample: {}", task.truth_sql);
+        }
+        // Canonical key is stable.
+        prop_assert_eq!(
+            &task.truth_key,
+            &prism_db::canonical_key(&task.truth, db)
+        );
+    }
+
+    #[test]
+    fn sample_row_count_is_respected(
+        seed in 0u64..2_000,
+        rows in 1usize..3,
+    ) {
+        let db = &dbs()[0];
+        let generator = TaskGenerator::new(
+            db,
+            TaskGenConfig {
+                sample_rows: rows,
+                ..TaskGenConfig::default()
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        if let Some(task) = generator.generate(Resolution::Exact, &mut rng) {
+            prop_assert_eq!(task.samples.len(), rows);
+            // Distinct sample rows.
+            if rows == 2 {
+                prop_assert_ne!(&task.samples[0], &task.samples[1]);
+            }
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! CSV ingestion with type inference.
+//!
+//! The demo ships synthetic databases, but a downstream user's first move is
+//! loading their own data. This module parses RFC-4180-style CSV (quoted
+//! fields, embedded commas/newlines, doubled-quote escapes), infers column
+//! types in the order `int → decimal → date → time → text`, and feeds
+//! [`crate::DatabaseBuilder`]. Empty fields become NULL.
+
+use crate::database::DatabaseBuilder;
+use crate::error::DbError;
+use crate::schema::{ColumnDef, TableId};
+use crate::types::{DataType, Date, Time, Value};
+
+/// Parse CSV text into rows of string fields. The first row is typically a
+/// header, but this function does not interpret it.
+pub fn parse_csv(text: &str) -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut chars = text.chars().peekable();
+    let mut saw_any = false;
+    while let Some(c) = chars.next() {
+        saw_any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"'); // doubled quote escape
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                other => field.push(other),
+            }
+            continue;
+        }
+        match c {
+            '"' => in_quotes = true,
+            ',' => {
+                row.push(std::mem::take(&mut field));
+                saw_any = true;
+            }
+            '\r' => {} // swallow; \n terminates the row
+            '\n' => {
+                row.push(std::mem::take(&mut field));
+                rows.push(std::mem::take(&mut row));
+            }
+            other => field.push(other),
+        }
+    }
+    if saw_any && (!field.is_empty() || !row.is_empty()) {
+        row.push(field);
+        rows.push(row);
+    }
+    rows
+}
+
+/// Infer the narrowest type that fits every non-empty field of a column.
+/// Empty columns default to text.
+pub fn infer_type(fields: &[&str]) -> DataType {
+    let non_empty: Vec<&str> = fields
+        .iter()
+        .map(|s| s.trim())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if non_empty.is_empty() {
+        return DataType::Text;
+    }
+    if non_empty.iter().all(|s| s.parse::<i64>().is_ok()) {
+        return DataType::Int;
+    }
+    if non_empty
+        .iter()
+        .all(|s| s.parse::<f64>().map(|x| x.is_finite()).unwrap_or(false))
+    {
+        return DataType::Decimal;
+    }
+    if non_empty.iter().all(|s| Date::parse(s).is_some()) {
+        return DataType::Date;
+    }
+    if non_empty.iter().all(|s| Time::parse(s).is_some()) {
+        return DataType::Time;
+    }
+    DataType::Text
+}
+
+/// Convert one CSV field to a typed value; empty → NULL.
+fn field_to_value(field: &str, dtype: DataType) -> Result<Value, DbError> {
+    let s = field.trim();
+    if s.is_empty() {
+        return Ok(Value::Null);
+    }
+    Ok(match dtype {
+        DataType::Int => Value::Int(s.parse::<i64>().map_err(|_| DbError::TypeMismatch {
+            table: String::new(),
+            column: String::new(),
+            expected: dtype,
+            got: "text",
+        })?),
+        DataType::Decimal => {
+            Value::decimal(s.parse::<f64>().map_err(|_| DbError::TypeMismatch {
+                table: String::new(),
+                column: String::new(),
+                expected: dtype,
+                got: "text",
+            })?)?
+        }
+        DataType::Date => Value::Date(Date::parse(s).ok_or(DbError::TypeMismatch {
+            table: String::new(),
+            column: String::new(),
+            expected: dtype,
+            got: "text",
+        })?),
+        DataType::Time => Value::Time(Time::parse(s).ok_or(DbError::TypeMismatch {
+            table: String::new(),
+            column: String::new(),
+            expected: dtype,
+            got: "text",
+        })?),
+        DataType::Text => Value::Text(s.to_string()),
+    })
+}
+
+impl DatabaseBuilder {
+    /// Declare a table from CSV text whose first row is the header, with
+    /// inferred column types, and insert all data rows.
+    pub fn add_table_from_csv(
+        &mut self,
+        name: impl Into<String>,
+        csv_text: &str,
+    ) -> Result<TableId, DbError> {
+        let name = name.into();
+        let rows = parse_csv(csv_text);
+        let Some((header, data)) = rows.split_first() else {
+            return Err(DbError::InvalidQuery(format!(
+                "CSV for table `{name}` has no header row"
+            )));
+        };
+        let arity = header.len();
+        for (i, row) in data.iter().enumerate() {
+            if row.len() != arity {
+                return Err(DbError::ArityMismatch {
+                    table: format!("{name} (csv row {})", i + 2),
+                    expected: arity,
+                    got: row.len(),
+                });
+            }
+        }
+        let columns: Vec<ColumnDef> = (0..arity)
+            .map(|c| {
+                let fields: Vec<&str> = data.iter().map(|r| r[c].as_str()).collect();
+                ColumnDef::new(header[c].trim(), infer_type(&fields))
+            })
+            .collect();
+        let dtypes: Vec<DataType> = columns.iter().map(|c| c.dtype).collect();
+        let tid = self.add_table(name.clone(), columns)?;
+        for row in data {
+            let values: Result<Vec<Value>, DbError> = row
+                .iter()
+                .zip(&dtypes)
+                .map(|(f, t)| field_to_value(f, *t))
+                .collect();
+            self.add_row(&name, values?)?;
+        }
+        Ok(tid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LAKES_CSV: &str = "\
+Name,Area,Discovered
+Lake Tahoe,497,1844-02-14
+Crater Lake,53.2,1853-06-12
+Fort Peck Lake,981,
+\"Lake of the Woods\",4350,1688-01-01
+";
+
+    #[test]
+    fn parses_simple_rows() {
+        let rows = parse_csv("a,b\n1,2\n3,4\n");
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0], vec!["a", "b"]);
+        assert_eq!(rows[2], vec!["3", "4"]);
+    }
+
+    #[test]
+    fn parses_quotes_commas_and_embedded_newlines() {
+        let rows =
+            parse_csv("name,note\n\"Tahoe, Lake\",\"line1\nline2\"\n\"He said \"\"hi\"\"\",x\n");
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[1][0], "Tahoe, Lake");
+        assert_eq!(rows[1][1], "line1\nline2");
+        assert_eq!(rows[2][0], "He said \"hi\"");
+    }
+
+    #[test]
+    fn handles_missing_trailing_newline_and_crlf() {
+        let rows = parse_csv("a,b\r\n1,2");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1], vec!["1", "2"]);
+        assert!(parse_csv("").is_empty());
+    }
+
+    #[test]
+    fn type_inference_order() {
+        assert_eq!(infer_type(&["1", "2", "3"]), DataType::Int);
+        assert_eq!(infer_type(&["1", "2.5"]), DataType::Decimal);
+        assert_eq!(infer_type(&["2001-01-01", "1999-12-31"]), DataType::Date);
+        assert_eq!(infer_type(&["09:30", "10:00:01"]), DataType::Time);
+        assert_eq!(infer_type(&["1", "x"]), DataType::Text);
+        assert_eq!(infer_type(&["", ""]), DataType::Text);
+        // Empty fields don't break inference.
+        assert_eq!(infer_type(&["1", "", "3"]), DataType::Int);
+    }
+
+    #[test]
+    fn builds_a_table_with_inferred_schema_and_nulls() {
+        let mut b = DatabaseBuilder::new("csv");
+        let tid = b.add_table_from_csv("Lake", LAKES_CSV).unwrap();
+        let db = b.build();
+        let schema = db.catalog().table(tid);
+        assert_eq!(schema.columns[0].dtype, DataType::Text);
+        assert_eq!(schema.columns[1].dtype, DataType::Decimal);
+        assert_eq!(schema.columns[2].dtype, DataType::Date);
+        assert_eq!(db.row_count(tid), 4);
+        // Empty Discovered field became NULL.
+        let discovered = db.catalog().column_ref("Lake", "Discovered").unwrap();
+        assert_eq!(db.value(discovered, 2), &Value::Null);
+        // Quoted name kept intact; index finds it.
+        assert_eq!(db.index().columns_with_cell("Lake of the Woods").count(), 1);
+    }
+
+    #[test]
+    fn csv_tables_join_with_builder_tables() {
+        let mut b = DatabaseBuilder::new("csv");
+        b.add_table_from_csv("Lake", LAKES_CSV).unwrap();
+        b.add_table_from_csv(
+            "geo_lake",
+            "Lake,State\nLake Tahoe,California\nLake Tahoe,Nevada\nCrater Lake,Oregon\n",
+        )
+        .unwrap();
+        b.add_foreign_key("geo_lake", "Lake", "Lake", "Name")
+            .unwrap();
+        let db = b.build();
+        assert_eq!(db.graph().edge_count(), 1);
+        let q = crate::exec::PjQuery {
+            nodes: vec![
+                db.catalog().table_id("Lake").unwrap(),
+                db.catalog().table_id("geo_lake").unwrap(),
+            ],
+            joins: vec![crate::exec::JoinCond {
+                left_node: 1,
+                left_col: 0,
+                right_node: 0,
+                right_col: 0,
+            }],
+            projection: vec![(1, 1), (0, 0)],
+        };
+        assert_eq!(q.execute(&db, 100).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn ragged_rows_are_rejected_with_row_number() {
+        let mut b = DatabaseBuilder::new("csv");
+        let err = b.add_table_from_csv("T", "a,b\n1\n").unwrap_err();
+        match err {
+            DbError::ArityMismatch { table, .. } => assert!(table.contains("row 2")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn headerless_csv_is_rejected() {
+        let mut b = DatabaseBuilder::new("csv");
+        assert!(b.add_table_from_csv("T", "").is_err());
+    }
+}

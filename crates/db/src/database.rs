@@ -1,0 +1,324 @@
+//! The immutable, preprocessed database.
+//!
+//! A [`Database`] is assembled once through [`DatabaseBuilder`] and then
+//! frozen. `build()` performs the preprocessing the paper assumes happens "a
+//! priori": it populates the inverted index, collects per-column statistics,
+//! derives the schema graph from the declared foreign keys, and materializes
+//! hash join indexes for every column that participates in a join edge.
+
+use crate::error::DbError;
+use crate::graph::{JoinEdge, SchemaGraph};
+use crate::index::InvertedIndex;
+use crate::schema::{Catalog, ColumnDef, ColumnRef, ForeignKey, TableId, TableSchema};
+use crate::stats::{ColumnStats, StatsStore};
+use crate::table::Table;
+use crate::types::{DataType, Value};
+use std::collections::HashMap;
+
+impl ColumnDef {
+    /// A nullable column (the common case in Mondial-style data).
+    pub fn new(name: impl Into<String>, dtype: DataType) -> ColumnDef {
+        ColumnDef {
+            name: name.into(),
+            dtype,
+            nullable: true,
+        }
+    }
+
+    /// Mark this column NOT NULL.
+    pub fn not_null(mut self) -> ColumnDef {
+        self.nullable = false;
+        self
+    }
+}
+
+/// Incrementally assembles a [`Database`].
+#[derive(Debug, Default)]
+pub struct DatabaseBuilder {
+    name: String,
+    catalog: Catalog,
+    tables: Vec<Table>,
+}
+
+impl DatabaseBuilder {
+    pub fn new(name: impl Into<String>) -> DatabaseBuilder {
+        DatabaseBuilder {
+            name: name.into(),
+            catalog: Catalog::new(),
+            tables: Vec::new(),
+        }
+    }
+
+    /// Declare a table.
+    pub fn add_table(
+        &mut self,
+        name: impl Into<String>,
+        columns: Vec<ColumnDef>,
+    ) -> Result<TableId, DbError> {
+        let schema = TableSchema {
+            name: name.into(),
+            columns,
+        };
+        let id = self.catalog.add_table(schema)?;
+        self.tables.push(Table::new(self.catalog.table(id)));
+        Ok(id)
+    }
+
+    /// Insert one row into a declared table.
+    pub fn add_row(&mut self, table: &str, row: Vec<Value>) -> Result<(), DbError> {
+        let tid = self
+            .catalog
+            .table_id(table)
+            .ok_or_else(|| DbError::UnknownTable(table.to_string()))?;
+        let schema = self.catalog.table(tid);
+        self.tables[tid.index()].push_row(schema, row)
+    }
+
+    /// Insert many rows into a declared table.
+    pub fn add_rows(&mut self, table: &str, rows: Vec<Vec<Value>>) -> Result<(), DbError> {
+        for row in rows {
+            self.add_row(table, row)?;
+        }
+        Ok(())
+    }
+
+    /// Declare a joinable column pair: `from_table.from_col` references
+    /// `to_table.to_col`. This becomes an edge of the schema graph.
+    pub fn add_foreign_key(
+        &mut self,
+        from_table: &str,
+        from_col: &str,
+        to_table: &str,
+        to_col: &str,
+    ) -> Result<(), DbError> {
+        let from = self.catalog.column_ref(from_table, from_col)?;
+        let to = self.catalog.column_ref(to_table, to_col)?;
+        self.catalog.add_foreign_key(ForeignKey { from, to })
+    }
+
+    /// Freeze the database and run all preprocessing.
+    pub fn build(self) -> Database {
+        let DatabaseBuilder {
+            name,
+            catalog,
+            tables,
+        } = self;
+
+        // Inverted index over every cell.
+        let mut index = InvertedIndex::new();
+        for (tid, _) in catalog.tables() {
+            let table = &tables[tid.index()];
+            let arity = catalog.table(tid).arity() as u32;
+            for c in 0..arity {
+                let col = ColumnRef::new(tid, c);
+                for (r, v) in table.column(c).iter().enumerate() {
+                    index.add(col, r as u32, v);
+                }
+            }
+        }
+
+        // Column statistics.
+        let mut stats = StatsStore::new();
+        for (tid, schema) in catalog.tables() {
+            let table = &tables[tid.index()];
+            let per_col = schema
+                .columns
+                .iter()
+                .enumerate()
+                .map(|(c, def)| ColumnStats::collect(table, c as u32, def.dtype))
+                .collect();
+            stats.push_table(per_col);
+        }
+
+        // Schema graph from foreign keys.
+        let edges: Vec<JoinEdge> = catalog
+            .foreign_keys()
+            .iter()
+            .map(|fk| JoinEdge {
+                a: fk.from,
+                b: fk.to,
+            })
+            .collect();
+        let graph = SchemaGraph::new(catalog.table_count(), edges);
+
+        // Hash join indexes for every column touched by a join edge.
+        // NULL keys are excluded: SQL equi-joins never match NULL = NULL.
+        let mut join_indexes: HashMap<ColumnRef, HashMap<Value, Vec<u32>>> = HashMap::new();
+        for fk in catalog.foreign_keys() {
+            for col in [fk.from, fk.to] {
+                join_indexes.entry(col).or_insert_with(|| {
+                    let mut m: HashMap<Value, Vec<u32>> = HashMap::new();
+                    for (r, v) in tables[col.table.index()]
+                        .column(col.column)
+                        .iter()
+                        .enumerate()
+                    {
+                        if !v.is_null() {
+                            m.entry(v.clone()).or_default().push(r as u32);
+                        }
+                    }
+                    m
+                });
+            }
+        }
+
+        Database {
+            name,
+            catalog,
+            tables,
+            index,
+            stats,
+            graph,
+            join_indexes,
+        }
+    }
+}
+
+/// A frozen, fully preprocessed database.
+#[derive(Debug)]
+pub struct Database {
+    name: String,
+    catalog: Catalog,
+    tables: Vec<Table>,
+    index: InvertedIndex,
+    stats: StatsStore,
+    graph: SchemaGraph,
+    join_indexes: HashMap<ColumnRef, HashMap<Value, Vec<u32>>>,
+}
+
+impl Database {
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    pub fn table(&self, id: TableId) -> &Table {
+        &self.tables[id.index()]
+    }
+
+    pub fn row_count(&self, id: TableId) -> usize {
+        self.tables[id.index()].row_count()
+    }
+
+    pub fn total_rows(&self) -> usize {
+        self.tables.iter().map(Table::row_count).sum()
+    }
+
+    pub fn index(&self) -> &InvertedIndex {
+        &self.index
+    }
+
+    pub fn stats(&self) -> &StatsStore {
+        &self.stats
+    }
+
+    pub fn graph(&self) -> &SchemaGraph {
+        &self.graph
+    }
+
+    /// The precomputed hash join index of a column, if it participates in
+    /// any join edge.
+    pub fn join_index(&self, col: ColumnRef) -> Option<&HashMap<Value, Vec<u32>>> {
+        self.join_indexes.get(&col)
+    }
+
+    /// Cell accessor via a [`ColumnRef`].
+    pub fn value(&self, col: ColumnRef, row: u32) -> &Value {
+        self.tables[col.table.index()].value(row, col.column)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+
+    /// A two-table toy database shaped like the paper's motivating example.
+    pub(crate) fn lakes_db() -> Database {
+        let mut b = DatabaseBuilder::new("toy");
+        b.add_table(
+            "Lake",
+            vec![
+                ColumnDef::new("Name", DataType::Text).not_null(),
+                ColumnDef::new("Area", DataType::Decimal),
+            ],
+        )
+        .unwrap();
+        b.add_table(
+            "geo_lake",
+            vec![
+                ColumnDef::new("Lake", DataType::Text).not_null(),
+                ColumnDef::new("Province", DataType::Text).not_null(),
+            ],
+        )
+        .unwrap();
+        b.add_rows(
+            "Lake",
+            vec![
+                vec!["Lake Tahoe".into(), Value::Decimal(497.0)],
+                vec!["Crater Lake".into(), Value::Decimal(53.2)],
+                vec!["Fort Peck Lake".into(), Value::Decimal(981.0)],
+                vec!["Dead Lake".into(), Value::Null],
+            ],
+        )
+        .unwrap();
+        b.add_rows(
+            "geo_lake",
+            vec![
+                vec!["Lake Tahoe".into(), "California".into()],
+                vec!["Lake Tahoe".into(), "Nevada".into()],
+                vec!["Crater Lake".into(), "Oregon".into()],
+                vec!["Fort Peck Lake".into(), "Montana".into()],
+            ],
+        )
+        .unwrap();
+        b.add_foreign_key("geo_lake", "Lake", "Lake", "Name")
+            .unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn build_populates_index_stats_graph() {
+        let db = lakes_db();
+        assert_eq!(db.total_rows(), 8);
+        // Inverted index finds Lake Tahoe in both tables.
+        let cols: Vec<_> = db.index().columns_with_cell("lake tahoe").collect();
+        assert_eq!(cols.len(), 2);
+        // Stats know Area's min/max (NULL excluded).
+        let area = db.catalog().column_ref("Lake", "Area").unwrap();
+        let st = db.stats().column(area);
+        assert_eq!(st.min_num, Some(53.2));
+        assert_eq!(st.max_num, Some(981.0));
+        assert_eq!(st.null_count, 1);
+        // Graph has the declared FK edge.
+        assert_eq!(db.graph().edge_count(), 1);
+    }
+
+    #[test]
+    fn join_index_excludes_nulls_and_covers_fk_columns() {
+        let db = lakes_db();
+        let name = db.catalog().column_ref("Lake", "Name").unwrap();
+        let ji = db.join_index(name).expect("FK column has a join index");
+        assert_eq!(ji.get(&Value::text("Lake Tahoe")).unwrap(), &vec![0]);
+        assert!(!ji.contains_key(&Value::Null));
+        // Non-FK column has no join index.
+        let area = db.catalog().column_ref("Lake", "Area").unwrap();
+        assert!(db.join_index(area).is_none());
+    }
+
+    #[test]
+    fn unknown_table_insert_errors() {
+        let mut b = DatabaseBuilder::new("x");
+        let err = b.add_row("Nope", vec![]);
+        assert!(matches!(err, Err(DbError::UnknownTable(_))));
+    }
+
+    #[test]
+    fn value_accessor_reads_cells() {
+        let db = lakes_db();
+        let prov = db.catalog().column_ref("geo_lake", "Province").unwrap();
+        assert_eq!(db.value(prov, 1), &Value::text("Nevada"));
+    }
+}

@@ -1,0 +1,113 @@
+//! Error type shared by the database substrate.
+
+use std::fmt;
+
+/// Errors raised while building or querying a [`crate::Database`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// A table name was referenced that does not exist in the catalog.
+    UnknownTable(String),
+    /// A column name was referenced that does not exist in the given table.
+    UnknownColumn { table: String, column: String },
+    /// A table with this name was declared twice.
+    DuplicateTable(String),
+    /// A column with this name was declared twice within one table.
+    DuplicateColumn { table: String, column: String },
+    /// A row was inserted whose arity differs from the table schema.
+    ArityMismatch {
+        table: String,
+        expected: usize,
+        got: usize,
+    },
+    /// A value's runtime type disagrees with the declared column type.
+    TypeMismatch {
+        table: String,
+        column: String,
+        expected: crate::types::DataType,
+        got: &'static str,
+    },
+    /// A NULL was inserted into a column declared NOT NULL.
+    NullViolation { table: String, column: String },
+    /// `Value::Decimal` must hold a finite number; NaN/±inf are rejected so
+    /// that values stay totally ordered and hashable.
+    NonFiniteDecimal,
+    /// A foreign key declaration referenced columns of differing types.
+    ForeignKeyTypeMismatch { from: String, to: String },
+    /// A PJ query referenced a node slot or column that is out of range.
+    InvalidQuery(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            DbError::UnknownColumn { table, column } => {
+                write!(f, "unknown column `{table}.{column}`")
+            }
+            DbError::DuplicateTable(t) => write!(f, "table `{t}` declared twice"),
+            DbError::DuplicateColumn { table, column } => {
+                write!(f, "column `{table}.{column}` declared twice")
+            }
+            DbError::ArityMismatch {
+                table,
+                expected,
+                got,
+            } => write!(
+                f,
+                "row for `{table}` has {got} values but the schema has {expected} columns"
+            ),
+            DbError::TypeMismatch {
+                table,
+                column,
+                expected,
+                got,
+            } => write!(
+                f,
+                "value of type {got} cannot be stored in `{table}.{column}` of type {expected}"
+            ),
+            DbError::NullViolation { table, column } => {
+                write!(f, "NULL inserted into NOT NULL column `{table}.{column}`")
+            }
+            DbError::NonFiniteDecimal => {
+                write!(f, "decimal values must be finite (no NaN or infinity)")
+            }
+            DbError::ForeignKeyTypeMismatch { from, to } => {
+                write!(
+                    f,
+                    "foreign key `{from}` -> `{to}` joins columns of different types"
+                )
+            }
+            DbError::InvalidQuery(msg) => write!(f, "invalid PJ query: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_identifiers() {
+        let e = DbError::UnknownTable("Lake".into());
+        assert!(e.to_string().contains("Lake"));
+        let e = DbError::UnknownColumn {
+            table: "Lake".into(),
+            column: "Area".into(),
+        };
+        assert!(e.to_string().contains("Lake.Area"));
+        let e = DbError::ArityMismatch {
+            table: "Lake".into(),
+            expected: 3,
+            got: 2,
+        };
+        assert!(e.to_string().contains('3') && e.to_string().contains('2'));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&DbError::NonFiniteDecimal);
+    }
+}

@@ -1,0 +1,642 @@
+//! Project–Join query execution.
+//!
+//! The only query shape Prism synthesizes is the Project–Join query
+//! (Section 2.1: *"we restrict the space of synthesized schema mapping
+//! queries to support Project-Join (PJ) queries"*), and the only two
+//! operations discovery needs are:
+//!
+//! * **existence checking** — "does the result of this (sub-)query contain a
+//!   tuple matching this sample constraint?" — the unit of filter
+//!   validation, and
+//! * **full evaluation** — materializing result rows for display in the
+//!   Result section.
+//!
+//! Both are implemented as backtracking search over the join tree: rows of a
+//! start node are scanned, and each further node is reached through the
+//! precomputed hash join index of its connecting column. Existence checks
+//! terminate at the first full assignment, so successful validations are
+//! usually much cheaper than full evaluation.
+
+use crate::database::Database;
+use crate::error::DbError;
+use crate::types::Value;
+
+/// Optional predicate applied to one projection slot.
+pub type ProjPred<'a> = Option<&'a (dyn Fn(&Value) -> bool + 'a)>;
+
+/// Callback receiving each result row; return `false` to stop enumeration.
+pub type RowCallback<'a> = &'a mut dyn FnMut(&[&Value]) -> bool;
+
+/// Work counters for cost accounting. Scheduling experiments report both
+/// validation counts and the raw row effort behind them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Rows tested against local predicates or join conditions.
+    pub rows_examined: u64,
+    /// Hash-index probes performed.
+    pub index_probes: u64,
+    /// Result rows produced (existence checks stop at 1).
+    pub rows_emitted: u64,
+}
+
+impl ExecStats {
+    pub fn add(&mut self, other: &ExecStats) {
+        self.rows_examined += other.rows_examined;
+        self.index_probes += other.index_probes;
+        self.rows_emitted += other.rows_emitted;
+    }
+}
+
+/// An equi-join condition between two node slots of a [`PjQuery`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct JoinCond {
+    pub left_node: usize,
+    pub left_col: u32,
+    pub right_node: usize,
+    pub right_col: u32,
+}
+
+/// A Project–Join query over node slots.
+///
+/// Node slots (rather than raw table ids) keep the representation ready for
+/// self-joins even though candidate generation currently never repeats a
+/// table. `joins` must connect all nodes; redundant (cycle-closing) join
+/// conditions are permitted and enforced as residual checks.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PjQuery {
+    pub nodes: Vec<crate::schema::TableId>,
+    pub joins: Vec<JoinCond>,
+    /// Output columns: (node slot, column index). Order matches the target
+    /// schema of the mapping task.
+    pub projection: Vec<(usize, u32)>,
+}
+
+impl PjQuery {
+    /// Structural validation: slots in range, join/projection columns exist,
+    /// graph connected.
+    pub fn validate(&self, db: &Database) -> Result<(), DbError> {
+        if self.nodes.is_empty() {
+            return Err(DbError::InvalidQuery("no nodes".into()));
+        }
+        let col_ok = |node: usize, col: u32| -> Result<(), DbError> {
+            let tid = *self
+                .nodes
+                .get(node)
+                .ok_or_else(|| DbError::InvalidQuery(format!("node slot {node} out of range")))?;
+            let arity = db.catalog().table(tid).arity() as u32;
+            if col >= arity {
+                return Err(DbError::InvalidQuery(format!(
+                    "column {col} out of range for node {node}"
+                )));
+            }
+            Ok(())
+        };
+        for j in &self.joins {
+            col_ok(j.left_node, j.left_col)?;
+            col_ok(j.right_node, j.right_col)?;
+        }
+        for &(n, c) in &self.projection {
+            col_ok(n, c)?;
+        }
+        // Connectivity via union-find over join conditions.
+        let mut parent: Vec<usize> = (0..self.nodes.len()).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let r = find(parent, parent[x]);
+                parent[x] = r;
+            }
+            parent[x]
+        }
+        for j in &self.joins {
+            let (a, b) = (
+                find(&mut parent, j.left_node),
+                find(&mut parent, j.right_node),
+            );
+            if a != b {
+                parent[a] = b;
+            }
+        }
+        let root = find(&mut parent, 0);
+        for n in 1..self.nodes.len() {
+            if find(&mut parent, n) != root {
+                return Err(DbError::InvalidQuery(format!(
+                    "node slot {n} is not connected by any join condition"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of joins — the "join path length" used by the baseline filter
+    /// scheduler of \[8\].
+    pub fn join_count(&self) -> usize {
+        self.joins.len()
+    }
+
+    /// Evaluate the query, invoking `cb` for each projected result row and
+    /// applying `preds` (one optional predicate per projection slot) before
+    /// emission. Enumeration stops when `cb` returns `false`.
+    pub fn for_each_row(
+        &self,
+        db: &Database,
+        preds: &[ProjPred<'_>],
+        stats: &mut ExecStats,
+        cb: RowCallback<'_>,
+    ) -> Result<(), DbError> {
+        self.validate(db)?;
+        if !preds.is_empty() && preds.len() != self.projection.len() {
+            return Err(DbError::InvalidQuery(format!(
+                "{} predicates supplied for {} projection slots",
+                preds.len(),
+                self.projection.len()
+            )));
+        }
+        let plan = Plan::build(self, db, preds);
+        let mut assignment: Vec<u32> = vec![0; self.nodes.len()];
+        search(db, self, &plan, 0, &mut assignment, stats, cb, preds)?;
+        Ok(())
+    }
+
+    /// Materialize up to `limit` result rows.
+    pub fn execute(&self, db: &Database, limit: usize) -> Result<Vec<Vec<Value>>, DbError> {
+        let mut out = Vec::new();
+        let mut stats = ExecStats::default();
+        self.for_each_row(db, &[], &mut stats, &mut |row| {
+            out.push(row.iter().map(|v| (*v).clone()).collect());
+            out.len() < limit
+        })?;
+        Ok(out)
+    }
+
+    /// Does any result row satisfy all supplied predicates? Early-exits on
+    /// the first witness. This is the unit of filter validation.
+    pub fn exists_matching(
+        &self,
+        db: &Database,
+        preds: &[ProjPred<'_>],
+        stats: &mut ExecStats,
+    ) -> Result<bool, DbError> {
+        let mut found = false;
+        self.for_each_row(db, preds, stats, &mut |_row| {
+            found = true;
+            false // stop at first match
+        })?;
+        Ok(found)
+    }
+
+    /// Count result rows satisfying the predicates (up to `cap`, to bound
+    /// effort on explosive joins).
+    pub fn count_matching(
+        &self,
+        db: &Database,
+        preds: &[ProjPred<'_>],
+        cap: u64,
+        stats: &mut ExecStats,
+    ) -> Result<u64, DbError> {
+        let mut n = 0u64;
+        self.for_each_row(db, preds, stats, &mut |_row| {
+            n += 1;
+            n < cap
+        })?;
+        Ok(n)
+    }
+}
+
+/// Per-node execution info derived once per query run.
+struct Plan {
+    /// Visit order of node slots.
+    order: Vec<usize>,
+    /// For order[i] (i>0): the join condition linking it to an
+    /// already-visited node, oriented as (visited node, visited col,
+    /// this col).
+    link: Vec<Option<(usize, u32, u32)>>,
+    /// Cycle-closing join conditions checked once both sides are assigned:
+    /// evaluated at the depth where the *later* endpoint gets its row.
+    residual_at: Vec<Vec<JoinCond>>,
+    /// Local predicates per node slot: (column, projection slot index).
+    local_preds: Vec<Vec<(u32, usize)>>,
+}
+
+impl Plan {
+    fn build(q: &PjQuery, db: &Database, preds: &[ProjPred<'_>]) -> Plan {
+        let n = q.nodes.len();
+        // Local predicate lists.
+        let mut local_preds: Vec<Vec<(u32, usize)>> = vec![Vec::new(); n];
+        for (slot, &(node, col)) in q.projection.iter().enumerate() {
+            if preds.get(slot).copied().flatten().is_some() {
+                local_preds[node].push((col, slot));
+            }
+        }
+        // Start node: most local predicates, tie-broken by smallest table —
+        // maximizes early pruning.
+        let start = (0..n)
+            .min_by_key(|&i| {
+                (
+                    std::cmp::Reverse(local_preds[i].len()),
+                    db.row_count(q.nodes[i]),
+                    i,
+                )
+            })
+            .expect("validated: at least one node");
+        // BFS over join conditions to build the spanning order.
+        let mut order = vec![start];
+        let mut link: Vec<Option<(usize, u32, u32)>> = vec![None];
+        let mut visited = vec![false; n];
+        visited[start] = true;
+        let mut used_join = vec![false; q.joins.len()];
+        while order.len() < n {
+            let mut progressed = false;
+            for (ji, j) in q.joins.iter().enumerate() {
+                if used_join[ji] {
+                    continue;
+                }
+                let (from, fcol, to, tcol) = if visited[j.left_node] && !visited[j.right_node] {
+                    (j.left_node, j.left_col, j.right_node, j.right_col)
+                } else if visited[j.right_node] && !visited[j.left_node] {
+                    (j.right_node, j.right_col, j.left_node, j.left_col)
+                } else {
+                    continue;
+                };
+                used_join[ji] = true;
+                visited[to] = true;
+                order.push(to);
+                link.push(Some((from, fcol, tcol)));
+                progressed = true;
+            }
+            if !progressed {
+                break; // validated connectivity makes this unreachable
+            }
+        }
+        // Remaining joins are redundant cycle-closers: schedule each at the
+        // depth where its later endpoint is assigned.
+        let depth_of = |node: usize| order.iter().position(|&x| x == node).expect("visited");
+        let mut residual_at: Vec<Vec<JoinCond>> = vec![Vec::new(); n];
+        for (ji, j) in q.joins.iter().enumerate() {
+            if !used_join[ji] {
+                let d = depth_of(j.left_node).max(depth_of(j.right_node));
+                residual_at[d].push(*j);
+            }
+        }
+        Plan {
+            order,
+            link,
+            residual_at,
+            local_preds,
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search(
+    db: &Database,
+    q: &PjQuery,
+    plan: &Plan,
+    depth: usize,
+    assignment: &mut Vec<u32>,
+    stats: &mut ExecStats,
+    cb: RowCallback<'_>,
+    preds: &[ProjPred<'_>],
+) -> Result<bool, DbError> {
+    if depth == plan.order.len() {
+        stats.rows_emitted += 1;
+        let row: Vec<&Value> = q
+            .projection
+            .iter()
+            .map(|&(node, col)| {
+                db.value(
+                    crate::schema::ColumnRef::new(q.nodes[node], col),
+                    assignment[node],
+                )
+            })
+            .collect();
+        return Ok(cb(&row));
+    }
+    let node = plan.order[depth];
+    let tid = q.nodes[node];
+    let table = db.table(tid);
+
+    // Candidate rows for this node.
+    let candidates: CandidateRows = match plan.link[depth] {
+        None => CandidateRows::Scan(table.row_count() as u32),
+        Some((parent_node, parent_col, my_col)) => {
+            let pv = db.value(
+                crate::schema::ColumnRef::new(q.nodes[parent_node], parent_col),
+                assignment[parent_node],
+            );
+            if pv.is_null() {
+                return Ok(true); // NULL never equi-joins
+            }
+            let col_ref = crate::schema::ColumnRef::new(tid, my_col);
+            stats.index_probes += 1;
+            match db.join_index(col_ref) {
+                Some(ix) => CandidateRows::List(ix.get(pv).map(|v| v.as_slice()).unwrap_or(&[])),
+                None => CandidateRows::FilteredScan(table.row_count() as u32, my_col, pv.clone()),
+            }
+        }
+    };
+
+    let mut try_row =
+        |row: u32, assignment: &mut Vec<u32>, stats: &mut ExecStats| -> Result<bool, DbError> {
+            stats.rows_examined += 1;
+            // Local predicates.
+            for &(col, slot) in &plan.local_preds[node] {
+                let pred = preds[slot].expect("local_preds only lists Some preds");
+                if !pred(table.value(row, col)) {
+                    return Ok(true); // reject row, continue search
+                }
+            }
+            assignment[node] = row;
+            // Residual (cycle-closing) join checks at this depth.
+            for j in &plan.residual_at[depth] {
+                let l = db.value(
+                    crate::schema::ColumnRef::new(q.nodes[j.left_node], j.left_col),
+                    assignment[j.left_node],
+                );
+                let r = db.value(
+                    crate::schema::ColumnRef::new(q.nodes[j.right_node], j.right_col),
+                    assignment[j.right_node],
+                );
+                if l.is_null() || r.is_null() || l != r {
+                    return Ok(true);
+                }
+            }
+            search(db, q, plan, depth + 1, assignment, stats, cb, preds)
+        };
+
+    match candidates {
+        CandidateRows::Scan(n) => {
+            for row in 0..n {
+                if !try_row(row, assignment, stats)? {
+                    return Ok(false);
+                }
+            }
+        }
+        CandidateRows::List(rows) => {
+            for &row in rows {
+                if !try_row(row, assignment, stats)? {
+                    return Ok(false);
+                }
+            }
+        }
+        CandidateRows::FilteredScan(n, col, ref pv) => {
+            for row in 0..n {
+                stats.rows_examined += 1;
+                if table.value(row, col) != pv {
+                    continue;
+                }
+                if !try_row(row, assignment, stats)? {
+                    return Ok(false);
+                }
+            }
+        }
+    }
+    Ok(true)
+}
+
+enum CandidateRows<'a> {
+    /// Scan all rows (start node).
+    Scan(u32),
+    /// Rows from a hash join index probe.
+    List(&'a [u32]),
+    /// No join index: scan comparing the join column to the parent value.
+    FilteredScan(u32, u32, Value),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::{tests::lakes_db, DatabaseBuilder};
+    use crate::schema::{ColumnDef, TableId};
+    use crate::types::DataType;
+
+    /// `SELECT geo_lake.Province, Lake.Name, Lake.Area FROM Lake, geo_lake
+    ///  WHERE Lake.Name = geo_lake.Lake` — the paper's desired query.
+    fn lakes_query() -> PjQuery {
+        PjQuery {
+            nodes: vec![TableId(0), TableId(1)], // Lake, geo_lake
+            joins: vec![JoinCond {
+                left_node: 1,
+                left_col: 0, // geo_lake.Lake
+                right_node: 0,
+                right_col: 0, // Lake.Name
+            }],
+            projection: vec![(1, 1), (0, 0), (0, 1)], // Province, Name, Area
+        }
+    }
+
+    #[test]
+    fn execute_produces_join_result() {
+        let db = lakes_db();
+        let rows = lakes_query().execute(&db, 100).unwrap();
+        assert_eq!(rows.len(), 4); // Dead Lake has no geo row
+        assert!(rows.contains(&vec![
+            "California".into(),
+            "Lake Tahoe".into(),
+            Value::Decimal(497.0)
+        ]));
+        assert!(rows.contains(&vec![
+            "Nevada".into(),
+            "Lake Tahoe".into(),
+            Value::Decimal(497.0)
+        ]));
+    }
+
+    #[test]
+    fn execute_respects_limit() {
+        let db = lakes_db();
+        let rows = lakes_query().execute(&db, 2).unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn exists_matching_finds_sample() {
+        let db = lakes_db();
+        let q = lakes_query();
+        let is_cal = |v: &Value| v == &Value::text("California");
+        let is_tahoe = |v: &Value| v == &Value::text("Lake Tahoe");
+        let mut stats = ExecStats::default();
+        let found = q
+            .exists_matching(&db, &[Some(&is_cal), Some(&is_tahoe), None], &mut stats)
+            .unwrap();
+        assert!(found);
+        assert!(stats.rows_emitted >= 1);
+    }
+
+    #[test]
+    fn exists_matching_rejects_impossible_sample() {
+        let db = lakes_db();
+        let q = lakes_query();
+        // Crater Lake is in Oregon, not California.
+        let is_cal = |v: &Value| v == &Value::text("California");
+        let is_crater = |v: &Value| v == &Value::text("Crater Lake");
+        let mut stats = ExecStats::default();
+        let found = q
+            .exists_matching(&db, &[Some(&is_cal), Some(&is_crater), None], &mut stats)
+            .unwrap();
+        assert!(!found);
+    }
+
+    #[test]
+    fn exists_early_exit_examines_fewer_rows_than_full_eval() {
+        let db = lakes_db();
+        let q = lakes_query();
+        let mut full = ExecStats::default();
+        q.count_matching(&db, &[], u64::MAX, &mut full).unwrap();
+        let mut early = ExecStats::default();
+        let t = |_: &Value| true;
+        assert!(q
+            .exists_matching(&db, &[Some(&t), Some(&t), Some(&t)], &mut early)
+            .unwrap());
+        assert!(early.rows_emitted == 1);
+        assert!(early.rows_examined <= full.rows_examined);
+    }
+
+    #[test]
+    fn null_join_keys_never_match() {
+        let mut b = DatabaseBuilder::new("nulls");
+        b.add_table("A", vec![ColumnDef::new("k", DataType::Text)])
+            .unwrap();
+        b.add_table("B", vec![ColumnDef::new("k", DataType::Text)])
+            .unwrap();
+        b.add_rows("A", vec![vec![Value::Null], vec!["x".into()]])
+            .unwrap();
+        b.add_rows("B", vec![vec![Value::Null], vec!["y".into()]])
+            .unwrap();
+        b.add_foreign_key("A", "k", "B", "k").unwrap();
+        let db = b.build();
+        let q = PjQuery {
+            nodes: vec![TableId(0), TableId(1)],
+            joins: vec![JoinCond {
+                left_node: 0,
+                left_col: 0,
+                right_node: 1,
+                right_col: 0,
+            }],
+            projection: vec![(0, 0)],
+        };
+        assert_eq!(q.execute(&db, 10).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn single_node_query_scans() {
+        let db = lakes_db();
+        let q = PjQuery {
+            nodes: vec![TableId(0)],
+            joins: vec![],
+            projection: vec![(0, 0)],
+        };
+        let rows = q.execute(&db, 100).unwrap();
+        assert_eq!(rows.len(), 4);
+    }
+
+    #[test]
+    fn disconnected_query_rejected() {
+        let db = lakes_db();
+        let q = PjQuery {
+            nodes: vec![TableId(0), TableId(1)],
+            joins: vec![],
+            projection: vec![(0, 0)],
+        };
+        assert!(matches!(q.validate(&db), Err(DbError::InvalidQuery(_))));
+    }
+
+    #[test]
+    fn out_of_range_projection_rejected() {
+        let db = lakes_db();
+        let q = PjQuery {
+            nodes: vec![TableId(0)],
+            joins: vec![],
+            projection: vec![(0, 9)],
+        };
+        assert!(q.validate(&db).is_err());
+    }
+
+    #[test]
+    fn wrong_pred_arity_rejected() {
+        let db = lakes_db();
+        let q = lakes_query();
+        let t = |_: &Value| true;
+        let mut stats = ExecStats::default();
+        let err = q.exists_matching(&db, &[Some(&t)], &mut stats);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn cyclic_query_residual_joins_enforced() {
+        // A(k1,k2) joins B twice: once via spanning link, once residual.
+        let mut b = DatabaseBuilder::new("cyc");
+        b.add_table(
+            "A",
+            vec![
+                ColumnDef::new("k1", DataType::Int),
+                ColumnDef::new("k2", DataType::Int),
+            ],
+        )
+        .unwrap();
+        b.add_table(
+            "B",
+            vec![
+                ColumnDef::new("k1", DataType::Int),
+                ColumnDef::new("k2", DataType::Int),
+            ],
+        )
+        .unwrap();
+        b.add_rows(
+            "A",
+            vec![
+                vec![Value::Int(1), Value::Int(10)],
+                vec![Value::Int(2), Value::Int(20)],
+            ],
+        )
+        .unwrap();
+        b.add_rows(
+            "B",
+            vec![
+                vec![Value::Int(1), Value::Int(10)], // matches row 0 on both
+                vec![Value::Int(2), Value::Int(99)], // matches row 1 on k1 only
+            ],
+        )
+        .unwrap();
+        b.add_foreign_key("A", "k1", "B", "k1").unwrap();
+        b.add_foreign_key("A", "k2", "B", "k2").unwrap();
+        let db = b.build();
+        let q = PjQuery {
+            nodes: vec![TableId(0), TableId(1)],
+            joins: vec![
+                JoinCond {
+                    left_node: 0,
+                    left_col: 0,
+                    right_node: 1,
+                    right_col: 0,
+                },
+                JoinCond {
+                    left_node: 0,
+                    left_col: 1,
+                    right_node: 1,
+                    right_col: 1,
+                },
+            ],
+            projection: vec![(0, 0)],
+        };
+        let rows = q.execute(&db, 10).unwrap();
+        assert_eq!(rows, vec![vec![Value::Int(1)]]);
+    }
+
+    #[test]
+    fn exec_stats_accumulate() {
+        let mut a = ExecStats {
+            rows_examined: 1,
+            index_probes: 2,
+            rows_emitted: 3,
+        };
+        let b = ExecStats {
+            rows_examined: 10,
+            index_probes: 20,
+            rows_emitted: 30,
+        };
+        a.add(&b);
+        assert_eq!(a.rows_examined, 11);
+        assert_eq!(a.index_probes, 22);
+        assert_eq!(a.rows_emitted, 33);
+    }
+}

@@ -1,0 +1,212 @@
+//! Inverted keyword index.
+//!
+//! Section 2.3 of the paper: *"The way we validate a value constraint on a
+//! column is … leveraging the inverted index provided in most DBMS systems."*
+//! Commercial systems expose full-text indexes; this module is our own
+//! equivalent. Two granularities are maintained:
+//!
+//! * **cell index** — the canonical form of the whole cell
+//!   ([`crate::types::Value::index_key`]) maps to its postings; this answers
+//!   the default equality semantics of a value constraint, and
+//! * **token index** — individual lowercase words of text cells map to
+//!   postings; this answers `CONTAINS`-style keyword constraints.
+//!
+//! Postings are grouped per column because related-column discovery asks
+//! "which columns contain this keyword?" far more often than it needs the row
+//! lists themselves.
+
+use crate::schema::ColumnRef;
+use crate::types::Value;
+use std::collections::HashMap;
+
+/// The rows of one column matching one key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Posting {
+    pub column: ColumnRef,
+    pub rows: Vec<u32>,
+}
+
+/// Keyword → postings map over an entire database.
+#[derive(Debug, Default)]
+pub struct InvertedIndex {
+    cells: HashMap<String, Vec<Posting>>,
+    tokens: HashMap<String, Vec<Posting>>,
+}
+
+impl InvertedIndex {
+    pub fn new() -> InvertedIndex {
+        InvertedIndex::default()
+    }
+
+    /// Index one cell. Called by [`crate::Database`] during preprocessing.
+    pub fn add(&mut self, column: ColumnRef, row: u32, value: &Value) {
+        let Some(key) = value.index_key() else {
+            return; // NULLs are not indexed.
+        };
+        push_posting(&mut self.cells, key.clone(), column, row);
+        if let Value::Text(_) = value {
+            for tok in tokenize(&key) {
+                if tok.len() < key.len() {
+                    push_posting(&mut self.tokens, tok.to_string(), column, row);
+                }
+            }
+        }
+    }
+
+    /// Postings of cells whose canonical form equals `keyword`
+    /// (case-insensitive for text, numeric-normalized for numbers).
+    pub fn lookup_cell(&self, keyword: &str) -> &[Posting] {
+        self.cells
+            .get(&normalize(keyword))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Postings of cells *containing* `keyword` as a whole token, unioned
+    /// with exact-cell matches.
+    pub fn lookup_contains(&self, keyword: &str) -> Vec<Posting> {
+        let key = normalize(keyword);
+        let mut merged: HashMap<ColumnRef, Vec<u32>> = HashMap::new();
+        for p in self.cells.get(&key).into_iter().flatten() {
+            merged.entry(p.column).or_default().extend(&p.rows);
+        }
+        for p in self.tokens.get(&key).into_iter().flatten() {
+            merged.entry(p.column).or_default().extend(&p.rows);
+        }
+        let mut out: Vec<Posting> = merged
+            .into_iter()
+            .map(|(column, mut rows)| {
+                rows.sort_unstable();
+                rows.dedup();
+                Posting { column, rows }
+            })
+            .collect();
+        out.sort_by_key(|p| p.column);
+        out
+    }
+
+    /// Columns that contain `keyword` as an exact cell value.
+    pub fn columns_with_cell(&self, keyword: &str) -> impl Iterator<Item = ColumnRef> + '_ {
+        self.lookup_cell(keyword).iter().map(|p| p.column)
+    }
+
+    /// Rows of `column` whose cell equals `keyword`, if any.
+    pub fn rows_in_column(&self, column: ColumnRef, keyword: &str) -> &[u32] {
+        self.lookup_cell(keyword)
+            .iter()
+            .find(|p| p.column == column)
+            .map(|p| p.rows.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Number of distinct cell keys (diagnostics).
+    pub fn distinct_keys(&self) -> usize {
+        self.cells.len()
+    }
+}
+
+fn push_posting(map: &mut HashMap<String, Vec<Posting>>, key: String, column: ColumnRef, row: u32) {
+    let postings = map.entry(key).or_default();
+    // Cells are indexed in (table, column, row) order during preprocessing,
+    // so the posting for this column, if present, is the last one.
+    match postings.last_mut() {
+        Some(p) if p.column == column => p.rows.push(row),
+        _ => postings.push(Posting {
+            column,
+            rows: vec![row],
+        }),
+    }
+}
+
+fn normalize(s: &str) -> String {
+    s.trim().to_lowercase()
+}
+
+fn tokenize(s: &str) -> impl Iterator<Item = &str> {
+    s.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::TableId;
+
+    fn col(t: u32, c: u32) -> ColumnRef {
+        ColumnRef::new(TableId(t), c)
+    }
+
+    fn sample_index() -> InvertedIndex {
+        let mut ix = InvertedIndex::new();
+        ix.add(col(0, 0), 0, &Value::text("Lake Tahoe"));
+        ix.add(col(0, 0), 1, &Value::text("Crater Lake"));
+        ix.add(col(0, 1), 0, &Value::Decimal(497.0));
+        ix.add(col(1, 0), 5, &Value::text("Lake Tahoe"));
+        ix.add(col(1, 1), 2, &Value::text("California"));
+        ix.add(col(0, 1), 1, &Value::Null);
+        ix
+    }
+
+    #[test]
+    fn exact_cell_lookup_is_case_insensitive() {
+        let ix = sample_index();
+        let posts = ix.lookup_cell("lake tahoe");
+        assert_eq!(posts.len(), 2);
+        assert_eq!(posts[0].column, col(0, 0));
+        assert_eq!(posts[0].rows, vec![0]);
+        assert_eq!(posts[1].column, col(1, 0));
+        assert_eq!(posts[1].rows, vec![5]);
+        assert_eq!(ix.lookup_cell("LAKE TAHOE").len(), 2);
+    }
+
+    #[test]
+    fn numeric_cells_match_user_spelling() {
+        let ix = sample_index();
+        let posts = ix.lookup_cell("497");
+        assert_eq!(posts.len(), 1);
+        assert_eq!(posts[0].column, col(0, 1));
+    }
+
+    #[test]
+    fn contains_finds_tokens_inside_cells() {
+        let ix = sample_index();
+        let posts = ix.lookup_contains("lake");
+        // "lake" occurs as a token of "Lake Tahoe" (two columns) and of
+        // "Crater Lake"; no cell equals "lake" outright.
+        let cols: Vec<ColumnRef> = posts.iter().map(|p| p.column).collect();
+        assert_eq!(cols, vec![col(0, 0), col(1, 0)]);
+        let rows0 = &posts[0].rows;
+        assert_eq!(rows0, &vec![0, 1]);
+    }
+
+    #[test]
+    fn contains_merges_exact_and_token_hits() {
+        let mut ix = InvertedIndex::new();
+        ix.add(col(0, 0), 0, &Value::text("Tahoe"));
+        ix.add(col(0, 0), 1, &Value::text("Lake Tahoe"));
+        let posts = ix.lookup_contains("tahoe");
+        assert_eq!(posts.len(), 1);
+        assert_eq!(posts[0].rows, vec![0, 1]);
+    }
+
+    #[test]
+    fn nulls_are_not_indexed() {
+        let ix = sample_index();
+        assert!(ix.lookup_cell("NULL").is_empty());
+        assert!(ix.lookup_cell("null").is_empty());
+    }
+
+    #[test]
+    fn rows_in_column_narrows_to_one_column() {
+        let ix = sample_index();
+        assert_eq!(ix.rows_in_column(col(1, 0), "Lake Tahoe"), &[5]);
+        assert_eq!(ix.rows_in_column(col(1, 1), "Lake Tahoe"), &[] as &[u32]);
+    }
+
+    #[test]
+    fn missing_keyword_yields_empty() {
+        let ix = sample_index();
+        assert!(ix.lookup_cell("atlantis").is_empty());
+        assert!(ix.lookup_contains("atlantis").is_empty());
+    }
+}

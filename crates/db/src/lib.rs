@@ -1,0 +1,48 @@
+//! # prism-db — the relational substrate for Prism
+//!
+//! The Prism demo paper (CIDR 2019) assumes a relational source database with
+//! three pieces of supporting machinery that its discovery algorithm relies
+//! on:
+//!
+//! 1. an **inverted index** mapping keywords to the `(table, column, row)`
+//!    positions that contain them (Section 2.3: *"we validate a value
+//!    constraint on a column … leveraging the inverted index"*),
+//! 2. **column metadata collected during preprocessing** — data type, min/max
+//!    value, maximum text length — used to check metadata constraints, and
+//! 3. a **schema graph** whose nodes are tables and whose edges are joinable
+//!    column pairs, which the candidate search walks to enumerate join trees.
+//!
+//! This crate provides all three, plus the storage and execution layer they
+//! sit on: typed values ([`Value`], [`DataType`]), table schemas and foreign
+//! keys ([`Catalog`]), columnar row storage ([`Table`]), an immutable
+//! preprocessed [`Database`], and an executor for **Project–Join (PJ)
+//! queries** ([`PjQuery`]) supporting both full evaluation and early-exit
+//! existence checks (the workhorse of filter validation).
+//!
+//! Everything is deterministic and in-memory; databases are built once via
+//! [`DatabaseBuilder`] and never mutated afterwards, which is exactly the
+//! "preprocess a priori, then interactively query" lifecycle of the paper.
+
+pub mod csv;
+pub mod database;
+pub mod error;
+pub mod exec;
+pub mod graph;
+pub mod index;
+pub mod schema;
+pub mod sql;
+pub mod stats;
+pub mod table;
+pub mod types;
+
+pub use csv::{infer_type, parse_csv};
+pub use database::{Database, DatabaseBuilder};
+pub use error::DbError;
+pub use exec::{ExecStats, JoinCond, PjQuery, ProjPred, RowCallback};
+pub use graph::{EdgeId, JoinEdge, JoinTree, SchemaGraph};
+pub use index::{InvertedIndex, Posting};
+pub use schema::{Catalog, ColumnDef, ColumnRef, ForeignKey, TableId, TableSchema};
+pub use sql::{canonical_key, render_sql};
+pub use stats::{ColumnStats, EquiDepthHistogram, StatsStore};
+pub use table::Table;
+pub use types::{DataType, Date, Time, Value};

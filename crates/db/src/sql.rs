@@ -1,0 +1,210 @@
+//! SQL rendering of PJ queries.
+//!
+//! Prism's Result section displays each discovered schema mapping as a SQL
+//! statement (Figure 4b). The rendering uses plain `FROM t1, t2 WHERE …`
+//! join syntax exactly as the paper's example does:
+//! `SELECT geo_lake.Province, Lake.Name, Lake.Area FROM Lake, geo_lake WHERE
+//! Lake.Name = geo_lake.Lake`.
+
+use crate::database::Database;
+use crate::exec::PjQuery;
+use std::collections::HashMap;
+
+/// Render `q` as a SQL string against `db`'s catalog.
+///
+/// Node slots referring to distinct tables use bare table names; repeated
+/// tables (future self-join support) get `AS t<slot>` aliases so the output
+/// is always unambiguous.
+pub fn render_sql(q: &PjQuery, db: &Database) -> String {
+    let catalog = db.catalog();
+    // Count table occurrences to decide whether aliases are needed.
+    let mut occurrences: HashMap<u32, usize> = HashMap::new();
+    for t in &q.nodes {
+        *occurrences.entry(t.0).or_insert(0) += 1;
+    }
+    let node_name = |slot: usize| -> String {
+        let tid = q.nodes[slot];
+        let base = &catalog.table(tid).name;
+        if occurrences[&tid.0] > 1 {
+            format!("t{slot}")
+        } else {
+            base.clone()
+        }
+    };
+    let col_name = |slot: usize, col: u32| -> String {
+        let tid = q.nodes[slot];
+        format!(
+            "{}.{}",
+            node_name(slot),
+            catalog.table(tid).column(col).name
+        )
+    };
+
+    let select: Vec<String> = q.projection.iter().map(|&(n, c)| col_name(n, c)).collect();
+
+    let from: Vec<String> = (0..q.nodes.len())
+        .map(|slot| {
+            let tid = q.nodes[slot];
+            let base = &catalog.table(tid).name;
+            if occurrences[&tid.0] > 1 {
+                format!("{base} AS t{slot}")
+            } else {
+                base.clone()
+            }
+        })
+        .collect();
+
+    let mut sql = format!("SELECT {} FROM {}", select.join(", "), from.join(", "));
+    if !q.joins.is_empty() {
+        let conds: Vec<String> = q
+            .joins
+            .iter()
+            .map(|j| {
+                format!(
+                    "{} = {}",
+                    col_name(j.left_node, j.left_col),
+                    col_name(j.right_node, j.right_col)
+                )
+            })
+            .collect();
+        sql.push_str(" WHERE ");
+        sql.push_str(&conds.join(" AND "));
+    }
+    sql
+}
+
+/// A canonical identity for a PJ query, independent of node-slot numbering
+/// and join-condition orientation: `(sorted table names, sorted normalized
+/// join conditions, projected columns in order)`. Two queries with equal keys
+/// produce identical SQL semantics (for the self-join-free queries Prism
+/// synthesizes), so experiment harnesses use this to match discovered
+/// queries against ground truth.
+pub fn canonical_key(q: &PjQuery, db: &Database) -> String {
+    let catalog = db.catalog();
+    let col = |slot: usize, c: u32| -> String {
+        let tid = q.nodes[slot];
+        format!(
+            "{}.{}",
+            catalog.table(tid).name,
+            catalog.table(tid).column(c).name
+        )
+    };
+    let mut tables: Vec<&str> = q
+        .nodes
+        .iter()
+        .map(|t| catalog.table(*t).name.as_str())
+        .collect();
+    tables.sort_unstable();
+    let mut joins: Vec<String> = q
+        .joins
+        .iter()
+        .map(|j| {
+            let a = col(j.left_node, j.left_col);
+            let b = col(j.right_node, j.right_col);
+            if a <= b {
+                format!("{a}={b}")
+            } else {
+                format!("{b}={a}")
+            }
+        })
+        .collect();
+    joins.sort_unstable();
+    let proj: Vec<String> = q.projection.iter().map(|&(n, c)| col(n, c)).collect();
+    format!(
+        "T[{}] J[{}] P[{}]",
+        tables.join(","),
+        joins.join(","),
+        proj.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::tests::lakes_db;
+    use crate::exec::JoinCond;
+    use crate::schema::TableId;
+
+    #[test]
+    fn canonical_key_ignores_slot_order_and_join_orientation() {
+        let db = lakes_db();
+        let q1 = PjQuery {
+            nodes: vec![TableId(0), TableId(1)],
+            joins: vec![JoinCond {
+                left_node: 0,
+                left_col: 0,
+                right_node: 1,
+                right_col: 0,
+            }],
+            projection: vec![(1, 1), (0, 0)],
+        };
+        let q2 = PjQuery {
+            nodes: vec![TableId(1), TableId(0)],
+            joins: vec![JoinCond {
+                left_node: 1,
+                left_col: 0,
+                right_node: 0,
+                right_col: 0,
+            }],
+            projection: vec![(0, 1), (1, 0)],
+        };
+        assert_eq!(canonical_key(&q1, &db), canonical_key(&q2, &db));
+        // A different projection changes the key.
+        let q3 = PjQuery {
+            projection: vec![(0, 0), (1, 1)],
+            ..q1.clone()
+        };
+        assert_ne!(canonical_key(&q1, &db), canonical_key(&q3, &db));
+    }
+
+    #[test]
+    fn renders_the_papers_motivating_query() {
+        let db = lakes_db();
+        let q = PjQuery {
+            nodes: vec![TableId(0), TableId(1)],
+            joins: vec![JoinCond {
+                left_node: 0,
+                left_col: 0,
+                right_node: 1,
+                right_col: 0,
+            }],
+            projection: vec![(1, 1), (0, 0), (0, 1)],
+        };
+        assert_eq!(
+            render_sql(&q, &db),
+            "SELECT geo_lake.Province, Lake.Name, Lake.Area \
+             FROM Lake, geo_lake WHERE Lake.Name = geo_lake.Lake"
+        );
+    }
+
+    #[test]
+    fn renders_single_table_projection() {
+        let db = lakes_db();
+        let q = PjQuery {
+            nodes: vec![TableId(0)],
+            joins: vec![],
+            projection: vec![(0, 0), (0, 1)],
+        };
+        assert_eq!(render_sql(&q, &db), "SELECT Lake.Name, Lake.Area FROM Lake");
+    }
+
+    #[test]
+    fn repeated_tables_get_aliases() {
+        let db = lakes_db();
+        let q = PjQuery {
+            nodes: vec![TableId(0), TableId(0)],
+            joins: vec![JoinCond {
+                left_node: 0,
+                left_col: 0,
+                right_node: 1,
+                right_col: 0,
+            }],
+            projection: vec![(0, 1), (1, 1)],
+        };
+        let sql = render_sql(&q, &db);
+        assert_eq!(
+            sql,
+            "SELECT t0.Area, t1.Area FROM Lake AS t0, Lake AS t1 WHERE t0.Name = t1.Name"
+        );
+    }
+}

@@ -1,0 +1,423 @@
+//! Per-column statistics collected during preprocessing.
+//!
+//! Section 2.3: *"To check a metadata constraint, we use metadata
+//! information, e.g., min/max values, collected during preprocessing."*
+//! Beyond the metadata fields the paper names (data type, min/max value,
+//! maximum text length), this store keeps equi-depth histograms and
+//! most-common-value lists — these feed both metadata-constraint checking and
+//! the selectivity estimates used by filter scheduling.
+
+use crate::schema::{ColumnRef, TableId};
+use crate::table::Table;
+use crate::types::{DataType, Value};
+use std::collections::HashMap;
+
+/// Equi-depth histogram over the numeric view of a column
+/// (`Value::as_number`); Date/Time columns use their ordinals.
+///
+/// Each bucket `(bounds[i], bounds[i+1]]` tracks its row count split into an
+/// interpolated part (values strictly below the upper bound) and a point mass
+/// sitting exactly at the upper bound. The split keeps estimates accurate on
+/// skewed columns where one value dominates (common in FK columns).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EquiDepthHistogram {
+    /// `bounds.len() == bucket_count + 1`; strictly increasing except for a
+    /// single-value column, where it is `[v, v]`.
+    bounds: Vec<f64>,
+    /// Per bucket: values strictly inside `(bounds[i], bounds[i+1])`.
+    below: Vec<u32>,
+    /// Per bucket: values exactly equal to `bounds[i+1]`.
+    at_upper: Vec<u32>,
+    total: u32,
+}
+
+impl EquiDepthHistogram {
+    /// Build from the non-null numeric values of a column.
+    pub fn build(mut values: Vec<f64>, buckets: usize) -> Option<EquiDepthHistogram> {
+        if values.is_empty() || buckets == 0 {
+            return None;
+        }
+        values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let n = values.len();
+        let b = buckets.min(n);
+        let mut bounds = vec![values[0]];
+        let mut below = Vec::with_capacity(b);
+        let mut at_upper = Vec::with_capacity(b);
+        let mut prev_idx = 0usize;
+        for i in 1..=b {
+            if prev_idx >= n {
+                break;
+            }
+            let mut idx = (i * n / b).max(prev_idx + 1).min(n);
+            let upper = values[idx - 1];
+            // Pull all duplicates of the boundary value into this bucket so
+            // bounds stay strictly increasing and the point mass is exact.
+            while idx < n && values[idx] == upper {
+                idx += 1;
+            }
+            let at = values[prev_idx..idx]
+                .iter()
+                .rev()
+                .take_while(|&&v| v == upper)
+                .count() as u32;
+            bounds.push(upper);
+            at_upper.push(at);
+            below.push((idx - prev_idx) as u32 - at);
+            prev_idx = idx;
+        }
+        Some(EquiDepthHistogram {
+            bounds,
+            below,
+            at_upper,
+            total: n as u32,
+        })
+    }
+
+    pub fn total(&self) -> u32 {
+        self.total
+    }
+
+    /// Estimated fraction of values `<= x`, with linear interpolation inside
+    /// the containing bucket. Point masses at bucket boundaries are counted
+    /// exactly.
+    pub fn fraction_leq(&self, x: f64) -> f64 {
+        let lo = self.bounds[0];
+        let hi = *self.bounds.last().expect("nonempty");
+        if x < lo {
+            return 0.0;
+        }
+        if x >= hi {
+            return 1.0;
+        }
+        let mut acc = 0.0f64;
+        // bounds[0] itself carries the minimum value(s); they are part of the
+        // first bucket's `below` mass only when distinct from its upper
+        // bound, which `build` guarantees, so count them via interpolation.
+        for i in 0..self.below.len() {
+            let b_lo = self.bounds[i];
+            let b_hi = self.bounds[i + 1];
+            if x >= b_hi {
+                acc += (self.below[i] + self.at_upper[i]) as f64;
+                continue;
+            }
+            let width = b_hi - b_lo;
+            let frac = if width > 0.0 {
+                ((x - b_lo) / width).clamp(0.0, 1.0)
+            } else {
+                1.0
+            };
+            acc += self.below[i] as f64 * frac;
+            break;
+        }
+        acc / self.total as f64
+    }
+
+    /// Estimated fraction of values in `[lo, hi]`.
+    pub fn fraction_range(&self, lo: f64, hi: f64) -> f64 {
+        if hi < lo {
+            return 0.0;
+        }
+        // Nudge below `lo` to approximate a closed lower bound.
+        let below_lo = if lo <= self.bounds[0] {
+            0.0
+        } else {
+            self.fraction_leq(lo - f64::EPSILON.max(lo.abs() * 1e-12))
+        };
+        (self.fraction_leq(hi) - below_lo).max(0.0)
+    }
+}
+
+/// Statistics for a single column.
+#[derive(Debug, Clone)]
+pub struct ColumnStats {
+    pub dtype: DataType,
+    pub row_count: u32,
+    pub null_count: u32,
+    pub distinct_count: u32,
+    /// Min/max of the numeric view (numbers, date/time ordinals).
+    pub min_num: Option<f64>,
+    pub max_num: Option<f64>,
+    /// Lexicographic min/max for text columns.
+    pub min_text: Option<String>,
+    pub max_text: Option<String>,
+    /// Longest text length in characters (the paper's "maximum text length").
+    pub max_text_len: Option<u32>,
+    pub histogram: Option<EquiDepthHistogram>,
+    /// Up to `MCV_LIMIT` most common non-null values with their counts.
+    pub most_common: Vec<(Value, u32)>,
+}
+
+const MCV_LIMIT: usize = 12;
+const HISTOGRAM_BUCKETS: usize = 32;
+
+impl ColumnStats {
+    /// Collect statistics for column `column` of `table`.
+    pub fn collect(table: &Table, column: u32, dtype: DataType) -> ColumnStats {
+        let cells = table.column(column);
+        let mut null_count = 0u32;
+        let mut numbers = Vec::new();
+        let mut min_text: Option<&str> = None;
+        let mut max_text: Option<&str> = None;
+        let mut max_text_len: Option<u32> = None;
+        let mut freqs: HashMap<&Value, u32> = HashMap::new();
+        for v in cells {
+            if v.is_null() {
+                null_count += 1;
+                continue;
+            }
+            *freqs.entry(v).or_insert(0) += 1;
+            if let Some(x) = v.as_number() {
+                numbers.push(x);
+            }
+            if let Some(s) = v.as_text() {
+                let len = s.chars().count() as u32;
+                max_text_len = Some(max_text_len.map_or(len, |m| m.max(len)));
+                min_text = Some(min_text.map_or(s, |m| if s < m { s } else { m }));
+                max_text = Some(max_text.map_or(s, |m| if s > m { s } else { m }));
+            }
+        }
+        let distinct_count = freqs.len() as u32;
+        let mut mcv: Vec<(Value, u32)> = freqs.into_iter().map(|(v, c)| (v.clone(), c)).collect();
+        // Sort by descending frequency, tie-broken by value for determinism.
+        mcv.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        mcv.truncate(MCV_LIMIT);
+        let (min_num, max_num) = if numbers.is_empty() {
+            (None, None)
+        } else {
+            let mut mn = f64::INFINITY;
+            let mut mx = f64::NEG_INFINITY;
+            for &x in &numbers {
+                mn = mn.min(x);
+                mx = mx.max(x);
+            }
+            (Some(mn), Some(mx))
+        };
+        let histogram = EquiDepthHistogram::build(numbers, HISTOGRAM_BUCKETS);
+        ColumnStats {
+            dtype,
+            row_count: cells.len() as u32,
+            null_count,
+            distinct_count,
+            min_num,
+            max_num,
+            min_text: min_text.map(str::to_string),
+            max_text: max_text.map(str::to_string),
+            max_text_len,
+            histogram,
+            most_common: mcv,
+        }
+    }
+
+    pub fn non_null_count(&self) -> u32 {
+        self.row_count - self.null_count
+    }
+
+    /// Estimated fraction of non-null values equal to `v`. Uses the MCV list
+    /// when the value is listed, otherwise assumes the residual mass is
+    /// spread uniformly over the unlisted distinct values.
+    pub fn selectivity_eq(&self, v: &Value) -> f64 {
+        let n = self.non_null_count();
+        if n == 0 {
+            return 0.0;
+        }
+        if let Some((_, c)) = self.most_common.iter().find(|(mv, _)| mv == v) {
+            return *c as f64 / n as f64;
+        }
+        let mcv_mass: u32 = self.most_common.iter().map(|(_, c)| *c).sum();
+        let rest_distinct = self
+            .distinct_count
+            .saturating_sub(self.most_common.len() as u32);
+        if rest_distinct == 0 {
+            return 0.0; // every distinct value is in the MCV list
+        }
+        let rest_mass = n.saturating_sub(mcv_mass) as f64;
+        (rest_mass / rest_distinct as f64 / n as f64).min(1.0)
+    }
+
+    /// Estimated fraction of non-null values within `[lo, hi]` (numeric
+    /// view). Falls back to a coarse min/max interpolation when no histogram
+    /// exists.
+    pub fn selectivity_range(&self, lo: f64, hi: f64) -> f64 {
+        if let Some(h) = &self.histogram {
+            return h.fraction_range(lo, hi);
+        }
+        match (self.min_num, self.max_num) {
+            (Some(mn), Some(mx)) if mx > mn => {
+                let lo_c = lo.max(mn);
+                let hi_c = hi.min(mx);
+                ((hi_c - lo_c) / (mx - mn)).clamp(0.0, 1.0)
+            }
+            (Some(mn), Some(_)) if lo <= mn && mn <= hi => 1.0,
+            (Some(_), Some(_)) => 0.0,
+            _ => 0.0,
+        }
+    }
+}
+
+/// All column statistics for one database.
+#[derive(Debug, Default)]
+pub struct StatsStore {
+    per_table: Vec<Vec<ColumnStats>>,
+}
+
+impl StatsStore {
+    pub fn new() -> StatsStore {
+        StatsStore::default()
+    }
+
+    pub fn push_table(&mut self, stats: Vec<ColumnStats>) {
+        self.per_table.push(stats);
+    }
+
+    pub fn column(&self, col: ColumnRef) -> &ColumnStats {
+        &self.per_table[col.table.index()][col.column as usize]
+    }
+
+    pub fn table(&self, table: TableId) -> &[ColumnStats] {
+        &self.per_table[table.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, TableSchema};
+
+    fn numeric_table(values: &[f64]) -> (TableSchema, Table) {
+        let s = TableSchema {
+            name: "T".into(),
+            columns: vec![ColumnDef {
+                name: "x".into(),
+                dtype: DataType::Decimal,
+                nullable: true,
+            }],
+        };
+        let mut t = Table::new(&s);
+        for &v in values {
+            t.push_row(&s, vec![Value::Decimal(v)]).unwrap();
+        }
+        (s, t)
+    }
+
+    #[test]
+    fn histogram_fractions_are_monotone_and_bounded() {
+        let vals: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let h = EquiDepthHistogram::build(vals, 16).unwrap();
+        assert_eq!(h.total(), 1000);
+        assert_eq!(h.fraction_leq(-1.0), 0.0);
+        assert_eq!(h.fraction_leq(999.0), 1.0);
+        let mid = h.fraction_leq(499.0);
+        assert!((mid - 0.5).abs() < 0.05, "mid fraction {mid}");
+        let mut prev = 0.0;
+        for x in [10.0, 100.0, 250.0, 600.0, 900.0] {
+            let f = h.fraction_leq(x);
+            assert!(f >= prev);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn histogram_range_estimates() {
+        let vals: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let h = EquiDepthHistogram::build(vals, 16).unwrap();
+        let f = h.fraction_range(250.0, 749.0);
+        assert!((f - 0.5).abs() < 0.06, "range fraction {f}");
+        assert_eq!(h.fraction_range(10.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn histogram_handles_heavy_duplicates() {
+        let mut vals = vec![5.0; 900];
+        vals.extend((0..100).map(|i| i as f64 / 10.0));
+        let h = EquiDepthHistogram::build(vals, 8).unwrap();
+        // >= 90% of the mass sits at exactly 5.0.
+        assert!(h.fraction_leq(5.0) > 0.89);
+        assert!(h.fraction_leq(4.9) < 0.2);
+    }
+
+    #[test]
+    fn collect_basic_numeric_stats() {
+        let (s, t) = numeric_table(&[3.0, 1.0, 2.0]);
+        let st = ColumnStats::collect(&t, 0, s.columns[0].dtype);
+        assert_eq!(st.row_count, 3);
+        assert_eq!(st.null_count, 0);
+        assert_eq!(st.distinct_count, 3);
+        assert_eq!(st.min_num, Some(1.0));
+        assert_eq!(st.max_num, Some(3.0));
+        assert!(st.max_text_len.is_none());
+    }
+
+    #[test]
+    fn collect_counts_nulls_and_text_lengths() {
+        let s = TableSchema {
+            name: "T".into(),
+            columns: vec![ColumnDef {
+                name: "name".into(),
+                dtype: DataType::Text,
+                nullable: true,
+            }],
+        };
+        let mut t = Table::new(&s);
+        for v in [
+            Value::text("Lake Tahoe"),
+            Value::Null,
+            Value::text("Po"),
+            Value::text("Lake Tahoe"),
+        ] {
+            t.push_row(&s, vec![v]).unwrap();
+        }
+        let st = ColumnStats::collect(&t, 0, DataType::Text);
+        assert_eq!(st.null_count, 1);
+        assert_eq!(st.distinct_count, 2);
+        assert_eq!(st.max_text_len, Some(10));
+        assert_eq!(st.min_text.as_deref(), Some("Lake Tahoe"));
+        assert_eq!(st.max_text.as_deref(), Some("Po"));
+        assert_eq!(st.most_common[0], (Value::text("Lake Tahoe"), 2));
+    }
+
+    #[test]
+    fn selectivity_eq_uses_mcv_then_uniform_residual() {
+        let s = TableSchema {
+            name: "T".into(),
+            columns: vec![ColumnDef {
+                name: "x".into(),
+                dtype: DataType::Int,
+                nullable: false,
+            }],
+        };
+        let mut t = Table::new(&s);
+        // 50 copies of 1, then 50 distinct values 100..150.
+        for _ in 0..50 {
+            t.push_row(&s, vec![Value::Int(1)]).unwrap();
+        }
+        for i in 100..150 {
+            t.push_row(&s, vec![Value::Int(i)]).unwrap();
+        }
+        let st = ColumnStats::collect(&t, 0, DataType::Int);
+        assert!((st.selectivity_eq(&Value::Int(1)) - 0.5).abs() < 1e-9);
+        let unlisted = st.selectivity_eq(&Value::Int(120));
+        assert!(unlisted > 0.0 && unlisted < 0.05, "unlisted {unlisted}");
+    }
+
+    #[test]
+    fn selectivity_range_with_and_without_histogram() {
+        let (_, t) = numeric_table(&(0..100).map(|i| i as f64).collect::<Vec<_>>());
+        let st = ColumnStats::collect(&t, 0, DataType::Decimal);
+        let f = st.selectivity_range(0.0, 49.0);
+        assert!((f - 0.5).abs() < 0.07, "got {f}");
+        // Without a histogram (constant column), min==max fallback path:
+        let (_, t2) = numeric_table(&[7.0, 7.0, 7.0]);
+        let st2 = ColumnStats::collect(&t2, 0, DataType::Decimal);
+        assert_eq!(st2.selectivity_range(6.0, 8.0), 1.0);
+        assert_eq!(st2.selectivity_range(8.0, 9.0), 0.0);
+    }
+
+    #[test]
+    fn empty_column_stats() {
+        let (_, t) = numeric_table(&[]);
+        let st = ColumnStats::collect(&t, 0, DataType::Decimal);
+        assert_eq!(st.row_count, 0);
+        assert!(st.histogram.is_none());
+        assert_eq!(st.selectivity_eq(&Value::Int(1)), 0.0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Columnar row storage for one table.
+//!
+//! Storage is column-major: scans touch one contiguous `Vec<Value>` per
+//! column, which is the access pattern of both predicate evaluation and
+//! statistics collection.
+
+use crate::error::DbError;
+use crate::schema::TableSchema;
+use crate::types::Value;
+
+/// Row payload for one table. Insertions are validated against the schema at
+/// insert time, so downstream code never re-checks types.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    columns: Vec<Vec<Value>>,
+    nrows: usize,
+}
+
+impl Table {
+    /// An empty table shaped like `schema`.
+    pub fn new(schema: &TableSchema) -> Table {
+        Table {
+            columns: vec![Vec::new(); schema.arity()],
+            nrows: 0,
+        }
+    }
+
+    /// Append one row, validating arity, types, and NOT NULL constraints.
+    /// `Int` values widen to `Decimal` on insert into decimal columns so the
+    /// stored column stays homogeneous.
+    pub fn push_row(&mut self, schema: &TableSchema, row: Vec<Value>) -> Result<(), DbError> {
+        if row.len() != schema.arity() {
+            return Err(DbError::ArityMismatch {
+                table: schema.name.clone(),
+                expected: schema.arity(),
+                got: row.len(),
+            });
+        }
+        for (i, v) in row.iter().enumerate() {
+            let def = schema.column(i as u32);
+            if v.is_null() {
+                if !def.nullable {
+                    return Err(DbError::NullViolation {
+                        table: schema.name.clone(),
+                        column: def.name.clone(),
+                    });
+                }
+                continue;
+            }
+            if !v.storable_as(def.dtype) {
+                return Err(DbError::TypeMismatch {
+                    table: schema.name.clone(),
+                    column: def.name.clone(),
+                    expected: def.dtype,
+                    got: v.type_name(),
+                });
+            }
+        }
+        for (i, v) in row.into_iter().enumerate() {
+            let def = schema.column(i as u32);
+            let stored = match (v, def.dtype) {
+                (Value::Int(x), crate::types::DataType::Decimal) => Value::Decimal(x as f64),
+                (other, _) => other,
+            };
+            self.columns[i].push(stored);
+        }
+        self.nrows += 1;
+        Ok(())
+    }
+
+    pub fn row_count(&self) -> usize {
+        self.nrows
+    }
+
+    /// Cell accessor.
+    pub fn value(&self, row: u32, column: u32) -> &Value {
+        &self.columns[column as usize][row as usize]
+    }
+
+    /// Full column as a slice, for scans.
+    pub fn column(&self, column: u32) -> &[Value] {
+        &self.columns[column as usize]
+    }
+
+    /// Materialize one row (used by result rendering, not hot paths).
+    pub fn row(&self, row: u32) -> Vec<Value> {
+        self.columns
+            .iter()
+            .map(|c| c[row as usize].clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+    use crate::types::DataType;
+
+    fn schema() -> TableSchema {
+        TableSchema {
+            name: "Lake".into(),
+            columns: vec![
+                ColumnDef {
+                    name: "Name".into(),
+                    dtype: DataType::Text,
+                    nullable: false,
+                },
+                ColumnDef {
+                    name: "Area".into(),
+                    dtype: DataType::Decimal,
+                    nullable: true,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn push_and_read_roundtrip() {
+        let s = schema();
+        let mut t = Table::new(&s);
+        t.push_row(&s, vec!["Lake Tahoe".into(), Value::Decimal(497.0)])
+            .unwrap();
+        t.push_row(&s, vec!["Crater Lake".into(), Value::Null])
+            .unwrap();
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.value(0, 0), &Value::text("Lake Tahoe"));
+        assert_eq!(t.value(1, 1), &Value::Null);
+        assert_eq!(
+            t.row(0),
+            vec![Value::text("Lake Tahoe"), Value::Decimal(497.0)]
+        );
+    }
+
+    #[test]
+    fn int_widens_into_decimal_column() {
+        let s = schema();
+        let mut t = Table::new(&s);
+        t.push_row(&s, vec!["Fort Peck Lake".into(), Value::Int(981)])
+            .unwrap();
+        assert_eq!(t.value(0, 1), &Value::Decimal(981.0));
+        assert_eq!(t.value(0, 1).type_name(), "decimal");
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let s = schema();
+        let mut t = Table::new(&s);
+        let err = t.push_row(&s, vec!["x".into()]);
+        assert!(matches!(err, Err(DbError::ArityMismatch { .. })));
+        assert_eq!(t.row_count(), 0);
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let s = schema();
+        let mut t = Table::new(&s);
+        let err = t.push_row(&s, vec![Value::Int(5), Value::Null]);
+        assert!(matches!(err, Err(DbError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn null_violation_rejected() {
+        let s = schema();
+        let mut t = Table::new(&s);
+        let err = t.push_row(&s, vec![Value::Null, Value::Null]);
+        assert!(matches!(err, Err(DbError::NullViolation { .. })));
+    }
+
+    #[test]
+    fn column_slice_scans() {
+        let s = schema();
+        let mut t = Table::new(&s);
+        for (n, a) in [("a", 1.0), ("b", 2.0), ("c", 3.0)] {
+            t.push_row(&s, vec![n.into(), Value::Decimal(a)]).unwrap();
+        }
+        let areas: Vec<f64> = t.column(1).iter().filter_map(|v| v.as_number()).collect();
+        assert_eq!(areas, vec![1.0, 2.0, 3.0]);
+    }
+}

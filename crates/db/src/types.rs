@@ -1,0 +1,499 @@
+//! Typed values and data types.
+//!
+//! The Prism paper's metadata constraints speak about five data types —
+//! *"decimal, int, text, date, time"* (Section 2.1) — so those are exactly the
+//! types the substrate supports. [`Value`] is totally ordered and hashable
+//! (decimals are required to be finite), which lets values serve directly as
+//! hash-join keys and histogram bounds.
+
+use crate::error::DbError;
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// The declared type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DataType {
+    Int,
+    Decimal,
+    Text,
+    Date,
+    Time,
+}
+
+impl DataType {
+    /// Name as written in metadata constraints (`DataType == 'decimal'`).
+    /// Matching is case-insensitive on the constraint side.
+    pub fn name(self) -> &'static str {
+        match self {
+            DataType::Int => "int",
+            DataType::Decimal => "decimal",
+            DataType::Text => "text",
+            DataType::Date => "date",
+            DataType::Time => "time",
+        }
+    }
+
+    /// Parse a type name as it appears in a metadata constraint.
+    pub fn parse(s: &str) -> Option<DataType> {
+        match s.to_ascii_lowercase().as_str() {
+            "int" | "integer" => Some(DataType::Int),
+            "decimal" | "float" | "double" | "numeric" => Some(DataType::Decimal),
+            "text" | "string" | "varchar" | "char" => Some(DataType::Text),
+            "date" => Some(DataType::Date),
+            "time" => Some(DataType::Time),
+            _ => None,
+        }
+    }
+
+    /// True for `Int` and `Decimal`, which compare numerically with each
+    /// other and participate in min/max statistics.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int | DataType::Decimal)
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A calendar date. Only ordering matters to the mapping algorithms, so no
+/// calendar arithmetic is provided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Date {
+    pub year: i16,
+    pub month: u8,
+    pub day: u8,
+}
+
+impl Date {
+    pub fn new(year: i16, month: u8, day: u8) -> Date {
+        Date { year, month, day }
+    }
+
+    /// Days-since-epoch style ordinal used for numeric comparisons and
+    /// histogram bucketing. A flat 31-day month approximation is fine because
+    /// only relative order is ever consumed.
+    pub fn ordinal(&self) -> f64 {
+        self.year as f64 * 372.0 + self.month as f64 * 31.0 + self.day as f64
+    }
+
+    /// Parse `YYYY-MM-DD`.
+    pub fn parse(s: &str) -> Option<Date> {
+        let mut it = s.split('-');
+        let year: i16 = it.next()?.parse().ok()?;
+        let month: u8 = it.next()?.parse().ok()?;
+        let day: u8 = it.next()?.parse().ok()?;
+        if it.next().is_some() || !(1..=12).contains(&month) || !(1..=31).contains(&day) {
+            return None;
+        }
+        Some(Date { year, month, day })
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+/// A time of day, to second precision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Time {
+    pub hour: u8,
+    pub minute: u8,
+    pub second: u8,
+}
+
+impl Time {
+    pub fn new(hour: u8, minute: u8, second: u8) -> Time {
+        Time {
+            hour,
+            minute,
+            second,
+        }
+    }
+
+    /// Seconds since midnight, for numeric comparison.
+    pub fn ordinal(&self) -> f64 {
+        self.hour as f64 * 3600.0 + self.minute as f64 * 60.0 + self.second as f64
+    }
+
+    /// Parse `HH:MM` or `HH:MM:SS`.
+    pub fn parse(s: &str) -> Option<Time> {
+        let mut it = s.split(':');
+        let hour: u8 = it.next()?.parse().ok()?;
+        let minute: u8 = it.next()?.parse().ok()?;
+        let second: u8 = match it.next() {
+            Some(sec) => sec.parse().ok()?,
+            None => 0,
+        };
+        if it.next().is_some() || hour > 23 || minute > 59 || second > 59 {
+            return None;
+        }
+        Some(Time {
+            hour,
+            minute,
+            second,
+        })
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:02}:{:02}:{:02}", self.hour, self.minute, self.second)
+    }
+}
+
+/// A single cell value.
+///
+/// `Decimal` is guaranteed finite (enforced by [`Value::decimal`] and the
+/// table insert path), so `Value` implements `Eq`, `Ord`, and `Hash` and can
+/// be used directly as a hash-join key.
+#[derive(Debug, Clone)]
+pub enum Value {
+    Null,
+    Int(i64),
+    Decimal(f64),
+    Text(String),
+    Date(Date),
+    Time(Time),
+}
+
+impl Value {
+    /// Construct a decimal value, rejecting NaN and infinities.
+    pub fn decimal(v: f64) -> Result<Value, DbError> {
+        if v.is_finite() {
+            // Normalize -0.0 to 0.0 so equal values hash equally.
+            Ok(Value::Decimal(if v == 0.0 { 0.0 } else { v }))
+        } else {
+            Err(DbError::NonFiniteDecimal)
+        }
+    }
+
+    /// Construct a text value.
+    pub fn text(s: impl Into<String>) -> Value {
+        Value::Text(s.into())
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Runtime type, or `None` for NULL (NULL stores into any column).
+    pub fn dtype(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Decimal(_) => Some(DataType::Decimal),
+            Value::Text(_) => Some(DataType::Text),
+            Value::Date(_) => Some(DataType::Date),
+            Value::Time(_) => Some(DataType::Time),
+        }
+    }
+
+    /// Short name of the runtime type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Int(_) => "int",
+            Value::Decimal(_) => "decimal",
+            Value::Text(_) => "text",
+            Value::Date(_) => "date",
+            Value::Time(_) => "time",
+        }
+    }
+
+    /// Numeric view of the value, if it has one. Int and Decimal compare on
+    /// this; Date and Time expose their ordinals so range constraints like
+    /// `>= '1990-01-01'` work uniformly.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Decimal(d) => Some(*d),
+            Value::Date(d) => Some(d.ordinal()),
+            Value::Time(t) => Some(t.ordinal()),
+            _ => None,
+        }
+    }
+
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether the value may legally be stored in a column of type `dtype`.
+    /// NULL is storable anywhere; Int widens into Decimal columns.
+    pub fn storable_as(&self, dtype: DataType) -> bool {
+        matches!(
+            (self, dtype),
+            (Value::Null, _)
+                | (Value::Int(_), DataType::Int)
+                | (Value::Int(_), DataType::Decimal)
+                | (Value::Decimal(_), DataType::Decimal)
+                | (Value::Text(_), DataType::Text)
+                | (Value::Date(_), DataType::Date)
+                | (Value::Time(_), DataType::Time)
+        )
+    }
+
+    /// Canonical key used by the inverted index so that the user keyword
+    /// `497` finds the decimal cell `497.0` and the int cell `497` alike.
+    /// Text is case-folded; numerics use a minimal decimal rendering.
+    pub fn index_key(&self) -> Option<String> {
+        match self {
+            Value::Null => None,
+            Value::Text(s) => Some(s.trim().to_lowercase()),
+            Value::Int(i) => Some(i.to_string()),
+            Value::Decimal(d) => Some(format_minimal(*d)),
+            Value::Date(d) => Some(d.to_string()),
+            Value::Time(t) => Some(t.to_string()),
+        }
+    }
+}
+
+/// Render a finite f64 without a trailing `.0` when it is integral, matching
+/// how users type numbers into constraints.
+pub fn format_minimal(d: f64) -> String {
+    if d == d.trunc() && d.abs() < 1e15 {
+        format!("{}", d as i64)
+    } else {
+        format!("{d}")
+    }
+}
+
+/// Rank used to order values of different type classes deterministically:
+/// NULL < numbers < text < date < time.
+fn class_rank(v: &Value) -> u8 {
+    match v {
+        Value::Null => 0,
+        Value::Int(_) | Value::Decimal(_) => 1,
+        Value::Text(_) => 2,
+        Value::Date(_) => 3,
+        Value::Time(_) => 4,
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Value) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Value) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Int(a), Decimal(b)) => cmp_f64(*a as f64, *b),
+            (Decimal(a), Int(b)) => cmp_f64(*a, *b as f64),
+            (Decimal(a), Decimal(b)) => cmp_f64(*a, *b),
+            (Text(a), Text(b)) => a.cmp(b),
+            (Date(a), Date(b)) => a.cmp(b),
+            (Time(a), Time(b)) => a.cmp(b),
+            _ => class_rank(self).cmp(&class_rank(other)),
+        }
+    }
+}
+
+fn cmp_f64(a: f64, b: f64) -> Ordering {
+    // Decimals are guaranteed finite, so partial_cmp never fails.
+    a.partial_cmp(&b).expect("finite decimals are comparable")
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => state.write_u8(0),
+            // Int and Decimal holding the same number must hash equally
+            // because they compare equal (e.g. joining an Int FK against a
+            // Decimal PK). Hash the f64 bits of the numeric view.
+            Value::Int(i) => {
+                state.write_u8(1);
+                state.write_u64((*i as f64).to_bits());
+            }
+            Value::Decimal(d) => {
+                state.write_u8(1);
+                state.write_u64(d.to_bits());
+            }
+            Value::Text(s) => {
+                state.write_u8(2);
+                s.hash(state);
+            }
+            Value::Date(d) => {
+                state.write_u8(3);
+                d.hash(state);
+            }
+            Value::Time(t) => {
+                state.write_u8(4);
+                t.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Decimal(d) => f.write_str(&format_minimal(*d)),
+            Value::Text(s) => f.write_str(s),
+            Value::Date(d) => write!(f, "{d}"),
+            Value::Time(t) => write!(f, "{t}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Value {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Text(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Text(v)
+    }
+}
+
+impl From<Date> for Value {
+    fn from(v: Date) -> Value {
+        Value::Date(v)
+    }
+}
+
+impl From<Time> for Value {
+    fn from(v: Time) -> Value {
+        Value::Time(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn decimal_rejects_non_finite() {
+        assert_eq!(Value::decimal(f64::NAN), Err(DbError::NonFiniteDecimal));
+        assert_eq!(
+            Value::decimal(f64::INFINITY),
+            Err(DbError::NonFiniteDecimal)
+        );
+        assert!(Value::decimal(497.0).is_ok());
+    }
+
+    #[test]
+    fn negative_zero_normalizes() {
+        let a = Value::decimal(-0.0).unwrap();
+        let b = Value::decimal(0.0).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn int_and_decimal_compare_numerically() {
+        assert_eq!(Value::Int(497), Value::Decimal(497.0));
+        assert!(Value::Int(3) < Value::Decimal(3.5));
+        assert!(Value::Decimal(2.5) < Value::Int(3));
+        assert_eq!(hash_of(&Value::Int(497)), hash_of(&Value::Decimal(497.0)));
+    }
+
+    #[test]
+    fn cross_class_order_is_total_and_stable() {
+        let vals = [
+            Value::Null,
+            Value::Int(1),
+            Value::text("a"),
+            Value::Date(Date::new(2000, 1, 1)),
+            Value::Time(Time::new(1, 0, 0)),
+        ];
+        for w in vals.windows(2) {
+            assert!(w[0] < w[1], "{:?} < {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn date_parse_and_order() {
+        let a = Date::parse("1999-12-31").unwrap();
+        let b = Date::parse("2000-01-01").unwrap();
+        assert!(a < b);
+        assert!(a.ordinal() < b.ordinal());
+        assert_eq!(a.to_string(), "1999-12-31");
+        assert!(Date::parse("2000-13-01").is_none());
+        assert!(Date::parse("nope").is_none());
+    }
+
+    #[test]
+    fn time_parse_and_order() {
+        let a = Time::parse("09:30").unwrap();
+        let b = Time::parse("09:30:01").unwrap();
+        assert!(a < b);
+        assert_eq!(a.to_string(), "09:30:00");
+        assert!(Time::parse("24:00").is_none());
+    }
+
+    #[test]
+    fn index_keys_unify_text_case_and_numeric_forms() {
+        assert_eq!(Value::text("Lake Tahoe").index_key().unwrap(), "lake tahoe");
+        assert_eq!(Value::Int(497).index_key().unwrap(), "497");
+        assert_eq!(Value::Decimal(497.0).index_key().unwrap(), "497");
+        assert_eq!(Value::Decimal(53.2).index_key().unwrap(), "53.2");
+        assert!(Value::Null.index_key().is_none());
+    }
+
+    #[test]
+    fn datatype_parse_aliases() {
+        assert_eq!(DataType::parse("Decimal"), Some(DataType::Decimal));
+        assert_eq!(DataType::parse("INTEGER"), Some(DataType::Int));
+        assert_eq!(DataType::parse("varchar"), Some(DataType::Text));
+        assert_eq!(DataType::parse("widget"), None);
+    }
+
+    #[test]
+    fn storable_as_allows_int_widening_only() {
+        assert!(Value::Int(3).storable_as(DataType::Decimal));
+        assert!(!Value::Decimal(3.0).storable_as(DataType::Int));
+        assert!(Value::Null.storable_as(DataType::Date));
+        assert!(!Value::text("x").storable_as(DataType::Int));
+    }
+
+    #[test]
+    fn display_uses_minimal_decimal_form() {
+        assert_eq!(Value::Decimal(981.0).to_string(), "981");
+        assert_eq!(Value::Decimal(53.2).to_string(), "53.2");
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+}

@@ -1,0 +1,182 @@
+//! Property-based tests of the substrate's core invariants: value ordering,
+//! histogram estimates, join-tree enumeration, CSV round-trips, and PJ
+//! execution against a brute-force oracle.
+
+use prism_db::graph::{JoinEdge, SchemaGraph};
+use prism_db::schema::{ColumnDef, ColumnRef, TableId};
+use prism_db::stats::EquiDepthHistogram;
+use prism_db::types::{DataType, Date, Time, Value};
+use prism_db::{DatabaseBuilder, JoinCond, PjQuery};
+use proptest::prelude::*;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        (-1000i64..1000).prop_map(Value::Int),
+        (-1000i64..1000).prop_map(|n| Value::Decimal(n as f64 / 8.0)),
+        "[a-z]{0,6}".prop_map(Value::text),
+        (1900i16..2100, 1u8..=12, 1u8..=28).prop_map(|(y, m, d)| Value::Date(Date::new(y, m, d))),
+        (0u8..24, 0u8..60, 0u8..60).prop_map(|(h, m, s)| Value::Time(Time::new(h, m, s))),
+    ]
+}
+
+fn hash_of(v: &Value) -> u64 {
+    let mut h = DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
+}
+
+proptest! {
+    #[test]
+    fn value_ordering_is_total_and_consistent(a in arb_value(), b in arb_value(), c in arb_value()) {
+        use std::cmp::Ordering;
+        // Antisymmetry.
+        prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+        // Transitivity.
+        if a.cmp(&b) != Ordering::Greater && b.cmp(&c) != Ordering::Greater {
+            prop_assert_ne!(a.cmp(&c), Ordering::Greater);
+        }
+        // Eq ⟹ equal hashes (required for hash joins).
+        if a == b {
+            prop_assert_eq!(hash_of(&a), hash_of(&b));
+        }
+    }
+
+    #[test]
+    fn histogram_fraction_is_monotone_and_bounded(
+        mut values in proptest::collection::vec(-1e6f64..1e6, 1..300),
+        buckets in 1usize..40,
+        probes in proptest::collection::vec(-2e6f64..2e6, 1..20),
+    ) {
+        values.iter_mut().for_each(|v| *v = (*v * 8.0).round() / 8.0);
+        let h = EquiDepthHistogram::build(values.clone(), buckets).expect("non-empty");
+        let mut sorted_probes = probes.clone();
+        sorted_probes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = 0.0;
+        for &x in &sorted_probes {
+            let f = h.fraction_leq(x);
+            prop_assert!((0.0..=1.0).contains(&f), "fraction {f} out of bounds");
+            prop_assert!(f + 1e-12 >= prev, "monotonicity violated: {f} < {prev}");
+            prev = f;
+        }
+        let max = values.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert_eq!(h.fraction_leq(max), 1.0);
+        // Sanity against truth at a midpoint probe.
+        let probe = sorted_probes[sorted_probes.len() / 2];
+        let truth = values.iter().filter(|&&v| v <= probe).count() as f64 / values.len() as f64;
+        let est = h.fraction_leq(probe);
+        prop_assert!((est - truth).abs() <= 0.5, "estimate {est} vs truth {truth}");
+    }
+
+    #[test]
+    fn join_tree_enumeration_produces_unique_valid_trees(
+        n_tables in 2u32..7,
+        edge_pairs in proptest::collection::vec((0u32..7, 0u32..7), 1..12),
+        max_tables in 1usize..5,
+    ) {
+        let edges: Vec<JoinEdge> = edge_pairs
+            .iter()
+            .filter(|(a, b)| a % n_tables != b % n_tables)
+            .map(|(a, b)| JoinEdge {
+                a: ColumnRef::new(TableId(a % n_tables), 0),
+                b: ColumnRef::new(TableId(b % n_tables), 0),
+            })
+            .collect();
+        let g = SchemaGraph::new(n_tables as usize, edges);
+        let anchors: Vec<TableId> = (0..n_tables).map(TableId).collect();
+        let trees = g.enumerate_trees(max_tables, &anchors);
+        // Uniqueness.
+        let mut keys: Vec<_> = trees.iter().map(|t| (t.edges.clone(), t.tables.clone())).collect();
+        let before = keys.len();
+        keys.sort();
+        keys.dedup();
+        prop_assert_eq!(keys.len(), before, "duplicate trees emitted");
+        for t in &trees {
+            prop_assert!(t.table_count() <= max_tables);
+            // A tree spanning k tables has exactly k-1 edges (acyclicity).
+            prop_assert_eq!(t.edges.len(), t.table_count() - 1);
+            // Edges touch only the tree's tables (connectivity is implied by
+            // the growth procedure + edge count).
+            for &e in &t.edges {
+                let edge = g.edge(e);
+                prop_assert!(t.contains_table(edge.a.table));
+                prop_assert!(t.contains_table(edge.b.table));
+            }
+        }
+    }
+
+    #[test]
+    fn csv_roundtrip(table in proptest::collection::vec(
+        proptest::collection::vec("[ -~]{0,12}", 3), 1..20)) {
+        // Render with full quoting, then parse back.
+        let text: String = table
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|f| format!("\"{}\"", f.replace('"', "\"\"")))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let parsed = prism_db::parse_csv(&text);
+        prop_assert_eq!(parsed, table);
+    }
+
+    #[test]
+    fn pj_join_matches_bruteforce_nested_loop(
+        a_keys in proptest::collection::vec(0i64..8, 1..25),
+        b_keys in proptest::collection::vec(0i64..8, 1..25),
+    ) {
+        let mut builder = DatabaseBuilder::new("p");
+        builder.add_table("A", vec![ColumnDef::new("k", DataType::Int)]).unwrap();
+        builder.add_table("B", vec![ColumnDef::new("k", DataType::Int)]).unwrap();
+        for &k in &a_keys {
+            builder.add_row("A", vec![Value::Int(k)]).unwrap();
+        }
+        for &k in &b_keys {
+            builder.add_row("B", vec![Value::Int(k)]).unwrap();
+        }
+        builder.add_foreign_key("A", "k", "B", "k").unwrap();
+        let db = builder.build();
+        let q = PjQuery {
+            nodes: vec![TableId(0), TableId(1)],
+            joins: vec![JoinCond { left_node: 0, left_col: 0, right_node: 1, right_col: 0 }],
+            projection: vec![(0, 0), (1, 0)],
+        };
+        let mut got: Vec<(i64, i64)> = q
+            .execute(&db, usize::MAX)
+            .unwrap()
+            .into_iter()
+            .map(|r| match (&r[0], &r[1]) {
+                (Value::Int(x), Value::Int(y)) => (*x, *y),
+                _ => unreachable!(),
+            })
+            .collect();
+        let mut want: Vec<(i64, i64)> = a_keys
+            .iter()
+            .flat_map(|&x| b_keys.iter().filter(move |&&y| y == x).map(move |&y| (x, y)))
+            .collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn stats_selectivity_eq_sums_to_one_over_distincts(
+        keys in proptest::collection::vec(0i64..5, 1..60),
+    ) {
+        let mut builder = DatabaseBuilder::new("p");
+        builder.add_table("T", vec![ColumnDef::new("k", DataType::Int)]).unwrap();
+        for &k in &keys {
+            builder.add_row("T", vec![Value::Int(k)]).unwrap();
+        }
+        let db = builder.build();
+        let col = db.catalog().column_ref("T", "k").unwrap();
+        let stats = db.stats().column(col);
+        let total: f64 = (0..5).map(|k| stats.selectivity_eq(&Value::Int(k))).sum();
+        prop_assert!((total - 1.0).abs() < 0.05, "selectivities sum to {total}");
+    }
+}

@@ -1,0 +1,346 @@
+//! Abstract syntax of the multiresolution constraint language.
+
+use std::fmt;
+
+/// Comparison operators (`binop` in Figure 1, plus the `CONTAINS` extension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// Keyword containment in a text cell (extension; Figure 1's grammar is
+    /// equality-based, but the demo narrative — "contain a given keyword" —
+    /// motivates it).
+    Contains,
+    /// A user-defined function call (`@name`) — the paper's announced
+    /// future-work extension. The predicate's literal holds the UDF name.
+    Udf,
+}
+
+impl CmpOp {
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Contains => "CONTAINS",
+            CmpOp::Udf => "@",
+        }
+    }
+
+    /// True for operators that constrain an ordering (`<`, `<=`, `>`, `>=`).
+    pub fn is_ordering(self) -> bool {
+        matches!(self, CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge)
+    }
+}
+
+/// A constant written by the user. The raw spelling is kept verbatim —
+/// `'0'` in `MinValue >= '0'` is numeric by context — and a numeric parse is
+/// cached when the spelling is a number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Literal {
+    /// The text between quotes, or the bareword sequence as typed.
+    pub raw: String,
+    /// `Some` when `raw` parses as a finite number.
+    pub num: Option<f64>,
+}
+
+impl Literal {
+    pub fn new(raw: impl Into<String>) -> Literal {
+        let raw = raw.into();
+        let num = raw.trim().parse::<f64>().ok().filter(|n| n.is_finite());
+        Literal { raw, num }
+    }
+
+    pub fn is_numeric(&self) -> bool {
+        self.num.is_some()
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "'{}'", self.raw)
+    }
+}
+
+/// `pv := binop const` — a predicate over one cell of the target schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValuePred {
+    pub op: CmpOp,
+    pub lit: Literal,
+}
+
+impl fmt::Display for ValuePred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.op {
+            // Bare keyword form, as users write it.
+            CmpOp::Eq => write!(f, "{}", self.lit),
+            CmpOp::Udf => write!(f, "@{}", self.lit.raw),
+            _ => write!(f, "{} {}", self.op.symbol(), self.lit),
+        }
+    }
+}
+
+/// The metadata types of Figure 1 plus `MaxLength` (the paper's "maximum
+/// text length" metadata, named in Section 2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MetaField {
+    DataType,
+    ColumnName,
+    MinValue,
+    MaxValue,
+    MaxLength,
+    /// A column-level user-defined function (`@name`); the predicate's
+    /// literal holds the UDF name.
+    Udf,
+}
+
+impl MetaField {
+    pub fn name(self) -> &'static str {
+        match self {
+            MetaField::DataType => "DataType",
+            MetaField::ColumnName => "ColumnName",
+            MetaField::MinValue => "MinValue",
+            MetaField::MaxValue => "MaxValue",
+            MetaField::MaxLength => "MaxLength",
+            MetaField::Udf => "@",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<MetaField> {
+        match s.to_ascii_lowercase().as_str() {
+            "datatype" | "type" => Some(MetaField::DataType),
+            "columnname" | "column" | "name" => Some(MetaField::ColumnName),
+            "minvalue" | "min" => Some(MetaField::MinValue),
+            "maxvalue" | "max" => Some(MetaField::MaxValue),
+            "maxlength" | "maxtextlength" | "length" => Some(MetaField::MaxLength),
+            _ => None,
+        }
+    }
+}
+
+/// `pm := type binop const` — factual knowledge about a source column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetaPred {
+    pub field: MetaField,
+    pub op: CmpOp,
+    pub lit: Literal,
+}
+
+impl fmt::Display for MetaPred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.field == MetaField::Udf {
+            write!(f, "@{}", self.lit.raw)
+        } else {
+            write!(f, "{} {} {}", self.field.name(), self.op.symbol(), self.lit)
+        }
+    }
+}
+
+/// A boolean combination of predicates — the `p | p logicalop p | …`
+/// production, generic over the predicate kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConstraintExpr<P> {
+    Pred(P),
+    And(Box<ConstraintExpr<P>>, Box<ConstraintExpr<P>>),
+    Or(Box<ConstraintExpr<P>>, Box<ConstraintExpr<P>>),
+}
+
+impl<P> ConstraintExpr<P> {
+    pub fn and(a: ConstraintExpr<P>, b: ConstraintExpr<P>) -> ConstraintExpr<P> {
+        ConstraintExpr::And(Box::new(a), Box::new(b))
+    }
+
+    pub fn or(a: ConstraintExpr<P>, b: ConstraintExpr<P>) -> ConstraintExpr<P> {
+        ConstraintExpr::Or(Box::new(a), Box::new(b))
+    }
+
+    /// Evaluate with a predicate oracle.
+    pub fn eval(&self, test: &impl Fn(&P) -> bool) -> bool {
+        match self {
+            ConstraintExpr::Pred(p) => test(p),
+            ConstraintExpr::And(a, b) => a.eval(test) && b.eval(test),
+            ConstraintExpr::Or(a, b) => a.eval(test) || b.eval(test),
+        }
+    }
+
+    /// All predicates, left to right.
+    pub fn predicates(&self) -> Vec<&P> {
+        let mut out = Vec::new();
+        self.collect(&mut out);
+        out
+    }
+
+    fn collect<'a>(&'a self, out: &mut Vec<&'a P>) {
+        match self {
+            ConstraintExpr::Pred(p) => out.push(p),
+            ConstraintExpr::And(a, b) | ConstraintExpr::Or(a, b) => {
+                a.collect(out);
+                b.collect(out);
+            }
+        }
+    }
+
+    /// Number of predicate leaves.
+    pub fn predicate_count(&self) -> usize {
+        match self {
+            ConstraintExpr::Pred(_) => 1,
+            ConstraintExpr::And(a, b) | ConstraintExpr::Or(a, b) => {
+                a.predicate_count() + b.predicate_count()
+            }
+        }
+    }
+}
+
+/// A row-level value constraint (`ck`).
+pub type ValueConstraint = ConstraintExpr<ValuePred>;
+
+/// A column-level metadata constraint (`cm`).
+pub type MetadataConstraint = ConstraintExpr<MetaPred>;
+
+impl ValueConstraint {
+    /// When the constraint is a pure disjunction of equality keywords
+    /// (`a || b || c` or a single keyword), return them. Related-column
+    /// discovery uses this to answer the constraint entirely from the
+    /// inverted index; anything else falls back to a scan.
+    pub fn eq_keywords(&self) -> Option<Vec<&Literal>> {
+        match self {
+            ConstraintExpr::Pred(ValuePred { op: CmpOp::Eq, lit }) => Some(vec![lit]),
+            ConstraintExpr::Or(a, b) => {
+                let mut left = a.eq_keywords()?;
+                left.extend(b.eq_keywords()?);
+                Some(left)
+            }
+            _ => None,
+        }
+    }
+}
+
+impl<P: fmt::Display> fmt::Display for ConstraintExpr<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConstraintExpr::Pred(p) => write!(f, "{p}"),
+            ConstraintExpr::And(a, b) => {
+                write_operand(f, a)?;
+                write!(f, " AND ")?;
+                write_operand(f, b)
+            }
+            ConstraintExpr::Or(a, b) => {
+                write_operand(f, a)?;
+                write!(f, " OR ")?;
+                write_operand(f, b)
+            }
+        }
+    }
+}
+
+fn write_operand<P: fmt::Display>(
+    f: &mut fmt::Formatter<'_>,
+    e: &ConstraintExpr<P>,
+) -> fmt::Result {
+    match e {
+        ConstraintExpr::Pred(_) => write!(f, "{e}"),
+        _ => write!(f, "({e})"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kw(s: &str) -> ValueConstraint {
+        ConstraintExpr::Pred(ValuePred {
+            op: CmpOp::Eq,
+            lit: Literal::new(s),
+        })
+    }
+
+    #[test]
+    fn literal_caches_numeric_parse() {
+        assert_eq!(Literal::new("497").num, Some(497.0));
+        assert_eq!(Literal::new("53.2").num, Some(53.2));
+        assert_eq!(Literal::new("Lake Tahoe").num, None);
+        assert_eq!(Literal::new("  0 ").num, Some(0.0));
+        assert_eq!(Literal::new("NaN").num, None, "non-finite rejected");
+    }
+
+    #[test]
+    fn eval_respects_boolean_structure() {
+        let c = ConstraintExpr::or(kw("California"), kw("Nevada"));
+        let hits_cal = |p: &ValuePred| p.lit.raw == "California";
+        assert!(c.eval(&hits_cal));
+        let c2 = ConstraintExpr::and(kw("California"), kw("Nevada"));
+        assert!(!c2.eval(&hits_cal));
+    }
+
+    #[test]
+    fn eq_keywords_extracts_pure_disjunctions() {
+        let c = ConstraintExpr::or(kw("California"), kw("Nevada"));
+        let kws: Vec<&str> = c
+            .eq_keywords()
+            .unwrap()
+            .iter()
+            .map(|l| l.raw.as_str())
+            .collect();
+        assert_eq!(kws, vec!["California", "Nevada"]);
+        // A range predicate defeats keyword extraction.
+        let range = ConstraintExpr::Pred(ValuePred {
+            op: CmpOp::Ge,
+            lit: Literal::new("0"),
+        });
+        assert!(ConstraintExpr::or(kw("a"), range.clone())
+            .eq_keywords()
+            .is_none());
+        assert!(range.eq_keywords().is_none());
+        // Conjunctions also defeat it.
+        assert!(ConstraintExpr::and(kw("a"), kw("b"))
+            .eq_keywords()
+            .is_none());
+    }
+
+    #[test]
+    fn display_round_trips_shape() {
+        let c = ConstraintExpr::or(kw("California"), kw("Nevada"));
+        assert_eq!(c.to_string(), "'California' OR 'Nevada'");
+        let nested = ConstraintExpr::and(
+            c,
+            ConstraintExpr::Pred(ValuePred {
+                op: CmpOp::Ge,
+                lit: Literal::new("0"),
+            }),
+        );
+        assert_eq!(nested.to_string(), "('California' OR 'Nevada') AND >= '0'");
+    }
+
+    #[test]
+    fn predicates_enumerates_leaves_in_order() {
+        let c = ConstraintExpr::or(ConstraintExpr::and(kw("a"), kw("b")), kw("c"));
+        let raws: Vec<&str> = c.predicates().iter().map(|p| p.lit.raw.as_str()).collect();
+        assert_eq!(raws, vec!["a", "b", "c"]);
+        assert_eq!(c.predicate_count(), 3);
+    }
+
+    #[test]
+    fn meta_field_parse_aliases() {
+        assert_eq!(MetaField::parse("DataType"), Some(MetaField::DataType));
+        assert_eq!(MetaField::parse("MINVALUE"), Some(MetaField::MinValue));
+        assert_eq!(MetaField::parse("maxlength"), Some(MetaField::MaxLength));
+        assert_eq!(MetaField::parse("colour"), None);
+    }
+
+    #[test]
+    fn meta_pred_display() {
+        let p = MetaPred {
+            field: MetaField::MinValue,
+            op: CmpOp::Ge,
+            lit: Literal::new("0"),
+        };
+        assert_eq!(p.to_string(), "MinValue >= '0'");
+    }
+}

@@ -1,0 +1,45 @@
+//! Parse errors with source positions.
+
+use std::fmt;
+
+/// An error encountered while lexing or parsing a constraint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the constraint text where the problem was noticed.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ParseError {
+    pub fn new(position: usize, message: impl Into<String>) -> ParseError {
+        ParseError {
+            position,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "parse error at offset {}: {}",
+            self.position, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position_and_message() {
+        let e = ParseError::new(7, "expected a constant");
+        let s = e.to_string();
+        assert!(s.contains('7') && s.contains("expected a constant"));
+    }
+}

@@ -1,0 +1,563 @@
+//! Evaluation of constraints against cells and column statistics, plus
+//! selectivity estimation for the Bayesian filter scheduler.
+//!
+//! Semantics notes:
+//!
+//! * NULL cells satisfy **no** value predicate (SQL-style), including `!=`.
+//! * Equality on text is case-insensitive and whitespace-trimmed — the demo's
+//!   users type keywords, not exact byte strings.
+//! * Equality between a numeric cell and a numeric constant uses a tiny
+//!   relative epsilon so `497` matches a decimal cell printed as `497`.
+//! * `DataType == 'decimal'` also accepts `int` columns: every integer is a
+//!   valid decimal, and a user asserting "this column is decimal" should not
+//!   be punished when the warehouse declared the column `int`. The reverse
+//!   (`DataType == 'int'` on a decimal column) does **not** hold.
+
+use crate::ast::{
+    CmpOp, ConstraintExpr, Literal, MetaField, MetaPred, MetadataConstraint, ValueConstraint,
+    ValuePred,
+};
+use crate::udf::UdfRegistry;
+use prism_db::stats::ColumnStats;
+use prism_db::types::{DataType, Date, Time, Value};
+use std::cmp::Ordering;
+use std::sync::OnceLock;
+
+/// Shared empty registry for the registry-free entry points.
+fn empty_registry() -> &'static UdfRegistry {
+    static EMPTY: OnceLock<UdfRegistry> = OnceLock::new();
+    EMPTY.get_or_init(UdfRegistry::new)
+}
+
+/// Does the cell `v` satisfy the value constraint? UDF predicates evaluate
+/// against `udfs` (unregistered names are false).
+pub fn matches_value_with(c: &ValueConstraint, v: &Value, udfs: &UdfRegistry) -> bool {
+    c.eval(&|p| value_pred_matches_with(p, v, udfs))
+}
+
+/// Does the cell `v` satisfy the value constraint? (No UDFs available —
+/// any `@name` predicate is false.)
+pub fn matches_value(c: &ValueConstraint, v: &Value) -> bool {
+    matches_value_with(c, v, empty_registry())
+}
+
+/// Does one value predicate hold on cell `v`?
+pub fn value_pred_matches(p: &ValuePred, v: &Value) -> bool {
+    value_pred_matches_with(p, v, empty_registry())
+}
+
+/// Does one value predicate hold on cell `v`, with UDFs from `udfs`?
+pub fn value_pred_matches_with(p: &ValuePred, v: &Value, udfs: &UdfRegistry) -> bool {
+    if v.is_null() {
+        return false;
+    }
+    match p.op {
+        CmpOp::Udf => udfs.eval_value(&p.lit.raw, v),
+        CmpOp::Eq => value_equals(v, &p.lit),
+        CmpOp::Ne => !value_equals(v, &p.lit),
+        CmpOp::Contains => match v {
+            Value::Text(s) => s.to_lowercase().contains(&p.lit.raw.trim().to_lowercase()),
+            _ => false,
+        },
+        op => match compare(v, &p.lit) {
+            Some(ord) => match op {
+                CmpOp::Lt => ord == Ordering::Less,
+                CmpOp::Le => ord != Ordering::Greater,
+                CmpOp::Gt => ord == Ordering::Greater,
+                CmpOp::Ge => ord != Ordering::Less,
+                _ => unreachable!("Eq/Ne/Contains handled above"),
+            },
+            None => false,
+        },
+    }
+}
+
+fn value_equals(v: &Value, lit: &Literal) -> bool {
+    match v {
+        Value::Int(_) | Value::Decimal(_) => match lit.num {
+            Some(n) => approx_eq(v.as_number().expect("numeric"), n),
+            None => false,
+        },
+        Value::Text(s) => s.trim().eq_ignore_ascii_case(lit.raw.trim()),
+        Value::Date(d) => Date::parse(lit.raw.trim()).is_some_and(|ld| *d == ld),
+        Value::Time(t) => Time::parse(lit.raw.trim()).is_some_and(|lt| *t == lt),
+        Value::Null => false,
+    }
+}
+
+/// Three-way comparison of a cell against a literal, when the two are
+/// comparable. Numeric cells compare against numeric literals; text compares
+/// lexicographically (case-insensitive); dates/times compare against parsed
+/// date/time literals (falling back to a raw numeric ordinal).
+fn compare(v: &Value, lit: &Literal) -> Option<Ordering> {
+    match v {
+        Value::Int(_) | Value::Decimal(_) => {
+            let n = lit.num?;
+            v.as_number().expect("numeric").partial_cmp(&n)
+        }
+        Value::Text(s) => Some(s.trim().to_lowercase().cmp(&lit.raw.trim().to_lowercase())),
+        Value::Date(d) => {
+            let target = Date::parse(lit.raw.trim())
+                .map(|x| x.ordinal())
+                .or(lit.num)?;
+            d.ordinal().partial_cmp(&target)
+        }
+        Value::Time(t) => {
+            let target = Time::parse(lit.raw.trim())
+                .map(|x| x.ordinal())
+                .or(lit.num)?;
+            t.ordinal().partial_cmp(&target)
+        }
+        Value::Null => None,
+    }
+}
+
+fn approx_eq(a: f64, b: f64) -> bool {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= scale * 1e-9
+}
+
+/// Does the column described by (`name`, `stats`) satisfy the metadata
+/// constraint? Column UDFs evaluate against `udfs`.
+pub fn metadata_satisfied_with(
+    c: &MetadataConstraint,
+    name: &str,
+    stats: &ColumnStats,
+    udfs: &UdfRegistry,
+) -> bool {
+    c.eval(&|p| meta_pred_satisfied_with(p, name, stats, udfs))
+}
+
+/// Does the column described by (`name`, `stats`) satisfy the metadata
+/// constraint? (No UDFs available.)
+pub fn metadata_satisfied(c: &MetadataConstraint, name: &str, stats: &ColumnStats) -> bool {
+    metadata_satisfied_with(c, name, stats, empty_registry())
+}
+
+/// Does one metadata predicate hold on the column?
+pub fn meta_pred_satisfied(p: &MetaPred, name: &str, stats: &ColumnStats) -> bool {
+    meta_pred_satisfied_with(p, name, stats, empty_registry())
+}
+
+/// Does one metadata predicate hold on the column, with UDFs from `udfs`?
+pub fn meta_pred_satisfied_with(
+    p: &MetaPred,
+    name: &str,
+    stats: &ColumnStats,
+    udfs: &UdfRegistry,
+) -> bool {
+    match p.field {
+        MetaField::Udf => udfs.eval_column(&p.lit.raw, stats),
+        MetaField::DataType => {
+            let Some(target) = DataType::parse(p.lit.raw.trim()) else {
+                return false;
+            };
+            let matches = stats.dtype == target
+                || (target == DataType::Decimal && stats.dtype == DataType::Int);
+            match p.op {
+                CmpOp::Eq => matches,
+                CmpOp::Ne => !matches,
+                _ => false,
+            }
+        }
+        MetaField::ColumnName => {
+            let lhs = name.trim().to_lowercase();
+            let rhs = p.lit.raw.trim().to_lowercase();
+            match p.op {
+                CmpOp::Eq => lhs == rhs,
+                CmpOp::Ne => lhs != rhs,
+                CmpOp::Contains => lhs.contains(&rhs),
+                CmpOp::Lt => lhs < rhs,
+                CmpOp::Le => lhs <= rhs,
+                CmpOp::Gt => lhs > rhs,
+                CmpOp::Ge => lhs >= rhs,
+                CmpOp::Udf => false,
+            }
+        }
+        MetaField::MinValue => bound_satisfied(p, stats.min_num, stats.min_text.as_deref()),
+        MetaField::MaxValue => bound_satisfied(p, stats.max_num, stats.max_text.as_deref()),
+        MetaField::MaxLength => {
+            let Some(len) = stats.max_text_len else {
+                return false;
+            };
+            let Some(target) = p.lit.num else {
+                return false;
+            };
+            cmp_holds(p.op, (len as f64).partial_cmp(&target))
+        }
+    }
+}
+
+/// Compare a numeric (or lexicographic, for text columns) column bound
+/// against the literal.
+fn bound_satisfied(p: &MetaPred, num_bound: Option<f64>, text_bound: Option<&str>) -> bool {
+    if let (Some(bound), Some(target)) = (num_bound, lit_ordinal(&p.lit)) {
+        return cmp_holds(p.op, bound.partial_cmp(&target));
+    }
+    if let Some(tb) = text_bound {
+        let ord = tb
+            .trim()
+            .to_lowercase()
+            .cmp(&p.lit.raw.trim().to_lowercase());
+        return cmp_holds(p.op, Some(ord));
+    }
+    false
+}
+
+/// Numeric view of a literal: a number, or the ordinal of a date/time
+/// spelling (so `MinValue >= '1990-01-01'` works on date columns).
+fn lit_ordinal(lit: &Literal) -> Option<f64> {
+    lit.num
+        .or_else(|| Date::parse(lit.raw.trim()).map(|d| d.ordinal()))
+        .or_else(|| Time::parse(lit.raw.trim()).map(|t| t.ordinal()))
+}
+
+fn cmp_holds(op: CmpOp, ord: Option<Ordering>) -> bool {
+    let Some(ord) = ord else { return false };
+    match op {
+        CmpOp::Eq => ord == Ordering::Equal,
+        CmpOp::Ne => ord != Ordering::Equal,
+        CmpOp::Lt => ord == Ordering::Less,
+        CmpOp::Le => ord != Ordering::Greater,
+        CmpOp::Gt => ord == Ordering::Greater,
+        CmpOp::Ge => ord != Ordering::Less,
+        CmpOp::Contains | CmpOp::Udf => false,
+    }
+}
+
+/// Estimate the fraction of a column's rows whose cell satisfies the value
+/// constraint, from statistics alone. Used by the Bayesian scheduler as the
+/// per-column predicate selectivity.
+///
+/// Conjunctions multiply (attribute-independence assumption — the Chow–Liu
+/// models in `prism-bayes` refine this within a relation); disjunctions
+/// combine by inclusion–exclusion.
+pub fn estimate_selectivity(c: &ValueConstraint, stats: &ColumnStats) -> f64 {
+    let non_null_frac = if stats.row_count == 0 {
+        0.0
+    } else {
+        stats.non_null_count() as f64 / stats.row_count as f64
+    };
+    selectivity_inner(c, stats) * non_null_frac
+}
+
+fn selectivity_inner(c: &ValueConstraint, stats: &ColumnStats) -> f64 {
+    match c {
+        ConstraintExpr::Pred(p) => pred_selectivity(p, stats),
+        ConstraintExpr::And(a, b) => selectivity_inner(a, stats) * selectivity_inner(b, stats),
+        ConstraintExpr::Or(a, b) => {
+            let (sa, sb) = (selectivity_inner(a, stats), selectivity_inner(b, stats));
+            (sa + sb - sa * sb).clamp(0.0, 1.0)
+        }
+    }
+}
+
+fn pred_selectivity(p: &ValuePred, stats: &ColumnStats) -> f64 {
+    match p.op {
+        // Without the registry a UDF's selectivity is unknowable; a third
+        // is the conventional optimizer guess for opaque predicates.
+        CmpOp::Udf => 1.0 / 3.0,
+        CmpOp::Eq => eq_selectivity(p, stats),
+        CmpOp::Ne => 1.0 - eq_selectivity(p, stats),
+        CmpOp::Contains => {
+            // Fraction of MCV mass containing the keyword, floored at a
+            // small default for unlisted matches.
+            let needle = p.lit.raw.trim().to_lowercase();
+            let mcv_mass: u32 = stats.most_common.iter().map(|(_, c)| *c).sum();
+            let hit_mass: u32 = stats
+                .most_common
+                .iter()
+                .filter(|(v, _)| {
+                    v.as_text()
+                        .is_some_and(|s| s.to_lowercase().contains(&needle))
+                })
+                .map(|(_, c)| *c)
+                .sum();
+            let base = if mcv_mass > 0 {
+                hit_mass as f64 / stats.non_null_count().max(1) as f64
+            } else {
+                0.0
+            };
+            base.max(0.01)
+        }
+        CmpOp::Lt | CmpOp::Le => match lit_ordinal(&p.lit) {
+            Some(x) => stats.selectivity_range(f64::MIN, x),
+            None => text_order_selectivity(p, stats),
+        },
+        CmpOp::Gt | CmpOp::Ge => match lit_ordinal(&p.lit) {
+            Some(x) => stats.selectivity_range(x, f64::MAX),
+            None => text_order_selectivity(p, stats),
+        },
+    }
+}
+
+fn eq_selectivity(p: &ValuePred, stats: &ColumnStats) -> f64 {
+    let v = if stats.dtype.is_numeric() {
+        match p.lit.num {
+            Some(n) => Value::Decimal(n),
+            None => return 0.0,
+        }
+    } else {
+        Value::Text(p.lit.raw.trim().to_string())
+    };
+    stats.selectivity_eq(&v)
+}
+
+/// Coarse estimate for ordering predicates on text columns: fraction of MCV
+/// mass on the satisfying side, default 1/3 when the MCV list is empty.
+fn text_order_selectivity(p: &ValuePred, stats: &ColumnStats) -> f64 {
+    let mass: u32 = stats.most_common.iter().map(|(_, c)| *c).sum();
+    if mass == 0 {
+        return 1.0 / 3.0;
+    }
+    let hits: u32 = stats
+        .most_common
+        .iter()
+        .filter(|(v, _)| value_pred_matches(p, v))
+        .map(|(_, c)| *c)
+        .sum();
+    hits as f64 / mass as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_metadata_constraint, parse_value_constraint};
+    use prism_db::database::DatabaseBuilder;
+    use prism_db::schema::ColumnDef;
+    use prism_db::Database;
+
+    fn db_with_areas() -> Database {
+        let mut b = DatabaseBuilder::new("t");
+        b.add_table(
+            "Lake",
+            vec![
+                ColumnDef::new("Name", DataType::Text).not_null(),
+                ColumnDef::new("Area", DataType::Decimal),
+            ],
+        )
+        .unwrap();
+        for (n, a) in [
+            ("Lake Tahoe", Some(497.0)),
+            ("Crater Lake", Some(53.2)),
+            ("Fort Peck Lake", Some(981.0)),
+            ("Dead Lake", None),
+        ] {
+            b.add_row(
+                "Lake",
+                vec![n.into(), a.map(Value::Decimal).unwrap_or(Value::Null)],
+            )
+            .unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn keyword_matches_case_insensitively() {
+        let c = parse_value_constraint("lake tahoe").unwrap();
+        assert!(matches_value(&c, &Value::text("Lake Tahoe")));
+        assert!(!matches_value(&c, &Value::text("Crater Lake")));
+    }
+
+    #[test]
+    fn disjunction_matches_either_value() {
+        let c = parse_value_constraint("California || Nevada").unwrap();
+        assert!(matches_value(&c, &Value::text("Nevada")));
+        assert!(matches_value(&c, &Value::text("California")));
+        assert!(!matches_value(&c, &Value::text("Oregon")));
+    }
+
+    #[test]
+    fn numeric_equality_crosses_int_decimal() {
+        let c = parse_value_constraint("497").unwrap();
+        assert!(matches_value(&c, &Value::Int(497)));
+        assert!(matches_value(&c, &Value::Decimal(497.0)));
+        assert!(!matches_value(&c, &Value::Decimal(497.5)));
+        // Numeric keyword also matches its text spelling? No: text cells
+        // compare textually.
+        assert!(matches_value(&c, &Value::text("497")));
+    }
+
+    #[test]
+    fn range_constraint_on_numbers() {
+        let c = parse_value_constraint(">= 100 && <= 600").unwrap();
+        assert!(matches_value(&c, &Value::Decimal(497.0)));
+        assert!(!matches_value(&c, &Value::Decimal(53.2)));
+        assert!(!matches_value(&c, &Value::Decimal(981.0)));
+        assert!(!matches_value(&c, &Value::text("Lake Tahoe")));
+    }
+
+    #[test]
+    fn nulls_satisfy_nothing() {
+        for src in ["x", "!= x", ">= 0", "CONTAINS x"] {
+            let c = parse_value_constraint(src).unwrap();
+            assert!(!matches_value(&c, &Value::Null), "{src} matched NULL");
+        }
+    }
+
+    #[test]
+    fn contains_is_substring_on_text() {
+        let c = parse_value_constraint("CONTAINS tahoe").unwrap();
+        assert!(matches_value(&c, &Value::text("Lake Tahoe")));
+        assert!(!matches_value(&c, &Value::text("Crater Lake")));
+        assert!(!matches_value(&c, &Value::Int(5)));
+    }
+
+    #[test]
+    fn date_constraints() {
+        let c = parse_value_constraint(">= '1990-01-01'").unwrap();
+        assert!(matches_value(&c, &Value::Date(Date::new(1995, 6, 1))));
+        assert!(!matches_value(&c, &Value::Date(Date::new(1980, 6, 1))));
+        let eq = parse_value_constraint("1995-06-01").unwrap();
+        assert!(matches_value(&eq, &Value::Date(Date::new(1995, 6, 1))));
+    }
+
+    #[test]
+    fn time_constraints() {
+        let c = parse_value_constraint("< '12:00'").unwrap();
+        assert!(matches_value(&c, &Value::Time(Time::new(9, 30, 0))));
+        assert!(!matches_value(&c, &Value::Time(Time::new(14, 0, 0))));
+    }
+
+    #[test]
+    fn ne_holds_on_type_mismatch() {
+        let c = parse_value_constraint("!= California").unwrap();
+        assert!(matches_value(&c, &Value::Int(5)));
+        assert!(matches_value(&c, &Value::text("Oregon")));
+        assert!(!matches_value(&c, &Value::text("California")));
+    }
+
+    #[test]
+    fn papers_metadata_constraint_accepts_area_column() {
+        let db = db_with_areas();
+        let area = db.catalog().column_ref("Lake", "Area").unwrap();
+        let stats = db.stats().column(area);
+        let c = parse_metadata_constraint("DataType=='decimal' AND MinValue>='0'").unwrap();
+        assert!(metadata_satisfied(&c, "Area", stats));
+        // A text column does not satisfy it.
+        let name = db.catalog().column_ref("Lake", "Name").unwrap();
+        assert!(!metadata_satisfied(&c, "Name", db.stats().column(name)));
+    }
+
+    #[test]
+    fn datatype_decimal_accepts_int_columns_but_not_vice_versa() {
+        let mut b = DatabaseBuilder::new("t");
+        b.add_table("T", vec![ColumnDef::new("n", DataType::Int)])
+            .unwrap();
+        b.add_row("T", vec![Value::Int(1)]).unwrap();
+        let db = b.build();
+        let col = db.catalog().column_ref("T", "n").unwrap();
+        let st = db.stats().column(col);
+        let dec = parse_metadata_constraint("DataType == 'decimal'").unwrap();
+        assert!(metadata_satisfied(&dec, "n", st));
+        let int_on_dec = parse_metadata_constraint("DataType == 'int'").unwrap();
+        let db2 = db_with_areas();
+        let area = db2.catalog().column_ref("Lake", "Area").unwrap();
+        assert!(!metadata_satisfied(
+            &int_on_dec,
+            "Area",
+            db2.stats().column(area)
+        ));
+    }
+
+    #[test]
+    fn column_name_predicates() {
+        let db = db_with_areas();
+        let area = db.catalog().column_ref("Lake", "Area").unwrap();
+        let st = db.stats().column(area);
+        assert!(metadata_satisfied(
+            &parse_metadata_constraint("ColumnName == 'area'").unwrap(),
+            "Area",
+            st
+        ));
+        assert!(metadata_satisfied(
+            &parse_metadata_constraint("ColumnName CONTAINS re").unwrap(),
+            "Area",
+            st
+        ));
+        assert!(!metadata_satisfied(
+            &parse_metadata_constraint("ColumnName == 'name'").unwrap(),
+            "Area",
+            st
+        ));
+    }
+
+    #[test]
+    fn max_length_predicate() {
+        let db = db_with_areas();
+        let name = db.catalog().column_ref("Lake", "Name").unwrap();
+        let st = db.stats().column(name);
+        // Longest lake name is "Fort Peck Lake" (14 chars).
+        assert!(metadata_satisfied(
+            &parse_metadata_constraint("MaxLength <= '20'").unwrap(),
+            "Name",
+            st
+        ));
+        assert!(!metadata_satisfied(
+            &parse_metadata_constraint("MaxLength <= '5'").unwrap(),
+            "Name",
+            st
+        ));
+        // MaxLength on a numeric column is unsatisfiable.
+        let area = db.catalog().column_ref("Lake", "Area").unwrap();
+        assert!(!metadata_satisfied(
+            &parse_metadata_constraint("MaxLength <= '20'").unwrap(),
+            "Area",
+            db.stats().column(area)
+        ));
+    }
+
+    #[test]
+    fn min_max_value_on_text_columns_compare_lexicographically() {
+        let db = db_with_areas();
+        let name = db.catalog().column_ref("Lake", "Name").unwrap();
+        let st = db.stats().column(name);
+        // min_text = "Crater Lake" >= 'A'.
+        assert!(metadata_satisfied(
+            &parse_metadata_constraint("MinValue >= 'A'").unwrap(),
+            "Name",
+            st
+        ));
+    }
+
+    #[test]
+    fn selectivity_of_equality_and_range() {
+        let db = db_with_areas();
+        let area = db.catalog().column_ref("Lake", "Area").unwrap();
+        let st = db.stats().column(area);
+        let eq = parse_value_constraint("497").unwrap();
+        let s_eq = estimate_selectivity(&eq, st);
+        // One of four rows (one NULL): 1/4.
+        assert!((s_eq - 0.25).abs() < 0.01, "eq selectivity {s_eq}");
+        let range = parse_value_constraint(">= 0").unwrap();
+        let s_r = estimate_selectivity(&range, st);
+        assert!(s_r > 0.5, "range selectivity {s_r}");
+        let nothing = parse_value_constraint(">= 99999").unwrap();
+        assert!(estimate_selectivity(&nothing, st) < 0.05);
+    }
+
+    #[test]
+    fn selectivity_or_uses_inclusion_exclusion() {
+        let db = db_with_areas();
+        let name = db.catalog().column_ref("Lake", "Name").unwrap();
+        let st = db.stats().column(name);
+        let one = parse_value_constraint("Lake Tahoe").unwrap();
+        let two = parse_value_constraint("Lake Tahoe || Crater Lake").unwrap();
+        let s1 = estimate_selectivity(&one, st);
+        let s2 = estimate_selectivity(&two, st);
+        assert!(s2 > s1);
+        assert!(s2 <= 1.0);
+    }
+
+    #[test]
+    fn selectivity_is_bounded() {
+        let db = db_with_areas();
+        let area = db.catalog().column_ref("Lake", "Area").unwrap();
+        let st = db.stats().column(area);
+        for src in ["497", ">= 0", "< 100 || > 900", "!= 497", "CONTAINS x"] {
+            let c = parse_value_constraint(src).unwrap();
+            let s = estimate_selectivity(&c, st);
+            assert!((0.0..=1.0).contains(&s), "{src} -> {s}");
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! # prism-lang — the multiresolution schema mapping language
+//!
+//! Figure 1 of the Prism paper defines the constraint language users write:
+//!
+//! ```text
+//! Value Constraint    ck := pv | pv logicalop pv | …
+//! Metadata Constraint cm := pm | pm logicalop pm | …
+//! logicalop           := ∧ | ∨
+//! Value Predicate     pv := binop const
+//! Metadata Predicate  pm := type binop const
+//! Metadata Type       type := DataType | ColumnName | MaxValue | MinValue
+//! binop               := > | ≥ | < | ≤ | = | ≠
+//! ```
+//!
+//! This crate implements that language: a lexer and recursive-descent parser
+//! into an AST ([`ValueConstraint`], [`MetadataConstraint`]), evaluation of
+//! value constraints against cells and of metadata constraints against
+//! column statistics, and selectivity estimation used by the Bayesian filter
+//! scheduler.
+//!
+//! Concrete syntax follows the paper's demo walk-through: a bare keyword is
+//! an equality predicate (`Lake Tahoe` ≡ `= 'Lake Tahoe'`), `||`/`OR` and
+//! `&&`/`AND` are the logical operators (`California || Nevada`), and
+//! metadata constraints name a metadata type explicitly
+//! (`DataType == 'decimal' AND MinValue >= '0'`). `MaxLength` extends the
+//! grammar with the paper's "maximum text length" metadata, and `CONTAINS`
+//! adds keyword-containment matching.
+
+pub mod ast;
+pub mod error;
+pub mod eval;
+pub mod lexer;
+pub mod parser;
+pub mod udf;
+
+pub use ast::{
+    CmpOp, ConstraintExpr, Literal, MetaField, MetaPred, MetadataConstraint, ValueConstraint,
+    ValuePred,
+};
+pub use error::ParseError;
+pub use eval::{
+    estimate_selectivity, matches_value, matches_value_with, metadata_satisfied,
+    metadata_satisfied_with,
+};
+pub use parser::{parse_metadata_constraint, parse_value_constraint};
+pub use udf::UdfRegistry;

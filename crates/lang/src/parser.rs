@@ -1,0 +1,390 @@
+//! Recursive-descent parser for value and metadata constraints.
+//!
+//! Operator precedence follows SQL convention: `AND` binds tighter than
+//! `OR`; parentheses group. A value predicate's comparison operator is
+//! optional and defaults to equality, so `California || Nevada` means
+//! `= 'California' OR = 'Nevada'`.
+
+use crate::ast::{
+    CmpOp, ConstraintExpr, Literal, MetaField, MetaPred, MetadataConstraint, ValueConstraint,
+    ValuePred,
+};
+use crate::error::ParseError;
+use crate::lexer::{lex, Token, TokenKind};
+
+/// Parse a row-cell value constraint, e.g. `California || Nevada`,
+/// `>= 100 && <= 600`, `Lake Tahoe`.
+pub fn parse_value_constraint(input: &str) -> Result<ValueConstraint, ParseError> {
+    let tokens = lex(input)?;
+    if tokens.is_empty() {
+        return Err(ParseError::new(0, "empty constraint"));
+    }
+    let mut p = Parser { tokens, pos: 0 };
+    let expr = p.value_expr()?;
+    p.expect_end()?;
+    Ok(expr)
+}
+
+/// Parse a column metadata constraint, e.g.
+/// `DataType == 'decimal' AND MinValue >= '0'`.
+pub fn parse_metadata_constraint(input: &str) -> Result<MetadataConstraint, ParseError> {
+    let tokens = lex(input)?;
+    if tokens.is_empty() {
+        return Err(ParseError::new(0, "empty constraint"));
+    }
+    let mut p = Parser { tokens, pos: 0 };
+    let expr = p.meta_expr()?;
+    p.expect_end()?;
+    Ok(expr)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn position(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map(|t| t.position)
+            .unwrap_or_else(|| self.tokens.last().map(|t| t.position + 1).unwrap_or(0))
+    }
+
+    fn bump(&mut self) -> Option<TokenKind> {
+        let t = self.tokens.get(self.pos).map(|t| t.kind.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == Some(kind) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_end(&self) -> Result<(), ParseError> {
+        if self.pos == self.tokens.len() {
+            Ok(())
+        } else {
+            Err(ParseError::new(
+                self.position(),
+                "unexpected trailing input",
+            ))
+        }
+    }
+
+    // ---- shared ----
+
+    fn cmp_op(&mut self) -> Option<CmpOp> {
+        let op = match self.peek()? {
+            TokenKind::Eq => CmpOp::Eq,
+            TokenKind::Ne => CmpOp::Ne,
+            TokenKind::Lt => CmpOp::Lt,
+            TokenKind::Le => CmpOp::Le,
+            TokenKind::Gt => CmpOp::Gt,
+            TokenKind::Ge => CmpOp::Ge,
+            TokenKind::Contains => CmpOp::Contains,
+            _ => return None,
+        };
+        self.pos += 1;
+        Some(op)
+    }
+
+    /// A constant: one quoted string, or a run of barewords joined by single
+    /// spaces (`Lake Tahoe`).
+    fn constant(&mut self) -> Result<Literal, ParseError> {
+        match self.peek() {
+            Some(TokenKind::Quoted(_)) => {
+                let Some(TokenKind::Quoted(s)) = self.bump() else {
+                    unreachable!()
+                };
+                Ok(Literal::new(s))
+            }
+            Some(TokenKind::Word(_)) => {
+                let mut words = Vec::new();
+                while let Some(TokenKind::Word(_)) = self.peek() {
+                    let Some(TokenKind::Word(w)) = self.bump() else {
+                        unreachable!()
+                    };
+                    words.push(w);
+                }
+                Ok(Literal::new(words.join(" ")))
+            }
+            _ => Err(ParseError::new(self.position(), "expected a constant")),
+        }
+    }
+
+    // ---- value constraints ----
+
+    fn value_expr(&mut self) -> Result<ValueConstraint, ParseError> {
+        let mut left = self.value_term()?;
+        while self.eat(&TokenKind::Or) {
+            let right = self.value_term()?;
+            left = ConstraintExpr::or(left, right);
+        }
+        Ok(left)
+    }
+
+    fn value_term(&mut self) -> Result<ValueConstraint, ParseError> {
+        let mut left = self.value_factor()?;
+        while self.eat(&TokenKind::And) {
+            let right = self.value_factor()?;
+            left = ConstraintExpr::and(left, right);
+        }
+        Ok(left)
+    }
+
+    fn value_factor(&mut self) -> Result<ValueConstraint, ParseError> {
+        if self.eat(&TokenKind::LParen) {
+            let inner = self.value_expr()?;
+            if !self.eat(&TokenKind::RParen) {
+                return Err(ParseError::new(self.position(), "expected `)`"));
+            }
+            return Ok(inner);
+        }
+        if let Some(TokenKind::Udf(_)) = self.peek() {
+            let Some(TokenKind::Udf(name)) = self.bump() else {
+                unreachable!()
+            };
+            return Ok(ConstraintExpr::Pred(ValuePred {
+                op: CmpOp::Udf,
+                lit: Literal::new(name),
+            }));
+        }
+        let op = self.cmp_op().unwrap_or(CmpOp::Eq);
+        let lit = self.constant()?;
+        Ok(ConstraintExpr::Pred(ValuePred { op, lit }))
+    }
+
+    // ---- metadata constraints ----
+
+    fn meta_expr(&mut self) -> Result<MetadataConstraint, ParseError> {
+        let mut left = self.meta_term()?;
+        while self.eat(&TokenKind::Or) {
+            let right = self.meta_term()?;
+            left = ConstraintExpr::or(left, right);
+        }
+        Ok(left)
+    }
+
+    fn meta_term(&mut self) -> Result<MetadataConstraint, ParseError> {
+        let mut left = self.meta_factor()?;
+        while self.eat(&TokenKind::And) {
+            let right = self.meta_factor()?;
+            left = ConstraintExpr::and(left, right);
+        }
+        Ok(left)
+    }
+
+    fn meta_factor(&mut self) -> Result<MetadataConstraint, ParseError> {
+        if self.eat(&TokenKind::LParen) {
+            let inner = self.meta_expr()?;
+            if !self.eat(&TokenKind::RParen) {
+                return Err(ParseError::new(self.position(), "expected `)`"));
+            }
+            return Ok(inner);
+        }
+        if let Some(TokenKind::Udf(_)) = self.peek() {
+            let Some(TokenKind::Udf(name)) = self.bump() else {
+                unreachable!()
+            };
+            return Ok(ConstraintExpr::Pred(MetaPred {
+                field: MetaField::Udf,
+                op: CmpOp::Udf,
+                lit: Literal::new(name),
+            }));
+        }
+        let pos = self.position();
+        let field = match self.bump() {
+            Some(TokenKind::Word(w)) => MetaField::parse(&w).ok_or_else(|| {
+                ParseError::new(
+                    pos,
+                    format!(
+                        "unknown metadata type `{w}` (expected DataType, ColumnName, \
+                         MinValue, MaxValue, or MaxLength)"
+                    ),
+                )
+            })?,
+            _ => return Err(ParseError::new(
+                pos,
+                "expected a metadata type (DataType, ColumnName, MinValue, MaxValue, MaxLength)",
+            )),
+        };
+        let op = self
+            .cmp_op()
+            .ok_or_else(|| ParseError::new(self.position(), "expected a comparison operator"))?;
+        let lit = self.constant()?;
+        Ok(ConstraintExpr::Pred(MetaPred { field, op, lit }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_keyword_is_equality() {
+        let c = parse_value_constraint("Lake Tahoe").unwrap();
+        match &c {
+            ConstraintExpr::Pred(p) => {
+                assert_eq!(p.op, CmpOp::Eq);
+                assert_eq!(p.lit.raw, "Lake Tahoe");
+            }
+            _ => panic!("expected a single predicate"),
+        }
+    }
+
+    #[test]
+    fn disjunction_of_keywords() {
+        let c = parse_value_constraint("California || Nevada").unwrap();
+        let kws: Vec<String> = c
+            .eq_keywords()
+            .unwrap()
+            .iter()
+            .map(|l| l.raw.clone())
+            .collect();
+        assert_eq!(kws, vec!["California", "Nevada"]);
+    }
+
+    #[test]
+    fn value_range_conjunction() {
+        let c = parse_value_constraint(">= 100 && <= 600").unwrap();
+        match &c {
+            ConstraintExpr::And(a, b) => {
+                match (a.as_ref(), b.as_ref()) {
+                    (ConstraintExpr::Pred(pa), ConstraintExpr::Pred(pb)) => {
+                        assert_eq!(pa.op, CmpOp::Ge);
+                        assert_eq!(pa.lit.num, Some(100.0));
+                        assert_eq!(pb.op, CmpOp::Le);
+                        assert_eq!(pb.lit.num, Some(600.0));
+                    }
+                    _ => panic!("expected two predicates"),
+                };
+            }
+            _ => panic!("expected a conjunction"),
+        }
+    }
+
+    #[test]
+    fn and_binds_tighter_than_or() {
+        let c = parse_value_constraint("a || b && c").unwrap();
+        assert!(matches!(c, ConstraintExpr::Or(_, _)));
+        if let ConstraintExpr::Or(_, right) = &c {
+            assert!(matches!(right.as_ref(), ConstraintExpr::And(_, _)));
+        }
+    }
+
+    #[test]
+    fn parens_override_precedence() {
+        let c = parse_value_constraint("(a || b) && c").unwrap();
+        assert!(matches!(c, ConstraintExpr::And(_, _)));
+    }
+
+    #[test]
+    fn quoted_constants_keep_content_verbatim() {
+        let c = parse_value_constraint("'a || b'").unwrap();
+        match &c {
+            ConstraintExpr::Pred(p) => assert_eq!(p.lit.raw, "a || b"),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn contains_operator() {
+        let c = parse_value_constraint("CONTAINS Tahoe").unwrap();
+        match &c {
+            ConstraintExpr::Pred(p) => {
+                assert_eq!(p.op, CmpOp::Contains);
+                assert_eq!(p.lit.raw, "Tahoe");
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn papers_metadata_constraint_parses() {
+        // Verbatim step 2.3 of the demonstration walk-through.
+        let c = parse_metadata_constraint("DataType=='decimal' AND MinValue>='0'").unwrap();
+        let preds = c.predicates();
+        assert_eq!(preds.len(), 2);
+        assert_eq!(preds[0].field, MetaField::DataType);
+        assert_eq!(preds[0].op, CmpOp::Eq);
+        assert_eq!(preds[0].lit.raw, "decimal");
+        assert_eq!(preds[1].field, MetaField::MinValue);
+        assert_eq!(preds[1].op, CmpOp::Ge);
+        assert_eq!(preds[1].lit.num, Some(0.0));
+    }
+
+    #[test]
+    fn metadata_disjunction_of_types() {
+        // "Ambiguous" metadata knowledge: the column is int OR decimal.
+        let c = parse_metadata_constraint("DataType = 'int' OR DataType = 'decimal'").unwrap();
+        assert!(matches!(c, ConstraintExpr::Or(_, _)));
+    }
+
+    #[test]
+    fn unknown_metadata_type_is_an_error() {
+        let err = parse_metadata_constraint("Widget == 'x'").unwrap_err();
+        assert!(err.message.contains("Widget"));
+    }
+
+    #[test]
+    fn metadata_requires_operator() {
+        assert!(parse_metadata_constraint("DataType 'decimal'").is_err());
+    }
+
+    #[test]
+    fn empty_and_trailing_inputs_error() {
+        assert!(parse_value_constraint("").is_err());
+        assert!(parse_value_constraint("   ").is_err());
+        assert!(parse_value_constraint("a ||").is_err());
+        assert!(parse_value_constraint("(a").is_err());
+        assert!(parse_value_constraint("a ) b").is_err());
+        assert!(parse_metadata_constraint("").is_err());
+    }
+
+    #[test]
+    fn multiword_disjunction() {
+        let c = parse_value_constraint("Lake Tahoe || Crater Lake").unwrap();
+        let kws: Vec<String> = c
+            .eq_keywords()
+            .unwrap()
+            .iter()
+            .map(|l| l.raw.clone())
+            .collect();
+        assert_eq!(kws, vec!["Lake Tahoe", "Crater Lake"]);
+    }
+
+    #[test]
+    fn display_reparses_to_same_ast() {
+        for src in [
+            "California || Nevada",
+            ">= 100 && <= 600",
+            "(a || b) && c",
+            "Lake Tahoe",
+        ] {
+            let c1 = parse_value_constraint(src).unwrap();
+            let c2 = parse_value_constraint(&c1.to_string()).unwrap();
+            assert_eq!(c1, c2, "round-trip failed for {src}");
+        }
+        for src in [
+            "DataType=='decimal' AND MinValue>='0'",
+            "DataType='int' OR DataType='decimal'",
+            "MaxLength <= '32'",
+        ] {
+            let c1 = parse_metadata_constraint(src).unwrap();
+            let c2 = parse_metadata_constraint(&c1.to_string()).unwrap();
+            assert_eq!(c1, c2, "round-trip failed for {src}");
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! # prism — multiresolution schema mapping (facade crate)
+//!
+//! Re-exports the full public API of the Prism reproduction. See the README
+//! for a tour and `prism_core::Discovery` for the main entry point.
+
+pub use prism_bayes as bayes;
+pub use prism_core as core;
+pub use prism_datasets as datasets;
+pub use prism_db as db;
+pub use prism_lang as lang;

@@ -1,0 +1,142 @@
+//! The paper's announced future-work extension: user-defined functions as
+//! constraints ("we plan to support more metadata constraints, and even
+//! user-defined functions" — Section 2.1). End-to-end through the facade.
+
+use prism::core::session::{Session, SessionConfig};
+use prism::core::{Discovery, DiscoveryConfig, TargetConstraints};
+use prism::datasets::mondial;
+use prism::db::{DataType, Value};
+use prism::lang::UdfRegistry;
+
+fn registry() -> UdfRegistry {
+    let mut udfs = UdfRegistry::new();
+    // Value UDF: "this cell looks like a US-style state name" — something no
+    // built-in predicate can express.
+    udfs.register_value("two_word_name", |v: &Value| {
+        v.as_text()
+            .is_some_and(|s| s.split_whitespace().count() == 2)
+    });
+    // Value UDF over numbers.
+    udfs.register_value("positive", |v: &Value| {
+        v.as_number().is_some_and(|x| x > 0.0)
+    });
+    // Column UDF: a plausible "surface area" column — decimal-typed, wide
+    // dynamic range, no negatives.
+    udfs.register_column("looks_like_area", |s| {
+        s.dtype == DataType::Decimal
+            && s.min_num.is_some_and(|m| m >= 0.0)
+            && s.max_num.is_some_and(|m| m > 100.0)
+    });
+    udfs
+}
+
+#[test]
+fn value_udf_constrains_cells() {
+    let db = mondial(42, 1);
+    let tc = TargetConstraints::parse(
+        2,
+        &[vec![
+            Some("Lake Tahoe".to_string()),
+            Some("@two_word_name".to_string()),
+        ]],
+        &[],
+    )
+    .unwrap()
+    .with_udfs(registry());
+    assert!(tc.missing_udfs().is_empty());
+    let engine = Discovery::new(&db, DiscoveryConfig::default());
+    let result = engine.run(&tc);
+    assert!(!result.queries.is_empty());
+    // Soundness: some result row's column-1 cell has exactly two words.
+    for q in &result.queries {
+        let rows = q.candidate.query.execute(&db, 200_000).unwrap();
+        assert!(
+            rows.iter().any(|r| r[1]
+                .as_text()
+                .is_some_and(|s| s.split_whitespace().count() == 2)),
+            "{} has no two-word witness",
+            q.sql
+        );
+    }
+}
+
+#[test]
+fn column_udf_acts_as_metadata() {
+    let db = mondial(42, 1);
+    let tc = TargetConstraints::parse(
+        2,
+        &[vec![Some("Lake Tahoe".to_string()), None]],
+        &[None, Some("@looks_like_area".to_string())],
+    )
+    .unwrap()
+    .with_udfs(registry());
+    let engine = Discovery::new(&db, DiscoveryConfig::default());
+    let result = engine.run(&tc);
+    assert!(!result.queries.is_empty());
+    // Every accepted assignment's column 1 satisfies the column UDF.
+    for q in &result.queries {
+        let col = q.candidate.assignment[1];
+        let stats = db.stats().column(col);
+        assert_eq!(stats.dtype, DataType::Decimal, "{}", q.sql);
+        assert!(stats.min_num.unwrap() >= 0.0);
+    }
+}
+
+#[test]
+fn udfs_combine_with_builtin_predicates() {
+    let db = mondial(42, 1);
+    // area >= 100 AND positive — conjunction of builtin + UDF.
+    let tc = TargetConstraints::parse(
+        2,
+        &[vec![
+            Some("Lake Tahoe".to_string()),
+            Some(">= 100 && @positive".to_string()),
+        ]],
+        &[],
+    )
+    .unwrap()
+    .with_udfs(registry());
+    let engine = Discovery::new(&db, DiscoveryConfig::default());
+    let result = engine.run(&tc);
+    assert!(!result.queries.is_empty());
+}
+
+#[test]
+fn unregistered_udf_matches_nothing() {
+    let db = mondial(42, 1);
+    let tc = TargetConstraints::parse(1, &[vec![Some("@ghost".to_string())]], &[]).unwrap(); // no registry attached
+    assert_eq!(tc.missing_udfs(), vec!["@ghost (value)"]);
+    let engine = Discovery::new(&db, DiscoveryConfig::default());
+    let result = engine.run(&tc);
+    assert!(result.queries.is_empty(), "unknown UDFs are conservative");
+}
+
+#[test]
+fn session_rejects_unknown_udfs_with_a_clear_error() {
+    let db = mondial(42, 1);
+    let mut session = Session::new(&db, SessionConfig::default());
+    session.set_sample_cell(0, 0, "@phantom").unwrap();
+    let err = session.start_searching().unwrap_err();
+    assert!(err.to_string().contains("phantom"), "{err}");
+    // After registering, the search runs.
+    let mut udfs = UdfRegistry::new();
+    udfs.register_value("phantom", |v: &Value| {
+        v.as_text().is_some_and(|s| s == "Lake Tahoe")
+    });
+    session.set_udfs(udfs);
+    let n = session.start_searching().unwrap().queries.len();
+    assert!(n > 0);
+}
+
+#[test]
+fn udf_constraints_render_and_reparse() {
+    let c = prism::lang::parse_value_constraint("@positive || Lake Tahoe").unwrap();
+    let rendered = c.to_string();
+    assert!(rendered.contains("@positive"));
+    let reparsed = prism::lang::parse_value_constraint(&rendered).unwrap();
+    assert_eq!(c, reparsed);
+    let m =
+        prism::lang::parse_metadata_constraint("@looks_like_area AND DataType=='decimal'").unwrap();
+    let reparsed = prism::lang::parse_metadata_constraint(&m.to_string()).unwrap();
+    assert_eq!(m, reparsed);
+}
