@@ -32,7 +32,9 @@ fn bench_table1(c: &mut Criterion) {
     let engine = Discovery::new(&db, DiscoveryConfig::default());
     let constraints = walkthrough_constraints();
     let mut group = c.benchmark_group("table1");
-    group.sample_size(15).measurement_time(Duration::from_secs(8));
+    group
+        .sample_size(15)
+        .measurement_time(Duration::from_secs(8));
     group.bench_function("table1_motivating_example", |b| {
         b.iter(|| {
             let result = engine.run(&constraints);
@@ -45,7 +47,9 @@ fn bench_table1(c: &mut Criterion) {
 
 fn bench_per_database(c: &mut Criterion) {
     let mut group = c.benchmark_group("discovery_per_database");
-    group.sample_size(15).measurement_time(Duration::from_secs(6));
+    group
+        .sample_size(15)
+        .measurement_time(Duration::from_secs(6));
     let cases = vec![
         (
             "Mondial",
@@ -96,7 +100,9 @@ fn bench_per_database(c: &mut Criterion) {
 fn bench_scaling(c: &mut Criterion) {
     // Discovery latency versus database scale (the interactivity claim).
     let mut group = c.benchmark_group("discovery_vs_scale");
-    group.sample_size(10).measurement_time(Duration::from_secs(10));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(10));
     for scale in [1usize, 2, 4] {
         let db = mondial(42, scale);
         let engine = Discovery::new(&db, DiscoveryConfig::default());

@@ -17,7 +17,9 @@ fn bench_resolutions(c: &mut Criterion) {
     let engine = Discovery::new(&db, DiscoveryConfig::default());
     let taskgen = TaskGenerator::new(&db, TaskGenConfig::default());
     let mut group = c.benchmark_group("e1_time_vs_resolution");
-    group.sample_size(10).measurement_time(Duration::from_secs(12));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(12));
     for resolution in Resolution::ALL {
         // A fixed batch of 5 tasks per level; the benchmark measures the
         // whole batch so per-level numbers are comparable.

@@ -41,7 +41,9 @@ fn bench_schedulers(c: &mut Criterion) {
     assert!(!cases.is_empty());
 
     let mut group = c.benchmark_group("e3_scheduler_time");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
     group.bench_with_input(BenchmarkId::from_parameter("naive"), &cases, |b, cases| {
         b.iter(|| {
             let mut v = 0u64;
@@ -107,7 +109,9 @@ fn bench_estimator(c: &mut Criterion) {
         b.iter(|| est.failure_probability(&db, &tree, &[(col, &constraint)]))
     });
     let mut group = c.benchmark_group("bayes_training");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
     group.bench_function("bayes_training_a_priori", |b| {
         b.iter(|| BayesEstimator::train(&db, &TrainConfig::default()).has_join_indicators())
     });

@@ -7,10 +7,10 @@
 //! fast enough to never dominate a discovery round.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use prism_datasets::mondial;
 use prism_db::{ExecStats, JoinCond, PjQuery, Value};
 use prism_lang::{parse_metadata_constraint, parse_value_constraint};
+use std::time::Duration;
 
 fn bench_index(c: &mut Criterion) {
     let db = mondial(42, 4);
@@ -96,7 +96,9 @@ fn bench_stats_and_lang(c: &mut Criterion) {
         })
     });
     let mut group = c.benchmark_group("preprocessing");
-    group.sample_size(20).measurement_time(Duration::from_secs(6));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(6));
     group.bench_function("database_build_preprocessing", |b| {
         b.iter(|| mondial(42, 1).total_rows())
     });

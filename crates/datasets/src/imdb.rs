@@ -198,7 +198,7 @@ pub fn imdb(seed: u64, scale: usize) -> Database {
         let cast_n = rng.gen_range(3..=5);
         for _ in 0..cast_n {
             let pid = people[rng.gen_range(0..people.len())];
-            let role = ["lead", "supporting", "cameo"][rng.gen_range(0..3)];
+            let role = ["lead", "supporting", "cameo"][rng.gen_range(0..3usize)];
             b.add_row(
                 "CastInfo",
                 vec![Value::Int(mid), Value::Int(pid), txt(role)],

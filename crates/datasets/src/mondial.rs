@@ -63,7 +63,8 @@ pub fn mondial(seed: u64, scale: usize) -> Database {
         let year = rng.gen_range(1500i16..1991);
         let month = rng.gen_range(1u8..=12);
         let day = rng.gen_range(1u8..=28);
-        let gov = ["republic", "federal republic", "constitutional monarchy"][rng.gen_range(0..3)];
+        let gov =
+            ["republic", "federal republic", "constitutional monarchy"][rng.gen_range(0..3usize)];
         b.add_row(
             "Politics",
             vec![
@@ -263,7 +264,7 @@ pub fn mondial(seed: u64, scale: usize) -> Database {
 
     // Mountains.
     for (name, height, code) in vocab::MOUNTAINS {
-        let kind = ["volcano", "granite", "fold"][rng.gen_range(0..3)];
+        let kind = ["volcano", "granite", "fold"][rng.gen_range(0..3usize)];
         b.add_row("Mountain", vec![txt(*name), dec(*height), txt(kind)])
             .unwrap();
         let candidates: Vec<&(String, &str)> =
@@ -280,7 +281,7 @@ pub fn mondial(seed: u64, scale: usize) -> Database {
     for i in 0..(30 * scale) {
         let adj = vocab::TITLE_ADJECTIVES[rng.gen_range(0..vocab::TITLE_ADJECTIVES.len())];
         let name = format!("Mount {adj} {i}");
-        let kind = ["volcano", "granite", "fold"][rng.gen_range(0..3)];
+        let kind = ["volcano", "granite", "fold"][rng.gen_range(0..3usize)];
         b.add_row(
             "Mountain",
             vec![

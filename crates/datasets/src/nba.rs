@@ -156,7 +156,11 @@ pub fn nba(seed: u64, scale: usize) -> Database {
             rng.gen_range(1u8..=12),
             rng.gen_range(1u8..=28),
         );
-        let tip = Time::new(rng.gen_range(17u8..=21), [0u8, 30][rng.gen_range(0..2)], 0);
+        let tip = Time::new(
+            rng.gen_range(17u8..=21),
+            [0u8, 30][rng.gen_range(0..2usize)],
+            0,
+        );
         let home_score = rng.gen_range(85i64..135);
         let away_score = rng.gen_range(85i64..135);
         b.add_row(

@@ -33,9 +33,12 @@ OrderId,Sku,Quantity,OrderDate,Region
 fn main() {
     // 1. Load CSVs; schemas are inferred from the data.
     let mut b = DatabaseBuilder::new("shop");
-    b.add_table_from_csv("Product", PRODUCTS_CSV).expect("products load");
-    b.add_table_from_csv("Orders", ORDERS_CSV).expect("orders load");
-    b.add_foreign_key("Orders", "Sku", "Product", "Sku").expect("join edge");
+    b.add_table_from_csv("Product", PRODUCTS_CSV)
+        .expect("products load");
+    b.add_table_from_csv("Orders", ORDERS_CSV)
+        .expect("orders load");
+    b.add_foreign_key("Orders", "Sku", "Product", "Sku")
+        .expect("join edge");
     let db = b.build();
 
     println!("loaded `{}`:", db.name());
@@ -45,7 +48,12 @@ fn main() {
             .iter()
             .map(|c| format!("{}:{}", c.name, c.dtype))
             .collect();
-        println!("  {} ({} rows): {}", schema.name, db.row_count(tid), cols.join(", "));
+        println!(
+            "  {} ({} rows): {}",
+            schema.name,
+            db.row_count(tid),
+            cols.join(", ")
+        );
     }
 
     // 2. The analyst wants (product name, region, price) but only knows a

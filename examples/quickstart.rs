@@ -81,4 +81,17 @@ fn main() {
             println!("    -> {}", cells.join(" | "));
         }
     }
+
+    // CI runs this example as a smoke test: fail loudly if the walk-through
+    // stops producing the join query that recovers Lake Tahoe's states.
+    let recovered = result.queries.iter().any(|q| {
+        q.preview.iter().any(|row| {
+            row.contains(&Value::text("Lake Tahoe")) && row.contains(&Value::text("California"))
+        })
+    });
+    assert!(
+        recovered,
+        "quickstart discovery lost the (California, Lake Tahoe) walk-through row"
+    );
+    println!("quickstart OK: walk-through row recovered.");
 }

@@ -1,0 +1,186 @@
+//! Generation from a small regex subset: literal characters, `[...]`
+//! character classes (ranges and singletons, no negation), `\PC` (any
+//! printable character), and the quantifiers `{n}`, `{m,n}`, `?`, `*`, `+`
+//! (`*`/`+` capped at 8 repetitions). This covers every pattern the
+//! workspace's property tests use.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Printable pool for `\PC`: full printable ASCII plus a few multi-byte
+/// scalars so UTF-8 handling gets exercised.
+const PRINTABLE_EXTRAS: &[char] = &['À', 'é', 'λ', 'Ω', '中', '\u{1F980}'];
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    Class(Vec<(char, char)>),
+    Printable,
+}
+
+impl Atom {
+    fn generate(&self, rng: &mut TestRng) -> char {
+        match self {
+            Atom::Literal(c) => *c,
+            Atom::Class(ranges) => {
+                let total: u32 = ranges
+                    .iter()
+                    .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+                    .sum();
+                let mut pick = rng.gen_range(0..total);
+                for &(lo, hi) in ranges {
+                    let span = hi as u32 - lo as u32 + 1;
+                    if pick < span {
+                        return char::from_u32(lo as u32 + pick)
+                            .expect("class ranges stay inside valid scalars");
+                    }
+                    pick -= span;
+                }
+                unreachable!("pick bounded by total")
+            }
+            Atom::Printable => {
+                // Mostly ASCII, occasionally a multi-byte scalar.
+                if rng.gen_bool(0.9) {
+                    char::from_u32(rng.gen_range(0x20u32..0x7F)).expect("printable ascii")
+                } else {
+                    PRINTABLE_EXTRAS[rng.gen_range(0..PRINTABLE_EXTRAS.len())]
+                }
+            }
+        }
+    }
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, pattern: &str) -> Atom {
+    let mut ranges = Vec::new();
+    loop {
+        let c = chars
+            .next()
+            .unwrap_or_else(|| panic!("unterminated character class in `{pattern}`"));
+        if c == ']' {
+            break;
+        }
+        if chars.peek() == Some(&'-') {
+            let mut ahead = chars.clone();
+            ahead.next();
+            match ahead.peek() {
+                Some(&']') | None => ranges.push((c, c)),
+                Some(&hi) => {
+                    assert!(c <= hi, "inverted range {c}-{hi} in `{pattern}`");
+                    ranges.push((c, hi));
+                    chars.next();
+                    chars.next();
+                }
+            }
+        } else {
+            ranges.push((c, c));
+        }
+    }
+    assert!(!ranges.is_empty(), "empty character class in `{pattern}`");
+    Atom::Class(ranges)
+}
+
+fn parse_quantifier(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+) -> (usize, usize) {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let mut spec = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            let parse = |s: &str| {
+                s.parse::<usize>()
+                    .unwrap_or_else(|_| panic!("bad quantifier `{{{spec}}}` in `{pattern}`"))
+            };
+            match spec.split_once(',') {
+                Some((lo, hi)) => (parse(lo), parse(hi)),
+                None => {
+                    let n = parse(&spec);
+                    (n, n)
+                }
+            }
+        }
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        Some('*') => {
+            chars.next();
+            (0, 8)
+        }
+        Some('+') => {
+            chars.next();
+            (1, 8)
+        }
+        _ => (1, 1),
+    }
+}
+
+pub(crate) fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => parse_class(&mut chars, pattern),
+            '\\' => match chars.next() {
+                Some('P') | Some('p') => {
+                    // `\PC` / `\pC`: consume the category letter.
+                    let cat = chars.next();
+                    assert!(
+                        cat == Some('C') || cat == Some('c'),
+                        "unsupported escape category in `{pattern}`"
+                    );
+                    Atom::Printable
+                }
+                Some(esc @ ('\\' | '.' | '[' | ']' | '{' | '}' | '(' | ')' | '-')) => {
+                    Atom::Literal(esc)
+                }
+                other => panic!("unsupported escape `\\{other:?}` in `{pattern}`"),
+            },
+            lit => Atom::Literal(lit),
+        };
+        let (lo, hi) = parse_quantifier(&mut chars, pattern);
+        let count = if lo == hi { lo } else { rng.gen_range(lo..=hi) };
+        for _ in 0..count {
+            out.push(atom.generate(rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate_from_pattern;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn patterns_generate_matching_strings() {
+        let mut rng = TestRng::deterministic("patterns");
+        for _ in 0..500 {
+            let s = generate_from_pattern("[a-z]{0,6}", &mut rng);
+            assert!(
+                s.len() <= 6 && s.chars().all(|c| c.is_ascii_lowercase()),
+                "{s:?}"
+            );
+
+            let s = generate_from_pattern("[A-Z][a-z]{2,8}", &mut rng);
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_uppercase(), "{s:?}");
+            let rest: Vec<char> = cs.collect();
+            assert!((2..=8).contains(&rest.len()), "{s:?}");
+            assert!(rest.iter().all(|c| c.is_ascii_lowercase()), "{s:?}");
+
+            let s = generate_from_pattern("[ -~]{0,12}", &mut rng);
+            assert!(s.chars().count() <= 12, "{s:?}");
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+
+            let s = generate_from_pattern("\\PC{0,64}", &mut rng);
+            assert!(s.chars().count() <= 64, "{s:?}");
+        }
+    }
+}
