@@ -6,11 +6,14 @@
 //! quantile bins. Every bin keeps a small reservoir of example values so
 //! that arbitrary value constraints can be scored per bin at query time.
 
+use prism_db::column::ColumnData;
+use prism_db::interner::SymbolTable;
 use prism_db::table::Table;
-use prism_db::types::Value;
+use prism_db::types::{DataType, Value, ValueRef};
 use prism_lang::{matches_value, ValueConstraint};
 use rand::rngs::StdRng;
 use rand::Rng;
+use std::collections::HashMap;
 
 /// Reserved bin id for NULL cells.
 pub const NULL_BIN: u8 = 0;
@@ -39,22 +42,25 @@ pub struct Discretizer {
 }
 
 impl Discretizer {
-    /// Learn a discretizer from a column, then assign each row a bin.
+    /// Learn a discretizer from a typed column, then assign each row a bin.
     /// Returns the discretizer and the per-row bin ids.
     pub fn fit(
         table: &Table,
+        syms: &SymbolTable,
         column: u32,
         max_bins: usize,
         rng: &mut StdRng,
     ) -> (Discretizer, Vec<u8>) {
-        let cells = table.column(column);
-        let non_null: Vec<&Value> = cells.iter().filter(|v| !v.is_null()).collect();
+        let col = table.column(column);
+        let n = col.len();
+        let non_null_count = n as u32 - col.null_count();
 
-        let numeric = non_null.iter().all(|v| v.as_number().is_some()) && !non_null.is_empty();
+        // Every non-text type has a numeric view (date/time via ordinals),
+        // so the declared type decides the binning rule.
+        let numeric = col.dtype() != DataType::Text && non_null_count > 0;
         let binning = if numeric {
-            let mut nums: Vec<f64> = non_null
-                .iter()
-                .map(|v| v.as_number().expect("checked numeric"))
+            let mut nums: Vec<f64> = (0..n)
+                .filter_map(|r| col.value_ref(syms, r).as_number())
                 .collect();
             nums.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
             nums.dedup();
@@ -70,15 +76,26 @@ impl Discretizer {
             Binning::Quantile { cuts }
         } else {
             // Frequency-ranked distinct values, capped; the rest fold into
-            // the OTHER bin.
-            let mut freq: std::collections::HashMap<&Value, u32> = Default::default();
-            for v in &non_null {
-                *freq.entry(*v).or_insert(0) += 1;
-            }
-            let mut ranked: Vec<(&Value, u32)> = freq.into_iter().collect();
-            ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+            // the OTHER bin. Dictionary columns count per symbol code and
+            // materialize only the ranked distinct values.
+            let mut ranked: Vec<(Value, u32)> = match col.data() {
+                ColumnData::Sym(codes) => {
+                    let mut freq: HashMap<u32, u32> = HashMap::new();
+                    for (r, &code) in codes.iter().enumerate() {
+                        if !col.is_null(r) {
+                            *freq.entry(code).or_insert(0) += 1;
+                        }
+                    }
+                    freq.into_iter()
+                        .map(|(code, c)| (syms.value(col.dtype(), code), c))
+                        .collect()
+                }
+                // Numeric columns reach here only when fully NULL.
+                _ => Vec::new(),
+            };
+            ranked.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
             ranked.truncate(max_bins.max(1));
-            let values: Vec<Value> = ranked.into_iter().map(|(v, _)| v.clone()).collect();
+            let values: Vec<Value> = ranked.into_iter().map(|(v, _)| v).collect();
             let other = (values.len() + 1) as u8;
             Binning::Exact { values, other }
         };
@@ -95,20 +112,22 @@ impl Discretizer {
             bin_rows: vec![0; bin_count as usize],
         };
 
-        let mut assignments = Vec::with_capacity(cells.len());
-        for v in cells {
-            let bin = disc.bin_of(v);
+        let mut assignments = Vec::with_capacity(n);
+        for r in 0..n {
+            let v = col.value_ref(syms, r);
+            let bin = disc.bin_of_ref(v);
             assignments.push(bin);
             let seen = disc.bin_rows[bin as usize];
             disc.bin_rows[bin as usize] += 1;
-            // Reservoir sampling keeps a uniform sample per bin.
+            // Reservoir sampling keeps a uniform sample per bin; values are
+            // materialized only when they actually enter the reservoir.
             let slot = &mut disc.samples[bin as usize];
             if slot.len() < SAMPLES_PER_BIN {
-                slot.push(v.clone());
+                slot.push(v.to_value());
             } else {
                 let j = rng.gen_range(0..=seen as usize);
                 if j < SAMPLES_PER_BIN {
-                    slot[j] = v.clone();
+                    slot[j] = v.to_value();
                 }
             }
         }
@@ -122,13 +141,18 @@ impl Discretizer {
 
     /// The bin of a value.
     pub fn bin_of(&self, v: &Value) -> u8 {
+        self.bin_of_ref(v.as_value_ref())
+    }
+
+    /// The bin of a borrowed cell view (no materialization).
+    pub fn bin_of_ref(&self, v: ValueRef<'_>) -> u8 {
         if v.is_null() {
             return NULL_BIN;
         }
         match &self.binning {
             Binning::Exact { values, other } => values
                 .iter()
-                .position(|x| x == v)
+                .position(|x| x.as_value_ref() == v)
                 .map(|i| (i + 1) as u8)
                 .unwrap_or(*other),
             Binning::Quantile { cuts } => {
@@ -172,37 +196,48 @@ mod tests {
     use prism_lang::parse_value_constraint;
     use rand::SeedableRng;
 
-    fn text_table(values: &[Option<&str>]) -> (TableSchema, Table) {
+    fn text_table(values: &[Option<&str>]) -> (TableSchema, Table, SymbolTable) {
         let s = TableSchema {
             name: "T".into(),
             columns: vec![ColumnDef::new("c", DataType::Text)],
         };
+        let mut syms = SymbolTable::new();
         let mut t = Table::new(&s);
         for v in values {
-            t.push_row(&s, vec![v.map(Value::text).unwrap_or(Value::Null)])
-                .unwrap();
+            t.push_row(
+                &s,
+                &mut syms,
+                vec![v.map(Value::text).unwrap_or(Value::Null)],
+            )
+            .unwrap();
         }
-        (s, t)
+        (s, t, syms)
     }
 
-    fn num_table(values: &[Option<f64>]) -> (TableSchema, Table) {
+    fn num_table(values: &[Option<f64>]) -> (TableSchema, Table, SymbolTable) {
         let s = TableSchema {
             name: "T".into(),
             columns: vec![ColumnDef::new("c", DataType::Decimal)],
         };
+        let mut syms = SymbolTable::new();
         let mut t = Table::new(&s);
         for v in values {
-            t.push_row(&s, vec![v.map(Value::Decimal).unwrap_or(Value::Null)])
-                .unwrap();
+            t.push_row(
+                &s,
+                &mut syms,
+                vec![v.map(Value::Decimal).unwrap_or(Value::Null)],
+            )
+            .unwrap();
         }
-        (s, t)
+        (s, t, syms)
     }
 
     #[test]
     fn text_column_gets_exact_bins_plus_other() {
-        let (_, t) = text_table(&[Some("a"), Some("a"), Some("b"), Some("c"), Some("d"), None]);
+        let (_, t, syms) =
+            text_table(&[Some("a"), Some("a"), Some("b"), Some("c"), Some("d"), None]);
         let mut rng = StdRng::seed_from_u64(1);
-        let (d, bins) = Discretizer::fit(&t, 0, 2, &mut rng);
+        let (d, bins) = Discretizer::fit(&t, &syms, 0, 2, &mut rng);
         // null + 2 MCVs + other = 4 bins.
         assert_eq!(d.bin_count(), 4);
         assert_eq!(bins.len(), 6);
@@ -217,9 +252,9 @@ mod tests {
     #[test]
     fn numeric_column_quantile_bins_are_ordered() {
         let vals: Vec<Option<f64>> = (0..100).map(|i| Some(i as f64)).collect();
-        let (_, t) = num_table(&vals);
+        let (_, t, syms) = num_table(&vals);
         let mut rng = StdRng::seed_from_u64(1);
-        let (d, bins) = Discretizer::fit(&t, 0, 4, &mut rng);
+        let (d, bins) = Discretizer::fit(&t, &syms, 0, 4, &mut rng);
         assert_eq!(d.bin_count(), 5); // null + 4 quantile bins
                                       // Bins must be monotone in the value.
         for w in bins.windows(2) {
@@ -235,9 +270,9 @@ mod tests {
     #[test]
     fn bin_match_fraction_scores_predicates() {
         let vals: Vec<Option<f64>> = (0..100).map(|i| Some(i as f64)).collect();
-        let (_, t) = num_table(&vals);
+        let (_, t, syms) = num_table(&vals);
         let mut rng = StdRng::seed_from_u64(7);
-        let (d, _) = Discretizer::fit(&t, 0, 4, &mut rng);
+        let (d, _) = Discretizer::fit(&t, &syms, 0, 4, &mut rng);
         let low = parse_value_constraint("< 25").unwrap();
         // Bin 1 covers the lowest quartile: all its samples satisfy `< 25`.
         assert!(d.bin_match_fraction(1, &low) > 0.99);
@@ -249,27 +284,27 @@ mod tests {
 
     #[test]
     fn constant_column_collapses_to_one_bin() {
-        let (_, t) = num_table(&[Some(5.0), Some(5.0), Some(5.0)]);
+        let (_, t, syms) = num_table(&[Some(5.0), Some(5.0), Some(5.0)]);
         let mut rng = StdRng::seed_from_u64(1);
-        let (d, bins) = Discretizer::fit(&t, 0, 8, &mut rng);
+        let (d, bins) = Discretizer::fit(&t, &syms, 0, 8, &mut rng);
         assert_eq!(d.bin_count(), 2); // null + single value bin
         assert!(bins.iter().all(|&b| b == 1));
     }
 
     #[test]
     fn all_null_column_is_handled() {
-        let (_, t) = text_table(&[None, None]);
+        let (_, t, syms) = text_table(&[None, None]);
         let mut rng = StdRng::seed_from_u64(1);
-        let (d, bins) = Discretizer::fit(&t, 0, 4, &mut rng);
+        let (d, bins) = Discretizer::fit(&t, &syms, 0, 4, &mut rng);
         assert!(bins.iter().all(|&b| b == NULL_BIN));
         assert!(d.bin_count() >= 1);
     }
 
     #[test]
     fn bin_rows_counts_match_assignments() {
-        let (_, t) = text_table(&[Some("a"), Some("a"), Some("b"), None]);
+        let (_, t, syms) = text_table(&[Some("a"), Some("a"), Some("b"), None]);
         let mut rng = StdRng::seed_from_u64(1);
-        let (d, bins) = Discretizer::fit(&t, 0, 4, &mut rng);
+        let (d, bins) = Discretizer::fit(&t, &syms, 0, 4, &mut rng);
         let total: u32 = d.bin_rows().iter().sum();
         assert_eq!(total as usize, bins.len());
         assert_eq!(d.bin_rows()[NULL_BIN as usize], 1);

@@ -77,7 +77,13 @@ impl BayesEstimator {
             .catalog()
             .tables()
             .map(|(tid, schema)| {
-                RelationModel::train(db.table(tid), schema.arity(), config.max_bins, &mut rng)
+                RelationModel::train(
+                    db.table(tid),
+                    db.symbols(),
+                    schema.arity(),
+                    config.max_bins,
+                    &mut rng,
+                )
             })
             .collect();
         let joins = if config.use_join_indicators {

@@ -15,7 +15,7 @@
 use prism_db::graph::EdgeId;
 use prism_db::schema::ColumnRef;
 use prism_db::Database;
-use prism_lang::{matches_value, ValueConstraint};
+use prism_lang::{matches_value_ref, ValueConstraint};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -43,16 +43,18 @@ impl JoinIndicator {
         let (a_col, b_col) = (edge.a, edge.b);
         let mut rng =
             StdRng::seed_from_u64(seed ^ (edge_id.0 as u64).wrapping_mul(0x9E3779B97F4A7C15));
-        let a_table = db.table(a_col.table);
+        let a_column = db.table(a_col.table).column(a_col.column);
         let mut pair_count = 0u64;
         let mut sample: Vec<(u32, u32)> = Vec::with_capacity(sample_cap);
         let b_index = db.join_index(b_col);
-        for (a_row, v) in a_table.column(a_col.column).iter().enumerate() {
-            if v.is_null() {
-                continue;
-            }
+        for a_row in 0..a_column.len() {
+            // Probe by compact join key: the interner guarantees equal
+            // values share keys across tables, so no Value is materialized.
+            let Some(key) = a_column.join_key(a_row) else {
+                continue; // NULL never joins
+            };
             let matches: &[u32] = match b_index {
-                Some(ix) => ix.get(v).map(|r| r.as_slice()).unwrap_or(&[]),
+                Some(ix) => ix.rows(key),
                 None => &[],
             };
             for &b_row in matches {
@@ -103,19 +105,20 @@ impl JoinIndicator {
         if self.sample.is_empty() {
             return None;
         }
+        let syms = db.symbols();
         let a_table = db.table(self.a_col.table);
         let b_table = db.table(self.b_col.table);
         let mut hits = 0usize;
         for &(ar, br) in &self.sample {
             let a_ok = preds_a
                 .iter()
-                .all(|(c, k)| matches_value(k, a_table.value(ar, *c)));
+                .all(|(c, k)| matches_value_ref(k, a_table.value_ref(syms, ar, *c)));
             if !a_ok {
                 continue;
             }
             let b_ok = preds_b
                 .iter()
-                .all(|(c, k)| matches_value(k, b_table.value(br, *c)));
+                .all(|(c, k)| matches_value_ref(k, b_table.value_ref(syms, br, *c)));
             if b_ok {
                 hits += 1;
             }

@@ -13,6 +13,7 @@
 //! disjunction constraints are supported, not just equalities.
 
 use crate::discretize::Discretizer;
+use prism_db::interner::SymbolTable;
 use prism_db::table::Table;
 use prism_lang::ValueConstraint;
 use rand::rngs::StdRng;
@@ -52,6 +53,7 @@ impl RelationModel {
     /// discretization (NULL and OTHER bins come on top).
     pub fn train(
         table: &Table,
+        syms: &SymbolTable,
         columns: usize,
         max_bins: usize,
         rng: &mut StdRng,
@@ -60,7 +62,7 @@ impl RelationModel {
         let mut discretizers = Vec::with_capacity(columns);
         let mut bins: Vec<Vec<u8>> = Vec::with_capacity(columns);
         for c in 0..columns {
-            let (d, assignment) = Discretizer::fit(table, c as u32, max_bins, rng);
+            let (d, assignment) = Discretizer::fit(table, syms, c as u32, max_bins, rng);
             discretizers.push(d);
             bins.push(assignment);
         }
@@ -304,7 +306,7 @@ mod tests {
     use rand::SeedableRng;
 
     /// Two perfectly correlated text columns and one independent numeric.
-    fn correlated_table(n: usize) -> (TableSchema, Table) {
+    fn correlated_table(n: usize) -> (TableSchema, Table, SymbolTable) {
         let s = TableSchema {
             name: "T".into(),
             columns: vec![
@@ -313,6 +315,7 @@ mod tests {
                 ColumnDef::new("x", DataType::Int),
             ],
         };
+        let mut syms = SymbolTable::new();
         let mut t = Table::new(&s);
         let pairs = [
             ("California", "USA"),
@@ -322,10 +325,14 @@ mod tests {
         ];
         for i in 0..n {
             let (st, co) = pairs[i % pairs.len()];
-            t.push_row(&s, vec![st.into(), co.into(), Value::Int((i % 10) as i64)])
-                .unwrap();
+            t.push_row(
+                &s,
+                &mut syms,
+                vec![st.into(), co.into(), Value::Int((i % 10) as i64)],
+            )
+            .unwrap();
         }
-        (s, t)
+        (s, t, syms)
     }
 
     #[test]
@@ -341,9 +348,9 @@ mod tests {
 
     #[test]
     fn chow_liu_links_correlated_columns() {
-        let (_, t) = correlated_table(400);
+        let (_, t, syms) = correlated_table(400);
         let mut rng = StdRng::seed_from_u64(3);
-        let m = RelationModel::train(&t, 3, 8, &mut rng);
+        let m = RelationModel::train(&t, &syms, 3, 8, &mut rng);
         // state and country must be adjacent in the tree (one is the
         // other's parent), since their MI dwarfs the independent column's.
         let p = m.structure();
@@ -353,9 +360,9 @@ mod tests {
 
     #[test]
     fn joint_probability_reflects_correlation() {
-        let (_, t) = correlated_table(400);
+        let (_, t, syms) = correlated_table(400);
         let mut rng = StdRng::seed_from_u64(3);
-        let m = RelationModel::train(&t, 3, 8, &mut rng);
+        let m = RelationModel::train(&t, &syms, 3, 8, &mut rng);
         let cal = parse_value_constraint("California").unwrap();
         let usa = parse_value_constraint("USA").unwrap();
         let germany = parse_value_constraint("Germany").unwrap();
@@ -373,9 +380,9 @@ mod tests {
 
     #[test]
     fn marginal_probability_tracks_frequency() {
-        let (_, t) = correlated_table(400);
+        let (_, t, syms) = correlated_table(400);
         let mut rng = StdRng::seed_from_u64(3);
-        let m = RelationModel::train(&t, 3, 8, &mut rng);
+        let m = RelationModel::train(&t, &syms, 3, 8, &mut rng);
         let usa = parse_value_constraint("USA").unwrap();
         let p = m.probability(&[(1, &usa)]);
         assert!((p - 0.5).abs() < 0.1, "P(USA) = {p}");
@@ -383,9 +390,9 @@ mod tests {
 
     #[test]
     fn unconstrained_probability_is_one() {
-        let (_, t) = correlated_table(100);
+        let (_, t, syms) = correlated_table(100);
         let mut rng = StdRng::seed_from_u64(3);
-        let m = RelationModel::train(&t, 3, 8, &mut rng);
+        let m = RelationModel::train(&t, &syms, 3, 8, &mut rng);
         let p = m.probability(&[]);
         assert!((p - 1.0).abs() < 1e-9);
     }
@@ -397,17 +404,18 @@ mod tests {
             columns: vec![ColumnDef::new("x", DataType::Int)],
         };
         let t = Table::new(&s);
+        let syms = SymbolTable::new();
         let mut rng = StdRng::seed_from_u64(3);
-        let m = RelationModel::train(&t, 1, 8, &mut rng);
+        let m = RelationModel::train(&t, &syms, 1, 8, &mut rng);
         let c = parse_value_constraint("5").unwrap();
         assert_eq!(m.probability(&[(0, &c)]), 0.0);
     }
 
     #[test]
     fn range_constraints_enter_as_soft_evidence() {
-        let (_, t) = correlated_table(400);
+        let (_, t, syms) = correlated_table(400);
         let mut rng = StdRng::seed_from_u64(3);
-        let m = RelationModel::train(&t, 3, 8, &mut rng);
+        let m = RelationModel::train(&t, &syms, 3, 8, &mut rng);
         let low = parse_value_constraint("< 5").unwrap();
         let p = m.probability(&[(2, &low)]);
         // x is uniform over 0..10, so about half the rows satisfy x < 5.
@@ -422,14 +430,15 @@ mod tests {
             name: "T".into(),
             columns: vec![ColumnDef::new("name", DataType::Text)],
         };
+        let mut syms = SymbolTable::new();
         let mut t = Table::new(&s);
         for i in 0..500 {
-            t.push_row(&s, vec![format!("common-{}", i % 3).into()])
+            t.push_row(&s, &mut syms, vec![format!("common-{}", i % 3).into()])
                 .unwrap();
         }
-        t.push_row(&s, vec!["needle".into()]).unwrap();
+        t.push_row(&s, &mut syms, vec!["needle".into()]).unwrap();
         let mut rng = StdRng::seed_from_u64(3);
-        let m = RelationModel::train(&t, 1, 4, &mut rng);
+        let m = RelationModel::train(&t, &syms, 1, 4, &mut rng);
         let c = parse_value_constraint("needle").unwrap();
         let p = m.probability(&[(0, &c)]);
         assert!(p > 0.0, "rare keyword must keep nonzero probability");
@@ -438,9 +447,9 @@ mod tests {
 
     #[test]
     fn conjunction_on_same_column_multiplies_weights() {
-        let (_, t) = correlated_table(400);
+        let (_, t, syms) = correlated_table(400);
         let mut rng = StdRng::seed_from_u64(3);
-        let m = RelationModel::train(&t, 3, 8, &mut rng);
+        let m = RelationModel::train(&t, &syms, 3, 8, &mut rng);
         let ge = parse_value_constraint(">= 2").unwrap();
         let lt = parse_value_constraint("< 5").unwrap();
         let p_band = m.probability(&[(2, &ge), (2, &lt)]);

@@ -11,7 +11,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// A two-column relation with controllable correlation.
-fn build_relation(rows: &[(i64, i64)]) -> (prism_db::Table, usize) {
+fn build_relation(rows: &[(i64, i64)]) -> (prism_db::Table, prism_db::SymbolTable, usize) {
     let schema = prism_db::TableSchema {
         name: "T".into(),
         columns: vec![
@@ -19,12 +19,13 @@ fn build_relation(rows: &[(i64, i64)]) -> (prism_db::Table, usize) {
             ColumnDef::new("b", DataType::Int),
         ],
     };
+    let mut syms = prism_db::SymbolTable::new();
     let mut t = prism_db::Table::new(&schema);
     for &(a, b) in rows {
-        t.push_row(&schema, vec![Value::Int(a), Value::Int(b)])
+        t.push_row(&schema, &mut syms, vec![Value::Int(a), Value::Int(b)])
             .unwrap();
     }
-    (t, 2)
+    (t, syms, 2)
 }
 
 fn two_table_db(a_rows: &[(i64, i64)], b_keys: &[i64]) -> Database {
@@ -61,9 +62,9 @@ proptest! {
         rows in proptest::collection::vec((0i64..6, 0i64..6), 1..200),
         probe in 0i64..6,
     ) {
-        let (t, cols) = build_relation(&rows);
+        let (t, syms, cols) = build_relation(&rows);
         let mut rng = StdRng::seed_from_u64(7);
-        let m = RelationModel::train(&t, cols, 8, &mut rng);
+        let m = RelationModel::train(&t, &syms, cols, 8, &mut rng);
         let c = parse_value_constraint(&probe.to_string()).unwrap();
         let p = m.probability(&[(0, &c)]);
         prop_assert!((0.0..=1.0).contains(&p), "p = {p}");
@@ -73,9 +74,9 @@ proptest! {
     fn disjunction_never_decreases_probability(
         rows in proptest::collection::vec((0i64..6, 0i64..6), 10..200),
     ) {
-        let (t, cols) = build_relation(&rows);
+        let (t, syms, cols) = build_relation(&rows);
         let mut rng = StdRng::seed_from_u64(7);
-        let m = RelationModel::train(&t, cols, 8, &mut rng);
+        let m = RelationModel::train(&t, &syms, cols, 8, &mut rng);
         let single = parse_value_constraint("2").unwrap();
         let wide = parse_value_constraint("2 || 3").unwrap();
         let p1 = m.probability(&[(0, &single)]);
@@ -87,9 +88,9 @@ proptest! {
     fn conjunction_never_exceeds_marginal(
         rows in proptest::collection::vec((0i64..6, 0i64..6), 10..200),
     ) {
-        let (t, cols) = build_relation(&rows);
+        let (t, syms, cols) = build_relation(&rows);
         let mut rng = StdRng::seed_from_u64(9);
-        let m = RelationModel::train(&t, cols, 8, &mut rng);
+        let m = RelationModel::train(&t, &syms, cols, 8, &mut rng);
         let ca = parse_value_constraint("1").unwrap();
         let cb = parse_value_constraint("4").unwrap();
         let joint = m.probability(&[(0, &ca), (1, &cb)]);
@@ -101,9 +102,9 @@ proptest! {
     fn marginal_tracks_empirical_frequency(
         rows in proptest::collection::vec((0i64..4, 0i64..4), 50..300),
     ) {
-        let (t, cols) = build_relation(&rows);
+        let (t, syms, cols) = build_relation(&rows);
         let mut rng = StdRng::seed_from_u64(11);
-        let m = RelationModel::train(&t, cols, 8, &mut rng);
+        let m = RelationModel::train(&t, &syms, cols, 8, &mut rng);
         let c = parse_value_constraint("1").unwrap();
         let p = m.probability(&[(0, &c)]);
         let truth = rows.iter().filter(|(a, _)| *a == 1).count() as f64 / rows.len() as f64;

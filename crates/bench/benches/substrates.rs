@@ -8,7 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use prism_datasets::mondial;
-use prism_db::{ExecStats, JoinCond, PjQuery, Value};
+use prism_db::{ExecStats, JoinCond, PjQuery, ValueRef};
 use prism_lang::{parse_metadata_constraint, parse_value_constraint};
 use std::time::Duration;
 
@@ -56,8 +56,8 @@ fn bench_execution(c: &mut Criterion) {
         }],
         projection: vec![(1, 2), (0, 0), (0, 1)],
     };
-    let is_cal = |v: &Value| v == &Value::text("California");
-    let is_tahoe = |v: &Value| v == &Value::text("Lake Tahoe");
+    let is_cal = |v: ValueRef<'_>| v == ValueRef::Text("California");
+    let is_tahoe = |v: ValueRef<'_>| v == ValueRef::Text("Lake Tahoe");
     c.bench_function("pj_exists_matching_hit", |b| {
         b.iter(|| {
             let mut stats = ExecStats::default();
@@ -65,7 +65,7 @@ fn bench_execution(c: &mut Criterion) {
                 .unwrap()
         })
     });
-    let is_nowhere = |v: &Value| v == &Value::text("Atlantis");
+    let is_nowhere = |v: ValueRef<'_>| v == ValueRef::Text("Atlantis");
     c.bench_function("pj_exists_matching_miss_full_scan", |b| {
         b.iter(|| {
             let mut stats = ExecStats::default();

@@ -1,0 +1,145 @@
+//! Machine-readable substrate benchmark: E1/E3-style timings plus
+//! microbenchmarks of the validation hot path, appended to
+//! `BENCH_substrate.json` so the perf trajectory of the storage substrate is
+//! tracked across refactors.
+//!
+//! Usage: `cargo run --release -p prism_bench --bin bench_json -- <phase>`
+//! where `<phase>` labels the run (e.g. `pre_refactor`, `post_refactor`).
+//! The file holds a JSON array; each run appends one entry without
+//! disturbing earlier ones, so before/after comparisons are one `diff` away.
+
+use prism_bench::{resolution_sweep, scheduling_comparison, timed};
+use prism_core::DiscoveryConfig;
+use prism_datasets::{mondial, Resolution};
+use prism_db::{ExecStats, JoinCond, PjQuery};
+use std::time::{Duration, Instant};
+
+/// Substrate scale factor for the microbenchmarks (mondial replication).
+const SCALE: usize = 4;
+/// Tasks per resolution for the E1/E3-style sweeps.
+const TASKS: usize = 3;
+
+fn main() {
+    let phase = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "adhoc".to_string());
+
+    // --- Substrate microbenchmarks (the validation hot path) ---
+    let (db, build_time) = timed(|| mondial(42, SCALE));
+    let lake = db.catalog().table_id("Lake").unwrap();
+    let geo = db.catalog().table_id("geo_lake").unwrap();
+    let q = PjQuery {
+        nodes: vec![lake, geo],
+        joins: vec![JoinCond {
+            left_node: 1,
+            left_col: 0,
+            right_node: 0,
+            right_col: 0,
+        }],
+        projection: vec![(1, 2), (0, 0), (0, 1)],
+    };
+    let exists_hit = throughput(|| {
+        let is_cal = pred_eq_text("California");
+        let is_tahoe = pred_eq_text("Lake Tahoe");
+        let mut stats = ExecStats::default();
+        assert!(q
+            .exists_matching(&db, &[Some(&is_cal), Some(&is_tahoe), None], &mut stats)
+            .unwrap());
+    });
+    let exists_miss = throughput(|| {
+        let nowhere = pred_eq_text("Atlantis");
+        let mut stats = ExecStats::default();
+        assert!(!q
+            .exists_matching(&db, &[Some(&nowhere), None, None], &mut stats)
+            .unwrap());
+    });
+    let (nrows, full_eval) = timed(|| q.execute(&db, usize::MAX).unwrap().len());
+
+    // --- E1-style: discovery round wall-clock across resolutions ---
+    let db1 = mondial(42, 1);
+    let (e1_rows, e1_wall) = timed(|| {
+        resolution_sweep(
+            &db1,
+            &[Resolution::Exact, Resolution::Disjunction],
+            TASKS,
+            7,
+            &DiscoveryConfig::default(),
+        )
+    });
+    let e1_avg_ms: f64 = e1_rows
+        .iter()
+        .map(|r| r.avg_time.as_secs_f64() * 1e3)
+        .sum::<f64>()
+        / e1_rows.len().max(1) as f64;
+
+    // --- E3-style: filter-scheduling comparison wall-clock ---
+    let (e3_samples, e3_wall) =
+        timed(|| scheduling_comparison(&[&db1], &[Resolution::Disjunction], TASKS, 13));
+    let e3_bayes_validations: f64 =
+        e3_samples.iter().map(|s| s.bayes as f64).sum::<f64>() / e3_samples.len().max(1) as f64;
+
+    let entry = format!(
+        "{{\n    \"phase\": \"{phase}\",\n    \"scale\": {SCALE},\n    \
+         \"total_rows\": {},\n    \"build_ms\": {:.3},\n    \
+         \"exists_hit_per_s\": {:.1},\n    \"exists_miss_per_s\": {:.1},\n    \
+         \"full_eval_ms\": {:.3},\n    \"full_eval_rows\": {nrows},\n    \
+         \"e1_avg_round_ms\": {:.3},\n    \"e1_wall_ms\": {:.3},\n    \
+         \"e3_wall_ms\": {:.3},\n    \"e3_bayes_validations\": {:.2}\n  }}",
+        db.total_rows(),
+        build_time.as_secs_f64() * 1e3,
+        exists_hit,
+        exists_miss,
+        full_eval.as_secs_f64() * 1e3,
+        e1_avg_ms,
+        e1_wall.as_secs_f64() * 1e3,
+        e3_wall.as_secs_f64() * 1e3,
+        e3_bayes_validations,
+    );
+    append_entry("BENCH_substrate.json", &entry);
+    println!("appended phase `{phase}` to BENCH_substrate.json:\n{entry}");
+}
+
+/// Existence-check predicate over borrowed cell views (zero-copy).
+fn pred_eq_text(s: &str) -> impl for<'v> Fn(prism_db::ValueRef<'v>) -> bool + '_ {
+    move |v: prism_db::ValueRef<'_>| v.as_text().is_some_and(|t| t == s)
+}
+
+/// Calls/sec of `f`, measured over at least 0.5 s of repetitions.
+fn throughput(mut f: impl FnMut()) -> f64 {
+    // Warm up.
+    for _ in 0..10 {
+        f();
+    }
+    let budget = Duration::from_millis(500);
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed() < budget {
+        for _ in 0..50 {
+            f();
+        }
+        iters += 50;
+    }
+    iters as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Append one JSON object to the array in `path`, creating the file on first
+/// use. The array is maintained textually (strip the closing bracket, append)
+/// to avoid needing a JSON parser dependency.
+fn append_entry(path: &str, entry: &str) {
+    let new_content = match std::fs::read_to_string(path) {
+        Ok(existing) => {
+            let trimmed = existing.trim_end();
+            let body = trimmed
+                .strip_suffix(']')
+                .expect("BENCH_substrate.json must hold a JSON array")
+                .trim_end();
+            if body.ends_with('[') {
+                format!("{body}\n  {entry}\n]\n")
+            } else {
+                format!("{body},\n  {entry}\n]\n")
+            }
+        }
+        Err(_) => format!("[\n  {entry}\n]\n"),
+    };
+    std::fs::write(path, new_content).expect("write BENCH_substrate.json");
+}

@@ -21,7 +21,7 @@ use crate::config::DiscoveryConfig;
 use crate::constraints::TargetConstraints;
 use prism_db::schema::ColumnRef;
 use prism_db::Database;
-use prism_lang::{matches_value_with, metadata_satisfied_with, UdfRegistry, ValueConstraint};
+use prism_lang::{metadata_satisfied_with, UdfRegistry, ValueConstraint};
 use std::collections::BTreeSet;
 
 /// The result of related-column discovery.
@@ -150,11 +150,11 @@ fn column_satisfies(
         // (Equality constraints were handled by the index above.)
         return false;
     }
-    // Early-exit scan.
+    // Early-exit scan over borrowed cell views (no clones).
     db.table(col.table)
         .column(col.column)
-        .iter()
-        .any(|v| matches_value_with(c, v, udfs))
+        .iter(db.symbols())
+        .any(|v| prism_lang::matches_value_ref_with(c, v, udfs))
 }
 
 #[cfg(test)]

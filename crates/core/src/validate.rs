@@ -9,11 +9,11 @@
 use crate::candidates::build_query;
 use crate::constraints::TargetConstraints;
 use crate::filters::Filter;
-use prism_db::{Database, ExecStats, PjQuery, ProjPred, Value};
-use prism_lang::matches_value_with;
+use prism_db::{Database, ExecStats, PjQuery, ProjPred, ValueRef};
+use prism_lang::matches_value_ref_with;
 
-/// A boxed per-slot predicate closure.
-type BoxedPred<'a> = Box<dyn Fn(&Value) -> bool + 'a>;
+/// A boxed per-slot predicate closure over borrowed cell views.
+type BoxedPred<'a> = Box<dyn Fn(ValueRef<'_>) -> bool + 'a>;
 
 /// Validate `filter` against `db` under `constraints`. Returns whether the
 /// filter is satisfied; work is accumulated into `stats`.
@@ -25,7 +25,8 @@ pub fn validate_filter(
 ) -> bool {
     let query = filter_query(db, filter);
     let sample = &constraints.samples[filter.sample];
-    // One closure per projection slot (= per filter predicate).
+    // One closure per projection slot (= per filter predicate). Cells reach
+    // the closures as zero-copy views out of typed column storage.
     let preds: Vec<BoxedPred<'_>> = filter
         .preds
         .iter()
@@ -34,12 +35,12 @@ pub fn validate_filter(
                 .as_ref()
                 .expect("filter predicates reference constrained cells");
             let udfs = &constraints.udfs;
-            Box::new(move |v: &Value| matches_value_with(c, v, udfs)) as BoxedPred<'_>
+            Box::new(move |v: ValueRef<'_>| matches_value_ref_with(c, v, udfs)) as BoxedPred<'_>
         })
         .collect();
     let pred_refs: Vec<ProjPred<'_>> = preds
         .iter()
-        .map(|p| Some(p.as_ref() as &dyn Fn(&Value) -> bool))
+        .map(|p| Some(p.as_ref() as &dyn Fn(ValueRef<'_>) -> bool))
         .collect();
     query
         .exists_matching(db, &pred_refs, stats)

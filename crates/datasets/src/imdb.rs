@@ -245,7 +245,10 @@ mod tests {
         let b2 = imdb(9, 1);
         assert_eq!(a.total_rows(), b2.total_rows());
         let m = a.catalog().table_id("Movie").unwrap();
-        assert_eq!(a.table(m).row(7), b2.table(m).row(7));
+        assert_eq!(
+            a.table(m).row(a.symbols(), 7),
+            b2.table(m).row(b2.symbols(), 7)
+        );
     }
 
     #[test]
@@ -257,9 +260,9 @@ mod tests {
         let m_ix = db.join_index(movie_id).unwrap();
         let p_ix = db.join_index(person_id).unwrap();
         let t = db.table(ci);
-        for r in 0..t.row_count() as u32 {
-            assert!(m_ix.contains_key(t.value(r, 0)));
-            assert!(p_ix.contains_key(t.value(r, 1)));
+        for r in 0..t.row_count() {
+            assert!(m_ix.contains_key(t.column(0).join_key(r).unwrap()));
+            assert!(p_ix.contains_key(t.column(1).join_key(r).unwrap()));
         }
     }
 

@@ -473,8 +473,8 @@ mod tests {
         let lake = a.catalog().table_id("Lake").unwrap();
         for r in 0..a.row_count(lake).min(20) as u32 {
             assert_eq!(
-                a.table(lake).row(r),
-                c.table(lake).row(r),
+                a.table(lake).row(a.symbols(), r),
+                c.table(lake).row(c.symbols(), r),
                 "row {r} differs"
             );
         }
@@ -531,16 +531,17 @@ mod tests {
         let lake_ix = db.join_index(lake_name).unwrap();
         let prov_ix = db.join_index(prov_name).unwrap();
         let t = db.table(geo);
-        for r in 0..t.row_count() as u32 {
+        let syms = db.symbols();
+        for r in 0..t.row_count() {
             assert!(
-                lake_ix.contains_key(t.value(r, 0)),
+                lake_ix.contains_key(t.column(0).join_key(r).unwrap()),
                 "dangling lake ref {:?}",
-                t.value(r, 0)
+                t.value_ref(syms, r as u32, 0)
             );
             assert!(
-                prov_ix.contains_key(t.value(r, 2)),
+                prov_ix.contains_key(t.column(2).join_key(r).unwrap()),
                 "dangling province ref {:?}",
-                t.value(r, 2)
+                t.value_ref(syms, r as u32, 2)
             );
         }
     }

@@ -233,8 +233,8 @@ mod tests {
         let team_id = db.catalog().column_ref("Team", "Id").unwrap();
         let ix = db.join_index(team_id).unwrap();
         let t = db.table(roster);
-        for r in 0..t.row_count() as u32 {
-            assert!(ix.contains_key(t.value(r, 1)));
+        for r in 0..t.row_count() {
+            assert!(ix.contains_key(t.column(1).join_key(r).unwrap()));
         }
     }
 
@@ -243,8 +243,13 @@ mod tests {
         let db = nba(13, 1);
         let game = db.catalog().table_id("Game").unwrap();
         let t = db.table(game);
+        let syms = db.symbols();
         for r in 0..t.row_count() as u32 {
-            assert_ne!(t.value(r, 1), t.value(r, 2), "game {r} is a self-match");
+            assert_ne!(
+                t.value_ref(syms, r, 1),
+                t.value_ref(syms, r, 2),
+                "game {r} is a self-match"
+            );
         }
     }
 
@@ -253,6 +258,9 @@ mod tests {
         let a = nba(5, 1);
         let b2 = nba(5, 1);
         let g = a.catalog().table_id("Game").unwrap();
-        assert_eq!(a.table(g).row(3), b2.table(g).row(3));
+        assert_eq!(
+            a.table(g).row(a.symbols(), 3),
+            b2.table(g).row(b2.symbols(), 3)
+        );
     }
 }

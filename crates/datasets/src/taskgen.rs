@@ -338,16 +338,17 @@ impl<'a> TaskGenerator<'a> {
     /// the same source column.
     fn disjunction(&self, v: &Value, col: ColumnRef, rng: &mut StdRng) -> String {
         let column = self.db.table(col.table).column(col.column);
+        let syms = self.db.symbols();
         let mut parts = vec![quote(v)];
         let n_distractors = rng.gen_range(1..=2);
         let mut tries = 0;
         while parts.len() <= n_distractors && tries < 50 {
             tries += 1;
-            let cand = &column[rng.gen_range(0..column.len())];
-            if cand.is_null() || cand == v {
+            let cand = column.value_ref(syms, rng.gen_range(0..column.len()));
+            if cand.is_null() || cand == v.as_value_ref() {
                 continue;
             }
-            let q = quote(cand);
+            let q = quote(&cand.to_value());
             if !parts.contains(&q) {
                 parts.push(q);
             }

@@ -1,0 +1,332 @@
+//! Typed column vectors with null bitmaps.
+//!
+//! Storage is one contiguous primitive vector per column — `Vec<i64>` for
+//! ints, `Vec<f64>` for decimals, and `Vec<u32>` dictionary codes for
+//! text/date/time (see [`crate::interner::SymbolTable`]) — plus a null
+//! bitmap. Scans and join probes operate on these raw slices; an owned
+//! [`Value`] is materialized only at projection boundaries.
+//!
+//! ## The compact join-key contract
+//!
+//! [`Column::join_key`] maps every non-null cell to a `u64` such that two
+//! cells of join-compatible columns (as enforced by
+//! [`crate::Catalog::add_foreign_key`]) are equal under the engine's join
+//! semantics **iff** their keys are equal:
+//!
+//! * numeric columns (`Int`, `Decimal`) use the bit pattern of the cell's
+//!   `f64` numeric view (`-0.0` is normalized on insert), so an `Int` FK
+//!   probes a `Decimal` PK index directly. This is exact for |v| < 2⁵³;
+//!   beyond that, neighboring integers share an `f64` image and therefore a
+//!   key, so they join as equal (an exact `Int`-only keying is a ROADMAP
+//!   follow-on);
+//! * symbol columns use the dictionary code, which the per-database
+//!   interner keeps equal across tables for equal values.
+//!
+//! Hash join indexes, probe loops, and residual join checks all operate on
+//! these keys; no `Value` is hashed or cloned on the validation hot path.
+
+use crate::interner::SymbolTable;
+use crate::types::{DataType, Value, ValueRef};
+
+/// The typed payload of one column.
+#[derive(Debug, Clone)]
+pub enum ColumnData {
+    Int(Vec<i64>),
+    Decimal(Vec<f64>),
+    /// Dictionary codes into the database's [`SymbolTable`]
+    /// (text/date/time columns).
+    Sym(Vec<u32>),
+}
+
+impl ColumnData {
+    fn len(&self) -> usize {
+        match self {
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Decimal(v) => v.len(),
+            ColumnData::Sym(v) => v.len(),
+        }
+    }
+}
+
+/// A fixed-size bitmap marking NULL rows. Rows are appended in order.
+#[derive(Debug, Clone, Default)]
+pub struct NullBitmap {
+    words: Vec<u64>,
+    len: usize,
+    count: u32,
+}
+
+impl NullBitmap {
+    fn push(&mut self, null: bool) {
+        let word = self.len / 64;
+        if word >= self.words.len() {
+            self.words.push(0);
+        }
+        if null {
+            self.words[word] |= 1u64 << (self.len % 64);
+            self.count += 1;
+        }
+        self.len += 1;
+    }
+
+    #[inline]
+    pub fn is_null(&self, row: usize) -> bool {
+        debug_assert!(row < self.len);
+        // Fast path: most columns have no NULLs at all, and `count` shares
+        // a cache line with the words pointer.
+        self.count != 0 && self.words[row / 64] >> (row % 64) & 1 == 1
+    }
+
+    /// Number of NULL rows.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// True when no row is NULL — lets scans skip the bitmap test.
+    pub fn none_null(&self) -> bool {
+        self.count == 0
+    }
+}
+
+/// One typed column: declared type, primitive data vector, null bitmap.
+/// NULL rows hold a placeholder in the data vector (0 / 0.0 / `u32::MAX`)
+/// and are flagged in the bitmap.
+#[derive(Debug, Clone)]
+pub struct Column {
+    dtype: DataType,
+    data: ColumnData,
+    nulls: NullBitmap,
+    /// Largest symbol code stored in a `Sym` column (0 when empty). Bounds
+    /// this column's code range without a scan — e.g. for sizing per-scan
+    /// predicate memo bitmaps to the column, not the whole database.
+    max_sym: u32,
+}
+
+/// Placeholder code stored in `Sym` columns at NULL rows.
+const NULL_SYM: u32 = u32::MAX;
+
+impl Column {
+    /// An empty column of declared type `dtype`.
+    pub fn new(dtype: DataType) -> Column {
+        let data = match dtype {
+            DataType::Int => ColumnData::Int(Vec::new()),
+            DataType::Decimal => ColumnData::Decimal(Vec::new()),
+            DataType::Text | DataType::Date | DataType::Time => ColumnData::Sym(Vec::new()),
+        };
+        Column {
+            dtype,
+            data,
+            nulls: NullBitmap::default(),
+            max_sym: 0,
+        }
+    }
+
+    /// Upper bound (inclusive) of the symbol codes stored in this column;
+    /// 0 for numeric or empty columns.
+    pub fn max_sym_code(&self) -> u32 {
+        self.max_sym
+    }
+
+    pub fn dtype(&self) -> DataType {
+        self.dtype
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Raw typed payload, for vectorized consumers (stats, discretizers).
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    pub fn nulls(&self) -> &NullBitmap {
+        &self.nulls
+    }
+
+    #[inline]
+    pub fn is_null(&self, row: usize) -> bool {
+        self.nulls.is_null(row)
+    }
+
+    pub fn null_count(&self) -> u32 {
+        self.nulls.count()
+    }
+
+    /// Append one cell. The value must already be validated against (and
+    /// widened to) this column's type — [`crate::Table::push_row`] does so.
+    pub(crate) fn push(&mut self, v: Value, syms: &mut SymbolTable) {
+        match (&mut self.data, v) {
+            (ColumnData::Int(vec), Value::Null) => {
+                vec.push(0);
+                self.nulls.push(true);
+            }
+            (ColumnData::Int(vec), Value::Int(i)) => {
+                vec.push(i);
+                self.nulls.push(false);
+            }
+            (ColumnData::Decimal(vec), Value::Null) => {
+                vec.push(0.0);
+                self.nulls.push(true);
+            }
+            (ColumnData::Decimal(vec), Value::Decimal(d)) => {
+                // Normalize -0.0 so equal values share bit patterns (join
+                // keys and stats both key on bits). `Value::decimal` does
+                // this too, but raw `Value::Decimal(-0.0)` can reach us.
+                vec.push(if d == 0.0 { 0.0 } else { d });
+                self.nulls.push(false);
+            }
+            (ColumnData::Sym(vec), Value::Null) => {
+                vec.push(NULL_SYM);
+                self.nulls.push(true);
+            }
+            (ColumnData::Sym(vec), Value::Text(s)) => {
+                let code = syms.intern_text_owned(s);
+                self.max_sym = self.max_sym.max(code);
+                vec.push(code);
+                self.nulls.push(false);
+            }
+            (ColumnData::Sym(vec), Value::Date(d)) => {
+                let code = syms.intern_date(d);
+                self.max_sym = self.max_sym.max(code);
+                vec.push(code);
+                self.nulls.push(false);
+            }
+            (ColumnData::Sym(vec), Value::Time(t)) => {
+                let code = syms.intern_time(t);
+                self.max_sym = self.max_sym.max(code);
+                vec.push(code);
+                self.nulls.push(false);
+            }
+            (_, v) => unreachable!("push of {} into {} column", v.type_name(), self.dtype),
+        }
+    }
+
+    /// Borrowed view of one cell. Zero-copy: text resolves through the
+    /// interner without cloning.
+    #[inline]
+    pub fn value_ref<'a>(&'a self, syms: &'a SymbolTable, row: usize) -> ValueRef<'a> {
+        if self.nulls.is_null(row) {
+            return ValueRef::Null;
+        }
+        match &self.data {
+            ColumnData::Int(v) => ValueRef::Int(v[row]),
+            ColumnData::Decimal(v) => ValueRef::Decimal(v[row]),
+            // Columns are homogeneous: the declared type names the symbol
+            // kind, so resolution is one dense-vector load, no enum branch.
+            ColumnData::Sym(v) => match self.dtype {
+                DataType::Text => ValueRef::Text(syms.text(v[row])),
+                DataType::Date => ValueRef::Date(syms.date(v[row])),
+                DataType::Time => ValueRef::Time(syms.time(v[row])),
+                _ => unreachable!("numeric columns are not dictionary-encoded"),
+            },
+        }
+    }
+
+    /// Iterate all cells as borrowed views, in row order.
+    pub fn iter<'a>(
+        &'a self,
+        syms: &'a SymbolTable,
+    ) -> impl ExactSizeIterator<Item = ValueRef<'a>> + 'a {
+        (0..self.len()).map(move |r| self.value_ref(syms, r))
+    }
+
+    /// Compact join key of one cell (`None` for NULL). See the module docs
+    /// for the key contract.
+    #[inline]
+    pub fn join_key(&self, row: usize) -> Option<u64> {
+        if self.nulls.is_null(row) {
+            return None;
+        }
+        Some(match &self.data {
+            ColumnData::Int(v) => (v[row] as f64).to_bits(),
+            ColumnData::Decimal(v) => v[row].to_bits(),
+            ColumnData::Sym(v) => v[row] as u64,
+        })
+    }
+
+    /// The symbol code of one cell of a dictionary column (`None` for NULL).
+    /// Panics on numeric columns.
+    pub fn sym(&self, row: usize) -> Option<u32> {
+        match &self.data {
+            ColumnData::Sym(v) => (!self.nulls.is_null(row)).then(|| v[row]),
+            _ => panic!("sym() on a numeric column"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Date;
+
+    #[test]
+    fn null_bitmap_tracks_positions_and_count() {
+        let mut b = NullBitmap::default();
+        for i in 0..130 {
+            b.push(i % 3 == 0);
+        }
+        assert_eq!(b.count(), 44);
+        assert!(b.is_null(0));
+        assert!(!b.is_null(1));
+        assert!(b.is_null(129));
+        assert!(!b.none_null());
+    }
+
+    #[test]
+    fn int_column_join_keys_match_decimal_column() {
+        let mut syms = SymbolTable::new();
+        let mut ci = Column::new(DataType::Int);
+        let mut cd = Column::new(DataType::Decimal);
+        ci.push(Value::Int(497), &mut syms);
+        cd.push(Value::Decimal(497.0), &mut syms);
+        assert_eq!(ci.join_key(0), cd.join_key(0));
+        ci.push(Value::Null, &mut syms);
+        assert_eq!(ci.join_key(1), None);
+    }
+
+    #[test]
+    fn sym_column_resolves_through_interner() {
+        let mut syms = SymbolTable::new();
+        let mut a = Column::new(DataType::Text);
+        let mut b = Column::new(DataType::Text);
+        a.push(Value::text("Lake Tahoe"), &mut syms);
+        b.push(Value::text("Lake Tahoe"), &mut syms);
+        b.push(Value::Null, &mut syms);
+        // Same value, same key — across distinct columns.
+        assert_eq!(a.join_key(0), b.join_key(0));
+        assert_eq!(a.value_ref(&syms, 0), ValueRef::Text("Lake Tahoe"));
+        assert_eq!(b.value_ref(&syms, 1), ValueRef::Null);
+        assert_eq!(b.sym(1), None);
+    }
+
+    #[test]
+    fn negative_zero_normalizes_on_insert() {
+        let mut syms = SymbolTable::new();
+        let mut a = Column::new(DataType::Decimal);
+        let mut b = Column::new(DataType::Decimal);
+        // Raw Value::Decimal(-0.0) bypasses Value::decimal's normalization;
+        // the column must normalize anyway so bit-keyed joins and stats see
+        // one zero.
+        a.push(Value::Decimal(-0.0), &mut syms);
+        b.push(Value::Decimal(0.0), &mut syms);
+        assert_eq!(a.join_key(0), b.join_key(0));
+        assert_eq!(a.value_ref(&syms, 0), ValueRef::Decimal(0.0));
+    }
+
+    #[test]
+    fn date_column_is_dictionary_encoded() {
+        let mut syms = SymbolTable::new();
+        let mut c = Column::new(DataType::Date);
+        let d = Date::new(2000, 1, 1);
+        c.push(Value::Date(d), &mut syms);
+        c.push(Value::Date(d), &mut syms);
+        assert_eq!(c.sym(0), c.sym(1));
+        assert_eq!(c.value_ref(&syms, 0), ValueRef::Date(d));
+        assert_eq!(syms.len(), 1);
+    }
+}

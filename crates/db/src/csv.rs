@@ -230,7 +230,7 @@ Fort Peck Lake,981,
         assert_eq!(db.row_count(tid), 4);
         // Empty Discovered field became NULL.
         let discovered = db.catalog().column_ref("Lake", "Discovered").unwrap();
-        assert_eq!(db.value(discovered, 2), &Value::Null);
+        assert_eq!(db.value(discovered, 2), Value::Null);
         // Quoted name kept intact; index finds it.
         assert_eq!(db.index().columns_with_cell("Lake of the Woods").count(), 1);
     }

@@ -5,14 +5,21 @@
 //! priori": it populates the inverted index, collects per-column statistics,
 //! derives the schema graph from the declared foreign keys, and materializes
 //! hash join indexes for every column that participates in a join edge.
+//!
+//! Join indexes are keyed on the compact `u64` join keys of
+//! [`crate::column::Column::join_key`] — never on `Value` — so probe loops
+//! stay allocation- and hash-heavy-`Value`-free (see the `column` module
+//! docs for the key contract).
 
+use crate::column::ColumnData;
 use crate::error::DbError;
 use crate::graph::{JoinEdge, SchemaGraph};
 use crate::index::InvertedIndex;
+use crate::interner::SymbolTable;
 use crate::schema::{Catalog, ColumnDef, ColumnRef, ForeignKey, TableId, TableSchema};
 use crate::stats::{ColumnStats, StatsStore};
 use crate::table::Table;
-use crate::types::{DataType, Value};
+use crate::types::{DataType, Value, ValueRef};
 use std::collections::HashMap;
 
 impl ColumnDef {
@@ -32,12 +39,40 @@ impl ColumnDef {
     }
 }
 
+/// Hash join index of one column: compact join key → matching rows.
+#[derive(Debug, Default, Clone)]
+pub struct JoinIndex {
+    map: HashMap<u64, Vec<u32>>,
+}
+
+impl JoinIndex {
+    /// Rows whose cell carries `key` (empty for unknown keys).
+    #[inline]
+    pub fn rows(&self, key: u64) -> &[u32] {
+        self.map.get(&key).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    pub fn contains_key(&self, key: u64) -> bool {
+        self.map.contains_key(&key)
+    }
+
+    /// Number of distinct keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
 /// Incrementally assembles a [`Database`].
 #[derive(Debug, Default)]
 pub struct DatabaseBuilder {
     name: String,
     catalog: Catalog,
     tables: Vec<Table>,
+    symbols: SymbolTable,
 }
 
 impl DatabaseBuilder {
@@ -46,6 +81,7 @@ impl DatabaseBuilder {
             name: name.into(),
             catalog: Catalog::new(),
             tables: Vec::new(),
+            symbols: SymbolTable::new(),
         }
     }
 
@@ -71,7 +107,7 @@ impl DatabaseBuilder {
             .table_id(table)
             .ok_or_else(|| DbError::UnknownTable(table.to_string()))?;
         let schema = self.catalog.table(tid);
-        self.tables[tid.index()].push_row(schema, row)
+        self.tables[tid.index()].push_row(schema, &mut self.symbols, row)
     }
 
     /// Insert many rows into a declared table.
@@ -102,17 +138,35 @@ impl DatabaseBuilder {
             name,
             catalog,
             tables,
+            symbols,
         } = self;
 
-        // Inverted index over every cell.
+        // Inverted index over every cell. Dictionary columns canonicalize
+        // each distinct code once instead of re-normalizing per row.
         let mut index = InvertedIndex::new();
-        for (tid, _) in catalog.tables() {
+        for (tid, schema) in catalog.tables() {
             let table = &tables[tid.index()];
-            let arity = catalog.table(tid).arity() as u32;
-            for c in 0..arity {
-                let col = ColumnRef::new(tid, c);
-                for (r, v) in table.column(c).iter().enumerate() {
-                    index.add(col, r as u32, v);
+            for c in 0..schema.arity() as u32 {
+                let col_ref = ColumnRef::new(tid, c);
+                let col = table.column(c);
+                if let ColumnData::Sym(codes) = col.data() {
+                    let is_text = col.dtype() == DataType::Text;
+                    let mut key_cache: HashMap<u32, String> = HashMap::new();
+                    for (r, &code) in codes.iter().enumerate() {
+                        if col.is_null(r) {
+                            continue;
+                        }
+                        let key = key_cache.entry(code).or_insert_with(|| {
+                            col.value_ref(&symbols, r)
+                                .index_key()
+                                .expect("non-null cell has a key")
+                        });
+                        index.add_key(col_ref, r as u32, key, is_text);
+                    }
+                } else {
+                    for (r, v) in col.iter(&symbols).enumerate() {
+                        index.add(col_ref, r as u32, v);
+                    }
                 }
             }
         }
@@ -125,7 +179,7 @@ impl DatabaseBuilder {
                 .columns
                 .iter()
                 .enumerate()
-                .map(|(c, def)| ColumnStats::collect(table, c as u32, def.dtype))
+                .map(|(c, def)| ColumnStats::collect(table, &symbols, c as u32, def.dtype))
                 .collect();
             stats.push_table(per_col);
         }
@@ -141,23 +195,21 @@ impl DatabaseBuilder {
             .collect();
         let graph = SchemaGraph::new(catalog.table_count(), edges);
 
-        // Hash join indexes for every column touched by a join edge.
-        // NULL keys are excluded: SQL equi-joins never match NULL = NULL.
-        let mut join_indexes: HashMap<ColumnRef, HashMap<Value, Vec<u32>>> = HashMap::new();
+        // Hash join indexes for every column touched by a join edge, keyed
+        // on compact join keys. NULL keys are excluded: SQL equi-joins never
+        // match NULL = NULL.
+        let mut join_indexes: HashMap<ColumnRef, JoinIndex> = HashMap::new();
         for fk in catalog.foreign_keys() {
             for col in [fk.from, fk.to] {
                 join_indexes.entry(col).or_insert_with(|| {
-                    let mut m: HashMap<Value, Vec<u32>> = HashMap::new();
-                    for (r, v) in tables[col.table.index()]
-                        .column(col.column)
-                        .iter()
-                        .enumerate()
-                    {
-                        if !v.is_null() {
-                            m.entry(v.clone()).or_default().push(r as u32);
+                    let column = tables[col.table.index()].column(col.column);
+                    let mut map: HashMap<u64, Vec<u32>> = HashMap::new();
+                    for r in 0..column.len() {
+                        if let Some(key) = column.join_key(r) {
+                            map.entry(key).or_default().push(r as u32);
                         }
                     }
-                    m
+                    JoinIndex { map }
                 });
             }
         }
@@ -166,6 +218,7 @@ impl DatabaseBuilder {
             name,
             catalog,
             tables,
+            symbols,
             index,
             stats,
             graph,
@@ -180,10 +233,11 @@ pub struct Database {
     name: String,
     catalog: Catalog,
     tables: Vec<Table>,
+    symbols: SymbolTable,
     index: InvertedIndex,
     stats: StatsStore,
     graph: SchemaGraph,
-    join_indexes: HashMap<ColumnRef, HashMap<Value, Vec<u32>>>,
+    join_indexes: HashMap<ColumnRef, JoinIndex>,
 }
 
 impl Database {
@@ -197,6 +251,11 @@ impl Database {
 
     pub fn table(&self, id: TableId) -> &Table {
         &self.tables[id.index()]
+    }
+
+    /// The database-wide value interner.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
     }
 
     pub fn row_count(&self, id: TableId) -> usize {
@@ -221,13 +280,26 @@ impl Database {
 
     /// The precomputed hash join index of a column, if it participates in
     /// any join edge.
-    pub fn join_index(&self, col: ColumnRef) -> Option<&HashMap<Value, Vec<u32>>> {
+    pub fn join_index(&self, col: ColumnRef) -> Option<&JoinIndex> {
         self.join_indexes.get(&col)
     }
 
-    /// Cell accessor via a [`ColumnRef`].
-    pub fn value(&self, col: ColumnRef, row: u32) -> &Value {
-        self.tables[col.table.index()].value(row, col.column)
+    /// Compact join key of one cell (`None` for NULL).
+    #[inline]
+    pub fn join_key(&self, col: ColumnRef, row: u32) -> Option<u64> {
+        self.tables[col.table.index()]
+            .column(col.column)
+            .join_key(row as usize)
+    }
+
+    /// Borrowed cell view via a [`ColumnRef`] (zero-copy).
+    pub fn value_ref(&self, col: ColumnRef, row: u32) -> ValueRef<'_> {
+        self.tables[col.table.index()].value_ref(&self.symbols, row, col.column)
+    }
+
+    /// Owned cell value via a [`ColumnRef`] (materializes text).
+    pub fn value(&self, col: ColumnRef, row: u32) -> Value {
+        self.value_ref(col, row).to_value()
     }
 }
 
@@ -301,11 +373,28 @@ pub(crate) mod tests {
         let db = lakes_db();
         let name = db.catalog().column_ref("Lake", "Name").unwrap();
         let ji = db.join_index(name).expect("FK column has a join index");
-        assert_eq!(ji.get(&Value::text("Lake Tahoe")).unwrap(), &vec![0]);
-        assert!(!ji.contains_key(&Value::Null));
-        // Non-FK column has no join index.
+        // Probe by the compact key of the geo_lake side: interning makes the
+        // key of "Lake Tahoe" identical across tables.
+        let geo_lake = db.catalog().column_ref("geo_lake", "Lake").unwrap();
+        let key = db.join_key(geo_lake, 0).unwrap();
+        assert_eq!(ji.rows(key), &[0]);
+        // Dead Lake's NULL area produced no join-index entry anywhere; a
+        // NULL cell has no key at all.
         let area = db.catalog().column_ref("Lake", "Area").unwrap();
+        assert_eq!(db.join_key(area, 3), None);
+        // Non-FK column has no join index.
         assert!(db.join_index(area).is_none());
+    }
+
+    #[test]
+    fn symbols_are_shared_across_tables() {
+        let db = lakes_db();
+        let lake_name = db.catalog().column_ref("Lake", "Name").unwrap();
+        let geo_lake = db.catalog().column_ref("geo_lake", "Lake").unwrap();
+        // "Lake Tahoe" row 0 in Lake and rows 0/1 in geo_lake: same key.
+        assert_eq!(db.join_key(lake_name, 0), db.join_key(geo_lake, 0));
+        assert_eq!(db.join_key(geo_lake, 0), db.join_key(geo_lake, 1));
+        assert_eq!(db.value_ref(geo_lake, 0), ValueRef::Text("Lake Tahoe"));
     }
 
     #[test]
@@ -319,6 +408,7 @@ pub(crate) mod tests {
     fn value_accessor_reads_cells() {
         let db = lakes_db();
         let prov = db.catalog().column_ref("geo_lake", "Province").unwrap();
-        assert_eq!(db.value(prov, 1), &Value::text("Nevada"));
+        assert_eq!(db.value(prov, 1), Value::text("Nevada"));
+        assert_eq!(db.value_ref(prov, 1), ValueRef::Text("Nevada"));
     }
 }

@@ -16,16 +16,24 @@
 //! precomputed hash join index of its connecting column. Existence checks
 //! terminate at the first full assignment, so successful validations are
 //! usually much cheaper than full evaluation.
+//!
+//! The probe/backtrack loops never hash or clone a [`Value`]: join probes
+//! and residual join checks compare the compact `u64` keys of
+//! [`crate::column::Column::join_key`], and predicates receive zero-copy
+//! [`ValueRef`] views. Owned `Value`s appear only at the projection
+//! boundary ([`PjQuery::execute`]).
 
 use crate::database::Database;
 use crate::error::DbError;
-use crate::types::Value;
+use crate::types::{Value, ValueRef};
 
-/// Optional predicate applied to one projection slot.
-pub type ProjPred<'a> = Option<&'a (dyn Fn(&Value) -> bool + 'a)>;
+/// Optional predicate applied to one projection slot. Predicates see
+/// borrowed cell views; no text is cloned to evaluate them.
+pub type ProjPred<'a> = Option<&'a (dyn Fn(ValueRef<'_>) -> bool + 'a)>;
 
-/// Callback receiving each result row; return `false` to stop enumeration.
-pub type RowCallback<'a> = &'a mut dyn FnMut(&[&Value]) -> bool;
+/// Callback receiving each result row as borrowed views; return `false` to
+/// stop enumeration.
+pub type RowCallback<'a> = &'a mut dyn FnMut(&[ValueRef<'_>]) -> bool;
 
 /// Work counters for cost accounting. Scheduling experiments report both
 /// validation counts and the raw row effort behind them.
@@ -94,6 +102,21 @@ impl PjQuery {
         for j in &self.joins {
             col_ok(j.left_node, j.left_col)?;
             col_ok(j.right_node, j.right_col)?;
+            // Join keys are compared as compact u64s, which is only sound
+            // between join-compatible columns (the same rule the catalog
+            // enforces for foreign keys): numeric with numeric, otherwise
+            // exactly equal types. Reject cross-kind conditions here so an
+            // ad-hoc query can never compare, say, text codes against date
+            // codes.
+            let dtype_of =
+                |node: usize, col: u32| db.catalog().table(self.nodes[node]).column(col).dtype;
+            let lt = dtype_of(j.left_node, j.left_col);
+            let rt = dtype_of(j.right_node, j.right_col);
+            if lt != rt && !(lt.is_numeric() && rt.is_numeric()) {
+                return Err(DbError::InvalidQuery(format!(
+                    "join condition compares incompatible types {lt} and {rt}"
+                )));
+            }
         }
         for &(n, c) in &self.projection {
             col_ok(n, c)?;
@@ -157,12 +180,13 @@ impl PjQuery {
         Ok(())
     }
 
-    /// Materialize up to `limit` result rows.
+    /// Materialize up to `limit` result rows. This is the projection
+    /// boundary where owned [`Value`]s come into existence.
     pub fn execute(&self, db: &Database, limit: usize) -> Result<Vec<Vec<Value>>, DbError> {
         let mut out = Vec::new();
         let mut stats = ExecStats::default();
         self.for_each_row(db, &[], &mut stats, &mut |row| {
-            out.push(row.iter().map(|v| (*v).clone()).collect());
+            out.push(row.iter().map(|v| v.to_value()).collect());
             out.len() < limit
         })?;
         Ok(out)
@@ -299,11 +323,11 @@ fn search(
 ) -> Result<bool, DbError> {
     if depth == plan.order.len() {
         stats.rows_emitted += 1;
-        let row: Vec<&Value> = q
+        let row: Vec<ValueRef<'_>> = q
             .projection
             .iter()
             .map(|&(node, col)| {
-                db.value(
+                db.value_ref(
                     crate::schema::ColumnRef::new(q.nodes[node], col),
                     assignment[node],
                 )
@@ -314,77 +338,144 @@ fn search(
     let node = plan.order[depth];
     let tid = q.nodes[node];
     let table = db.table(tid);
+    let syms = db.symbols();
 
-    // Candidate rows for this node.
+    // Candidate rows for this node: compact join keys only, no `Value`.
     let candidates: CandidateRows = match plan.link[depth] {
         None => CandidateRows::Scan(table.row_count() as u32),
         Some((parent_node, parent_col, my_col)) => {
-            let pv = db.value(
-                crate::schema::ColumnRef::new(q.nodes[parent_node], parent_col),
-                assignment[parent_node],
-            );
-            if pv.is_null() {
+            let parent_key = db
+                .table(q.nodes[parent_node])
+                .column(parent_col)
+                .join_key(assignment[parent_node] as usize);
+            let Some(pk) = parent_key else {
                 return Ok(true); // NULL never equi-joins
-            }
+            };
             let col_ref = crate::schema::ColumnRef::new(tid, my_col);
             stats.index_probes += 1;
             match db.join_index(col_ref) {
-                Some(ix) => CandidateRows::List(ix.get(pv).map(|v| v.as_slice()).unwrap_or(&[])),
-                None => CandidateRows::FilteredScan(table.row_count() as u32, my_col, pv.clone()),
+                Some(ix) => CandidateRows::List(ix.rows(pk)),
+                None => CandidateRows::FilteredScan(table.row_count() as u32, my_col, pk),
             }
         }
     };
 
-    let mut try_row =
-        |row: u32, assignment: &mut Vec<u32>, stats: &mut ExecStats| -> Result<bool, DbError> {
+    // `check_preds = false` skips the local-predicate loop — the
+    // dictionary-memoized scan below has already applied it.
+    let mut try_row = |row: u32,
+                       assignment: &mut Vec<u32>,
+                       stats: &mut ExecStats,
+                       check_preds: bool|
+     -> Result<bool, DbError> {
+        if check_preds {
+            // (The memoized scan counts and filters its rows itself.)
             stats.rows_examined += 1;
-            // Local predicates.
+            // Local predicates, on zero-copy cell views.
             for &(col, slot) in &plan.local_preds[node] {
                 let pred = preds[slot].expect("local_preds only lists Some preds");
-                if !pred(table.value(row, col)) {
+                if !pred(table.value_ref(syms, row, col)) {
                     return Ok(true); // reject row, continue search
                 }
             }
-            assignment[node] = row;
-            // Residual (cycle-closing) join checks at this depth.
-            for j in &plan.residual_at[depth] {
-                let l = db.value(
-                    crate::schema::ColumnRef::new(q.nodes[j.left_node], j.left_col),
-                    assignment[j.left_node],
-                );
-                let r = db.value(
-                    crate::schema::ColumnRef::new(q.nodes[j.right_node], j.right_col),
-                    assignment[j.right_node],
-                );
-                if l.is_null() || r.is_null() || l != r {
-                    return Ok(true);
-                }
+        }
+        assignment[node] = row;
+        // Residual (cycle-closing) join checks at this depth, on compact
+        // keys (NULL keys never match, matching equi-join semantics).
+        for j in &plan.residual_at[depth] {
+            let l = db
+                .table(q.nodes[j.left_node])
+                .column(j.left_col)
+                .join_key(assignment[j.left_node] as usize);
+            let r = db
+                .table(q.nodes[j.right_node])
+                .column(j.right_col)
+                .join_key(assignment[j.right_node] as usize);
+            match (l, r) {
+                (Some(lk), Some(rk)) if lk == rk => {}
+                _ => return Ok(true),
             }
-            search(db, q, plan, depth + 1, assignment, stats, cb, preds)
-        };
+        }
+        search(db, q, plan, depth + 1, assignment, stats, cb, preds)
+    };
 
     match candidates {
         CandidateRows::Scan(n) => {
-            for row in 0..n {
-                if !try_row(row, assignment, stats)? {
-                    return Ok(false);
+            // Dictionary-aware predicate pushdown: a full scan whose single
+            // local predicate sits on a text column evaluates the predicate
+            // once per distinct symbol code — a predicate is a pure function
+            // of the cell, and equal cells share a code. The first
+            // `MEMO_WARMUP` rows evaluate directly so early-exit existence
+            // hits never pay for the memo bitmaps.
+            let memo_target = match plan.local_preds[node][..] {
+                [(col, slot)]
+                    if n as usize > MEMO_WARMUP
+                        && table.column(col).dtype() == crate::types::DataType::Text
+                        // Only memoize when the bitmaps are small relative
+                        // to the scan; otherwise direct evaluation wins.
+                        && (table.column(col).max_sym_code() as usize + 1).div_ceil(64) * 2
+                            <= n as usize =>
+                {
+                    Some((col, slot))
+                }
+                _ => None,
+            };
+            if let Some((col, slot)) = memo_target {
+                let column = table.column(col);
+                let crate::column::ColumnData::Sym(codes) = column.data() else {
+                    unreachable!("text columns are dictionary-encoded");
+                };
+                let pred = preds[slot].expect("local_preds only lists Some preds");
+                let mut row = 0u32;
+                while row < n.min(MEMO_WARMUP as u32) {
+                    if !try_row(row, assignment, stats, true)? {
+                        return Ok(false);
+                    }
+                    row += 1;
+                }
+                if row < n {
+                    // Bitmaps span the column's own code range (not the
+                    // whole dictionary), so sparse columns in huge
+                    // databases stay cheap to memoize.
+                    let mut memo = PredMemo::new(column.max_sym_code() as usize + 1);
+                    let mut null_verdict: Option<bool> = None;
+                    while row < n {
+                        stats.rows_examined += 1;
+                        let r = row as usize;
+                        let ok = if column.is_null(r) {
+                            *null_verdict.get_or_insert_with(|| pred(ValueRef::Null))
+                        } else {
+                            let code = codes[r];
+                            memo.check(code, || pred(ValueRef::Text(syms.text(code))))
+                        };
+                        if ok && !try_row(row, assignment, stats, false)? {
+                            return Ok(false);
+                        }
+                        row += 1;
+                    }
+                }
+            } else {
+                for row in 0..n {
+                    if !try_row(row, assignment, stats, true)? {
+                        return Ok(false);
+                    }
                 }
             }
         }
         CandidateRows::List(rows) => {
             for &row in rows {
-                if !try_row(row, assignment, stats)? {
+                if !try_row(row, assignment, stats, true)? {
                     return Ok(false);
                 }
             }
         }
-        CandidateRows::FilteredScan(n, col, ref pv) => {
+        CandidateRows::FilteredScan(n, col, pk) => {
+            let column = table.column(col);
             for row in 0..n {
                 stats.rows_examined += 1;
-                if table.value(row, col) != pv {
+                if column.join_key(row as usize) != Some(pk) {
                     continue;
                 }
-                if !try_row(row, assignment, stats)? {
+                if !try_row(row, assignment, stats, true)? {
                     return Ok(false);
                 }
             }
@@ -398,8 +489,45 @@ enum CandidateRows<'a> {
     Scan(u32),
     /// Rows from a hash join index probe.
     List(&'a [u32]),
-    /// No join index: scan comparing the join column to the parent value.
-    FilteredScan(u32, u32, Value),
+    /// No join index: scan comparing compact join keys against the parent's.
+    FilteredScan(u32, u32, u64),
+}
+
+/// Rows evaluated directly before a memoized scan engages; early-exit hits
+/// stay allocation-free.
+const MEMO_WARMUP: usize = 32;
+
+/// Per-symbol predicate verdict cache for one scan: one bit records whether
+/// a text code has been evaluated, one bit the verdict.
+struct PredMemo {
+    evaluated: Vec<u64>,
+    verdict: Vec<u64>,
+}
+
+impl PredMemo {
+    fn new(code_range: usize) -> PredMemo {
+        let words = code_range.div_ceil(64);
+        PredMemo {
+            evaluated: vec![0; words],
+            verdict: vec![0; words],
+        }
+    }
+
+    /// The predicate's verdict for `code`, running `eval` only on the first
+    /// encounter of that code.
+    #[inline]
+    fn check(&mut self, code: u32, eval: impl FnOnce() -> bool) -> bool {
+        let (w, b) = ((code / 64) as usize, code % 64);
+        if self.evaluated[w] >> b & 1 == 1 {
+            return self.verdict[w] >> b & 1 == 1;
+        }
+        let r = eval();
+        self.evaluated[w] |= 1 << b;
+        if r {
+            self.verdict[w] |= 1 << b;
+        }
+        r
+    }
 }
 
 #[cfg(test)]
@@ -452,8 +580,8 @@ mod tests {
     fn exists_matching_finds_sample() {
         let db = lakes_db();
         let q = lakes_query();
-        let is_cal = |v: &Value| v == &Value::text("California");
-        let is_tahoe = |v: &Value| v == &Value::text("Lake Tahoe");
+        let is_cal = |v: ValueRef<'_>| v == ValueRef::Text("California");
+        let is_tahoe = |v: ValueRef<'_>| v == ValueRef::Text("Lake Tahoe");
         let mut stats = ExecStats::default();
         let found = q
             .exists_matching(&db, &[Some(&is_cal), Some(&is_tahoe), None], &mut stats)
@@ -467,8 +595,8 @@ mod tests {
         let db = lakes_db();
         let q = lakes_query();
         // Crater Lake is in Oregon, not California.
-        let is_cal = |v: &Value| v == &Value::text("California");
-        let is_crater = |v: &Value| v == &Value::text("Crater Lake");
+        let is_cal = |v: ValueRef<'_>| v == ValueRef::Text("California");
+        let is_crater = |v: ValueRef<'_>| v == ValueRef::Text("Crater Lake");
         let mut stats = ExecStats::default();
         let found = q
             .exists_matching(&db, &[Some(&is_cal), Some(&is_crater), None], &mut stats)
@@ -483,7 +611,7 @@ mod tests {
         let mut full = ExecStats::default();
         q.count_matching(&db, &[], u64::MAX, &mut full).unwrap();
         let mut early = ExecStats::default();
-        let t = |_: &Value| true;
+        let t = |_: ValueRef<'_>| true;
         assert!(q
             .exists_matching(&db, &[Some(&t), Some(&t), Some(&t)], &mut early)
             .unwrap());
@@ -530,6 +658,25 @@ mod tests {
     }
 
     #[test]
+    fn cross_kind_join_condition_rejected() {
+        // Text and Decimal columns share the compact-key space only within
+        // their own kind, so a join condition between them must be rejected
+        // (previously it compared Values and simply never matched).
+        let db = lakes_db();
+        let q = PjQuery {
+            nodes: vec![TableId(0), TableId(1)],
+            joins: vec![JoinCond {
+                left_node: 0,
+                left_col: 1, // Lake.Area (decimal)
+                right_node: 1,
+                right_col: 1, // geo_lake.Province (text)
+            }],
+            projection: vec![(0, 0)],
+        };
+        assert!(matches!(q.validate(&db), Err(DbError::InvalidQuery(_))));
+    }
+
+    #[test]
     fn disconnected_query_rejected() {
         let db = lakes_db();
         let q = PjQuery {
@@ -555,7 +702,7 @@ mod tests {
     fn wrong_pred_arity_rejected() {
         let db = lakes_db();
         let q = lakes_query();
-        let t = |_: &Value| true;
+        let t = |_: ValueRef<'_>| true;
         let mut stats = ExecStats::default();
         let err = q.exists_matching(&db, &[Some(&t)], &mut stats);
         assert!(err.is_err());

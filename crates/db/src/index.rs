@@ -16,7 +16,7 @@
 //! lists themselves.
 
 use crate::schema::ColumnRef;
-use crate::types::Value;
+use crate::types::ValueRef;
 use std::collections::HashMap;
 
 /// The rows of one column matching one key.
@@ -39,15 +39,21 @@ impl InvertedIndex {
     }
 
     /// Index one cell. Called by [`crate::Database`] during preprocessing.
-    pub fn add(&mut self, column: ColumnRef, row: u32, value: &Value) {
+    pub fn add(&mut self, column: ColumnRef, row: u32, value: ValueRef<'_>) {
         let Some(key) = value.index_key() else {
             return; // NULLs are not indexed.
         };
-        push_posting(&mut self.cells, key.clone(), column, row);
-        if let Value::Text(_) = value {
-            for tok in tokenize(&key) {
+        self.add_key(column, row, &key, matches!(value, ValueRef::Text(_)));
+    }
+
+    /// Index one cell whose canonical key is already computed. Dictionary
+    /// columns canonicalize each distinct symbol once and call this per row.
+    pub fn add_key(&mut self, column: ColumnRef, row: u32, key: &str, is_text: bool) {
+        push_posting(&mut self.cells, key, column, row);
+        if is_text {
+            for tok in tokenize(key) {
                 if tok.len() < key.len() {
-                    push_posting(&mut self.tokens, tok.to_string(), column, row);
+                    push_posting(&mut self.tokens, tok, column, row);
                 }
             }
         }
@@ -105,8 +111,12 @@ impl InvertedIndex {
     }
 }
 
-fn push_posting(map: &mut HashMap<String, Vec<Posting>>, key: String, column: ColumnRef, row: u32) {
-    let postings = map.entry(key).or_default();
+fn push_posting(map: &mut HashMap<String, Vec<Posting>>, key: &str, column: ColumnRef, row: u32) {
+    // Avoid allocating an owned key on the (overwhelmingly common) hit path.
+    let postings = match map.get_mut(key) {
+        Some(p) => p,
+        None => map.entry(key.to_string()).or_default(),
+    };
     // Cells are indexed in (table, column, row) order during preprocessing,
     // so the posting for this column, if present, is the last one.
     match postings.last_mut() {
@@ -138,12 +148,12 @@ mod tests {
 
     fn sample_index() -> InvertedIndex {
         let mut ix = InvertedIndex::new();
-        ix.add(col(0, 0), 0, &Value::text("Lake Tahoe"));
-        ix.add(col(0, 0), 1, &Value::text("Crater Lake"));
-        ix.add(col(0, 1), 0, &Value::Decimal(497.0));
-        ix.add(col(1, 0), 5, &Value::text("Lake Tahoe"));
-        ix.add(col(1, 1), 2, &Value::text("California"));
-        ix.add(col(0, 1), 1, &Value::Null);
+        ix.add(col(0, 0), 0, ValueRef::Text("Lake Tahoe"));
+        ix.add(col(0, 0), 1, ValueRef::Text("Crater Lake"));
+        ix.add(col(0, 1), 0, ValueRef::Decimal(497.0));
+        ix.add(col(1, 0), 5, ValueRef::Text("Lake Tahoe"));
+        ix.add(col(1, 1), 2, ValueRef::Text("California"));
+        ix.add(col(0, 1), 1, ValueRef::Null);
         ix
     }
 
@@ -182,8 +192,8 @@ mod tests {
     #[test]
     fn contains_merges_exact_and_token_hits() {
         let mut ix = InvertedIndex::new();
-        ix.add(col(0, 0), 0, &Value::text("Tahoe"));
-        ix.add(col(0, 0), 1, &Value::text("Lake Tahoe"));
+        ix.add(col(0, 0), 0, ValueRef::Text("Tahoe"));
+        ix.add(col(0, 0), 1, ValueRef::Text("Lake Tahoe"));
         let posts = ix.lookup_contains("tahoe");
         assert_eq!(posts.len(), 1);
         assert_eq!(posts[0].rows, vec![0, 1]);

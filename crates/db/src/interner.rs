@@ -1,0 +1,162 @@
+//! Per-database value interner.
+//!
+//! Text, date, and time cells are dictionary-encoded: each distinct value is
+//! stored once in the database-wide [`SymbolTable`] and columns hold compact
+//! `u32` symbol ids. Ids are dense per kind (text/date/time each count from
+//! zero), and the table is shared by every column of a database, so **equal
+//! values always receive equal ids across tables** — which is what lets hash
+//! joins and residual join checks compare raw `u32` ids instead of hashing
+//! or cloning `Value`s. (Join-compatible columns always share a kind: the
+//! catalog rejects foreign keys between different non-numeric types.)
+
+use crate::types::{DataType, Date, Time, Value};
+use std::collections::HashMap;
+
+/// The dictionary of one database: dense id → value per kind, plus reverse
+/// maps so interning a `&str` never allocates on a hit.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    texts: Vec<String>,
+    dates: Vec<Date>,
+    times: Vec<Time>,
+    text_ids: HashMap<String, u32>,
+    date_ids: HashMap<Date, u32>,
+    time_ids: HashMap<Time, u32>,
+}
+
+impl SymbolTable {
+    pub fn new() -> SymbolTable {
+        SymbolTable::default()
+    }
+
+    /// Number of distinct interned values across all kinds.
+    pub fn len(&self) -> usize {
+        self.texts.len() + self.dates.len() + self.times.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Intern a text value, returning its stable id.
+    pub fn intern_text(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.text_ids.get(s) {
+            return id;
+        }
+        let id = checked_id(self.texts.len());
+        self.texts.push(s.to_string());
+        self.text_ids.insert(s.to_string(), id);
+        id
+    }
+
+    /// Intern a text value from an owned string — one allocation fewer than
+    /// [`SymbolTable::intern_text`] on first sight (the string is stored
+    /// once and cloned once for the reverse map, instead of copied twice).
+    pub fn intern_text_owned(&mut self, s: String) -> u32 {
+        if let Some(&id) = self.text_ids.get(&s) {
+            return id;
+        }
+        let id = checked_id(self.texts.len());
+        self.texts.push(s.clone());
+        self.text_ids.insert(s, id);
+        id
+    }
+
+    pub fn intern_date(&mut self, d: Date) -> u32 {
+        if let Some(&id) = self.date_ids.get(&d) {
+            return id;
+        }
+        let id = checked_id(self.dates.len());
+        self.dates.push(d);
+        self.date_ids.insert(d, id);
+        id
+    }
+
+    pub fn intern_time(&mut self, t: Time) -> u32 {
+        if let Some(&id) = self.time_ids.get(&t) {
+            return id;
+        }
+        let id = checked_id(self.times.len());
+        self.times.push(t);
+        self.time_ids.insert(t, id);
+        id
+    }
+
+    /// Resolve a text id. The caller guarantees the id came from a `Text`
+    /// column (columns are homogeneous, so the declared type suffices).
+    #[inline]
+    pub fn text(&self, id: u32) -> &str {
+        &self.texts[id as usize]
+    }
+
+    #[inline]
+    pub fn date(&self, id: u32) -> Date {
+        self.dates[id as usize]
+    }
+
+    #[inline]
+    pub fn time(&self, id: u32) -> Time {
+        self.times[id as usize]
+    }
+
+    /// Materialize the owned [`Value`] of a symbol, given the declared type
+    /// of the column it came from (columns are homogeneous, so the type
+    /// names the kind).
+    pub fn value(&self, dtype: DataType, code: u32) -> Value {
+        match dtype {
+            DataType::Text => Value::Text(self.text(code).to_string()),
+            DataType::Date => Value::Date(self.date(code)),
+            DataType::Time => Value::Time(self.time(code)),
+            _ => unreachable!("numeric columns are not dictionary-encoded"),
+        }
+    }
+
+    /// Id of an already-interned text value, if present. Useful for probes
+    /// that must not grow the dictionary.
+    pub fn lookup_text(&self, s: &str) -> Option<u32> {
+        self.text_ids.get(s).copied()
+    }
+
+    /// Number of distinct text symbols (the size of the text id space).
+    pub fn text_count(&self) -> usize {
+        self.texts.len()
+    }
+}
+
+fn checked_id(len: usize) -> u32 {
+    u32::try_from(len).expect("symbol table overflow (> 4B distinct values)")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_stable() {
+        let mut st = SymbolTable::new();
+        let a = st.intern_text("Lake Tahoe");
+        let b = st.intern_text_owned("Lake Tahoe".to_string());
+        let c = st.intern_text("Crater Lake");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(st.text(a), "Lake Tahoe");
+        assert_eq!(st.lookup_text("Crater Lake"), Some(c));
+        assert_eq!(st.lookup_text("Atlantis"), None);
+        assert_eq!(st.len(), 2);
+    }
+
+    #[test]
+    fn each_kind_has_its_own_dense_id_space() {
+        let mut st = SymbolTable::new();
+        let t = st.intern_text("x");
+        let d = st.intern_date(Date::new(2000, 1, 1));
+        let h = st.intern_time(Time::new(9, 30, 0));
+        // All three start at 0 in their own space.
+        assert_eq!((t, d, h), (0, 0, 0));
+        assert_eq!(st.intern_date(Date::new(2000, 1, 1)), d);
+        assert_eq!(st.date(d), Date::new(2000, 1, 1));
+        assert_eq!(st.time(h), Time::new(9, 30, 0));
+        assert_eq!(st.len(), 3);
+        assert_eq!(st.text_count(), 1);
+    }
+}

@@ -14,35 +14,52 @@
 //!
 //! This crate provides all three, plus the storage and execution layer they
 //! sit on: typed values ([`Value`], [`DataType`]), table schemas and foreign
-//! keys ([`Catalog`]), columnar row storage ([`Table`]), an immutable
-//! preprocessed [`Database`], and an executor for **Project–Join (PJ)
-//! queries** ([`PjQuery`]) supporting both full evaluation and early-exit
-//! existence checks (the workhorse of filter validation).
+//! keys ([`Catalog`]), **typed columnar storage** ([`Table`], [`Column`],
+//! [`ColumnData`]) with per-database value interning ([`SymbolTable`]), an
+//! immutable preprocessed [`Database`], and an executor for **Project–Join
+//! (PJ) queries** ([`PjQuery`]) supporting both full evaluation and
+//! early-exit existence checks (the workhorse of filter validation).
+//!
+//! ## Storage layout
+//!
+//! Each column is one contiguous primitive vector — `Vec<i64>` for ints,
+//! `Vec<f64>` for decimals, `Vec<u32>` dictionary codes for text/date/time —
+//! plus a null bitmap. Text, dates, and times are interned once per database
+//! in the [`SymbolTable`], so equal values carry equal `u32` codes across
+//! every table. Join indexes and the probe/backtrack loops of the executor
+//! operate on the compact `u64` keys of [`Column::join_key`]; owned
+//! [`Value`]s are materialized only at projection boundaries, and predicates
+//! see zero-copy [`ValueRef`] views. See the `column` module docs for the
+//! full join-key contract.
 //!
 //! Everything is deterministic and in-memory; databases are built once via
 //! [`DatabaseBuilder`] and never mutated afterwards, which is exactly the
 //! "preprocess a priori, then interactively query" lifecycle of the paper.
 
+pub mod column;
 pub mod csv;
 pub mod database;
 pub mod error;
 pub mod exec;
 pub mod graph;
 pub mod index;
+pub mod interner;
 pub mod schema;
 pub mod sql;
 pub mod stats;
 pub mod table;
 pub mod types;
 
+pub use column::{Column, ColumnData, NullBitmap};
 pub use csv::{infer_type, parse_csv};
-pub use database::{Database, DatabaseBuilder};
+pub use database::{Database, DatabaseBuilder, JoinIndex};
 pub use error::DbError;
 pub use exec::{ExecStats, JoinCond, PjQuery, ProjPred, RowCallback};
 pub use graph::{EdgeId, JoinEdge, JoinTree, SchemaGraph};
 pub use index::{InvertedIndex, Posting};
+pub use interner::SymbolTable;
 pub use schema::{Catalog, ColumnDef, ColumnRef, ForeignKey, TableId, TableSchema};
 pub use sql::{canonical_key, render_sql};
 pub use stats::{ColumnStats, EquiDepthHistogram, StatsStore};
 pub use table::Table;
-pub use types::{DataType, Date, Time, Value};
+pub use types::{DataType, Date, Time, Value, ValueRef};

@@ -7,6 +7,8 @@
 //! most-common-value lists — these feed both metadata-constraint checking and
 //! the selectivity estimates used by filter scheduling.
 
+use crate::column::ColumnData;
+use crate::interner::SymbolTable;
 use crate::schema::{ColumnRef, TableId};
 use crate::table::Table;
 use crate::types::{DataType, Value};
@@ -151,33 +153,84 @@ const MCV_LIMIT: usize = 12;
 const HISTOGRAM_BUCKETS: usize = 32;
 
 impl ColumnStats {
-    /// Collect statistics for column `column` of `table`.
-    pub fn collect(table: &Table, column: u32, dtype: DataType) -> ColumnStats {
-        let cells = table.column(column);
-        let mut null_count = 0u32;
-        let mut numbers = Vec::new();
+    /// Collect statistics for column `column` of `table`, reading through
+    /// the typed column storage: numeric columns scan raw `i64`/`f64`
+    /// slices; dictionary columns count frequencies per symbol code and
+    /// resolve each distinct value once.
+    pub fn collect(table: &Table, syms: &SymbolTable, column: u32, dtype: DataType) -> ColumnStats {
+        let col = table.column(column);
+        let row_count = col.len() as u32;
+        let null_count = col.null_count();
+        let mut numbers: Vec<f64> = Vec::new();
         let mut min_text: Option<&str> = None;
         let mut max_text: Option<&str> = None;
         let mut max_text_len: Option<u32> = None;
-        let mut freqs: HashMap<&Value, u32> = HashMap::new();
-        for v in cells {
-            if v.is_null() {
-                null_count += 1;
-                continue;
+        // Frequencies keyed on the column's compact representation; `Value`s
+        // are materialized only for the truncated MCV list below.
+        let mut mcv: Vec<(Value, u32)>;
+        let distinct_count: u32;
+        match col.data() {
+            ColumnData::Int(vals) => {
+                let mut freqs: HashMap<i64, u32> = HashMap::new();
+                for (r, &x) in vals.iter().enumerate() {
+                    if col.is_null(r) {
+                        continue;
+                    }
+                    *freqs.entry(x).or_insert(0) += 1;
+                    numbers.push(x as f64);
+                }
+                distinct_count = freqs.len() as u32;
+                mcv = freqs.into_iter().map(|(x, c)| (Value::Int(x), c)).collect();
             }
-            *freqs.entry(v).or_insert(0) += 1;
-            if let Some(x) = v.as_number() {
-                numbers.push(x);
+            ColumnData::Decimal(vals) => {
+                // Finite decimals with -0.0 normalized: bit patterns are a
+                // sound equality key.
+                let mut freqs: HashMap<u64, u32> = HashMap::new();
+                for (r, &x) in vals.iter().enumerate() {
+                    if col.is_null(r) {
+                        continue;
+                    }
+                    *freqs.entry(x.to_bits()).or_insert(0) += 1;
+                    numbers.push(x);
+                }
+                distinct_count = freqs.len() as u32;
+                mcv = freqs
+                    .into_iter()
+                    .map(|(bits, c)| (Value::Decimal(f64::from_bits(bits)), c))
+                    .collect();
             }
-            if let Some(s) = v.as_text() {
-                let len = s.chars().count() as u32;
-                max_text_len = Some(max_text_len.map_or(len, |m| m.max(len)));
-                min_text = Some(min_text.map_or(s, |m| if s < m { s } else { m }));
-                max_text = Some(max_text.map_or(s, |m| if s > m { s } else { m }));
+            ColumnData::Sym(codes) => {
+                let mut freqs: HashMap<u32, u32> = HashMap::new();
+                for (r, &code) in codes.iter().enumerate() {
+                    if col.is_null(r) {
+                        continue;
+                    }
+                    *freqs.entry(code).or_insert(0) += 1;
+                    // Date/time symbols still feed the numeric histogram
+                    // through their ordinals.
+                    match dtype {
+                        DataType::Date => numbers.push(syms.date(code).ordinal()),
+                        DataType::Time => numbers.push(syms.time(code).ordinal()),
+                        _ => {}
+                    }
+                }
+                distinct_count = freqs.len() as u32;
+                // Text bounds need one pass over *distinct* symbols only.
+                if dtype == DataType::Text {
+                    for &code in freqs.keys() {
+                        let s = syms.text(code);
+                        let len = s.chars().count() as u32;
+                        max_text_len = Some(max_text_len.map_or(len, |m| m.max(len)));
+                        min_text = Some(min_text.map_or(s, |m| if s < m { s } else { m }));
+                        max_text = Some(max_text.map_or(s, |m| if s > m { s } else { m }));
+                    }
+                }
+                mcv = freqs
+                    .into_iter()
+                    .map(|(code, c)| (syms.value(dtype, code), c))
+                    .collect();
             }
         }
-        let distinct_count = freqs.len() as u32;
-        let mut mcv: Vec<(Value, u32)> = freqs.into_iter().map(|(v, c)| (v.clone(), c)).collect();
         // Sort by descending frequency, tie-broken by value for determinism.
         mcv.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         mcv.truncate(MCV_LIMIT);
@@ -195,7 +248,7 @@ impl ColumnStats {
         let histogram = EquiDepthHistogram::build(numbers, HISTOGRAM_BUCKETS);
         ColumnStats {
             dtype,
-            row_count: cells.len() as u32,
+            row_count,
             null_count,
             distinct_count,
             min_num,
@@ -283,7 +336,7 @@ mod tests {
     use super::*;
     use crate::schema::{ColumnDef, TableSchema};
 
-    fn numeric_table(values: &[f64]) -> (TableSchema, Table) {
+    fn numeric_table(values: &[f64]) -> (TableSchema, Table, SymbolTable) {
         let s = TableSchema {
             name: "T".into(),
             columns: vec![ColumnDef {
@@ -292,11 +345,12 @@ mod tests {
                 nullable: true,
             }],
         };
+        let mut syms = SymbolTable::new();
         let mut t = Table::new(&s);
         for &v in values {
-            t.push_row(&s, vec![Value::Decimal(v)]).unwrap();
+            t.push_row(&s, &mut syms, vec![Value::Decimal(v)]).unwrap();
         }
-        (s, t)
+        (s, t, syms)
     }
 
     #[test]
@@ -337,8 +391,8 @@ mod tests {
 
     #[test]
     fn collect_basic_numeric_stats() {
-        let (s, t) = numeric_table(&[3.0, 1.0, 2.0]);
-        let st = ColumnStats::collect(&t, 0, s.columns[0].dtype);
+        let (s, t, syms) = numeric_table(&[3.0, 1.0, 2.0]);
+        let st = ColumnStats::collect(&t, &syms, 0, s.columns[0].dtype);
         assert_eq!(st.row_count, 3);
         assert_eq!(st.null_count, 0);
         assert_eq!(st.distinct_count, 3);
@@ -357,6 +411,7 @@ mod tests {
                 nullable: true,
             }],
         };
+        let mut syms = SymbolTable::new();
         let mut t = Table::new(&s);
         for v in [
             Value::text("Lake Tahoe"),
@@ -364,9 +419,9 @@ mod tests {
             Value::text("Po"),
             Value::text("Lake Tahoe"),
         ] {
-            t.push_row(&s, vec![v]).unwrap();
+            t.push_row(&s, &mut syms, vec![v]).unwrap();
         }
-        let st = ColumnStats::collect(&t, 0, DataType::Text);
+        let st = ColumnStats::collect(&t, &syms, 0, DataType::Text);
         assert_eq!(st.null_count, 1);
         assert_eq!(st.distinct_count, 2);
         assert_eq!(st.max_text_len, Some(10));
@@ -385,15 +440,16 @@ mod tests {
                 nullable: false,
             }],
         };
+        let mut syms = SymbolTable::new();
         let mut t = Table::new(&s);
         // 50 copies of 1, then 50 distinct values 100..150.
         for _ in 0..50 {
-            t.push_row(&s, vec![Value::Int(1)]).unwrap();
+            t.push_row(&s, &mut syms, vec![Value::Int(1)]).unwrap();
         }
         for i in 100..150 {
-            t.push_row(&s, vec![Value::Int(i)]).unwrap();
+            t.push_row(&s, &mut syms, vec![Value::Int(i)]).unwrap();
         }
-        let st = ColumnStats::collect(&t, 0, DataType::Int);
+        let st = ColumnStats::collect(&t, &syms, 0, DataType::Int);
         assert!((st.selectivity_eq(&Value::Int(1)) - 0.5).abs() < 1e-9);
         let unlisted = st.selectivity_eq(&Value::Int(120));
         assert!(unlisted > 0.0 && unlisted < 0.05, "unlisted {unlisted}");
@@ -401,21 +457,21 @@ mod tests {
 
     #[test]
     fn selectivity_range_with_and_without_histogram() {
-        let (_, t) = numeric_table(&(0..100).map(|i| i as f64).collect::<Vec<_>>());
-        let st = ColumnStats::collect(&t, 0, DataType::Decimal);
+        let (_, t, syms) = numeric_table(&(0..100).map(|i| i as f64).collect::<Vec<_>>());
+        let st = ColumnStats::collect(&t, &syms, 0, DataType::Decimal);
         let f = st.selectivity_range(0.0, 49.0);
         assert!((f - 0.5).abs() < 0.07, "got {f}");
         // Without a histogram (constant column), min==max fallback path:
-        let (_, t2) = numeric_table(&[7.0, 7.0, 7.0]);
-        let st2 = ColumnStats::collect(&t2, 0, DataType::Decimal);
+        let (_, t2, syms2) = numeric_table(&[7.0, 7.0, 7.0]);
+        let st2 = ColumnStats::collect(&t2, &syms2, 0, DataType::Decimal);
         assert_eq!(st2.selectivity_range(6.0, 8.0), 1.0);
         assert_eq!(st2.selectivity_range(8.0, 9.0), 0.0);
     }
 
     #[test]
     fn empty_column_stats() {
-        let (_, t) = numeric_table(&[]);
-        let st = ColumnStats::collect(&t, 0, DataType::Decimal);
+        let (_, t, syms) = numeric_table(&[]);
+        let st = ColumnStats::collect(&t, &syms, 0, DataType::Decimal);
         assert_eq!(st.row_count, 0);
         assert!(st.histogram.is_none());
         assert_eq!(st.selectivity_eq(&Value::Int(1)), 0.0);

@@ -1,18 +1,22 @@
 //! Columnar row storage for one table.
 //!
-//! Storage is column-major: scans touch one contiguous `Vec<Value>` per
-//! column, which is the access pattern of both predicate evaluation and
-//! statistics collection.
+//! Storage is column-major and typed: each column is a [`Column`] holding a
+//! contiguous primitive vector (`i64`/`f64`/dictionary codes) plus a null
+//! bitmap — the access pattern of predicate evaluation, join probes, and
+//! statistics collection. Text/date/time cells are interned in the owning
+//! database's [`SymbolTable`], so cell reads take the interner by reference.
 
+use crate::column::Column;
 use crate::error::DbError;
+use crate::interner::SymbolTable;
 use crate::schema::TableSchema;
-use crate::types::Value;
+use crate::types::{Value, ValueRef};
 
 /// Row payload for one table. Insertions are validated against the schema at
 /// insert time, so downstream code never re-checks types.
 #[derive(Debug, Clone, Default)]
 pub struct Table {
-    columns: Vec<Vec<Value>>,
+    columns: Vec<Column>,
     nrows: usize,
 }
 
@@ -20,15 +24,25 @@ impl Table {
     /// An empty table shaped like `schema`.
     pub fn new(schema: &TableSchema) -> Table {
         Table {
-            columns: vec![Vec::new(); schema.arity()],
+            columns: schema
+                .columns
+                .iter()
+                .map(|c| Column::new(c.dtype))
+                .collect(),
             nrows: 0,
         }
     }
 
     /// Append one row, validating arity, types, and NOT NULL constraints.
     /// `Int` values widen to `Decimal` on insert into decimal columns so the
-    /// stored column stays homogeneous.
-    pub fn push_row(&mut self, schema: &TableSchema, row: Vec<Value>) -> Result<(), DbError> {
+    /// stored column stays homogeneous. Text/date/time cells are interned
+    /// into `syms`.
+    pub fn push_row(
+        &mut self,
+        schema: &TableSchema,
+        syms: &mut SymbolTable,
+        row: Vec<Value>,
+    ) -> Result<(), DbError> {
         if row.len() != schema.arity() {
             return Err(DbError::ArityMismatch {
                 table: schema.name.clone(),
@@ -62,7 +76,7 @@ impl Table {
                 (Value::Int(x), crate::types::DataType::Decimal) => Value::Decimal(x as f64),
                 (other, _) => other,
             };
-            self.columns[i].push(stored);
+            self.columns[i].push(stored, syms);
         }
         self.nrows += 1;
         Ok(())
@@ -72,21 +86,26 @@ impl Table {
         self.nrows
     }
 
-    /// Cell accessor.
-    pub fn value(&self, row: u32, column: u32) -> &Value {
-        &self.columns[column as usize][row as usize]
+    /// Borrowed cell view (zero-copy; the hot-path accessor).
+    pub fn value_ref<'a>(&'a self, syms: &'a SymbolTable, row: u32, column: u32) -> ValueRef<'a> {
+        self.columns[column as usize].value_ref(syms, row as usize)
     }
 
-    /// Full column as a slice, for scans.
-    pub fn column(&self, column: u32) -> &[Value] {
+    /// Owned cell value (materializes text; boundary accessor).
+    pub fn value(&self, syms: &SymbolTable, row: u32, column: u32) -> Value {
+        self.value_ref(syms, row, column).to_value()
+    }
+
+    /// Typed column accessor, for scans over raw slices.
+    pub fn column(&self, column: u32) -> &Column {
         &self.columns[column as usize]
     }
 
     /// Materialize one row (used by result rendering, not hot paths).
-    pub fn row(&self, row: u32) -> Vec<Value> {
+    pub fn row(&self, syms: &SymbolTable, row: u32) -> Vec<Value> {
         self.columns
             .iter()
-            .map(|c| c[row as usize].clone())
+            .map(|c| c.value_ref(syms, row as usize).to_value())
             .collect()
     }
 }
@@ -118,16 +137,22 @@ mod tests {
     #[test]
     fn push_and_read_roundtrip() {
         let s = schema();
+        let mut syms = SymbolTable::new();
         let mut t = Table::new(&s);
-        t.push_row(&s, vec!["Lake Tahoe".into(), Value::Decimal(497.0)])
-            .unwrap();
-        t.push_row(&s, vec!["Crater Lake".into(), Value::Null])
+        t.push_row(
+            &s,
+            &mut syms,
+            vec!["Lake Tahoe".into(), Value::Decimal(497.0)],
+        )
+        .unwrap();
+        t.push_row(&s, &mut syms, vec!["Crater Lake".into(), Value::Null])
             .unwrap();
         assert_eq!(t.row_count(), 2);
-        assert_eq!(t.value(0, 0), &Value::text("Lake Tahoe"));
-        assert_eq!(t.value(1, 1), &Value::Null);
+        assert_eq!(t.value(&syms, 0, 0), Value::text("Lake Tahoe"));
+        assert_eq!(t.value_ref(&syms, 0, 0), ValueRef::Text("Lake Tahoe"));
+        assert_eq!(t.value(&syms, 1, 1), Value::Null);
         assert_eq!(
-            t.row(0),
+            t.row(&syms, 0),
             vec![Value::text("Lake Tahoe"), Value::Decimal(497.0)]
         );
     }
@@ -135,18 +160,29 @@ mod tests {
     #[test]
     fn int_widens_into_decimal_column() {
         let s = schema();
+        let mut syms = SymbolTable::new();
         let mut t = Table::new(&s);
-        t.push_row(&s, vec!["Fort Peck Lake".into(), Value::Int(981)])
-            .unwrap();
-        assert_eq!(t.value(0, 1), &Value::Decimal(981.0));
-        assert_eq!(t.value(0, 1).type_name(), "decimal");
+        t.push_row(
+            &s,
+            &mut syms,
+            vec!["Fort Peck Lake".into(), Value::Int(981)],
+        )
+        .unwrap();
+        assert_eq!(t.value(&syms, 0, 1), Value::Decimal(981.0));
+        assert_eq!(t.value(&syms, 0, 1).type_name(), "decimal");
+        // The stored column is a homogeneous f64 vector.
+        assert!(matches!(
+            t.column(1).data(),
+            crate::column::ColumnData::Decimal(_)
+        ));
     }
 
     #[test]
     fn arity_mismatch_rejected() {
         let s = schema();
+        let mut syms = SymbolTable::new();
         let mut t = Table::new(&s);
-        let err = t.push_row(&s, vec!["x".into()]);
+        let err = t.push_row(&s, &mut syms, vec!["x".into()]);
         assert!(matches!(err, Err(DbError::ArityMismatch { .. })));
         assert_eq!(t.row_count(), 0);
     }
@@ -154,27 +190,41 @@ mod tests {
     #[test]
     fn type_mismatch_rejected() {
         let s = schema();
+        let mut syms = SymbolTable::new();
         let mut t = Table::new(&s);
-        let err = t.push_row(&s, vec![Value::Int(5), Value::Null]);
+        let err = t.push_row(&s, &mut syms, vec![Value::Int(5), Value::Null]);
         assert!(matches!(err, Err(DbError::TypeMismatch { .. })));
     }
 
     #[test]
     fn null_violation_rejected() {
         let s = schema();
+        let mut syms = SymbolTable::new();
         let mut t = Table::new(&s);
-        let err = t.push_row(&s, vec![Value::Null, Value::Null]);
+        let err = t.push_row(&s, &mut syms, vec![Value::Null, Value::Null]);
         assert!(matches!(err, Err(DbError::NullViolation { .. })));
     }
 
     #[test]
     fn column_slice_scans() {
         let s = schema();
+        let mut syms = SymbolTable::new();
         let mut t = Table::new(&s);
         for (n, a) in [("a", 1.0), ("b", 2.0), ("c", 3.0)] {
-            t.push_row(&s, vec![n.into(), Value::Decimal(a)]).unwrap();
+            t.push_row(&s, &mut syms, vec![n.into(), Value::Decimal(a)])
+                .unwrap();
         }
-        let areas: Vec<f64> = t.column(1).iter().filter_map(|v| v.as_number()).collect();
-        assert_eq!(areas, vec![1.0, 2.0, 3.0]);
+        // Typed access: the decimal column is a raw f64 slice.
+        let crate::column::ColumnData::Decimal(areas) = t.column(1).data() else {
+            panic!("decimal column expected");
+        };
+        assert_eq!(areas, &vec![1.0, 2.0, 3.0]);
+        // Ref iteration sees the same values.
+        let via_refs: Vec<f64> = t
+            .column(1)
+            .iter(&syms)
+            .filter_map(|v| v.as_number())
+            .collect();
+        assert_eq!(via_refs, vec![1.0, 2.0, 3.0]);
     }
 }

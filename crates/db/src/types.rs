@@ -34,13 +34,15 @@ impl DataType {
         }
     }
 
-    /// Parse a type name as it appears in a metadata constraint.
+    /// Parse a type name as it appears in a metadata constraint. Accepts the
+    /// common aliases found in real-world schema dumps: `bigint`/`smallint`
+    /// map to `Int`, `datetime`/`timestamp` to `Date`.
     pub fn parse(s: &str) -> Option<DataType> {
         match s.to_ascii_lowercase().as_str() {
-            "int" | "integer" => Some(DataType::Int),
-            "decimal" | "float" | "double" | "numeric" => Some(DataType::Decimal),
+            "int" | "integer" | "bigint" | "smallint" | "tinyint" => Some(DataType::Int),
+            "decimal" | "float" | "double" | "numeric" | "real" => Some(DataType::Decimal),
             "text" | "string" | "varchar" | "char" => Some(DataType::Text),
-            "date" => Some(DataType::Date),
+            "date" | "datetime" | "timestamp" => Some(DataType::Date),
             "time" => Some(DataType::Time),
             _ => None,
         }
@@ -252,6 +254,101 @@ impl Value {
             Value::Decimal(d) => Some(format_minimal(*d)),
             Value::Date(d) => Some(d.to_string()),
             Value::Time(t) => Some(t.to_string()),
+        }
+    }
+}
+
+/// A borrowed view of one cell, materialized from typed column storage
+/// without cloning. This is what the execution hot path hands to predicates
+/// and row callbacks; an owned [`Value`] is produced only at the
+/// projection/preview boundary via [`ValueRef::to_value`].
+///
+/// Equality follows [`Value`]'s semantics: `Int` and `Decimal` holding the
+/// same number compare equal, everything else compares within its own class.
+#[derive(Debug, Clone, Copy)]
+pub enum ValueRef<'a> {
+    Null,
+    Int(i64),
+    Decimal(f64),
+    Text(&'a str),
+    Date(Date),
+    Time(Time),
+}
+
+impl<'a> ValueRef<'a> {
+    pub fn is_null(self) -> bool {
+        matches!(self, ValueRef::Null)
+    }
+
+    /// Numeric view, mirroring [`Value::as_number`].
+    pub fn as_number(self) -> Option<f64> {
+        match self {
+            ValueRef::Int(i) => Some(i as f64),
+            ValueRef::Decimal(d) => Some(d),
+            ValueRef::Date(d) => Some(d.ordinal()),
+            ValueRef::Time(t) => Some(t.ordinal()),
+            _ => None,
+        }
+    }
+
+    pub fn as_text(self) -> Option<&'a str> {
+        match self {
+            ValueRef::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Materialize an owned [`Value`] (clones text).
+    pub fn to_value(self) -> Value {
+        match self {
+            ValueRef::Null => Value::Null,
+            ValueRef::Int(i) => Value::Int(i),
+            ValueRef::Decimal(d) => Value::Decimal(d),
+            ValueRef::Text(s) => Value::Text(s.to_string()),
+            ValueRef::Date(d) => Value::Date(d),
+            ValueRef::Time(t) => Value::Time(t),
+        }
+    }
+
+    /// Canonical inverted-index key, mirroring [`Value::index_key`].
+    pub fn index_key(self) -> Option<String> {
+        match self {
+            ValueRef::Null => None,
+            ValueRef::Text(s) => Some(s.trim().to_lowercase()),
+            ValueRef::Int(i) => Some(i.to_string()),
+            ValueRef::Decimal(d) => Some(format_minimal(d)),
+            ValueRef::Date(d) => Some(d.to_string()),
+            ValueRef::Time(t) => Some(t.to_string()),
+        }
+    }
+}
+
+impl PartialEq for ValueRef<'_> {
+    fn eq(&self, other: &ValueRef<'_>) -> bool {
+        use ValueRef::*;
+        match (self, other) {
+            (Null, Null) => true,
+            (Int(a), Int(b)) => a == b,
+            (Int(a), Decimal(b)) | (Decimal(b), Int(a)) => *a as f64 == *b,
+            (Decimal(a), Decimal(b)) => a == b,
+            (Text(a), Text(b)) => a == b,
+            (Date(a), Date(b)) => a == b,
+            (Time(a), Time(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Value {
+    /// Borrowed view of this value, for comparing against column cells.
+    pub fn as_value_ref(&self) -> ValueRef<'_> {
+        match self {
+            Value::Null => ValueRef::Null,
+            Value::Int(i) => ValueRef::Int(*i),
+            Value::Decimal(d) => ValueRef::Decimal(*d),
+            Value::Text(s) => ValueRef::Text(s),
+            Value::Date(d) => ValueRef::Date(*d),
+            Value::Time(t) => ValueRef::Time(*t),
         }
     }
 }
@@ -480,6 +577,36 @@ mod tests {
         assert_eq!(DataType::parse("INTEGER"), Some(DataType::Int));
         assert_eq!(DataType::parse("varchar"), Some(DataType::Text));
         assert_eq!(DataType::parse("widget"), None);
+    }
+
+    #[test]
+    fn datatype_parse_schema_dump_aliases() {
+        // Real-world schema dumps spell integer and date types many ways.
+        assert_eq!(DataType::parse("bigint"), Some(DataType::Int));
+        assert_eq!(DataType::parse("SMALLINT"), Some(DataType::Int));
+        assert_eq!(DataType::parse("datetime"), Some(DataType::Date));
+        assert_eq!(DataType::parse("timestamp"), Some(DataType::Date));
+        assert_eq!(DataType::parse("real"), Some(DataType::Decimal));
+    }
+
+    #[test]
+    fn value_ref_roundtrips_and_compares_like_value() {
+        let vals = [
+            Value::Null,
+            Value::Int(497),
+            Value::Decimal(53.2),
+            Value::text("Lake Tahoe"),
+            Value::Date(Date::new(2000, 1, 1)),
+            Value::Time(Time::new(9, 30, 0)),
+        ];
+        for v in &vals {
+            assert_eq!(&v.as_value_ref().to_value(), v);
+            assert_eq!(v.as_value_ref().index_key(), v.index_key());
+            assert_eq!(v.as_value_ref().as_number(), v.as_number());
+        }
+        // Cross-class numeric equality mirrors Value.
+        assert_eq!(ValueRef::Int(497), ValueRef::Decimal(497.0));
+        assert_ne!(ValueRef::Int(497), ValueRef::Text("497"));
     }
 
     #[test]

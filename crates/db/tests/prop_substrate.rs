@@ -165,6 +165,119 @@ proptest! {
     }
 
     #[test]
+    fn typed_storage_roundtrips_values(
+        rows in proptest::collection::vec(
+            (arb_value(), arb_value(), arb_value()), 1..40),
+    ) {
+        // Insert arbitrary (nullable) rows into a table whose columns cover
+        // every storage class, scan them back, and require identical Values.
+        let mut builder = DatabaseBuilder::new("rt");
+        builder
+            .add_table(
+                "T",
+                vec![
+                    ColumnDef::new("i", DataType::Int),
+                    ColumnDef::new("s", DataType::Text),
+                    ColumnDef::new("d", DataType::Date),
+                ],
+            )
+            .unwrap();
+        let mut want: Vec<Vec<Value>> = Vec::new();
+        for (a, b, c) in &rows {
+            // Coerce each generated value into its column's type (or NULL).
+            let i = match a {
+                Value::Int(x) => Value::Int(*x),
+                _ => Value::Null,
+            };
+            let s = match b {
+                Value::Text(x) => Value::text(x.clone()),
+                _ => Value::Null,
+            };
+            let d = match c {
+                Value::Date(x) => Value::Date(*x),
+                _ => Value::Null,
+            };
+            builder
+                .add_row("T", vec![i.clone(), s.clone(), d.clone()])
+                .unwrap();
+            want.push(vec![i, s, d]);
+        }
+        let db = builder.build();
+        let t = db.catalog().table_id("T").unwrap();
+        let table = db.table(t);
+        for (r, expect) in want.iter().enumerate() {
+            // Materialized rows round-trip exactly...
+            prop_assert_eq!(&table.row(db.symbols(), r as u32), expect);
+            // ...and the zero-copy views agree with them cell by cell.
+            for c in 0..3u32 {
+                prop_assert_eq!(
+                    table.value_ref(db.symbols(), r as u32, c).to_value(),
+                    expect[c as usize].clone()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interned_symbols_are_stable_across_tables(
+        names in proptest::collection::vec("[a-c]{1,3}", 1..30),
+    ) {
+        // The same text inserted into two different tables must carry the
+        // same compact join key (the per-database interner guarantees it),
+        // and distinct texts must carry distinct keys.
+        let mut builder = DatabaseBuilder::new("sym");
+        builder.add_table("A", vec![ColumnDef::new("s", DataType::Text)]).unwrap();
+        builder.add_table("B", vec![ColumnDef::new("s", DataType::Text)]).unwrap();
+        for n in &names {
+            builder.add_row("A", vec![Value::text(n.clone())]).unwrap();
+            builder.add_row("B", vec![Value::text(n.clone())]).unwrap();
+        }
+        let db = builder.build();
+        let a = db.table(db.catalog().table_id("A").unwrap()).column(0);
+        let b = db.table(db.catalog().table_id("B").unwrap()).column(0);
+        let mut key_of: std::collections::HashMap<&str, u64> = Default::default();
+        for (r, n) in names.iter().enumerate() {
+            let ka = a.join_key(r).expect("non-null");
+            let kb = b.join_key(r).expect("non-null");
+            prop_assert_eq!(ka, kb, "same text, different key across tables");
+            if let Some(&prev) = key_of.get(n.as_str()) {
+                prop_assert_eq!(prev, ka, "key changed between occurrences");
+            } else {
+                for (other, &k) in &key_of {
+                    prop_assert_ne!(k, ka, "distinct texts {} vs {} share a key", other, n);
+                }
+                key_of.insert(n, ka);
+            }
+        }
+    }
+
+    #[test]
+    fn int_widening_preserves_join_and_scan_semantics(
+        ints in proptest::collection::vec(-1000i64..1000, 1..30),
+    ) {
+        // Int values inserted into a Decimal column widen on insert; the
+        // stored column must behave exactly like one built from Decimals.
+        let mut builder = DatabaseBuilder::new("w");
+        builder.add_table("T", vec![ColumnDef::new("x", DataType::Decimal)]).unwrap();
+        for &i in &ints {
+            builder.add_row("T", vec![Value::Int(i)]).unwrap();
+        }
+        let db = builder.build();
+        let table = db.table(db.catalog().table_id("T").unwrap());
+        for (r, &i) in ints.iter().enumerate() {
+            let got = table.value(db.symbols(), r as u32, 0);
+            prop_assert_eq!(&got, &Value::Decimal(i as f64));
+            prop_assert_eq!(got.type_name(), "decimal");
+            // The widened cell still joins against an Int cell of the same
+            // number: identical compact keys.
+            prop_assert_eq!(
+                table.column(0).join_key(r).unwrap(),
+                (i as f64).to_bits()
+            );
+        }
+    }
+
+    #[test]
     fn stats_selectivity_eq_sums_to_one_over_distincts(
         keys in proptest::collection::vec(0i64..5, 1..60),
     ) {

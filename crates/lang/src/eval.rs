@@ -19,7 +19,7 @@ use crate::ast::{
 };
 use crate::udf::UdfRegistry;
 use prism_db::stats::ColumnStats;
-use prism_db::types::{DataType, Date, Time, Value};
+use prism_db::types::{DataType, Date, Time, Value, ValueRef};
 use std::cmp::Ordering;
 use std::sync::OnceLock;
 
@@ -32,13 +32,26 @@ fn empty_registry() -> &'static UdfRegistry {
 /// Does the cell `v` satisfy the value constraint? UDF predicates evaluate
 /// against `udfs` (unregistered names are false).
 pub fn matches_value_with(c: &ValueConstraint, v: &Value, udfs: &UdfRegistry) -> bool {
-    c.eval(&|p| value_pred_matches_with(p, v, udfs))
+    matches_value_ref_with(c, v.as_value_ref(), udfs)
 }
 
 /// Does the cell `v` satisfy the value constraint? (No UDFs available —
 /// any `@name` predicate is false.)
 pub fn matches_value(c: &ValueConstraint, v: &Value) -> bool {
     matches_value_with(c, v, empty_registry())
+}
+
+/// Zero-copy variant of [`matches_value_with`] for the validation hot path:
+/// the cell arrives as a borrowed [`ValueRef`] straight out of typed column
+/// storage, and no text is cloned to evaluate the constraint (UDF
+/// predicates, which take owned values, are the one exception).
+pub fn matches_value_ref_with(c: &ValueConstraint, v: ValueRef<'_>, udfs: &UdfRegistry) -> bool {
+    c.eval(&|p| value_pred_matches_ref_with(p, v, udfs))
+}
+
+/// Zero-copy variant of [`matches_value`].
+pub fn matches_value_ref(c: &ValueConstraint, v: ValueRef<'_>) -> bool {
+    matches_value_ref_with(c, v, empty_registry())
 }
 
 /// Does one value predicate hold on cell `v`?
@@ -48,15 +61,22 @@ pub fn value_pred_matches(p: &ValuePred, v: &Value) -> bool {
 
 /// Does one value predicate hold on cell `v`, with UDFs from `udfs`?
 pub fn value_pred_matches_with(p: &ValuePred, v: &Value, udfs: &UdfRegistry) -> bool {
+    value_pred_matches_ref_with(p, v.as_value_ref(), udfs)
+}
+
+/// Does one value predicate hold on the borrowed cell `v`, with UDFs from
+/// `udfs`?
+pub fn value_pred_matches_ref_with(p: &ValuePred, v: ValueRef<'_>, udfs: &UdfRegistry) -> bool {
     if v.is_null() {
         return false;
     }
     match p.op {
-        CmpOp::Udf => udfs.eval_value(&p.lit.raw, v),
+        // UDFs take owned values; materialize only on this (rare) path.
+        CmpOp::Udf => udfs.eval_value(&p.lit.raw, &v.to_value()),
         CmpOp::Eq => value_equals(v, &p.lit),
         CmpOp::Ne => !value_equals(v, &p.lit),
         CmpOp::Contains => match v {
-            Value::Text(s) => s.to_lowercase().contains(&p.lit.raw.trim().to_lowercase()),
+            ValueRef::Text(s) => s.to_lowercase().contains(&p.lit.raw.trim().to_lowercase()),
             _ => false,
         },
         op => match compare(v, &p.lit) {
@@ -72,16 +92,16 @@ pub fn value_pred_matches_with(p: &ValuePred, v: &Value, udfs: &UdfRegistry) -> 
     }
 }
 
-fn value_equals(v: &Value, lit: &Literal) -> bool {
+fn value_equals(v: ValueRef<'_>, lit: &Literal) -> bool {
     match v {
-        Value::Int(_) | Value::Decimal(_) => match lit.num {
+        ValueRef::Int(_) | ValueRef::Decimal(_) => match lit.num {
             Some(n) => approx_eq(v.as_number().expect("numeric"), n),
             None => false,
         },
-        Value::Text(s) => s.trim().eq_ignore_ascii_case(lit.raw.trim()),
-        Value::Date(d) => Date::parse(lit.raw.trim()).is_some_and(|ld| *d == ld),
-        Value::Time(t) => Time::parse(lit.raw.trim()).is_some_and(|lt| *t == lt),
-        Value::Null => false,
+        ValueRef::Text(s) => s.trim().eq_ignore_ascii_case(lit.raw.trim()),
+        ValueRef::Date(d) => Date::parse(lit.raw.trim()).is_some_and(|ld| d == ld),
+        ValueRef::Time(t) => Time::parse(lit.raw.trim()).is_some_and(|lt| t == lt),
+        ValueRef::Null => false,
     }
 }
 
@@ -89,26 +109,26 @@ fn value_equals(v: &Value, lit: &Literal) -> bool {
 /// comparable. Numeric cells compare against numeric literals; text compares
 /// lexicographically (case-insensitive); dates/times compare against parsed
 /// date/time literals (falling back to a raw numeric ordinal).
-fn compare(v: &Value, lit: &Literal) -> Option<Ordering> {
+fn compare(v: ValueRef<'_>, lit: &Literal) -> Option<Ordering> {
     match v {
-        Value::Int(_) | Value::Decimal(_) => {
+        ValueRef::Int(_) | ValueRef::Decimal(_) => {
             let n = lit.num?;
             v.as_number().expect("numeric").partial_cmp(&n)
         }
-        Value::Text(s) => Some(s.trim().to_lowercase().cmp(&lit.raw.trim().to_lowercase())),
-        Value::Date(d) => {
+        ValueRef::Text(s) => Some(s.trim().to_lowercase().cmp(&lit.raw.trim().to_lowercase())),
+        ValueRef::Date(d) => {
             let target = Date::parse(lit.raw.trim())
                 .map(|x| x.ordinal())
                 .or(lit.num)?;
             d.ordinal().partial_cmp(&target)
         }
-        Value::Time(t) => {
+        ValueRef::Time(t) => {
             let target = Time::parse(lit.raw.trim())
                 .map(|x| x.ordinal())
                 .or(lit.num)?;
             t.ordinal().partial_cmp(&target)
         }
-        Value::Null => None,
+        ValueRef::Null => None,
     }
 }
 

@@ -39,8 +39,8 @@ pub use ast::{
 };
 pub use error::ParseError;
 pub use eval::{
-    estimate_selectivity, matches_value, matches_value_with, metadata_satisfied,
-    metadata_satisfied_with,
+    estimate_selectivity, matches_value, matches_value_ref, matches_value_ref_with,
+    matches_value_with, metadata_satisfied, metadata_satisfied_with,
 };
 pub use parser::{parse_metadata_constraint, parse_value_constraint};
 pub use udf::UdfRegistry;
