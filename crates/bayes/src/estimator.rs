@@ -62,6 +62,13 @@ pub struct BayesEstimator {
     use_join_indicators: bool,
 }
 
+// Filter scheduling queries the trained estimator from the coordinator
+// while validation workers run; the estimator is also a candidate for
+// sharing across whole engines. Prove the immutable-share contract at the
+// type level.
+const fn _assert_send_sync<T: Send + Sync>() {}
+const _: () = _assert_send_sync::<BayesEstimator>();
+
 /// Bounds on the correlation correction so a tiny sample cannot blow up the
 /// estimate.
 const LIFT_MIN: f64 = 0.01;

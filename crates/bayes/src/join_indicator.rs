@@ -48,9 +48,10 @@ impl JoinIndicator {
         let mut sample: Vec<(u32, u32)> = Vec::with_capacity(sample_cap);
         let b_index = db.join_index(b_col);
         for a_row in 0..a_column.len() {
-            // Probe by compact join key: the interner guarantees equal
-            // values share keys across tables, so no Value is materialized.
-            let Some(key) = a_column.join_key(a_row) else {
+            // Probe by compact join key in the edge's assigned key space
+            // (both FK endpoints share one by construction), so no Value
+            // is materialized.
+            let Some(key) = db.join_key(a_col, a_row as u32) else {
                 continue; // NULL never joins
             };
             let matches: &[u32] = match b_index {

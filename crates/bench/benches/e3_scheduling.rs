@@ -6,38 +6,18 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use prism_bayes::{BayesEstimator, TrainConfig};
-use prism_bench::task_constraints;
+use prism_bench::scheduling_cases;
 use prism_core::scheduler::{run_greedy, run_naive, BayesModel, PathLengthModel};
-use prism_core::{
-    candidates::enumerate_candidates, filters::build_filters, related::find_related,
-    DiscoveryConfig, TargetConstraints,
-};
-use prism_datasets::{mondial, Resolution, TaskGenConfig, TaskGenerator};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use prism_core::DiscoveryConfig;
+use prism_datasets::{mondial, Resolution};
 use std::time::Duration;
 
 fn bench_schedulers(c: &mut Criterion) {
     let db = mondial(42, 1);
     let config = DiscoveryConfig::default();
     let est = BayesEstimator::train(&db, &TrainConfig::default());
-    let taskgen = TaskGenerator::new(&db, TaskGenConfig::default());
-    let mut rng = StdRng::seed_from_u64(0xE3);
     // Pre-build candidate/filter sets once; scheduling is what's measured.
-    let cases: Vec<(TargetConstraints, prism_core::filters::FilterSet)> = taskgen
-        .generate_many(Resolution::Disjunction, 5, &mut rng)
-        .iter()
-        .filter_map(|task| {
-            let constraints = task_constraints(task);
-            let related = find_related(&db, &constraints, &config);
-            let cands = enumerate_candidates(&db, &related, &config, None).candidates;
-            if cands.is_empty() {
-                return None;
-            }
-            let fs = build_filters(&db, &cands, &constraints, None);
-            Some((constraints, fs))
-        })
-        .collect();
+    let cases = scheduling_cases(&db, Resolution::Disjunction, 5, 0xE3, &config);
     assert!(!cases.is_empty());
 
     let mut group = c.benchmark_group("e3_scheduler_time");

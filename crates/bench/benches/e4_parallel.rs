@@ -1,0 +1,91 @@
+//! E4 — the parallel validation engine versus the sequential greedy loop
+//! on identical filter sets.
+//!
+//! E3 (`e3_scheduling`) compares *schedulers* (failure models) at fixed
+//! sequential execution; this bench fixes the scheduler and compares the
+//! *execution engines*: one validation per round on the calling thread
+//! versus batches of mutually non-implying validations sharded across a
+//! worker pool. Both must accept identical candidate sets — the assertion
+//! runs inside the measured loop as a cheap integrity check — so the only
+//! degree of freedom is wall-clock.
+//!
+//! Absolute speedups depend on the machine's core count; see
+//! `BENCH_parallel.json` (written by the `bench_json` binary) for tracked
+//! numbers with the core count recorded alongside.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prism_bayes::{BayesEstimator, TrainConfig};
+use prism_bench::scheduling_cases;
+use prism_core::scheduler::{run_greedy, run_greedy_parallel, BayesModel};
+use prism_core::DiscoveryConfig;
+use prism_datasets::{imdb, Resolution};
+use std::time::Duration;
+
+fn bench_parallel_engine(c: &mut Criterion) {
+    // IMDB-scale generated workload: big enough that single validations
+    // carry real row effort, so batching has something to overlap.
+    let db = imdb(42, 8);
+    let config = DiscoveryConfig::default();
+    let est = BayesEstimator::train(&db, &TrainConfig::default());
+    let cases = scheduling_cases(&db, Resolution::Disjunction, 4, 0xE4, &config);
+    assert!(!cases.is_empty());
+    let baseline: Vec<Vec<u32>> = cases
+        .iter()
+        .map(|(tc, fs)| {
+            run_greedy(
+                &db,
+                tc,
+                fs,
+                &BayesModel {
+                    estimator: &est,
+                    constraints: tc,
+                },
+                None,
+            )
+            .accepted
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("e4_parallel_validation");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
+    group.bench_with_input(
+        BenchmarkId::from_parameter("sequential"),
+        &cases,
+        |b, cases| {
+            b.iter(|| {
+                let mut v = 0u64;
+                for (tc, fs) in cases {
+                    let model = BayesModel {
+                        estimator: &est,
+                        constraints: tc,
+                    };
+                    v += run_greedy(&db, tc, fs, &model, None).validations;
+                }
+                v
+            })
+        },
+    );
+    for threads in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("threads", threads), &cases, |b, cases| {
+            b.iter(|| {
+                let mut v = 0u64;
+                for ((tc, fs), accepted) in cases.iter().zip(&baseline) {
+                    let model = BayesModel {
+                        estimator: &est,
+                        constraints: tc,
+                    };
+                    let outcome = run_greedy_parallel(&db, tc, fs, &model, None, threads);
+                    assert_eq!(&outcome.accepted, accepted, "engines must agree");
+                    v += outcome.validations;
+                }
+                v
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_engine);
+criterion_main!(benches);

@@ -8,9 +8,11 @@
 //! The file holds a JSON array; each run appends one entry without
 //! disturbing earlier ones, so before/after comparisons are one `diff` away.
 
-use prism_bench::{resolution_sweep, scheduling_comparison, timed};
+use prism_bayes::{BayesEstimator, TrainConfig};
+use prism_bench::{resolution_sweep, scheduling_cases, scheduling_comparison, timed};
+use prism_core::scheduler::{run_greedy, run_greedy_parallel, BayesModel};
 use prism_core::DiscoveryConfig;
-use prism_datasets::{mondial, Resolution};
+use prism_datasets::{imdb, mondial, Resolution};
 use prism_db::{ExecStats, JoinCond, PjQuery};
 use std::time::{Duration, Instant};
 
@@ -18,6 +20,12 @@ use std::time::{Duration, Instant};
 const SCALE: usize = 4;
 /// Tasks per resolution for the E1/E3-style sweeps.
 const TASKS: usize = 3;
+/// IMDB replication factor for the parallel-engine comparison.
+const IMDB_SCALE: usize = 8;
+/// Worker threads for the parallel side of the comparison.
+const PAR_THREADS: usize = 4;
+/// Interleaved repetitions per engine (medians reported).
+const REPS: usize = 5;
 
 fn main() {
     let phase = std::env::args()
@@ -97,6 +105,80 @@ fn main() {
     );
     append_entry("BENCH_substrate.json", &entry);
     println!("appended phase `{phase}` to BENCH_substrate.json:\n{entry}");
+
+    // --- Sequential vs parallel E3 scheduling (BENCH_parallel.json) ---
+    // Same methodology as the substrate entries: the two engines run
+    // interleaved (machine drift hits both alike) and medians are
+    // reported. The filter sets are pre-built once and identical for both
+    // engines; the accepted sets are asserted equal every repetition.
+    let imdb_db = imdb(42, IMDB_SCALE);
+    let est = BayesEstimator::train(&imdb_db, &TrainConfig::default());
+    let cases = scheduling_cases(
+        &imdb_db,
+        Resolution::Disjunction,
+        TASKS + 1,
+        17,
+        &DiscoveryConfig::default(),
+    );
+    assert!(!cases.is_empty());
+    let mut seq_ms: Vec<f64> = Vec::new();
+    let mut par_ms: Vec<f64> = Vec::new();
+    let mut seq_validations = 0u64;
+    let mut par_validations = 0u64;
+    for _ in 0..REPS {
+        let mut accepted_seq = Vec::new();
+        let (_, d_seq) = timed(|| {
+            for (tc, fs) in &cases {
+                let model = BayesModel {
+                    estimator: &est,
+                    constraints: tc,
+                };
+                let o = run_greedy(&imdb_db, tc, fs, &model, None);
+                seq_validations = o.validations;
+                accepted_seq.push(o.accepted);
+            }
+        });
+        seq_ms.push(d_seq.as_secs_f64() * 1e3);
+        let (_, d_par) = timed(|| {
+            for ((tc, fs), accepted) in cases.iter().zip(&accepted_seq) {
+                let model = BayesModel {
+                    estimator: &est,
+                    constraints: tc,
+                };
+                let o = run_greedy_parallel(&imdb_db, tc, fs, &model, None, PAR_THREADS);
+                par_validations = o.validations;
+                assert_eq!(&o.accepted, accepted, "engines must accept identically");
+            }
+        });
+        par_ms.push(d_par.as_secs_f64() * 1e3);
+    }
+    let seq_median = median(&mut seq_ms);
+    let par_median = median(&mut par_ms);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let par_entry = format!(
+        "{{\n    \"phase\": \"{phase}\",\n    \"database\": \"imdb\",\n    \
+         \"scale\": {IMDB_SCALE},\n    \"total_rows\": {},\n    \
+         \"tasks\": {},\n    \"cores\": {cores},\n    \
+         \"threads\": {PAR_THREADS},\n    \"reps\": {REPS},\n    \
+         \"seq_median_ms\": {seq_median:.3},\n    \
+         \"par_median_ms\": {par_median:.3},\n    \
+         \"speedup\": {:.3},\n    \
+         \"seq_validations_last_task\": {seq_validations},\n    \
+         \"par_validations_last_task\": {par_validations}\n  }}",
+        imdb_db.total_rows(),
+        cases.len(),
+        seq_median / par_median,
+    );
+    append_entry("BENCH_parallel.json", &par_entry);
+    println!("appended phase `{phase}` to BENCH_parallel.json:\n{par_entry}");
+}
+
+/// Median (sorts in place).
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    xs[xs.len() / 2]
 }
 
 /// Existence-check predicate over borrowed cell views (zero-copy).
@@ -131,7 +213,7 @@ fn append_entry(path: &str, entry: &str) {
             let trimmed = existing.trim_end();
             let body = trimmed
                 .strip_suffix(']')
-                .expect("BENCH_substrate.json must hold a JSON array")
+                .unwrap_or_else(|| panic!("{path} must hold a JSON array"))
                 .trim_end();
             if body.ends_with('[') {
                 format!("{body}\n  {entry}\n]\n")
@@ -141,5 +223,5 @@ fn append_entry(path: &str, entry: &str) {
         }
         Err(_) => format!("[\n  {entry}\n]\n"),
     };
-    std::fs::write(path, new_content).expect("write BENCH_substrate.json");
+    std::fs::write(path, new_content).unwrap_or_else(|e| panic!("write {path}: {e}"));
 }

@@ -94,6 +94,36 @@ pub fn resolution_sweep(
     rows
 }
 
+/// Pre-built scheduling cases for one database: parsed constraints plus the
+/// deduplicated filter set of every generated task that enumerates at least
+/// one candidate. Benches of the *scheduling* phase (E3 wall-clock, the
+/// sequential-vs-parallel engine comparison) share this so candidate
+/// enumeration and filter decomposition stay out of what they measure.
+pub fn scheduling_cases(
+    db: &Database,
+    resolution: Resolution,
+    n_tasks: usize,
+    seed: u64,
+    config: &DiscoveryConfig,
+) -> Vec<(TargetConstraints, prism_core::filters::FilterSet)> {
+    let taskgen = TaskGenerator::new(db, TaskGenConfig::default());
+    let mut rng = StdRng::seed_from_u64(seed);
+    taskgen
+        .generate_many(resolution, n_tasks, &mut rng)
+        .iter()
+        .filter_map(|task| {
+            let constraints = task_constraints(task);
+            let related = find_related(db, &constraints, config);
+            let cands = enumerate_candidates(db, &related, config, None).candidates;
+            if cands.is_empty() {
+                return None;
+            }
+            let fs = build_filters(db, &cands, &constraints, None);
+            Some((constraints, fs))
+        })
+        .collect()
+}
+
 /// Per-task validation counts of every scheduler (E3 + ablations).
 #[derive(Debug, Clone)]
 pub struct SchedulingSample {

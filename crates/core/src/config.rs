@@ -24,6 +24,26 @@ pub struct DiscoveryConfig {
     pub result_limit: usize,
     /// Which filter-validation scheduler to use.
     pub scheduler: SchedulerKind,
+    /// Worker threads for the parallel validation engine (greedy
+    /// schedulers only; `Naive` and `Oracle` are inherently sequential).
+    /// `1` selects the single-threaded greedy loop with no pool. Defaults
+    /// to the `PRISM_VALIDATION_THREADS` environment variable when set,
+    /// otherwise to the machine's available parallelism.
+    pub validation_threads: usize,
+}
+
+/// Resolve the default worker count: `PRISM_VALIDATION_THREADS` (CI runs
+/// the test suite under both `1` and `4`) beats detected parallelism.
+pub fn default_validation_threads() -> usize {
+    std::env::var("PRISM_VALIDATION_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
 }
 
 impl Default for DiscoveryConfig {
@@ -35,6 +55,7 @@ impl Default for DiscoveryConfig {
             time_budget: Duration::from_secs(60),
             result_limit: 64,
             scheduler: SchedulerKind::Bayes,
+            validation_threads: default_validation_threads(),
         }
     }
 }
@@ -66,5 +87,14 @@ mod tests {
         let c = DiscoveryConfig::with_scheduler(SchedulerKind::PathLength);
         assert_eq!(c.scheduler, SchedulerKind::PathLength);
         assert_eq!(c.max_tables, DiscoveryConfig::default().max_tables);
+    }
+
+    #[test]
+    fn validation_threads_default_is_at_least_one() {
+        // Whatever the environment says (CI pins PRISM_VALIDATION_THREADS,
+        // dev machines fall back to detected parallelism), zero threads
+        // must be impossible.
+        assert!(DiscoveryConfig::default().validation_threads >= 1);
+        assert!(default_validation_threads() >= 1);
     }
 }

@@ -11,7 +11,7 @@ use crate::constraints::TargetConstraints;
 use crate::filters::build_filters;
 use crate::related::find_related;
 use crate::scheduler::{
-    oracle_schedule, run_greedy, run_naive, BayesModel, PathLengthModel, ScheduleOutcome,
+    oracle_schedule, run_greedy_parallel, run_naive, BayesModel, PathLengthModel, ScheduleOutcome,
     SchedulerKind,
 };
 use prism_bayes::{BayesEstimator, TrainConfig};
@@ -193,17 +193,25 @@ impl<'a> Discovery<'a> {
         stats.filters = fs.len();
         stats.truncated |= fs.truncated;
 
+        // Greedy schedulers run on the parallel validation engine; with
+        // `validation_threads == 1` that is exactly the sequential loop.
+        let threads = self.config.validation_threads;
         let outcome: ScheduleOutcome = match self.config.scheduler {
             SchedulerKind::Naive => run_naive(self.db, constraints, &fs, Some(deadline)),
-            SchedulerKind::PathLength => {
-                run_greedy(self.db, constraints, &fs, &PathLengthModel, Some(deadline))
-            }
+            SchedulerKind::PathLength => run_greedy_parallel(
+                self.db,
+                constraints,
+                &fs,
+                &PathLengthModel,
+                Some(deadline),
+                threads,
+            ),
             SchedulerKind::Bayes => {
                 let est = self
                     .estimator
                     .as_ref()
                     .expect("Bayes scheduler requires a trained estimator");
-                run_greedy(
+                run_greedy_parallel(
                     self.db,
                     constraints,
                     &fs,
@@ -212,6 +220,7 @@ impl<'a> Discovery<'a> {
                         constraints,
                     },
                     Some(deadline),
+                    threads,
                 )
             }
             SchedulerKind::Oracle => {

@@ -24,6 +24,12 @@
 //!    trained [`prism_bayes::BayesEstimator`], `Oracle` computes the
 //!    hindsight optimum, `Naive` skips decomposition entirely.
 //!
+//! Greedy schedulers execute on the [`parallel`] validation engine — a
+//! scoped worker pool validating batches of mutually non-implying filters
+//! against the frozen database ([`config::DiscoveryConfig::validation_threads`];
+//! one thread = the exact sequential loop). Parallel and sequential runs
+//! provably accept identical candidate sets.
+//!
 //! [`discovery::Discovery`] orchestrates both steps under an interactive
 //! time budget (the demo's 60-second limit), [`explain`] renders the
 //! Figure-4c query graphs, and [`session`] mirrors the demo UI's
@@ -35,6 +41,7 @@ pub mod constraints;
 pub mod discovery;
 pub mod explain;
 pub mod filters;
+pub mod parallel;
 pub mod related;
 pub mod scheduler;
 pub mod session;

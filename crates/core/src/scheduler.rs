@@ -29,9 +29,22 @@
 //!   validation per sample (shared maximal tops counted once) and failing
 //!   candidates are covered by a greedy minimum set cover of failing
 //!   filters.
+//!
+//! ## Sequential vs. parallel
+//!
+//! [`run_greedy`] validates one filter per greedy round. [`run_greedy_parallel`]
+//! picks a *batch* of top-scoring, mutually **non-implying** filters per
+//! round (no batch member can resolve another through success/failure
+//! propagation, so decomposition pruning loses nothing to concurrency) and
+//! validates the batch on the [`crate::parallel`] worker pool. Validation
+//! outcomes are ground truth — independent of order — so both engines
+//! accept the **identical candidate set** for every [`SchedulerKind`];
+//! only wall-clock time and the validation interleaving (hence the
+//! validation *counts*) may differ.
 
 use crate::constraints::TargetConstraints;
 use crate::filters::{FilterId, FilterSet};
+use crate::parallel::validate_with_pool;
 use crate::validate::validate_filter;
 use prism_bayes::BayesEstimator;
 use prism_db::{Database, ExecStats};
@@ -136,11 +149,21 @@ enum CState {
     Failed,
 }
 
-/// Shared state of one scheduling run.
-struct Run<'a> {
-    db: &'a Database,
-    constraints: &'a TargetConstraints,
-    fs: &'a FilterSet,
+/// The read-only side of one scheduling run: the frozen database, the
+/// constraint set, and the filter lattice. Split from [`RunState`] so the
+/// parallel engine's workers can borrow it immutably across threads while
+/// the coordinator owns the mutable pruning state (the `db` crate asserts
+/// `Database: Send + Sync`; `crate::parallel` asserts the rest).
+pub(crate) struct SchedCtx<'a> {
+    pub db: &'a Database,
+    pub constraints: &'a TargetConstraints,
+    pub fs: &'a FilterSet,
+}
+
+/// The mutable pruning state of one scheduling run. Only the coordinator
+/// thread ever touches it — workers report verdicts, the coordinator
+/// applies them in deterministic batch order.
+struct RunState {
     fstate: Vec<FState>,
     cstate: Vec<CState>,
     /// Unresolved top filters per candidate. This — not raw pending filter
@@ -151,42 +174,43 @@ struct Run<'a> {
     outcome: ScheduleOutcome,
 }
 
-impl<'a> Run<'a> {
-    fn new(db: &'a Database, constraints: &'a TargetConstraints, fs: &'a FilterSet) -> Run<'a> {
-        let n_cands = fs.per_candidate.len();
-        let mut run = Run {
-            db,
-            constraints,
-            fs,
-            fstate: vec![FState::Pending; fs.len()],
+impl RunState {
+    fn new(ctx: &SchedCtx<'_>) -> RunState {
+        let n_cands = ctx.fs.per_candidate.len();
+        let mut state = RunState {
+            fstate: vec![FState::Pending; ctx.fs.len()],
             cstate: vec![CState::Alive; n_cands],
-            unresolved_tops: fs.tops.iter().map(|v| v.len() as u32).collect(),
+            unresolved_tops: ctx.fs.tops.iter().map(|v| v.len() as u32).collect(),
             outcome: ScheduleOutcome::default(),
         };
         // Step-1 pre-validated filters start out succeeded (no propagation
         // needed: they have no subfilters).
-        for f in &fs.filters {
+        for f in &ctx.fs.filters {
             if f.prevalidated {
-                run.fstate[f.id.index()] = FState::Succeeded;
+                state.fstate[f.id.index()] = FState::Succeeded;
                 for &c in &f.top_for {
-                    run.unresolved_tops[c as usize] -= 1;
+                    state.unresolved_tops[c as usize] -= 1;
                 }
             }
         }
         // Degenerate candidates (e.g. single-table, single-pred tops) may be
         // fully resolved already.
         for c in 0..n_cands {
-            run.check_acceptance(c as u32);
+            state.check_acceptance(ctx, c as u32);
         }
-        run
+        state
     }
 
     fn alive(&self, c: u32) -> bool {
         self.cstate[c as usize] == CState::Alive
     }
 
+    fn any_alive(&self) -> bool {
+        self.cstate.contains(&CState::Alive)
+    }
+
     /// Mark `f` succeeded; propagate to subfilters; update acceptance.
-    fn mark_success(&mut self, f: FilterId, implied: bool) {
+    fn mark_success(&mut self, ctx: &SchedCtx<'_>, f: FilterId, implied: bool) {
         if self.fstate[f.index()] != FState::Pending {
             return;
         }
@@ -194,20 +218,19 @@ impl<'a> Run<'a> {
         if implied {
             self.outcome.implied_successes += 1;
         }
-        for &c in &self.fs.filter(f).top_for {
+        for &c in &ctx.fs.filter(f).top_for {
             self.unresolved_tops[c as usize] -= 1;
         }
-        let subs = self.fs.filter(f).subfilters.clone();
-        for s in subs {
-            self.mark_success(s, true);
+        for &s in &ctx.fs.filter(f).subfilters {
+            self.mark_success(ctx, s, true);
         }
-        for &c in &self.fs.filter(f).top_for.clone() {
-            self.check_acceptance(c);
+        for &c in &ctx.fs.filter(f).top_for {
+            self.check_acceptance(ctx, c);
         }
     }
 
     /// Mark `f` failed; propagate to superfilters; kill member candidates.
-    fn mark_failure(&mut self, f: FilterId, implied: bool) {
+    fn mark_failure(&mut self, ctx: &SchedCtx<'_>, f: FilterId, implied: bool) {
         if self.fstate[f.index()] != FState::Pending {
             return;
         }
@@ -215,25 +238,24 @@ impl<'a> Run<'a> {
         if implied {
             self.outcome.implied_failures += 1;
         }
-        for &c in &self.fs.filter(f).top_for {
+        for &c in &ctx.fs.filter(f).top_for {
             self.unresolved_tops[c as usize] -= 1;
         }
-        for &c in &self.fs.filter(f).members {
+        for &c in &ctx.fs.filter(f).members {
             if self.cstate[c as usize] == CState::Alive {
                 self.cstate[c as usize] = CState::Failed;
             }
         }
-        let sups = self.fs.filter(f).superfilters.clone();
-        for s in sups {
-            self.mark_failure(s, true);
+        for &s in &ctx.fs.filter(f).superfilters {
+            self.mark_failure(ctx, s, true);
         }
     }
 
-    fn check_acceptance(&mut self, c: u32) {
+    fn check_acceptance(&mut self, ctx: &SchedCtx<'_>, c: u32) {
         if self.cstate[c as usize] != CState::Alive {
             return;
         }
-        let all_tops_ok = self.fs.tops[c as usize]
+        let all_tops_ok = ctx.fs.tops[c as usize]
             .iter()
             .all(|t| self.fstate[t.index()] == FState::Succeeded);
         if all_tops_ok {
@@ -242,20 +264,25 @@ impl<'a> Run<'a> {
         }
     }
 
-    /// Validate one filter for real.
-    fn validate(&mut self, f: FilterId) {
+    /// Record one executed validation's verdict and propagate it.
+    fn apply_validated(&mut self, ctx: &SchedCtx<'_>, f: FilterId, ok: bool) {
         self.outcome.validations += 1;
+        if ok {
+            self.mark_success(ctx, f, false);
+        } else {
+            self.mark_failure(ctx, f, false);
+        }
+    }
+
+    /// Validate one filter on the coordinator thread (sequential engines).
+    fn validate_now(&mut self, ctx: &SchedCtx<'_>, f: FilterId) {
         let ok = validate_filter(
-            self.db,
-            self.fs.filter(f),
-            self.constraints,
+            ctx.db,
+            ctx.fs.filter(f),
+            ctx.constraints,
             &mut self.outcome.exec,
         );
-        if ok {
-            self.mark_success(f, false);
-        } else {
-            self.mark_failure(f, false);
-        }
+        self.apply_validated(ctx, f, ok);
     }
 
     fn finish(mut self) -> ScheduleOutcome {
@@ -287,7 +314,160 @@ pub fn filter_cost(db: &Database, fs: &FilterSet, f: FilterId) -> f64 {
     cost.max(1.0)
 }
 
-/// Run the greedy filter schedule with the given failure model.
+/// Lazily-memoized per-filter quantity. `filter_cost` and the failure
+/// probabilities are pure functions of the frozen inputs, so each is
+/// computed at most once per run — and *only* for filters the greedy loop
+/// actually scores (pre-validated and irrelevant filters never pay).
+struct Memo {
+    vals: Vec<Option<f64>>,
+}
+
+impl Memo {
+    fn new(n: usize) -> Memo {
+        Memo {
+            vals: vec![None; n],
+        }
+    }
+
+    #[inline]
+    fn get(&mut self, f: FilterId, compute: impl FnOnce() -> f64) -> f64 {
+        let slot = &mut self.vals[f.index()];
+        match *slot {
+            Some(v) => v,
+            None => *slot.insert(compute()),
+        }
+    }
+}
+
+/// Mark `from` and its implication closure as blocked for this round's
+/// batch: everything reachable through subfilter chains (resolved by
+/// `from`'s success) and through superfilter chains (resolved by `from`'s
+/// failure). Keeping batch members mutually unreachable preserves the
+/// decomposition pruning semantics — no batch validation can imply
+/// another's outcome, so none of the batch's work is spent on filters the
+/// sequential engine would have resolved for free.
+fn block_implication_closure(fs: &FilterSet, from: FilterId, blocked: &mut [bool]) {
+    fn edges_for(f: &crate::filters::Filter, down: bool) -> &[FilterId] {
+        if down {
+            &f.subfilters
+        } else {
+            &f.superfilters
+        }
+    }
+    blocked[from.index()] = true;
+    for down in [true, false] {
+        let mut stack = vec![from];
+        while let Some(f) = stack.pop() {
+            for &next in edges_for(fs.filter(f), down) {
+                if !blocked[next.index()] {
+                    blocked[next.index()] = true;
+                    stack.push(next);
+                }
+            }
+        }
+    }
+}
+
+/// Pick up to `max` pending filters for the next round, highest score
+/// first, mutually non-implying. `max == 1` reproduces the sequential
+/// greedy pick exactly. Empty result = scheduling is done.
+fn select_batch(
+    ctx: &SchedCtx<'_>,
+    state: &RunState,
+    model: &dyn FailureModel,
+    p_fail: &mut Memo,
+    cost: &mut Memo,
+    max: usize,
+) -> Vec<FilterId> {
+    let fs = ctx.fs;
+    // Score every pending filter relevant to an alive candidate. Benefit
+    // accounting:
+    //   failure  → every alive member candidate dies, saving its
+    //              remaining required top validations;
+    //   success  → progress only if the filter IS an unresolved top (of
+    //              itself or, via implication, of another candidate);
+    //              non-top successes are pure information and score 0.
+    let is_alive_pending_top = |t: FilterId| {
+        state.fstate[t.index()] == FState::Pending
+            && fs.filter(t).top_for.iter().any(|&c| state.alive(c))
+    };
+    let mut scored: Vec<(f64, FilterId)> = Vec::new();
+    for f in &fs.filters {
+        if state.fstate[f.id.index()] != FState::Pending {
+            continue;
+        }
+        let kills_saved: u64 = f
+            .members
+            .iter()
+            .filter(|&&c| state.alive(c))
+            .map(|&c| state.unresolved_tops[c as usize].max(1) as u64)
+            .sum();
+        if kills_saved == 0 {
+            continue; // irrelevant: no alive candidate contains f
+        }
+        let mut tops_resolved = 0u64;
+        if is_alive_pending_top(f.id) {
+            tops_resolved += 1;
+        }
+        tops_resolved += f
+            .subfilters
+            .iter()
+            .filter(|&&s| is_alive_pending_top(s))
+            .count() as u64;
+        let p = p_fail.get(f.id, || model.failure_probability(ctx.db, fs, f.id));
+        let c = cost.get(f.id, || filter_cost(ctx.db, fs, f.id));
+        let score = (p * kills_saved as f64 + (1.0 - p) * tops_resolved as f64) / c;
+        scored.push((score, f.id));
+    }
+    if scored.is_empty() {
+        return Vec::new();
+    }
+    let mut blocked = vec![false; fs.len()];
+    let mut batch: Vec<FilterId> = Vec::with_capacity(max);
+    // Positive scores first, best score winning (id breaks ties, matching
+    // the sequential argmax).
+    scored.sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).expect("finite").then(a.1.cmp(&b.1)));
+    for &(score, f) in &scored {
+        if score <= 0.0 || batch.len() >= max {
+            break;
+        }
+        if !blocked[f.index()] {
+            block_implication_closure(fs, f, &mut blocked);
+            batch.push(f);
+        }
+    }
+    if !batch.is_empty() {
+        return batch;
+    }
+    // Nothing scores positive (all remaining candidates are expected to
+    // succeed and only non-top information filters are cheap): fall through
+    // to the cheapest unresolved alive tops — the required work.
+    let mut required: Vec<(f64, FilterId)> = fs
+        .filters
+        .iter()
+        .filter(|f| state.fstate[f.id.index()] == FState::Pending && is_alive_pending_top(f.id))
+        .map(|f| (cost.get(f.id, || filter_cost(ctx.db, fs, f.id)), f.id))
+        .collect();
+    required.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("finite").then(a.1.cmp(&b.1)));
+    for &(_, f) in &required {
+        if batch.len() >= max {
+            break;
+        }
+        if !blocked[f.index()] {
+            block_implication_closure(fs, f, &mut blocked);
+            batch.push(f);
+        }
+    }
+    if batch.is_empty() {
+        // Degenerate: only information filters remain. Validate the best
+        // one anyway — marking it resolved guarantees loop progress.
+        batch.push(scored[0].1);
+    }
+    batch
+}
+
+/// Run the greedy filter schedule with the given failure model, one
+/// validation per round, on the calling thread.
 pub fn run_greedy(
     db: &Database,
     constraints: &TargetConstraints,
@@ -295,92 +475,85 @@ pub fn run_greedy(
     model: &dyn FailureModel,
     deadline: Option<Instant>,
 ) -> ScheduleOutcome {
-    let mut run = Run::new(db, constraints, fs);
-    // Failure probabilities and costs are fixed per filter; compute once.
-    let p_fail: Vec<f64> = (0..fs.len())
-        .map(|i| model.failure_probability(db, fs, FilterId(i as u32)))
-        .collect();
-    let cost: Vec<f64> = (0..fs.len())
-        .map(|i| filter_cost(db, fs, FilterId(i as u32)))
-        .collect();
-
+    let ctx = SchedCtx {
+        db,
+        constraints,
+        fs,
+    };
+    let mut state = RunState::new(&ctx);
+    let mut p_fail = Memo::new(fs.len());
+    let mut cost = Memo::new(fs.len());
     loop {
         if let Some(d) = deadline {
             if Instant::now() >= d {
-                run.outcome.timed_out = true;
+                state.outcome.timed_out = true;
                 break;
             }
         }
-        // Any alive candidate left?
-        if !run.cstate.contains(&CState::Alive) {
+        if !state.any_alive() {
             break;
         }
-        // Pick the pending filter (relevant to an alive candidate) with the
-        // best score. Benefit accounting:
-        //   failure  → every alive member candidate dies, saving its
-        //              remaining required top validations;
-        //   success  → progress only if the filter IS an unresolved top (of
-        //              itself or, via implication, of another candidate);
-        //              non-top successes are pure information and score 0.
-        let is_alive_pending_top = |run: &Run<'_>, t: FilterId| {
-            run.fstate[t.index()] == FState::Pending
-                && fs.filter(t).top_for.iter().any(|&c| run.alive(c))
-        };
-        let mut best: Option<(f64, FilterId)> = None;
-        for f in &fs.filters {
-            if run.fstate[f.id.index()] != FState::Pending {
-                continue;
+        let batch = select_batch(&ctx, &state, model, &mut p_fail, &mut cost, 1);
+        let Some(&pick) = batch.first() else { break };
+        state.validate_now(&ctx, pick);
+    }
+    state.finish()
+}
+
+/// Run the greedy filter schedule with batches of mutually non-implying
+/// validations sharded across `threads` worker threads.
+///
+/// Accepts the identical candidate set as [`run_greedy`] for the same
+/// inputs — outcomes are ground truth, and batch members cannot resolve
+/// each other — while validation *counts* may differ slightly: a batch is
+/// committed before its own verdicts can reprioritize the next round.
+/// `threads <= 1` *is* [`run_greedy`] (no pool, no batching), so the
+/// sequential path stays available behind one entry point.
+pub fn run_greedy_parallel(
+    db: &Database,
+    constraints: &TargetConstraints,
+    fs: &FilterSet,
+    model: &dyn FailureModel,
+    deadline: Option<Instant>,
+    threads: usize,
+) -> ScheduleOutcome {
+    if threads <= 1 {
+        return run_greedy(db, constraints, fs, model, deadline);
+    }
+    let ctx = SchedCtx {
+        db,
+        constraints,
+        fs,
+    };
+    let mut state = RunState::new(&ctx);
+    let mut p_fail = Memo::new(fs.len());
+    let mut cost = Memo::new(fs.len());
+    let (state, exec) = validate_with_pool(&ctx, threads, deadline, |pool| {
+        loop {
+            if pool.deadline_expired() {
+                state.outcome.timed_out = true;
+                break;
             }
-            let kills_saved: u64 = f
-                .members
-                .iter()
-                .filter(|&&c| run.alive(c))
-                .map(|&c| run.unresolved_tops[c as usize].max(1) as u64)
-                .sum();
-            if kills_saved == 0 {
-                continue; // irrelevant: no alive candidate contains f
+            if !state.any_alive() {
+                break;
             }
-            let mut tops_resolved = 0u64;
-            if is_alive_pending_top(&run, f.id) {
-                tops_resolved += 1;
+            let batch = select_batch(&ctx, &state, model, &mut p_fail, &mut cost, threads);
+            if batch.is_empty() {
+                break;
             }
-            tops_resolved += f
-                .subfilters
-                .iter()
-                .filter(|&&s| is_alive_pending_top(&run, s))
-                .count() as u64;
-            let p = p_fail[f.id.index()];
-            let score =
-                (p * kills_saved as f64 + (1.0 - p) * tops_resolved as f64) / cost[f.id.index()];
-            if best.is_none_or(|(b, bid)| score > b || (score == b && f.id < bid)) {
-                best = Some((score, f.id));
-            }
-        }
-        let Some((score, pick)) = best else { break };
-        // When nothing scores positive (all remaining candidates are
-        // expected to succeed and only non-top information filters are
-        // cheap), fall through to the cheapest unresolved alive top — the
-        // required work.
-        let pick = if score > 0.0 {
-            pick
-        } else {
-            let mut required: Option<(f64, FilterId)> = None;
-            for f in &fs.filters {
-                if run.fstate[f.id.index()] == FState::Pending && is_alive_pending_top(&run, f.id) {
-                    let c = cost[f.id.index()];
-                    if required.is_none_or(|(rc, rid)| c < rc || (c == rc && f.id < rid)) {
-                        required = Some((c, f.id));
-                    }
+            for (f, verdict) in batch.iter().zip(pool.run(&batch)) {
+                match verdict {
+                    Some(ok) => state.apply_validated(&ctx, *f, ok),
+                    // Skipped by cancellation: the filter stays pending.
+                    None => state.outcome.timed_out = true,
                 }
             }
-            match required {
-                Some((_, id)) => id,
-                None => pick,
-            }
-        };
-        run.validate(pick);
-    }
-    run.finish()
+        }
+        state
+    });
+    let mut state = state;
+    state.outcome.exec.merge(&exec);
+    state.finish()
 }
 
 /// Naive whole-query validation: each candidate's top filters in
@@ -391,36 +564,37 @@ pub fn run_naive(
     fs: &FilterSet,
     deadline: Option<Instant>,
 ) -> ScheduleOutcome {
-    let mut run = Run::new(db, constraints, fs);
+    let ctx = SchedCtx {
+        db,
+        constraints,
+        fs,
+    };
+    let mut state = RunState::new(&ctx);
     'cands: for c in 0..fs.per_candidate.len() {
         if let Some(d) = deadline {
             if Instant::now() >= d {
-                run.outcome.timed_out = true;
+                state.outcome.timed_out = true;
                 break;
             }
         }
-        if !run.alive(c as u32) {
+        if !state.alive(c as u32) {
             continue;
         }
         for &t in &fs.tops[c] {
-            if run.fstate[t.index()] != FState::Pending {
+            if state.fstate[t.index()] != FState::Pending {
                 continue;
             }
             // Naive validation ignores sharing: count one validation even
             // for filters another candidate also contains, but do not let
             // success/failure imply anything beyond this candidate's fate.
-            run.outcome.validations += 1;
-            let ok = validate_filter(db, fs.filter(t), constraints, &mut run.outcome.exec);
-            if ok {
-                run.mark_success(t, false);
-            } else {
-                run.mark_failure(t, false);
+            state.validate_now(&ctx, t);
+            if state.fstate[t.index()] == FState::Failed {
                 continue 'cands;
             }
         }
-        run.check_acceptance(c as u32);
+        state.check_acceptance(&ctx, c as u32);
     }
-    run.finish()
+    state.finish()
 }
 
 /// Ground-truth outcome of every filter, memoized. Not counted as
@@ -723,6 +897,105 @@ mod tests {
             bayes.validations
         );
         assert!(v_opt >= 1);
+    }
+
+    #[test]
+    fn parallel_engine_accepts_the_identical_candidate_set() {
+        let s = walkthrough();
+        let (_, fs) = prepare(&s);
+        let est = prism_bayes::BayesEstimator::train(&s.db, &TrainConfig::default());
+        let seq_path = run_greedy(&s.db, &s.tc, &fs, &PathLengthModel, None);
+        let seq_bayes = run_greedy(
+            &s.db,
+            &s.tc,
+            &fs,
+            &BayesModel {
+                estimator: &est,
+                constraints: &s.tc,
+            },
+            None,
+        );
+        for threads in [2, 4, 8] {
+            let par_path = run_greedy_parallel(&s.db, &s.tc, &fs, &PathLengthModel, None, threads);
+            assert_eq!(
+                seq_path.accepted, par_path.accepted,
+                "path-length @ {threads} threads"
+            );
+            assert!(!par_path.timed_out);
+            let par_bayes = run_greedy_parallel(
+                &s.db,
+                &s.tc,
+                &fs,
+                &BayesModel {
+                    estimator: &est,
+                    constraints: &s.tc,
+                },
+                None,
+                threads,
+            );
+            assert_eq!(
+                seq_bayes.accepted, par_bayes.accepted,
+                "bayes @ {threads} threads"
+            );
+            // The engine really executed work and counted it.
+            assert!(par_path.validations > 0);
+            assert!(par_path.exec.rows_examined > 0);
+        }
+    }
+
+    #[test]
+    fn parallel_with_one_thread_is_the_sequential_path() {
+        let s = walkthrough();
+        let (_, fs) = prepare(&s);
+        let seq = run_greedy(&s.db, &s.tc, &fs, &PathLengthModel, None);
+        let one = run_greedy_parallel(&s.db, &s.tc, &fs, &PathLengthModel, None, 1);
+        // Bit-for-bit identical outcome, validation counts included: one
+        // thread takes the exact sequential code path.
+        assert_eq!(seq.accepted, one.accepted);
+        assert_eq!(seq.validations, one.validations);
+        assert_eq!(seq.implied_successes, one.implied_successes);
+        assert_eq!(seq.implied_failures, one.implied_failures);
+        assert_eq!(seq.exec, one.exec);
+    }
+
+    #[test]
+    fn parallel_deadline_cancels_cooperatively() {
+        let s = walkthrough();
+        let (cands, fs) = prepare(&s);
+        let past = Instant::now() - std::time::Duration::from_millis(1);
+        let outcome = run_greedy_parallel(&s.db, &s.tc, &fs, &PathLengthModel, Some(past), 4);
+        assert!(outcome.timed_out);
+        // Soundness under interruption, as in the sequential engine.
+        for &c in &outcome.accepted {
+            let rows = cands[c as usize].query.execute(&s.db, 100_000).unwrap();
+            assert!(!rows.is_empty());
+        }
+    }
+
+    #[test]
+    fn batches_are_mutually_non_implying() {
+        let s = walkthrough();
+        let (_, fs) = prepare(&s);
+        let ctx = SchedCtx {
+            db: &s.db,
+            constraints: &s.tc,
+            fs: &fs,
+        };
+        let state = RunState::new(&ctx);
+        let mut p_fail = Memo::new(fs.len());
+        let mut cost = Memo::new(fs.len());
+        let batch = select_batch(&ctx, &state, &PathLengthModel, &mut p_fail, &mut cost, 8);
+        assert!(batch.len() > 1, "walkthrough offers parallel work");
+        for (i, &a) in batch.iter().enumerate() {
+            let mut blocked = vec![false; fs.len()];
+            block_implication_closure(&fs, a, &mut blocked);
+            for &b in batch.iter().skip(i + 1) {
+                assert!(
+                    !blocked[b.index()],
+                    "{a:?} and {b:?} are implication-related"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,106 @@
+//! Property: the parallel validation engine is indistinguishable from the
+//! sequential scheduler on *what* it decides — across generated mapping
+//! tasks, thread counts, and failure models, both accept the identical
+//! candidate set (and therefore prune the identical candidates), and both
+//! match the ground-truth classification. Only wall-clock and validation
+//! interleaving may differ.
+
+use prism_bayes::{BayesEstimator, TrainConfig};
+use prism_core::scheduler::{
+    oracle_schedule, run_greedy, run_greedy_parallel, run_naive, BayesModel, PathLengthModel,
+    SchedulerKind,
+};
+use prism_core::{
+    candidates::enumerate_candidates, filters::build_filters, related::find_related,
+    DiscoveryConfig, TargetConstraints,
+};
+use prism_datasets::{mondial, MappingTask, Resolution, TaskGenConfig, TaskGenerator};
+use prism_db::Database;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+
+/// The walkthrough database and its trained estimator, built once: the
+/// property quantifies over *tasks*, not databases.
+fn fixture() -> &'static (Database, BayesEstimator) {
+    static FIXTURE: OnceLock<(Database, BayesEstimator)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let db = mondial(42, 1);
+        let est = BayesEstimator::train(&db, &TrainConfig::default());
+        (db, est)
+    })
+}
+
+fn task_constraints(task: &MappingTask) -> TargetConstraints {
+    TargetConstraints::parse(task.column_count, &task.samples, &task.metadata)
+        .expect("taskgen emits parseable constraints")
+}
+
+fn arb_resolution() -> impl Strategy<Value = Resolution> {
+    prop_oneof![
+        Just(Resolution::Exact),
+        Just(Resolution::Disjunction),
+        Just(Resolution::Range),
+        Just(Resolution::Metadata),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn parallel_and_sequential_schedulers_agree_on_generated_tasks(
+        seed in 0u64..1_000,
+        resolution in arb_resolution(),
+    ) {
+        let (db, est) = fixture();
+        let config = DiscoveryConfig::with_scheduler(SchedulerKind::Bayes);
+        let taskgen = TaskGenerator::new(db, TaskGenConfig::default());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tasks = taskgen.generate_many(resolution, 1, &mut rng);
+        for task in &tasks {
+            let tc = task_constraints(task);
+            let related = find_related(db, &tc, &config);
+            let cands = enumerate_candidates(db, &related, &config, None).candidates;
+            if cands.is_empty() {
+                continue;
+            }
+            let fs = build_filters(db, &cands, &tc, None);
+
+            // Ground truth: the hindsight-optimal schedule's accepted set.
+            let (v_opt, truth) = oracle_schedule(db, &tc, &fs);
+            // Sequential engines.
+            let seq_path = run_greedy(db, &tc, &fs, &PathLengthModel, None);
+            let bayes_model = BayesModel { estimator: est, constraints: &tc };
+            let seq_bayes = run_greedy(db, &tc, &fs, &bayes_model, None);
+            let naive = run_naive(db, &tc, &fs, None);
+            prop_assert_eq!(&seq_path.accepted, &truth.accepted);
+            prop_assert_eq!(&seq_bayes.accepted, &truth.accepted);
+            prop_assert_eq!(&naive.accepted, &truth.accepted);
+
+            // Parallel engine, every model, threads ∈ {2, 4, 8}: identical
+            // accepted sets, hence identical pruned candidate sets.
+            for threads in [2usize, 4, 8] {
+                let par_path =
+                    run_greedy_parallel(db, &tc, &fs, &PathLengthModel, None, threads);
+                prop_assert_eq!(
+                    &par_path.accepted, &truth.accepted,
+                    "path-length @ {} threads on task {:?}/{}", threads, resolution, seed
+                );
+                prop_assert!(!par_path.timed_out);
+                let par_bayes =
+                    run_greedy_parallel(db, &tc, &fs, &bayes_model, None, threads);
+                prop_assert_eq!(
+                    &par_bayes.accepted, &truth.accepted,
+                    "bayes @ {} threads on task {:?}/{}", threads, resolution, seed
+                );
+                // Every candidate is classified (accepted ∪ pruned is the
+                // full candidate set, so equal accepted ⟹ equal pruned),
+                // and no completed run can undercut the hindsight optimum.
+                prop_assert!(par_path.validations >= v_opt);
+                prop_assert!(par_bayes.validations >= v_opt);
+            }
+        }
+    }
+}

@@ -8,25 +8,28 @@
 //!
 //! ## The compact join-key contract
 //!
-//! [`Column::join_key`] maps every non-null cell to a `u64` such that two
-//! cells of join-compatible columns (as enforced by
-//! [`crate::Catalog::add_foreign_key`]) are equal under the engine's join
-//! semantics **iff** their keys are equal:
+//! [`Column::join_key_in`] maps every non-null cell to a `u64` in a given
+//! [`KeySpace`] such that two cells of join-compatible columns (as enforced
+//! by [`crate::Catalog::add_foreign_key`]) are equal under the engine's
+//! join semantics **iff** their keys *in a common space* are equal:
 //!
-//! * numeric columns (`Int`, `Decimal`) use the bit pattern of the cell's
-//!   `f64` numeric view (`-0.0` is normalized on insert), so an `Int` FK
-//!   probes a `Decimal` PK index directly. This is exact for |v| < 2⁵³;
-//!   beyond that, neighboring integers share an `f64` image and therefore a
-//!   key, so they join as equal (an exact `Int`-only keying is a ROADMAP
-//!   follow-on);
-//! * symbol columns use the dictionary code, which the per-database
-//!   interner keeps equal across tables for equal values.
+//! * [`KeySpace::Int`] keys are the raw `i64` bit pattern — exact over the
+//!   whole integer range. The database assigns this space to `Int` columns
+//!   whose FK-connected component contains no `Decimal` column (the common
+//!   case), fixing the >2⁵³ neighbor collisions of the `f64` view;
+//! * [`KeySpace::F64`] keys are the bit pattern of the cell's `f64`
+//!   numeric view (`-0.0` is normalized on insert), so an `Int` FK probes
+//!   a `Decimal` PK index directly. Exact for |v| < 2⁵³; beyond that,
+//!   neighboring integers share an `f64` image and therefore a key;
+//! * [`KeySpace::Sym`] keys are the dictionary code, which the
+//!   per-database interner keeps equal across tables for equal values.
 //!
 //! Hash join indexes, probe loops, and residual join checks all operate on
 //! these keys; no `Value` is hashed or cloned on the validation hot path.
+//! [`crate::Database::key_space`] records each column's assigned space.
 
 use crate::interner::SymbolTable;
-use crate::types::{DataType, Value, ValueRef};
+use crate::types::{DataType, KeySpace, Value, ValueRef};
 
 /// The typed payload of one column.
 #[derive(Debug, Clone)]
@@ -235,17 +238,31 @@ impl Column {
         (0..self.len()).map(move |r| self.value_ref(syms, r))
     }
 
-    /// Compact join key of one cell (`None` for NULL). See the module docs
-    /// for the key contract.
+    /// Compact join key of one cell in the column's *native* key space
+    /// (`None` for NULL). Prefer [`crate::Database::join_key`], which keys
+    /// in the column's FK-component-assigned space — the two differ only
+    /// for `Int` columns demoted to [`KeySpace::F64`] by a `Decimal`
+    /// join partner.
     #[inline]
     pub fn join_key(&self, row: usize) -> Option<u64> {
+        self.join_key_in(row, self.dtype.native_key_space())
+    }
+
+    /// Compact join key of one cell in `space` (`None` for NULL). See the
+    /// module docs for the key contract. `space` must be one the column's
+    /// data can key in: [`KeySpace::Int`] is only valid for `Int` columns
+    /// (a `Decimal` column is never `Int`-spaced).
+    #[inline]
+    pub fn join_key_in(&self, row: usize, space: KeySpace) -> Option<u64> {
         if self.nulls.is_null(row) {
             return None;
         }
-        Some(match &self.data {
-            ColumnData::Int(v) => (v[row] as f64).to_bits(),
-            ColumnData::Decimal(v) => v[row].to_bits(),
-            ColumnData::Sym(v) => v[row] as u64,
+        Some(match (&self.data, space) {
+            (ColumnData::Int(v), KeySpace::Int) => v[row] as u64,
+            (ColumnData::Int(v), KeySpace::F64) => (v[row] as f64).to_bits(),
+            (ColumnData::Decimal(v), KeySpace::F64) => v[row].to_bits(),
+            (ColumnData::Sym(v), KeySpace::Sym) => v[row] as u64,
+            _ => unreachable!("column data cannot key in {space:?}"),
         })
     }
 
@@ -278,15 +295,40 @@ mod tests {
     }
 
     #[test]
-    fn int_column_join_keys_match_decimal_column() {
+    fn int_column_join_keys_match_decimal_column_in_f64_space() {
         let mut syms = SymbolTable::new();
         let mut ci = Column::new(DataType::Int);
         let mut cd = Column::new(DataType::Decimal);
         ci.push(Value::Int(497), &mut syms);
         cd.push(Value::Decimal(497.0), &mut syms);
-        assert_eq!(ci.join_key(0), cd.join_key(0));
+        // F64 is the common space of an Int↔Decimal comparison.
+        assert_eq!(
+            ci.join_key_in(0, KeySpace::F64),
+            cd.join_key_in(0, KeySpace::F64)
+        );
         ci.push(Value::Null, &mut syms);
         assert_eq!(ci.join_key(1), None);
+        assert_eq!(ci.join_key_in(1, KeySpace::F64), None);
+    }
+
+    #[test]
+    fn int_space_keys_are_exact_beyond_f64_precision() {
+        let mut syms = SymbolTable::new();
+        let mut c = Column::new(DataType::Int);
+        c.push(Value::Int(i64::MAX), &mut syms);
+        c.push(Value::Int(i64::MAX - 1), &mut syms);
+        // The f64 view conflates the neighbors; the Int space keeps them
+        // apart (this is the whole point of the Int key space).
+        assert_eq!(
+            c.join_key_in(0, KeySpace::F64),
+            c.join_key_in(1, KeySpace::F64)
+        );
+        assert_ne!(
+            c.join_key_in(0, KeySpace::Int),
+            c.join_key_in(1, KeySpace::Int)
+        );
+        // Native space of an Int column is Int.
+        assert_eq!(c.join_key(0), c.join_key_in(0, KeySpace::Int));
     }
 
     #[test]

@@ -19,7 +19,7 @@ use crate::interner::SymbolTable;
 use crate::schema::{Catalog, ColumnDef, ColumnRef, ForeignKey, TableId, TableSchema};
 use crate::stats::{ColumnStats, StatsStore};
 use crate::table::Table;
-use crate::types::{DataType, Value, ValueRef};
+use crate::types::{DataType, KeySpace, Value, ValueRef};
 use std::collections::HashMap;
 
 impl ColumnDef {
@@ -195,17 +195,47 @@ impl DatabaseBuilder {
             .collect();
         let graph = SchemaGraph::new(catalog.table_count(), edges);
 
+        // Assign every column its join-key space: native per type, except
+        // that Int columns in an FK-connected component containing a
+        // Decimal column demote to F64 so the whole component shares one
+        // space (an Int FK must be able to probe a Decimal PK index). A
+        // fixpoint over the (few) FK edges settles the components.
+        let mut key_spaces: Vec<Vec<KeySpace>> = catalog
+            .tables()
+            .map(|(_, schema)| {
+                schema
+                    .columns
+                    .iter()
+                    .map(|def| def.dtype.native_key_space())
+                    .collect()
+            })
+            .collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for fk in catalog.foreign_keys() {
+                let a = key_spaces[fk.from.table.index()][fk.from.column as usize];
+                let b = key_spaces[fk.to.table.index()][fk.to.column as usize];
+                if a != b && a != KeySpace::Sym && b != KeySpace::Sym {
+                    key_spaces[fk.from.table.index()][fk.from.column as usize] = KeySpace::F64;
+                    key_spaces[fk.to.table.index()][fk.to.column as usize] = KeySpace::F64;
+                    changed = true;
+                }
+            }
+        }
+
         // Hash join indexes for every column touched by a join edge, keyed
-        // on compact join keys. NULL keys are excluded: SQL equi-joins never
-        // match NULL = NULL.
+        // on compact join keys in the column's assigned space. NULL keys
+        // are excluded: SQL equi-joins never match NULL = NULL.
         let mut join_indexes: HashMap<ColumnRef, JoinIndex> = HashMap::new();
         for fk in catalog.foreign_keys() {
             for col in [fk.from, fk.to] {
+                let space = key_spaces[col.table.index()][col.column as usize];
                 join_indexes.entry(col).or_insert_with(|| {
                     let column = tables[col.table.index()].column(col.column);
                     let mut map: HashMap<u64, Vec<u32>> = HashMap::new();
                     for r in 0..column.len() {
-                        if let Some(key) = column.join_key(r) {
+                        if let Some(key) = column.join_key_in(r, space) {
                             map.entry(key).or_default().push(r as u32);
                         }
                     }
@@ -223,6 +253,7 @@ impl DatabaseBuilder {
             stats,
             graph,
             join_indexes,
+            key_spaces,
         }
     }
 }
@@ -238,6 +269,8 @@ pub struct Database {
     stats: StatsStore,
     graph: SchemaGraph,
     join_indexes: HashMap<ColumnRef, JoinIndex>,
+    /// Per-table, per-column assigned join-key space (see `build`).
+    key_spaces: Vec<Vec<KeySpace>>,
 }
 
 impl Database {
@@ -284,12 +317,23 @@ impl Database {
         self.join_indexes.get(&col)
     }
 
-    /// Compact join key of one cell (`None` for NULL).
+    /// The join-key space assigned to a column at build time: native per
+    /// type, except Int columns whose FK component reaches a Decimal
+    /// column (those key in [`KeySpace::F64`]). Both endpoints of every
+    /// declared FK edge share a space by construction.
+    #[inline]
+    pub fn key_space(&self, col: ColumnRef) -> KeySpace {
+        self.key_spaces[col.table.index()][col.column as usize]
+    }
+
+    /// Compact join key of one cell in the column's assigned key space
+    /// (`None` for NULL). Keys of two columns compare meaningfully only
+    /// when the columns share a space — FK edge endpoints always do.
     #[inline]
     pub fn join_key(&self, col: ColumnRef, row: u32) -> Option<u64> {
         self.tables[col.table.index()]
             .column(col.column)
-            .join_key(row as usize)
+            .join_key_in(row as usize, self.key_space(col))
     }
 
     /// Borrowed cell view via a [`ColumnRef`] (zero-copy).
@@ -302,6 +346,21 @@ impl Database {
         self.value_ref(col, row).to_value()
     }
 }
+
+/// The scheduler's parallel validation engine shares the frozen database
+/// (and everything reachable from it) immutably across worker threads.
+/// Keep the proof at the type level: an accidental `Rc`/`RefCell`/raw-ptr
+/// regression in any reachable structure fails to compile here.
+const fn _assert_send_sync<T: Send + Sync>() {}
+const _: () = {
+    _assert_send_sync::<Database>();
+    _assert_send_sync::<JoinIndex>();
+    _assert_send_sync::<SymbolTable>();
+    _assert_send_sync::<InvertedIndex>();
+    _assert_send_sync::<StatsStore>();
+    _assert_send_sync::<crate::column::Column>();
+    _assert_send_sync::<crate::exec::ExecStats>();
+};
 
 #[cfg(test)]
 pub(crate) mod tests {
@@ -395,6 +454,88 @@ pub(crate) mod tests {
         assert_eq!(db.join_key(lake_name, 0), db.join_key(geo_lake, 0));
         assert_eq!(db.join_key(geo_lake, 0), db.join_key(geo_lake, 1));
         assert_eq!(db.value_ref(geo_lake, 0), ValueRef::Text("Lake Tahoe"));
+    }
+
+    /// Regression for the ROADMAP `f64`-view collision: Int↔Int edges key
+    /// on raw `i64` bits, so integers adjacent to `i64::MAX` (which share
+    /// an `f64` image) must not join as equal.
+    #[test]
+    fn int_join_keys_are_exact_at_i64_max_adjacent_values() {
+        let mut b = DatabaseBuilder::new("bigint");
+        b.add_table("P", vec![ColumnDef::new("id", DataType::Int).not_null()])
+            .unwrap();
+        b.add_table("F", vec![ColumnDef::new("p", DataType::Int).not_null()])
+            .unwrap();
+        // i64::MAX and i64::MAX - 1 round to the same f64; under the old
+        // f64-bit keys the FK row joined both parents.
+        b.add_rows(
+            "P",
+            vec![vec![Value::Int(i64::MAX)], vec![Value::Int(i64::MAX - 1)]],
+        )
+        .unwrap();
+        b.add_row("F", vec![Value::Int(i64::MAX - 1)]).unwrap();
+        b.add_foreign_key("F", "p", "P", "id").unwrap();
+        let db = b.build();
+        let p_id = db.catalog().column_ref("P", "id").unwrap();
+        let f_p = db.catalog().column_ref("F", "p").unwrap();
+        assert_eq!(db.key_space(p_id), KeySpace::Int);
+        assert_eq!(db.key_space(f_p), KeySpace::Int);
+        let ix = db.join_index(p_id).expect("PK side indexed");
+        let key = db.join_key(f_p, 0).unwrap();
+        assert_eq!(ix.rows(key), &[1], "only the exact integer may match");
+        // End-to-end: the join yields exactly one pair.
+        let q = crate::exec::PjQuery {
+            nodes: vec![
+                db.catalog().table_id("F").unwrap(),
+                db.catalog().table_id("P").unwrap(),
+            ],
+            joins: vec![crate::exec::JoinCond {
+                left_node: 0,
+                left_col: 0,
+                right_node: 1,
+                right_col: 0,
+            }],
+            projection: vec![(1, 0)],
+        };
+        let rows = q.execute(&db, 10).unwrap();
+        assert_eq!(rows, vec![vec![Value::Int(i64::MAX - 1)]]);
+    }
+
+    /// An Int FK into a Decimal PK demotes the whole component to the f64
+    /// key space, keeping cross-type joins working.
+    #[test]
+    fn int_decimal_fk_component_shares_the_f64_space() {
+        let mut b = DatabaseBuilder::new("mixed");
+        b.add_table(
+            "P",
+            vec![ColumnDef::new("id", DataType::Decimal).not_null()],
+        )
+        .unwrap();
+        b.add_table("F", vec![ColumnDef::new("p", DataType::Int).not_null()])
+            .unwrap();
+        // A second Int↔Int edge hanging off the same component must demote
+        // too (spaces are a component property, not an edge property).
+        b.add_table("G", vec![ColumnDef::new("f", DataType::Int).not_null()])
+            .unwrap();
+        b.add_rows(
+            "P",
+            vec![vec![Value::Decimal(7.0)], vec![Value::Decimal(8.5)]],
+        )
+        .unwrap();
+        b.add_row("F", vec![Value::Int(7)]).unwrap();
+        b.add_row("G", vec![Value::Int(7)]).unwrap();
+        b.add_foreign_key("F", "p", "P", "id").unwrap();
+        b.add_foreign_key("G", "f", "F", "p").unwrap();
+        let db = b.build();
+        for (t, c) in [("P", "id"), ("F", "p"), ("G", "f")] {
+            let col = db.catalog().column_ref(t, c).unwrap();
+            assert_eq!(db.key_space(col), KeySpace::F64, "{t}.{c}");
+        }
+        // Int 7 probes the Decimal index and matches 7.0.
+        let p_id = db.catalog().column_ref("P", "id").unwrap();
+        let f_p = db.catalog().column_ref("F", "p").unwrap();
+        let ix = db.join_index(p_id).unwrap();
+        assert_eq!(ix.rows(db.join_key(f_p, 0).unwrap()), &[0]);
     }
 
     #[test]

@@ -48,10 +48,29 @@ pub struct ExecStats {
 }
 
 impl ExecStats {
-    pub fn add(&mut self, other: &ExecStats) {
+    /// Fold another counter set into this one. The parallel validation
+    /// engine gives each worker thread its own `ExecStats` and merges them
+    /// when the pool drains, so counting never contends on shared state.
+    pub fn merge(&mut self, other: &ExecStats) {
         self.rows_examined += other.rows_examined;
         self.index_probes += other.index_probes;
         self.rows_emitted += other.rows_emitted;
+    }
+
+    pub fn add(&mut self, other: &ExecStats) {
+        self.merge(other);
+    }
+}
+
+impl std::ops::AddAssign for ExecStats {
+    fn add_assign(&mut self, rhs: ExecStats) {
+        self.merge(&rhs);
+    }
+}
+
+impl std::ops::AddAssign<&ExecStats> for ExecStats {
+    fn add_assign(&mut self, rhs: &ExecStats) {
+        self.merge(rhs);
     }
 }
 
@@ -226,17 +245,30 @@ impl PjQuery {
     }
 }
 
+/// One spanning link of the plan: how a node is reached from an
+/// already-assigned parent.
+struct Link {
+    parent_node: usize,
+    parent_col: u32,
+    my_col: u32,
+    /// Common key space of the two columns; both sides key in it.
+    pair_space: crate::types::KeySpace,
+    /// Whether the probed column's hash index is keyed in `pair_space`
+    /// (always true for FK-aligned conditions; an ad-hoc condition across
+    /// key-space components falls back to a filtered scan).
+    index_usable: bool,
+}
+
 /// Per-node execution info derived once per query run.
 struct Plan {
     /// Visit order of node slots.
     order: Vec<usize>,
-    /// For order[i] (i>0): the join condition linking it to an
-    /// already-visited node, oriented as (visited node, visited col,
-    /// this col).
-    link: Vec<Option<(usize, u32, u32)>>,
+    /// For order[i] (i>0): the spanning link to an already-visited node.
+    link: Vec<Option<Link>>,
     /// Cycle-closing join conditions checked once both sides are assigned:
-    /// evaluated at the depth where the *later* endpoint gets its row.
-    residual_at: Vec<Vec<JoinCond>>,
+    /// evaluated at the depth where the *later* endpoint gets its row,
+    /// compared in the endpoints' common key space.
+    residual_at: Vec<Vec<(JoinCond, crate::types::KeySpace)>>,
     /// Local predicates per node slot: (column, projection slot index).
     local_preds: Vec<Vec<(u32, usize)>>,
 }
@@ -263,8 +295,31 @@ impl Plan {
             })
             .expect("validated: at least one node");
         // BFS over join conditions to build the spanning order.
+        let space_of =
+            |node: usize, col: u32| db.key_space(crate::schema::ColumnRef::new(q.nodes[node], col));
+        // The space a join condition compares in. FK-aligned conditions have
+        // equal assigned spaces and keep them (and their index). An ad-hoc
+        // condition across components compares exactly when both *declared*
+        // types are Int — a Decimal-demoted Int column still stores i64
+        // data, so exactness must not be lost to its component assignment —
+        // and in F64 otherwise.
+        let pair_space_of = |an: usize, ac: u32, bn: usize, bc: u32| {
+            let (sa, sb) = (space_of(an, ac), space_of(bn, bc));
+            if sa == sb {
+                return sa;
+            }
+            let dtype_of =
+                |node: usize, col: u32| db.catalog().table(q.nodes[node]).column(col).dtype;
+            if dtype_of(an, ac) == crate::types::DataType::Int
+                && dtype_of(bn, bc) == crate::types::DataType::Int
+            {
+                crate::types::KeySpace::Int
+            } else {
+                crate::types::KeySpace::F64
+            }
+        };
         let mut order = vec![start];
-        let mut link: Vec<Option<(usize, u32, u32)>> = vec![None];
+        let mut link: Vec<Option<Link>> = vec![None];
         let mut visited = vec![false; n];
         visited[start] = true;
         let mut used_join = vec![false; q.joins.len()];
@@ -284,7 +339,14 @@ impl Plan {
                 used_join[ji] = true;
                 visited[to] = true;
                 order.push(to);
-                link.push(Some((from, fcol, tcol)));
+                let pair_space = pair_space_of(from, fcol, to, tcol);
+                link.push(Some(Link {
+                    parent_node: from,
+                    parent_col: fcol,
+                    my_col: tcol,
+                    pair_space,
+                    index_usable: pair_space == space_of(to, tcol),
+                }));
                 progressed = true;
             }
             if !progressed {
@@ -294,11 +356,12 @@ impl Plan {
         // Remaining joins are redundant cycle-closers: schedule each at the
         // depth where its later endpoint is assigned.
         let depth_of = |node: usize| order.iter().position(|&x| x == node).expect("visited");
-        let mut residual_at: Vec<Vec<JoinCond>> = vec![Vec::new(); n];
+        let mut residual_at: Vec<Vec<(JoinCond, crate::types::KeySpace)>> = vec![Vec::new(); n];
         for (ji, j) in q.joins.iter().enumerate() {
             if !used_join[ji] {
                 let d = depth_of(j.left_node).max(depth_of(j.right_node));
-                residual_at[d].push(*j);
+                let pair = pair_space_of(j.left_node, j.left_col, j.right_node, j.right_col);
+                residual_at[d].push((*j, pair));
             }
         }
         Plan {
@@ -341,21 +404,26 @@ fn search(
     let syms = db.symbols();
 
     // Candidate rows for this node: compact join keys only, no `Value`.
-    let candidates: CandidateRows = match plan.link[depth] {
+    let candidates: CandidateRows = match &plan.link[depth] {
         None => CandidateRows::Scan(table.row_count() as u32),
-        Some((parent_node, parent_col, my_col)) => {
+        Some(link) => {
             let parent_key = db
-                .table(q.nodes[parent_node])
-                .column(parent_col)
-                .join_key(assignment[parent_node] as usize);
+                .table(q.nodes[link.parent_node])
+                .column(link.parent_col)
+                .join_key_in(assignment[link.parent_node] as usize, link.pair_space);
             let Some(pk) = parent_key else {
                 return Ok(true); // NULL never equi-joins
             };
-            let col_ref = crate::schema::ColumnRef::new(tid, my_col);
+            let col_ref = crate::schema::ColumnRef::new(tid, link.my_col);
             stats.index_probes += 1;
             match db.join_index(col_ref) {
-                Some(ix) => CandidateRows::List(ix.rows(pk)),
-                None => CandidateRows::FilteredScan(table.row_count() as u32, my_col, pk),
+                Some(ix) if link.index_usable => CandidateRows::List(ix.rows(pk)),
+                _ => CandidateRows::FilteredScan(
+                    table.row_count() as u32,
+                    link.my_col,
+                    pk,
+                    link.pair_space,
+                ),
             }
         }
     };
@@ -380,16 +448,17 @@ fn search(
         }
         assignment[node] = row;
         // Residual (cycle-closing) join checks at this depth, on compact
-        // keys (NULL keys never match, matching equi-join semantics).
-        for j in &plan.residual_at[depth] {
+        // keys in the pair's common space (NULL keys never match, matching
+        // equi-join semantics).
+        for (j, pair_space) in &plan.residual_at[depth] {
             let l = db
                 .table(q.nodes[j.left_node])
                 .column(j.left_col)
-                .join_key(assignment[j.left_node] as usize);
+                .join_key_in(assignment[j.left_node] as usize, *pair_space);
             let r = db
                 .table(q.nodes[j.right_node])
                 .column(j.right_col)
-                .join_key(assignment[j.right_node] as usize);
+                .join_key_in(assignment[j.right_node] as usize, *pair_space);
             match (l, r) {
                 (Some(lk), Some(rk)) if lk == rk => {}
                 _ => return Ok(true),
@@ -468,11 +537,11 @@ fn search(
                 }
             }
         }
-        CandidateRows::FilteredScan(n, col, pk) => {
+        CandidateRows::FilteredScan(n, col, pk, space) => {
             let column = table.column(col);
             for row in 0..n {
                 stats.rows_examined += 1;
-                if column.join_key(row as usize) != Some(pk) {
+                if column.join_key_in(row as usize, space) != Some(pk) {
                     continue;
                 }
                 if !try_row(row, assignment, stats, true)? {
@@ -489,8 +558,9 @@ enum CandidateRows<'a> {
     Scan(u32),
     /// Rows from a hash join index probe.
     List(&'a [u32]),
-    /// No join index: scan comparing compact join keys against the parent's.
-    FilteredScan(u32, u32, u64),
+    /// No usable join index: scan comparing compact join keys (in the
+    /// pair's common space) against the parent's.
+    FilteredScan(u32, u32, u64, crate::types::KeySpace),
 }
 
 /// Rows evaluated directly before a memoized scan engages; early-exit hits
@@ -643,6 +713,52 @@ mod tests {
             projection: vec![(0, 0)],
         };
         assert_eq!(q.execute(&db, 10).unwrap().len(), 0);
+    }
+
+    /// An ad-hoc Int↔Int join where one side's FK component was demoted to
+    /// the f64 space (by a Decimal partner elsewhere) must still compare
+    /// exactly: both declared types are Int, so the pair keys on raw i64
+    /// bits via a filtered scan instead of probing the f64-keyed index.
+    #[test]
+    fn cross_component_int_join_stays_exact_beyond_f64_precision() {
+        use crate::types::KeySpace;
+        let mut b = DatabaseBuilder::new("xcomp");
+        b.add_table("P", vec![ColumnDef::new("id", DataType::Int).not_null()])
+            .unwrap();
+        b.add_table("D", vec![ColumnDef::new("x", DataType::Decimal).not_null()])
+            .unwrap();
+        b.add_table("Q", vec![ColumnDef::new("p", DataType::Int).not_null()])
+            .unwrap();
+        // P.id ↔ D.x demotes P.id to the f64 space; Q.p (no FK) stays Int.
+        b.add_foreign_key("P", "id", "D", "x").unwrap();
+        b.add_rows(
+            "P",
+            vec![vec![Value::Int(i64::MAX)], vec![Value::Int(i64::MAX - 1)]],
+        )
+        .unwrap();
+        b.add_row("D", vec![Value::Decimal(1.0)]).unwrap();
+        b.add_row("Q", vec![Value::Int(i64::MAX - 1)]).unwrap();
+        let db = b.build();
+        let p_id = db.catalog().column_ref("P", "id").unwrap();
+        let q_p = db.catalog().column_ref("Q", "p").unwrap();
+        assert_eq!(db.key_space(p_id), KeySpace::F64);
+        assert_eq!(db.key_space(q_p), KeySpace::Int);
+        // Ad-hoc join Q.p = P.id: under f64 keys both P rows would match.
+        let q = PjQuery {
+            nodes: vec![
+                db.catalog().table_id("Q").unwrap(),
+                db.catalog().table_id("P").unwrap(),
+            ],
+            joins: vec![JoinCond {
+                left_node: 0,
+                left_col: 0,
+                right_node: 1,
+                right_col: 0,
+            }],
+            projection: vec![(1, 0)],
+        };
+        let rows = q.execute(&db, 10).unwrap();
+        assert_eq!(rows, vec![vec![Value::Int(i64::MAX - 1)]]);
     }
 
     #[test]

@@ -62,4 +62,4 @@ pub use schema::{Catalog, ColumnDef, ColumnRef, ForeignKey, TableId, TableSchema
 pub use sql::{canonical_key, render_sql};
 pub use stats::{ColumnStats, EquiDepthHistogram, StatsStore};
 pub use table::Table;
-pub use types::{DataType, Date, Time, Value, ValueRef};
+pub use types::{DataType, Date, KeySpace, Time, Value, ValueRef};

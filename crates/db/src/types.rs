@@ -53,6 +53,45 @@ impl DataType {
     pub fn is_numeric(self) -> bool {
         matches!(self, DataType::Int | DataType::Decimal)
     }
+
+    /// The key space this type keys joins in when considered alone. The
+    /// database may demote an `Int` column to [`KeySpace::F64`] when its
+    /// FK-connected component contains a `Decimal` column (see
+    /// [`crate::Database::key_space`]).
+    pub fn native_key_space(self) -> KeySpace {
+        match self {
+            DataType::Int => KeySpace::Int,
+            DataType::Decimal => KeySpace::F64,
+            DataType::Text | DataType::Date | DataType::Time => KeySpace::Sym,
+        }
+    }
+}
+
+/// Which `u64` encoding a column's compact join keys live in.
+///
+/// Two cells join-compare equal **iff** their keys in a *common* key space
+/// are equal, so both sides of a comparison must key in the same space:
+///
+/// * [`KeySpace::Int`] — raw `i64` bit pattern. Exact over the full 64-bit
+///   range; used for `Int` columns whose FK-connected component is
+///   all-`Int` (the common case), fixing the >2⁵³ neighbor collisions of
+///   the `f64` view.
+/// * [`KeySpace::F64`] — bit pattern of the cell's `f64` numeric view
+///   (`-0.0` normalized on insert). Used whenever a `Decimal` column is
+///   reachable, so an `Int` FK can still probe a `Decimal` PK index.
+///   Exact only for |v| < 2⁵³.
+/// * [`KeySpace::Sym`] — dictionary code of the per-database interner
+///   (text/date/time columns).
+///
+/// Ad-hoc (non-FK) join conditions across components compare in the
+/// exact `Int` space whenever both *declared* types are `Int` (falling
+/// back to a filtered scan when that disagrees with the probed index's
+/// space), and in `F64` otherwise — see the executor's plan builder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KeySpace {
+    Int,
+    F64,
+    Sym,
 }
 
 impl fmt::Display for DataType {

@@ -122,6 +122,13 @@ impl UdfRegistry {
     }
 }
 
+// The scheduler's parallel validation engine evaluates UDF predicates from
+// worker threads through a shared `&UdfRegistry`. The `Send + Sync` bounds
+// on `ValueUdf`/`ColumnUdf` make that sound; prove it at the type level so
+// a future unsynchronized closure type fails to compile here.
+const fn _assert_send_sync<T: Send + Sync>() {}
+const _: () = _assert_send_sync::<UdfRegistry>();
+
 // Manual Debug/PartialEq (by registered names only) so the registry can
 // live inside constraint sets that derive both.
 impl fmt::Debug for UdfRegistry {
