@@ -61,16 +61,28 @@ fn bench_execution(c: &mut Criterion) {
     c.bench_function("pj_exists_matching_hit", |b| {
         b.iter(|| {
             let mut stats = ExecStats::default();
-            q.exists_matching(&db, &[Some(&is_cal), Some(&is_tahoe), None], &mut stats)
-                .unwrap()
+            q.exists_matching(
+                &db,
+                &[
+                    Some(prism_db::ScanPred::new(&is_cal)),
+                    Some(prism_db::ScanPred::new(&is_tahoe)),
+                    None,
+                ],
+                &mut stats,
+            )
+            .unwrap()
         })
     });
     let is_nowhere = |v: ValueRef<'_>| v == ValueRef::Text("Atlantis");
     c.bench_function("pj_exists_matching_miss_full_scan", |b| {
         b.iter(|| {
             let mut stats = ExecStats::default();
-            q.exists_matching(&db, &[Some(&is_nowhere), None, None], &mut stats)
-                .unwrap()
+            q.exists_matching(
+                &db,
+                &[Some(prism_db::ScanPred::new(&is_nowhere)), None, None],
+                &mut stats,
+            )
+            .unwrap()
         })
     });
     c.bench_function("pj_full_execution", |b| {

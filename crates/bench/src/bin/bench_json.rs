@@ -1,6 +1,7 @@
 //! Machine-readable substrate benchmark: E1/E3-style timings plus
 //! microbenchmarks of the validation hot path, appended to
-//! `BENCH_substrate.json` so the perf trajectory of the storage substrate is
+//! `BENCH_substrate.json` (and scan-layer microbenches to
+//! `BENCH_scan.json`) so the perf trajectory of the storage substrate is
 //! tracked across refactors.
 //!
 //! Usage: `cargo run --release -p prism_bench --bin bench_json -- <phase>`
@@ -51,14 +52,26 @@ fn main() {
         let is_tahoe = pred_eq_text("Lake Tahoe");
         let mut stats = ExecStats::default();
         assert!(q
-            .exists_matching(&db, &[Some(&is_cal), Some(&is_tahoe), None], &mut stats)
+            .exists_matching(
+                &db,
+                &[
+                    Some(prism_db::ScanPred::new(&is_cal)),
+                    Some(prism_db::ScanPred::new(&is_tahoe)),
+                    None,
+                ],
+                &mut stats
+            )
             .unwrap());
     });
     let exists_miss = throughput(|| {
         let nowhere = pred_eq_text("Atlantis");
         let mut stats = ExecStats::default();
         assert!(!q
-            .exists_matching(&db, &[Some(&nowhere), None, None], &mut stats)
+            .exists_matching(
+                &db,
+                &[Some(prism_db::ScanPred::new(&nowhere)), None, None],
+                &mut stats
+            )
             .unwrap());
     });
     let (nrows, full_eval) = timed(|| q.execute(&db, usize::MAX).unwrap().len());
@@ -173,6 +186,192 @@ fn main() {
     );
     append_entry("BENCH_parallel.json", &par_entry);
     println!("appended phase `{phase}` to BENCH_parallel.json:\n{par_entry}");
+
+    scan_bench(&phase);
+}
+
+/// Rows in the synthetic scan-layer tables.
+const SCAN_ROWS: i64 = 200_000;
+/// Distinct tags in the text-scan table (well above the memo warmup).
+const SCAN_TAGS: i64 = 64;
+/// Distinct keys in the join-probe table.
+const PROBE_KEYS: i64 = 20_000;
+
+/// Scan-layer microbenches (`BENCH_scan.json`): selective and unselective
+/// range scans with and without zone-map pruning, dictionary-memoized text
+/// scans against a per-row baseline, and CSR join probes against the old
+/// `HashMap<u64, Vec<u32>>` layout rebuilt by hand. "pre" re-creates the
+/// pre-refactor behavior inside the current binary, and the two sides run
+/// interleaved so machine drift hits both alike; medians of `REPS`.
+fn scan_bench(phase: &str) {
+    use prism_db::schema::ColumnDef;
+    use prism_db::types::{DataType, Value, ValueRef};
+    use prism_db::{DatabaseBuilder, PjQuery, ScanPred};
+    use std::collections::HashMap;
+
+    let mut b = DatabaseBuilder::new("scan_bench");
+    b.add_table(
+        "T",
+        vec![
+            ColumnDef::new("x", DataType::Int).not_null(),
+            ColumnDef::new("tag", DataType::Text).not_null(),
+        ],
+    )
+    .unwrap();
+    b.add_table("F", vec![ColumnDef::new("p", DataType::Int).not_null()])
+        .unwrap();
+    b.add_foreign_key("F", "p", "T", "x").unwrap();
+    for i in 0..SCAN_ROWS {
+        // x ascending (zone maps bite); tags cycle through a small dictionary.
+        b.add_row(
+            "T",
+            vec![Value::Int(i), format!("tag{:02}", i % SCAN_TAGS).into()],
+        )
+        .unwrap();
+        b.add_row("F", vec![Value::Int(i % PROBE_KEYS)]).unwrap();
+    }
+    let db = b.build();
+    let t = db.catalog().table_id("T").unwrap();
+    let scan = PjQuery {
+        nodes: vec![t],
+        joins: vec![],
+        projection: vec![(0, 0)],
+    };
+    let count = |pred: ScanPred<'_>| {
+        let mut stats = ExecStats::default();
+        let n = scan
+            .count_matching(&db, &[Some(pred)], u64::MAX, &mut stats)
+            .unwrap();
+        (n, stats)
+    };
+
+    // Selective range (~1% of rows) and unselective range (~90%).
+    let (sel_lo, sel_hi) = (100_000.0, 102_000.0);
+    let (un_lo, un_hi) = (10_000.0, 190_000.0);
+    let selective = |v: ValueRef<'_>| {
+        v.as_number()
+            .is_some_and(|x| (sel_lo..=sel_hi).contains(&x))
+    };
+    let unselective = |v: ValueRef<'_>| v.as_number().is_some_and(|x| (un_lo..=un_hi).contains(&x));
+    let mut sel_pre = Vec::new();
+    let mut sel_post = Vec::new();
+    let mut un_pre = Vec::new();
+    let mut un_post = Vec::new();
+    let mut blocks_skipped = 0u64;
+    for _ in 0..REPS {
+        let ((a, _), d) = timed(|| count(ScanPred::new(&selective)));
+        sel_pre.push(d.as_secs_f64() * 1e3);
+        let ((b_, st), d) = timed(|| count(ScanPred::new(&selective).with_range(sel_lo, sel_hi)));
+        sel_post.push(d.as_secs_f64() * 1e3);
+        assert_eq!(a, b_, "pruning changed the selective result");
+        blocks_skipped = st.blocks_skipped;
+        let ((a, _), d) = timed(|| count(ScanPred::new(&unselective)));
+        un_pre.push(d.as_secs_f64() * 1e3);
+        let ((b_, _), d) = timed(|| count(ScanPred::new(&unselective).with_range(un_lo, un_hi)));
+        un_post.push(d.as_secs_f64() * 1e3);
+        assert_eq!(a, b_, "pruning changed the unselective result");
+    }
+
+    // Text-predicate scan: a CONTAINS-style predicate (lowercases the cell,
+    // i.e. allocates per evaluation — what the constraint language does)
+    // through the memoizing executor vs the same closure applied per row,
+    // which is exactly what the engine did before dictionary pushdown. The
+    // memo pays the closure once per distinct code instead of once per row.
+    let tag_contains = |v: ValueRef<'_>| {
+        v.as_text()
+            .is_some_and(|s| s.to_lowercase().contains("ag17"))
+    };
+    let scan_tag = PjQuery {
+        nodes: vec![t],
+        joins: vec![],
+        projection: vec![(0, 1)],
+    };
+    let column = db.table(t).column(1);
+    let syms = db.symbols();
+    let mut text_pre = Vec::new();
+    let mut text_post = Vec::new();
+    for _ in 0..REPS {
+        let (a, d) = timed(|| {
+            (0..column.len())
+                .filter(|&r| tag_contains(column.value_ref(syms, r)))
+                .count() as u64
+        });
+        text_pre.push(d.as_secs_f64() * 1e3);
+        let (b_, d) = timed(|| {
+            let mut stats = ExecStats::default();
+            scan_tag
+                .count_matching(
+                    &db,
+                    &[Some(ScanPred::new(&tag_contains))],
+                    u64::MAX,
+                    &mut stats,
+                )
+                .unwrap()
+        });
+        text_post.push(d.as_secs_f64() * 1e3);
+        assert_eq!(a, b_, "memoized scan changed the text result");
+    }
+
+    // Join probes: CSR index vs the old HashMap layout rebuilt by hand.
+    let t_x = db.catalog().column_ref("T", "x").unwrap();
+    let csr = db.join_index(t_x).expect("FK endpoint indexed");
+    let x_col = db.table(t).column(0);
+    let mut hashmap: HashMap<u64, Vec<u32>> = HashMap::new();
+    for r in 0..x_col.len() {
+        if let Some(k) = db.join_key(t_x, r as u32) {
+            hashmap.entry(k).or_default().push(r as u32);
+        }
+    }
+    let mut probe_pre = Vec::new();
+    let mut probe_post = Vec::new();
+    for _ in 0..REPS {
+        let (a, d) = timed(|| {
+            let mut hits = 0usize;
+            for k in 0..SCAN_ROWS {
+                hits += hashmap.get(&(k as u64)).map(|v| v.len()).unwrap_or(0);
+            }
+            hits
+        });
+        probe_pre.push(d.as_secs_f64() * 1e3);
+        let (b_, d) = timed(|| {
+            let mut hits = 0usize;
+            for k in 0..SCAN_ROWS {
+                hits += csr.rows(k as u64).len();
+            }
+            hits
+        });
+        probe_post.push(d.as_secs_f64() * 1e3);
+        assert_eq!(a, b_, "CSR probes disagree with the HashMap layout");
+    }
+
+    let report = db.memory_report();
+    let entry = format!(
+        "{{\n    \"phase\": \"{phase}\",\n    \"rows\": {SCAN_ROWS},\n    \
+         \"block_rows\": {},\n    \"blocks_skipped_selective\": {blocks_skipped},\n    \
+         \"range_selective_pre_ms\": {:.3},\n    \"range_selective_post_ms\": {:.3},\n    \
+         \"range_selective_speedup\": {:.3},\n    \
+         \"range_unselective_pre_ms\": {:.3},\n    \"range_unselective_post_ms\": {:.3},\n    \
+         \"text_scan_per_row_ms\": {:.3},\n    \"text_scan_memo_ms\": {:.3},\n    \
+         \"text_scan_speedup\": {:.3},\n    \
+         \"join_probe_hashmap_ms\": {:.3},\n    \"join_probe_csr_ms\": {:.3},\n    \
+         \"join_probe_speedup\": {:.3},\n    \
+         \"index_bytes_csr\": {}\n  }}",
+        db.block_rows(),
+        median(&mut sel_pre),
+        median(&mut sel_post),
+        median(&mut sel_pre) / median(&mut sel_post),
+        median(&mut un_pre),
+        median(&mut un_post),
+        median(&mut text_pre),
+        median(&mut text_post),
+        median(&mut text_pre) / median(&mut text_post),
+        median(&mut probe_pre),
+        median(&mut probe_post),
+        median(&mut probe_pre) / median(&mut probe_post),
+        report.total_index_bytes(),
+    );
+    append_entry("BENCH_scan.json", &entry);
+    println!("appended phase `{phase}` to BENCH_scan.json:\n{entry}");
 }
 
 /// Median (sorts in place).

@@ -38,13 +38,18 @@ use std::time::{Duration, Instant};
 
 // Everything a validation worker touches is shared immutably; prove the
 // thread-safety of the whole read-only closure at the type level (the db
-// crate asserts the same for `Database` and its internals).
+// crate asserts the same for `Database` and its internals — including the
+// PR-4 scan structures: zone maps ride inside `Column`, CSR join indexes
+// inside `Database`, and each worker builds its own `ScanPred`s and
+// dictionary memos per validation, so nothing new is shared mutably).
 const fn _assert_send_sync<T: Send + Sync>() {}
 const _: () = {
     _assert_send_sync::<SchedCtx<'static>>();
     _assert_send_sync::<TargetConstraints>();
     _assert_send_sync::<FilterSet>();
     _assert_send_sync::<crate::filters::Filter>();
+    _assert_send_sync::<prism_db::JoinIndex>();
+    _assert_send_sync::<prism_db::BlockMeta>();
 };
 
 /// Cooperative cancellation shared by the coordinator and all workers.

@@ -129,7 +129,11 @@ pub struct ScheduleOutcome {
     pub implied_successes: u64,
     /// Filters resolved for free by failure propagation.
     pub implied_failures: u64,
-    /// Execution work across all validations.
+    /// Execution work across all validations, including the zone-map
+    /// pruning counter ([`ExecStats::blocks_skipped`]): validation
+    /// predicates carry numeric hulls derived from their constraint ASTs
+    /// (see [`crate::validate::validate_filter`]), so block-partitioned
+    /// scans skip provably-empty blocks.
     pub exec: ExecStats,
     /// True if the deadline expired before every candidate was classified.
     pub timed_out: bool,

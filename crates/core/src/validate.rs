@@ -9,8 +9,8 @@
 use crate::candidates::build_query;
 use crate::constraints::TargetConstraints;
 use crate::filters::Filter;
-use prism_db::{Database, ExecStats, PjQuery, ProjPred, ValueRef};
-use prism_lang::matches_value_ref_with;
+use prism_db::{Database, ExecStats, PjQuery, ProjPred, ScanPred, ValueRef};
+use prism_lang::{matches_value_ref_with, numeric_hull};
 
 /// A boxed per-slot predicate closure over borrowed cell views.
 type BoxedPred<'a> = Box<dyn Fn(ValueRef<'_>) -> bool + 'a>;
@@ -27,7 +27,7 @@ pub fn validate_filter(
     let sample = &constraints.samples[filter.sample];
     // One closure per projection slot (= per filter predicate). Cells reach
     // the closures as zero-copy views out of typed column storage.
-    let preds: Vec<BoxedPred<'_>> = filter
+    let preds: Vec<(BoxedPred<'_>, (f64, f64))> = filter
         .preds
         .iter()
         .map(|(target, _)| {
@@ -35,12 +35,26 @@ pub fn validate_filter(
                 .as_ref()
                 .expect("filter predicates reference constrained cells");
             let udfs = &constraints.udfs;
-            Box::new(move |v: ValueRef<'_>| matches_value_ref_with(c, v, udfs)) as BoxedPred<'_>
+            let hull = numeric_hull(c);
+            (
+                Box::new(move |v: ValueRef<'_>| matches_value_ref_with(c, v, udfs))
+                    as BoxedPred<'_>,
+                hull,
+            )
         })
         .collect();
+    // Each predicate carries its constraint's numeric hull so the executor
+    // can prune scan blocks of numeric columns against zone maps. An
+    // unbounded hull is omitted — it could never prune.
     let pred_refs: Vec<ProjPred<'_>> = preds
         .iter()
-        .map(|p| Some(p.as_ref() as &dyn Fn(ValueRef<'_>) -> bool))
+        .map(|(p, (lo, hi))| {
+            let mut sp = ScanPred::new(p.as_ref());
+            if *lo > f64::NEG_INFINITY || *hi < f64::INFINITY {
+                sp = sp.with_range(*lo, *hi);
+            }
+            Some(sp)
+        })
         .collect();
     query
         .exists_matching(db, &pred_refs, stats)

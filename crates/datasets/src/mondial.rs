@@ -554,6 +554,34 @@ mod tests {
     }
 
     #[test]
+    fn loaded_databases_freeze_zone_maps_and_audit_memory() {
+        let db = mondial(42, 2);
+        // Every loader-built column is block-partitioned at freeze...
+        for (tid, schema) in db.catalog().tables() {
+            let t = db.table(tid);
+            for c in 0..schema.arity() as u32 {
+                let col = t.column(c);
+                assert_eq!(col.block_rows(), Some(db.block_rows()), "{}", schema.name);
+                assert_eq!(
+                    col.block_meta().len(),
+                    col.len().div_ceil(db.block_rows()),
+                    "{}.{}",
+                    schema.name,
+                    schema.column(c).name
+                );
+            }
+        }
+        // ...and the memory audit covers every table and FK endpoint.
+        let report = db.memory_report();
+        assert_eq!(report.tables.len(), db.catalog().table_count());
+        assert!(!report.indexes.is_empty());
+        assert_eq!(
+            report.total_index_bytes(),
+            report.indexes.iter().map(|i| i.bytes).sum::<usize>()
+        );
+    }
+
+    #[test]
     fn lakes_have_some_nulls_for_missing_value_experiments() {
         let db = mondial(42, 2);
         let area = db.catalog().column_ref("Lake", "Area").unwrap();

@@ -27,6 +27,18 @@
 //! Hash join indexes, probe loops, and residual join checks all operate on
 //! these keys; no `Value` is hashed or cloned on the validation hot path.
 //! [`crate::Database::key_space`] records each column's assigned space.
+//!
+//! ## Block zone maps
+//!
+//! When a database freezes, every column is partitioned into fixed-size row
+//! blocks ([`crate::Database::block_rows`], `PRISM_BLOCK_ROWS`) and one
+//! [`BlockMeta`] is computed per block: min/max over the non-NULL values for
+//! `Int`/`Decimal` columns (NaN tracked separately so bit-equality key
+//! probes stay sound), and the code range plus a 64-bit code fingerprint for
+//! dictionary columns. The executor consults these through
+//! [`Column::block_may_contain_key`] / [`Column::block_may_overlap_range`]
+//! to skip whole blocks before touching a row; both tests are conservative
+//! (`false` proves the block holds no matching row, `true` proves nothing).
 
 use crate::interner::SymbolTable;
 use crate::types::{DataType, KeySpace, Value, ValueRef};
@@ -91,6 +103,33 @@ impl NullBitmap {
     }
 }
 
+/// Zone summary of one row block (see the module docs). Only non-NULL rows
+/// contribute; an all-NULL block is [`Zone::AllNull`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Zone {
+    /// Every row of the block is NULL — no key or range can match.
+    AllNull,
+    /// Min/max of the non-NULL `i64` values in the block.
+    Int { min: i64, max: i64 },
+    /// Min/max of the non-NULL, non-NaN `f64` values in the block
+    /// (`-0.0` is normalized on insert, so zero is unambiguous). `has_nan`
+    /// keeps bit-equality key probes sound: a NaN key can only match inside
+    /// a block that stored a NaN.
+    Dec { min: f64, max: f64, has_nan: bool },
+    /// Code range of the non-NULL dictionary codes in the block, plus a
+    /// 64-bit fingerprint with bit `code % 64` set per distinct code — a
+    /// one-word "is this code possibly here?" filter on top of the range.
+    Sym { min: u32, max: u32, mask: u64 },
+}
+
+/// Per-block metadata: the value zone plus a has-NULL bit (lets consumers
+/// skip the null-bitmap test inside all-non-NULL blocks).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockMeta {
+    pub has_null: bool,
+    pub zone: Zone,
+}
+
 /// One typed column: declared type, primitive data vector, null bitmap.
 /// NULL rows hold a placeholder in the data vector (0 / 0.0 / `u32::MAX`)
 /// and are flagged in the bitmap.
@@ -103,6 +142,11 @@ pub struct Column {
     /// this column's code range without a scan — e.g. for sizing per-scan
     /// predicate memo bitmaps to the column, not the whole database.
     max_sym: u32,
+    /// Zone maps, one per `block_rows`-sized block. Empty until
+    /// [`Column::freeze_blocks`] runs (the database freeze does so).
+    blocks: Vec<BlockMeta>,
+    /// Rows per block; 0 until frozen.
+    block_rows: u32,
 }
 
 /// Placeholder code stored in `Sym` columns at NULL rows.
@@ -121,6 +165,8 @@ impl Column {
             data,
             nulls: NullBitmap::default(),
             max_sym: 0,
+            blocks: Vec::new(),
+            block_rows: 0,
         }
     }
 
@@ -163,6 +209,12 @@ impl Column {
     /// Append one cell. The value must already be validated against (and
     /// widened to) this column's type — [`crate::Table::push_row`] does so.
     pub(crate) fn push(&mut self, v: Value, syms: &mut SymbolTable) {
+        if !self.blocks.is_empty() {
+            // Freeze is the last thing to happen to a column, but a mutation
+            // must never leave stale zone maps behind.
+            self.blocks.clear();
+            self.block_rows = 0;
+        }
         match (&mut self.data, v) {
             (ColumnData::Int(vec), Value::Null) => {
                 vec.push(0);
@@ -274,6 +326,152 @@ impl Column {
             _ => panic!("sym() on a numeric column"),
         }
     }
+
+    /// (Re)compute the per-block zone maps at `block_rows` rows per block.
+    /// Called once when the owning database freezes; idempotent.
+    pub(crate) fn freeze_blocks(&mut self, block_rows: usize) {
+        debug_assert!(block_rows > 0);
+        self.block_rows = block_rows as u32;
+        let n = self.len();
+        self.blocks.clear();
+        self.blocks.reserve(n.div_ceil(block_rows));
+        for start in (0..n).step_by(block_rows) {
+            let end = (start + block_rows).min(n);
+            let mut has_null = false;
+            let mut zone = Zone::AllNull;
+            for r in start..end {
+                if self.nulls.is_null(r) {
+                    has_null = true;
+                    continue;
+                }
+                zone = match (&self.data, zone) {
+                    (ColumnData::Int(v), Zone::AllNull) => Zone::Int {
+                        min: v[r],
+                        max: v[r],
+                    },
+                    (ColumnData::Int(v), Zone::Int { min, max }) => Zone::Int {
+                        min: min.min(v[r]),
+                        max: max.max(v[r]),
+                    },
+                    (ColumnData::Decimal(v), z) => {
+                        let (mut min, mut max, mut has_nan) = match z {
+                            Zone::Dec { min, max, has_nan } => (min, max, has_nan),
+                            // Empty range auto-fails every overlap test
+                            // until a finite value lands in the block.
+                            _ => (f64::INFINITY, f64::NEG_INFINITY, false),
+                        };
+                        let x = v[r];
+                        if x.is_nan() {
+                            has_nan = true;
+                        } else {
+                            min = min.min(x);
+                            max = max.max(x);
+                        }
+                        Zone::Dec { min, max, has_nan }
+                    }
+                    (ColumnData::Sym(v), Zone::AllNull) => Zone::Sym {
+                        min: v[r],
+                        max: v[r],
+                        mask: 1u64 << (v[r] % 64),
+                    },
+                    (ColumnData::Sym(v), Zone::Sym { min, max, mask }) => Zone::Sym {
+                        min: min.min(v[r]),
+                        max: max.max(v[r]),
+                        mask: mask | 1u64 << (v[r] % 64),
+                    },
+                    (_, z) => unreachable!("zone kind flipped mid-column: {z:?}"),
+                };
+            }
+            self.blocks.push(BlockMeta { has_null, zone });
+        }
+    }
+
+    /// Rows per zone-map block (`None` before the database freeze).
+    #[inline]
+    pub fn block_rows(&self) -> Option<usize> {
+        (self.block_rows > 0).then_some(self.block_rows as usize)
+    }
+
+    /// Per-block zone maps (empty before the database freeze).
+    pub fn block_meta(&self) -> &[BlockMeta] {
+        &self.blocks
+    }
+
+    /// Can any row of block `b` carry compact join key `key` in `space`?
+    /// Conservative: `false` proves absence, `true` proves nothing. Blocks
+    /// are `block_rows()` rows; `b` must be in range once frozen.
+    #[inline]
+    pub fn block_may_contain_key(&self, b: usize, key: u64, space: KeySpace) -> bool {
+        let Some(meta) = self.blocks.get(b) else {
+            return true; // not frozen: nothing provable
+        };
+        match (meta.zone, space) {
+            (Zone::AllNull, _) => false, // NULL rows never carry a key
+            (Zone::Int { min, max }, KeySpace::Int) => {
+                let k = key as i64;
+                min <= k && k <= max
+            }
+            (Zone::Int { min, max }, KeySpace::F64) => {
+                // The key is `(v as f64).to_bits()` of some i64 v. i64→f64
+                // conversion is monotone, so the f64 images of the block's
+                // values all lie in [min as f64, max as f64] — exact, no
+                // rounding margin needed.
+                let f = f64::from_bits(key);
+                (min as f64) <= f && f <= (max as f64)
+            }
+            (Zone::Dec { min, max, has_nan }, KeySpace::F64) => {
+                let f = f64::from_bits(key);
+                if f.is_nan() {
+                    // Keys compare by bit pattern, so a NaN key can match a
+                    // stored NaN; only a NaN-free block is provably clear.
+                    has_nan
+                } else {
+                    min <= f && f <= max
+                }
+            }
+            (Zone::Sym { min, max, mask }, KeySpace::Sym) => {
+                let code = key as u32;
+                min <= code && code <= max && mask >> (code % 64) & 1 == 1
+            }
+            (z, s) => unreachable!("zone {z:?} probed in space {s:?}"),
+        }
+    }
+
+    /// Can any non-NULL numeric row of block `b` lie in the closed interval
+    /// `[lo, hi]`? Conservative like [`Column::block_may_contain_key`];
+    /// always `true` for dictionary columns (ranges don't apply to codes).
+    /// NaN rows can never satisfy a range, so they are ignored here.
+    #[inline]
+    pub fn block_may_overlap_range(&self, b: usize, lo: f64, hi: f64) -> bool {
+        let Some(meta) = self.blocks.get(b) else {
+            return true;
+        };
+        match meta.zone {
+            Zone::AllNull => false,
+            // i64→f64 conversion is monotone and `lo`/`hi` are exactly
+            // representable, so `(max as f64) < lo` implies `max < lo` (and
+            // symmetrically) — the integer test needs no rounding margin.
+            Zone::Int { min, max } => !((max as f64) < lo || (min as f64) > hi),
+            Zone::Dec { min, max, .. } => !(max < lo || min > hi),
+            Zone::Sym { .. } => true,
+        }
+    }
+
+    /// Heap bytes held by this column's data vector, null bitmap, and zone
+    /// maps (content, not capacity — the auditable payload).
+    pub fn heap_bytes(&self) -> usize {
+        let data = match &self.data {
+            ColumnData::Int(v) => v.len() * std::mem::size_of::<i64>(),
+            ColumnData::Decimal(v) => v.len() * std::mem::size_of::<f64>(),
+            ColumnData::Sym(v) => v.len() * std::mem::size_of::<u32>(),
+        };
+        data + self.nulls.words.len() * 8 + self.blocks.len() * std::mem::size_of::<BlockMeta>()
+    }
+
+    /// Zone-map bytes alone (part of [`Column::heap_bytes`]).
+    pub fn zone_map_bytes(&self) -> usize {
+        self.blocks.len() * std::mem::size_of::<BlockMeta>()
+    }
 }
 
 #[cfg(test)]
@@ -358,6 +556,124 @@ mod tests {
         b.push(Value::Decimal(0.0), &mut syms);
         assert_eq!(a.join_key(0), b.join_key(0));
         assert_eq!(a.value_ref(&syms, 0), ValueRef::Decimal(0.0));
+    }
+
+    #[test]
+    fn int_zone_maps_bound_blocks_and_prune_keys_and_ranges() {
+        let mut syms = SymbolTable::new();
+        let mut c = Column::new(DataType::Int);
+        for v in [5i64, -3, 9, 100, 200, 150] {
+            c.push(Value::Int(v), &mut syms);
+        }
+        c.freeze_blocks(3);
+        assert_eq!(c.block_rows(), Some(3));
+        assert_eq!(c.block_meta().len(), 2);
+        assert_eq!(c.block_meta()[0].zone, Zone::Int { min: -3, max: 9 },);
+        // Key pruning in the Int space.
+        assert!(c.block_may_contain_key(0, 5i64 as u64, KeySpace::Int));
+        assert!(!c.block_may_contain_key(0, 100i64 as u64, KeySpace::Int));
+        assert!(c.block_may_contain_key(1, 100i64 as u64, KeySpace::Int));
+        // ...and through the f64 view.
+        assert!(c.block_may_contain_key(0, (5f64).to_bits(), KeySpace::F64));
+        assert!(!c.block_may_contain_key(0, (100f64).to_bits(), KeySpace::F64));
+        // Range pruning.
+        assert!(c.block_may_overlap_range(0, 0.0, 4.0));
+        assert!(!c.block_may_overlap_range(0, 10.0, 99.0));
+        assert!(c.block_may_overlap_range(1, 10.0, 150.0));
+    }
+
+    #[test]
+    fn all_null_blocks_prune_everything() {
+        let mut syms = SymbolTable::new();
+        let mut c = Column::new(DataType::Decimal);
+        c.push(Value::Null, &mut syms);
+        c.push(Value::Null, &mut syms);
+        c.push(Value::Decimal(7.0), &mut syms);
+        c.freeze_blocks(2);
+        assert_eq!(c.block_meta()[0].zone, Zone::AllNull);
+        assert!(c.block_meta()[0].has_null);
+        assert!(!c.block_may_contain_key(0, (7f64).to_bits(), KeySpace::F64));
+        assert!(!c.block_may_overlap_range(0, f64::NEG_INFINITY, f64::INFINITY));
+        assert!(c.block_may_contain_key(1, (7f64).to_bits(), KeySpace::F64));
+        assert!(!c.block_meta()[1].has_null);
+    }
+
+    #[test]
+    fn negative_zero_zone_covers_positive_zero_probe() {
+        let mut syms = SymbolTable::new();
+        let mut c = Column::new(DataType::Decimal);
+        // Raw -0.0 normalizes on insert, so the zone stores +0.0 and a
+        // probe key built from 0.0 bits must not be pruned.
+        c.push(Value::Decimal(-0.0), &mut syms);
+        c.freeze_blocks(4);
+        assert!(c.block_may_contain_key(0, (0f64).to_bits(), KeySpace::F64));
+        assert!(c.block_may_overlap_range(0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn int_zone_is_exact_at_i64_extremes() {
+        let mut syms = SymbolTable::new();
+        let mut c = Column::new(DataType::Int);
+        c.push(Value::Int(i64::MAX - 1), &mut syms);
+        c.freeze_blocks(4);
+        // Exact in the Int space: only the stored neighbor passes.
+        assert!(c.block_may_contain_key(0, (i64::MAX - 1) as u64, KeySpace::Int));
+        assert!(!c.block_may_contain_key(0, i64::MAX as u64, KeySpace::Int));
+        assert!(!c.block_may_contain_key(0, i64::MIN as u64, KeySpace::Int));
+    }
+
+    #[test]
+    fn sym_zone_mask_filters_absent_codes() {
+        let mut syms = SymbolTable::new();
+        let mut c = Column::new(DataType::Text);
+        for s in ["a", "b", "c"] {
+            c.push(Value::text(s), &mut syms);
+        }
+        // Intern two more codes that never enter the column.
+        let absent_in_range = syms.intern_text("z1");
+        c.push(Value::text("e"), &mut syms); // code 4 > absent_in_range? no:
+        c.freeze_blocks(8);
+        let Zone::Sym { min, max, .. } = c.block_meta()[0].zone else {
+            panic!("sym zone expected");
+        };
+        assert_eq!(min, 0);
+        // "z1" (code 3) is inside [min, max] yet absent: the mask prunes it.
+        assert!(max >= absent_in_range);
+        assert!(!c.block_may_contain_key(0, absent_in_range as u64, KeySpace::Sym));
+        assert!(c.block_may_contain_key(0, 0, KeySpace::Sym));
+        // Ranges never prune dictionary columns.
+        assert!(c.block_may_overlap_range(0, 1e9, 2e9));
+    }
+
+    #[test]
+    fn mutation_after_freeze_drops_stale_zone_maps() {
+        let mut syms = SymbolTable::new();
+        let mut c = Column::new(DataType::Int);
+        c.push(Value::Int(1), &mut syms);
+        c.freeze_blocks(4);
+        assert_eq!(c.block_meta().len(), 1);
+        c.push(Value::Int(999), &mut syms);
+        assert!(c.block_meta().is_empty());
+        assert_eq!(c.block_rows(), None);
+        // Unfrozen columns prove nothing.
+        assert!(c.block_may_contain_key(0, 12345, KeySpace::Int));
+    }
+
+    #[test]
+    fn heap_bytes_counts_data_nulls_and_zones() {
+        let mut syms = SymbolTable::new();
+        let mut c = Column::new(DataType::Int);
+        for i in 0..100 {
+            c.push(Value::Int(i), &mut syms);
+        }
+        let before = c.heap_bytes();
+        assert_eq!(before, 100 * 8 + 2 * 8); // data + 2 bitmap words
+        c.freeze_blocks(16);
+        assert_eq!(
+            c.heap_bytes() - before,
+            7 * std::mem::size_of::<BlockMeta>()
+        );
+        assert_eq!(c.zone_map_bytes(), 7 * std::mem::size_of::<BlockMeta>());
     }
 
     #[test]

@@ -14,7 +14,7 @@
 use crate::column::ColumnData;
 use crate::error::DbError;
 use crate::graph::{JoinEdge, SchemaGraph};
-use crate::index::InvertedIndex;
+use crate::index::{InvertedIndex, JoinIndex};
 use crate::interner::SymbolTable;
 use crate::schema::{Catalog, ColumnDef, ColumnRef, ForeignKey, TableId, TableSchema};
 use crate::stats::{ColumnStats, StatsStore};
@@ -39,31 +39,23 @@ impl ColumnDef {
     }
 }
 
-/// Hash join index of one column: compact join key → matching rows.
-#[derive(Debug, Default, Clone)]
-pub struct JoinIndex {
-    map: HashMap<u64, Vec<u32>>,
-}
+/// Default rows per zone-map block when neither
+/// [`DatabaseBuilder::with_block_rows`] nor `PRISM_BLOCK_ROWS` overrides it.
+pub const DEFAULT_BLOCK_ROWS: usize = 1024;
 
-impl JoinIndex {
-    /// Rows whose cell carries `key` (empty for unknown keys).
-    #[inline]
-    pub fn rows(&self, key: u64) -> &[u32] {
-        self.map.get(&key).map(|v| v.as_slice()).unwrap_or(&[])
-    }
+/// Bounds on configurable block sizes: tiny blocks drown the data in
+/// metadata, huge ones never prune.
+const MIN_BLOCK_ROWS: usize = 16;
+const MAX_BLOCK_ROWS: usize = 1 << 22;
 
-    pub fn contains_key(&self, key: u64) -> bool {
-        self.map.contains_key(&key)
-    }
-
-    /// Number of distinct keys.
-    pub fn len(&self) -> usize {
-        self.map.len()
-    }
-
-    pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
-    }
+/// Rows per block from the `PRISM_BLOCK_ROWS` environment variable,
+/// clamped to sane bounds; the default when unset or unparsable.
+fn env_block_rows() -> usize {
+    std::env::var("PRISM_BLOCK_ROWS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .map(|n| n.clamp(MIN_BLOCK_ROWS, MAX_BLOCK_ROWS))
+        .unwrap_or(DEFAULT_BLOCK_ROWS)
 }
 
 /// Incrementally assembles a [`Database`].
@@ -73,6 +65,7 @@ pub struct DatabaseBuilder {
     catalog: Catalog,
     tables: Vec<Table>,
     symbols: SymbolTable,
+    block_rows: Option<usize>,
 }
 
 impl DatabaseBuilder {
@@ -82,7 +75,17 @@ impl DatabaseBuilder {
             catalog: Catalog::new(),
             tables: Vec::new(),
             symbols: SymbolTable::new(),
+            block_rows: None,
         }
+    }
+
+    /// Override the zone-map block size for this database (rows per block,
+    /// clamped to sane bounds). Defaults to the `PRISM_BLOCK_ROWS`
+    /// environment variable, else [`DEFAULT_BLOCK_ROWS`]. Tests use this to
+    /// exercise many-block layouts without touching process environment.
+    pub fn with_block_rows(mut self, rows: usize) -> DatabaseBuilder {
+        self.block_rows = Some(rows.clamp(MIN_BLOCK_ROWS, MAX_BLOCK_ROWS));
+        self
     }
 
     /// Declare a table.
@@ -137,9 +140,17 @@ impl DatabaseBuilder {
         let DatabaseBuilder {
             name,
             catalog,
-            tables,
+            mut tables,
             symbols,
+            block_rows,
         } = self;
+
+        // Partition every column into fixed-size blocks and compute zone
+        // maps; the executor prunes against them (see `column` module docs).
+        let block_rows = block_rows.unwrap_or_else(env_block_rows);
+        for t in &mut tables {
+            t.freeze_blocks(block_rows);
+        }
 
         // Inverted index over every cell. Dictionary columns canonicalize
         // each distinct code once instead of re-normalizing per row.
@@ -224,7 +235,7 @@ impl DatabaseBuilder {
             }
         }
 
-        // Hash join indexes for every column touched by a join edge, keyed
+        // CSR join indexes for every column touched by a join edge, keyed
         // on compact join keys in the column's assigned space. NULL keys
         // are excluded: SQL equi-joins never match NULL = NULL.
         let mut join_indexes: HashMap<ColumnRef, JoinIndex> = HashMap::new();
@@ -232,14 +243,7 @@ impl DatabaseBuilder {
             for col in [fk.from, fk.to] {
                 let space = key_spaces[col.table.index()][col.column as usize];
                 join_indexes.entry(col).or_insert_with(|| {
-                    let column = tables[col.table.index()].column(col.column);
-                    let mut map: HashMap<u64, Vec<u32>> = HashMap::new();
-                    for r in 0..column.len() {
-                        if let Some(key) = column.join_key_in(r, space) {
-                            map.entry(key).or_default().push(r as u32);
-                        }
-                    }
-                    JoinIndex { map }
+                    JoinIndex::build(tables[col.table.index()].column(col.column), space)
                 });
             }
         }
@@ -254,6 +258,7 @@ impl DatabaseBuilder {
             graph,
             join_indexes,
             key_spaces,
+            block_rows,
         }
     }
 }
@@ -271,6 +276,8 @@ pub struct Database {
     join_indexes: HashMap<ColumnRef, JoinIndex>,
     /// Per-table, per-column assigned join-key space (see `build`).
     key_spaces: Vec<Vec<KeySpace>>,
+    /// Rows per zone-map block, fixed at build time.
+    block_rows: usize,
 }
 
 impl Database {
@@ -345,6 +352,143 @@ impl Database {
     pub fn value(&self, col: ColumnRef, row: u32) -> Value {
         self.value_ref(col, row).to_value()
     }
+
+    /// Rows per zone-map block, fixed when the database was built
+    /// (`PRISM_BLOCK_ROWS` / [`DatabaseBuilder::with_block_rows`]).
+    pub fn block_rows(&self) -> usize {
+        self.block_rows
+    }
+
+    /// Audit the frozen database's memory: per-table column bytes (data
+    /// vectors + null bitmaps + zone maps) and per-join-index bytes. CSR
+    /// made the index side exact — three flat arrays plus the probe header,
+    /// no per-key allocations to estimate.
+    pub fn memory_report(&self) -> MemoryReport {
+        let tables = self
+            .catalog
+            .tables()
+            .map(|(tid, schema)| {
+                let t = &self.tables[tid.index()];
+                TableMemory {
+                    table: schema.name.clone(),
+                    rows: t.row_count(),
+                    column_bytes: t.column_bytes(),
+                    zone_map_bytes: t.zone_map_bytes(),
+                }
+            })
+            .collect();
+        let mut indexes: Vec<JoinIndexMemory> = self
+            .join_indexes
+            .iter()
+            .map(|(&col, ix)| JoinIndexMemory {
+                table: self.catalog.table(col.table).name.clone(),
+                column: self
+                    .catalog
+                    .table(col.table)
+                    .column(col.column)
+                    .name
+                    .clone(),
+                distinct_keys: ix.len(),
+                indexed_rows: ix.indexed_rows(),
+                bytes: ix.heap_bytes(),
+            })
+            .collect();
+        indexes.sort_by(|a, b| (&a.table, &a.column).cmp(&(&b.table, &b.column)));
+        MemoryReport {
+            block_rows: self.block_rows,
+            tables,
+            indexes,
+            interner_bytes: self.symbols.heap_bytes(),
+            stats_bytes: self.stats.heap_bytes(),
+        }
+    }
+}
+
+/// Memory audit of one table's column storage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableMemory {
+    pub table: String,
+    pub rows: usize,
+    /// Data vectors + null bitmaps + zone maps.
+    pub column_bytes: usize,
+    /// Zone-map share of `column_bytes`.
+    pub zone_map_bytes: usize,
+}
+
+/// Memory audit of one CSR join index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinIndexMemory {
+    pub table: String,
+    pub column: String,
+    pub distinct_keys: usize,
+    pub indexed_rows: usize,
+    /// Exact heap bytes of the keys/offsets/rows arrays and probe header.
+    pub bytes: usize,
+}
+
+/// The result of [`Database::memory_report`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryReport {
+    pub block_rows: usize,
+    pub tables: Vec<TableMemory>,
+    pub indexes: Vec<JoinIndexMemory>,
+    /// Approximate dictionary (interner) bytes, shared by every table.
+    pub interner_bytes: usize,
+    /// Approximate per-column statistics bytes.
+    pub stats_bytes: usize,
+}
+
+impl MemoryReport {
+    /// Column bytes summed over all tables.
+    pub fn total_column_bytes(&self) -> usize {
+        self.tables.iter().map(|t| t.column_bytes).sum()
+    }
+
+    /// Join-index bytes summed over all indexed columns.
+    pub fn total_index_bytes(&self) -> usize {
+        self.indexes.iter().map(|i| i.bytes).sum()
+    }
+}
+
+impl std::fmt::Display for MemoryReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "columns: {} B across {} tables (zone maps {} B @ {} rows/block)",
+            self.total_column_bytes(),
+            self.tables.len(),
+            self.tables.iter().map(|t| t.zone_map_bytes).sum::<usize>(),
+            self.block_rows,
+        )?;
+        for t in &self.tables {
+            writeln!(
+                f,
+                "  {:<16} {:>8} rows  {:>10} B",
+                t.table, t.rows, t.column_bytes
+            )?;
+        }
+        writeln!(
+            f,
+            "join indexes: {} B across {} columns (CSR)",
+            self.total_index_bytes(),
+            self.indexes.len(),
+        )?;
+        for i in &self.indexes {
+            writeln!(
+                f,
+                "  {:<16} {:>8} keys  {:>10} B  ({} rows)",
+                format!("{}.{}", i.table, i.column),
+                i.distinct_keys,
+                i.bytes,
+                i.indexed_rows,
+            )?;
+        }
+        writeln!(
+            f,
+            "interner: ~{} B, column stats: ~{} B",
+            self.interner_bytes, self.stats_bytes
+        )
+    }
 }
 
 /// The scheduler's parallel validation engine shares the frozen database
@@ -359,7 +503,9 @@ const _: () = {
     _assert_send_sync::<InvertedIndex>();
     _assert_send_sync::<StatsStore>();
     _assert_send_sync::<crate::column::Column>();
+    _assert_send_sync::<crate::column::BlockMeta>();
     _assert_send_sync::<crate::exec::ExecStats>();
+    _assert_send_sync::<MemoryReport>();
 };
 
 #[cfg(test)]
@@ -536,6 +682,59 @@ pub(crate) mod tests {
         let f_p = db.catalog().column_ref("F", "p").unwrap();
         let ix = db.join_index(p_id).unwrap();
         assert_eq!(ix.rows(db.join_key(f_p, 0).unwrap()), &[0]);
+    }
+
+    #[test]
+    fn build_freezes_zone_maps_at_the_configured_block_size() {
+        let mut b = DatabaseBuilder::new("blocks").with_block_rows(16);
+        b.add_table("T", vec![ColumnDef::new("x", DataType::Int)])
+            .unwrap();
+        for i in 0..100 {
+            b.add_row("T", vec![Value::Int(i)]).unwrap();
+        }
+        let db = b.build();
+        assert_eq!(db.block_rows(), 16);
+        let col = db.table(db.catalog().table_id("T").unwrap()).column(0);
+        assert_eq!(col.block_rows(), Some(16));
+        assert_eq!(col.block_meta().len(), 7);
+        // Block 0 holds 0..=15, so key 50 is provably absent from it.
+        assert!(!col.block_may_contain_key(0, 50i64 as u64, KeySpace::Int));
+        assert!(col.block_may_contain_key(3, 50i64 as u64, KeySpace::Int));
+    }
+
+    #[test]
+    fn tiny_block_size_requests_are_clamped() {
+        let mut b = DatabaseBuilder::new("clamp").with_block_rows(1);
+        b.add_table("T", vec![ColumnDef::new("x", DataType::Int)])
+            .unwrap();
+        b.add_row("T", vec![Value::Int(1)]).unwrap();
+        assert_eq!(b.build().block_rows(), 16);
+    }
+
+    #[test]
+    fn memory_report_audits_columns_and_csr_indexes() {
+        let db = lakes_db();
+        let report = db.memory_report();
+        assert_eq!(report.tables.len(), 2);
+        assert_eq!(report.indexes.len(), 2, "both FK endpoints indexed");
+        assert!(report.total_column_bytes() > 0);
+        assert!(report.total_index_bytes() > 0);
+        // The CSR accounting is exact: recompute one index by hand.
+        let name = db.catalog().column_ref("Lake", "Name").unwrap();
+        let ji = db.join_index(name).unwrap();
+        let line = report
+            .indexes
+            .iter()
+            .find(|i| i.table == "Lake" && i.column == "Name")
+            .expect("Lake.Name audited");
+        assert_eq!(line.bytes, ji.heap_bytes());
+        assert_eq!(line.distinct_keys, ji.len());
+        assert_eq!(line.indexed_rows, 4);
+        // Zone maps are part of the column bytes and the display renders.
+        assert!(report.tables.iter().all(|t| t.zone_map_bytes > 0));
+        let rendered = report.to_string();
+        assert!(rendered.contains("join indexes"));
+        assert!(rendered.contains("geo_lake.Lake"));
     }
 
     #[test]

@@ -22,14 +22,70 @@
 //! [`crate::column::Column::join_key`], and predicates receive zero-copy
 //! [`ValueRef`] views. Owned `Value`s appear only at the projection
 //! boundary ([`PjQuery::execute`]).
+//!
+//! ## Block pruning and dictionary memoization
+//!
+//! Scans are block-partitioned (see the `column` module docs): before a
+//! start-node scan or a key-filtered scan touches a row, the block's zone
+//! map is tested against the probe key and against any [`ScanPred`] numeric
+//! range hints, and provably-empty blocks are skipped wholesale
+//! ([`ExecStats::blocks_skipped`]). Predicates on dictionary-encoded
+//! columns (text/date/time) are evaluated once per distinct symbol code: a
+//! per-slot verdict bitmap is shared by *every* path that tests the
+//! predicate — full scans, key-filtered scans, and index-probed rows alike.
 
+use crate::column::{Column, ColumnData};
 use crate::database::Database;
 use crate::error::DbError;
-use crate::types::{Value, ValueRef};
+use crate::types::{KeySpace, Value, ValueRef};
 
-/// Optional predicate applied to one projection slot. Predicates see
-/// borrowed cell views; no text is cloned to evaluate them.
-pub type ProjPred<'a> = Option<&'a (dyn Fn(ValueRef<'_>) -> bool + 'a)>;
+/// One projection-slot predicate of a scan: the test closure plus optional
+/// structural hints the executor can push below the row loop. Predicates
+/// see borrowed cell views; no text is cloned to evaluate them.
+#[derive(Clone, Copy)]
+pub struct ScanPred<'a> {
+    test: &'a (dyn Fn(ValueRef<'_>) -> bool + 'a),
+    range: Option<(f64, f64)>,
+}
+
+impl<'a> ScanPred<'a> {
+    /// A predicate with no structural hints (never prunes, always sound).
+    pub fn new(test: &'a (dyn Fn(ValueRef<'_>) -> bool + 'a)) -> ScanPred<'a> {
+        ScanPred { test, range: None }
+    }
+
+    /// Attach a numeric hull: the caller asserts that a non-NULL **numeric**
+    /// cell can satisfy the predicate only if its value lies in the closed
+    /// interval `[lo, hi]` (`lo > hi` asserts no numeric cell can). The
+    /// executor prunes whole blocks of `Int`/`Decimal` columns against zone
+    /// maps with it; the hint carries no meaning on other column types.
+    pub fn with_range(mut self, lo: f64, hi: f64) -> ScanPred<'a> {
+        self.range = Some((lo, hi));
+        self
+    }
+
+    /// Evaluate the predicate on one cell view.
+    #[inline]
+    pub fn matches(&self, v: ValueRef<'_>) -> bool {
+        (self.test)(v)
+    }
+
+    /// The numeric hull hint, if any.
+    pub fn range(&self) -> Option<(f64, f64)> {
+        self.range
+    }
+}
+
+impl std::fmt::Debug for ScanPred<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScanPred")
+            .field("range", &self.range)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Optional predicate applied to one projection slot.
+pub type ProjPred<'a> = Option<ScanPred<'a>>;
 
 /// Callback receiving each result row as borrowed views; return `false` to
 /// stop enumeration.
@@ -45,6 +101,8 @@ pub struct ExecStats {
     pub index_probes: u64,
     /// Result rows produced (existence checks stop at 1).
     pub rows_emitted: u64,
+    /// Whole blocks skipped by zone-map pruning before any row was touched.
+    pub blocks_skipped: u64,
 }
 
 impl ExecStats {
@@ -55,6 +113,7 @@ impl ExecStats {
         self.rows_examined += other.rows_examined;
         self.index_probes += other.index_probes;
         self.rows_emitted += other.rows_emitted;
+        self.blocks_skipped += other.blocks_skipped;
     }
 
     pub fn add(&mut self, other: &ExecStats) {
@@ -194,8 +253,19 @@ impl PjQuery {
             )));
         }
         let plan = Plan::build(self, db, preds);
-        let mut assignment: Vec<u32> = vec![0; self.nodes.len()];
-        search(db, self, &plan, 0, &mut assignment, stats, cb, preds)?;
+        let search = Search {
+            db,
+            q: self,
+            plan: &plan,
+            preds,
+        };
+        let mut st = SearchState {
+            assignment: vec![0; self.nodes.len()],
+            memos: SlotMemo::for_query(self, db, preds),
+            stats,
+            cb,
+        };
+        search.run(0, &mut st)?;
         Ok(())
     }
 
@@ -373,184 +443,224 @@ impl Plan {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn search(
-    db: &Database,
-    q: &PjQuery,
-    plan: &Plan,
-    depth: usize,
-    assignment: &mut Vec<u32>,
-    stats: &mut ExecStats,
-    cb: RowCallback<'_>,
-    preds: &[ProjPred<'_>],
-) -> Result<bool, DbError> {
-    if depth == plan.order.len() {
-        stats.rows_emitted += 1;
-        let row: Vec<ValueRef<'_>> = q
-            .projection
-            .iter()
-            .map(|&(node, col)| {
-                db.value_ref(
-                    crate::schema::ColumnRef::new(q.nodes[node], col),
-                    assignment[node],
-                )
-            })
-            .collect();
-        return Ok(cb(&row));
-    }
-    let node = plan.order[depth];
-    let tid = q.nodes[node];
-    let table = db.table(tid);
-    let syms = db.symbols();
+/// The shared (immutable) context of one query run.
+struct Search<'a> {
+    db: &'a Database,
+    q: &'a PjQuery,
+    plan: &'a Plan,
+    preds: &'a [ProjPred<'a>],
+}
 
-    // Candidate rows for this node: compact join keys only, no `Value`.
-    let candidates: CandidateRows = match &plan.link[depth] {
-        None => CandidateRows::Scan(table.row_count() as u32),
-        Some(link) => {
-            let parent_key = db
-                .table(q.nodes[link.parent_node])
-                .column(link.parent_col)
-                .join_key_in(assignment[link.parent_node] as usize, link.pair_space);
-            let Some(pk) = parent_key else {
-                return Ok(true); // NULL never equi-joins
-            };
-            let col_ref = crate::schema::ColumnRef::new(tid, link.my_col);
-            stats.index_probes += 1;
-            match db.join_index(col_ref) {
-                Some(ix) if link.index_usable => CandidateRows::List(ix.rows(pk)),
-                _ => CandidateRows::FilteredScan(
-                    table.row_count() as u32,
-                    link.my_col,
-                    pk,
-                    link.pair_space,
-                ),
+/// The mutable state threaded through the backtracking recursion.
+struct SearchState<'cb, 'st> {
+    assignment: Vec<u32>,
+    /// Per-projection-slot dictionary verdict memos, shared by every path
+    /// that evaluates the slot's predicate during this run.
+    memos: Vec<SlotMemo>,
+    stats: &'st mut ExecStats,
+    cb: RowCallback<'cb>,
+}
+
+impl Search<'_> {
+    /// Extend the partial assignment at `depth`. Returns `false` when the
+    /// callback asked to stop enumeration.
+    fn run(&self, depth: usize, st: &mut SearchState<'_, '_>) -> Result<bool, DbError> {
+        if depth == self.plan.order.len() {
+            st.stats.rows_emitted += 1;
+            let row: Vec<ValueRef<'_>> = self
+                .q
+                .projection
+                .iter()
+                .map(|&(node, col)| {
+                    self.db.value_ref(
+                        crate::schema::ColumnRef::new(self.q.nodes[node], col),
+                        st.assignment[node],
+                    )
+                })
+                .collect();
+            return Ok((st.cb)(&row));
+        }
+        let node = self.plan.order[depth];
+        let tid = self.q.nodes[node];
+        let table = self.db.table(tid);
+
+        // Candidate rows for this node: compact join keys only, no `Value`.
+        let candidates: CandidateRows = match &self.plan.link[depth] {
+            None => CandidateRows::Scan(table.row_count() as u32),
+            Some(link) => {
+                let parent_key = self
+                    .db
+                    .table(self.q.nodes[link.parent_node])
+                    .column(link.parent_col)
+                    .join_key_in(st.assignment[link.parent_node] as usize, link.pair_space);
+                let Some(pk) = parent_key else {
+                    return Ok(true); // NULL never equi-joins
+                };
+                let col_ref = crate::schema::ColumnRef::new(tid, link.my_col);
+                st.stats.index_probes += 1;
+                match self.db.join_index(col_ref) {
+                    Some(ix) if link.index_usable => CandidateRows::List(ix.rows(pk)),
+                    _ => CandidateRows::FilteredScan(
+                        table.row_count() as u32,
+                        link.my_col,
+                        pk,
+                        link.pair_space,
+                    ),
+                }
+            }
+        };
+
+        match candidates {
+            CandidateRows::Scan(n) => {
+                let pruners = self.range_pruners(node, table);
+                self.scan_blocks(n, &pruners, st, |s, row, st| {
+                    s.try_row(depth, node, row, st)
+                })
+            }
+            // Index-probed rows carry no pruners: the probe already keyed
+            // the exact rows, and building pruners here would cost an
+            // allocation per surviving parent row.
+            CandidateRows::List(rows) => {
+                for &row in rows {
+                    if !self.try_row(depth, node, row, st)? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            CandidateRows::FilteredScan(n, col, pk, space) => {
+                let column = table.column(col);
+                let mut pruners = self.range_pruners(node, table);
+                pruners.push(Pruner {
+                    col: column,
+                    kind: PrunerKind::Key(pk, space),
+                });
+                self.scan_blocks(n, &pruners, st, |s, row, st| {
+                    if column.join_key_in(row as usize, space) != Some(pk) {
+                        // Key-rejected rows are counted here; key-matching
+                        // rows are counted once inside try_row.
+                        st.stats.rows_examined += 1;
+                        return Ok(true);
+                    }
+                    s.try_row(depth, node, row, st)
+                })
             }
         }
-    };
+    }
 
-    // `check_preds = false` skips the local-predicate loop — the
-    // dictionary-memoized scan below has already applied it.
-    let mut try_row = |row: u32,
-                       assignment: &mut Vec<u32>,
-                       stats: &mut ExecStats,
-                       check_preds: bool|
-     -> Result<bool, DbError> {
-        if check_preds {
-            // (The memoized scan counts and filters its rows itself.)
-            stats.rows_examined += 1;
-            // Local predicates, on zero-copy cell views.
-            for &(col, slot) in &plan.local_preds[node] {
-                let pred = preds[slot].expect("local_preds only lists Some preds");
-                if !pred(table.value_ref(syms, row, col)) {
-                    return Ok(true); // reject row, continue search
+    /// Zone-map pruners from `node`'s range-hinted local predicates on
+    /// numeric columns (hulls carry no meaning elsewhere).
+    fn range_pruners<'t>(&self, node: usize, table: &'t crate::table::Table) -> Vec<Pruner<'t>> {
+        let mut pruners: Vec<Pruner<'t>> = Vec::new();
+        for &(col, slot) in &self.plan.local_preds[node] {
+            let pred = self.preds[slot].expect("local_preds only lists Some preds");
+            if let Some((lo, hi)) = pred.range() {
+                let column = table.column(col);
+                if matches!(column.data(), ColumnData::Int(_) | ColumnData::Decimal(_)) {
+                    pruners.push(Pruner {
+                        col: column,
+                        kind: PrunerKind::Range(lo, hi),
+                    });
                 }
             }
         }
-        assignment[node] = row;
+        pruners
+    }
+
+    /// Drive `per_row` over `0..n`, skipping whole blocks every pruner
+    /// proves empty. With no pruners (or an unfrozen column) this is one
+    /// plain loop — no per-block overhead.
+    fn scan_blocks(
+        &self,
+        n: u32,
+        pruners: &[Pruner<'_>],
+        st: &mut SearchState<'_, '_>,
+        mut per_row: impl FnMut(&Self, u32, &mut SearchState<'_, '_>) -> Result<bool, DbError>,
+    ) -> Result<bool, DbError> {
+        let block_rows = pruners.iter().find_map(|p| p.col.block_rows());
+        let Some(bs) = block_rows else {
+            for row in 0..n {
+                if !per_row(self, row, st)? {
+                    return Ok(false);
+                }
+            }
+            return Ok(true);
+        };
+        let bs = bs as u32;
+        for start in (0..n).step_by(bs as usize) {
+            let block = (start / bs) as usize;
+            if pruners.iter().any(|p| !p.admits(block)) {
+                st.stats.blocks_skipped += 1;
+                continue;
+            }
+            for row in start..(start + bs).min(n) {
+                if !per_row(self, row, st)? {
+                    return Ok(false);
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    /// Test one candidate row of `node`: local predicates (through the
+    /// shared dictionary memos), then residual join checks, then recurse.
+    /// `Ok(true)` means "keep searching" whether or not the row survived.
+    fn try_row(
+        &self,
+        depth: usize,
+        node: usize,
+        row: u32,
+        st: &mut SearchState<'_, '_>,
+    ) -> Result<bool, DbError> {
+        st.stats.rows_examined += 1;
+        let table = self.db.table(self.q.nodes[node]);
+        let syms = self.db.symbols();
+        // Local predicates, on zero-copy cell views. Dictionary columns go
+        // through the slot's verdict memo: one evaluation per distinct code
+        // across every scan/probe path of this run.
+        for &(col, slot) in &self.plan.local_preds[node] {
+            let pred = self.preds[slot].expect("local_preds only lists Some preds");
+            let column = table.column(col);
+            let memo = &mut st.memos[slot];
+            let ok = match column.data() {
+                ColumnData::Sym(codes) if memo.eligible => {
+                    if column.is_null(row as usize) {
+                        *memo
+                            .null_verdict
+                            .get_or_insert_with(|| pred.matches(ValueRef::Null))
+                    } else {
+                        let code = codes[row as usize];
+                        memo.check(code, || pred.matches(column.value_ref(syms, row as usize)))
+                    }
+                }
+                _ => pred.matches(column.value_ref(syms, row as usize)),
+            };
+            if !ok {
+                return Ok(true); // reject row, continue search
+            }
+        }
+        st.assignment[node] = row;
         // Residual (cycle-closing) join checks at this depth, on compact
         // keys in the pair's common space (NULL keys never match, matching
         // equi-join semantics).
-        for (j, pair_space) in &plan.residual_at[depth] {
-            let l = db
-                .table(q.nodes[j.left_node])
+        for (j, pair_space) in &self.plan.residual_at[depth] {
+            let l = self
+                .db
+                .table(self.q.nodes[j.left_node])
                 .column(j.left_col)
-                .join_key_in(assignment[j.left_node] as usize, *pair_space);
-            let r = db
-                .table(q.nodes[j.right_node])
+                .join_key_in(st.assignment[j.left_node] as usize, *pair_space);
+            let r = self
+                .db
+                .table(self.q.nodes[j.right_node])
                 .column(j.right_col)
-                .join_key_in(assignment[j.right_node] as usize, *pair_space);
+                .join_key_in(st.assignment[j.right_node] as usize, *pair_space);
             match (l, r) {
                 (Some(lk), Some(rk)) if lk == rk => {}
                 _ => return Ok(true),
             }
         }
-        search(db, q, plan, depth + 1, assignment, stats, cb, preds)
-    };
-
-    match candidates {
-        CandidateRows::Scan(n) => {
-            // Dictionary-aware predicate pushdown: a full scan whose single
-            // local predicate sits on a text column evaluates the predicate
-            // once per distinct symbol code — a predicate is a pure function
-            // of the cell, and equal cells share a code. The first
-            // `MEMO_WARMUP` rows evaluate directly so early-exit existence
-            // hits never pay for the memo bitmaps.
-            let memo_target = match plan.local_preds[node][..] {
-                [(col, slot)]
-                    if n as usize > MEMO_WARMUP
-                        && table.column(col).dtype() == crate::types::DataType::Text
-                        // Only memoize when the bitmaps are small relative
-                        // to the scan; otherwise direct evaluation wins.
-                        && (table.column(col).max_sym_code() as usize + 1).div_ceil(64) * 2
-                            <= n as usize =>
-                {
-                    Some((col, slot))
-                }
-                _ => None,
-            };
-            if let Some((col, slot)) = memo_target {
-                let column = table.column(col);
-                let crate::column::ColumnData::Sym(codes) = column.data() else {
-                    unreachable!("text columns are dictionary-encoded");
-                };
-                let pred = preds[slot].expect("local_preds only lists Some preds");
-                let mut row = 0u32;
-                while row < n.min(MEMO_WARMUP as u32) {
-                    if !try_row(row, assignment, stats, true)? {
-                        return Ok(false);
-                    }
-                    row += 1;
-                }
-                if row < n {
-                    // Bitmaps span the column's own code range (not the
-                    // whole dictionary), so sparse columns in huge
-                    // databases stay cheap to memoize.
-                    let mut memo = PredMemo::new(column.max_sym_code() as usize + 1);
-                    let mut null_verdict: Option<bool> = None;
-                    while row < n {
-                        stats.rows_examined += 1;
-                        let r = row as usize;
-                        let ok = if column.is_null(r) {
-                            *null_verdict.get_or_insert_with(|| pred(ValueRef::Null))
-                        } else {
-                            let code = codes[r];
-                            memo.check(code, || pred(ValueRef::Text(syms.text(code))))
-                        };
-                        if ok && !try_row(row, assignment, stats, false)? {
-                            return Ok(false);
-                        }
-                        row += 1;
-                    }
-                }
-            } else {
-                for row in 0..n {
-                    if !try_row(row, assignment, stats, true)? {
-                        return Ok(false);
-                    }
-                }
-            }
-        }
-        CandidateRows::List(rows) => {
-            for &row in rows {
-                if !try_row(row, assignment, stats, true)? {
-                    return Ok(false);
-                }
-            }
-        }
-        CandidateRows::FilteredScan(n, col, pk, space) => {
-            let column = table.column(col);
-            for row in 0..n {
-                stats.rows_examined += 1;
-                if column.join_key_in(row as usize, space) != Some(pk) {
-                    continue;
-                }
-                if !try_row(row, assignment, stats, true)? {
-                    return Ok(false);
-                }
-            }
-        }
+        self.run(depth + 1, st)
     }
-    Ok(true)
 }
 
 enum CandidateRows<'a> {
@@ -560,15 +670,103 @@ enum CandidateRows<'a> {
     List(&'a [u32]),
     /// No usable join index: scan comparing compact join keys (in the
     /// pair's common space) against the parent's.
-    FilteredScan(u32, u32, u64, crate::types::KeySpace),
+    FilteredScan(u32, u32, u64, KeySpace),
 }
 
-/// Rows evaluated directly before a memoized scan engages; early-exit hits
-/// stay allocation-free.
-const MEMO_WARMUP: usize = 32;
+/// One zone-map test applied per block of a scan.
+struct Pruner<'t> {
+    col: &'t Column,
+    kind: PrunerKind,
+}
 
-/// Per-symbol predicate verdict cache for one scan: one bit records whether
-/// a text code has been evaluated, one bit the verdict.
+enum PrunerKind {
+    /// The block must possibly contain this compact join key.
+    Key(u64, KeySpace),
+    /// The block must possibly intersect this closed numeric interval.
+    Range(f64, f64),
+}
+
+impl Pruner<'_> {
+    #[inline]
+    fn admits(&self, block: usize) -> bool {
+        match self.kind {
+            PrunerKind::Key(k, space) => self.col.block_may_contain_key(block, k, space),
+            PrunerKind::Range(lo, hi) => self.col.block_may_overlap_range(block, lo, hi),
+        }
+    }
+}
+
+/// Rows evaluated directly before a slot's memo bitmaps are allocated;
+/// early-exit existence hits stay allocation-free.
+const MEMO_WARMUP: u32 = 32;
+
+/// Dictionary-code verdict memo of one projection slot for one query run.
+/// A predicate is a pure function of the cell and equal cells share a code,
+/// so the verdict is computed once per distinct code — no matter which scan
+/// or probe path encounters the row.
+struct SlotMemo {
+    /// Slot predicate sits on a dictionary column whose code range is small
+    /// enough for the bitmaps to pay off.
+    eligible: bool,
+    /// Bitmap size when allocated: the column's own code range, not the
+    /// whole dictionary, so sparse columns in huge databases stay cheap.
+    code_range: usize,
+    evals: u32,
+    null_verdict: Option<bool>,
+    memo: Option<PredMemo>,
+}
+
+impl SlotMemo {
+    /// Build one memo per projection slot (disabled for slots without a
+    /// predicate or on non-dictionary columns). The query has already been
+    /// validated, so slot/column indexing is in range.
+    fn for_query(q: &PjQuery, db: &Database, preds: &[ProjPred<'_>]) -> Vec<SlotMemo> {
+        q.projection
+            .iter()
+            .enumerate()
+            .map(|(slot, &(node, col))| {
+                let mut m = SlotMemo {
+                    eligible: false,
+                    code_range: 0,
+                    evals: 0,
+                    null_verdict: None,
+                    memo: None,
+                };
+                if preds.get(slot).copied().flatten().is_none() {
+                    return m;
+                }
+                let column = db.table(q.nodes[node]).column(col);
+                if matches!(column.data(), ColumnData::Sym(_)) {
+                    m.code_range = column.max_sym_code() as usize + 1;
+                    // Memoize only when the two bitmaps are small relative
+                    // to the column; otherwise direct evaluation wins.
+                    m.eligible = m.code_range.div_ceil(64) * 2 <= column.len();
+                }
+                m
+            })
+            .collect()
+    }
+
+    /// The predicate's verdict for `code`, evaluating at most once per code.
+    /// The first [`MEMO_WARMUP`] calls evaluate directly so short-lived runs
+    /// never allocate the bitmaps.
+    #[inline]
+    fn check(&mut self, code: u32, eval: impl FnOnce() -> bool) -> bool {
+        if let Some(memo) = &mut self.memo {
+            return memo.check(code, eval);
+        }
+        self.evals += 1;
+        if self.evals <= MEMO_WARMUP {
+            return eval();
+        }
+        self.memo
+            .insert(PredMemo::new(self.code_range))
+            .check(code, eval)
+    }
+}
+
+/// Per-symbol predicate verdict cache: one bit records whether a code has
+/// been evaluated, one bit the verdict.
 struct PredMemo {
     evaluated: Vec<u64>,
     verdict: Vec<u64>,
@@ -654,7 +852,15 @@ mod tests {
         let is_tahoe = |v: ValueRef<'_>| v == ValueRef::Text("Lake Tahoe");
         let mut stats = ExecStats::default();
         let found = q
-            .exists_matching(&db, &[Some(&is_cal), Some(&is_tahoe), None], &mut stats)
+            .exists_matching(
+                &db,
+                &[
+                    Some(ScanPred::new(&is_cal)),
+                    Some(ScanPred::new(&is_tahoe)),
+                    None,
+                ],
+                &mut stats,
+            )
             .unwrap();
         assert!(found);
         assert!(stats.rows_emitted >= 1);
@@ -669,7 +875,15 @@ mod tests {
         let is_crater = |v: ValueRef<'_>| v == ValueRef::Text("Crater Lake");
         let mut stats = ExecStats::default();
         let found = q
-            .exists_matching(&db, &[Some(&is_cal), Some(&is_crater), None], &mut stats)
+            .exists_matching(
+                &db,
+                &[
+                    Some(ScanPred::new(&is_cal)),
+                    Some(ScanPred::new(&is_crater)),
+                    None,
+                ],
+                &mut stats,
+            )
             .unwrap();
         assert!(!found);
     }
@@ -682,8 +896,9 @@ mod tests {
         q.count_matching(&db, &[], u64::MAX, &mut full).unwrap();
         let mut early = ExecStats::default();
         let t = |_: ValueRef<'_>| true;
+        let p = || Some(ScanPred::new(&t));
         assert!(q
-            .exists_matching(&db, &[Some(&t), Some(&t), Some(&t)], &mut early)
+            .exists_matching(&db, &[p(), p(), p()], &mut early)
             .unwrap());
         assert!(early.rows_emitted == 1);
         assert!(early.rows_examined <= full.rows_examined);
@@ -820,7 +1035,7 @@ mod tests {
         let q = lakes_query();
         let t = |_: ValueRef<'_>| true;
         let mut stats = ExecStats::default();
-        let err = q.exists_matching(&db, &[Some(&t)], &mut stats);
+        let err = q.exists_matching(&db, &[Some(ScanPred::new(&t))], &mut stats);
         assert!(err.is_err());
     }
 
@@ -891,15 +1106,184 @@ mod tests {
             rows_examined: 1,
             index_probes: 2,
             rows_emitted: 3,
+            blocks_skipped: 4,
         };
         let b = ExecStats {
             rows_examined: 10,
             index_probes: 20,
             rows_emitted: 30,
+            blocks_skipped: 40,
         };
         a.add(&b);
         assert_eq!(a.rows_examined, 11);
         assert_eq!(a.index_probes, 22);
         assert_eq!(a.rows_emitted, 33);
+        assert_eq!(a.blocks_skipped, 44);
+    }
+
+    /// A selective range predicate with a hull hint skips whole blocks via
+    /// zone maps, and the pruned scan returns exactly the unpruned rows.
+    #[test]
+    fn range_hint_prunes_blocks_without_changing_results() {
+        let mut b = DatabaseBuilder::new("zones").with_block_rows(16);
+        b.add_table("T", vec![ColumnDef::new("x", DataType::Int)])
+            .unwrap();
+        for i in 0..256 {
+            b.add_row("T", vec![Value::Int(i)]).unwrap();
+        }
+        let db = b.build();
+        let q = PjQuery {
+            nodes: vec![db.catalog().table_id("T").unwrap()],
+            joins: vec![],
+            projection: vec![(0, 0)],
+        };
+        let in_range =
+            |v: ValueRef<'_>| v.as_number().is_some_and(|x| (100.0..=110.0).contains(&x));
+        let mut hinted = ExecStats::default();
+        let got = {
+            let mut rows = Vec::new();
+            q.for_each_row(
+                &db,
+                &[Some(ScanPred::new(&in_range).with_range(100.0, 110.0))],
+                &mut hinted,
+                &mut |r| {
+                    rows.push(r[0].to_value());
+                    true
+                },
+            )
+            .unwrap();
+            rows
+        };
+        let mut unhinted = ExecStats::default();
+        let want = {
+            let mut rows = Vec::new();
+            q.for_each_row(
+                &db,
+                &[Some(ScanPred::new(&in_range))],
+                &mut unhinted,
+                &mut |r| {
+                    rows.push(r[0].to_value());
+                    true
+                },
+            )
+            .unwrap();
+            rows
+        };
+        assert_eq!(got, want);
+        assert_eq!(got.len(), 11);
+        // 256 rows / 16 = 16 blocks; the hull [100, 110] sits entirely in
+        // block 6 (rows 96..112), so the other 15 are skipped.
+        assert_eq!(hinted.blocks_skipped, 15);
+        assert_eq!(unhinted.blocks_skipped, 0);
+        assert!(hinted.rows_examined < unhinted.rows_examined);
+    }
+
+    /// Regression (satellite): the dictionary verdict memo engages on the
+    /// *filtered-scan* path too — a text predicate on a node reached by an
+    /// indexless ad-hoc join is evaluated once per distinct code, and the
+    /// result set matches the per-row semantics.
+    #[test]
+    fn filtered_scan_memoizes_text_predicates() {
+        use std::cell::Cell;
+        let mut b = DatabaseBuilder::new("fsmemo").with_block_rows(16);
+        // P.id ↔ D.x demotes P.id to the f64 space; Q.p stays Int. The
+        // ad-hoc join Q.p = P.id then runs as a filtered scan over P.
+        b.add_table(
+            "P",
+            vec![
+                ColumnDef::new("id", DataType::Int).not_null(),
+                ColumnDef::new("tag", DataType::Text).not_null(),
+            ],
+        )
+        .unwrap();
+        b.add_table("D", vec![ColumnDef::new("x", DataType::Decimal).not_null()])
+            .unwrap();
+        b.add_table("Q", vec![ColumnDef::new("p", DataType::Int).not_null()])
+            .unwrap();
+        b.add_foreign_key("P", "id", "D", "x").unwrap();
+        // One join key shared by many P rows, alternating between two tags,
+        // so the filtered scan evaluates the predicate far past the warmup.
+        for i in 0..200 {
+            let tag = if i % 2 == 0 { "even" } else { "odd" };
+            b.add_row("P", vec![Value::Int(7), tag.into()]).unwrap();
+        }
+        b.add_row("D", vec![Value::Decimal(7.0)]).unwrap();
+        b.add_row("Q", vec![Value::Int(7)]).unwrap();
+        let db = b.build();
+        // Both nodes carry a predicate, so the 1-row Q wins the start-node
+        // tie-break and P is reached through the indexless ad-hoc join —
+        // i.e. the text predicate runs on the filtered-scan path.
+        let q = PjQuery {
+            nodes: vec![
+                db.catalog().table_id("Q").unwrap(),
+                db.catalog().table_id("P").unwrap(),
+            ],
+            joins: vec![JoinCond {
+                left_node: 0,
+                left_col: 0,
+                right_node: 1,
+                right_col: 0,
+            }],
+            projection: vec![(1, 1), (0, 0)],
+        };
+        let evals = Cell::new(0u32);
+        let is_even = |v: ValueRef<'_>| {
+            evals.set(evals.get() + 1);
+            v == ValueRef::Text("even")
+        };
+        let is_seven = |v: ValueRef<'_>| v.as_number() == Some(7.0);
+        let mut stats = ExecStats::default();
+        let n = q
+            .count_matching(
+                &db,
+                &[
+                    Some(ScanPred::new(&is_even)),
+                    Some(ScanPred::new(&is_seven)),
+                ],
+                u64::MAX,
+                &mut stats,
+            )
+            .unwrap();
+        assert_eq!(n, 100, "every even-tagged P row joins");
+        // 200 rows, 2 distinct codes: without the shared memo the closure
+        // would run 200 times; with it, the warmup plus one evaluation per
+        // code not seen during warmup.
+        assert!(
+            evals.get() <= MEMO_WARMUP + 2,
+            "predicate ran {} times — filtered scan is not memoized",
+            evals.get()
+        );
+    }
+
+    /// The memo is shared across paths within one run: rows reaching the
+    /// predicate through an index probe reuse verdicts cached by the scan.
+    #[test]
+    fn probed_rows_share_the_scan_memo() {
+        let db = lakes_db();
+        let q = lakes_query();
+        use std::cell::Cell;
+        let evals = Cell::new(0u32);
+        let any_prov = |v: ValueRef<'_>| {
+            evals.set(evals.get() + 1);
+            !v.is_null()
+        };
+        let is_tahoe = |v: ValueRef<'_>| v == ValueRef::Text("Lake Tahoe");
+        let mut stats = ExecStats::default();
+        let n = q
+            .count_matching(
+                &db,
+                &[
+                    Some(ScanPred::new(&any_prov)),
+                    Some(ScanPred::new(&is_tahoe)),
+                    None,
+                ],
+                u64::MAX,
+                &mut stats,
+            )
+            .unwrap();
+        assert_eq!(n, 2, "Tahoe joins California and Nevada");
+        // The toy table is below the warmup, so verdicts are direct here —
+        // the assertion is about correctness of the shared-memo plumbing.
+        assert!(evals.get() >= 2);
     }
 }

@@ -121,6 +121,18 @@ impl SymbolTable {
     pub fn text_count(&self) -> usize {
         self.texts.len()
     }
+
+    /// Approximate heap bytes of the dictionary: forward string/ordinal
+    /// storage plus the reverse maps (string bytes counted twice — the
+    /// reverse text map owns its own copies).
+    pub fn heap_bytes(&self) -> usize {
+        let text_bytes: usize = self.texts.iter().map(|s| s.len()).sum();
+        self.texts.len() * std::mem::size_of::<String>()
+            + text_bytes * 2
+            + self.text_ids.len() * (std::mem::size_of::<String>() + 4)
+            + self.dates.len() * (std::mem::size_of::<Date>() * 2 + 4)
+            + self.times.len() * (std::mem::size_of::<Time>() * 2 + 4)
+    }
 }
 
 fn checked_id(len: usize) -> u32 {

@@ -32,6 +32,14 @@
 //! see zero-copy [`ValueRef`] views. See the `column` module docs for the
 //! full join-key contract.
 //!
+//! At freeze, every column is partitioned into fixed-size row blocks with
+//! per-block zone maps ([`BlockMeta`]; `PRISM_BLOCK_ROWS` or
+//! [`DatabaseBuilder::with_block_rows`]), which the executor uses to skip
+//! provably-empty blocks during scans ([`ScanPred`] range hints,
+//! [`ExecStats::blocks_skipped`]); join indexes are CSR-shaped
+//! ([`JoinIndex`]: sorted keys + offsets + row arena), and
+//! [`Database::memory_report`] audits both byte-exactly.
+//!
 //! Everything is deterministic and in-memory; databases are built once via
 //! [`DatabaseBuilder`] and never mutated afterwards, which is exactly the
 //! "preprocess a priori, then interactively query" lifecycle of the paper.
@@ -50,13 +58,15 @@ pub mod stats;
 pub mod table;
 pub mod types;
 
-pub use column::{Column, ColumnData, NullBitmap};
+pub use column::{BlockMeta, Column, ColumnData, NullBitmap, Zone};
 pub use csv::{infer_type, parse_csv};
-pub use database::{Database, DatabaseBuilder, JoinIndex};
+pub use database::{
+    Database, DatabaseBuilder, JoinIndexMemory, MemoryReport, TableMemory, DEFAULT_BLOCK_ROWS,
+};
 pub use error::DbError;
-pub use exec::{ExecStats, JoinCond, PjQuery, ProjPred, RowCallback};
+pub use exec::{ExecStats, JoinCond, PjQuery, ProjPred, RowCallback, ScanPred};
 pub use graph::{EdgeId, JoinEdge, JoinTree, SchemaGraph};
-pub use index::{InvertedIndex, Posting};
+pub use index::{InvertedIndex, JoinIndex, Posting};
 pub use interner::SymbolTable;
 pub use schema::{Catalog, ColumnDef, ColumnRef, ForeignKey, TableId, TableSchema};
 pub use sql::{canonical_key, render_sql};

@@ -265,6 +265,25 @@ impl ColumnStats {
         self.row_count - self.null_count
     }
 
+    /// Approximate heap bytes of this column's statistics (histogram
+    /// arrays, MCV list, text bounds) — the stats line of
+    /// [`crate::Database::memory_report`].
+    pub fn heap_bytes(&self) -> usize {
+        let hist = self
+            .histogram
+            .as_ref()
+            .map(|h| h.bounds.len() * 8 + (h.below.len() + h.at_upper.len()) * 4)
+            .unwrap_or(0);
+        let mcv: usize = self
+            .most_common
+            .iter()
+            .map(|(v, _)| std::mem::size_of::<Value>() + 4 + v.as_text().map(str::len).unwrap_or(0))
+            .sum();
+        let text = self.min_text.as_ref().map(String::len).unwrap_or(0)
+            + self.max_text.as_ref().map(String::len).unwrap_or(0);
+        hist + mcv + text
+    }
+
     /// Estimated fraction of non-null values equal to `v`. Uses the MCV list
     /// when the value is listed, otherwise assumes the residual mass is
     /// spread uniformly over the unlisted distinct values.
@@ -328,6 +347,15 @@ impl StatsStore {
 
     pub fn table(&self, table: TableId) -> &[ColumnStats] {
         &self.per_table[table.index()]
+    }
+
+    /// Approximate heap bytes across every column's statistics.
+    pub fn heap_bytes(&self) -> usize {
+        self.per_table
+            .iter()
+            .flatten()
+            .map(ColumnStats::heap_bytes)
+            .sum()
     }
 }
 

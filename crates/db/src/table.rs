@@ -108,6 +108,26 @@ impl Table {
             .map(|c| c.value_ref(syms, row as usize).to_value())
             .collect()
     }
+
+    /// Compute per-block zone maps for every column at `block_rows` rows
+    /// per block. The database freeze calls this once per table.
+    pub(crate) fn freeze_blocks(&mut self, block_rows: usize) {
+        for c in &mut self.columns {
+            c.freeze_blocks(block_rows);
+        }
+    }
+
+    /// Heap bytes of all column payloads (data vectors, null bitmaps, zone
+    /// maps) — the per-table line of [`crate::Database::memory_report`].
+    pub fn column_bytes(&self) -> usize {
+        self.columns.iter().map(Column::heap_bytes).sum()
+    }
+
+    /// Zone-map bytes across all columns (part of
+    /// [`Table::column_bytes`]).
+    pub fn zone_map_bytes(&self) -> usize {
+        self.columns.iter().map(Column::zone_map_bytes).sum()
+    }
 }
 
 #[cfg(test)]

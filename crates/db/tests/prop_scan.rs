@@ -1,0 +1,264 @@
+//! Property tests of the block-partitioned scan layer and CSR join
+//! indexes: zone-map-pruned scans and CSR probes must return row sets
+//! identical to the unpruned / `HashMap` baselines on generated data
+//! covering NULLs, `-0.0`, `i64::MAX`-adjacent keys, and predicates that
+//! straddle block boundaries — at both a many-block (64 rows) and a
+//! few-block (4096 rows) layout.
+
+use prism_db::schema::ColumnDef;
+use prism_db::types::{DataType, Value, ValueRef};
+use prism_db::{Database, DatabaseBuilder, ExecStats, JoinCond, PjQuery, ScanPred};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// The two block layouts the scan layer must agree across: 64 rows/block
+/// exercises many-block pruning, 4096 usually leaves one block per table.
+const BLOCK_SIZES: [usize; 2] = [64, 4096];
+
+/// Nullable i64 cells with the hostile corners mixed in: `i64::MAX`
+/// neighbors (which collide in the f64 view) and `i64::MIN`.
+fn arb_int_cell() -> impl Strategy<Value = Option<i64>> {
+    prop_oneof![
+        (-200i64..200).prop_map(Some),
+        (-200i64..200).prop_map(Some),
+        (-200i64..200).prop_map(Some),
+        Just(None),
+        Just(Some(i64::MAX)),
+        Just(Some(i64::MAX - 1)),
+        Just(Some(i64::MIN)),
+    ]
+}
+
+/// Nullable f64 cells including both zero signs (normalized on insert).
+fn arb_dec_cell() -> impl Strategy<Value = Option<f64>> {
+    prop_oneof![
+        (-1600i64..1600).prop_map(|n| Some(n as f64 / 8.0)),
+        (-1600i64..1600).prop_map(|n| Some(n as f64 / 8.0)),
+        Just(None),
+        Just(Some(-0.0)),
+        Just(Some(0.0)),
+    ]
+}
+
+fn int_db(cells: &[Option<i64>], block_rows: usize) -> Database {
+    let mut b = DatabaseBuilder::new("ints").with_block_rows(block_rows);
+    b.add_table("T", vec![ColumnDef::new("x", DataType::Int)])
+        .unwrap();
+    for c in cells {
+        b.add_row("T", vec![c.map(Value::Int).unwrap_or(Value::Null)])
+            .unwrap();
+    }
+    b.build()
+}
+
+fn dec_db(cells: &[Option<f64>], block_rows: usize) -> Database {
+    let mut b = DatabaseBuilder::new("decs").with_block_rows(block_rows);
+    b.add_table("T", vec![ColumnDef::new("x", DataType::Decimal)])
+        .unwrap();
+    for c in cells {
+        b.add_row("T", vec![c.map(Value::Decimal).unwrap_or(Value::Null)])
+            .unwrap();
+    }
+    b.build()
+}
+
+/// All rows of the single-column table `T` whose cell passes `pred`,
+/// executed through the scan path with the given range hint.
+fn scan_rows(
+    db: &Database,
+    hint: Option<(f64, f64)>,
+    pred: &dyn Fn(ValueRef<'_>) -> bool,
+) -> (Vec<Value>, ExecStats) {
+    let q = PjQuery {
+        nodes: vec![db.catalog().table_id("T").unwrap()],
+        joins: vec![],
+        projection: vec![(0, 0)],
+    };
+    let mut sp = ScanPred::new(pred);
+    if let Some((lo, hi)) = hint {
+        sp = sp.with_range(lo, hi);
+    }
+    let mut stats = ExecStats::default();
+    let mut rows = Vec::new();
+    q.for_each_row(db, &[Some(sp)], &mut stats, &mut |r| {
+        rows.push(r[0].to_value());
+        true
+    })
+    .unwrap();
+    (rows, stats)
+}
+
+proptest! {
+    /// Range scans over Int columns: the zone-pruned scan returns exactly
+    /// the rows of the unpruned scan and of a brute-force filter, at both
+    /// block layouts. Bounds are drawn near block-boundary row values, so
+    /// predicates regularly straddle block edges.
+    #[test]
+    fn int_range_scan_pruned_equals_unpruned(
+        cells in proptest::collection::vec(arb_int_cell(), 1..300),
+        lo in -260i64..260,
+        width in 0i64..140,
+    ) {
+        let (lo, hi) = (lo as f64, (lo + width) as f64);
+        let pred = move |v: ValueRef<'_>| v.as_number().is_some_and(|x| lo <= x && x <= hi);
+        let want: Vec<Value> = cells
+            .iter()
+            .filter_map(|c| c.filter(|&x| lo <= x as f64 && x as f64 <= hi))
+            .map(Value::Int)
+            .collect();
+        for bs in BLOCK_SIZES {
+            let db = int_db(&cells, bs);
+            let (pruned, pstats) = scan_rows(&db, Some((lo, hi)), &pred);
+            let (unpruned, ustats) = scan_rows(&db, None, &pred);
+            prop_assert_eq!(&pruned, &unpruned, "block_rows={}", bs);
+            prop_assert_eq!(&pruned, &want, "block_rows={}", bs);
+            prop_assert_eq!(ustats.blocks_skipped, 0);
+            // Pruning may only reduce row work, never grow it.
+            prop_assert!(pstats.rows_examined <= ustats.rows_examined);
+        }
+    }
+
+    /// Same for Decimal columns, with signed zeros and NULLs in play.
+    #[test]
+    fn dec_range_scan_pruned_equals_unpruned(
+        cells in proptest::collection::vec(arb_dec_cell(), 1..300),
+        lo in -1700i64..1700,
+        width in 0i64..700,
+    ) {
+        let (lo, hi) = (lo as f64 / 8.0, (lo + width) as f64 / 8.0);
+        let pred = move |v: ValueRef<'_>| v.as_number().is_some_and(|x| lo <= x && x <= hi);
+        let want: Vec<Value> = cells
+            .iter()
+            .filter_map(|c| c.filter(|&x| lo <= x && x <= hi))
+            .map(|x| Value::Decimal(if x == 0.0 { 0.0 } else { x }))
+            .collect();
+        for bs in BLOCK_SIZES {
+            let db = dec_db(&cells, bs);
+            let (pruned, _) = scan_rows(&db, Some((lo, hi)), &pred);
+            let (unpruned, _) = scan_rows(&db, None, &pred);
+            prop_assert_eq!(&pruned, &unpruned, "block_rows={}", bs);
+            prop_assert_eq!(&pruned, &want, "block_rows={}", bs);
+        }
+    }
+
+    /// An empty hull (`lo > hi`) must prune every block and return nothing —
+    /// it asserts the predicate rejects all numeric cells.
+    #[test]
+    fn empty_hull_scans_nothing(
+        cells in proptest::collection::vec(arb_int_cell(), 1..200),
+    ) {
+        let pred = |_: ValueRef<'_>| false;
+        for bs in BLOCK_SIZES {
+            let db = int_db(&cells, bs);
+            let (rows, stats) = scan_rows(&db, Some((f64::INFINITY, f64::NEG_INFINITY)), &pred);
+            prop_assert!(rows.is_empty());
+            prop_assert_eq!(stats.rows_examined, 0);
+            prop_assert_eq!(stats.blocks_skipped, cells.len().div_ceil(bs) as u64);
+        }
+    }
+
+    /// CSR join indexes answer every probe — present keys, absent keys,
+    /// `i64::MAX`-adjacent keys — identically to a `HashMap<u64, Vec<u32>>`
+    /// built the way the old layout was.
+    #[test]
+    fn csr_probes_match_hashmap_baseline(
+        fk_cells in proptest::collection::vec(arb_int_cell(), 1..200),
+        probes in proptest::collection::vec(arb_int_cell(), 1..40),
+    ) {
+        for bs in BLOCK_SIZES {
+            let mut b = DatabaseBuilder::new("csr").with_block_rows(bs);
+            b.add_table("P", vec![ColumnDef::new("id", DataType::Int)]).unwrap();
+            b.add_table("F", vec![ColumnDef::new("p", DataType::Int)]).unwrap();
+            for c in &fk_cells {
+                b.add_row("P", vec![c.map(Value::Int).unwrap_or(Value::Null)]).unwrap();
+            }
+            b.add_row("F", vec![Value::Null]).unwrap();
+            b.add_foreign_key("F", "p", "P", "id").unwrap();
+            let db = b.build();
+            let p_id = db.catalog().column_ref("P", "id").unwrap();
+            let ix = db.join_index(p_id).expect("FK endpoint indexed");
+            // The old layout, rebuilt by hand: insertion order per key.
+            let mut baseline: HashMap<u64, Vec<u32>> = HashMap::new();
+            for (r, c) in fk_cells.iter().enumerate() {
+                if let Some(x) = c {
+                    baseline.entry(*x as u64).or_default().push(r as u32);
+                }
+            }
+            prop_assert_eq!(ix.len(), baseline.len());
+            prop_assert_eq!(
+                ix.indexed_rows(),
+                baseline.values().map(Vec::len).sum::<usize>()
+            );
+            for key in fk_cells.iter().chain(probes.iter()).flatten() {
+                let k = *key as u64;
+                let want = baseline.get(&k).map(|v| v.as_slice()).unwrap_or(&[]);
+                prop_assert_eq!(ix.rows(k), want, "key {}", key);
+                prop_assert_eq!(ix.contains_key(k), !want.is_empty());
+            }
+        }
+    }
+
+    /// End-to-end: an Int equi-join (with NULLs and `i64::MAX` neighbors on
+    /// both sides) through CSR probes and block-pruned scans matches a
+    /// brute-force nested loop, at both block layouts.
+    #[test]
+    fn pj_join_over_csr_matches_bruteforce(
+        a_cells in proptest::collection::vec(arb_int_cell(), 1..120),
+        b_cells in proptest::collection::vec(arb_int_cell(), 1..120),
+    ) {
+        let mut want: Vec<(i64, i64)> = a_cells
+            .iter()
+            .flatten()
+            .flat_map(|&x| b_cells.iter().flatten().filter(move |&&y| y == x).map(move |&y| (x, y)))
+            .collect();
+        want.sort_unstable();
+        for bs in BLOCK_SIZES {
+            let mut builder = DatabaseBuilder::new("join").with_block_rows(bs);
+            builder.add_table("A", vec![ColumnDef::new("k", DataType::Int)]).unwrap();
+            builder.add_table("B", vec![ColumnDef::new("k", DataType::Int)]).unwrap();
+            for c in &a_cells {
+                builder.add_row("A", vec![c.map(Value::Int).unwrap_or(Value::Null)]).unwrap();
+            }
+            for c in &b_cells {
+                builder.add_row("B", vec![c.map(Value::Int).unwrap_or(Value::Null)]).unwrap();
+            }
+            builder.add_foreign_key("A", "k", "B", "k").unwrap();
+            let db = builder.build();
+            let q = PjQuery {
+                nodes: vec![
+                    db.catalog().table_id("A").unwrap(),
+                    db.catalog().table_id("B").unwrap(),
+                ],
+                joins: vec![JoinCond { left_node: 0, left_col: 0, right_node: 1, right_col: 0 }],
+                projection: vec![(0, 0), (1, 0)],
+            };
+            let mut got: Vec<(i64, i64)> = q
+                .execute(&db, usize::MAX)
+                .unwrap()
+                .into_iter()
+                .map(|r| match (&r[0], &r[1]) {
+                    (Value::Int(x), Value::Int(y)) => (*x, *y),
+                    other => panic!("non-int row {other:?}"),
+                })
+                .collect();
+            got.sort_unstable();
+            prop_assert_eq!(&got, &want, "block_rows={}", bs);
+        }
+    }
+}
+
+/// Deterministic block-boundary regression: a hull whose endpoints sit
+/// exactly on block-edge values must keep both edge rows at every layout.
+#[test]
+fn block_boundary_straddling_hull_keeps_edge_rows() {
+    let cells: Vec<Option<i64>> = (0..256).map(Some).collect();
+    for bs in BLOCK_SIZES {
+        let db = int_db(&cells, bs);
+        // [63, 64] straddles the 64-row block edge; [64, 127] starts on it.
+        for (lo, hi, count) in [(63.0, 64.0, 2usize), (64.0, 127.0, 64), (0.0, 0.0, 1)] {
+            let pred = move |v: ValueRef<'_>| v.as_number().is_some_and(|x| lo <= x && x <= hi);
+            let (rows, _) = scan_rows(&db, Some((lo, hi)), &pred);
+            assert_eq!(rows.len(), count, "[{lo}, {hi}] at block_rows={bs}");
+        }
+    }
+}

@@ -137,6 +137,59 @@ fn approx_eq(a: f64, b: f64) -> bool {
     (a - b).abs() <= scale * 1e-9
 }
 
+/// Conservative numeric hull of a value constraint: a closed interval
+/// `[lo, hi]` such that a non-NULL **numeric** cell (`Int`/`Decimal` view)
+/// can satisfy the constraint only if its value lies inside. The executor
+/// prunes scan blocks of numeric columns against zone maps with it
+/// ([`prism_db::ScanPred::with_range`]).
+///
+/// `lo > hi` (an empty interval) means no numeric cell can ever satisfy the
+/// constraint — e.g. a bare text keyword, or `CONTAINS`, which is false on
+/// numbers. `(-∞, +∞)` means the constraint proves nothing about numeric
+/// cells (e.g. `!=`, or a UDF). The hull says nothing about text, date, or
+/// time cells; callers must only apply it to numeric columns.
+pub fn numeric_hull(c: &ValueConstraint) -> (f64, f64) {
+    const FULL: (f64, f64) = (f64::NEG_INFINITY, f64::INFINITY);
+    const EMPTY: (f64, f64) = (f64::INFINITY, f64::NEG_INFINITY);
+    match c {
+        ConstraintExpr::And(a, b) => {
+            let (la, ha) = numeric_hull(a);
+            let (lb, hb) = numeric_hull(b);
+            (la.max(lb), ha.min(hb))
+        }
+        ConstraintExpr::Or(a, b) => {
+            let (la, ha) = numeric_hull(a);
+            let (lb, hb) = numeric_hull(b);
+            (la.min(lb), ha.max(hb))
+        }
+        ConstraintExpr::Pred(p) => match p.op {
+            // `!=` admits almost every number; a UDF is opaque.
+            CmpOp::Ne | CmpOp::Udf => FULL,
+            // `CONTAINS` is false on numeric cells; so is equality/ordering
+            // against a non-numeric literal (`compare` yields None).
+            CmpOp::Contains => EMPTY,
+            CmpOp::Eq => match p.lit.num {
+                // Numeric equality is approximate (relative epsilon 1e-9 on
+                // the larger magnitude, floored at 1): widen the point to
+                // the sound hull of everything `approx_eq` accepts.
+                Some(n) => {
+                    let eps = (2.0 * n.abs() + 1.0) * 1e-9;
+                    (n - eps, n + eps)
+                }
+                None => EMPTY,
+            },
+            CmpOp::Lt | CmpOp::Le => match p.lit.num {
+                Some(n) => (f64::NEG_INFINITY, n),
+                None => EMPTY,
+            },
+            CmpOp::Gt | CmpOp::Ge => match p.lit.num {
+                Some(n) => (n, f64::INFINITY),
+                None => EMPTY,
+            },
+        },
+    }
+}
+
 /// Does the column described by (`name`, `stats`) satisfy the metadata
 /// constraint? Column UDFs evaluate against `udfs`.
 pub fn metadata_satisfied_with(
@@ -567,6 +620,71 @@ mod tests {
         let s2 = estimate_selectivity(&two, st);
         assert!(s2 > s1);
         assert!(s2 <= 1.0);
+    }
+
+    #[test]
+    fn numeric_hull_bounds_every_accepted_numeric_cell() {
+        let probes: Vec<f64> = vec![
+            -1e12,
+            -981.0,
+            -0.5,
+            -0.0,
+            0.0,
+            1e-9,
+            53.2,
+            497.0,
+            497.0000001,
+            981.0,
+            1e12,
+        ];
+        for src in [
+            "497",
+            ">= 100",
+            "<= 600",
+            ">= 100 && <= 600",
+            "< 100 || > 900",
+            "!= 497",
+            "497 || 53.2",
+            "Lake Tahoe",
+            "CONTAINS tahoe",
+            "('a' OR >= '10') AND <= '20'",
+        ] {
+            let c = parse_value_constraint(src).unwrap();
+            let (lo, hi) = numeric_hull(&c);
+            for &x in &probes {
+                for v in [Value::Decimal(x), Value::Int(x as i64)] {
+                    if matches_value(&c, &v) {
+                        let n = v.as_number().unwrap();
+                        assert!(
+                            lo <= n && n <= hi,
+                            "{src}: accepted {n} outside hull [{lo}, {hi}]"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn numeric_hull_shapes() {
+        let hull = |s: &str| numeric_hull(&parse_value_constraint(s).unwrap());
+        // A bare text keyword can never accept a number.
+        let (lo, hi) = hull("Lake Tahoe");
+        assert!(lo > hi, "text keyword hull must be empty");
+        let (lo, hi) = hull("CONTAINS tahoe");
+        assert!(lo > hi);
+        // Ranges and intersections.
+        assert_eq!(hull(">= 100 && <= 600"), (100.0, 600.0));
+        let (lo, hi) = hull("497");
+        assert!(lo <= 497.0 && 497.0 <= hi && hi - lo < 1e-5);
+        // Disjunction takes the union hull.
+        let (lo, hi) = hull("53.2 || 497");
+        assert!(lo < 53.3 && hi > 496.9);
+        // Opaque shapes prove nothing.
+        assert_eq!(hull("!= 497"), (f64::NEG_INFINITY, f64::INFINITY));
+        // Ordering against a non-numeric literal is false on numbers.
+        let (lo, hi) = hull(">= 'abc'");
+        assert!(lo > hi);
     }
 
     #[test]

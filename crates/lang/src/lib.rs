@@ -40,7 +40,7 @@ pub use ast::{
 pub use error::ParseError;
 pub use eval::{
     estimate_selectivity, matches_value, matches_value_ref, matches_value_ref_with,
-    matches_value_with, metadata_satisfied, metadata_satisfied_with,
+    matches_value_with, metadata_satisfied, metadata_satisfied_with, numeric_hull,
 };
 pub use parser::{parse_metadata_constraint, parse_value_constraint};
 pub use udf::UdfRegistry;

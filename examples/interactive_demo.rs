@@ -59,6 +59,18 @@ fn main() {
         session.set_metadata_cell(*col, *text).expect("valid cell");
     }
 
+    // The frozen substrate is fully auditable: per-table column bytes
+    // (data + null bitmaps + zone maps) and exact CSR join-index bytes.
+    let mem = db.memory_report();
+    println!(
+        "  memory                   : {} B columns, {} B join indexes \
+         ({} indexed columns, {} rows/block)",
+        mem.total_column_bytes(),
+        mem.total_index_bytes(),
+        mem.indexes.len(),
+        mem.block_rows,
+    );
+
     banner("Start Searching!");
     // Step 3.
     let (n_queries, timed_out, stats) = {
@@ -72,6 +84,11 @@ fn main() {
         "  {} satisfying schema mapping queries ({} candidates, {} filters, \
          {} validations, {:?})",
         n_queries, stats.candidates, stats.filters, stats.validations, stats.elapsed
+    );
+    println!(
+        "  execution work           : {} rows examined, {} index probes, \
+         {} blocks zone-pruned",
+        stats.exec.rows_examined, stats.exec.index_probes, stats.exec.blocks_skipped
     );
 
     banner("Result");
