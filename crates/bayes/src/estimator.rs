@@ -124,9 +124,52 @@ impl BayesEstimator {
         self.use_join_indicators
     }
 
+    /// `P(a uniformly random tuple of `table` satisfies every predicate)` —
+    /// one factor of [`BayesEstimator::expected_matches`]. Exposed so
+    /// scoring loops can cache it per distinct `(table, predicate set)`:
+    /// inference repeats heavily across filters sharing sub-structure.
+    pub fn relation_probability(&self, table: TableId, preds: &[(u32, &ValueConstraint)]) -> f64 {
+        self.relations[table.index()].probability(preds)
+    }
+
+    /// The multiplicative contribution of one join edge given the grouped
+    /// predicates on its two endpoint tables: join selectivity times the
+    /// sampled correlation lift (or the independence fallback when join
+    /// indicators are disabled). The other cacheable factor of
+    /// [`BayesEstimator::expected_matches`].
+    pub fn edge_factor(
+        &self,
+        db: &Database,
+        eid: prism_db::graph::EdgeId,
+        preds_a: &[(u32, &ValueConstraint)],
+        preds_b: &[(u32, &ValueConstraint)],
+    ) -> f64 {
+        let edge = db.graph().edge(eid);
+        if !self.use_join_indicators {
+            // Ablation: independence-only selectivity from index sizes.
+            return independence_selectivity(db, edge);
+        }
+        let ji = &self.joins[eid.index()];
+        let mut factor = ji.selectivity;
+        if preds_a.is_empty() && preds_b.is_empty() {
+            return factor;
+        }
+        if let Some(p_joint) = ji.conditional_joint(db, preds_a, preds_b) {
+            let p_a = self.relation_probability(edge.a.table, preds_a);
+            let p_b = self.relation_probability(edge.b.table, preds_b);
+            if p_a > 0.0 && p_b > 0.0 {
+                factor *= (p_joint / (p_a * p_b)).clamp(LIFT_MIN, LIFT_MAX);
+            }
+        }
+        factor
+    }
+
     /// Expected number of result tuples of `tree` satisfying all predicates.
     /// `preds` pairs source columns (which must lie on tables of the tree)
-    /// with value constraints.
+    /// with value constraints. Composed exactly from
+    /// [`BayesEstimator::relation_probability`] and
+    /// [`BayesEstimator::edge_factor`], so cached scoring loops that call
+    /// those pieces directly cannot drift from this definition.
     pub fn expected_matches(
         &self,
         db: &Database,
@@ -151,34 +194,17 @@ impl BayesEstimator {
             }
             expected *= rows;
             if let Some(tp) = by_table.get(&t) {
-                expected *= self.relations[t.index()].probability(tp);
+                expected *= self.relation_probability(t, tp);
             }
         }
 
         // Join selectivities and correlation lifts per tree edge.
+        let empty: Vec<(u32, &ValueConstraint)> = Vec::new();
         for &eid in &tree.edges {
             let edge = db.graph().edge(eid);
-            if self.use_join_indicators {
-                let ji = &self.joins[eid.index()];
-                expected *= ji.selectivity;
-                let empty: Vec<(u32, &ValueConstraint)> = Vec::new();
-                let preds_a = by_table.get(&edge.a.table).unwrap_or(&empty);
-                let preds_b = by_table.get(&edge.b.table).unwrap_or(&empty);
-                if preds_a.is_empty() && preds_b.is_empty() {
-                    continue;
-                }
-                if let Some(p_joint) = ji.conditional_joint(db, preds_a, preds_b) {
-                    let p_a = self.relations[edge.a.table.index()].probability(preds_a);
-                    let p_b = self.relations[edge.b.table.index()].probability(preds_b);
-                    if p_a > 0.0 && p_b > 0.0 {
-                        let lift = (p_joint / (p_a * p_b)).clamp(LIFT_MIN, LIFT_MAX);
-                        expected *= lift;
-                    }
-                }
-            } else {
-                // Ablation: independence-only selectivity from index sizes.
-                expected *= independence_selectivity(db, edge);
-            }
+            let preds_a = by_table.get(&edge.a.table).unwrap_or(&empty);
+            let preds_b = by_table.get(&edge.b.table).unwrap_or(&empty);
+            expected *= self.edge_factor(db, eid, preds_a, preds_b);
         }
         expected.max(0.0)
     }

@@ -53,17 +53,7 @@ fn bench_schedulers(c: &mut Criterion) {
             b.iter(|| {
                 let mut v = 0u64;
                 for (tc, fs) in cases {
-                    v += run_greedy(
-                        &db,
-                        tc,
-                        fs,
-                        &BayesModel {
-                            estimator: &est,
-                            constraints: tc,
-                        },
-                        None,
-                    )
-                    .validations;
+                    v += run_greedy(&db, tc, fs, &BayesModel::new(&est, tc), None).validations;
                 }
                 v
             })

@@ -31,19 +31,7 @@ fn bench_parallel_engine(c: &mut Criterion) {
     assert!(!cases.is_empty());
     let baseline: Vec<Vec<u32>> = cases
         .iter()
-        .map(|(tc, fs)| {
-            run_greedy(
-                &db,
-                tc,
-                fs,
-                &BayesModel {
-                    estimator: &est,
-                    constraints: tc,
-                },
-                None,
-            )
-            .accepted
-        })
+        .map(|(tc, fs)| run_greedy(&db, tc, fs, &BayesModel::new(&est, tc), None).accepted)
         .collect();
 
     let mut group = c.benchmark_group("e4_parallel_validation");
@@ -57,10 +45,7 @@ fn bench_parallel_engine(c: &mut Criterion) {
             b.iter(|| {
                 let mut v = 0u64;
                 for (tc, fs) in cases {
-                    let model = BayesModel {
-                        estimator: &est,
-                        constraints: tc,
-                    };
+                    let model = BayesModel::new(&est, tc);
                     v += run_greedy(&db, tc, fs, &model, None).validations;
                 }
                 v
@@ -72,10 +57,7 @@ fn bench_parallel_engine(c: &mut Criterion) {
             b.iter(|| {
                 let mut v = 0u64;
                 for ((tc, fs), accepted) in cases.iter().zip(&baseline) {
-                    let model = BayesModel {
-                        estimator: &est,
-                        constraints: tc,
-                    };
+                    let model = BayesModel::new(&est, tc);
                     let outcome = run_greedy_parallel(&db, tc, fs, &model, None, threads);
                     assert_eq!(&outcome.accepted, accepted, "engines must agree");
                     v += outcome.validations;

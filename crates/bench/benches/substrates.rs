@@ -85,6 +85,19 @@ fn bench_execution(c: &mut Criterion) {
             .unwrap()
         })
     });
+    // The prepare/execute split: plan compiled once, scratch reused — the
+    // shape filter validation actually runs in (PR 5).
+    let miss_preds = [Some(prism_db::ScanPred::new(&is_nowhere)), None, None];
+    let prepared = q.prepare(&db, &miss_preds).unwrap();
+    let mut scratch = prism_db::ExecScratch::new();
+    c.bench_function("pj_exists_matching_miss_prepared", |b| {
+        b.iter(|| {
+            let mut stats = ExecStats::default();
+            prepared
+                .exists_matching(&db, &miss_preds, &mut scratch, &mut stats)
+                .unwrap()
+        })
+    });
     c.bench_function("pj_full_execution", |b| {
         b.iter(|| q.execute(&db, usize::MAX).unwrap().len())
     });

@@ -4,21 +4,44 @@
 //! `BENCH_scan.json`) so the perf trajectory of the storage substrate is
 //! tracked across refactors.
 //!
-//! Usage: `cargo run --release -p prism_bench --bin bench_json -- <phase>`
-//! where `<phase>` labels the run (e.g. `pre_refactor`, `post_refactor`).
-//! The file holds a JSON array; each run appends one entry without
-//! disturbing earlier ones, so before/after comparisons are one `diff` away.
+//! Usage: `cargo run --release -p prism_bench --bin bench_json -- <phase>
+//! [scale]` where `<phase>` labels the run (e.g. `pre_refactor`,
+//! `pr5_prepared`) and `[scale]` overrides the mondial replication factor
+//! (default 4). The file holds a JSON array; each run appends one entry
+//! without disturbing earlier ones, so before/after comparisons are one
+//! `diff` away.
+//!
+//! The existence-probe microbenches measure both execution paths,
+//! interleaved (machine drift hits both alike):
+//!
+//! * **per-call** ("pre") — `PjQuery::exists_matching`, which validates,
+//!   plans, and allocates scratch on every call (the engine's shape before
+//!   the PR 5 prepare/execute split), and
+//! * **prepared** ("post") — `PjQuery::prepare` once + a reused
+//!   [`prism_db::ExecScratch`], which is how filter validation actually
+//!   runs now (shared plan cache + per-worker scratch).
+//!
+//! `exists_hit_per_s` / `exists_miss_per_s` report the prepared path (the
+//! hot path the engine really takes); the `*_percall_*` fields keep the
+//! one-shot numbers honest. Environment knobs for CI smoke:
+//! `PRISM_BENCH_SUBSTRATE_ONLY=1` skips the IMDB and scan sections;
+//! `PRISM_BENCH_MIN_PREPARED_SPEEDUP=<x>` exits non-zero unless prepared
+//! throughput ≥ x · per-call throughput on the **hit** probe — the probe
+//! that early-exits after a handful of rows, so per-call compilation
+//! dominates it and the ratio directly measures amortization. (The miss
+//! probe is scan-bound by design — a small ratio there means the scan,
+//! not setup, is where time goes.)
 
 use prism_bayes::{BayesEstimator, TrainConfig};
 use prism_bench::{resolution_sweep, scheduling_cases, scheduling_comparison, timed};
 use prism_core::scheduler::{run_greedy, run_greedy_parallel, BayesModel};
 use prism_core::DiscoveryConfig;
 use prism_datasets::{imdb, mondial, Resolution};
-use prism_db::{ExecStats, JoinCond, PjQuery};
+use prism_db::{ExecScratch, ExecStats, JoinCond, PjQuery, ScanPred};
 use std::time::{Duration, Instant};
 
-/// Substrate scale factor for the microbenchmarks (mondial replication).
-const SCALE: usize = 4;
+/// Default substrate scale factor (mondial replication); arg 2 overrides.
+const DEFAULT_SCALE: usize = 4;
 /// Tasks per resolution for the E1/E3-style sweeps.
 const TASKS: usize = 3;
 /// IMDB replication factor for the parallel-engine comparison.
@@ -27,14 +50,21 @@ const IMDB_SCALE: usize = 8;
 const PAR_THREADS: usize = 4;
 /// Interleaved repetitions per engine (medians reported).
 const REPS: usize = 5;
+/// Interleaved repetitions of each existence-probe path.
+const PROBE_REPS: usize = 3;
 
 fn main() {
     let phase = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "adhoc".to_string());
+    let scale: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SCALE);
+    let substrate_only = std::env::var("PRISM_BENCH_SUBSTRATE_ONLY").is_ok_and(|v| v == "1");
 
     // --- Substrate microbenchmarks (the validation hot path) ---
-    let (db, build_time) = timed(|| mondial(42, SCALE));
+    let (db, build_time) = timed(|| mondial(42, scale));
     let lake = db.catalog().table_id("Lake").unwrap();
     let geo = db.catalog().table_id("geo_lake").unwrap();
     let q = PjQuery {
@@ -47,33 +77,51 @@ fn main() {
         }],
         projection: vec![(1, 2), (0, 0), (0, 1)],
     };
-    let exists_hit = throughput(|| {
-        let is_cal = pred_eq_text("California");
-        let is_tahoe = pred_eq_text("Lake Tahoe");
-        let mut stats = ExecStats::default();
-        assert!(q
-            .exists_matching(
-                &db,
-                &[
-                    Some(prism_db::ScanPred::new(&is_cal)),
-                    Some(prism_db::ScanPred::new(&is_tahoe)),
-                    None,
-                ],
-                &mut stats
-            )
-            .unwrap());
-    });
-    let exists_miss = throughput(|| {
-        let nowhere = pred_eq_text("Atlantis");
-        let mut stats = ExecStats::default();
-        assert!(!q
-            .exists_matching(
-                &db,
-                &[Some(prism_db::ScanPred::new(&nowhere)), None, None],
-                &mut stats
-            )
-            .unwrap());
-    });
+    // Hit probe: per-call vs prepared, interleaved.
+    let is_cal = pred_eq_text("California");
+    let is_tahoe = pred_eq_text("Lake Tahoe");
+    let hit_preds = [
+        Some(ScanPred::new(&is_cal)),
+        Some(ScanPred::new(&is_tahoe)),
+        None,
+    ];
+    let nowhere = pred_eq_text("Atlantis");
+    let miss_preds = [Some(ScanPred::new(&nowhere)), None, None];
+    let hit_prepared_q = q.prepare(&db, &hit_preds).unwrap();
+    let miss_prepared_q = q.prepare(&db, &miss_preds).unwrap();
+    let mut scratch = ExecScratch::new();
+    let mut hit_percall = Vec::new();
+    let mut hit_prepared = Vec::new();
+    let mut miss_percall = Vec::new();
+    let mut miss_prepared = Vec::new();
+    for _ in 0..PROBE_REPS {
+        hit_percall.push(throughput(|| {
+            let mut stats = ExecStats::default();
+            assert!(q.exists_matching(&db, &hit_preds, &mut stats).unwrap());
+        }));
+        hit_prepared.push(throughput(|| {
+            let mut stats = ExecStats::default();
+            assert!(hit_prepared_q
+                .exists_matching(&db, &hit_preds, &mut scratch, &mut stats)
+                .unwrap());
+        }));
+        miss_percall.push(throughput(|| {
+            let mut stats = ExecStats::default();
+            assert!(!q.exists_matching(&db, &miss_preds, &mut stats).unwrap());
+        }));
+        miss_prepared.push(throughput(|| {
+            let mut stats = ExecStats::default();
+            assert!(!miss_prepared_q
+                .exists_matching(&db, &miss_preds, &mut scratch, &mut stats)
+                .unwrap());
+        }));
+    }
+    let exists_hit = median(&mut hit_prepared);
+    let exists_hit_percall = median(&mut hit_percall);
+    let exists_miss = median(&mut miss_prepared);
+    let exists_miss_percall = median(&mut miss_percall);
+    let prepared_hit_speedup = exists_hit / exists_hit_percall;
+    let prepared_miss_speedup = exists_miss / exists_miss_percall;
     let (nrows, full_eval) = timed(|| q.execute(&db, usize::MAX).unwrap().len());
 
     // --- E1-style: discovery round wall-clock across resolutions ---
@@ -100,9 +148,13 @@ fn main() {
         e3_samples.iter().map(|s| s.bayes as f64).sum::<f64>() / e3_samples.len().max(1) as f64;
 
     let entry = format!(
-        "{{\n    \"phase\": \"{phase}\",\n    \"scale\": {SCALE},\n    \
+        "{{\n    \"phase\": \"{phase}\",\n    \"scale\": {scale},\n    \
          \"total_rows\": {},\n    \"build_ms\": {:.3},\n    \
          \"exists_hit_per_s\": {:.1},\n    \"exists_miss_per_s\": {:.1},\n    \
+         \"exists_hit_percall_per_s\": {exists_hit_percall:.1},\n    \
+         \"exists_miss_percall_per_s\": {exists_miss_percall:.1},\n    \
+         \"prepared_hit_speedup\": {prepared_hit_speedup:.3},\n    \
+         \"prepared_miss_speedup\": {prepared_miss_speedup:.3},\n    \
          \"full_eval_ms\": {:.3},\n    \"full_eval_rows\": {nrows},\n    \
          \"e1_avg_round_ms\": {:.3},\n    \"e1_wall_ms\": {:.3},\n    \
          \"e3_wall_ms\": {:.3},\n    \"e3_bayes_validations\": {:.2}\n  }}",
@@ -118,6 +170,23 @@ fn main() {
     );
     append_entry("BENCH_substrate.json", &entry);
     println!("appended phase `{phase}` to BENCH_substrate.json:\n{entry}");
+
+    // CI smoke gate: on the setup-dominated hit probe, the prepared path
+    // must beat per-call compilation by the requested factor, or the run
+    // (and the CI leg) fails.
+    if let Ok(min) = std::env::var("PRISM_BENCH_MIN_PREPARED_SPEEDUP") {
+        let min: f64 = min
+            .parse()
+            .expect("PRISM_BENCH_MIN_PREPARED_SPEEDUP is a number");
+        assert!(
+            prepared_hit_speedup >= min,
+            "prepared hit probes at {prepared_hit_speedup:.2}x per-call, need >= {min}x"
+        );
+        println!("prepared-speedup gate passed: {prepared_hit_speedup:.2}x >= {min}x");
+    }
+    if substrate_only {
+        return;
+    }
 
     // --- Sequential vs parallel E3 scheduling (BENCH_parallel.json) ---
     // Same methodology as the substrate entries: the two engines run
@@ -142,10 +211,7 @@ fn main() {
         let mut accepted_seq = Vec::new();
         let (_, d_seq) = timed(|| {
             for (tc, fs) in &cases {
-                let model = BayesModel {
-                    estimator: &est,
-                    constraints: tc,
-                };
+                let model = BayesModel::new(&est, tc);
                 let o = run_greedy(&imdb_db, tc, fs, &model, None);
                 seq_validations = o.validations;
                 accepted_seq.push(o.accepted);
@@ -154,10 +220,7 @@ fn main() {
         seq_ms.push(d_seq.as_secs_f64() * 1e3);
         let (_, d_par) = timed(|| {
             for ((tc, fs), accepted) in cases.iter().zip(&accepted_seq) {
-                let model = BayesModel {
-                    estimator: &est,
-                    constraints: tc,
-                };
+                let model = BayesModel::new(&est, tc);
                 let o = run_greedy_parallel(&imdb_db, tc, fs, &model, None, PAR_THREADS);
                 par_validations = o.validations;
                 assert_eq!(&o.accepted, accepted, "engines must accept identically");

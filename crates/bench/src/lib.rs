@@ -197,20 +197,14 @@ pub fn scheduling_comparison(
                     db,
                     &constraints,
                     &fs,
-                    &BayesModel {
-                        estimator: &est,
-                        constraints: &constraints,
-                    },
+                    &BayesModel::new(&est, &constraints),
                     None,
                 );
                 let bayes_no_ji = run_greedy(
                     db,
                     &constraints,
                     &fs,
-                    &BayesModel {
-                        estimator: &est_no_ji,
-                        constraints: &constraints,
-                    },
+                    &BayesModel::new(&est_no_ji, &constraints),
                     None,
                 );
                 let (oracle, _) = oracle_schedule(db, &constraints, &fs);

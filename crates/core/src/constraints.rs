@@ -6,25 +6,64 @@
 //! exactly the Description section of the demo UI (Figure 3).
 
 use prism_lang::{
-    parse_metadata_constraint, parse_value_constraint, CmpOp, MetaField, MetadataConstraint,
-    ParseError, UdfRegistry, ValueConstraint,
+    numeric_hull, parse_metadata_constraint, parse_value_constraint, CmpOp, MetaField,
+    MetadataConstraint, ParseError, UdfRegistry, ValueConstraint,
 };
 use std::fmt;
 
-/// One row of the Sample/Result Constraints grid.
+/// One row of the Sample/Result Constraints grid. Both fields are private
+/// so the derived hulls can never drift from the cells: construct rows
+/// through [`SampleConstraint::new`], read cells through
+/// [`SampleConstraint::cells`] / [`SampleConstraint::cell`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct SampleConstraint {
     /// One optional value constraint per target column.
-    pub cells: Vec<Option<ValueConstraint>>,
+    cells: Vec<Option<ValueConstraint>>,
+    /// Per-cell numeric hull ([`prism_lang::numeric_hull`]), hoisted here
+    /// because constraints are fixed for the whole session: validation
+    /// executes thousands of filters against the same cells and must not
+    /// re-derive hulls per execution. Unconstrained cells carry the full
+    /// line.
+    hulls: Vec<(f64, f64)>,
 }
 
 impl SampleConstraint {
+    /// Build a row, computing each cell's numeric hull once.
+    pub fn new(cells: Vec<Option<ValueConstraint>>) -> SampleConstraint {
+        let hulls = cells
+            .iter()
+            .map(|c| match c {
+                Some(c) => numeric_hull(c),
+                None => (f64::NEG_INFINITY, f64::INFINITY),
+            })
+            .collect();
+        SampleConstraint { cells, hulls }
+    }
+
+    /// One optional value constraint per target column.
+    pub fn cells(&self) -> &[Option<ValueConstraint>] {
+        &self.cells
+    }
+
+    /// The value constraint on target column `col`, if any.
+    #[inline]
+    pub fn cell(&self, col: usize) -> Option<&ValueConstraint> {
+        self.cells[col].as_ref()
+    }
+
     /// Indexes of constrained cells.
     pub fn constrained_columns(&self) -> impl Iterator<Item = usize> + '_ {
         self.cells
             .iter()
             .enumerate()
             .filter_map(|(i, c)| c.as_ref().map(|_| i))
+    }
+
+    /// The precomputed numeric hull of one cell's constraint (the full
+    /// line for unconstrained cells).
+    #[inline]
+    pub fn hull(&self, col: usize) -> (f64, f64) {
+        self.hulls[col]
     }
 }
 
@@ -112,7 +151,7 @@ impl TargetConstraints {
                     },
                 }
             }
-            samples.push(SampleConstraint { cells });
+            samples.push(SampleConstraint::new(cells));
         }
         let mut meta = vec![None; column_count];
         for (c, m) in metadata.iter().enumerate().take(column_count) {
@@ -230,8 +269,8 @@ mod tests {
         let tc = walkthrough();
         assert_eq!(tc.column_count, 3);
         assert_eq!(tc.samples.len(), 1);
-        assert!(tc.samples[0].cells[0].is_some());
-        assert!(tc.samples[0].cells[2].is_none());
+        assert!(tc.samples[0].cells()[0].is_some());
+        assert!(tc.samples[0].cells()[2].is_none());
         assert!(tc.metadata[2].is_some());
         assert_eq!(tc.constraint_count(), 3);
     }
@@ -239,7 +278,7 @@ mod tests {
     #[test]
     fn empty_strings_are_unconstrained_cells() {
         let tc = TargetConstraints::parse(2, &[vec![some("x"), some("   ")]], &[]).unwrap();
-        assert!(tc.samples[0].cells[1].is_none());
+        assert!(tc.samples[0].cells()[1].is_none());
     }
 
     #[test]
@@ -286,6 +325,24 @@ mod tests {
         assert_eq!(tc.column_value_constraints(0).count(), 2);
         let idxs: Vec<usize> = tc.column_value_constraints(1).map(|(s, _)| s).collect();
         assert_eq!(idxs, vec![1]);
+    }
+
+    #[test]
+    fn hulls_are_hoisted_once_at_parse() {
+        let tc = TargetConstraints::parse(
+            3,
+            &[vec![some(">= 100 && <= 600"), some("Lake Tahoe"), None]],
+            &[],
+        )
+        .unwrap();
+        assert_eq!(tc.samples[0].hull(0), (100.0, 600.0));
+        let (lo, hi) = tc.samples[0].hull(1);
+        assert!(lo > hi, "text keyword: empty numeric hull");
+        assert_eq!(
+            tc.samples[0].hull(2),
+            (f64::NEG_INFINITY, f64::INFINITY),
+            "unconstrained cells carry the full line"
+        );
     }
 
     #[test]

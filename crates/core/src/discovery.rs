@@ -215,10 +215,7 @@ impl<'a> Discovery<'a> {
                     self.db,
                     constraints,
                     &fs,
-                    &BayesModel {
-                        estimator: est,
-                        constraints,
-                    },
+                    &BayesModel::new(est, constraints),
                     Some(deadline),
                     threads,
                 )

@@ -110,7 +110,7 @@ pub fn explain(
                 let Some(c) = constraints
                     .samples
                     .get(sample)
-                    .and_then(|s| s.cells.get(column))
+                    .and_then(|s| s.cells().get(column))
                     .and_then(Option::as_ref)
                 else {
                     continue;

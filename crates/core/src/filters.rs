@@ -29,8 +29,9 @@ use crate::candidates::Candidate;
 use crate::constraints::TargetConstraints;
 use prism_db::graph::{EdgeId, JoinTree};
 use prism_db::schema::{ColumnRef, TableId};
-use prism_db::Database;
+use prism_db::{Database, PreparedQuery};
 use std::collections::HashMap;
+use std::sync::OnceLock;
 use std::time::Instant;
 
 /// Index of a filter within a [`FilterSet`].
@@ -66,6 +67,10 @@ pub struct Filter {
     pub superfilters: Vec<FilterId>,
     /// Proven satisfiable by Step 1's related-column search.
     pub prevalidated: bool,
+    /// Equivalence class of this filter's executable query `(tree,
+    /// projected columns)` — filters differing only in their sample index
+    /// share a class and therefore a prepared plan ([`FilterSet::plans`]).
+    pub query_class: u32,
 }
 
 impl Filter {
@@ -85,6 +90,11 @@ pub struct FilterSet {
     pub tops: Vec<Vec<FilterId>>,
     /// True if decomposition stopped early on the deadline.
     pub truncated: bool,
+    /// Lazily-populated prepared query plans, one slot per query class
+    /// ([`Filter::query_class`]). Shared by every scheduling run over this
+    /// filter set — the sequential coordinator, all pool workers, repeated
+    /// engine comparisons — so each query is compiled at most once.
+    pub plans: PlanCache,
 }
 
 impl FilterSet {
@@ -98,6 +108,68 @@ impl FilterSet {
 
     pub fn is_empty(&self) -> bool {
         self.filters.is_empty()
+    }
+}
+
+/// Shared cache of [`PreparedQuery`]s, one slot per filter query class.
+/// `OnceLock` slots make it safely shareable across validation worker
+/// threads with exactly-once compilation and lock-free reads after that.
+///
+/// Plans are *derived* data (recomputable from the filters), so cloning a
+/// `FilterSet` yields an equivalent set with a cold cache.
+#[derive(Default)]
+pub struct PlanCache {
+    slots: Vec<OnceLock<PreparedQuery>>,
+}
+
+impl PlanCache {
+    /// An empty cache with one slot per query class.
+    pub(crate) fn with_classes(n: usize) -> PlanCache {
+        PlanCache {
+            slots: (0..n).map(|_| OnceLock::new()).collect(),
+        }
+    }
+
+    /// The prepared plan of `class`, compiling it via `build` exactly once
+    /// (concurrent callers block on the first). Returns the plan and
+    /// whether *this* call compiled it — callers count the latter into
+    /// [`prism_db::ExecStats::plans_built`].
+    pub fn get_or_prepare(
+        &self,
+        class: u32,
+        build: impl FnOnce() -> PreparedQuery,
+    ) -> (&PreparedQuery, bool) {
+        let mut built = false;
+        let plan = self.slots[class as usize].get_or_init(|| {
+            built = true;
+            build()
+        });
+        (plan, built)
+    }
+
+    /// Number of query classes (slots).
+    pub fn classes(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Plans actually compiled so far.
+    pub fn prepared_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.get().is_some()).count()
+    }
+}
+
+impl Clone for PlanCache {
+    fn clone(&self) -> PlanCache {
+        PlanCache::with_classes(self.slots.len())
+    }
+}
+
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanCache")
+            .field("classes", &self.classes())
+            .field("prepared", &self.prepared_count())
+            .finish()
     }
 }
 
@@ -123,6 +195,11 @@ pub fn build_filters(
         ..FilterSet::default()
     };
     let mut by_key: HashMap<FilterKey, FilterId> = HashMap::new();
+    // Query-class interner: filters whose executable query is identical —
+    // same subtree, same projected columns, any sample — share one class
+    // and hence one prepared plan slot.
+    type QueryKey = (Vec<EdgeId>, Vec<TableId>, Vec<ColumnRef>);
+    let mut class_by_query: HashMap<QueryKey, u32> = HashMap::new();
     // Subtree enumeration is per unique tree, cached.
     let mut subtree_cache: HashMap<Vec<EdgeId>, Vec<JoinTree>> = HashMap::new();
 
@@ -163,6 +240,11 @@ pub fn build_filters(
                 let id = *by_key.entry(key).or_insert_with(|| {
                     let id = FilterId(set.filters.len() as u32);
                     let prevalidated = sub.edges.is_empty() && preds.len() == 1;
+                    let cols: Vec<ColumnRef> = preds.iter().map(|&(_, c)| c).collect();
+                    let next_class = class_by_query.len() as u32;
+                    let query_class = *class_by_query
+                        .entry((sub.edges.clone(), sub.tables.clone(), cols))
+                        .or_insert(next_class);
                     set.filters.push(Filter {
                         id,
                         tree: sub.clone(),
@@ -173,6 +255,7 @@ pub fn build_filters(
                         subfilters: Vec::new(),
                         superfilters: Vec::new(),
                         prevalidated,
+                        query_class,
                     });
                     id
                 });
@@ -220,6 +303,7 @@ pub fn build_filters(
         list.sort_unstable();
         list.dedup();
     }
+    set.plans = PlanCache::with_classes(class_by_query.len());
     set
 }
 
@@ -359,6 +443,43 @@ mod tests {
         for tops in &fs.tops {
             assert_eq!(tops.len(), 2);
         }
+    }
+
+    #[test]
+    fn query_classes_dedupe_identical_queries_across_samples() {
+        let db = mondial(42, 1);
+        let tc = TargetConstraints::parse(
+            2,
+            &[
+                vec![some("Lake Tahoe"), some("California")],
+                vec![some("Crater Lake"), some("Oregon")],
+            ],
+            &[],
+        )
+        .unwrap();
+        let config = DiscoveryConfig::default();
+        let rel = find_related(&db, &tc, &config);
+        let cands = enumerate_candidates(&db, &rel, &config, None).candidates;
+        let fs = build_filters(&db, &cands, &tc, None);
+        assert_eq!(fs.plans.classes() > 0, !fs.is_empty());
+        assert_eq!(fs.plans.prepared_count(), 0, "plans compile lazily");
+        for f in &fs.filters {
+            assert!((f.query_class as usize) < fs.plans.classes());
+        }
+        // Same (tree, projected columns) ⇒ same class, regardless of
+        // sample; different projections ⇒ different classes.
+        for a in &fs.filters {
+            for b in &fs.filters {
+                let cols = |f: &Filter| f.preds.iter().map(|&(_, c)| c).collect::<Vec<_>>();
+                let same_query = a.tree.edges == b.tree.edges
+                    && a.tree.tables == b.tree.tables
+                    && cols(a) == cols(b);
+                assert_eq!(same_query, a.query_class == b.query_class, "{a:?} vs {b:?}");
+            }
+        }
+        // Both samples produced filters over the same trees/columns, so
+        // classes must be strictly fewer than filters.
+        assert!(fs.plans.classes() < fs.len(), "cross-sample sharing");
     }
 
     #[test]

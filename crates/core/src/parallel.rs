@@ -28,10 +28,10 @@
 //! dependencies.
 
 use crate::constraints::TargetConstraints;
-use crate::filters::{FilterId, FilterSet};
+use crate::filters::{FilterId, FilterSet, PlanCache};
 use crate::scheduler::SchedCtx;
-use crate::validate::validate_filter;
-use prism_db::ExecStats;
+use crate::validate::validate_filter_cached;
+use prism_db::{ExecScratch, ExecStats};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -40,13 +40,17 @@ use std::time::{Duration, Instant};
 // thread-safety of the whole read-only closure at the type level (the db
 // crate asserts the same for `Database` and its internals — including the
 // PR-4 scan structures: zone maps ride inside `Column`, CSR join indexes
-// inside `Database`, and each worker builds its own `ScanPred`s and
-// dictionary memos per validation, so nothing new is shared mutably).
+// inside `Database`). The PR-5 prepared-plan cache is the one structure
+// workers *write* through a shared reference: its `OnceLock` slots give
+// exactly-once compilation, which is precisely why `PlanCache` must be
+// `Sync`. Each worker's `ExecScratch` stays thread-local.
 const fn _assert_send_sync<T: Send + Sync>() {}
 const _: () = {
     _assert_send_sync::<SchedCtx<'static>>();
     _assert_send_sync::<TargetConstraints>();
     _assert_send_sync::<FilterSet>();
+    _assert_send_sync::<PlanCache>();
+    _assert_send_sync::<prism_db::PreparedQuery>();
     _assert_send_sync::<crate::filters::Filter>();
     _assert_send_sync::<prism_db::JoinIndex>();
     _assert_send_sync::<prism_db::BlockMeta>();
@@ -230,6 +234,10 @@ fn worker_loop(
     cancel: &CancelFlag,
 ) {
     let mut local_exec = ExecStats::default();
+    // Thread-local executor scratch, reused across every validation this
+    // worker runs (all rounds of the pool's lifetime): buffers are cleared
+    // between runs, never reallocated.
+    let mut scratch = ExecScratch::new();
     let mut seen_generation = 0u64;
     loop {
         let batch: Vec<FilterId> = {
@@ -255,10 +263,12 @@ fn worker_loop(
             let verdict = if cancel.is_cancelled() {
                 None // skipped, not failed: the coordinator sees a timeout
             } else {
-                Some(validate_filter(
+                Some(validate_filter_cached(
                     ctx.db,
-                    ctx.fs.filter(batch[slot]),
+                    ctx.fs,
+                    batch[slot],
                     ctx.constraints,
+                    &mut scratch,
                     &mut local_exec,
                 ))
             };

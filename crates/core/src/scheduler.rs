@@ -45,11 +45,11 @@
 use crate::constraints::TargetConstraints;
 use crate::filters::{FilterId, FilterSet};
 use crate::parallel::validate_with_pool;
-use crate::validate::validate_filter;
+use crate::validate::validate_filter_cached;
 use prism_bayes::BayesEstimator;
-use prism_db::{Database, ExecStats};
+use prism_db::{Database, ExecScratch, ExecStats};
 use prism_lang::ValueConstraint;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::time::Instant;
 
 /// Which validation strategy to use.
@@ -94,26 +94,100 @@ impl FailureModel for PathLengthModel {
 }
 
 /// Prism: Bayesian models + join indicators.
+///
+/// Scoring is cached per model instance: across the hundreds of filters of
+/// one scheduling run, the distinct `(table, predicate set)` and
+/// `(edge, predicate sets)` sub-inferences number only a handful (filters
+/// share trees and constraint cells), while each uncached evaluation walks
+/// sampled join-pair reservoirs. Keys are `(sample, target)` indices into
+/// the fixed [`TargetConstraints`] — stable for the model's lifetime — so
+/// the cache can never alias two different constraints. Construct via
+/// [`BayesModel::new`].
 pub struct BayesModel<'a> {
     pub estimator: &'a BayesEstimator,
     pub constraints: &'a TargetConstraints,
+    cache: InferenceCache,
+}
+
+/// Predicate-set identity inside one model: `(column, target)` pairs plus
+/// the sample index — independent of memory addresses.
+type PredSetKey = Vec<(u32, usize)>;
+
+#[derive(Default)]
+struct InferenceCache {
+    relation: std::cell::RefCell<HashMap<(usize, prism_db::TableId, PredSetKey), f64>>,
+    edge: std::cell::RefCell<HashMap<(usize, prism_db::EdgeId, PredSetKey, PredSetKey), f64>>,
+}
+
+impl<'a> BayesModel<'a> {
+    pub fn new(
+        estimator: &'a BayesEstimator,
+        constraints: &'a TargetConstraints,
+    ) -> BayesModel<'a> {
+        BayesModel {
+            estimator,
+            constraints,
+            cache: InferenceCache::default(),
+        }
+    }
 }
 
 impl FailureModel for BayesModel<'_> {
+    /// `exp(-E[matches])` — the same Poisson zero class as
+    /// [`BayesEstimator::failure_probability`], composed from the
+    /// estimator's cacheable pieces (`relation_probability`,
+    /// `edge_factor`) with per-run memoization. A regression test asserts
+    /// bit-identical agreement with the uncached estimator call.
     fn failure_probability(&self, db: &Database, fs: &FilterSet, f: FilterId) -> f64 {
         let filter = fs.filter(f);
-        let sample = &self.constraints.samples[filter.sample];
-        let preds: Vec<(prism_db::ColumnRef, &ValueConstraint)> = filter
-            .preds
-            .iter()
-            .map(|(target, col)| {
-                (
-                    *col,
-                    sample.cells[*target].as_ref().expect("constrained cell"),
-                )
-            })
-            .collect();
-        self.estimator.failure_probability(db, &filter.tree, &preds)
+        let s = filter.sample;
+        let sample = &self.constraints.samples[s];
+        // Group predicates per table: the cache key (column, target) and
+        // the callable form (column, constraint) side by side.
+        type Group<'c> = (PredSetKey, Vec<(u32, &'c ValueConstraint)>);
+        let mut by_table: HashMap<prism_db::TableId, Group<'_>> = HashMap::new();
+        for &(target, col) in &filter.preds {
+            let c = sample.cell(target).expect("constrained cell");
+            let g = by_table.entry(col.table).or_default();
+            g.0.push((col.column, target));
+            g.1.push((col.column, c));
+        }
+        let mut expected = 1.0f64;
+        for &t in &filter.tree.tables {
+            let rows = db.row_count(t) as f64;
+            if rows == 0.0 {
+                expected = 0.0;
+                break;
+            }
+            expected *= rows;
+            if let Some((key, preds)) = by_table.get(&t) {
+                let cache_key = (s, t, key.clone());
+                let cached = self.cache.relation.borrow().get(&cache_key).copied();
+                let p = cached.unwrap_or_else(|| {
+                    let p = self.estimator.relation_probability(t, preds);
+                    self.cache.relation.borrow_mut().insert(cache_key, p);
+                    p
+                });
+                expected *= p;
+            }
+        }
+        if expected > 0.0 {
+            let empty: Group<'_> = (Vec::new(), Vec::new());
+            for &eid in &filter.tree.edges {
+                let edge = db.graph().edge(eid);
+                let (ka, pa) = by_table.get(&edge.a.table).unwrap_or(&empty);
+                let (kb, pb) = by_table.get(&edge.b.table).unwrap_or(&empty);
+                let cache_key = (s, eid, ka.clone(), kb.clone());
+                let cached = self.cache.edge.borrow().get(&cache_key).copied();
+                let factor = cached.unwrap_or_else(|| {
+                    let x = self.estimator.edge_factor(db, eid, pa, pb);
+                    self.cache.edge.borrow_mut().insert(cache_key, x);
+                    x
+                });
+                expected *= factor;
+            }
+        }
+        (-expected.max(0.0)).exp().clamp(0.0, 1.0)
     }
 }
 
@@ -175,6 +249,9 @@ struct RunState {
     /// ever *required* are top resolutions (for acceptance) and one failing
     /// filter per doomed candidate (for rejection).
     unresolved_tops: Vec<u32>,
+    /// Executor scratch reused across every validation the coordinator
+    /// runs itself (sequential engines); pool workers hold their own.
+    scratch: ExecScratch,
     outcome: ScheduleOutcome,
 }
 
@@ -185,6 +262,7 @@ impl RunState {
             fstate: vec![FState::Pending; ctx.fs.len()],
             cstate: vec![CState::Alive; n_cands],
             unresolved_tops: ctx.fs.tops.iter().map(|v| v.len() as u32).collect(),
+            scratch: ExecScratch::new(),
             outcome: ScheduleOutcome::default(),
         };
         // Step-1 pre-validated filters start out succeeded (no propagation
@@ -278,12 +356,15 @@ impl RunState {
         }
     }
 
-    /// Validate one filter on the coordinator thread (sequential engines).
+    /// Validate one filter on the coordinator thread (sequential engines),
+    /// through the filter set's shared plan cache and this run's scratch.
     fn validate_now(&mut self, ctx: &SchedCtx<'_>, f: FilterId) {
-        let ok = validate_filter(
+        let ok = validate_filter_cached(
             ctx.db,
-            ctx.fs.filter(f),
+            ctx.fs,
+            f,
             ctx.constraints,
+            &mut self.scratch,
             &mut self.outcome.exec,
         );
         self.apply_validated(ctx, f, ok);
@@ -609,10 +690,14 @@ pub fn ground_truth_outcomes(
     constraints: &TargetConstraints,
     fs: &FilterSet,
 ) -> Vec<bool> {
-    let mut scratch = ExecStats::default();
+    let mut scratch = ExecScratch::new();
+    let mut stats = ExecStats::default();
     fs.filters
         .iter()
-        .map(|f| f.prevalidated || validate_filter(db, f, constraints, &mut scratch))
+        .map(|f| {
+            f.prevalidated
+                || validate_filter_cached(db, fs, f.id, constraints, &mut scratch, &mut stats)
+        })
         .collect()
 }
 
@@ -792,16 +877,7 @@ mod tests {
         let (cands, fs) = prepare(&s);
         let est = prism_bayes::BayesEstimator::train(&s.db, &TrainConfig::default());
         let path = run_greedy(&s.db, &s.tc, &fs, &PathLengthModel, None);
-        let bayes = run_greedy(
-            &s.db,
-            &s.tc,
-            &fs,
-            &BayesModel {
-                estimator: &est,
-                constraints: &s.tc,
-            },
-            None,
-        );
+        let bayes = run_greedy(&s.db, &s.tc, &fs, &BayesModel::new(&est, &s.tc), None);
         let naive = run_naive(&s.db, &s.tc, &fs, None);
         let (_, oracle) = oracle_schedule(&s.db, &s.tc, &fs);
         assert_eq!(path.accepted, bayes.accepted, "schedulers must be sound");
@@ -832,7 +908,7 @@ mod tests {
             let cand = &cands[c as usize];
             let rows = cand.query.execute(&s.db, 100_000).unwrap();
             let witness = rows.iter().any(|row| {
-                s.tc.samples[0].cells.iter().enumerate().all(|(i, cell)| {
+                s.tc.samples[0].cells().iter().enumerate().all(|(i, cell)| {
                     cell.as_ref()
                         .map(|c| prism_lang::matches_value(c, &row[i]))
                         .unwrap_or(true)
@@ -852,16 +928,7 @@ mod tests {
         let (_, fs) = prepare(&s);
         let est = prism_bayes::BayesEstimator::train(&s.db, &TrainConfig::default());
         let naive = run_naive(&s.db, &s.tc, &fs, None);
-        let bayes = run_greedy(
-            &s.db,
-            &s.tc,
-            &fs,
-            &BayesModel {
-                estimator: &est,
-                constraints: &s.tc,
-            },
-            None,
-        );
+        let bayes = run_greedy(&s.db, &s.tc, &fs, &BayesModel::new(&est, &s.tc), None);
         // Sharing + implication should not be worse than validating every
         // candidate separately.
         assert!(
@@ -880,16 +947,7 @@ mod tests {
         let est = prism_bayes::BayesEstimator::train(&s.db, &TrainConfig::default());
         let (v_opt, _) = oracle_schedule(&s.db, &s.tc, &fs);
         let path = run_greedy(&s.db, &s.tc, &fs, &PathLengthModel, None);
-        let bayes = run_greedy(
-            &s.db,
-            &s.tc,
-            &fs,
-            &BayesModel {
-                estimator: &est,
-                constraints: &s.tc,
-            },
-            None,
-        );
+        let bayes = run_greedy(&s.db, &s.tc, &fs, &BayesModel::new(&est, &s.tc), None);
         assert!(
             v_opt <= path.validations,
             "oracle {v_opt} > path {}",
@@ -909,16 +967,7 @@ mod tests {
         let (_, fs) = prepare(&s);
         let est = prism_bayes::BayesEstimator::train(&s.db, &TrainConfig::default());
         let seq_path = run_greedy(&s.db, &s.tc, &fs, &PathLengthModel, None);
-        let seq_bayes = run_greedy(
-            &s.db,
-            &s.tc,
-            &fs,
-            &BayesModel {
-                estimator: &est,
-                constraints: &s.tc,
-            },
-            None,
-        );
+        let seq_bayes = run_greedy(&s.db, &s.tc, &fs, &BayesModel::new(&est, &s.tc), None);
         for threads in [2, 4, 8] {
             let par_path = run_greedy_parallel(&s.db, &s.tc, &fs, &PathLengthModel, None, threads);
             assert_eq!(
@@ -930,10 +979,7 @@ mod tests {
                 &s.db,
                 &s.tc,
                 &fs,
-                &BayesModel {
-                    estimator: &est,
-                    constraints: &s.tc,
-                },
+                &BayesModel::new(&est, &s.tc),
                 None,
                 threads,
             );
@@ -959,7 +1005,76 @@ mod tests {
         assert_eq!(seq.validations, one.validations);
         assert_eq!(seq.implied_successes, one.implied_successes);
         assert_eq!(seq.implied_failures, one.implied_failures);
-        assert_eq!(seq.exec, one.exec);
+        // Identical work — except that the first run populated the filter
+        // set's shared plan cache, so the second compiles nothing.
+        assert!(seq.exec.plans_built > 0);
+        assert_eq!(one.exec.plans_built, 0, "plan cache already warm");
+        let strip_plans = |e: &ExecStats| ExecStats {
+            plans_built: 0,
+            ..*e
+        };
+        assert_eq!(strip_plans(&seq.exec), strip_plans(&one.exec));
+    }
+
+    /// The cached Bayes scoring composes the estimator's public pieces
+    /// (`relation_probability`, `edge_factor`) with memoization keyed by
+    /// `(sample, target)` — it must agree bit-for-bit with the monolithic
+    /// `BayesEstimator::failure_probability`, twice (cache hits included).
+    #[test]
+    fn cached_bayes_scoring_matches_the_uncached_estimator() {
+        let s = walkthrough();
+        let (_, fs) = prepare(&s);
+        let est = prism_bayes::BayesEstimator::train(&s.db, &TrainConfig::default());
+        let model = BayesModel::new(&est, &s.tc);
+        for _round in 0..2 {
+            for f in &fs.filters {
+                let sample = &s.tc.samples[f.sample];
+                let preds: Vec<(prism_db::ColumnRef, &prism_lang::ValueConstraint)> = f
+                    .preds
+                    .iter()
+                    .map(|(target, col)| (*col, sample.cell(*target).expect("constrained")))
+                    .collect();
+                let direct = est.failure_probability(&s.db, &f.tree, &preds);
+                let cached = model.failure_probability(&s.db, &fs, f.id);
+                assert_eq!(direct.to_bits(), cached.to_bits(), "filter {:?}", f.id);
+            }
+        }
+    }
+
+    /// Satellite: plan compilation and scratch allocation amortize — one
+    /// plan per query class across *every* engine run over a filter set,
+    /// and each run reuses its scratch for all validations after the first.
+    #[test]
+    fn plan_cache_amortizes_across_engine_runs() {
+        let s = walkthrough();
+        let (_, fs) = prepare(&s);
+        let path = run_greedy(&s.db, &s.tc, &fs, &PathLengthModel, None);
+        assert!(path.exec.plans_built > 0);
+        assert!(
+            path.exec.plans_built <= fs.plans.classes() as u64,
+            "at most one compile per query class"
+        );
+        assert_eq!(
+            path.exec.scratch_reuses,
+            path.validations - 1,
+            "one scratch serves the whole sequential run"
+        );
+        // Any later engine over the same filter set compiles only classes
+        // the first run never touched.
+        let naive = run_naive(&s.db, &s.tc, &fs, None);
+        assert!(
+            naive.exec.plans_built + path.exec.plans_built <= fs.plans.classes() as u64,
+            "naive re-validates shared filters but never re-compiles them"
+        );
+        assert!(
+            fs.plans.prepared_count() as u64 == naive.exec.plans_built + path.exec.plans_built,
+            "cache population is exactly the sum of compiles"
+        );
+        // Across the two runs, compiles stay well below executions.
+        assert!(
+            path.exec.plans_built + naive.exec.plans_built < path.validations + naive.validations,
+            "plans_built must amortize below validations"
+        );
     }
 
     #[test]

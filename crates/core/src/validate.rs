@@ -3,62 +3,128 @@
 //! Validating a filter asks: *does the result of the filter's sub-join-tree
 //! contain at least one tuple satisfying the sample constraint restricted to
 //! the filter's columns?* This maps directly onto
-//! [`prism_db::PjQuery::exists_matching`], which early-exits on the first
-//! witness.
+//! [`prism_db::PreparedQuery::exists_matching`], which early-exits on the
+//! first witness.
+//!
+//! Validation is where the prepare/execute split pays: the interactive loop
+//! runs thousands of tiny existence probes per refinement round, so
+//! [`validate_filter_cached`] compiles each filter's query at most once per
+//! [`FilterSet`] (shared [`crate::filters::PlanCache`], keyed by
+//! [`Filter::query_class`]) and executes it against a caller-owned
+//! [`ExecScratch`] that clears rather than reallocates. Numeric hulls were
+//! already hoisted to constraint parse time
+//! ([`crate::constraints::SampleConstraint::hull`]), and the per-slot
+//! predicate closures are plain stack values — no boxing. The per-call
+//! [`validate_filter`] remains for one-shot callers and as the reference
+//! semantics the cached path must match.
 
 use crate::candidates::build_query;
 use crate::constraints::TargetConstraints;
-use crate::filters::Filter;
-use prism_db::{Database, ExecStats, PjQuery, ProjPred, ScanPred, ValueRef};
-use prism_lang::{matches_value_ref_with, numeric_hull};
-
-/// A boxed per-slot predicate closure over borrowed cell views.
-type BoxedPred<'a> = Box<dyn Fn(ValueRef<'_>) -> bool + 'a>;
+use crate::filters::{Filter, FilterId, FilterSet, PlanCache};
+use prism_db::{Database, ExecScratch, ExecStats, PjQuery, ProjPred, ScanPred, ValueRef};
+use prism_lang::matches_value_ref_with;
 
 /// Validate `filter` against `db` under `constraints`. Returns whether the
 /// filter is satisfied; work is accumulated into `stats`.
+///
+/// One-shot path: compiles the filter's query and uses a fresh scratch
+/// every call. Scheduling engines use [`validate_filter_cached`] instead.
 pub fn validate_filter(
     db: &Database,
     filter: &Filter,
     constraints: &TargetConstraints,
     stats: &mut ExecStats,
 ) -> bool {
-    let query = filter_query(db, filter);
+    let mut scratch = ExecScratch::new();
+    run_validation(db, filter, constraints, None, &mut scratch, stats)
+}
+
+/// Validate one filter of `fs`, reusing its shared prepared-plan cache and
+/// the caller's `scratch`. Identical verdicts to [`validate_filter`]; the
+/// only difference is that compilation happens at most once per query class
+/// ([`ExecStats::plans_built`]) and the scratch amortizes its allocations
+/// across calls ([`ExecStats::scratch_reuses`]).
+pub fn validate_filter_cached(
+    db: &Database,
+    fs: &FilterSet,
+    f: FilterId,
+    constraints: &TargetConstraints,
+    scratch: &mut ExecScratch,
+    stats: &mut ExecStats,
+) -> bool {
+    run_validation(
+        db,
+        fs.filter(f),
+        constraints,
+        Some(&fs.plans),
+        scratch,
+        stats,
+    )
+}
+
+fn run_validation(
+    db: &Database,
+    filter: &Filter,
+    constraints: &TargetConstraints,
+    plans: Option<&PlanCache>,
+    scratch: &mut ExecScratch,
+    stats: &mut ExecStats,
+) -> bool {
     let sample = &constraints.samples[filter.sample];
+    let udfs = &constraints.udfs;
     // One closure per projection slot (= per filter predicate). Cells reach
-    // the closures as zero-copy views out of typed column storage.
-    let preds: Vec<(BoxedPred<'_>, (f64, f64))> = filter
+    // the closures as zero-copy views out of typed column storage. All
+    // closures share one anonymous type, so the vector needs no boxing.
+    let cell_preds: Vec<_> = filter
         .preds
         .iter()
         .map(|(target, _)| {
-            let c = sample.cells[*target]
+            let c = sample.cells()[*target]
                 .as_ref()
                 .expect("filter predicates reference constrained cells");
-            let udfs = &constraints.udfs;
-            let hull = numeric_hull(c);
-            (
-                Box::new(move |v: ValueRef<'_>| matches_value_ref_with(c, v, udfs))
-                    as BoxedPred<'_>,
-                hull,
-            )
+            move |v: ValueRef<'_>| matches_value_ref_with(c, v, udfs)
         })
         .collect();
-    // Each predicate carries its constraint's numeric hull so the executor
-    // can prune scan blocks of numeric columns against zone maps. An
-    // unbounded hull is omitted — it could never prune.
-    let pred_refs: Vec<ProjPred<'_>> = preds
+    // Each predicate carries its constraint's precomputed numeric hull so
+    // the executor can prune scan blocks of numeric columns against zone
+    // maps. An unbounded hull is omitted — it could never prune.
+    let pred_refs: Vec<ProjPred<'_>> = cell_preds
         .iter()
-        .map(|(p, (lo, hi))| {
-            let mut sp = ScanPred::new(p.as_ref());
-            if *lo > f64::NEG_INFINITY || *hi < f64::INFINITY {
-                sp = sp.with_range(*lo, *hi);
+        .zip(&filter.preds)
+        .map(|(p, &(target, _))| {
+            let (lo, hi) = sample.hull(target);
+            let mut sp = ScanPred::new(p);
+            if lo > f64::NEG_INFINITY || hi < f64::INFINITY {
+                sp = sp.with_range(lo, hi);
             }
             Some(sp)
         })
         .collect();
-    query
-        .exists_matching(db, &pred_refs, stats)
-        .expect("filter queries are structurally valid by construction")
+    const VALID: &str = "filter queries are structurally valid by construction";
+    match plans {
+        Some(cache) => {
+            let (prepared, built) = cache.get_or_prepare(filter.query_class, || {
+                filter_query(db, filter)
+                    .prepare(db, &pred_refs)
+                    .expect(VALID)
+            });
+            if built {
+                stats.plans_built += 1;
+            }
+            prepared
+                .exists_matching(db, &pred_refs, scratch, stats)
+                .expect(VALID)
+        }
+        None => {
+            stats.plans_built += 1;
+            let prepared = filter_query(db, filter)
+                .prepare(db, &pred_refs)
+                .expect(VALID);
+            prepared
+                .exists_matching(db, &pred_refs, scratch, stats)
+                .expect(VALID)
+        }
+    }
 }
 
 /// The executable PJ query of a filter: its subtree with the constrained

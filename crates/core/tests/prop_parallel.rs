@@ -10,12 +10,14 @@ use prism_core::scheduler::{
     oracle_schedule, run_greedy, run_greedy_parallel, run_naive, BayesModel, PathLengthModel,
     SchedulerKind,
 };
+use prism_core::validate::validate_filter;
 use prism_core::{
     candidates::enumerate_candidates, filters::build_filters, related::find_related,
     DiscoveryConfig, TargetConstraints,
 };
 use prism_datasets::{mondial, MappingTask, Resolution, TaskGenConfig, TaskGenerator};
 use prism_db::Database;
+use prism_db::ExecStats;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -72,7 +74,7 @@ proptest! {
             let (v_opt, truth) = oracle_schedule(db, &tc, &fs);
             // Sequential engines.
             let seq_path = run_greedy(db, &tc, &fs, &PathLengthModel, None);
-            let bayes_model = BayesModel { estimator: est, constraints: &tc };
+            let bayes_model = BayesModel::new(est, &tc);
             let seq_bayes = run_greedy(db, &tc, &fs, &bayes_model, None);
             let naive = run_naive(db, &tc, &fs, None);
             prop_assert_eq!(&seq_path.accepted, &truth.accepted);
@@ -101,6 +103,71 @@ proptest! {
                 prop_assert!(par_path.validations >= v_opt);
                 prop_assert!(par_bayes.validations >= v_opt);
             }
+        }
+    }
+
+    /// PR 5: discovery through the *cached-plan* engines (shared
+    /// `PlanCache` + reused `ExecScratch`, sequential and parallel alike)
+    /// accepts exactly the candidate set of the PR 3-era per-call path —
+    /// here reconstructed filter-by-filter with the uncached
+    /// `validate_filter`, which compiles and scratches afresh every call.
+    #[test]
+    fn cached_plan_discovery_matches_the_per_call_path(
+        seed in 0u64..1_000,
+        resolution in arb_resolution(),
+    ) {
+        let (db, _) = fixture();
+        let config = DiscoveryConfig::default();
+        let taskgen = TaskGenerator::new(db, TaskGenConfig::default());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tasks = taskgen.generate_many(resolution, 1, &mut rng);
+        for task in &tasks {
+            let tc = task_constraints(task);
+            let related = find_related(db, &tc, &config);
+            let cands = enumerate_candidates(db, &related, &config, None).candidates;
+            if cands.is_empty() {
+                continue;
+            }
+            let fs = build_filters(db, &cands, &tc, None);
+            // Per-call reference: a candidate is accepted iff every top
+            // filter holds, each validated with a one-shot compile.
+            let mut ref_stats = ExecStats::default();
+            let expected: Vec<u32> = (0..fs.per_candidate.len() as u32)
+                .filter(|&c| {
+                    fs.tops[c as usize].iter().all(|&t| {
+                        let f = fs.filter(t);
+                        f.prevalidated || validate_filter(db, f, &tc, &mut ref_stats)
+                    })
+                })
+                .collect();
+            for threads in [1usize, 2, 4] {
+                let outcome =
+                    run_greedy_parallel(db, &tc, &fs, &PathLengthModel, None, threads);
+                prop_assert_eq!(
+                    &outcome.accepted, &expected,
+                    "cached-plan engine diverged @ {} threads ({:?}/{})",
+                    threads, resolution, seed
+                );
+                // Amortization is observable: compiles never exceed query
+                // classes. (A multi-thread batch may validate filters the
+                // 1-thread run resolved by implication, so a later run
+                // compiling a few cold classes is legitimate.)
+                prop_assert!(outcome.exec.plans_built <= fs.plans.classes() as u64);
+                if outcome.validations > 0 {
+                    prop_assert!(
+                        outcome.exec.scratch_reuses >=
+                            outcome.validations.saturating_sub(threads as u64),
+                        "each worker reuses its scratch after its first validation"
+                    );
+                }
+            }
+            // Deterministic warm-cache check: re-running the exact 1-thread
+            // path validates the same filters as its first run, so every
+            // class it needs is already compiled.
+            let rerun = run_greedy_parallel(db, &tc, &fs, &PathLengthModel, None, 1);
+            prop_assert_eq!(&rerun.accepted, &expected);
+            prop_assert_eq!(rerun.exec.plans_built, 0,
+                "identical rerun must be fully served by the warm plan cache");
         }
     }
 }

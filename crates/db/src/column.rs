@@ -39,6 +39,15 @@
 //! [`Column::block_may_contain_key`] / [`Column::block_may_overlap_range`]
 //! to skip whole blocks before touching a row; both tests are conservative
 //! (`false` proves the block holds no matching row, `true` proves nothing).
+//!
+//! Zone maps are built in **one typed pass** per column (the data kind is
+//! matched once, not per row). A column that fits a single block allocates
+//! no per-block metadata — its one block would be touched by any scan
+//! anyway — but every frozen column carries an **inline whole-column
+//! summary zone** ([`Column::may_contain_key`] /
+//! [`Column::may_overlap_range`]; folded from the block zones when they
+//! exist), so a probe that provably misses the entire column skips the
+//! scan even on small tables.
 
 use crate::interner::SymbolTable;
 use crate::types::{DataType, KeySpace, Value, ValueRef};
@@ -130,6 +139,109 @@ pub struct BlockMeta {
     pub zone: Zone,
 }
 
+impl BlockMeta {
+    /// Can any row summarized by this meta carry compact join key `key` in
+    /// `space`? Conservative: `false` proves absence, `true` proves
+    /// nothing.
+    #[inline]
+    pub fn may_contain_key(&self, key: u64, space: KeySpace) -> bool {
+        match (self.zone, space) {
+            (Zone::AllNull, _) => false, // NULL rows never carry a key
+            (Zone::Int { min, max }, KeySpace::Int) => {
+                let k = key as i64;
+                min <= k && k <= max
+            }
+            (Zone::Int { min, max }, KeySpace::F64) => {
+                // The key is `(v as f64).to_bits()` of some i64 v. i64→f64
+                // conversion is monotone, so the f64 images of the zone's
+                // values all lie in [min as f64, max as f64] — exact, no
+                // rounding margin needed.
+                let f = f64::from_bits(key);
+                (min as f64) <= f && f <= (max as f64)
+            }
+            (Zone::Dec { min, max, has_nan }, KeySpace::F64) => {
+                let f = f64::from_bits(key);
+                if f.is_nan() {
+                    // Keys compare by bit pattern, so a NaN key can match a
+                    // stored NaN; only a NaN-free zone is provably clear.
+                    has_nan
+                } else {
+                    min <= f && f <= max
+                }
+            }
+            (Zone::Sym { min, max, mask }, KeySpace::Sym) => {
+                let code = key as u32;
+                min <= code && code <= max && mask >> (code % 64) & 1 == 1
+            }
+            (z, s) => unreachable!("zone {z:?} probed in space {s:?}"),
+        }
+    }
+
+    /// Can any non-NULL numeric row summarized by this meta lie in the
+    /// closed interval `[lo, hi]`? Conservative like
+    /// [`BlockMeta::may_contain_key`]; always `true` for dictionary zones
+    /// (ranges don't apply to codes). NaN rows can never satisfy a range,
+    /// so they are ignored here.
+    #[inline]
+    pub fn may_overlap_range(&self, lo: f64, hi: f64) -> bool {
+        match self.zone {
+            Zone::AllNull => false,
+            // i64→f64 conversion is monotone and `lo`/`hi` are exactly
+            // representable, so `(max as f64) < lo` implies `max < lo` (and
+            // symmetrically) — the integer test needs no rounding margin.
+            Zone::Int { min, max } => !((max as f64) < lo || (min as f64) > hi),
+            Zone::Dec { min, max, .. } => !(max < lo || min > hi),
+            Zone::Sym { .. } => true,
+        }
+    }
+
+    /// Widen this meta to also cover everything `other` covers.
+    fn fold(&mut self, other: &BlockMeta) {
+        self.has_null |= other.has_null;
+        self.zone = match (self.zone, other.zone) {
+            (z, Zone::AllNull) => z,
+            (Zone::AllNull, z) => z,
+            (Zone::Int { min: a, max: b }, Zone::Int { min: c, max: d }) => Zone::Int {
+                min: a.min(c),
+                max: b.max(d),
+            },
+            (
+                Zone::Dec {
+                    min: a,
+                    max: b,
+                    has_nan: x,
+                },
+                Zone::Dec {
+                    min: c,
+                    max: d,
+                    has_nan: y,
+                },
+            ) => Zone::Dec {
+                min: a.min(c),
+                max: b.max(d),
+                has_nan: x || y,
+            },
+            (
+                Zone::Sym {
+                    min: a,
+                    max: b,
+                    mask: x,
+                },
+                Zone::Sym {
+                    min: c,
+                    max: d,
+                    mask: y,
+                },
+            ) => Zone::Sym {
+                min: a.min(c),
+                max: b.max(d),
+                mask: x | y,
+            },
+            (a, b) => unreachable!("folding mismatched zones {a:?} / {b:?}"),
+        };
+    }
+}
+
 /// One typed column: declared type, primitive data vector, null bitmap.
 /// NULL rows hold a placeholder in the data vector (0 / 0.0 / `u32::MAX`)
 /// and are flagged in the bitmap.
@@ -143,9 +255,16 @@ pub struct Column {
     /// predicate memo bitmaps to the column, not the whole database.
     max_sym: u32,
     /// Zone maps, one per `block_rows`-sized block. Empty until
-    /// [`Column::freeze_blocks`] runs (the database freeze does so).
+    /// [`Column::freeze_blocks`] runs (the database freeze does so), and
+    /// empty for columns that fit one block (see `freeze_blocks`).
     blocks: Vec<BlockMeta>,
-    /// Rows per block; 0 until frozen.
+    /// Whole-column summary zone, present once frozen — an inline field,
+    /// not an allocation. For multi-block columns it is the fold of the
+    /// per-block zones (no second data pass); for single-block columns it
+    /// is the *only* zone computed, so range/key probes can still prove a
+    /// whole small table empty without per-block metadata.
+    summary: Option<BlockMeta>,
+    /// Rows per block; 0 until frozen or when the column fits one block.
     block_rows: u32,
 }
 
@@ -166,6 +285,7 @@ impl Column {
             nulls: NullBitmap::default(),
             max_sym: 0,
             blocks: Vec::new(),
+            summary: None,
             block_rows: 0,
         }
     }
@@ -209,10 +329,11 @@ impl Column {
     /// Append one cell. The value must already be validated against (and
     /// widened to) this column's type — [`crate::Table::push_row`] does so.
     pub(crate) fn push(&mut self, v: Value, syms: &mut SymbolTable) {
-        if !self.blocks.is_empty() {
+        if !self.blocks.is_empty() || self.summary.is_some() {
             // Freeze is the last thing to happen to a column, but a mutation
             // must never leave stale zone maps behind.
             self.blocks.clear();
+            self.summary = None;
             self.block_rows = 0;
         }
         match (&mut self.data, v) {
@@ -329,60 +450,127 @@ impl Column {
 
     /// (Re)compute the per-block zone maps at `block_rows` rows per block.
     /// Called once when the owning database freezes; idempotent.
+    ///
+    /// The computation is one typed pass per column: the data kind is
+    /// matched **once** and each block's summary comes from a tight loop
+    /// over its chunk slice (with a branch-free body when the column has no
+    /// NULLs — the common case). Columns that fit a **single block**
+    /// allocate no per-block metadata (it could never skip anything a scan
+    /// wouldn't touch) but still get the inline whole-column summary.
     pub(crate) fn freeze_blocks(&mut self, block_rows: usize) {
         debug_assert!(block_rows > 0);
-        self.block_rows = block_rows as u32;
-        let n = self.len();
         self.blocks.clear();
-        self.blocks.reserve(n.div_ceil(block_rows));
+        let n = self.len();
+        if n <= block_rows {
+            // Single block: per-block zone maps could never skip anything a
+            // scan wouldn't touch anyway, so no metadata Vec is allocated —
+            // but the inline whole-column summary is still computed (one
+            // tight pass), so range and key probes can prove the entire
+            // column empty.
+            self.block_rows = 0;
+            self.summary = (n > 0).then(|| self.chunk_meta(0, n));
+            return;
+        }
+        self.block_rows = block_rows as u32;
+        self.blocks.reserve_exact(n.div_ceil(block_rows));
         for start in (0..n).step_by(block_rows) {
-            let end = (start + block_rows).min(n);
-            let mut has_null = false;
-            let mut zone = Zone::AllNull;
-            for r in start..end {
-                if self.nulls.is_null(r) {
-                    has_null = true;
-                    continue;
-                }
-                zone = match (&self.data, zone) {
-                    (ColumnData::Int(v), Zone::AllNull) => Zone::Int {
-                        min: v[r],
-                        max: v[r],
-                    },
-                    (ColumnData::Int(v), Zone::Int { min, max }) => Zone::Int {
-                        min: min.min(v[r]),
-                        max: max.max(v[r]),
-                    },
-                    (ColumnData::Decimal(v), z) => {
-                        let (mut min, mut max, mut has_nan) = match z {
-                            Zone::Dec { min, max, has_nan } => (min, max, has_nan),
-                            // Empty range auto-fails every overlap test
-                            // until a finite value lands in the block.
-                            _ => (f64::INFINITY, f64::NEG_INFINITY, false),
-                        };
-                        let x = v[r];
-                        if x.is_nan() {
-                            has_nan = true;
-                        } else {
-                            min = min.min(x);
-                            max = max.max(x);
-                        }
-                        Zone::Dec { min, max, has_nan }
+            let meta = self.chunk_meta(start, (start + block_rows).min(n));
+            self.blocks.push(meta);
+        }
+        // The whole-column summary is the fold of the block zones — no
+        // second pass over the data.
+        let mut summary = self.blocks[0];
+        for b in &self.blocks[1..] {
+            summary.fold(b);
+        }
+        self.summary = Some(summary);
+    }
+
+    /// Zone summary of rows `start..end`, computed in one tight typed loop
+    /// (the data kind is matched once per chunk, and the NULL test is
+    /// skipped entirely for NULL-free columns).
+    fn chunk_meta(&self, start: usize, end: usize) -> BlockMeta {
+        debug_assert!(start < end && end <= self.len());
+        let no_nulls = self.nulls.none_null();
+        let nulls = &self.nulls;
+        match &self.data {
+            ColumnData::Int(v) => {
+                let (mut min, mut max) = (i64::MAX, i64::MIN);
+                let mut has_null = false;
+                let mut any = false;
+                if no_nulls {
+                    any = true;
+                    for &x in &v[start..end] {
+                        min = min.min(x);
+                        max = max.max(x);
                     }
-                    (ColumnData::Sym(v), Zone::AllNull) => Zone::Sym {
-                        min: v[r],
-                        max: v[r],
-                        mask: 1u64 << (v[r] % 64),
-                    },
-                    (ColumnData::Sym(v), Zone::Sym { min, max, mask }) => Zone::Sym {
-                        min: min.min(v[r]),
-                        max: max.max(v[r]),
-                        mask: mask | 1u64 << (v[r] % 64),
-                    },
-                    (_, z) => unreachable!("zone kind flipped mid-column: {z:?}"),
+                } else {
+                    for (i, &x) in v[start..end].iter().enumerate() {
+                        if nulls.is_null(start + i) {
+                            has_null = true;
+                            continue;
+                        }
+                        any = true;
+                        min = min.min(x);
+                        max = max.max(x);
+                    }
+                }
+                let zone = if any {
+                    Zone::Int { min, max }
+                } else {
+                    Zone::AllNull
                 };
+                BlockMeta { has_null, zone }
             }
-            self.blocks.push(BlockMeta { has_null, zone });
+            ColumnData::Decimal(v) => {
+                // Empty range auto-fails every overlap test until a finite
+                // value lands in the chunk.
+                let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+                let mut has_nan = false;
+                let mut has_null = false;
+                let mut any = false;
+                for (i, &x) in v[start..end].iter().enumerate() {
+                    if !no_nulls && nulls.is_null(start + i) {
+                        has_null = true;
+                        continue;
+                    }
+                    any = true;
+                    if x.is_nan() {
+                        has_nan = true;
+                    } else {
+                        min = min.min(x);
+                        max = max.max(x);
+                    }
+                }
+                let zone = if any {
+                    Zone::Dec { min, max, has_nan }
+                } else {
+                    Zone::AllNull
+                };
+                BlockMeta { has_null, zone }
+            }
+            ColumnData::Sym(v) => {
+                let (mut min, mut max) = (u32::MAX, 0u32);
+                let mut mask = 0u64;
+                let mut has_null = false;
+                let mut any = false;
+                for (i, &code) in v[start..end].iter().enumerate() {
+                    if !no_nulls && nulls.is_null(start + i) {
+                        has_null = true;
+                        continue;
+                    }
+                    any = true;
+                    min = min.min(code);
+                    max = max.max(code);
+                    mask |= 1u64 << (code % 64);
+                }
+                let zone = if any {
+                    Zone::Sym { min, max, mask }
+                } else {
+                    Zone::AllNull
+                };
+                BlockMeta { has_null, zone }
+            }
         }
     }
 
@@ -402,38 +590,9 @@ impl Column {
     /// are `block_rows()` rows; `b` must be in range once frozen.
     #[inline]
     pub fn block_may_contain_key(&self, b: usize, key: u64, space: KeySpace) -> bool {
-        let Some(meta) = self.blocks.get(b) else {
-            return true; // not frozen: nothing provable
-        };
-        match (meta.zone, space) {
-            (Zone::AllNull, _) => false, // NULL rows never carry a key
-            (Zone::Int { min, max }, KeySpace::Int) => {
-                let k = key as i64;
-                min <= k && k <= max
-            }
-            (Zone::Int { min, max }, KeySpace::F64) => {
-                // The key is `(v as f64).to_bits()` of some i64 v. i64→f64
-                // conversion is monotone, so the f64 images of the block's
-                // values all lie in [min as f64, max as f64] — exact, no
-                // rounding margin needed.
-                let f = f64::from_bits(key);
-                (min as f64) <= f && f <= (max as f64)
-            }
-            (Zone::Dec { min, max, has_nan }, KeySpace::F64) => {
-                let f = f64::from_bits(key);
-                if f.is_nan() {
-                    // Keys compare by bit pattern, so a NaN key can match a
-                    // stored NaN; only a NaN-free block is provably clear.
-                    has_nan
-                } else {
-                    min <= f && f <= max
-                }
-            }
-            (Zone::Sym { min, max, mask }, KeySpace::Sym) => {
-                let code = key as u32;
-                min <= code && code <= max && mask >> (code % 64) & 1 == 1
-            }
-            (z, s) => unreachable!("zone {z:?} probed in space {s:?}"),
+        match self.blocks.get(b) {
+            Some(meta) => meta.may_contain_key(key, space),
+            None => true, // not frozen / single block: nothing provable here
         }
     }
 
@@ -443,18 +602,36 @@ impl Column {
     /// NaN rows can never satisfy a range, so they are ignored here.
     #[inline]
     pub fn block_may_overlap_range(&self, b: usize, lo: f64, hi: f64) -> bool {
-        let Some(meta) = self.blocks.get(b) else {
-            return true;
-        };
-        match meta.zone {
-            Zone::AllNull => false,
-            // i64→f64 conversion is monotone and `lo`/`hi` are exactly
-            // representable, so `(max as f64) < lo` implies `max < lo` (and
-            // symmetrically) — the integer test needs no rounding margin.
-            Zone::Int { min, max } => !((max as f64) < lo || (min as f64) > hi),
-            Zone::Dec { min, max, .. } => !(max < lo || min > hi),
-            Zone::Sym { .. } => true,
+        match self.blocks.get(b) {
+            Some(meta) => meta.may_overlap_range(lo, hi),
+            None => true,
         }
+    }
+
+    /// Can *any* row of the whole column carry `key` in `space`? Answered
+    /// from the inline summary zone, so it works even for single-block
+    /// columns that carry no per-block metadata. `true` before freeze.
+    #[inline]
+    pub fn may_contain_key(&self, key: u64, space: KeySpace) -> bool {
+        match &self.summary {
+            Some(meta) => meta.may_contain_key(key, space),
+            None => !self.is_empty(), // unfrozen: nothing provable
+        }
+    }
+
+    /// Can any non-NULL numeric row of the whole column lie in `[lo, hi]`?
+    /// Summary-level companion of [`Column::block_may_overlap_range`].
+    #[inline]
+    pub fn may_overlap_range(&self, lo: f64, hi: f64) -> bool {
+        match &self.summary {
+            Some(meta) => meta.may_overlap_range(lo, hi),
+            None => !self.is_empty(),
+        }
+    }
+
+    /// The whole-column summary zone (`None` before the database freeze).
+    pub fn summary_meta(&self) -> Option<&BlockMeta> {
+        self.summary.as_ref()
     }
 
     /// Heap bytes held by this column's data vector, null bitmap, and zone
@@ -603,11 +780,14 @@ mod tests {
         let mut syms = SymbolTable::new();
         let mut c = Column::new(DataType::Decimal);
         // Raw -0.0 normalizes on insert, so the zone stores +0.0 and a
-        // probe key built from 0.0 bits must not be pruned.
+        // probe key built from 0.0 bits must not be pruned. (Two rows at
+        // one row per block: single-block columns skip zone maps.)
         c.push(Value::Decimal(-0.0), &mut syms);
-        c.freeze_blocks(4);
+        c.push(Value::Decimal(7.0), &mut syms);
+        c.freeze_blocks(1);
         assert!(c.block_may_contain_key(0, (0f64).to_bits(), KeySpace::F64));
         assert!(c.block_may_overlap_range(0, 0.0, 0.0));
+        assert!(!c.block_may_overlap_range(0, 1.0, 2.0));
     }
 
     #[test]
@@ -615,11 +795,59 @@ mod tests {
         let mut syms = SymbolTable::new();
         let mut c = Column::new(DataType::Int);
         c.push(Value::Int(i64::MAX - 1), &mut syms);
-        c.freeze_blocks(4);
-        // Exact in the Int space: only the stored neighbor passes.
+        c.push(Value::Int(0), &mut syms);
+        c.freeze_blocks(1);
+        // Exact in the Int space: only the stored neighbor passes block 0.
         assert!(c.block_may_contain_key(0, (i64::MAX - 1) as u64, KeySpace::Int));
         assert!(!c.block_may_contain_key(0, i64::MAX as u64, KeySpace::Int));
         assert!(!c.block_may_contain_key(0, i64::MIN as u64, KeySpace::Int));
+    }
+
+    #[test]
+    fn single_block_columns_skip_zone_maps_but_keep_a_summary() {
+        let mut syms = SymbolTable::new();
+        let mut c = Column::new(DataType::Int);
+        for i in 0..10 {
+            c.push(Value::Int(i), &mut syms);
+        }
+        c.freeze_blocks(16);
+        // The whole column fits one block: no per-block metadata is
+        // allocated and block-level probes prove nothing...
+        assert_eq!(c.block_rows(), None);
+        assert!(c.block_meta().is_empty());
+        assert_eq!(c.zone_map_bytes(), 0);
+        assert!(c.block_may_contain_key(0, 999, KeySpace::Int));
+        assert!(c.block_may_overlap_range(0, 1e9, 2e9));
+        // ...but the inline whole-column summary still prunes.
+        assert!(c.may_contain_key(7i64 as u64, KeySpace::Int));
+        assert!(!c.may_contain_key(999, KeySpace::Int));
+        assert!(c.may_overlap_range(5.0, 6.0));
+        assert!(!c.may_overlap_range(1e9, 2e9));
+        // One more row pushes it past the block size: zones appear, and the
+        // summary becomes their fold.
+        for i in 90..97 {
+            c.push(Value::Int(i), &mut syms);
+        }
+        c.freeze_blocks(16);
+        assert_eq!(c.block_rows(), Some(16));
+        assert_eq!(c.block_meta().len(), 2);
+        assert_eq!(
+            c.summary_meta().unwrap().zone,
+            Zone::Int { min: 0, max: 96 }
+        );
+        assert!(!c.may_overlap_range(100.0, 200.0));
+    }
+
+    #[test]
+    fn mutation_after_freeze_drops_the_summary_too() {
+        let mut syms = SymbolTable::new();
+        let mut c = Column::new(DataType::Int);
+        c.push(Value::Int(1), &mut syms);
+        c.freeze_blocks(4);
+        assert!(!c.may_contain_key(50i64 as u64, KeySpace::Int));
+        c.push(Value::Int(50), &mut syms);
+        assert!(c.summary_meta().is_none(), "stale summary dropped");
+        assert!(c.may_contain_key(50i64 as u64, KeySpace::Int));
     }
 
     #[test]
@@ -629,18 +857,23 @@ mod tests {
         for s in ["a", "b", "c"] {
             c.push(Value::text(s), &mut syms);
         }
-        // Intern two more codes that never enter the column.
+        // Intern a code that never enters the column.
         let absent_in_range = syms.intern_text("z1");
-        c.push(Value::text("e"), &mut syms); // code 4 > absent_in_range? no:
-        c.freeze_blocks(8);
-        let Zone::Sym { min, max, .. } = c.block_meta()[0].zone else {
+        c.push(Value::text("e"), &mut syms); // code 4
+        c.freeze_blocks(2);
+        assert_eq!(c.block_meta().len(), 2);
+        let Zone::Sym { min, max, .. } = c.block_meta()[1].zone else {
             panic!("sym zone expected");
         };
-        assert_eq!(min, 0);
-        // "z1" (code 3) is inside [min, max] yet absent: the mask prunes it.
-        assert!(max >= absent_in_range);
-        assert!(!c.block_may_contain_key(0, absent_in_range as u64, KeySpace::Sym));
+        // Block 1 holds {"c" (2), "e" (4)}: "z1" (code 3) is inside
+        // [min, max] yet absent — the mask prunes it.
+        assert_eq!((min, max), (2, 4));
+        assert!(min < absent_in_range && absent_in_range < max);
+        assert!(!c.block_may_contain_key(1, absent_in_range as u64, KeySpace::Sym));
+        assert!(c.block_may_contain_key(1, 2, KeySpace::Sym));
         assert!(c.block_may_contain_key(0, 0, KeySpace::Sym));
+        // ...and the plain code range prunes block 0.
+        assert!(!c.block_may_contain_key(0, absent_in_range as u64, KeySpace::Sym));
         // Ranges never prune dictionary columns.
         assert!(c.block_may_overlap_range(0, 1e9, 2e9));
     }
@@ -650,8 +883,9 @@ mod tests {
         let mut syms = SymbolTable::new();
         let mut c = Column::new(DataType::Int);
         c.push(Value::Int(1), &mut syms);
-        c.freeze_blocks(4);
-        assert_eq!(c.block_meta().len(), 1);
+        c.push(Value::Int(2), &mut syms);
+        c.freeze_blocks(1);
+        assert_eq!(c.block_meta().len(), 2);
         c.push(Value::Int(999), &mut syms);
         assert!(c.block_meta().is_empty());
         assert_eq!(c.block_rows(), None);

@@ -23,16 +23,37 @@
 //! [`ValueRef`] views. Owned `Value`s appear only at the projection
 //! boundary ([`PjQuery::execute`]).
 //!
+//! ## Prepared execution
+//!
+//! Query compilation is split from execution. [`PjQuery::prepare`] runs
+//! structural validation **once**, builds the internal plan **once**, and
+//! sizes the dictionary-memo shapes **once**; the resulting
+//! [`PreparedQuery`] can then be executed any number of times against an
+//! [`ExecScratch`] that owns the per-run mutable state (the node-assignment
+//! vector, the per-slot verdict bitmaps) and **clears it instead of
+//! reallocating** between runs; the projection row buffer borrows database
+//! cells and is therefore per-run, but lazily allocated — existence misses
+//! never touch it. The interactive loop
+//! issues thousands of tiny existence probes per refinement round, so
+//! amortizing compilation is the difference between allocation-bound and
+//! scan-bound probes ([`ExecStats::plans_built`] /
+//! [`ExecStats::scratch_reuses`] make the amortization observable).
+//! [`PjQuery::for_each_row`] and friends remain as thin prepare-then-run
+//! wrappers for one-shot queries.
+//!
 //! ## Block pruning and dictionary memoization
 //!
 //! Scans are block-partitioned (see the `column` module docs): before a
 //! start-node scan or a key-filtered scan touches a row, the block's zone
 //! map is tested against the probe key and against any [`ScanPred`] numeric
 //! range hints, and provably-empty blocks are skipped wholesale
-//! ([`ExecStats::blocks_skipped`]). Predicates on dictionary-encoded
-//! columns (text/date/time) are evaluated once per distinct symbol code: a
-//! per-slot verdict bitmap is shared by *every* path that tests the
-//! predicate — full scans, key-filtered scans, and index-probed rows alike.
+//! ([`ExecStats::blocks_skipped`]). An *empty* numeric hull (`lo > hi`)
+//! skips the whole scan outright — no zone maps needed, so even
+//! single-block columns (which carry none) benefit. Predicates on
+//! dictionary-encoded columns (text/date/time) are evaluated once per
+//! distinct symbol code: a per-slot verdict bitmap is shared by *every*
+//! path that tests the predicate — full scans, key-filtered scans, and
+//! index-probed rows alike.
 
 use crate::column::{Column, ColumnData};
 use crate::database::Database;
@@ -103,6 +124,13 @@ pub struct ExecStats {
     pub rows_emitted: u64,
     /// Whole blocks skipped by zone-map pruning before any row was touched.
     pub blocks_skipped: u64,
+    /// Query plans actually compiled ([`PjQuery::prepare`] + the one-shot
+    /// wrappers). With a prepared-plan cache in front, this stays far below
+    /// the number of executions — the observable half of amortization.
+    pub plans_built: u64,
+    /// Executions that reused an already-dirty [`ExecScratch`] (its buffers
+    /// were cleared, not reallocated) — the other half of amortization.
+    pub scratch_reuses: u64,
 }
 
 impl ExecStats {
@@ -114,6 +142,8 @@ impl ExecStats {
         self.index_probes += other.index_probes;
         self.rows_emitted += other.rows_emitted;
         self.blocks_skipped += other.blocks_skipped;
+        self.plans_built += other.plans_built;
+        self.scratch_reuses += other.scratch_reuses;
     }
 
     pub fn add(&mut self, other: &ExecStats) {
@@ -234,16 +264,15 @@ impl PjQuery {
         self.joins.len()
     }
 
-    /// Evaluate the query, invoking `cb` for each projected result row and
-    /// applying `preds` (one optional predicate per projection slot) before
-    /// emission. Enumeration stops when `cb` returns `false`.
-    pub fn for_each_row(
-        &self,
-        db: &Database,
-        preds: &[ProjPred<'_>],
-        stats: &mut ExecStats,
-        cb: RowCallback<'_>,
-    ) -> Result<(), DbError> {
+    /// Compile this query against `db`: validate once, build the execution
+    /// plan once, size the dictionary-memo shapes once. The plan depends on
+    /// *which* projection slots carry a predicate, so `preds` fixes that
+    /// shape; every later [`PreparedQuery::for_each_row`] call must supply
+    /// predicates on exactly the same slots (their closures and range hints
+    /// may differ freely). The prepared query borrows nothing and may be
+    /// cached and shared across threads, but is only meaningful against the
+    /// database it was prepared for.
+    pub fn prepare(&self, db: &Database, preds: &[ProjPred<'_>]) -> Result<PreparedQuery, DbError> {
         self.validate(db)?;
         if !preds.is_empty() && preds.len() != self.projection.len() {
             return Err(DbError::InvalidQuery(format!(
@@ -253,20 +282,36 @@ impl PjQuery {
             )));
         }
         let plan = Plan::build(self, db, preds);
-        let search = Search {
-            db,
-            q: self,
-            plan: &plan,
-            preds,
-        };
-        let mut st = SearchState {
-            assignment: vec![0; self.nodes.len()],
-            memos: SlotMemo::for_query(self, db, preds),
-            stats,
-            cb,
-        };
-        search.run(0, &mut st)?;
-        Ok(())
+        let memo_shapes = MemoShape::for_query(self, db, preds);
+        let pred_mask = (0..self.projection.len())
+            .map(|s| preds.get(s).copied().flatten().is_some())
+            .collect();
+        Ok(PreparedQuery {
+            query: self.clone(),
+            plan,
+            memo_shapes,
+            pred_mask,
+        })
+    }
+
+    /// Evaluate the query, invoking `cb` for each projected result row and
+    /// applying `preds` (one optional predicate per projection slot) before
+    /// emission. Enumeration stops when `cb` returns `false`.
+    ///
+    /// One-shot wrapper: prepares (and counts one plan built) and runs with
+    /// a fresh scratch. Repeated callers should [`PjQuery::prepare`] once
+    /// and reuse an [`ExecScratch`].
+    pub fn for_each_row(
+        &self,
+        db: &Database,
+        preds: &[ProjPred<'_>],
+        stats: &mut ExecStats,
+        cb: RowCallback<'_>,
+    ) -> Result<(), DbError> {
+        let prepared = self.prepare(db, preds)?;
+        stats.plans_built += 1;
+        let mut scratch = ExecScratch::new();
+        prepared.for_each_row(db, preds, &mut scratch, stats, cb)
     }
 
     /// Materialize up to `limit` result rows. This is the projection
@@ -315,8 +360,168 @@ impl PjQuery {
     }
 }
 
+/// A compiled [`PjQuery`]: validated, planned, and memo-shaped exactly once
+/// (see [`PjQuery::prepare`]). Owns no borrows, so it can live in caches
+/// shared across validation worker threads.
+#[derive(Debug)]
+pub struct PreparedQuery {
+    query: PjQuery,
+    plan: Plan,
+    memo_shapes: Vec<MemoShape>,
+    /// Which projection slots carried a predicate at prepare time; every
+    /// run must match (the plan's start node and local-predicate lists
+    /// were chosen from it).
+    pred_mask: Vec<bool>,
+}
+
+impl PreparedQuery {
+    /// The underlying query.
+    pub fn query(&self) -> &PjQuery {
+        &self.query
+    }
+
+    /// Execute against `db` (which must be the database this was prepared
+    /// for), reusing `scratch` for all per-run mutable state. `preds` must
+    /// put predicates on exactly the slots prepared with — their closures
+    /// and range hints may differ per run; verdict memos are cleared.
+    pub fn for_each_row(
+        &self,
+        db: &Database,
+        preds: &[ProjPred<'_>],
+        scratch: &mut ExecScratch,
+        stats: &mut ExecStats,
+        cb: RowCallback<'_>,
+    ) -> Result<(), DbError> {
+        let shape_ok = if preds.is_empty() {
+            self.pred_mask.iter().all(|&m| !m)
+        } else {
+            preds.len() == self.query.projection.len()
+                && preds
+                    .iter()
+                    .zip(&self.pred_mask)
+                    .all(|(p, &m)| p.is_some() == m)
+        };
+        if !shape_ok {
+            return Err(DbError::InvalidQuery(
+                "predicate shape differs from the prepared plan".into(),
+            ));
+        }
+        if std::mem::replace(&mut scratch.used, true) {
+            stats.scratch_reuses += 1;
+        }
+        scratch.reset_for(self);
+        // Zone-map pruners from range-hinted local predicates on numeric
+        // columns, hoisted out of the scan loops: they are constant for the
+        // whole run (hulls travel with the predicates, not the plan). None
+        // when no predicate carries a usable hull — the common text-probe
+        // case allocates nothing here.
+        let mut pruners: Option<Vec<Vec<Pruner<'_>>>> = None;
+        for (node, local) in self.plan.local_preds.iter().enumerate() {
+            for &(col, slot) in local {
+                let pred = preds[slot].expect("shape-checked above");
+                let Some((lo, hi)) = pred.range() else {
+                    continue;
+                };
+                let column = db.table(self.query.nodes[node]).column(col);
+                if matches!(column.data(), ColumnData::Int(_) | ColumnData::Decimal(_)) {
+                    pruners.get_or_insert_with(|| {
+                        (0..self.query.nodes.len()).map(|_| Vec::new()).collect()
+                    })[node]
+                        .push(Pruner {
+                            col: column,
+                            kind: PrunerKind::Range(lo, hi),
+                        });
+                }
+            }
+        }
+        let search = Search {
+            db,
+            q: &self.query,
+            plan: &self.plan,
+            preds,
+            pruners,
+        };
+        let mut st = SearchState {
+            assignment: &mut scratch.assignment,
+            memos: &mut scratch.memos,
+            row_buf: Vec::new(),
+            stats,
+            cb,
+        };
+        search.run(0, &mut st)?;
+        Ok(())
+    }
+
+    /// Prepared existence check (see [`PjQuery::exists_matching`]).
+    pub fn exists_matching(
+        &self,
+        db: &Database,
+        preds: &[ProjPred<'_>],
+        scratch: &mut ExecScratch,
+        stats: &mut ExecStats,
+    ) -> Result<bool, DbError> {
+        let mut found = false;
+        self.for_each_row(db, preds, scratch, stats, &mut |_row| {
+            found = true;
+            false
+        })?;
+        Ok(found)
+    }
+
+    /// Prepared counting (see [`PjQuery::count_matching`]).
+    pub fn count_matching(
+        &self,
+        db: &Database,
+        preds: &[ProjPred<'_>],
+        cap: u64,
+        scratch: &mut ExecScratch,
+        stats: &mut ExecStats,
+    ) -> Result<u64, DbError> {
+        let mut n = 0u64;
+        self.for_each_row(db, preds, scratch, stats, &mut |_row| {
+            n += 1;
+            n < cap
+        })?;
+        Ok(n)
+    }
+}
+
+/// Reusable per-run executor state: the node-assignment vector and the
+/// per-slot dictionary verdict memos. `reset` clears (and reshapes) the
+/// buffers without giving their allocations back, so a scratch held across
+/// thousands of existence probes settles into zero steady-state allocation.
+/// One scratch serves any sequence of prepared queries — sizes adapt.
+#[derive(Debug, Default)]
+pub struct ExecScratch {
+    assignment: Vec<u32>,
+    memos: Vec<SlotMemo>,
+    /// Whether any run has used this scratch (drives
+    /// [`ExecStats::scratch_reuses`]).
+    used: bool,
+}
+
+impl ExecScratch {
+    pub fn new() -> ExecScratch {
+        ExecScratch::default()
+    }
+
+    /// Clear and reshape for one run of `pq`, keeping allocations.
+    fn reset_for(&mut self, pq: &PreparedQuery) {
+        self.assignment.clear();
+        self.assignment.resize(pq.query.nodes.len(), 0);
+        self.memos.truncate(pq.memo_shapes.len());
+        for (i, &shape) in pq.memo_shapes.iter().enumerate() {
+            match self.memos.get_mut(i) {
+                Some(m) => m.reset(shape),
+                None => self.memos.push(SlotMemo::fresh(shape)),
+            }
+        }
+    }
+}
+
 /// One spanning link of the plan: how a node is reached from an
 /// already-assigned parent.
+#[derive(Debug)]
 struct Link {
     parent_node: usize,
     parent_col: u32,
@@ -329,7 +534,10 @@ struct Link {
     index_usable: bool,
 }
 
-/// Per-node execution info derived once per query run.
+/// Per-node execution info, derived once per *prepared* query (not per
+/// run — the prepare/execute split exists so this is never rebuilt on the
+/// existence-probe hot path).
+#[derive(Debug)]
 struct Plan {
     /// Visit order of node slots.
     order: Vec<usize>,
@@ -449,36 +657,41 @@ struct Search<'a> {
     q: &'a PjQuery,
     plan: &'a Plan,
     preds: &'a [ProjPred<'a>],
+    /// Run-constant zone-map pruners per node slot (from range-hinted
+    /// numeric local predicates); `None` when no predicate carries a hull.
+    pruners: Option<Vec<Vec<Pruner<'a>>>>,
 }
 
-/// The mutable state threaded through the backtracking recursion.
-struct SearchState<'cb, 'st> {
-    assignment: Vec<u32>,
+/// The mutable state threaded through the backtracking recursion. The
+/// assignment vector and memos borrow an [`ExecScratch`], so repeated runs
+/// reuse their allocations.
+struct SearchState<'a, 'cb, 'st> {
+    assignment: &'st mut Vec<u32>,
     /// Per-projection-slot dictionary verdict memos, shared by every path
     /// that evaluates the slot's predicate during this run.
-    memos: Vec<SlotMemo>,
+    memos: &'st mut Vec<SlotMemo>,
+    /// Projection row buffer, reused across emissions within a run (lazy:
+    /// existence misses never allocate it).
+    row_buf: Vec<ValueRef<'a>>,
     stats: &'st mut ExecStats,
     cb: RowCallback<'cb>,
 }
 
-impl Search<'_> {
+impl<'a> Search<'a> {
     /// Extend the partial assignment at `depth`. Returns `false` when the
     /// callback asked to stop enumeration.
-    fn run(&self, depth: usize, st: &mut SearchState<'_, '_>) -> Result<bool, DbError> {
+    fn run(&self, depth: usize, st: &mut SearchState<'a, '_, '_>) -> Result<bool, DbError> {
         if depth == self.plan.order.len() {
             st.stats.rows_emitted += 1;
-            let row: Vec<ValueRef<'_>> = self
-                .q
-                .projection
-                .iter()
-                .map(|&(node, col)| {
-                    self.db.value_ref(
-                        crate::schema::ColumnRef::new(self.q.nodes[node], col),
-                        st.assignment[node],
-                    )
-                })
-                .collect();
-            return Ok((st.cb)(&row));
+            st.row_buf.clear();
+            for &(node, col) in &self.q.projection {
+                let v = self.db.value_ref(
+                    crate::schema::ColumnRef::new(self.q.nodes[node], col),
+                    st.assignment[node],
+                );
+                st.row_buf.push(v);
+            }
+            return Ok((st.cb)(&st.row_buf));
         }
         let node = self.plan.order[depth];
         let tid = self.q.nodes[node];
@@ -512,17 +725,23 @@ impl Search<'_> {
 
         match candidates {
             CandidateRows::Scan(n) => {
-                let pruners = self.range_pruners(node, table);
-                self.scan_blocks(n, &pruners, st, |s, row, st| {
-                    s.try_row(depth, node, row, st)
+                // Fast path for the engine's single most common scan: a
+                // start node with exactly one dictionary predicate and no
+                // zone pruners. The column, code slice, and memo are hoisted
+                // out of the loop, so each row costs a code load and a
+                // bitmap test — the generic path re-derives them per row.
+                if let Some(fast) = self.dict_scan_target(node, st) {
+                    return self.dict_scan(depth, node, n, fast, st);
+                }
+                self.scan_blocks(node, n, None, st, |s, row, st| {
+                    s.try_row(depth, node, table, row, st)
                 })
             }
             // Index-probed rows carry no pruners: the probe already keyed
-            // the exact rows, and building pruners here would cost an
-            // allocation per surviving parent row.
+            // the exact rows.
             CandidateRows::List(rows) => {
                 for &row in rows {
-                    if !self.try_row(depth, node, row, st)? {
+                    if !self.try_row(depth, node, table, row, st)? {
                         return Ok(false);
                     }
                 }
@@ -530,55 +749,161 @@ impl Search<'_> {
             }
             CandidateRows::FilteredScan(n, col, pk, space) => {
                 let column = table.column(col);
-                let mut pruners = self.range_pruners(node, table);
-                pruners.push(Pruner {
+                // The key pruner rides alongside the node's range pruners as
+                // a borrowed extra — no per-parent-row Vec is built.
+                let key_pruner = Pruner {
                     col: column,
                     kind: PrunerKind::Key(pk, space),
-                });
-                self.scan_blocks(n, &pruners, st, |s, row, st| {
+                };
+                self.scan_blocks(node, n, Some(&key_pruner), st, |s, row, st| {
                     if column.join_key_in(row as usize, space) != Some(pk) {
                         // Key-rejected rows are counted here; key-matching
                         // rows are counted once inside try_row.
                         st.stats.rows_examined += 1;
                         return Ok(true);
                     }
-                    s.try_row(depth, node, row, st)
+                    s.try_row(depth, node, table, row, st)
                 })
             }
         }
     }
 
-    /// Zone-map pruners from `node`'s range-hinted local predicates on
-    /// numeric columns (hulls carry no meaning elsewhere).
-    fn range_pruners<'t>(&self, node: usize, table: &'t crate::table::Table) -> Vec<Pruner<'t>> {
-        let mut pruners: Vec<Pruner<'t>> = Vec::new();
-        for &(col, slot) in &self.plan.local_preds[node] {
-            let pred = self.preds[slot].expect("local_preds only lists Some preds");
-            if let Some((lo, hi)) = pred.range() {
-                let column = table.column(col);
-                if matches!(column.data(), ColumnData::Int(_) | ColumnData::Decimal(_)) {
-                    pruners.push(Pruner {
-                        col: column,
-                        kind: PrunerKind::Range(lo, hi),
-                    });
+    /// Is the full scan of `node` a single dictionary predicate with an
+    /// eligible memo and no pruners? Returns its `(column, slot)`.
+    fn dict_scan_target(&self, node: usize, st: &SearchState<'a, '_, '_>) -> Option<(u32, usize)> {
+        if self.pruners.as_ref().is_some_and(|p| !p[node].is_empty()) {
+            return None;
+        }
+        match self.plan.local_preds[node][..] {
+            [(col, slot)] if st.memos[slot].eligible => Some((col, slot)),
+            _ => None,
+        }
+    }
+
+    /// Tight memoized scan over one dictionary column: per row, one code
+    /// load plus one verdict-bitmap test; surviving rows continue through
+    /// [`Search::advance`]. Row work is counted in a loop-local register
+    /// and flushed once on every exit path, so early-exit probes charge
+    /// exactly the rows they touched without per-row traffic through the
+    /// stats reference.
+    fn dict_scan(
+        &self,
+        depth: usize,
+        node: usize,
+        n: u32,
+        (col, slot): (u32, usize),
+        st: &mut SearchState<'a, '_, '_>,
+    ) -> Result<bool, DbError> {
+        let table = self.db.table(self.q.nodes[node]);
+        let column = table.column(col);
+        let ColumnData::Sym(codes) = column.data() else {
+            unreachable!("memo-eligible slots sit on dictionary columns");
+        };
+        let codes = &codes[..n as usize];
+        let syms = self.db.symbols();
+        let pred = self.preds[slot].expect("local_preds only lists Some preds");
+        let no_nulls = column.nulls().none_null();
+        // Take the slot's memo out of the scratch for the loop (deeper
+        // nodes own different slots, so `advance` never needs this one);
+        // restore it before returning so the run's sharing contract holds.
+        let mut memo = std::mem::replace(
+            &mut st.memos[slot],
+            SlotMemo::fresh(MemoShape {
+                eligible: false,
+                code_range: 0,
+            }),
+        );
+        let mut examined = 0u64;
+        let mut result = Ok(true);
+        'scan: {
+            if no_nulls {
+                for (r, &code) in codes.iter().enumerate() {
+                    examined += 1;
+                    if !memo.check(code, || pred.matches(column.value_ref(syms, r))) {
+                        continue;
+                    }
+                    match self.advance(depth, node, r as u32, st) {
+                        Ok(true) => {}
+                        stop => {
+                            result = stop;
+                            break 'scan;
+                        }
+                    }
+                }
+            } else {
+                for (r, &code) in codes.iter().enumerate() {
+                    examined += 1;
+                    let ok = if column.is_null(r) {
+                        *memo
+                            .null_verdict
+                            .get_or_insert_with(|| pred.matches(ValueRef::Null))
+                    } else {
+                        memo.check(code, || pred.matches(column.value_ref(syms, r)))
+                    };
+                    if !ok {
+                        continue;
+                    }
+                    match self.advance(depth, node, r as u32, st) {
+                        Ok(true) => {}
+                        stop => {
+                            result = stop;
+                            break 'scan;
+                        }
+                    }
                 }
             }
         }
-        pruners
+        st.stats.rows_examined += examined;
+        st.memos[slot] = memo;
+        result
     }
 
     /// Drive `per_row` over `0..n`, skipping whole blocks every pruner
-    /// proves empty. With no pruners (or an unfrozen column) this is one
-    /// plain loop — no per-block overhead.
+    /// proves empty. With no pruners (or an unfrozen / single-block column)
+    /// this is one plain loop — no per-block overhead.
     fn scan_blocks(
         &self,
+        node: usize,
         n: u32,
-        pruners: &[Pruner<'_>],
-        st: &mut SearchState<'_, '_>,
-        mut per_row: impl FnMut(&Self, u32, &mut SearchState<'_, '_>) -> Result<bool, DbError>,
+        extra: Option<&Pruner<'_>>,
+        st: &mut SearchState<'a, '_, '_>,
+        mut per_row: impl FnMut(&Self, u32, &mut SearchState<'a, '_, '_>) -> Result<bool, DbError>,
     ) -> Result<bool, DbError> {
-        let block_rows = pruners.iter().find_map(|p| p.col.block_rows());
+        let node_pruners: &[Pruner<'_>] = self
+            .pruners
+            .as_ref()
+            .map(|p| p[node].as_slice())
+            .unwrap_or(&[]);
+        // An empty numeric hull (`lo > hi`) rejects every numeric cell
+        // outright: skip the entire scan without consulting zone maps, so
+        // single-block columns (which carry none) prune just as hard.
+        if n > 0 && node_pruners.iter().any(Pruner::rejects_all) {
+            let blocks = node_pruners
+                .iter()
+                .chain(extra)
+                .find_map(|p| p.col.block_rows())
+                .map(|bs| (n as usize).div_ceil(bs) as u64)
+                .unwrap_or(1);
+            st.stats.blocks_skipped += blocks;
+            return Ok(true);
+        }
+        let block_rows = node_pruners
+            .iter()
+            .chain(extra)
+            .find_map(|p| p.col.block_rows());
         let Some(bs) = block_rows else {
+            // No per-block zones (unfrozen, or a single-block column that
+            // skipped them): one whole-column summary test per pruner can
+            // still prove the entire scan empty.
+            if n > 0
+                && node_pruners
+                    .iter()
+                    .chain(extra)
+                    .any(|p| !p.admits_whole_column())
+            {
+                st.stats.blocks_skipped += 1;
+                return Ok(true);
+            }
             for row in 0..n {
                 if !per_row(self, row, st)? {
                     return Ok(false);
@@ -589,7 +914,7 @@ impl Search<'_> {
         let bs = bs as u32;
         for start in (0..n).step_by(bs as usize) {
             let block = (start / bs) as usize;
-            if pruners.iter().any(|p| !p.admits(block)) {
+            if node_pruners.iter().chain(extra).any(|p| !p.admits(block)) {
                 st.stats.blocks_skipped += 1;
                 continue;
             }
@@ -609,11 +934,11 @@ impl Search<'_> {
         &self,
         depth: usize,
         node: usize,
+        table: &crate::table::Table,
         row: u32,
-        st: &mut SearchState<'_, '_>,
+        st: &mut SearchState<'a, '_, '_>,
     ) -> Result<bool, DbError> {
         st.stats.rows_examined += 1;
-        let table = self.db.table(self.q.nodes[node]);
         let syms = self.db.symbols();
         // Local predicates, on zero-copy cell views. Dictionary columns go
         // through the slot's verdict memo: one evaluation per distinct code
@@ -621,9 +946,9 @@ impl Search<'_> {
         for &(col, slot) in &self.plan.local_preds[node] {
             let pred = self.preds[slot].expect("local_preds only lists Some preds");
             let column = table.column(col);
-            let memo = &mut st.memos[slot];
             let ok = match column.data() {
-                ColumnData::Sym(codes) if memo.eligible => {
+                ColumnData::Sym(codes) if st.memos[slot].eligible => {
+                    let memo = &mut st.memos[slot];
                     if column.is_null(row as usize) {
                         *memo
                             .null_verdict
@@ -639,6 +964,18 @@ impl Search<'_> {
                 return Ok(true); // reject row, continue search
             }
         }
+        self.advance(depth, node, row, st)
+    }
+
+    /// The post-predicate half of [`Search::try_row`]: record the
+    /// assignment, enforce residual joins, recurse.
+    fn advance(
+        &self,
+        depth: usize,
+        node: usize,
+        row: u32,
+        st: &mut SearchState<'a, '_, '_>,
+    ) -> Result<bool, DbError> {
         st.assignment[node] = row;
         // Residual (cycle-closing) join checks at this depth, on compact
         // keys in the pair's common space (NULL keys never match, matching
@@ -694,16 +1031,76 @@ impl Pruner<'_> {
             PrunerKind::Range(lo, hi) => self.col.block_may_overlap_range(block, lo, hi),
         }
     }
+
+    /// True when no row anywhere can pass: an empty range hull. (Key
+    /// pruners never reject unconditionally — key presence needs zones.)
+    #[inline]
+    fn rejects_all(&self) -> bool {
+        matches!(self.kind, PrunerKind::Range(lo, hi) if lo > hi)
+    }
+
+    /// Test against the column's whole-column summary zone — the pruning
+    /// level available when no per-block zone maps exist (single-block
+    /// columns skip them).
+    #[inline]
+    fn admits_whole_column(&self) -> bool {
+        match self.kind {
+            PrunerKind::Key(k, space) => self.col.may_contain_key(k, space),
+            PrunerKind::Range(lo, hi) => self.col.may_overlap_range(lo, hi),
+        }
+    }
 }
 
 /// Rows evaluated directly before a slot's memo bitmaps are allocated;
-/// early-exit existence hits stay allocation-free.
+/// early-exit existence hits stay allocation-free. A reused scratch whose
+/// bitmaps survived an earlier run skips the warmup — the allocation it
+/// guards against already happened.
 const MEMO_WARMUP: u32 = 32;
+
+/// Prepare-time shape of one slot's dictionary memo: whether bitmaps pay
+/// off on this column, and how many codes they must cover.
+#[derive(Debug, Clone, Copy)]
+struct MemoShape {
+    eligible: bool,
+    code_range: u32,
+}
+
+impl MemoShape {
+    /// One shape per projection slot (ineligible for slots without a
+    /// predicate or on non-dictionary columns). The query has already been
+    /// validated, so slot/column indexing is in range.
+    fn for_query(q: &PjQuery, db: &Database, preds: &[ProjPred<'_>]) -> Vec<MemoShape> {
+        q.projection
+            .iter()
+            .enumerate()
+            .map(|(slot, &(node, col))| {
+                let mut m = MemoShape {
+                    eligible: false,
+                    code_range: 0,
+                };
+                if preds.get(slot).copied().flatten().is_none() {
+                    return m;
+                }
+                let column = db.table(q.nodes[node]).column(col);
+                if matches!(column.data(), ColumnData::Sym(_)) {
+                    m.code_range = column.max_sym_code() + 1;
+                    // Memoize only when the two bitmaps are small relative
+                    // to the column; otherwise direct evaluation wins.
+                    m.eligible = (m.code_range as usize).div_ceil(64) * 2 <= column.len();
+                }
+                m
+            })
+            .collect()
+    }
+}
 
 /// Dictionary-code verdict memo of one projection slot for one query run.
 /// A predicate is a pure function of the cell and equal cells share a code,
 /// so the verdict is computed once per distinct code — no matter which scan
-/// or probe path encounters the row.
+/// or probe path encounters the row. Lives in [`ExecScratch`]; `reset`
+/// clears the verdicts (predicates differ between runs) but keeps the
+/// bitmap allocations.
+#[derive(Debug)]
 struct SlotMemo {
     /// Slot predicate sits on a dictionary column whose code range is small
     /// enough for the bitmaps to pay off.
@@ -717,34 +1114,30 @@ struct SlotMemo {
 }
 
 impl SlotMemo {
-    /// Build one memo per projection slot (disabled for slots without a
-    /// predicate or on non-dictionary columns). The query has already been
-    /// validated, so slot/column indexing is in range.
-    fn for_query(q: &PjQuery, db: &Database, preds: &[ProjPred<'_>]) -> Vec<SlotMemo> {
-        q.projection
-            .iter()
-            .enumerate()
-            .map(|(slot, &(node, col))| {
-                let mut m = SlotMemo {
-                    eligible: false,
-                    code_range: 0,
-                    evals: 0,
-                    null_verdict: None,
-                    memo: None,
-                };
-                if preds.get(slot).copied().flatten().is_none() {
-                    return m;
-                }
-                let column = db.table(q.nodes[node]).column(col);
-                if matches!(column.data(), ColumnData::Sym(_)) {
-                    m.code_range = column.max_sym_code() as usize + 1;
-                    // Memoize only when the two bitmaps are small relative
-                    // to the column; otherwise direct evaluation wins.
-                    m.eligible = m.code_range.div_ceil(64) * 2 <= column.len();
-                }
-                m
-            })
-            .collect()
+    fn fresh(shape: MemoShape) -> SlotMemo {
+        SlotMemo {
+            eligible: shape.eligible,
+            code_range: shape.code_range as usize,
+            evals: 0,
+            null_verdict: None,
+            memo: None,
+        }
+    }
+
+    /// Clear for a new run of a (possibly different) prepared query:
+    /// verdicts go, bitmap capacity stays.
+    fn reset(&mut self, shape: MemoShape) {
+        self.eligible = shape.eligible;
+        self.code_range = shape.code_range as usize;
+        self.evals = 0;
+        self.null_verdict = None;
+        if !shape.eligible {
+            // Don't hold bitmaps for a slot that will never use them; the
+            // next eligible slot would resize anyway.
+            self.memo = None;
+        } else if let Some(m) = &mut self.memo {
+            m.reset(self.code_range);
+        }
     }
 
     /// The predicate's verdict for `code`, evaluating at most once per code.
@@ -767,6 +1160,7 @@ impl SlotMemo {
 
 /// Per-symbol predicate verdict cache: one bit records whether a code has
 /// been evaluated, one bit the verdict.
+#[derive(Debug)]
 struct PredMemo {
     evaluated: Vec<u64>,
     verdict: Vec<u64>,
@@ -781,6 +1175,15 @@ impl PredMemo {
         }
     }
 
+    /// Zero the evaluated bits (stale verdict bits are gated by them) and
+    /// resize to a new code range, keeping capacity where possible.
+    fn reset(&mut self, code_range: usize) {
+        let words = code_range.div_ceil(64);
+        self.evaluated.clear();
+        self.evaluated.resize(words, 0);
+        self.verdict.resize(words, 0);
+    }
+
     /// The predicate's verdict for `code`, running `eval` only on the first
     /// encounter of that code.
     #[inline]
@@ -793,6 +1196,8 @@ impl PredMemo {
         self.evaluated[w] |= 1 << b;
         if r {
             self.verdict[w] |= 1 << b;
+        } else {
+            self.verdict[w] &= !(1 << b);
         }
         r
     }
@@ -902,6 +1307,127 @@ mod tests {
             .unwrap());
         assert!(early.rows_emitted == 1);
         assert!(early.rows_examined <= full.rows_examined);
+    }
+
+    /// Tentpole: a prepared query runs any number of times against one
+    /// (dirty) scratch and returns exactly the rows of the per-call
+    /// wrapper, with reuses counted.
+    #[test]
+    fn prepared_query_reuses_scratch_and_matches_wrapper() {
+        let db = lakes_db();
+        let q = lakes_query();
+        let any_prov = |v: ValueRef<'_>| !v.is_null();
+        let is_tahoe = |v: ValueRef<'_>| v == ValueRef::Text("Lake Tahoe");
+        let preds = [
+            Some(ScanPred::new(&any_prov)),
+            Some(ScanPred::new(&is_tahoe)),
+            None,
+        ];
+        let prepared = q.prepare(&db, &preds).unwrap();
+        let mut scratch = ExecScratch::new();
+        let mut stats = ExecStats::default();
+        for round in 0..3 {
+            let mut got: Vec<Vec<Value>> = Vec::new();
+            prepared
+                .for_each_row(&db, &preds, &mut scratch, &mut stats, &mut |r| {
+                    got.push(r.iter().map(|v| v.to_value()).collect());
+                    true
+                })
+                .unwrap();
+            let mut want: Vec<Vec<Value>> = Vec::new();
+            let mut wrapper_stats = ExecStats::default();
+            q.for_each_row(&db, &preds, &mut wrapper_stats, &mut |r| {
+                want.push(r.iter().map(|v| v.to_value()).collect());
+                true
+            })
+            .unwrap();
+            assert_eq!(got, want, "round {round}");
+            assert_eq!(wrapper_stats.plans_built, 1, "wrapper compiles per call");
+        }
+        assert_eq!(stats.scratch_reuses, 2, "runs 2 and 3 reused the scratch");
+        assert_eq!(stats.plans_built, 0, "prepared runs compile nothing");
+    }
+
+    /// Reused verdict bitmaps must not leak verdicts between runs: the
+    /// same prepared query executed with an *inverted* predicate (same
+    /// shape) flips every answer. The table is large enough that the
+    /// bitmaps are really allocated (past the warmup) on the first run.
+    #[test]
+    fn scratch_reuse_does_not_leak_verdicts_across_runs() {
+        let mut b = DatabaseBuilder::new("leak");
+        b.add_table("T", vec![ColumnDef::new("tag", DataType::Text).not_null()])
+            .unwrap();
+        for i in 0..200 {
+            let tag = if i % 2 == 0 { "even" } else { "odd" };
+            b.add_row("T", vec![tag.into()]).unwrap();
+        }
+        let db = b.build();
+        let q = PjQuery {
+            nodes: vec![db.catalog().table_id("T").unwrap()],
+            joins: vec![],
+            projection: vec![(0, 0)],
+        };
+        let is_even = |v: ValueRef<'_>| v == ValueRef::Text("even");
+        let is_odd = |v: ValueRef<'_>| v == ValueRef::Text("odd");
+        let prepared = q.prepare(&db, &[Some(ScanPred::new(&is_even))]).unwrap();
+        let mut scratch = ExecScratch::new();
+        let mut stats = ExecStats::default();
+        let n_even = prepared
+            .count_matching(
+                &db,
+                &[Some(ScanPred::new(&is_even))],
+                u64::MAX,
+                &mut scratch,
+                &mut stats,
+            )
+            .unwrap();
+        let n_odd = prepared
+            .count_matching(
+                &db,
+                &[Some(ScanPred::new(&is_odd))],
+                u64::MAX,
+                &mut scratch,
+                &mut stats,
+            )
+            .unwrap();
+        assert_eq!(n_even, 100);
+        assert_eq!(n_odd, 100, "stale verdicts leaked through the scratch");
+        assert_eq!(stats.scratch_reuses, 1);
+    }
+
+    /// The plan bakes in which slots carry predicates; running with a
+    /// different shape must be rejected, not silently mis-planned.
+    #[test]
+    fn prepared_query_rejects_mismatched_predicate_shape() {
+        let db = lakes_db();
+        let q = lakes_query();
+        let t = |_: ValueRef<'_>| true;
+        let prepared = q
+            .prepare(&db, &[Some(ScanPred::new(&t)), None, None])
+            .unwrap();
+        let mut scratch = ExecScratch::new();
+        let mut stats = ExecStats::default();
+        // Same arity, different slot: rejected.
+        let err = prepared.exists_matching(
+            &db,
+            &[None, Some(ScanPred::new(&t)), None],
+            &mut scratch,
+            &mut stats,
+        );
+        assert!(matches!(err, Err(DbError::InvalidQuery(_))));
+        // No predicates at all against a predicated plan: rejected.
+        let err = prepared.exists_matching(&db, &[], &mut scratch, &mut stats);
+        assert!(matches!(err, Err(DbError::InvalidQuery(_))));
+        // The prepared shape itself still runs (with fresh closures).
+        let t2 = |_: ValueRef<'_>| true;
+        assert!(prepared
+            .exists_matching(
+                &db,
+                &[Some(ScanPred::new(&t2)), None, None],
+                &mut scratch,
+                &mut stats
+            )
+            .unwrap());
     }
 
     #[test]
@@ -1016,6 +1542,7 @@ mod tests {
             projection: vec![(0, 0)],
         };
         assert!(matches!(q.validate(&db), Err(DbError::InvalidQuery(_))));
+        assert!(q.prepare(&db, &[]).is_err(), "prepare validates");
     }
 
     #[test]
@@ -1107,18 +1634,24 @@ mod tests {
             index_probes: 2,
             rows_emitted: 3,
             blocks_skipped: 4,
+            plans_built: 5,
+            scratch_reuses: 6,
         };
         let b = ExecStats {
             rows_examined: 10,
             index_probes: 20,
             rows_emitted: 30,
             blocks_skipped: 40,
+            plans_built: 50,
+            scratch_reuses: 60,
         };
         a.add(&b);
         assert_eq!(a.rows_examined, 11);
         assert_eq!(a.index_probes, 22);
         assert_eq!(a.rows_emitted, 33);
         assert_eq!(a.blocks_skipped, 44);
+        assert_eq!(a.plans_built, 55);
+        assert_eq!(a.scratch_reuses, 66);
     }
 
     /// A selective range predicate with a hull hint skips whole blocks via
@@ -1176,6 +1709,88 @@ mod tests {
         assert_eq!(hinted.blocks_skipped, 15);
         assert_eq!(unhinted.blocks_skipped, 0);
         assert!(hinted.rows_examined < unhinted.rows_examined);
+    }
+
+    /// An empty hull (`lo > hi`) skips the whole scan even on a
+    /// single-block column, which carries no zone maps at all.
+    #[test]
+    fn empty_hull_skips_single_block_scan_without_zone_maps() {
+        let mut b = DatabaseBuilder::new("tiny");
+        b.add_table("T", vec![ColumnDef::new("x", DataType::Int)])
+            .unwrap();
+        for i in 0..10 {
+            b.add_row("T", vec![Value::Int(i)]).unwrap();
+        }
+        let db = b.build();
+        let col = db.table(db.catalog().table_id("T").unwrap()).column(0);
+        assert!(col.block_meta().is_empty(), "single block: no zone maps");
+        let q = PjQuery {
+            nodes: vec![db.catalog().table_id("T").unwrap()],
+            joins: vec![],
+            projection: vec![(0, 0)],
+        };
+        let never = |_: ValueRef<'_>| false;
+        let mut stats = ExecStats::default();
+        let n = q
+            .count_matching(
+                &db,
+                &[Some(
+                    ScanPred::new(&never).with_range(f64::INFINITY, f64::NEG_INFINITY),
+                )],
+                u64::MAX,
+                &mut stats,
+            )
+            .unwrap();
+        assert_eq!(n, 0);
+        assert_eq!(stats.rows_examined, 0, "scan skipped outright");
+        assert_eq!(stats.blocks_skipped, 1, "the whole table counts as one");
+    }
+
+    /// A single-block column carries no per-block zones, but its inline
+    /// whole-column summary still proves disjoint (non-empty) hulls away.
+    #[test]
+    fn single_block_summary_prunes_disjoint_range_scans() {
+        let mut b = DatabaseBuilder::new("summary");
+        b.add_table("T", vec![ColumnDef::new("x", DataType::Int)])
+            .unwrap();
+        for i in 0..10 {
+            b.add_row("T", vec![Value::Int(i)]).unwrap();
+        }
+        let db = b.build();
+        let col = db.table(db.catalog().table_id("T").unwrap()).column(0);
+        assert!(col.block_meta().is_empty(), "single block: no zone maps");
+        let q = PjQuery {
+            nodes: vec![db.catalog().table_id("T").unwrap()],
+            joins: vec![],
+            projection: vec![(0, 0)],
+        };
+        let in_range =
+            |v: ValueRef<'_>| v.as_number().is_some_and(|x| (500.0..=600.0).contains(&x));
+        let mut stats = ExecStats::default();
+        let n = q
+            .count_matching(
+                &db,
+                &[Some(ScanPred::new(&in_range).with_range(500.0, 600.0))],
+                u64::MAX,
+                &mut stats,
+            )
+            .unwrap();
+        assert_eq!(n, 0);
+        assert_eq!(stats.rows_examined, 0, "summary proved the column empty");
+        assert_eq!(stats.blocks_skipped, 1);
+        // A hull that does intersect still scans and finds its rows.
+        let hit = |v: ValueRef<'_>| v.as_number().is_some_and(|x| (3.0..=4.0).contains(&x));
+        let mut stats = ExecStats::default();
+        let n = q
+            .count_matching(
+                &db,
+                &[Some(ScanPred::new(&hit).with_range(3.0, 4.0))],
+                u64::MAX,
+                &mut stats,
+            )
+            .unwrap();
+        assert_eq!(n, 2);
+        assert!(stats.rows_examined > 0);
     }
 
     /// Regression (satellite): the dictionary verdict memo engages on the

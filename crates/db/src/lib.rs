@@ -19,6 +19,10 @@
 //! immutable preprocessed [`Database`], and an executor for **Project–Join
 //! (PJ) queries** ([`PjQuery`]) supporting both full evaluation and
 //! early-exit existence checks (the workhorse of filter validation).
+//! Execution follows a prepare/execute split: [`PjQuery::prepare`] compiles
+//! a reusable [`PreparedQuery`] (validated once, planned once) that runs
+//! against a clearing-not-reallocating [`ExecScratch`] — see the `exec`
+//! module docs.
 //!
 //! ## Storage layout
 //!
@@ -64,7 +68,9 @@ pub use database::{
     Database, DatabaseBuilder, JoinIndexMemory, MemoryReport, TableMemory, DEFAULT_BLOCK_ROWS,
 };
 pub use error::DbError;
-pub use exec::{ExecStats, JoinCond, PjQuery, ProjPred, RowCallback, ScanPred};
+pub use exec::{
+    ExecScratch, ExecStats, JoinCond, PjQuery, PreparedQuery, ProjPred, RowCallback, ScanPred,
+};
 pub use graph::{EdgeId, JoinEdge, JoinTree, SchemaGraph};
 pub use index::{InvertedIndex, JoinIndex, Posting};
 pub use interner::SymbolTable;

@@ -1,0 +1,224 @@
+//! Property tests of the prepare/execute split: a [`PreparedQuery`] run
+//! repeatedly against one **reused, dirty** [`ExecScratch`] must return
+//! rows identical to a fresh [`PjQuery::for_each_row`] per call — across
+//! scans, joins, range-hinted predicates, dictionary predicates (past the
+//! memo warmup), and both a many-block (64 rows) and a single-block-heavy
+//! (4096 rows) layout.
+
+use prism_db::schema::ColumnDef;
+use prism_db::types::{DataType, Value, ValueRef};
+use prism_db::{
+    Database, DatabaseBuilder, ExecScratch, ExecStats, JoinCond, PjQuery, ProjPred, ScanPred,
+};
+use proptest::prelude::*;
+
+const BLOCK_SIZES: [usize; 2] = [64, 4096];
+
+/// Nullable (int, tag) rows; tags draw from a small dictionary so verdict
+/// memos allocate and must be cleared between runs.
+fn arb_row() -> impl Strategy<Value = (Option<i64>, Option<u8>)> {
+    (
+        prop_oneof![
+            (-100i64..100).prop_map(Some),
+            (-100i64..100).prop_map(Some),
+            Just(None),
+            Just(Some(i64::MAX)),
+            Just(Some(i64::MAX - 1)),
+        ],
+        prop_oneof![(0u8..6).prop_map(Some), Just(None)],
+    )
+}
+
+fn build_db(rows: &[(Option<i64>, Option<u8>)], block_rows: usize) -> Database {
+    let mut b = DatabaseBuilder::new("prepared").with_block_rows(block_rows);
+    b.add_table(
+        "T",
+        vec![
+            ColumnDef::new("x", DataType::Int),
+            ColumnDef::new("tag", DataType::Text),
+        ],
+    )
+    .unwrap();
+    b.add_table("F", vec![ColumnDef::new("p", DataType::Int)])
+        .unwrap();
+    for (x, tag) in rows {
+        b.add_row(
+            "T",
+            vec![
+                x.map(Value::Int).unwrap_or(Value::Null),
+                tag.map(|t| format!("tag{t}").into()).unwrap_or(Value::Null),
+            ],
+        )
+        .unwrap();
+        // FK side references a coarsened key so probes hit multiple rows.
+        b.add_row(
+            "F",
+            vec![x.map(|x| Value::Int(x / 2)).unwrap_or(Value::Null)],
+        )
+        .unwrap();
+    }
+    b.add_foreign_key("F", "p", "T", "x").unwrap();
+    b.build()
+}
+
+fn join_query(db: &Database) -> PjQuery {
+    PjQuery {
+        nodes: vec![
+            db.catalog().table_id("F").unwrap(),
+            db.catalog().table_id("T").unwrap(),
+        ],
+        joins: vec![JoinCond {
+            left_node: 0,
+            left_col: 0,
+            right_node: 1,
+            right_col: 0,
+        }],
+        projection: vec![(1, 0), (1, 1)],
+    }
+}
+
+fn collect_prepared(
+    db: &Database,
+    prepared: &prism_db::PreparedQuery,
+    preds: &[ProjPred<'_>],
+    scratch: &mut ExecScratch,
+) -> Vec<Vec<Value>> {
+    let mut stats = ExecStats::default();
+    let mut rows = Vec::new();
+    prepared
+        .for_each_row(db, preds, scratch, &mut stats, &mut |r| {
+            rows.push(r.iter().map(|v| v.to_value()).collect());
+            true
+        })
+        .unwrap();
+    rows
+}
+
+fn collect_fresh(db: &Database, q: &PjQuery, preds: &[ProjPred<'_>]) -> Vec<Vec<Value>> {
+    let mut stats = ExecStats::default();
+    let mut rows = Vec::new();
+    q.for_each_row(db, preds, &mut stats, &mut |r| {
+        rows.push(r.iter().map(|v| v.to_value()).collect());
+        true
+    })
+    .unwrap();
+    rows
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The same prepared join query, executed three times through one
+    /// dirty scratch with *different* predicates per run (same shape),
+    /// matches the per-call wrapper run-for-run.
+    #[test]
+    fn prepared_join_with_dirty_scratch_matches_fresh_runs(
+        rows in proptest::collection::vec(arb_row(), 1..150),
+        lo in -110i64..110,
+        width in 0i64..80,
+        tag_a in 0u8..6,
+        tag_b in 0u8..6,
+    ) {
+        let (lo, hi) = (lo as f64, (lo + width) as f64);
+        for bs in BLOCK_SIZES {
+            let db = build_db(&rows, bs);
+            let q = join_query(&db);
+            let in_range = move |v: ValueRef<'_>| {
+                v.as_number().is_some_and(|x| lo <= x && x <= hi)
+            };
+            let tag_a_s = format!("tag{tag_a}");
+            let tag_b_s = format!("tag{tag_b}");
+            let is_a = |v: ValueRef<'_>| v.as_text() == Some(tag_a_s.as_str());
+            let is_b = |v: ValueRef<'_>| v.as_text() == Some(tag_b_s.as_str());
+            let runs: [[ProjPred<'_>; 2]; 3] = [
+                // Range-hinted numeric + dictionary predicate.
+                [
+                    Some(ScanPred::new(&in_range).with_range(lo, hi)),
+                    Some(ScanPred::new(&is_a)),
+                ],
+                // Different tag through the same (reused, dirty) memos.
+                [
+                    Some(ScanPred::new(&in_range).with_range(lo, hi)),
+                    Some(ScanPred::new(&is_b)),
+                ],
+                // Unhinted variant of the same shape.
+                [Some(ScanPred::new(&in_range)), Some(ScanPred::new(&is_a))],
+            ];
+            let prepared = q.prepare(&db, &runs[0]).unwrap();
+            let mut scratch = ExecScratch::new();
+            for (i, preds) in runs.iter().enumerate() {
+                let got = collect_prepared(&db, &prepared, preds, &mut scratch);
+                let want = collect_fresh(&db, &q, preds);
+                prop_assert_eq!(&got, &want, "run {} at block_rows={}", i, bs);
+            }
+        }
+    }
+
+    /// Single-table scans: one scratch serves many prepared queries of
+    /// *different* shapes in sequence (shape changes resize, never corrupt).
+    #[test]
+    fn one_scratch_serves_alternating_query_shapes(
+        rows in proptest::collection::vec(arb_row(), 1..150),
+        lo in -110i64..110,
+        width in 0i64..80,
+    ) {
+        let (lo, hi) = (lo as f64, (lo + width) as f64);
+        for bs in BLOCK_SIZES {
+            let db = build_db(&rows, bs);
+            let t = db.catalog().table_id("T").unwrap();
+            let scan_x = PjQuery { nodes: vec![t], joins: vec![], projection: vec![(0, 0)] };
+            let scan_both = PjQuery { nodes: vec![t], joins: vec![], projection: vec![(0, 0), (0, 1)] };
+            let in_range = move |v: ValueRef<'_>| {
+                v.as_number().is_some_and(|x| lo <= x && x <= hi)
+            };
+            let any_tag = |v: ValueRef<'_>| v.as_text().is_some_and(|s| s.starts_with("tag"));
+            let preds_x: [ProjPred<'_>; 1] = [Some(ScanPred::new(&in_range).with_range(lo, hi))];
+            let preds_both: [ProjPred<'_>; 2] =
+                [Some(ScanPred::new(&in_range)), Some(ScanPred::new(&any_tag))];
+            let px = scan_x.prepare(&db, &preds_x).unwrap();
+            let pboth = scan_both.prepare(&db, &preds_both).unwrap();
+            let mut scratch = ExecScratch::new();
+            for round in 0..2 {
+                let got = collect_prepared(&db, &px, &preds_x, &mut scratch);
+                prop_assert_eq!(&got, &collect_fresh(&db, &scan_x, &preds_x),
+                    "scan_x round {} block_rows={}", round, bs);
+                let got = collect_prepared(&db, &pboth, &preds_both, &mut scratch);
+                prop_assert_eq!(&got, &collect_fresh(&db, &scan_both, &preds_both),
+                    "scan_both round {} block_rows={}", round, bs);
+            }
+        }
+    }
+}
+
+/// Deterministic: prepared existence probes over a dictionary column far
+/// past the memo warmup stay correct across many reuses, and the counters
+/// prove the amortization (0 extra plans, N-1 scratch reuses).
+#[test]
+fn repeated_existence_probes_amortize() {
+    let mut b = DatabaseBuilder::new("probes");
+    b.add_table("T", vec![ColumnDef::new("tag", DataType::Text).not_null()])
+        .unwrap();
+    for i in 0..500 {
+        b.add_row("T", vec![format!("tag{}", i % 7).into()])
+            .unwrap();
+    }
+    let db = b.build();
+    let q = PjQuery {
+        nodes: vec![db.catalog().table_id("T").unwrap()],
+        joins: vec![],
+        projection: vec![(0, 0)],
+    };
+    let missing = |v: ValueRef<'_>| v.as_text() == Some("atlantis");
+    let preds = [Some(ScanPred::new(&missing))];
+    let prepared = q.prepare(&db, &preds).unwrap();
+    let mut scratch = ExecScratch::new();
+    let mut stats = ExecStats::default();
+    for _ in 0..100 {
+        let found = prepared
+            .exists_matching(&db, &preds, &mut scratch, &mut stats)
+            .unwrap();
+        assert!(!found);
+    }
+    assert_eq!(stats.plans_built, 0, "prepared once, outside the loop");
+    assert_eq!(stats.scratch_reuses, 99);
+}

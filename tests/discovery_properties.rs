@@ -57,7 +57,7 @@ proptest! {
         let result = engine().run(&tc);
         for q in &result.queries {
             let rows = q.candidate.query.execute(db(), 500_000).unwrap();
-            let c = tc.samples[0].cells[0].as_ref().unwrap();
+            let c = tc.samples[0].cell(0).unwrap();
             prop_assert!(
                 rows.iter().any(|r| prism::lang::matches_value(c, &r[0])),
                 "{} has no row matching `{kw}`", q.sql
@@ -116,7 +116,7 @@ proptest! {
         // Soundness of the numeric column.
         for q in &result.queries {
             let rows = q.candidate.query.execute(db(), 500_000).unwrap();
-            let c = tc.samples[0].cells[1].as_ref().unwrap();
+            let c = tc.samples[0].cell(1).unwrap();
             prop_assert!(rows.iter().any(|r| prism::lang::matches_value(c, &r[1])));
         }
     }

@@ -76,7 +76,7 @@ fn every_returned_query_satisfies_all_constraints() {
         let rows = q.candidate.query.execute(&db, 200_000).unwrap();
         let witness = rows.iter().any(|row| {
             tc.samples[0]
-                .cells
+                .cells()
                 .iter()
                 .enumerate()
                 .all(|(i, c)| match c {

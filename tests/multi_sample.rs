@@ -30,7 +30,7 @@ fn two_sample_rows_intersect_candidates() {
         for sample in &tc.samples {
             let witness = rows.iter().any(|row| {
                 row.iter()
-                    .zip(&sample.cells)
+                    .zip(sample.cells())
                     .all(|(v, c)| c.as_ref().map(|c| matches_value(c, v)).unwrap_or(true))
             });
             assert!(witness, "{} misses a sample row", q.sql);
@@ -61,7 +61,7 @@ fn contradictory_second_sample_prunes_everything() {
         for sample in &tc.samples {
             assert!(rows.iter().any(|row| row
                 .iter()
-                .zip(&sample.cells)
+                .zip(sample.cells())
                 .all(|(v, c)| c.as_ref().map(|c| matches_value(c, v)).unwrap_or(true))));
         }
     }

@@ -55,10 +55,7 @@ fn schedulers_agree_with_ground_truth_on_every_task() {
             &p.db,
             constraints,
             fs,
-            &BayesModel {
-                estimator: &est,
-                constraints,
-            },
+            &BayesModel::new(&est, constraints),
             None,
         );
         assert_eq!(naive.accepted, truth, "naive diverges from ground truth");
@@ -80,10 +77,7 @@ fn oracle_never_exceeds_any_scheduler() {
                 &p.db,
                 constraints,
                 fs,
-                &BayesModel {
-                    estimator: &est,
-                    constraints,
-                },
+                &BayesModel::new(&est, constraints),
                 None,
             )
             .validations,
@@ -117,10 +111,7 @@ fn decomposition_beats_naive_on_execution_work() {
             &p.db,
             constraints,
             fs,
-            &BayesModel {
-                estimator: &est,
-                constraints,
-            },
+            &BayesModel::new(&est, constraints),
             None,
         )
         .exec
@@ -148,10 +139,7 @@ fn bayes_closes_part_of_the_gap_in_aggregate() {
             &p.db,
             constraints,
             fs,
-            &BayesModel {
-                estimator: &est,
-                constraints,
-            },
+            &BayesModel::new(&est, constraints),
             None,
         )
         .validations;
