@@ -7,7 +7,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use prism_bayes::{BayesEstimator, TrainConfig};
 use prism_bench::scheduling_cases;
-use prism_core::scheduler::{run_greedy, run_naive, BayesModel, PathLengthModel};
+use prism_core::scheduler::{BayesModel, Engine, PathLengthModel, SchedCtx, Scheduler};
 use prism_core::DiscoveryConfig;
 use prism_datasets::{mondial, Resolution};
 use std::time::Duration;
@@ -28,7 +28,8 @@ fn bench_schedulers(c: &mut Criterion) {
         b.iter(|| {
             let mut v = 0u64;
             for (tc, fs) in cases {
-                v += run_naive(&db, tc, fs, None).validations;
+                let ctx = SchedCtx::new(&db, tc, fs);
+                v += Scheduler::run(&ctx, Engine::Naive).validations;
             }
             v
         })
@@ -40,7 +41,12 @@ fn bench_schedulers(c: &mut Criterion) {
             b.iter(|| {
                 let mut v = 0u64;
                 for (tc, fs) in cases {
-                    v += run_greedy(&db, tc, fs, &PathLengthModel, None).validations;
+                    let ctx = SchedCtx::new(&db, tc, fs);
+                    let engine = Engine::Greedy {
+                        model: &PathLengthModel,
+                        threads: 1,
+                    };
+                    v += Scheduler::run(&ctx, engine).validations;
                 }
                 v
             })
@@ -53,7 +59,13 @@ fn bench_schedulers(c: &mut Criterion) {
             b.iter(|| {
                 let mut v = 0u64;
                 for (tc, fs) in cases {
-                    v += run_greedy(&db, tc, fs, &BayesModel::new(&est, tc), None).validations;
+                    let ctx = SchedCtx::new(&db, tc, fs);
+                    let model = BayesModel::new(&est, tc);
+                    let engine = Engine::Greedy {
+                        model: &model,
+                        threads: 1,
+                    };
+                    v += Scheduler::run(&ctx, engine).validations;
                 }
                 v
             })

@@ -16,7 +16,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use prism_bayes::{BayesEstimator, TrainConfig};
 use prism_bench::scheduling_cases;
-use prism_core::scheduler::{run_greedy, run_greedy_parallel, BayesModel};
+use prism_core::scheduler::{BayesModel, Engine, SchedCtx, Scheduler};
 use prism_core::DiscoveryConfig;
 use prism_datasets::{imdb, Resolution};
 use std::time::Duration;
@@ -31,7 +31,15 @@ fn bench_parallel_engine(c: &mut Criterion) {
     assert!(!cases.is_empty());
     let baseline: Vec<Vec<u32>> = cases
         .iter()
-        .map(|(tc, fs)| run_greedy(&db, tc, fs, &BayesModel::new(&est, tc), None).accepted)
+        .map(|(tc, fs)| {
+            let ctx = SchedCtx::new(&db, tc, fs);
+            let model = BayesModel::new(&est, tc);
+            let engine = Engine::Greedy {
+                model: &model,
+                threads: 1,
+            };
+            Scheduler::run(&ctx, engine).accepted
+        })
         .collect();
 
     let mut group = c.benchmark_group("e4_parallel_validation");
@@ -45,8 +53,13 @@ fn bench_parallel_engine(c: &mut Criterion) {
             b.iter(|| {
                 let mut v = 0u64;
                 for (tc, fs) in cases {
+                    let ctx = SchedCtx::new(&db, tc, fs);
                     let model = BayesModel::new(&est, tc);
-                    v += run_greedy(&db, tc, fs, &model, None).validations;
+                    let engine = Engine::Greedy {
+                        model: &model,
+                        threads: 1,
+                    };
+                    v += Scheduler::run(&ctx, engine).validations;
                 }
                 v
             })
@@ -57,8 +70,13 @@ fn bench_parallel_engine(c: &mut Criterion) {
             b.iter(|| {
                 let mut v = 0u64;
                 for ((tc, fs), accepted) in cases.iter().zip(&baseline) {
+                    let ctx = SchedCtx::new(&db, tc, fs);
                     let model = BayesModel::new(&est, tc);
-                    let outcome = run_greedy_parallel(&db, tc, fs, &model, None, threads);
+                    let engine = Engine::Greedy {
+                        model: &model,
+                        threads,
+                    };
+                    let outcome = Scheduler::run(&ctx, engine);
                     assert_eq!(&outcome.accepted, accepted, "engines must agree");
                     v += outcome.validations;
                 }

@@ -34,10 +34,11 @@
 
 use prism_bayes::{BayesEstimator, TrainConfig};
 use prism_bench::{resolution_sweep, scheduling_cases, scheduling_comparison, timed};
-use prism_core::scheduler::{run_greedy, run_greedy_parallel, BayesModel};
-use prism_core::DiscoveryConfig;
+use prism_core::scheduler::{BayesModel, Engine, SchedCtx, Scheduler};
+use prism_core::{DiscoveryConfig, DiscoveryService, SessionHandle};
 use prism_datasets::{imdb, mondial, Resolution};
 use prism_db::{ExecScratch, ExecStats, JoinCond, PjQuery, ScanPred};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Default substrate scale factor (mondial replication); arg 2 overrides.
@@ -184,6 +185,12 @@ fn main() {
         );
         println!("prepared-speedup gate passed: {prepared_hit_speedup:.2}x >= {min}x");
     }
+
+    // Service-layer throughput + warm-cache proof (BENCH_service.json).
+    // Cheap (mondial scale 1), so it runs in the smoke leg too — CI gates
+    // on the warm sessions compiling zero plans.
+    service_bench(&phase);
+
     if substrate_only {
         return;
     }
@@ -212,7 +219,14 @@ fn main() {
         let (_, d_seq) = timed(|| {
             for (tc, fs) in &cases {
                 let model = BayesModel::new(&est, tc);
-                let o = run_greedy(&imdb_db, tc, fs, &model, None);
+                let ctx = SchedCtx::new(&imdb_db, tc, fs);
+                let o = Scheduler::run(
+                    &ctx,
+                    Engine::Greedy {
+                        model: &model,
+                        threads: 1,
+                    },
+                );
                 seq_validations = o.validations;
                 accepted_seq.push(o.accepted);
             }
@@ -221,7 +235,14 @@ fn main() {
         let (_, d_par) = timed(|| {
             for ((tc, fs), accepted) in cases.iter().zip(&accepted_seq) {
                 let model = BayesModel::new(&est, tc);
-                let o = run_greedy_parallel(&imdb_db, tc, fs, &model, None, PAR_THREADS);
+                let ctx = SchedCtx::new(&imdb_db, tc, fs);
+                let o = Scheduler::run(
+                    &ctx,
+                    Engine::Greedy {
+                        model: &model,
+                        threads: PAR_THREADS,
+                    },
+                );
                 par_validations = o.validations;
                 assert_eq!(&o.accepted, accepted, "engines must accept identically");
             }
@@ -233,6 +254,14 @@ fn main() {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    // Honesty: a speedup ratio measured on one core is coordination
+    // overhead, not parallelism — record `null` there and only gate on the
+    // ratio when the machine can actually run workers side by side.
+    let speedup_field = if cores > 1 {
+        format!("{:.3}", seq_median / par_median)
+    } else {
+        "null".to_string()
+    };
     let par_entry = format!(
         "{{\n    \"phase\": \"{phase}\",\n    \"database\": \"imdb\",\n    \
          \"scale\": {IMDB_SCALE},\n    \"total_rows\": {},\n    \
@@ -240,17 +269,134 @@ fn main() {
          \"threads\": {PAR_THREADS},\n    \"reps\": {REPS},\n    \
          \"seq_median_ms\": {seq_median:.3},\n    \
          \"par_median_ms\": {par_median:.3},\n    \
-         \"speedup\": {:.3},\n    \
+         \"speedup\": {speedup_field},\n    \
          \"seq_validations_last_task\": {seq_validations},\n    \
          \"par_validations_last_task\": {par_validations}\n  }}",
         imdb_db.total_rows(),
         cases.len(),
-        seq_median / par_median,
     );
     append_entry("BENCH_parallel.json", &par_entry);
     println!("appended phase `{phase}` to BENCH_parallel.json:\n{par_entry}");
+    if let Ok(min) = std::env::var("PRISM_BENCH_MIN_PAR_SPEEDUP") {
+        if cores > 1 {
+            let min: f64 = min
+                .parse()
+                .expect("PRISM_BENCH_MIN_PAR_SPEEDUP is a number");
+            let speedup = seq_median / par_median;
+            assert!(
+                speedup >= min,
+                "parallel engine at {speedup:.2}x sequential, need >= {min}x"
+            );
+            println!("parallel-speedup gate passed: {speedup:.2}x >= {min}x");
+        } else {
+            println!("parallel-speedup gate skipped: {cores} core(s) detected");
+        }
+    }
 
     scan_bench(&phase);
+}
+
+/// Warm sessions in the service-layer bench (`PRISM_SERVICE_SESSIONS`
+/// overrides).
+const DEFAULT_SERVICE_SESSIONS: usize = 4;
+
+/// Service-layer bench (`BENCH_service.json`): one [`DiscoveryService`]
+/// over the walkthrough database, a cold session that populates the
+/// service-global plan cache, then `PRISM_SERVICE_SESSIONS` (default 4)
+/// warm sessions each running a round on its own thread. Reports
+/// multi-session throughput (rounds/s across the warm sessions, cores
+/// recorded so single-core numbers read as concurrency-overhead checks,
+/// not parallel speedups) and the cross-session plan-cache counters.
+/// `PRISM_BENCH_REQUIRE_WARM_SERVICE=1` turns "every warm session compiles
+/// zero plans" into a hard gate for CI smoke.
+fn service_bench(phase: &str) {
+    let sessions: usize = std::env::var("PRISM_SERVICE_SESSIONS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SERVICE_SESSIONS);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let db = Arc::new(mondial(42, 1));
+    let total_rows = db.total_rows();
+    let svc = DiscoveryService::new(db, DiscoveryConfig::default());
+    let describe = |s: &mut SessionHandle| {
+        s.set_sample_cell(0, 0, "California || Nevada").unwrap();
+        s.set_sample_cell(0, 1, "Lake Tahoe").unwrap();
+        s.set_metadata_cell(2, "DataType=='decimal' AND MinValue>='0'")
+            .unwrap();
+    };
+
+    // Cold session: compiles every query class into the shared cache once.
+    let mut cold = svc.open_default_session();
+    describe(&mut cold);
+    let (_, cold_wall) = timed(|| {
+        cold.start_searching().unwrap();
+    });
+    let cold_result = cold.result().expect("cold round ran");
+    let cold_plans_built = cold_result.stats.exec.plans_built;
+    let expected_queries = cold_result.queries.len();
+    assert!(expected_queries > 0, "walkthrough discovers queries");
+
+    // Warm sessions: identical query classes, one thread per session. The
+    // handles are owned, so moving each into its thread is the API working
+    // as designed — no scoped borrows of a session.
+    let mut handles: Vec<SessionHandle> =
+        (0..sessions).map(|_| svc.open_default_session()).collect();
+    for h in &mut handles {
+        describe(h);
+    }
+    let (warm_plans_built, warm_wall) = timed(|| {
+        std::thread::scope(|scope| {
+            let joins: Vec<_> = handles
+                .into_iter()
+                .map(|mut s| {
+                    scope.spawn(move || {
+                        let r = s.start_searching().unwrap();
+                        assert_eq!(
+                            r.queries.len(),
+                            expected_queries,
+                            "warm session diverged from the cold round"
+                        );
+                        r.stats.exec.plans_built
+                    })
+                })
+                .collect();
+            joins.into_iter().map(|j| j.join().unwrap()).sum::<u64>()
+        })
+    });
+    let rounds_per_s = sessions as f64 / warm_wall.as_secs_f64();
+    let cache = svc.plan_cache();
+
+    let entry = format!(
+        "{{\n    \"phase\": \"{phase}\",\n    \"database\": \"mondial\",\n    \
+         \"scale\": 1,\n    \"total_rows\": {total_rows},\n    \
+         \"cores\": {cores},\n    \"thread_budget\": {},\n    \
+         \"sessions\": {sessions},\n    \
+         \"cold_round_ms\": {:.3},\n    \
+         \"cold_plans_built\": {cold_plans_built},\n    \
+         \"warm_wall_ms\": {:.3},\n    \
+         \"warm_rounds_per_s\": {rounds_per_s:.2},\n    \
+         \"warm_plans_built\": {warm_plans_built},\n    \
+         \"cache_hits\": {},\n    \"cache_misses\": {},\n    \
+         \"cache_entries\": {}\n  }}",
+        svc.thread_budget().total(),
+        cold_wall.as_secs_f64() * 1e3,
+        warm_wall.as_secs_f64() * 1e3,
+        cache.hits,
+        cache.misses,
+        cache.entries,
+    );
+    append_entry("BENCH_service.json", &entry);
+    println!("appended phase `{phase}` to BENCH_service.json:\n{entry}");
+
+    if std::env::var("PRISM_BENCH_REQUIRE_WARM_SERVICE").is_ok_and(|v| v == "1") {
+        assert_eq!(
+            warm_plans_built, 0,
+            "warm sessions must be served entirely by the shared plan cache"
+        );
+        println!("warm-service gate passed: {sessions} warm sessions compiled 0 plans");
+    }
 }
 
 /// Rows in the synthetic scan-layer tables.

@@ -12,7 +12,9 @@
 //!   A1 (no join indicators) and A2 (naive validation) ablations.
 
 use prism_bayes::{BayesEstimator, TrainConfig};
-use prism_core::scheduler::{oracle_schedule, run_greedy, run_naive, BayesModel, PathLengthModel};
+use prism_core::scheduler::{
+    oracle_schedule, BayesModel, Engine, PathLengthModel, SchedCtx, Scheduler,
+};
 use prism_core::{
     candidates::enumerate_candidates, filters::build_filters, related::find_related,
     DiscoveryConfig, TargetConstraints,
@@ -191,22 +193,14 @@ pub fn scheduling_comparison(
                     continue;
                 }
                 let fs = build_filters(db, &cands, &constraints, None);
-                let naive = run_naive(db, &constraints, &fs, None);
-                let path = run_greedy(db, &constraints, &fs, &PathLengthModel, None);
-                let bayes = run_greedy(
-                    db,
-                    &constraints,
-                    &fs,
-                    &BayesModel::new(&est, &constraints),
-                    None,
-                );
-                let bayes_no_ji = run_greedy(
-                    db,
-                    &constraints,
-                    &fs,
-                    &BayesModel::new(&est_no_ji, &constraints),
-                    None,
-                );
+                let ctx = SchedCtx::new(db, &constraints, &fs);
+                let greedy = |model: &dyn prism_core::scheduler::FailureModel| {
+                    Scheduler::run(&ctx, Engine::Greedy { model, threads: 1 })
+                };
+                let naive = Scheduler::run(&ctx, Engine::Naive);
+                let path = greedy(&PathLengthModel);
+                let bayes = greedy(&BayesModel::new(&est, &constraints));
+                let bayes_no_ji = greedy(&BayesModel::new(&est_no_ji, &constraints));
                 let (oracle, _) = oracle_schedule(db, &constraints, &fs);
                 out.push(SchedulingSample {
                     database: db.name().to_string(),

@@ -8,10 +8,10 @@
 use crate::candidates::{enumerate_candidates, Candidate};
 use crate::config::DiscoveryConfig;
 use crate::constraints::TargetConstraints;
-use crate::filters::build_filters;
+use crate::filters::{build_filters_with_cache, SharedPlanCache};
 use crate::related::find_related;
 use crate::scheduler::{
-    oracle_schedule, run_greedy_parallel, run_naive, BayesModel, PathLengthModel, ScheduleOutcome,
+    oracle_schedule, BayesModel, Engine, PathLengthModel, SchedCtx, ScheduleOutcome, Scheduler,
     SchedulerKind,
 };
 use prism_bayes::{BayesEstimator, TrainConfig};
@@ -167,116 +167,152 @@ impl<'a> Discovery<'a> {
     }
 
     fn run_inner(&self, constraints: &TargetConstraints, want_oracle: bool) -> DiscoveryResult {
-        let start = Instant::now();
-        let deadline = start + self.config.time_budget;
+        run_round(
+            self.db,
+            &self.config,
+            self.estimator.as_ref(),
+            constraints,
+            RoundOptions {
+                want_oracle,
+                shared_plans: None,
+                threads: self.config.validation_threads,
+            },
+        )
+    }
+}
 
-        // Step 1: related columns and candidate enumeration.
-        let related = find_related(self.db, constraints, &self.config);
-        let cand_set = enumerate_candidates(self.db, &related, &self.config, Some(deadline));
-        let mut stats = DiscoveryStats {
-            related_per_column: related.per_column.iter().map(Vec::len).collect(),
-            candidates: cand_set.candidates.len(),
-            truncated: cand_set.truncated,
-            ..DiscoveryStats::default()
-        };
-        if cand_set.candidates.is_empty() {
-            stats.elapsed = start.elapsed();
-            return DiscoveryResult {
-                queries: Vec::new(),
-                stats,
-                timed_out: cand_set.truncated,
-            };
-        }
+/// Per-round knobs beyond [`DiscoveryConfig`]: the borrowed [`Discovery`]
+/// engine and the owned [`crate::service::SessionHandle`] both funnel into
+/// [`run_round`], differing only here.
+pub(crate) struct RoundOptions<'s> {
+    pub want_oracle: bool,
+    /// Service-global plan cache; `None` = a private per-round cache.
+    pub shared_plans: Option<&'s SharedPlanCache>,
+    /// Validation worker count for this round (the service leases it from
+    /// its thread budget; the borrowed engine uses its config verbatim).
+    pub threads: usize,
+}
 
-        // Step 2: filters and scheduling.
-        let fs = build_filters(self.db, &cand_set.candidates, constraints, Some(deadline));
-        stats.filters = fs.len();
-        stats.truncated |= fs.truncated;
+/// One discovery round: `constraints → related columns → candidates →
+/// filters → scheduled validation → ranked results`.
+pub(crate) fn run_round(
+    db: &Database,
+    config: &DiscoveryConfig,
+    estimator: Option<&BayesEstimator>,
+    constraints: &TargetConstraints,
+    opts: RoundOptions<'_>,
+) -> DiscoveryResult {
+    let start = Instant::now();
+    let deadline = start + config.time_budget;
 
-        // Greedy schedulers run on the parallel validation engine; with
-        // `validation_threads == 1` that is exactly the sequential loop.
-        let threads = self.config.validation_threads;
-        let outcome: ScheduleOutcome = match self.config.scheduler {
-            SchedulerKind::Naive => run_naive(self.db, constraints, &fs, Some(deadline)),
-            SchedulerKind::PathLength => run_greedy_parallel(
-                self.db,
-                constraints,
-                &fs,
-                &PathLengthModel,
-                Some(deadline),
-                threads,
-            ),
-            SchedulerKind::Bayes => {
-                let est = self
-                    .estimator
-                    .as_ref()
-                    .expect("Bayes scheduler requires a trained estimator");
-                run_greedy_parallel(
-                    self.db,
-                    constraints,
-                    &fs,
-                    &BayesModel::new(est, constraints),
-                    Some(deadline),
-                    threads,
-                )
-            }
-            SchedulerKind::Oracle => {
-                let (v, o) = oracle_schedule(self.db, constraints, &fs);
-                stats.oracle_validations = Some(v);
-                o
-            }
-        };
-        if want_oracle && stats.oracle_validations.is_none() {
-            let (v, _) = oracle_schedule(self.db, constraints, &fs);
-            stats.oracle_validations = Some(v);
-        }
-
-        stats.validations = outcome.validations;
-        stats.implied_successes = outcome.implied_successes;
-        stats.implied_failures = outcome.implied_failures;
-        stats.exec = outcome.exec;
-
-        // Materialize the Result section, ranked for the browsing user:
-        // fewer joins first (simpler mappings), then smaller estimated
-        // results (more specific mappings), then SQL for determinism.
-        // Ranking happens before the result cap so the cap keeps the best.
-        let mut ranked: Vec<(usize, f64, String, u32)> = outcome
-            .accepted
-            .iter()
-            .map(|&cid| {
-                let cand = &cand_set.candidates[cid as usize];
-                (
-                    cand.query.join_count(),
-                    estimate_result_rows(self.db, cand),
-                    render_sql(&cand.query, self.db),
-                    cid,
-                )
-            })
-            .collect();
-        ranked.sort_by(|a, b| {
-            a.0.cmp(&b.0)
-                .then_with(|| a.1.partial_cmp(&b.1).expect("finite estimates"))
-                .then_with(|| a.2.cmp(&b.2))
-        });
-        let mut queries = Vec::new();
-        for (_, estimated_rows, sql, cid) in ranked.into_iter().take(self.config.result_limit) {
-            let candidate = cand_set.candidates[cid as usize].clone();
-            let key = canonical_key(&candidate.query, self.db);
-            let preview = candidate.query.execute(self.db, 5).unwrap_or_default();
-            queries.push(DiscoveredQuery {
-                candidate,
-                sql,
-                key,
-                preview,
-                estimated_rows,
-            });
-        }
+    // Step 1: related columns and candidate enumeration.
+    let related = find_related(db, constraints, config);
+    let cand_set = enumerate_candidates(db, &related, config, Some(deadline));
+    let mut stats = DiscoveryStats {
+        related_per_column: related.per_column.iter().map(Vec::len).collect(),
+        candidates: cand_set.candidates.len(),
+        truncated: cand_set.truncated,
+        ..DiscoveryStats::default()
+    };
+    if cand_set.candidates.is_empty() {
         stats.elapsed = start.elapsed();
-        DiscoveryResult {
-            queries,
+        return DiscoveryResult {
+            queries: Vec::new(),
             stats,
-            timed_out: outcome.timed_out,
+            timed_out: cand_set.truncated,
+        };
+    }
+
+    // Step 2: filters and scheduling.
+    let fs = build_filters_with_cache(
+        db,
+        &cand_set.candidates,
+        constraints,
+        Some(deadline),
+        opts.shared_plans,
+    );
+    stats.filters = fs.len();
+    stats.truncated |= fs.truncated;
+
+    // Greedy schedulers run on the parallel validation engine; with
+    // `threads == 1` that is exactly the sequential loop.
+    let ctx = SchedCtx::new(db, constraints, &fs).with_deadline(Some(deadline));
+    let threads = opts.threads;
+    let outcome: ScheduleOutcome = match config.scheduler {
+        SchedulerKind::Naive => Scheduler::run(&ctx, Engine::Naive),
+        SchedulerKind::PathLength => Scheduler::run(
+            &ctx,
+            Engine::Greedy {
+                model: &PathLengthModel,
+                threads,
+            },
+        ),
+        SchedulerKind::Bayes => {
+            let est = estimator.expect("Bayes scheduler requires a trained estimator");
+            Scheduler::run(
+                &ctx,
+                Engine::Greedy {
+                    model: &BayesModel::new(est, constraints),
+                    threads,
+                },
+            )
         }
+        SchedulerKind::Oracle => {
+            let (v, o) = oracle_schedule(db, constraints, &fs);
+            stats.oracle_validations = Some(v);
+            o
+        }
+    };
+    if opts.want_oracle && stats.oracle_validations.is_none() {
+        let (v, _) = oracle_schedule(db, constraints, &fs);
+        stats.oracle_validations = Some(v);
+    }
+
+    stats.validations = outcome.validations;
+    stats.implied_successes = outcome.implied_successes;
+    stats.implied_failures = outcome.implied_failures;
+    stats.exec = outcome.exec;
+
+    // Materialize the Result section, ranked for the browsing user:
+    // fewer joins first (simpler mappings), then smaller estimated
+    // results (more specific mappings), then SQL for determinism.
+    // Ranking happens before the result cap so the cap keeps the best.
+    let mut ranked: Vec<(usize, f64, String, u32)> = outcome
+        .accepted
+        .iter()
+        .map(|&cid| {
+            let cand = &cand_set.candidates[cid as usize];
+            (
+                cand.query.join_count(),
+                estimate_result_rows(db, cand),
+                render_sql(&cand.query, db),
+                cid,
+            )
+        })
+        .collect();
+    ranked.sort_by(|a, b| {
+        a.0.cmp(&b.0)
+            .then_with(|| a.1.partial_cmp(&b.1).expect("finite estimates"))
+            .then_with(|| a.2.cmp(&b.2))
+    });
+    let mut queries = Vec::new();
+    for (_, estimated_rows, sql, cid) in ranked.into_iter().take(config.result_limit) {
+        let candidate = cand_set.candidates[cid as usize].clone();
+        let key = canonical_key(&candidate.query, db);
+        let preview = candidate.query.execute(db, 5).unwrap_or_default();
+        queries.push(DiscoveredQuery {
+            candidate,
+            sql,
+            key,
+            preview,
+            estimated_rows,
+        });
+    }
+    stats.elapsed = start.elapsed();
+    DiscoveryResult {
+        queries,
+        stats,
+        timed_out: outcome.timed_out,
     }
 }
 

@@ -30,8 +30,10 @@ use crate::constraints::TargetConstraints;
 use prism_db::graph::{EdgeId, JoinTree};
 use prism_db::schema::{ColumnRef, TableId};
 use prism_db::{Database, PreparedQuery};
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 /// Index of a filter within a [`FilterSet`].
@@ -115,18 +117,33 @@ impl FilterSet {
 /// `OnceLock` slots make it safely shareable across validation worker
 /// threads with exactly-once compilation and lock-free reads after that.
 ///
+/// Slots are `Arc`-shared: a filter set built through a
+/// [`SharedPlanCache`] (the service-global cache) holds the *same* slots
+/// as every other filter set over the same query classes, so a plan
+/// compiled by one session is immediately warm for all others. A filter
+/// set built without a shared cache owns private slots, exactly as before.
+///
 /// Plans are *derived* data (recomputable from the filters), so cloning a
 /// `FilterSet` yields an equivalent set with a cold cache.
 #[derive(Default)]
 pub struct PlanCache {
-    slots: Vec<OnceLock<PreparedQuery>>,
+    slots: Vec<Arc<OnceLock<PreparedQuery>>>,
 }
 
 impl PlanCache {
     /// An empty cache with one slot per query class.
     pub(crate) fn with_classes(n: usize) -> PlanCache {
         PlanCache {
-            slots: (0..n).map(|_| OnceLock::new()).collect(),
+            slots: (0..n).map(|_| Arc::new(OnceLock::new())).collect(),
+        }
+    }
+
+    /// A cache whose slots are resolved through the service-global
+    /// `shared` cache: classes another session already registered reuse
+    /// its (possibly already compiled) slot.
+    pub(crate) fn from_shared(shared: &SharedPlanCache, keys: Vec<QueryKey>) -> PlanCache {
+        PlanCache {
+            slots: keys.into_iter().map(|k| shared.slot(k)).collect(),
         }
     }
 
@@ -173,6 +190,93 @@ impl std::fmt::Debug for PlanCache {
     }
 }
 
+/// Canonical identity of a filter's *executable query* — the key of the
+/// service-global plan cache. Filters differing only by sample share a key;
+/// so do identical filters built by different sessions over the same
+/// database.
+pub(crate) type QueryKey = (Vec<EdgeId>, Vec<TableId>, Vec<ColumnRef>);
+
+/// Service-global prepared-plan cache, shared across concurrent discovery
+/// sessions.
+///
+/// The per-[`FilterSet`] [`PlanCache`] indexes plans by a dense
+/// per-round class id; this cache keys the same slots by the query's
+/// *identity* (subtree edges + tables + projected columns), so query
+/// classes recur across sessions exploring the same schema — which is the
+/// common interactive workload. [`build_filters_with_cache`] resolves each
+/// round's classes through it: a key seen before is a **hit** (its slot,
+/// compiled or not, is reused), a new key is a **miss** (a fresh slot is
+/// registered). A warm session therefore compiles zero plans — observable
+/// both here ([`SharedPlanCache::stats`]) and in the round's
+/// `ExecStats::plans_built`.
+///
+/// Concurrency: the key map sits behind a `Mutex` touched once per class
+/// per round (filter-set build time, never validation time); compilation
+/// itself stays on the slots' lock-free `OnceLock` fast path.
+#[derive(Default)]
+pub struct SharedPlanCache {
+    slots: Mutex<HashMap<QueryKey, Arc<OnceLock<PreparedQuery>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// A point-in-time snapshot of a [`SharedPlanCache`]'s counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanCacheStats {
+    /// Class resolutions served by an already-registered slot.
+    pub hits: u64,
+    /// Class resolutions that registered a fresh slot.
+    pub misses: u64,
+    /// Distinct query classes registered.
+    pub entries: usize,
+    /// Slots actually holding a compiled plan.
+    pub compiled: usize,
+}
+
+impl SharedPlanCache {
+    pub fn new() -> SharedPlanCache {
+        SharedPlanCache::default()
+    }
+
+    /// The shared slot for `key`, registering a fresh one on first sight.
+    pub(crate) fn slot(&self, key: QueryKey) -> Arc<OnceLock<PreparedQuery>> {
+        let mut slots = self.slots.lock().expect("shared plan cache lock");
+        match slots.entry(key) {
+            Entry::Occupied(e) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                e.get().clone()
+            }
+            Entry::Vacant(e) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                e.insert(Arc::new(OnceLock::new())).clone()
+            }
+        }
+    }
+
+    /// Snapshot the hit/miss/compile counters.
+    pub fn stats(&self) -> PlanCacheStats {
+        let slots = self.slots.lock().expect("shared plan cache lock");
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: slots.len(),
+            compiled: slots.values().filter(|s| s.get().is_some()).count(),
+        }
+    }
+}
+
+impl std::fmt::Debug for SharedPlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("SharedPlanCache")
+            .field("entries", &stats.entries)
+            .field("compiled", &stats.compiled)
+            .field("hits", &stats.hits)
+            .field("misses", &stats.misses)
+            .finish()
+    }
+}
+
 /// Canonical identity of a filter for cross-candidate deduplication.
 #[derive(PartialEq, Eq, Hash)]
 struct FilterKey {
@@ -182,12 +286,26 @@ struct FilterKey {
     sample: usize,
 }
 
-/// Decompose every candidate into filters.
+/// Decompose every candidate into filters, with a private plan cache.
 pub fn build_filters(
     db: &Database,
     candidates: &[Candidate],
     constraints: &TargetConstraints,
     deadline: Option<Instant>,
+) -> FilterSet {
+    build_filters_with_cache(db, candidates, constraints, deadline, None)
+}
+
+/// Decompose every candidate into filters. With `shared` set, the filter
+/// set's plan slots are resolved through the service-global
+/// [`SharedPlanCache`], so query classes another session already compiled
+/// arrive warm.
+pub fn build_filters_with_cache(
+    db: &Database,
+    candidates: &[Candidate],
+    constraints: &TargetConstraints,
+    deadline: Option<Instant>,
+    shared: Option<&SharedPlanCache>,
 ) -> FilterSet {
     let mut set = FilterSet {
         per_candidate: vec![Vec::new(); candidates.len()],
@@ -197,9 +315,10 @@ pub fn build_filters(
     let mut by_key: HashMap<FilterKey, FilterId> = HashMap::new();
     // Query-class interner: filters whose executable query is identical —
     // same subtree, same projected columns, any sample — share one class
-    // and hence one prepared plan slot.
-    type QueryKey = (Vec<EdgeId>, Vec<TableId>, Vec<ColumnRef>);
+    // and hence one prepared plan slot. `class_keys[class]` keeps the
+    // identity for resolution through the service-global cache.
     let mut class_by_query: HashMap<QueryKey, u32> = HashMap::new();
+    let mut class_keys: Vec<QueryKey> = Vec::new();
     // Subtree enumeration is per unique tree, cached.
     let mut subtree_cache: HashMap<Vec<EdgeId>, Vec<JoinTree>> = HashMap::new();
 
@@ -241,10 +360,15 @@ pub fn build_filters(
                     let id = FilterId(set.filters.len() as u32);
                     let prevalidated = sub.edges.is_empty() && preds.len() == 1;
                     let cols: Vec<ColumnRef> = preds.iter().map(|&(_, c)| c).collect();
-                    let next_class = class_by_query.len() as u32;
-                    let query_class = *class_by_query
-                        .entry((sub.edges.clone(), sub.tables.clone(), cols))
-                        .or_insert(next_class);
+                    let query_key = (sub.edges.clone(), sub.tables.clone(), cols);
+                    let query_class = match class_by_query.entry(query_key.clone()) {
+                        Entry::Occupied(e) => *e.get(),
+                        Entry::Vacant(e) => {
+                            let c = class_keys.len() as u32;
+                            class_keys.push(query_key);
+                            *e.insert(c)
+                        }
+                    };
                     set.filters.push(Filter {
                         id,
                         tree: sub.clone(),
@@ -303,7 +427,10 @@ pub fn build_filters(
         list.sort_unstable();
         list.dedup();
     }
-    set.plans = PlanCache::with_classes(class_by_query.len());
+    set.plans = match shared {
+        Some(cache) => PlanCache::from_shared(cache, class_keys),
+        None => PlanCache::with_classes(class_keys.len()),
+    };
     set
 }
 
@@ -480,6 +607,53 @@ mod tests {
         // Both samples produced filters over the same trees/columns, so
         // classes must be strictly fewer than filters.
         assert!(fs.plans.classes() < fs.len(), "cross-sample sharing");
+    }
+
+    #[test]
+    fn shared_cache_hands_out_the_same_slots_across_builds() {
+        let db = mondial(42, 1);
+        let tc = TargetConstraints::parse(
+            3,
+            &[vec![some("California || Nevada"), some("Lake Tahoe"), None]],
+            &[None, None, some("DataType=='decimal' AND MinValue>='0'")],
+        )
+        .unwrap();
+        let config = DiscoveryConfig::default();
+        let rel = find_related(&db, &tc, &config);
+        let cands = enumerate_candidates(&db, &rel, &config, None).candidates;
+        let shared = SharedPlanCache::new();
+        // Cold build: every class is a miss.
+        let fs1 = build_filters_with_cache(&db, &cands, &tc, None, Some(&shared));
+        let s1 = shared.stats();
+        assert_eq!(s1.misses as usize, fs1.plans.classes());
+        assert_eq!(s1.hits, 0);
+        assert_eq!(s1.entries, fs1.plans.classes());
+        // Warm build of the same round: every class is a hit, nothing new.
+        let fs2 = build_filters_with_cache(&db, &cands, &tc, None, Some(&shared));
+        let s2 = shared.stats();
+        assert_eq!(s2.hits as usize, fs2.plans.classes());
+        assert_eq!(s2.misses, s1.misses);
+        assert_eq!(s2.entries, s1.entries);
+        // The slots really are shared: a plan compiled through fs1 is
+        // already present (and not recompiled) when fs2 asks for it.
+        let f = &fs1.filters[0];
+        let q = crate::validate::filter_query(&db, f);
+        let preds: Vec<prism_db::ProjPred<'_>> = (0..q.projection.len()).map(|_| None).collect();
+        let (_, built) = fs1
+            .plans
+            .get_or_prepare(f.query_class, || q.prepare(&db, &preds).unwrap());
+        assert!(built, "first compile happens through fs1");
+        let g = &fs2.filters[0];
+        assert_eq!(
+            g.query_class, f.query_class,
+            "same build order, same classes"
+        );
+        let (_, built_again) = fs2
+            .plans
+            .get_or_prepare(g.query_class, || unreachable!("slot must be warm"));
+        assert!(!built_again);
+        assert_eq!(shared.stats().compiled, 1);
+        assert!(fs2.plans.prepared_count() >= 1);
     }
 
     #[test]

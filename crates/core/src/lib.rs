@@ -39,11 +39,13 @@ pub mod candidates;
 pub mod config;
 pub mod constraints;
 pub mod discovery;
+pub mod error;
 pub mod explain;
 pub mod filters;
 pub mod parallel;
 pub mod related;
 pub mod scheduler;
+pub mod service;
 pub mod session;
 pub mod validate;
 
@@ -51,8 +53,10 @@ pub use candidates::Candidate;
 pub use config::DiscoveryConfig;
 pub use constraints::TargetConstraints;
 pub use discovery::{DiscoveredQuery, Discovery, DiscoveryResult, DiscoveryStats};
+pub use error::Error;
 pub use explain::QueryGraph;
-pub use filters::{Filter, FilterId, FilterSet};
+pub use filters::{Filter, FilterId, FilterSet, PlanCacheStats};
 pub use related::RelatedColumns;
-pub use scheduler::SchedulerKind;
+pub use scheduler::{Engine, SchedCtx, Scheduler, SchedulerKind};
+pub use service::{DiscoveryService, SessionHandle, ThreadBudget};
 pub use session::{Session, SessionConfig};

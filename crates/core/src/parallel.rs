@@ -10,12 +10,15 @@
 //!
 //! * the coordinator picks a **batch** of mutually non-implying filters
 //!   (see [`crate::scheduler`]) and hands it to the pool;
-//! * each worker drains its **shard** of the batch — slots `w, w + T,
-//!   w + 2T, …` — so no cursor is contended (work stealing between shards
-//!   is a ROADMAP follow-on);
+//! * each slot of the batch carries an atomic **claim**; a worker first
+//!   drains its home shard — slots `w, w + T, w + 2T, …` — then sweeps the
+//!   whole batch **stealing** any slot still unclaimed, so a worker stuck
+//!   on one expensive validation never strands the rest of its shard. A
+//!   stolen slot is just `validate_filter_cached` against the thief's own
+//!   [`ExecScratch`];
 //! * verdicts are reported per slot, so the coordinator applies them in
 //!   batch order: the outcome is deterministic regardless of how the OS
-//!   interleaves workers;
+//!   interleaves workers — and regardless of who stole what;
 //! * each worker accumulates its own [`ExecStats`] and merges them into
 //!   the pool's total exactly once, at shutdown;
 //! * a cooperative [`CancelFlag`] replaces the sequential scheduler's
@@ -32,8 +35,8 @@ use crate::filters::{FilterId, FilterSet, PlanCache};
 use crate::scheduler::SchedCtx;
 use crate::validate::validate_filter_cached;
 use prism_db::{ExecScratch, ExecStats};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 // Everything a validation worker touches is shared immutably; prove the
@@ -83,11 +86,37 @@ impl Default for CancelFlag {
     }
 }
 
+/// One round's batch with a per-slot claim word. Shared by `Arc` so a
+/// worker still sweeping an old round holds it alive after the coordinator
+/// has posted the next one. The claim CAS (`0 → 1`, `AcqRel`) is the only
+/// synchronization a slot needs: exactly one worker ever validates it.
+struct RoundWork {
+    batch: Vec<FilterId>,
+    claims: Vec<AtomicU8>,
+}
+
+impl RoundWork {
+    fn new(batch: &[FilterId]) -> RoundWork {
+        RoundWork {
+            batch: batch.to_vec(),
+            claims: (0..batch.len()).map(|_| AtomicU8::new(0)).collect(),
+        }
+    }
+
+    /// Claim `slot` for the calling worker; false = someone else owns it.
+    fn claim(&self, slot: usize) -> bool {
+        self.claims[slot]
+            .compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+}
+
 /// One round of work plus the pool's lifecycle state, all behind one lock.
 struct RoundState {
     /// Bumped per batch; workers use it to detect fresh work.
     generation: u64,
-    batch: Vec<FilterId>,
+    /// The current round's claimable batch; `None` before the first round.
+    work: Option<Arc<RoundWork>>,
     /// Per-slot verdicts; `None` = skipped because cancellation fired
     /// before the validation started.
     verdicts: Vec<Option<bool>>,
@@ -98,6 +127,8 @@ struct RoundState {
     exited: usize,
     /// Per-worker [`ExecStats`], merged here once per worker at shutdown.
     exec: ExecStats,
+    /// Slots validated by a worker outside their home shard, pool-lifetime.
+    stolen: u64,
 }
 
 struct PoolShared {
@@ -139,8 +170,7 @@ impl BatchRunner<'_> {
     /// coordinator parks until the workers' completion notify).
     pub fn run(&mut self, batch: &[FilterId]) -> Vec<Option<bool>> {
         let mut g = self.shared.round.lock().expect("pool lock");
-        g.batch.clear();
-        g.batch.extend_from_slice(batch);
+        g.work = Some(Arc::new(RoundWork::new(batch)));
         g.verdicts.clear();
         g.verdicts.resize(batch.len(), None);
         g.pending = batch.len();
@@ -166,9 +196,16 @@ impl BatchRunner<'_> {
     }
 }
 
+/// What a pool run produced besides the closure's result: the merged
+/// per-worker [`ExecStats`] and the work-stealing counter.
+pub(crate) struct PoolReport {
+    pub exec: ExecStats,
+    pub stolen: u64,
+}
+
 /// Run `coordinate` against a live pool of `threads` validation workers
 /// sharing `ctx` immutably. Returns the closure's result plus the merged
-/// per-worker [`ExecStats`]. The pool is always shut down before this
+/// [`PoolReport`]. The pool is always shut down before this
 /// returns — including when the closure panics, so `std::thread::scope`
 /// can never deadlock on workers waiting for work.
 pub(crate) fn validate_with_pool<R>(
@@ -176,16 +213,17 @@ pub(crate) fn validate_with_pool<R>(
     threads: usize,
     deadline: Option<Instant>,
     coordinate: impl FnOnce(&mut BatchRunner<'_>) -> R,
-) -> (R, ExecStats) {
+) -> (R, PoolReport) {
     let shared = PoolShared {
         round: Mutex::new(RoundState {
             generation: 0,
-            batch: Vec::new(),
+            work: None,
             verdicts: Vec::new(),
             pending: 0,
             shutdown: false,
             exited: 0,
             exec: ExecStats::default(),
+            stolen: 0,
         }),
         work: Condvar::new(),
         done: Condvar::new(),
@@ -220,12 +258,19 @@ pub(crate) fn validate_with_pool<R>(
         while g.exited < threads {
             g = shared.done.wait(g).expect("pool lock");
         }
-        (result, g.exec)
+        (
+            result,
+            PoolReport {
+                exec: g.exec,
+                stolen: g.stolen,
+            },
+        )
     })
 }
 
-/// One validation worker: wait for a fresh generation, drain shard slots
-/// `w, w + threads, …`, report verdicts, repeat until shutdown.
+/// One validation worker: wait for a fresh generation, drain home-shard
+/// slots `w, w + threads, …`, then sweep the batch stealing unclaimed
+/// slots, report verdicts, repeat until shutdown.
 fn worker_loop(
     w: usize,
     threads: usize,
@@ -240,7 +285,7 @@ fn worker_loop(
     let mut scratch = ExecScratch::new();
     let mut seen_generation = 0u64;
     loop {
-        let batch: Vec<FilterId> = {
+        let work: Arc<RoundWork> = {
             let mut g = shared.round.lock().expect("pool lock");
             loop {
                 if g.shutdown {
@@ -251,29 +296,52 @@ fn worker_loop(
                 }
                 if g.generation != seen_generation {
                     seen_generation = g.generation;
-                    break g.batch.clone();
+                    break g.work.clone().expect("round posted with generation");
                 }
                 g = shared.work.wait(g).expect("pool lock");
             }
         };
-        // Drain this worker's shard outside the lock.
-        let mut verdicts: Vec<(usize, Option<bool>)> = Vec::new();
-        let mut slot = w;
-        while slot < batch.len() {
-            let verdict = if cancel.is_cancelled() {
-                None // skipped, not failed: the coordinator sees a timeout
+        // All validation happens outside the lock. A cancelled slot is
+        // still claimed and reported (verdict `None` — skipped, not
+        // failed: the coordinator sees a timeout), so `pending` always
+        // drains to zero.
+        let run_one = |slot: usize, scratch: &mut ExecScratch, exec: &mut ExecStats| {
+            if cancel.is_cancelled() {
+                None
             } else {
                 Some(validate_filter_cached(
                     ctx.db,
                     ctx.fs,
-                    batch[slot],
+                    work.batch[slot],
                     ctx.constraints,
-                    &mut scratch,
-                    &mut local_exec,
+                    scratch,
+                    exec,
                 ))
-            };
-            verdicts.push((slot, verdict));
+            }
+        };
+        let mut verdicts: Vec<(usize, Option<bool>)> = Vec::new();
+        // Phase 1: the home shard, every slot attempted exactly once.
+        let mut slot = w;
+        while slot < work.batch.len() {
+            if work.claim(slot) {
+                let v = run_one(slot, &mut scratch, &mut local_exec);
+                verdicts.push((slot, v));
+            }
             slot += threads;
+        }
+        // Phase 2: steal. Home slots are settled (phase 1 attempted each),
+        // so any claim that succeeds here is work lifted off a busy
+        // sibling's shard — same validation path, this worker's scratch.
+        let mut stolen = 0u64;
+        for slot in 0..work.batch.len() {
+            if slot % threads == w {
+                continue;
+            }
+            if work.claim(slot) {
+                stolen += 1;
+                let v = run_one(slot, &mut scratch, &mut local_exec);
+                verdicts.push((slot, v));
+            }
         }
         if !verdicts.is_empty() {
             let mut g = shared.round.lock().expect("pool lock");
@@ -282,6 +350,7 @@ fn worker_loop(
                 g.verdicts[s] = v;
             }
             g.pending -= n;
+            g.stolen += stolen;
             if g.pending == 0 {
                 shared.done.notify_all();
             }
@@ -301,5 +370,17 @@ mod tests {
         assert!(c.is_cancelled());
         c.cancel(); // idempotent
         assert!(c.is_cancelled());
+    }
+
+    #[test]
+    fn slots_are_claimed_exactly_once() {
+        let work = RoundWork {
+            batch: Vec::new(),
+            claims: (0..4).map(|_| AtomicU8::new(0)).collect(),
+        };
+        for slot in 0..4 {
+            assert!(work.claim(slot), "first claim of slot {slot} wins");
+            assert!(!work.claim(slot), "second claim of slot {slot} loses");
+        }
     }
 }

@@ -209,6 +209,10 @@ pub struct ScheduleOutcome {
     /// (see [`crate::validate::validate_filter`]), so block-partitioned
     /// scans skip provably-empty blocks.
     pub exec: ExecStats,
+    /// Batch slots executed by a worker other than their home shard's
+    /// owner (the work-stealing pool's load-balancing counter; always 0
+    /// for sequential engines and `threads <= 1`).
+    pub stolen: u64,
     /// True if the deadline expired before every candidate was classified.
     pub timed_out: bool,
 }
@@ -228,14 +232,72 @@ enum CState {
 }
 
 /// The read-only side of one scheduling run: the frozen database, the
-/// constraint set, and the filter lattice. Split from [`RunState`] so the
-/// parallel engine's workers can borrow it immutably across threads while
-/// the coordinator owns the mutable pruning state (the `db` crate asserts
-/// `Database: Send + Sync`; `crate::parallel` asserts the rest).
-pub(crate) struct SchedCtx<'a> {
+/// constraint set, the filter lattice, and the wall-clock budget. Split
+/// from [`RunState`] so the parallel engine's workers can borrow it
+/// immutably across threads while the coordinator owns the mutable pruning
+/// state (the `db` crate asserts `Database: Send + Sync`; `crate::parallel`
+/// asserts the rest).
+pub struct SchedCtx<'a> {
     pub db: &'a Database,
     pub constraints: &'a TargetConstraints,
     pub fs: &'a FilterSet,
+    /// Deadline after which the run reports `timed_out`; `None` = unbounded.
+    pub deadline: Option<Instant>,
+}
+
+impl<'a> SchedCtx<'a> {
+    pub fn new(
+        db: &'a Database,
+        constraints: &'a TargetConstraints,
+        fs: &'a FilterSet,
+    ) -> SchedCtx<'a> {
+        SchedCtx {
+            db,
+            constraints,
+            fs,
+            deadline: None,
+        }
+    }
+
+    pub fn with_deadline(mut self, deadline: Option<Instant>) -> SchedCtx<'a> {
+        self.deadline = deadline;
+        self
+    }
+}
+
+/// Which validation engine [`Scheduler::run`] drives over a [`SchedCtx`].
+///
+/// This is the single entry point's axis of variation: `Naive` is the
+/// paper's ablation A2 (whole queries, enumeration order), `Greedy` is the
+/// decomposed scheduler under any [`FailureModel`], sequential at
+/// `threads <= 1` and batched onto the work-stealing pool otherwise.
+pub enum Engine<'m> {
+    /// Whole-query validation in enumeration order (no decomposition).
+    Naive,
+    /// Greedy decomposed scheduling under `model`, validating batches of
+    /// mutually non-implying filters on `threads` workers (`<= 1` = the
+    /// exact sequential path).
+    Greedy {
+        model: &'m dyn FailureModel,
+        threads: usize,
+    },
+}
+
+/// The one entry point for running a schedule. `run_greedy`,
+/// `run_greedy_parallel` and `run_naive` are thin deprecated wrappers over
+/// [`Scheduler::run`].
+pub struct Scheduler;
+
+impl Scheduler {
+    pub fn run(ctx: &SchedCtx<'_>, engine: Engine<'_>) -> ScheduleOutcome {
+        match engine {
+            Engine::Naive => naive_schedule(ctx),
+            Engine::Greedy { model, threads } if threads > 1 => {
+                greedy_parallel(ctx, model, threads)
+            }
+            Engine::Greedy { model, .. } => greedy_sequential(ctx, model),
+        }
+    }
 }
 
 /// The mutable pruning state of one scheduling run. Only the coordinator
@@ -551,25 +613,15 @@ fn select_batch(
     batch
 }
 
-/// Run the greedy filter schedule with the given failure model, one
-/// validation per round, on the calling thread.
-pub fn run_greedy(
-    db: &Database,
-    constraints: &TargetConstraints,
-    fs: &FilterSet,
-    model: &dyn FailureModel,
-    deadline: Option<Instant>,
-) -> ScheduleOutcome {
-    let ctx = SchedCtx {
-        db,
-        constraints,
-        fs,
-    };
-    let mut state = RunState::new(&ctx);
+/// The greedy filter schedule, one validation per round, on the calling
+/// thread.
+fn greedy_sequential(ctx: &SchedCtx<'_>, model: &dyn FailureModel) -> ScheduleOutcome {
+    let fs = ctx.fs;
+    let mut state = RunState::new(ctx);
     let mut p_fail = Memo::new(fs.len());
     let mut cost = Memo::new(fs.len());
     loop {
-        if let Some(d) = deadline {
+        if let Some(d) = ctx.deadline {
             if Instant::now() >= d {
                 state.outcome.timed_out = true;
                 break;
@@ -578,42 +630,30 @@ pub fn run_greedy(
         if !state.any_alive() {
             break;
         }
-        let batch = select_batch(&ctx, &state, model, &mut p_fail, &mut cost, 1);
+        let batch = select_batch(ctx, &state, model, &mut p_fail, &mut cost, 1);
         let Some(&pick) = batch.first() else { break };
-        state.validate_now(&ctx, pick);
+        state.validate_now(ctx, pick);
     }
     state.finish()
 }
 
-/// Run the greedy filter schedule with batches of mutually non-implying
-/// validations sharded across `threads` worker threads.
+/// The greedy filter schedule with batches of mutually non-implying
+/// validations on the work-stealing pool.
 ///
-/// Accepts the identical candidate set as [`run_greedy`] for the same
+/// Accepts the identical candidate set as the sequential path for the same
 /// inputs — outcomes are ground truth, and batch members cannot resolve
 /// each other — while validation *counts* may differ slightly: a batch is
 /// committed before its own verdicts can reprioritize the next round.
-/// `threads <= 1` *is* [`run_greedy`] (no pool, no batching), so the
-/// sequential path stays available behind one entry point.
-pub fn run_greedy_parallel(
-    db: &Database,
-    constraints: &TargetConstraints,
-    fs: &FilterSet,
+fn greedy_parallel(
+    ctx: &SchedCtx<'_>,
     model: &dyn FailureModel,
-    deadline: Option<Instant>,
     threads: usize,
 ) -> ScheduleOutcome {
-    if threads <= 1 {
-        return run_greedy(db, constraints, fs, model, deadline);
-    }
-    let ctx = SchedCtx {
-        db,
-        constraints,
-        fs,
-    };
-    let mut state = RunState::new(&ctx);
+    let fs = ctx.fs;
+    let mut state = RunState::new(ctx);
     let mut p_fail = Memo::new(fs.len());
     let mut cost = Memo::new(fs.len());
-    let (state, exec) = validate_with_pool(&ctx, threads, deadline, |pool| {
+    let (state, report) = validate_with_pool(ctx, threads, ctx.deadline, |pool| {
         loop {
             if pool.deadline_expired() {
                 state.outcome.timed_out = true;
@@ -622,13 +662,13 @@ pub fn run_greedy_parallel(
             if !state.any_alive() {
                 break;
             }
-            let batch = select_batch(&ctx, &state, model, &mut p_fail, &mut cost, threads);
+            let batch = select_batch(ctx, &state, model, &mut p_fail, &mut cost, threads);
             if batch.is_empty() {
                 break;
             }
             for (f, verdict) in batch.iter().zip(pool.run(&batch)) {
                 match verdict {
-                    Some(ok) => state.apply_validated(&ctx, *f, ok),
+                    Some(ok) => state.apply_validated(ctx, *f, ok),
                     // Skipped by cancellation: the filter stays pending.
                     None => state.outcome.timed_out = true,
                 }
@@ -637,26 +677,18 @@ pub fn run_greedy_parallel(
         state
     });
     let mut state = state;
-    state.outcome.exec.merge(&exec);
+    state.outcome.exec.merge(&report.exec);
+    state.outcome.stolen = report.stolen;
     state.finish()
 }
 
 /// Naive whole-query validation: each candidate's top filters in
 /// enumeration order, no decomposition, no sharing.
-pub fn run_naive(
-    db: &Database,
-    constraints: &TargetConstraints,
-    fs: &FilterSet,
-    deadline: Option<Instant>,
-) -> ScheduleOutcome {
-    let ctx = SchedCtx {
-        db,
-        constraints,
-        fs,
-    };
-    let mut state = RunState::new(&ctx);
+fn naive_schedule(ctx: &SchedCtx<'_>) -> ScheduleOutcome {
+    let fs = ctx.fs;
+    let mut state = RunState::new(ctx);
     'cands: for c in 0..fs.per_candidate.len() {
-        if let Some(d) = deadline {
+        if let Some(d) = ctx.deadline {
             if Instant::now() >= d {
                 state.outcome.timed_out = true;
                 break;
@@ -672,14 +704,62 @@ pub fn run_naive(
             // Naive validation ignores sharing: count one validation even
             // for filters another candidate also contains, but do not let
             // success/failure imply anything beyond this candidate's fate.
-            state.validate_now(&ctx, t);
+            state.validate_now(ctx, t);
             if state.fstate[t.index()] == FState::Failed {
                 continue 'cands;
             }
         }
-        state.check_acceptance(&ctx, c as u32);
+        state.check_acceptance(ctx, c as u32);
     }
     state.finish()
+}
+
+/// Run the greedy filter schedule with the given failure model, one
+/// validation per round, on the calling thread.
+#[deprecated(
+    since = "0.6.0",
+    note = "use `Scheduler::run(&ctx, Engine::Greedy { model, threads: 1 })`"
+)]
+pub fn run_greedy(
+    db: &Database,
+    constraints: &TargetConstraints,
+    fs: &FilterSet,
+    model: &dyn FailureModel,
+    deadline: Option<Instant>,
+) -> ScheduleOutcome {
+    let ctx = SchedCtx::new(db, constraints, fs).with_deadline(deadline);
+    Scheduler::run(&ctx, Engine::Greedy { model, threads: 1 })
+}
+
+/// Run the greedy filter schedule with batches of mutually non-implying
+/// validations on `threads` worker threads (`<= 1` = the sequential path).
+#[deprecated(
+    since = "0.6.0",
+    note = "use `Scheduler::run(&ctx, Engine::Greedy { model, threads })`"
+)]
+pub fn run_greedy_parallel(
+    db: &Database,
+    constraints: &TargetConstraints,
+    fs: &FilterSet,
+    model: &dyn FailureModel,
+    deadline: Option<Instant>,
+    threads: usize,
+) -> ScheduleOutcome {
+    let ctx = SchedCtx::new(db, constraints, fs).with_deadline(deadline);
+    Scheduler::run(&ctx, Engine::Greedy { model, threads })
+}
+
+/// Naive whole-query validation: each candidate's top filters in
+/// enumeration order, no decomposition, no sharing.
+#[deprecated(since = "0.6.0", note = "use `Scheduler::run(&ctx, Engine::Naive)`")]
+pub fn run_naive(
+    db: &Database,
+    constraints: &TargetConstraints,
+    fs: &FilterSet,
+    deadline: Option<Instant>,
+) -> ScheduleOutcome {
+    let ctx = SchedCtx::new(db, constraints, fs).with_deadline(deadline);
+    Scheduler::run(&ctx, Engine::Naive)
 }
 
 /// Ground-truth outcome of every filter, memoized. Not counted as
@@ -833,6 +913,41 @@ mod tests {
 
     fn some(s: &str) -> Option<String> {
         Some(s.to_string())
+    }
+
+    // The tests drive everything through the one public entry point; these
+    // shadow the deprecated free functions of the same names.
+    fn run_greedy(
+        db: &Database,
+        constraints: &TargetConstraints,
+        fs: &FilterSet,
+        model: &dyn FailureModel,
+        deadline: Option<Instant>,
+    ) -> ScheduleOutcome {
+        let ctx = SchedCtx::new(db, constraints, fs).with_deadline(deadline);
+        Scheduler::run(&ctx, Engine::Greedy { model, threads: 1 })
+    }
+
+    fn run_greedy_parallel(
+        db: &Database,
+        constraints: &TargetConstraints,
+        fs: &FilterSet,
+        model: &dyn FailureModel,
+        deadline: Option<Instant>,
+        threads: usize,
+    ) -> ScheduleOutcome {
+        let ctx = SchedCtx::new(db, constraints, fs).with_deadline(deadline);
+        Scheduler::run(&ctx, Engine::Greedy { model, threads })
+    }
+
+    fn run_naive(
+        db: &Database,
+        constraints: &TargetConstraints,
+        fs: &FilterSet,
+        deadline: Option<Instant>,
+    ) -> ScheduleOutcome {
+        let ctx = SchedCtx::new(db, constraints, fs).with_deadline(deadline);
+        Scheduler::run(&ctx, Engine::Naive)
     }
 
     struct Setup {
@@ -1095,11 +1210,7 @@ mod tests {
     fn batches_are_mutually_non_implying() {
         let s = walkthrough();
         let (_, fs) = prepare(&s);
-        let ctx = SchedCtx {
-            db: &s.db,
-            constraints: &s.tc,
-            fs: &fs,
-        };
+        let ctx = SchedCtx::new(&s.db, &s.tc, &fs);
         let state = RunState::new(&ctx);
         let mut p_fail = Memo::new(fs.len());
         let mut cost = Memo::new(fs.len());
@@ -1147,6 +1258,27 @@ mod tests {
             }
         }
         assert!(multi > single);
+    }
+
+    /// The deprecated free functions are pure delegation: same inputs,
+    /// bit-identical accepted sets and validation counts as the
+    /// [`Scheduler::run`] calls they forward to.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_delegate_to_the_scheduler_entry_point() {
+        let s = walkthrough();
+        let (_, fs) = prepare(&s);
+        let new = run_greedy(&s.db, &s.tc, &fs, &PathLengthModel, None);
+        let old = super::run_greedy(&s.db, &s.tc, &fs, &PathLengthModel, None);
+        assert_eq!(new.accepted, old.accepted);
+        assert_eq!(new.validations, old.validations);
+        let new = run_naive(&s.db, &s.tc, &fs, None);
+        let old = super::run_naive(&s.db, &s.tc, &fs, None);
+        assert_eq!(new.accepted, old.accepted);
+        assert_eq!(new.validations, old.validations);
+        let new = run_greedy_parallel(&s.db, &s.tc, &fs, &PathLengthModel, None, 4);
+        let old = super::run_greedy_parallel(&s.db, &s.tc, &fs, &PathLengthModel, None, 4);
+        assert_eq!(new.accepted, old.accepted);
     }
 
     #[test]

@@ -8,8 +8,9 @@
 //! constraints, and render the explanation graph.
 
 use crate::config::DiscoveryConfig;
-use crate::constraints::{ConstraintError, TargetConstraints};
+use crate::constraints::TargetConstraints;
 use crate::discovery::{Discovery, DiscoveryResult};
+use crate::error::Error;
 use crate::explain::{all_picks, explain, ConstraintPick, QueryGraph};
 use prism_db::Database;
 use prism_lang::UdfRegistry;
@@ -38,44 +39,92 @@ impl Default for SessionConfig {
     }
 }
 
-/// Errors surfaced to the demo UI.
-#[derive(Debug)]
-pub enum SessionError {
-    /// Cell indices outside the configured grid.
-    OutOfRange { row: usize, column: usize },
-    /// Metadata entry attempted with metadata disabled.
-    MetadataDisabled,
-    /// Constraint text failed to parse/validate.
-    Constraint(ConstraintError),
-    /// "Start Searching!" pressed before any constraint was entered, or a
-    /// result index out of range.
-    Protocol(String),
+/// The old session error surface, now folded into [`enum@Error`]. The
+/// variants a pre-PR-6 caller matched (`OutOfRange`, `MetadataDisabled`,
+/// `Constraint`) exist unchanged on the unified enum; protocol strings
+/// became the typed `UnknownUdfs` / `NoSearchRun` / `NoSuchResult`.
+#[deprecated(since = "0.6.0", note = "use `prism_core::Error`")]
+pub type SessionError = Error;
+
+/// The Description grid of one session, as raw text: sample cells plus the
+/// optional metadata row, with the parse step that turns them into
+/// [`TargetConstraints`]. Shared verbatim by the borrowed [`Session`] and
+/// the owned [`crate::service::SessionHandle`] so both enforce identical
+/// bounds and produce identical errors.
+pub(crate) struct ConstraintGrid {
+    target_columns: usize,
+    sample_rows: usize,
+    with_metadata: bool,
+    grid: Vec<Vec<Option<String>>>,
+    metadata: Vec<Option<String>>,
 }
 
-impl std::fmt::Display for SessionError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            SessionError::OutOfRange { row, column } => {
-                write!(f, "cell ({row}, {column}) is outside the constraint grid")
-            }
-            SessionError::MetadataDisabled => {
-                write!(f, "metadata constraints are disabled in the configuration")
-            }
-            SessionError::Constraint(e) => write!(f, "{e}"),
-            SessionError::Protocol(m) => write!(f, "{m}"),
+impl ConstraintGrid {
+    pub(crate) fn new(config: &SessionConfig) -> ConstraintGrid {
+        ConstraintGrid {
+            target_columns: config.target_columns,
+            sample_rows: config.sample_rows,
+            with_metadata: config.with_metadata,
+            grid: vec![vec![None; config.target_columns]; config.sample_rows],
+            metadata: vec![None; config.target_columns],
         }
+    }
+
+    pub(crate) fn set_sample_cell(
+        &mut self,
+        row: usize,
+        column: usize,
+        text: String,
+    ) -> Result<(), Error> {
+        if row >= self.sample_rows || column >= self.target_columns {
+            return Err(Error::OutOfRange { row, column });
+        }
+        self.grid[row][column] = if text.trim().is_empty() {
+            None
+        } else {
+            Some(text)
+        };
+        Ok(())
+    }
+
+    pub(crate) fn set_metadata_cell(&mut self, column: usize, text: String) -> Result<(), Error> {
+        if !self.with_metadata {
+            return Err(Error::MetadataDisabled);
+        }
+        if column >= self.target_columns {
+            return Err(Error::OutOfRange { row: 0, column });
+        }
+        self.metadata[column] = if text.trim().is_empty() {
+            None
+        } else {
+            Some(text)
+        };
+        Ok(())
+    }
+
+    /// Parse the grid into constraints, resolving `@name` predicates
+    /// against `udfs`.
+    pub(crate) fn parse(&self, udfs: &UdfRegistry) -> Result<TargetConstraints, Error> {
+        let constraints =
+            TargetConstraints::parse(self.target_columns, &self.grid, &self.metadata)?
+                .with_udfs(udfs.clone());
+        let missing = constraints.missing_udfs();
+        if !missing.is_empty() {
+            return Err(Error::UnknownUdfs(missing));
+        }
+        Ok(constraints)
     }
 }
 
-impl std::error::Error for SessionError {}
-
 /// One interactive schema-mapping session against a source database.
+///
+/// `Session` borrows its database; [`crate::service::DiscoveryService`]
+/// hands out the owned, `Send` equivalent ([`crate::service::SessionHandle`])
+/// for concurrent multi-session serving.
 pub struct Session<'a> {
     engine: Discovery<'a>,
     config: SessionConfig,
-    /// The Description grid, as raw text.
-    grid: Vec<Vec<Option<String>>>,
-    metadata: Vec<Option<String>>,
+    grid: ConstraintGrid,
     udfs: UdfRegistry,
     /// Parsed constraints of the last search.
     last_constraints: Option<TargetConstraints>,
@@ -86,13 +135,10 @@ pub struct Session<'a> {
 impl<'a> Session<'a> {
     /// Step 1: choose the source database and configure the grid.
     pub fn new(db: &'a Database, config: SessionConfig) -> Session<'a> {
-        let grid = vec![vec![None; config.target_columns]; config.sample_rows];
-        let metadata = vec![None; config.target_columns];
         Session {
             engine: Discovery::new(db, config.discovery.clone()),
+            grid: ConstraintGrid::new(&config),
             config,
-            grid,
-            metadata,
             udfs: UdfRegistry::new(),
             last_constraints: None,
             last_result: None,
@@ -102,6 +148,10 @@ impl<'a> Session<'a> {
     /// Register user-defined functions available to `@name` predicates.
     pub fn set_udfs(&mut self, udfs: UdfRegistry) {
         self.udfs = udfs;
+    }
+
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
     }
 
     pub fn database_name(&self) -> &str {
@@ -114,17 +164,8 @@ impl<'a> Session<'a> {
         row: usize,
         column: usize,
         text: impl Into<String>,
-    ) -> Result<(), SessionError> {
-        if row >= self.config.sample_rows || column >= self.config.target_columns {
-            return Err(SessionError::OutOfRange { row, column });
-        }
-        let text = text.into();
-        self.grid[row][column] = if text.trim().is_empty() {
-            None
-        } else {
-            Some(text)
-        };
-        Ok(())
+    ) -> Result<(), Error> {
+        self.grid.set_sample_cell(row, column, text.into())
     }
 
     /// Step 2 (metadata row): type into a Metadata Constraints cell.
@@ -132,36 +173,14 @@ impl<'a> Session<'a> {
         &mut self,
         column: usize,
         text: impl Into<String>,
-    ) -> Result<(), SessionError> {
-        if !self.config.with_metadata {
-            return Err(SessionError::MetadataDisabled);
-        }
-        if column >= self.config.target_columns {
-            return Err(SessionError::OutOfRange { row: 0, column });
-        }
-        let text = text.into();
-        self.metadata[column] = if text.trim().is_empty() {
-            None
-        } else {
-            Some(text)
-        };
-        Ok(())
+    ) -> Result<(), Error> {
+        self.grid.set_metadata_cell(column, text.into())
     }
 
     /// Step 3: hit "Start Searching!". Parses the grid, runs discovery, and
     /// stores the Result section.
-    pub fn start_searching(&mut self) -> Result<&DiscoveryResult, SessionError> {
-        let constraints =
-            TargetConstraints::parse(self.config.target_columns, &self.grid, &self.metadata)
-                .map_err(SessionError::Constraint)?
-                .with_udfs(self.udfs.clone());
-        let missing = constraints.missing_udfs();
-        if !missing.is_empty() {
-            return Err(SessionError::Protocol(format!(
-                "unknown user-defined functions: {}",
-                missing.join(", ")
-            )));
-        }
+    pub fn start_searching(&mut self) -> Result<&DiscoveryResult, Error> {
+        let constraints = self.grid.parse(&self.udfs)?;
         let result = self.engine.run(&constraints);
         self.last_constraints = Some(constraints);
         self.last_result = Some(result);
@@ -174,15 +193,12 @@ impl<'a> Session<'a> {
     }
 
     /// Step 4.1: the SQL text of one discovered query (Figure 4b).
-    pub fn result_sql(&self, index: usize) -> Result<&str, SessionError> {
-        let r = self
-            .last_result
-            .as_ref()
-            .ok_or_else(|| SessionError::Protocol("no search has been run".into()))?;
+    pub fn result_sql(&self, index: usize) -> Result<&str, Error> {
+        let r = self.last_result.as_ref().ok_or(Error::NoSearchRun)?;
         r.queries
             .get(index)
             .map(|q| q.sql.as_str())
-            .ok_or_else(|| SessionError::Protocol(format!("no result #{index}")))
+            .ok_or(Error::NoSuchResult(index))
     }
 
     /// Steps 4.2–4.3: the query graph of one discovered query with the
@@ -191,15 +207,9 @@ impl<'a> Session<'a> {
         &self,
         index: usize,
         picks: Option<&[ConstraintPick]>,
-    ) -> Result<QueryGraph, SessionError> {
-        let r = self
-            .last_result
-            .as_ref()
-            .ok_or_else(|| SessionError::Protocol("no search has been run".into()))?;
-        let q = r
-            .queries
-            .get(index)
-            .ok_or_else(|| SessionError::Protocol(format!("no result #{index}")))?;
+    ) -> Result<QueryGraph, Error> {
+        let r = self.last_result.as_ref().ok_or(Error::NoSearchRun)?;
+        let q = r.queries.get(index).ok_or(Error::NoSuchResult(index))?;
         let constraints = self
             .last_constraints
             .as_ref()
@@ -224,6 +234,7 @@ impl<'a> Session<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::constraints::ConstraintError;
     use prism_datasets::mondial;
 
     /// The full Section 3 walk-through as a session script.
@@ -274,11 +285,11 @@ mod tests {
         let mut session = Session::new(&db, SessionConfig::default());
         assert!(matches!(
             session.set_sample_cell(5, 0, "x"),
-            Err(SessionError::OutOfRange { .. })
+            Err(Error::OutOfRange { .. })
         ));
         assert!(matches!(
             session.set_metadata_cell(7, "DataType=='int'"),
-            Err(SessionError::OutOfRange { .. })
+            Err(Error::OutOfRange { .. })
         ));
     }
 
@@ -294,7 +305,7 @@ mod tests {
         );
         assert!(matches!(
             session.set_metadata_cell(0, "DataType=='int'"),
-            Err(SessionError::MetadataDisabled)
+            Err(Error::MetadataDisabled)
         ));
     }
 
@@ -304,7 +315,7 @@ mod tests {
         let mut session = Session::new(&db, SessionConfig::default());
         assert!(matches!(
             session.start_searching(),
-            Err(SessionError::Constraint(_))
+            Err(Error::Constraint(_))
         ));
         assert!(session.result().is_none());
         assert!(session.result_sql(0).is_err());
@@ -318,7 +329,7 @@ mod tests {
         session.set_sample_cell(0, 0, "   ").unwrap();
         assert!(matches!(
             session.start_searching(),
-            Err(SessionError::Constraint(ConstraintError::Empty))
+            Err(Error::Constraint(ConstraintError::Empty))
         ));
     }
 
@@ -328,7 +339,7 @@ mod tests {
         let mut session = Session::new(&db, SessionConfig::default());
         session.set_sample_cell(0, 1, "a ||").unwrap();
         match session.start_searching() {
-            Err(SessionError::Constraint(ConstraintError::Parse { row, column, .. })) => {
+            Err(Error::Constraint(ConstraintError::Parse { row, column, .. })) => {
                 assert_eq!(row, Some(0));
                 assert_eq!(column, 1);
             }

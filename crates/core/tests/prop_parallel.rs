@@ -6,9 +6,10 @@
 //! interleaving may differ.
 
 use prism_bayes::{BayesEstimator, TrainConfig};
+use prism_core::filters::FilterSet;
 use prism_core::scheduler::{
-    oracle_schedule, run_greedy, run_greedy_parallel, run_naive, BayesModel, PathLengthModel,
-    SchedulerKind,
+    oracle_schedule, BayesModel, Engine, FailureModel, PathLengthModel, SchedCtx, ScheduleOutcome,
+    Scheduler, SchedulerKind,
 };
 use prism_core::validate::validate_filter;
 use prism_core::{
@@ -22,6 +23,32 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::OnceLock;
+
+fn run_greedy(
+    db: &Database,
+    constraints: &TargetConstraints,
+    fs: &FilterSet,
+    model: &dyn FailureModel,
+) -> ScheduleOutcome {
+    let ctx = SchedCtx::new(db, constraints, fs);
+    Scheduler::run(&ctx, Engine::Greedy { model, threads: 1 })
+}
+
+fn run_greedy_parallel(
+    db: &Database,
+    constraints: &TargetConstraints,
+    fs: &FilterSet,
+    model: &dyn FailureModel,
+    threads: usize,
+) -> ScheduleOutcome {
+    let ctx = SchedCtx::new(db, constraints, fs);
+    Scheduler::run(&ctx, Engine::Greedy { model, threads })
+}
+
+fn run_naive(db: &Database, constraints: &TargetConstraints, fs: &FilterSet) -> ScheduleOutcome {
+    let ctx = SchedCtx::new(db, constraints, fs);
+    Scheduler::run(&ctx, Engine::Naive)
+}
 
 /// The walkthrough database and its trained estimator, built once: the
 /// property quantifies over *tasks*, not databases.
@@ -73,10 +100,10 @@ proptest! {
             // Ground truth: the hindsight-optimal schedule's accepted set.
             let (v_opt, truth) = oracle_schedule(db, &tc, &fs);
             // Sequential engines.
-            let seq_path = run_greedy(db, &tc, &fs, &PathLengthModel, None);
+            let seq_path = run_greedy(db, &tc, &fs, &PathLengthModel);
             let bayes_model = BayesModel::new(est, &tc);
-            let seq_bayes = run_greedy(db, &tc, &fs, &bayes_model, None);
-            let naive = run_naive(db, &tc, &fs, None);
+            let seq_bayes = run_greedy(db, &tc, &fs, &bayes_model);
+            let naive = run_naive(db, &tc, &fs);
             prop_assert_eq!(&seq_path.accepted, &truth.accepted);
             prop_assert_eq!(&seq_bayes.accepted, &truth.accepted);
             prop_assert_eq!(&naive.accepted, &truth.accepted);
@@ -85,14 +112,14 @@ proptest! {
             // accepted sets, hence identical pruned candidate sets.
             for threads in [2usize, 4, 8] {
                 let par_path =
-                    run_greedy_parallel(db, &tc, &fs, &PathLengthModel, None, threads);
+                    run_greedy_parallel(db, &tc, &fs, &PathLengthModel, threads);
                 prop_assert_eq!(
                     &par_path.accepted, &truth.accepted,
                     "path-length @ {} threads on task {:?}/{}", threads, resolution, seed
                 );
                 prop_assert!(!par_path.timed_out);
                 let par_bayes =
-                    run_greedy_parallel(db, &tc, &fs, &bayes_model, None, threads);
+                    run_greedy_parallel(db, &tc, &fs, &bayes_model, threads);
                 prop_assert_eq!(
                     &par_bayes.accepted, &truth.accepted,
                     "bayes @ {} threads on task {:?}/{}", threads, resolution, seed
@@ -142,7 +169,7 @@ proptest! {
                 .collect();
             for threads in [1usize, 2, 4] {
                 let outcome =
-                    run_greedy_parallel(db, &tc, &fs, &PathLengthModel, None, threads);
+                    run_greedy_parallel(db, &tc, &fs, &PathLengthModel, threads);
                 prop_assert_eq!(
                     &outcome.accepted, &expected,
                     "cached-plan engine diverged @ {} threads ({:?}/{})",
@@ -164,7 +191,7 @@ proptest! {
             // Deterministic warm-cache check: re-running the exact 1-thread
             // path validates the same filters as its first run, so every
             // class it needs is already compiled.
-            let rerun = run_greedy_parallel(db, &tc, &fs, &PathLengthModel, None, 1);
+            let rerun = run_greedy_parallel(db, &tc, &fs, &PathLengthModel, 1);
             prop_assert_eq!(&rerun.accepted, &expected);
             prop_assert_eq!(rerun.exec.plans_built, 0,
                 "identical rerun must be fully served by the warm plan cache");

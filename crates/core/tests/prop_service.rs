@@ -1,0 +1,213 @@
+//! Property: the service layer is a pure concurrency wrapper — it changes
+//! *where* rounds run, never *what* they decide. Across generated mapping
+//! tasks: N owned sessions running concurrently on one shared
+//! `Arc<Database>` accept exactly the query set a sequential
+//! single-session run accepts, and a session validated by the
+//! work-stealing pool at 2/4/8 threads accepts exactly the 1-thread
+//! (sequential-loop) set.
+//!
+//! `PRISM_SERVICE_SESSIONS` sizes the concurrent fan-out (default 2; CI's
+//! multi-session smoke leg sets 4).
+
+use prism_core::scheduler::SchedulerKind;
+use prism_core::{DiscoveryConfig, DiscoveryService, SessionConfig, SessionHandle};
+use prism_datasets::{mondial, MappingTask, Resolution, TaskGenConfig, TaskGenerator};
+use prism_db::Database;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::{Arc, OnceLock};
+
+/// The walkthrough database, built once and shared by every service the
+/// properties stand up: the point is many services/sessions over ONE
+/// frozen `Arc<Database>`.
+fn db() -> &'static Arc<Database> {
+    static DB: OnceLock<Arc<Database>> = OnceLock::new();
+    DB.get_or_init(|| Arc::new(mondial(42, 1)))
+}
+
+fn service_sessions() -> usize {
+    std::env::var("PRISM_SERVICE_SESSIONS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(2)
+}
+
+/// PathLength keeps the properties estimator-free (scheduling order is
+/// irrelevant to the accept set, which is all these properties compare).
+fn engine_config(threads: usize) -> DiscoveryConfig {
+    DiscoveryConfig {
+        validation_threads: threads,
+        ..DiscoveryConfig::with_scheduler(SchedulerKind::PathLength)
+    }
+}
+
+/// Session shaped like the generated task's constraint grid.
+fn task_session(svc: &DiscoveryService, task: &MappingTask, threads: usize) -> SessionHandle {
+    let mut session = svc.open_session(SessionConfig {
+        target_columns: task.column_count,
+        sample_rows: task.samples.len(),
+        with_metadata: true,
+        discovery: engine_config(threads),
+    });
+    for (r, row) in task.samples.iter().enumerate() {
+        for (c, cell) in row.iter().enumerate() {
+            if let Some(text) = cell {
+                session.set_sample_cell(r, c, text.clone()).unwrap();
+            }
+        }
+    }
+    for (c, meta) in task.metadata.iter().enumerate() {
+        if let Some(text) = meta {
+            session.set_metadata_cell(c, text.clone()).unwrap();
+        }
+    }
+    session
+}
+
+/// Sorted result keys of the last round — the accept set, order-blind.
+fn accept_set(session: &SessionHandle) -> Vec<String> {
+    let mut keys: Vec<String> = session
+        .result()
+        .expect("round ran")
+        .queries
+        .iter()
+        .map(|q| q.key.clone())
+        .collect();
+    keys.sort();
+    keys
+}
+
+fn generate_task(seed: u64, resolution: Resolution) -> Vec<MappingTask> {
+    let taskgen = TaskGenerator::new(db(), TaskGenConfig::default());
+    let mut rng = StdRng::seed_from_u64(seed);
+    taskgen.generate_many(resolution, 1, &mut rng)
+}
+
+fn arb_resolution() -> impl Strategy<Value = Resolution> {
+    prop_oneof![
+        Just(Resolution::Exact),
+        Just(Resolution::Disjunction),
+        Just(Resolution::Range),
+        Just(Resolution::Metadata),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn concurrent_sessions_accept_the_sequential_set(
+        seed in 0u64..1_000,
+        resolution in arb_resolution(),
+    ) {
+        let sessions = service_sessions();
+        for task in &generate_task(seed, resolution) {
+            // Reference: one session, one thread, its own service.
+            let seq_svc = DiscoveryService::new(Arc::clone(db()), engine_config(1));
+            let mut reference = task_session(&seq_svc, task, 1);
+            reference.start_searching().unwrap();
+            let expected = accept_set(&reference);
+
+            // N sessions describing the same task, racing on one service
+            // (shared plan cache, shared thread budget, shared database).
+            let svc = DiscoveryService::new(Arc::clone(db()), engine_config(4));
+            let handles: Vec<SessionHandle> = (0..sessions)
+                .map(|_| task_session(&svc, task, 2))
+                .collect();
+            let accepted: Vec<Vec<String>> = std::thread::scope(|scope| {
+                let joins: Vec<_> = handles
+                    .into_iter()
+                    .map(|mut session| {
+                        scope.spawn(move || {
+                            session.start_searching().unwrap();
+                            accept_set(&session)
+                        })
+                    })
+                    .collect();
+                joins.into_iter().map(|j| j.join().unwrap()).collect()
+            });
+            prop_assert_eq!(svc.rounds_run(), sessions as u64);
+            for (i, keys) in accepted.iter().enumerate() {
+                prop_assert_eq!(
+                    keys, &expected,
+                    "session {} diverged from the sequential run ({:?}/{})",
+                    i, resolution, seed
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn work_stealing_thread_counts_agree_with_the_sequential_loop(
+        seed in 0u64..1_000,
+        resolution in arb_resolution(),
+    ) {
+        for task in &generate_task(seed, resolution) {
+            // One service with budget for the widest pool; each session
+            // leases a different worker count, so the same shared plan
+            // cache serves the sequential loop and every stealing pool.
+            let svc = DiscoveryService::with_thread_budget(Arc::clone(db()), engine_config(1), 8);
+            let mut reference = task_session(&svc, task, 1);
+            reference.start_searching().unwrap();
+            let expected = accept_set(&reference);
+            for threads in [2usize, 4, 8] {
+                let mut session = task_session(&svc, task, threads);
+                session.start_searching().unwrap();
+                prop_assert_eq!(
+                    accept_set(&session), expected.clone(),
+                    "work-stealing pool @ {} threads diverged ({:?}/{})",
+                    threads, resolution, seed
+                );
+            }
+        }
+    }
+}
+
+/// Deterministic multi-session smoke on the walkthrough constraints with
+/// the full default engine (Bayes scheduler, trained estimator): the leg
+/// CI runs at `PRISM_SERVICE_SESSIONS=4` under the validation-threads
+/// matrix.
+#[test]
+fn walkthrough_smoke_across_concurrent_sessions() {
+    let sessions = service_sessions();
+    let svc = DiscoveryService::new(Arc::clone(db()), DiscoveryConfig::default());
+    let mut handles: Vec<SessionHandle> =
+        (0..sessions).map(|_| svc.open_default_session()).collect();
+    for session in &mut handles {
+        session
+            .set_sample_cell(0, 0, "California || Nevada")
+            .unwrap();
+        session.set_sample_cell(0, 1, "Lake Tahoe").unwrap();
+        session
+            .set_metadata_cell(2, "DataType=='decimal' AND MinValue>='0'")
+            .unwrap();
+    }
+    let accepted: Vec<Vec<String>> = std::thread::scope(|scope| {
+        let joins: Vec<_> = handles
+            .into_iter()
+            .map(|mut session| {
+                scope.spawn(move || {
+                    session.start_searching().unwrap();
+                    accept_set(&session)
+                })
+            })
+            .collect();
+        joins.into_iter().map(|j| j.join().unwrap()).collect()
+    });
+    assert!(!accepted[0].is_empty(), "walkthrough discovers queries");
+    for keys in &accepted[1..] {
+        assert_eq!(keys, &accepted[0], "concurrent sessions diverged");
+    }
+    assert_eq!(svc.sessions_opened(), sessions as u64);
+    assert_eq!(svc.rounds_run(), sessions as u64);
+    // At most one session compiled each class: the cache registered every
+    // class once (misses) and served every later request from the slot.
+    let cache = svc.plan_cache();
+    assert!(cache.entries > 0);
+    assert!(
+        (cache.compiled as u64) <= cache.misses,
+        "compiles bounded by first-registrations"
+    );
+}

@@ -5,19 +5,25 @@
 //! Pass a database name to explore the other demo datasets:
 //! `cargo run --example interactive_demo -- mondial|imdb|nba`
 
-use prism::core::session::{Session, SessionConfig};
+use prism::core::session::SessionConfig;
+use prism::core::DiscoveryConfig;
 use prism::datasets::{imdb, mondial, nba};
+use prism::DiscoveryService;
+use std::sync::Arc;
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "mondial".into());
-    let db = match which.as_str() {
+    let db = Arc::new(match which.as_str() {
         "imdb" => imdb(42, 1),
         "nba" => nba(42, 1),
         _ => mondial(42, 1),
-    };
+    });
 
     banner("Configuration");
-    // Step 1: source database, target schema width, sample count, metadata.
+    // Step 1: stand up the service over the frozen database (this is where
+    // the Bayesian estimator trains, the paper's a-priori preprocessing),
+    // then open an owned session — more sessions could run concurrently.
+    let service = DiscoveryService::new(Arc::clone(&db), DiscoveryConfig::default());
     let config = SessionConfig::default();
     println!("  source database          : {}", db.name());
     println!("  target schema columns    : {}", config.target_columns);
@@ -27,7 +33,11 @@ fn main() {
         "  time limit per round     : {:?}",
         config.discovery.time_budget
     );
-    let mut session = Session::new(&db, config);
+    println!(
+        "  validation thread budget : {}",
+        service.thread_budget().total()
+    );
+    let mut session = service.open_session(config);
 
     banner("Description");
     // Step 2: the constraint grid. (For IMDB/NBA the script adapts the
@@ -89,6 +99,12 @@ fn main() {
         "  execution work           : {} rows examined, {} index probes, \
          {} blocks zone-pruned",
         stats.exec.rows_examined, stats.exec.index_probes, stats.exec.blocks_skipped
+    );
+    let cache = service.plan_cache();
+    println!(
+        "  service plan cache       : {} classes, {} hits / {} misses \
+         (a second session on these constraints compiles nothing)",
+        cache.entries, cache.hits, cache.misses
     );
 
     banner("Result");

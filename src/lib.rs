@@ -1,10 +1,13 @@
 //! # prism — multiresolution schema mapping (facade crate)
 //!
 //! Re-exports the full public API of the Prism reproduction. See the README
-//! for a tour and `prism_core::Discovery` for the main entry point.
+//! for a tour; [`DiscoveryService`] is the owned multi-session entry point
+//! and `prism_core::Discovery` the single-user borrowed engine.
 
 pub use prism_bayes as bayes;
 pub use prism_core as core;
 pub use prism_datasets as datasets;
 pub use prism_db as db;
 pub use prism_lang as lang;
+
+pub use prism_core::{DiscoveryService, Error, SessionHandle};

@@ -4,14 +4,38 @@
 use prism::bayes::{BayesEstimator, TrainConfig};
 use prism::core::candidates::enumerate_candidates;
 use prism::core::filters::build_filters;
+use prism::core::filters::FilterSet;
 use prism::core::related::find_related;
 use prism::core::scheduler::{
-    ground_truth_outcomes, oracle_schedule, run_greedy, run_naive, BayesModel, PathLengthModel,
+    ground_truth_outcomes, oracle_schedule, BayesModel, Engine, FailureModel, PathLengthModel,
+    SchedCtx, ScheduleOutcome, Scheduler,
 };
 use prism::core::{DiscoveryConfig, TargetConstraints};
 use prism::datasets::{mondial, nba, Resolution, TaskGenConfig, TaskGenerator};
+use prism::db::Database;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+fn run_greedy(
+    db: &Database,
+    constraints: &TargetConstraints,
+    fs: &FilterSet,
+    model: &dyn FailureModel,
+    deadline: Option<std::time::Instant>,
+) -> ScheduleOutcome {
+    let ctx = SchedCtx::new(db, constraints, fs).with_deadline(deadline);
+    Scheduler::run(&ctx, Engine::Greedy { model, threads: 1 })
+}
+
+fn run_naive(
+    db: &Database,
+    constraints: &TargetConstraints,
+    fs: &FilterSet,
+    deadline: Option<std::time::Instant>,
+) -> ScheduleOutcome {
+    let ctx = SchedCtx::new(db, constraints, fs).with_deadline(deadline);
+    Scheduler::run(&ctx, Engine::Naive)
+}
 
 struct Prepared {
     db: prism::db::Database,
