@@ -191,6 +191,10 @@ fn main() {
     // on the warm sessions compiling zero plans.
     service_bench(&phase);
 
+    // Join-ordering on adversarial skew (BENCH_join.json). Also cheap, and
+    // the cost-over-fixed gate runs in the smoke leg.
+    join_order_bench(&phase);
+
     if substrate_only {
         return;
     }
@@ -396,6 +400,110 @@ fn service_bench(phase: &str) {
             "warm sessions must be served entirely by the shared plan cache"
         );
         println!("warm-service gate passed: {sessions} warm sessions compiled 0 plans");
+    }
+}
+
+/// Skewed-scenario replication for the join-order bench (≈61k rows).
+const JOIN_SCALE: usize = 10;
+/// Zipf exponent: the hottest tag owns ≈20% of all item rows.
+const JOIN_SKEW: f64 = 1.2;
+
+/// Join-order bench (`BENCH_join.json`): the skewed taskgen scenario with a
+/// hub predicate (`Tag.name == 'tag1'`) plus a narrow score hull. The fixed
+/// (declaration-order) plan starts at the small predicated `Tag` table and
+/// probes straight through the hot tag's CSR posting run; the cost-ordered
+/// plan starts from the zone-pruned score range instead. Both plans are
+/// prepared once, the counts are asserted identical, and the two paths run
+/// interleaved (machine drift hits both alike); medians of `REPS`.
+/// `PRISM_BENCH_MIN_JOINORDER_SPEEDUP=<x>` exits non-zero unless the
+/// cost-ordered throughput ≥ x · fixed throughput.
+fn join_order_bench(phase: &str) {
+    use prism_datasets::skewed;
+    use prism_db::types::ValueRef;
+    use prism_db::JoinOrder;
+
+    let db = skewed(42, JOIN_SCALE, JOIN_SKEW);
+    let tag = db.catalog().table_id("Tag").unwrap();
+    let item = db.catalog().table_id("Item").unwrap();
+    let q = PjQuery {
+        nodes: vec![tag, item],
+        joins: vec![JoinCond {
+            left_node: 0,
+            left_col: 1, // Tag.id
+            right_node: 1,
+            right_col: 0, // Item.tag
+        }],
+        projection: vec![(0, 0), (1, 1)], // Tag.name, Item.score
+    };
+    let is_hub = |v: ValueRef<'_>| v.as_text() == Some("tag1");
+    let (lo, hi) = (1_000.0, 1_100.0);
+    let in_range = |v: ValueRef<'_>| v.as_number().is_some_and(|x| (lo..=hi).contains(&x));
+    let preds = [
+        Some(ScanPred::new(&is_hub)),
+        Some(ScanPred::new(&in_range).with_range(lo, hi)),
+    ];
+    let fixed_q = q.prepare_with(&db, &preds, JoinOrder::Fixed).unwrap();
+    let cost_q = q.prepare_with(&db, &preds, JoinOrder::Cost).unwrap();
+    assert!(cost_q.nodes_reordered() > 0, "skew must trigger a reorder");
+
+    let count = |prepared: &prism_db::PreparedQuery, scratch: &mut ExecScratch| {
+        let mut stats = ExecStats::default();
+        let n = prepared
+            .count_matching(&db, &preds, u64::MAX, scratch, &mut stats)
+            .unwrap();
+        (n, stats)
+    };
+    let mut fixed_scratch = ExecScratch::new();
+    let mut cost_scratch = ExecScratch::new();
+    let (matches, fixed_stats) = count(&fixed_q, &mut fixed_scratch);
+    let (cost_matches, cost_stats) = count(&cost_q, &mut cost_scratch);
+    assert_eq!(matches, cost_matches, "join orders must agree on rows");
+    assert!(matches > 0, "the hub owns rows in every score range");
+
+    let mut fixed_per_s = Vec::new();
+    let mut cost_per_s = Vec::new();
+    for _ in 0..REPS {
+        fixed_per_s.push(throughput(|| {
+            assert_eq!(count(&fixed_q, &mut fixed_scratch).0, matches);
+        }));
+        cost_per_s.push(throughput(|| {
+            assert_eq!(count(&cost_q, &mut cost_scratch).0, matches);
+        }));
+    }
+    let fixed_median = median(&mut fixed_per_s);
+    let cost_median = median(&mut cost_per_s);
+    let speedup = cost_median / fixed_median;
+    let rows_ratio = fixed_stats.rows_examined as f64 / cost_stats.rows_examined.max(1) as f64;
+
+    let entry = format!(
+        "{{\n    \"phase\": \"{phase}\",\n    \"database\": \"skewed\",\n    \
+         \"scale\": {JOIN_SCALE},\n    \"skew\": {JOIN_SKEW},\n    \
+         \"total_rows\": {},\n    \"matches\": {matches},\n    \
+         \"reps\": {REPS},\n    \
+         \"fixed_per_s\": {fixed_median:.1},\n    \
+         \"cost_per_s\": {cost_median:.1},\n    \
+         \"cost_speedup\": {speedup:.3},\n    \
+         \"fixed_rows_examined\": {},\n    \
+         \"cost_rows_examined\": {},\n    \
+         \"rows_examined_ratio\": {rows_ratio:.3},\n    \
+         \"nodes_reordered\": {}\n  }}",
+        db.total_rows(),
+        fixed_stats.rows_examined,
+        cost_stats.rows_examined,
+        cost_q.nodes_reordered(),
+    );
+    append_entry("BENCH_join.json", &entry);
+    println!("appended phase `{phase}` to BENCH_join.json:\n{entry}");
+
+    if let Ok(min) = std::env::var("PRISM_BENCH_MIN_JOINORDER_SPEEDUP") {
+        let min: f64 = min
+            .parse()
+            .expect("PRISM_BENCH_MIN_JOINORDER_SPEEDUP is a number");
+        assert!(
+            speedup >= min,
+            "cost order at {speedup:.2}x fixed on skew, need >= {min}x"
+        );
+        println!("join-order gate passed: {speedup:.2}x >= {min}x");
     }
 }
 

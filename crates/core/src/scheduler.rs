@@ -439,8 +439,13 @@ impl RunState {
 }
 
 /// Shared validation-cost proxy: the expected intermediate result size of
-/// the filter's join tree under attribute independence. Both PathLength and
-/// Bayes use this — the paper isolates its contribution to pruning-power
+/// the filter's join tree under attribute independence, with a skew
+/// penalty. Dividing by distinct counts models the *average* fan-out; on
+/// Zipf-distributed keys a probe can land on the hottest key's posting run
+/// instead, so each edge also pays `sqrt(max_run / avg_run)` — the same
+/// geometric blend the executor's cost-based planner uses, which degrades
+/// to exactly the old estimate on uniform keys. Both PathLength and Bayes
+/// use this — the paper isolates its contribution to pruning-power
 /// estimation.
 pub fn filter_cost(db: &Database, fs: &FilterSet, f: FilterId) -> f64 {
     let filter = fs.filter(f);
@@ -450,13 +455,22 @@ pub fn filter_cost(db: &Database, fs: &FilterSet, f: FilterId) -> f64 {
     }
     for &e in &filter.tree.edges {
         let edge = db.graph().edge(e);
-        let d = db
-            .stats()
+        let stats = db.stats();
+        let d = stats
             .column(edge.a)
             .distinct_count
-            .max(db.stats().column(edge.b).distinct_count)
+            .max(stats.column(edge.b).distinct_count)
             .max(1);
         cost /= d as f64;
+        let skew = [edge.a, edge.b]
+            .iter()
+            .map(|&c| {
+                let s = stats.column(c);
+                let avg = db.row_count(c.table).max(1) as f64 / s.distinct_count.max(1) as f64;
+                s.max_key_run as f64 / avg.max(1.0)
+            })
+            .fold(1.0f64, f64::max);
+        cost *= skew.sqrt();
     }
     cost.max(1.0)
 }
@@ -1126,6 +1140,8 @@ mod tests {
         assert_eq!(one.exec.plans_built, 0, "plan cache already warm");
         let strip_plans = |e: &ExecStats| ExecStats {
             plans_built: 0,
+            nodes_reordered: 0,
+            plan_recompiles: 0,
             ..*e
         };
         assert_eq!(strip_plans(&seq.exec), strip_plans(&one.exec));

@@ -110,6 +110,7 @@ fn run_validation(
             });
             if built {
                 stats.plans_built += 1;
+                stats.nodes_reordered += prepared.nodes_reordered();
             }
             prepared
                 .exists_matching(db, &pred_refs, scratch, stats)
@@ -120,6 +121,7 @@ fn run_validation(
             let prepared = filter_query(db, filter)
                 .prepare(db, &pred_refs)
                 .expect(VALID);
+            stats.nodes_reordered += prepared.nodes_reordered();
             prepared
                 .exists_matching(db, &pred_refs, scratch, stats)
                 .expect(VALID)

@@ -17,12 +17,14 @@
 pub mod imdb;
 pub mod mondial;
 pub mod nba;
+pub mod skewed;
 pub mod taskgen;
 pub mod vocab;
 
 pub use imdb::imdb;
 pub use mondial::mondial;
 pub use nba::nba;
+pub use skewed::{skewed, Zipf};
 pub use taskgen::{MappingTask, Resolution, TaskGenConfig, TaskGenerator};
 
 /// Convenience: all three demo databases at default scale, seeded

@@ -1,0 +1,209 @@
+//! Synthetic skewed workload: Zipf-distributed foreign-key fan-out.
+//!
+//! The three demo databases are friendly to any join order — their FK
+//! fan-outs are nearly uniform, so E1/E3 never punish a planner that probes
+//! through a hub. Real catalogs do: one country owns 10⁵ cities, one tag
+//! labels half the items. This family makes that adversarial case explicit
+//! so join-order experiments stop overfitting friendly data.
+//!
+//! Shape: `Tag(name, id)` ⟵ `Item(tag, score, label)` and
+//! `Tag(id)` ⟵ `Geo(tag, region)`. Item and Geo foreign keys are drawn
+//! from a Zipf distribution over tags — at `skew = 1.0` the hottest tag
+//! owns roughly `1/H(n)` of all rows, and the hot tag is always `tag1` so
+//! benchmarks can target the hub deterministically. `Item.score` ascends
+//! with insertion order, keeping per-block zone maps tight so a range hull
+//! on score stays selective for the cost model.
+
+use prism_db::schema::ColumnDef;
+use prism_db::types::{DataType, Value};
+use prism_db::{Database, DatabaseBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of distinct tags at scale 1.
+const TAGS: usize = 100;
+/// Item rows at scale 1.
+const ITEMS: usize = 5_000;
+/// Geo rows at scale 1.
+const GEOS: usize = 1_000;
+
+/// A reusable Zipf sampler over `1..=n` (rank 1 is the hottest key).
+///
+/// Sampling is cumulative-weight binary search: O(n) setup, O(log n) per
+/// draw, no rejection loop — deterministic cost under any skew factor.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Weights are `1 / rank^skew`; `skew = 0` degrades to uniform.
+    pub fn new(n: usize, skew: f64) -> Zipf {
+        let mut cumulative = Vec::with_capacity(n.max(1));
+        let mut total = 0.0;
+        for rank in 1..=n.max(1) {
+            total += 1.0 / (rank as f64).powf(skew);
+            cumulative.push(total);
+        }
+        Zipf { cumulative }
+    }
+
+    /// Draw a rank in `1..=n`.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let total = *self.cumulative.last().expect("non-empty weights");
+        let x = rng.gen_range(0.0..total);
+        self.cumulative.partition_point(|&c| c <= x) + 1
+    }
+}
+
+/// Build the skewed database. `scale` multiplies row volume; `skew` is the
+/// Zipf exponent (1.0 ≈ classic Zipf, 0.0 = uniform fan-out).
+pub fn skewed(seed: u64, scale: usize, skew: f64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x534b4557 /* "SKEW" */);
+    let scale = scale.max(1);
+    let tags = TAGS * scale;
+    let zipf = Zipf::new(tags, skew);
+
+    let mut b = DatabaseBuilder::new("Skewed");
+    b.add_table(
+        "Tag",
+        vec![
+            ColumnDef::new("name", DataType::Text),
+            ColumnDef::new("id", DataType::Int),
+        ],
+    )
+    .unwrap();
+    b.add_table(
+        "Item",
+        vec![
+            ColumnDef::new("tag", DataType::Int),
+            ColumnDef::new("score", DataType::Decimal),
+            ColumnDef::new("label", DataType::Text),
+        ],
+    )
+    .unwrap();
+    b.add_table(
+        "Geo",
+        vec![
+            ColumnDef::new("tag", DataType::Int),
+            ColumnDef::new("region", DataType::Text),
+        ],
+    )
+    .unwrap();
+
+    for k in 1..=tags {
+        b.add_row(
+            "Tag",
+            vec![Value::Text(format!("tag{k}")), Value::Int(k as i64)],
+        )
+        .unwrap();
+    }
+    for i in 0..ITEMS * scale {
+        let tag = zipf.sample(&mut rng) as i64;
+        // Ascending scores keep zone maps disjoint across blocks.
+        let score = i as f64 + rng.gen_range(0.0..1.0);
+        let label = format!("label{}", i % 50);
+        b.add_row(
+            "Item",
+            vec![Value::Int(tag), Value::Decimal(score), Value::Text(label)],
+        )
+        .unwrap();
+    }
+    const REGIONS: [&str; 6] = ["north", "south", "east", "west", "center", "offshore"];
+    for _ in 0..GEOS * scale {
+        let tag = zipf.sample(&mut rng) as i64;
+        let region = REGIONS[rng.gen_range(0..REGIONS.len())];
+        b.add_row("Geo", vec![Value::Int(tag), Value::Text(region.into())])
+            .unwrap();
+    }
+
+    b.add_foreign_key("Item", "tag", "Tag", "id").unwrap();
+    b.add_foreign_key("Geo", "tag", "Tag", "id").unwrap();
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taskgen::{Resolution, TaskGenConfig, TaskGenerator};
+
+    #[test]
+    fn zipf_concentrates_mass_on_low_ranks() {
+        let zipf = Zipf::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut hub = 0usize;
+        const DRAWS: usize = 10_000;
+        for _ in 0..DRAWS {
+            let r = zipf.sample(&mut rng);
+            assert!((1..=100).contains(&r));
+            if r == 1 {
+                hub += 1;
+            }
+        }
+        // H(100) ≈ 5.19, so rank 1 should own ≈19% of draws.
+        assert!(hub > DRAWS / 10, "hub drew only {hub}/{DRAWS}");
+    }
+
+    #[test]
+    fn zipf_zero_skew_is_roughly_uniform() {
+        let zipf = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[zipf.sample(&mut rng) - 1] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((600..=1400).contains(&c), "rank {} drew {c}", i + 1);
+        }
+    }
+
+    #[test]
+    fn skewed_database_has_a_dominant_hub() {
+        let db = skewed(7, 1, 1.0);
+        let item = db.catalog().table_id("Item").unwrap();
+        assert_eq!(db.row_count(item), ITEMS);
+        // The CSR run of the hottest tag dwarfs the average fan-out.
+        let stats = db.stats();
+        let max_run = stats.max_key_run(item, 0) as f64;
+        let avg_run = ITEMS as f64 / stats.distinct_count(item, 0) as f64;
+        assert!(
+            max_run > 8.0 * avg_run,
+            "hub run {max_run} vs avg {avg_run}"
+        );
+    }
+
+    #[test]
+    fn skewed_is_deterministic_and_scales() {
+        let a = skewed(3, 1, 1.0);
+        let b = skewed(3, 1, 1.0);
+        let tag = a.catalog().table_id("Tag").unwrap();
+        assert_eq!(a.row_count(tag), b.row_count(tag));
+        assert_eq!(
+            a.stats()
+                .max_key_run(a.catalog().table_id("Item").unwrap(), 0),
+            b.stats()
+                .max_key_run(b.catalog().table_id("Item").unwrap(), 0),
+        );
+        let big = skewed(3, 2, 1.0);
+        assert_eq!(
+            big.row_count(big.catalog().table_id("Tag").unwrap()),
+            2 * TAGS
+        );
+    }
+
+    /// The taskgen oracle works on the skewed family: synthesized tasks
+    /// carry a ground-truth query whose execution matches its own samples.
+    #[test]
+    fn taskgen_produces_ground_truth_tasks_on_skewed_data() {
+        let db = skewed(42, 1, 1.0);
+        let g = TaskGenerator::new(&db, TaskGenConfig::default());
+        let mut rng = StdRng::seed_from_u64(5);
+        let task = g
+            .generate(Resolution::Exact, &mut rng)
+            .expect("skewed schema graph yields tasks");
+        assert_eq!(task.database, "Skewed");
+        assert!(task.truth.nodes.len() >= 2);
+        let rows = task.truth.execute(&db, 4_000).unwrap();
+        assert!(!rows.is_empty());
+    }
+}

@@ -131,6 +131,17 @@ pub struct ExecStats {
     /// Executions that reused an already-dirty [`ExecScratch`] (its buffers
     /// were cleared, not reallocated) — the other half of amortization.
     pub scratch_reuses: u64,
+    /// Join-tree nodes the cost-based planner visited at a different
+    /// position than declaration-order planning would have. Counted once
+    /// per plan compiled (like [`ExecStats::plans_built`]), so a warm plan
+    /// cache reports 0.
+    pub nodes_reordered: u64,
+    /// Prepared plans recompiled by the adaptive fan-out guard after the
+    /// observed rows-examined diverged from the planner's estimate.
+    pub plan_recompiles: u64,
+    /// Rows the planner *expected* each run to examine, summed over runs —
+    /// the denominator of [`ExecStats::fanout_ratio`].
+    pub rows_estimated: u64,
 }
 
 impl ExecStats {
@@ -144,10 +155,23 @@ impl ExecStats {
         self.blocks_skipped += other.blocks_skipped;
         self.plans_built += other.plans_built;
         self.scratch_reuses += other.scratch_reuses;
+        self.nodes_reordered += other.nodes_reordered;
+        self.plan_recompiles += other.plan_recompiles;
+        self.rows_estimated += other.rows_estimated;
     }
 
     pub fn add(&mut self, other: &ExecStats) {
         self.merge(other);
+    }
+
+    /// Observed-vs-estimated fan-out: rows actually examined per row the
+    /// planner expected, or `None` before any estimated run. Values well
+    /// above 1 mean the cost model under-estimated (the adaptive guard
+    /// recompiles past that point); early-exiting existence probes pull the
+    /// ratio below 1. Both counters merge additively across workers, so the
+    /// ratio stays meaningful for pooled stats.
+    pub fn fanout_ratio(&self) -> Option<f64> {
+        (self.rows_estimated > 0).then(|| self.rows_examined as f64 / self.rows_estimated as f64)
     }
 }
 
@@ -160,6 +184,35 @@ impl std::ops::AddAssign for ExecStats {
 impl std::ops::AddAssign<&ExecStats> for ExecStats {
     fn add_assign(&mut self, rhs: &ExecStats) {
         self.merge(rhs);
+    }
+}
+
+/// Join-order planning mode for [`PjQuery::prepare_with`].
+///
+/// `Cost` (the default) orders join nodes by ascending estimated fan-out —
+/// start at the most selective scan, expand cheapest-first — using
+/// `StatsStore` distinct counts, CSR per-key run lengths, and numeric-hull
+/// selectivity, and sorts each node's residual predicates most-selective /
+/// cheapest first. `Fixed` is the pre-cost escape hatch: declaration-order
+/// BFS from the most-predicated node, predicates in declaration order, no
+/// adaptive recompiles. Both modes enumerate identical rows; only the visit
+/// order (and therefore rows examined) differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinOrder {
+    /// Declaration-order planning (legacy behavior).
+    Fixed,
+    /// Cardinality-guided planning (default).
+    Cost,
+}
+
+impl JoinOrder {
+    /// Reads `PRISM_JOIN_ORDER` (`fixed` | `cost`); anything else — or an
+    /// unset variable — means `Cost`.
+    pub fn from_env() -> JoinOrder {
+        match std::env::var("PRISM_JOIN_ORDER") {
+            Ok(v) if v.eq_ignore_ascii_case("fixed") => JoinOrder::Fixed,
+            _ => JoinOrder::Cost,
+        }
     }
 }
 
@@ -273,6 +326,19 @@ impl PjQuery {
     /// cached and shared across threads, but is only meaningful against the
     /// database it was prepared for.
     pub fn prepare(&self, db: &Database, preds: &[ProjPred<'_>]) -> Result<PreparedQuery, DbError> {
+        self.prepare_with(db, preds, JoinOrder::from_env())
+    }
+
+    /// [`PjQuery::prepare`] with an explicit join-order mode, bypassing the
+    /// `PRISM_JOIN_ORDER` environment knob. Benchmarks and property tests
+    /// use this to compare cost-ordered and declaration-ordered plans over
+    /// the same query.
+    pub fn prepare_with(
+        &self,
+        db: &Database,
+        preds: &[ProjPred<'_>],
+        mode: JoinOrder,
+    ) -> Result<PreparedQuery, DbError> {
         self.validate(db)?;
         if !preds.is_empty() && preds.len() != self.projection.len() {
             return Err(DbError::InvalidQuery(format!(
@@ -281,16 +347,18 @@ impl PjQuery {
                 self.projection.len()
             )));
         }
-        let plan = Plan::build(self, db, preds);
+        let plan = Plan::build(self, db, preds, mode, None);
         let memo_shapes = MemoShape::for_query(self, db, preds);
         let pred_mask = (0..self.projection.len())
             .map(|s| preds.get(s).copied().flatten().is_some())
             .collect();
+        let guard = PlanGuard::for_nodes(self.nodes.len());
         Ok(PreparedQuery {
             query: self.clone(),
             plan,
             memo_shapes,
             pred_mask,
+            guard,
         })
     }
 
@@ -310,6 +378,7 @@ impl PjQuery {
     ) -> Result<(), DbError> {
         let prepared = self.prepare(db, preds)?;
         stats.plans_built += 1;
+        stats.nodes_reordered += prepared.nodes_reordered();
         let mut scratch = ExecScratch::new();
         prepared.for_each_row(db, preds, &mut scratch, stats, cb)
     }
@@ -372,12 +441,102 @@ pub struct PreparedQuery {
     /// run must match (the plan's start node and local-predicate lists
     /// were chosen from it).
     pred_mask: Vec<bool>,
+    /// Adaptive fan-out guard state (see [`PlanGuard`]).
+    guard: PlanGuard,
+}
+
+/// Runs the adaptive guard observes before it will consider recompiling:
+/// enough to average out one unlucky probe.
+const GUARD_MIN_RUNS: u64 = 8;
+
+/// Observed-vs-estimated rows-examined ratio beyond which a cost-ordered
+/// plan is recompiled with feedback. Estimates model full enumeration, so
+/// early-exiting existence probes sit well below 1 and never trigger.
+const FANOUT_DIVERGENCE: f64 = 4.0;
+
+/// Adaptive fan-out guard of one prepared plan. Plans live in write-once
+/// cache slots shared across sessions, so the guard works through interior
+/// mutability: per-node rows-examined accumulate in relaxed atomics, and
+/// when the running average diverges from the planner's estimate by more
+/// than [`FANOUT_DIVERGENCE`], the plan is recompiled **once** (into
+/// `replan`) with the observed per-node fan-out as feedback — every sharer
+/// of the cached [`PreparedQuery`] switches to the corrected order.
+#[derive(Debug)]
+struct PlanGuard {
+    runs: std::sync::atomic::AtomicU64,
+    rows: std::sync::atomic::AtomicU64,
+    node_rows: Vec<std::sync::atomic::AtomicU64>,
+    replan: std::sync::OnceLock<Plan>,
+}
+
+impl PlanGuard {
+    fn for_nodes(n: usize) -> PlanGuard {
+        PlanGuard {
+            runs: std::sync::atomic::AtomicU64::new(0),
+            rows: std::sync::atomic::AtomicU64::new(0),
+            node_rows: (0..n)
+                .map(|_| std::sync::atomic::AtomicU64::new(0))
+                .collect(),
+            replan: std::sync::OnceLock::new(),
+        }
+    }
 }
 
 impl PreparedQuery {
     /// The underlying query.
     pub fn query(&self) -> &PjQuery {
         &self.query
+    }
+
+    /// Join-tree nodes this plan visits at a different position than
+    /// declaration-order planning would (0 for `Fixed`-mode plans). The
+    /// one-shot wrappers and the cached-validation path fold this into
+    /// [`ExecStats::nodes_reordered`] once per compile.
+    pub fn nodes_reordered(&self) -> u64 {
+        self.plan.moved_nodes as u64
+    }
+
+    /// The plan to run: the guard's recompiled plan when one exists, else
+    /// the plan compiled at prepare time — possibly recompiling right now
+    /// if enough divergent runs have accumulated.
+    fn active_plan(&self, db: &Database, preds: &[ProjPred<'_>], stats: &mut ExecStats) -> &Plan {
+        use std::sync::atomic::Ordering::Relaxed;
+        if let Some(p) = self.guard.replan.get() {
+            return p;
+        }
+        if self.plan.mode != JoinOrder::Cost {
+            return &self.plan; // Fixed mode is a full escape hatch
+        }
+        let runs = self.guard.runs.load(Relaxed);
+        if runs < GUARD_MIN_RUNS {
+            return &self.plan;
+        }
+        let avg = self.guard.rows.load(Relaxed) as f64 / runs as f64;
+        if avg <= FANOUT_DIVERGENCE * self.plan.est_rows.max(1.0) {
+            return &self.plan;
+        }
+        let mut recompiled = false;
+        let p = self.guard.replan.get_or_init(|| {
+            recompiled = true;
+            // Per-node multipliers: how far each node's observed average
+            // rows-examined overshot its estimate. Replanning with them
+            // steers the order away from the nodes that actually exploded.
+            let mult: Vec<f64> = self
+                .guard
+                .node_rows
+                .iter()
+                .zip(&self.plan.est_node_rows)
+                .map(|(obs, &est)| {
+                    let obs = obs.load(Relaxed) as f64 / runs as f64;
+                    (obs / est.max(1.0)).max(1.0)
+                })
+                .collect();
+            Plan::build(&self.query, db, preds, JoinOrder::Cost, Some(&mult))
+        });
+        if recompiled {
+            stats.plan_recompiles += 1;
+        }
+        p
     }
 
     /// Execute against `db` (which must be the database this was prepared
@@ -410,13 +569,14 @@ impl PreparedQuery {
             stats.scratch_reuses += 1;
         }
         scratch.reset_for(self);
+        let plan = self.active_plan(db, preds, stats);
         // Zone-map pruners from range-hinted local predicates on numeric
         // columns, hoisted out of the scan loops: they are constant for the
         // whole run (hulls travel with the predicates, not the plan). None
         // when no predicate carries a usable hull — the common text-probe
         // case allocates nothing here.
         let mut pruners: Option<Vec<Vec<Pruner<'_>>>> = None;
-        for (node, local) in self.plan.local_preds.iter().enumerate() {
+        for (node, local) in plan.local_preds.iter().enumerate() {
             for &(col, slot) in local {
                 let pred = preds[slot].expect("shape-checked above");
                 let Some((lo, hi)) = pred.range() else {
@@ -437,19 +597,33 @@ impl PreparedQuery {
         let search = Search {
             db,
             q: &self.query,
-            plan: &self.plan,
+            plan,
             preds,
             pruners,
         };
         let mut st = SearchState {
             assignment: &mut scratch.assignment,
             memos: &mut scratch.memos,
+            node_rows: &mut scratch.node_rows,
             row_buf: Vec::new(),
             stats,
             cb,
         };
-        search.run(0, &mut st)?;
-        Ok(())
+        let result = search.run(0, &mut st).map(|_| ());
+        // Feed the run back to the adaptive guard (relaxed atomics — exact
+        // cross-thread interleaving doesn't matter for a 4x trigger) and
+        // record the planner's expectation for the fan-out ratio.
+        use std::sync::atomic::Ordering::Relaxed;
+        let run_rows: u64 = scratch.node_rows.iter().sum();
+        self.guard.runs.fetch_add(1, Relaxed);
+        self.guard.rows.fetch_add(run_rows, Relaxed);
+        for (acc, &r) in self.guard.node_rows.iter().zip(scratch.node_rows.iter()) {
+            if r > 0 {
+                acc.fetch_add(r, Relaxed);
+            }
+        }
+        stats.rows_estimated += plan.est_rows as u64;
+        result
     }
 
     /// Prepared existence check (see [`PjQuery::exists_matching`]).
@@ -495,6 +669,11 @@ impl PreparedQuery {
 pub struct ExecScratch {
     assignment: Vec<u32>,
     memos: Vec<SlotMemo>,
+    /// Rows examined per node slot during the current run; flushed into the
+    /// plan's adaptive guard when the run ends. Plain counters here, one
+    /// atomic add per node per *run* there — the row loop stays contention-
+    /// free.
+    node_rows: Vec<u64>,
     /// Whether any run has used this scratch (drives
     /// [`ExecStats::scratch_reuses`]).
     used: bool,
@@ -509,6 +688,8 @@ impl ExecScratch {
     fn reset_for(&mut self, pq: &PreparedQuery) {
         self.assignment.clear();
         self.assignment.resize(pq.query.nodes.len(), 0);
+        self.node_rows.clear();
+        self.node_rows.resize(pq.query.nodes.len(), 0);
         self.memos.truncate(pq.memo_shapes.len());
         for (i, &shape) in pq.memo_shapes.iter().enumerate() {
             match self.memos.get_mut(i) {
@@ -549,88 +730,219 @@ struct Plan {
     residual_at: Vec<Vec<(JoinCond, crate::types::KeySpace)>>,
     /// Local predicates per node slot: (column, projection slot index).
     local_preds: Vec<Vec<(u32, usize)>>,
+    /// Planning mode this plan was built under; the adaptive guard only
+    /// arms for `Cost` plans (`Fixed` is a full escape hatch).
+    mode: JoinOrder,
+    /// Estimated rows one full enumeration examines — the guard's baseline
+    /// and the numerator feed of [`ExecStats::rows_estimated`].
+    est_rows: f64,
+    /// The same estimate attributed per node slot, so recompiles can see
+    /// *which* node's fan-out was mispredicted.
+    est_node_rows: Vec<f64>,
+    /// Nodes visited at a different position than declaration-order BFS
+    /// would put them (always 0 in `Fixed` mode).
+    moved_nodes: u32,
+}
+
+/// Selectivity floor: keeps estimates off exact zero so relative ordering
+/// stays meaningful even for "provably empty" hulls.
+const MIN_SEL: f64 = 1e-4;
+
+/// Estimated fraction of `node`'s rows passing one local predicate. A
+/// numeric hull consults the column histogram; an opaque predicate is
+/// assumed to be an equality probe — one distinct value's share.
+fn pred_selectivity(
+    q: &PjQuery,
+    db: &Database,
+    preds: &[ProjPred<'_>],
+    node: usize,
+    col: u32,
+    slot: usize,
+) -> f64 {
+    let st = db
+        .stats()
+        .column(crate::schema::ColumnRef::new(q.nodes[node], col));
+    let range = preds.get(slot).copied().flatten().and_then(|p| p.range());
+    match range {
+        Some((lo, hi)) if lo > hi => MIN_SEL * MIN_SEL,
+        Some((lo, hi)) if st.dtype.is_numeric() => st.selectivity_range(lo, hi).max(MIN_SEL),
+        _ => (1.0 / st.distinct_count.max(1) as f64).max(MIN_SEL),
+    }
+}
+
+/// Prepare-time cardinality estimator. All inputs are already materialized
+/// by the substrate: `StatsStore` distinct counts and histograms, CSR
+/// per-key run lengths, and the numeric hulls riding on the predicates.
+struct Estimator<'a> {
+    q: &'a PjQuery,
+    db: &'a Database,
+    local_preds: &'a [Vec<(u32, usize)>],
+    preds: &'a [ProjPred<'a>],
+    /// Per-node cost multipliers from the adaptive guard's observed
+    /// fan-out (recompiles only); `None` on the first compile.
+    feedback: Option<&'a [f64]>,
+}
+
+impl Estimator<'_> {
+    fn mult(&self, node: usize) -> f64 {
+        self.feedback.map_or(1.0, |m| m[node])
+    }
+
+    /// Product of all local-predicate selectivities on `node`.
+    fn pred_sel(&self, node: usize) -> f64 {
+        self.local_preds[node]
+            .iter()
+            .map(|&(col, slot)| pred_selectivity(self.q, self.db, self.preds, node, col, slot))
+            .product()
+    }
+
+    /// Selectivity of the *prunable* part only — numeric hulls that zone
+    /// maps can push below the row loop. Opaque predicates don't reduce
+    /// rows examined (every row is tested), so they don't appear here.
+    fn hull_sel(&self, node: usize) -> f64 {
+        self.local_preds[node]
+            .iter()
+            .map(|&(col, slot)| {
+                let st = self
+                    .db
+                    .stats()
+                    .column(crate::schema::ColumnRef::new(self.q.nodes[node], col));
+                match self
+                    .preds
+                    .get(slot)
+                    .copied()
+                    .flatten()
+                    .and_then(|p| p.range())
+                {
+                    Some((lo, hi)) if lo > hi => MIN_SEL * MIN_SEL,
+                    Some((lo, hi)) if st.dtype.is_numeric() => {
+                        st.selectivity_range(lo, hi).max(MIN_SEL)
+                    }
+                    _ => 1.0,
+                }
+            })
+            .product()
+    }
+
+    /// Rows a full scan of `node` examines (hulls prune, opaque predicates
+    /// don't) and rows it yields after all predicates.
+    fn scan_cost(&self, node: usize) -> f64 {
+        let rows = self.db.row_count(self.q.nodes[node]) as f64;
+        (rows * self.hull_sel(node)).max(1.0) * self.mult(node)
+    }
+
+    fn scan_card(&self, node: usize) -> f64 {
+        self.db.row_count(self.q.nodes[node]) as f64 * self.pred_sel(node)
+    }
+
+    /// Per-parent-row probe estimate into `to.tcol`:
+    /// `(rows examined, rows matching after the join key)`. An indexed
+    /// probe examines one posting run — estimated as the geometric mean of
+    /// the average and the *longest* run, so a Zipf hub key cannot hide
+    /// behind a benign average. Without a usable index the executor falls
+    /// back to a key-filtered scan: every (hull-surviving) row is examined.
+    fn probe(&self, to: usize, tcol: u32, index_usable: bool) -> (f64, f64) {
+        let tid = self.q.nodes[to];
+        let cref = crate::schema::ColumnRef::new(tid, tcol);
+        match self.db.join_index(cref) {
+            Some(ix) if index_usable && !ix.is_empty() => {
+                let avg = ix.avg_run();
+                let skew_aware = (avg * ix.max_run() as f64).sqrt().max(avg);
+                (skew_aware, avg)
+            }
+            _ => {
+                let rows = self.db.row_count(tid) as f64;
+                let distinct = self.db.stats().distinct_count(tid, tcol).max(1) as f64;
+                ((rows * self.hull_sel(to)).max(1.0), rows / distinct)
+            }
+        }
+    }
+
+    /// Total and per-node estimated rows-examined of one concrete visit
+    /// order — the number the adaptive guard compares observed work to.
+    fn cost_of(&self, order: &[usize], link: &[Option<Link>]) -> (f64, Vec<f64>) {
+        let mut node_est = vec![0.0; self.q.nodes.len()];
+        let start = order[0];
+        node_est[start] = self.scan_cost(start);
+        let mut card = self.scan_card(start).max(1.0);
+        for (d, &to) in order.iter().enumerate().skip(1) {
+            let l = link[d].as_ref().expect("non-start nodes are linked");
+            let (examine, matches) = self.probe(to, l.my_col, l.index_usable);
+            node_est[to] = (card * examine * self.mult(to)).max(1.0);
+            card *= matches * self.pred_sel(to);
+        }
+        (node_est.iter().sum(), node_est)
+    }
 }
 
 impl Plan {
-    fn build(q: &PjQuery, db: &Database, preds: &[ProjPred<'_>]) -> Plan {
+    /// Compile a visit order for `q`. `Fixed` reproduces the legacy
+    /// declaration-order BFS; `Cost` searches every start node and greedily
+    /// expands the cheapest estimated probe first (see [`Estimator`]), then
+    /// orders each node's local predicates and residual checks most
+    /// selective / cheapest first. `feedback` carries per-node observed
+    /// fan-out multipliers when the adaptive guard recompiles.
+    fn build(
+        q: &PjQuery,
+        db: &Database,
+        preds: &[ProjPred<'_>],
+        mode: JoinOrder,
+        feedback: Option<&[f64]>,
+    ) -> Plan {
         let n = q.nodes.len();
-        // Local predicate lists.
+        // Local predicate lists, in declaration (projection) order.
         let mut local_preds: Vec<Vec<(u32, usize)>> = vec![Vec::new(); n];
         for (slot, &(node, col)) in q.projection.iter().enumerate() {
             if preds.get(slot).copied().flatten().is_some() {
                 local_preds[node].push((col, slot));
             }
         }
-        // Start node: most local predicates, tie-broken by smallest table —
-        // maximizes early pruning.
-        let start = (0..n)
-            .min_by_key(|&i| {
-                (
-                    std::cmp::Reverse(local_preds[i].len()),
-                    db.row_count(q.nodes[i]),
-                    i,
-                )
-            })
-            .expect("validated: at least one node");
-        // BFS over join conditions to build the spanning order.
-        let space_of =
-            |node: usize, col: u32| db.key_space(crate::schema::ColumnRef::new(q.nodes[node], col));
-        // The space a join condition compares in. FK-aligned conditions have
-        // equal assigned spaces and keep them (and their index). An ad-hoc
-        // condition across components compares exactly when both *declared*
-        // types are Int — a Decimal-demoted Int column still stores i64
-        // data, so exactness must not be lost to its component assignment —
-        // and in F64 otherwise.
-        let pair_space_of = |an: usize, ac: u32, bn: usize, bc: u32| {
-            let (sa, sb) = (space_of(an, ac), space_of(bn, bc));
-            if sa == sb {
-                return sa;
-            }
-            let dtype_of =
-                |node: usize, col: u32| db.catalog().table(q.nodes[node]).column(col).dtype;
-            if dtype_of(an, ac) == crate::types::DataType::Int
-                && dtype_of(bn, bc) == crate::types::DataType::Int
-            {
-                crate::types::KeySpace::Int
-            } else {
-                crate::types::KeySpace::F64
-            }
-        };
-        let mut order = vec![start];
-        let mut link: Vec<Option<Link>> = vec![None];
-        let mut visited = vec![false; n];
-        visited[start] = true;
-        let mut used_join = vec![false; q.joins.len()];
-        while order.len() < n {
-            let mut progressed = false;
-            for (ji, j) in q.joins.iter().enumerate() {
-                if used_join[ji] {
-                    continue;
-                }
-                let (from, fcol, to, tcol) = if visited[j.left_node] && !visited[j.right_node] {
-                    (j.left_node, j.left_col, j.right_node, j.right_col)
-                } else if visited[j.right_node] && !visited[j.left_node] {
-                    (j.right_node, j.right_col, j.left_node, j.left_col)
-                } else {
-                    continue;
-                };
-                used_join[ji] = true;
-                visited[to] = true;
-                order.push(to);
-                let pair_space = pair_space_of(from, fcol, to, tcol);
-                link.push(Some(Link {
-                    parent_node: from,
-                    parent_col: fcol,
-                    my_col: tcol,
-                    pair_space,
-                    index_usable: pair_space == space_of(to, tcol),
-                }));
-                progressed = true;
-            }
-            if !progressed {
-                break; // validated connectivity makes this unreachable
+        if mode == JoinOrder::Cost {
+            // Local predicates: most selective first, dictionary-memoized
+            // (cheap per-row after warmup) before direct evaluation on
+            // ties. Selectivity products are order-independent, so this
+            // can't change any estimate — only how fast a doomed row dies.
+            type RankedPred = ((f64, u8, usize), (u32, usize));
+            for (node, locals) in local_preds.iter_mut().enumerate() {
+                let mut keyed: Vec<RankedPred> = locals
+                    .iter()
+                    .map(|&(col, slot)| {
+                        let column = db.table(q.nodes[node]).column(col);
+                        let memoized = matches!(column.data(), ColumnData::Sym(_));
+                        let sel = pred_selectivity(q, db, preds, node, col, slot);
+                        ((sel, u8::from(!memoized), slot), (col, slot))
+                    })
+                    .collect();
+                keyed.sort_by(|a, b| {
+                    a.0 .0
+                        .total_cmp(&b.0 .0)
+                        .then(a.0 .1.cmp(&b.0 .1))
+                        .then(a.0 .2.cmp(&b.0 .2))
+                });
+                *locals = keyed.into_iter().map(|(_, p)| p).collect();
             }
         }
+        let est = Estimator {
+            q,
+            db,
+            local_preds: &local_preds,
+            preds,
+            feedback,
+        };
+        let (order, link, used_join, moved_nodes) = match mode {
+            JoinOrder::Fixed => {
+                let (order, link, used) = fixed_order(q, db, &local_preds);
+                (order, link, used, 0)
+            }
+            JoinOrder::Cost => {
+                let (order, link, used) = cost_order(q, db, &est);
+                // How far did cost planning move the tree? Compare against
+                // what declaration-order planning would have done.
+                let (fixed, _, _) = fixed_order(q, db, &local_preds);
+                let moved = order.iter().zip(&fixed).filter(|(a, b)| a != b).count() as u32;
+                (order, link, used, moved)
+            }
+        };
         // Remaining joins are redundant cycle-closers: schedule each at the
         // depth where its later endpoint is assigned.
         let depth_of = |node: usize| order.iter().position(|&x| x == node).expect("visited");
@@ -638,17 +950,202 @@ impl Plan {
         for (ji, j) in q.joins.iter().enumerate() {
             if !used_join[ji] {
                 let d = depth_of(j.left_node).max(depth_of(j.right_node));
-                let pair = pair_space_of(j.left_node, j.left_col, j.right_node, j.right_col);
+                let pair = pair_space_of(q, db, j.left_node, j.left_col, j.right_node, j.right_col);
                 residual_at[d].push((*j, pair));
             }
         }
+        if mode == JoinOrder::Cost {
+            // Residual checks: most selective first — a residual's chance of
+            // passing shrinks with the larger distinct count of its
+            // endpoints, so check the sharpest key equality first.
+            for residuals in &mut residual_at {
+                residuals.sort_by_key(|(j, _)| {
+                    let d = db
+                        .stats()
+                        .distinct_count(q.nodes[j.left_node], j.left_col)
+                        .max(
+                            db.stats()
+                                .distinct_count(q.nodes[j.right_node], j.right_col),
+                        );
+                    std::cmp::Reverse(d)
+                });
+            }
+        }
+        let (est_rows, est_node_rows) = est.cost_of(&order, &link);
         Plan {
             order,
             link,
             residual_at,
             local_preds,
+            mode,
+            est_rows,
+            est_node_rows,
+            moved_nodes,
         }
     }
+}
+
+/// The key space a join condition compares in. FK-aligned conditions have
+/// equal assigned spaces and keep them (and their index). An ad-hoc
+/// condition across components compares exactly when both *declared* types
+/// are Int — a Decimal-demoted Int column still stores i64 data, so
+/// exactness must not be lost to its component assignment — and in F64
+/// otherwise.
+fn pair_space_of(
+    q: &PjQuery,
+    db: &Database,
+    an: usize,
+    ac: u32,
+    bn: usize,
+    bc: u32,
+) -> crate::types::KeySpace {
+    let space_of =
+        |node: usize, col: u32| db.key_space(crate::schema::ColumnRef::new(q.nodes[node], col));
+    let (sa, sb) = (space_of(an, ac), space_of(bn, bc));
+    if sa == sb {
+        return sa;
+    }
+    let dtype_of = |node: usize, col: u32| db.catalog().table(q.nodes[node]).column(col).dtype;
+    if dtype_of(an, ac) == crate::types::DataType::Int
+        && dtype_of(bn, bc) == crate::types::DataType::Int
+    {
+        crate::types::KeySpace::Int
+    } else {
+        crate::types::KeySpace::F64
+    }
+}
+
+fn make_link(q: &PjQuery, db: &Database, from: usize, fcol: u32, to: usize, tcol: u32) -> Link {
+    let pair_space = pair_space_of(q, db, from, fcol, to, tcol);
+    let index_usable = pair_space == db.key_space(crate::schema::ColumnRef::new(q.nodes[to], tcol));
+    Link {
+        parent_node: from,
+        parent_col: fcol,
+        my_col: tcol,
+        pair_space,
+        index_usable,
+    }
+}
+
+/// Legacy declaration-order planning: start at the node with the most
+/// local predicates (tie-broken by smallest table), then BFS over join
+/// conditions in declaration order. Returns the visit order, spanning
+/// links, and which joins the spanning tree consumed.
+#[allow(clippy::type_complexity)]
+fn fixed_order(
+    q: &PjQuery,
+    db: &Database,
+    local_preds: &[Vec<(u32, usize)>],
+) -> (Vec<usize>, Vec<Option<Link>>, Vec<bool>) {
+    let n = q.nodes.len();
+    let start = (0..n)
+        .min_by_key(|&i| {
+            (
+                std::cmp::Reverse(local_preds[i].len()),
+                db.row_count(q.nodes[i]),
+                i,
+            )
+        })
+        .expect("validated: at least one node");
+    let mut order = vec![start];
+    let mut link: Vec<Option<Link>> = vec![None];
+    let mut visited = vec![false; n];
+    visited[start] = true;
+    let mut used_join = vec![false; q.joins.len()];
+    while order.len() < n {
+        let mut progressed = false;
+        for (ji, j) in q.joins.iter().enumerate() {
+            if used_join[ji] {
+                continue;
+            }
+            let (from, fcol, to, tcol) = if visited[j.left_node] && !visited[j.right_node] {
+                (j.left_node, j.left_col, j.right_node, j.right_col)
+            } else if visited[j.right_node] && !visited[j.left_node] {
+                (j.right_node, j.right_col, j.left_node, j.left_col)
+            } else {
+                continue;
+            };
+            used_join[ji] = true;
+            visited[to] = true;
+            order.push(to);
+            link.push(Some(make_link(q, db, from, fcol, to, tcol)));
+            progressed = true;
+        }
+        if !progressed {
+            break; // validated connectivity makes this unreachable
+        }
+    }
+    (order, link, used_join)
+}
+
+/// Cost-based planning: try every node as the scan root and greedily
+/// attach the frontier join with the cheapest estimated probe until the
+/// tree is spanned; keep the start whose whole order estimates cheapest.
+/// Node counts are tiny (candidate trees are ≤ a handful of tables), so
+/// the exhaustive-start greedy is both near-optimal and effectively free
+/// next to the once-per-query-class compile it runs inside.
+#[allow(clippy::type_complexity)]
+fn cost_order(
+    q: &PjQuery,
+    db: &Database,
+    est: &Estimator<'_>,
+) -> (Vec<usize>, Vec<Option<Link>>, Vec<bool>) {
+    let n = q.nodes.len();
+    let mut best: Option<(f64, Vec<usize>, Vec<Option<Link>>, Vec<bool>)> = None;
+    for start in 0..n {
+        let mut order = vec![start];
+        let mut link: Vec<Option<Link>> = vec![None];
+        let mut visited = vec![false; n];
+        visited[start] = true;
+        let mut used_join = vec![false; q.joins.len()];
+        let mut total = est.scan_cost(start);
+        let mut card = est.scan_card(start).max(1.0);
+        while order.len() < n {
+            // Cheapest expansion across the frontier: joins with exactly
+            // one visited endpoint. Declaration order breaks exact ties.
+            let mut pick: Option<(f64, usize)> = None;
+            for (ji, j) in q.joins.iter().enumerate() {
+                if used_join[ji] {
+                    continue;
+                }
+                let (_, _, to, tcol) = match (visited[j.left_node], visited[j.right_node]) {
+                    (true, false) => (j.left_node, j.left_col, j.right_node, j.right_col),
+                    (false, true) => (j.right_node, j.right_col, j.left_node, j.left_col),
+                    _ => continue,
+                };
+                let usable =
+                    pair_space_of(q, db, j.left_node, j.left_col, j.right_node, j.right_col)
+                        == db.key_space(crate::schema::ColumnRef::new(q.nodes[to], tcol));
+                let (examine, _) = est.probe(to, tcol, usable);
+                let step = card * examine * est.mult(to);
+                if pick.is_none_or(|(c, _)| step < c) {
+                    pick = Some((step, ji));
+                }
+            }
+            let Some((step, ji)) = pick else {
+                break; // validated connectivity makes this unreachable
+            };
+            let j = &q.joins[ji];
+            let (from, fcol, to, tcol) = if visited[j.left_node] {
+                (j.left_node, j.left_col, j.right_node, j.right_col)
+            } else {
+                (j.right_node, j.right_col, j.left_node, j.left_col)
+            };
+            used_join[ji] = true;
+            visited[to] = true;
+            order.push(to);
+            let l = make_link(q, db, from, fcol, to, tcol);
+            let (_, matches) = est.probe(to, tcol, l.index_usable);
+            link.push(Some(l));
+            total += step;
+            card = (card * matches * est.pred_sel(to)).max(MIN_SEL);
+        }
+        if best.as_ref().is_none_or(|(c, ..)| total < *c) {
+            best = Some((total, order, link, used_join));
+        }
+    }
+    let (_, order, link, used_join) = best.expect("validated: at least one node");
+    (order, link, used_join)
 }
 
 /// The shared (immutable) context of one query run.
@@ -670,6 +1167,8 @@ struct SearchState<'a, 'cb, 'st> {
     /// Per-projection-slot dictionary verdict memos, shared by every path
     /// that evaluates the slot's predicate during this run.
     memos: &'st mut Vec<SlotMemo>,
+    /// Rows examined per node slot this run (adaptive-guard feedback).
+    node_rows: &'st mut Vec<u64>,
     /// Projection row buffer, reused across emissions within a run (lazy:
     /// existence misses never allocate it).
     row_buf: Vec<ValueRef<'a>>,
@@ -760,6 +1259,7 @@ impl<'a> Search<'a> {
                         // Key-rejected rows are counted here; key-matching
                         // rows are counted once inside try_row.
                         st.stats.rows_examined += 1;
+                        st.node_rows[node] += 1;
                         return Ok(true);
                     }
                     s.try_row(depth, node, table, row, st)
@@ -854,6 +1354,7 @@ impl<'a> Search<'a> {
             }
         }
         st.stats.rows_examined += examined;
+        st.node_rows[node] += examined;
         st.memos[slot] = memo;
         result
     }
@@ -939,6 +1440,7 @@ impl<'a> Search<'a> {
         st: &mut SearchState<'a, '_, '_>,
     ) -> Result<bool, DbError> {
         st.stats.rows_examined += 1;
+        st.node_rows[node] += 1;
         let syms = self.db.symbols();
         // Local predicates, on zero-copy cell views. Dictionary columns go
         // through the slot's verdict memo: one evaluation per distinct code
@@ -1636,6 +2138,9 @@ mod tests {
             blocks_skipped: 4,
             plans_built: 5,
             scratch_reuses: 6,
+            nodes_reordered: 7,
+            plan_recompiles: 8,
+            rows_estimated: 9,
         };
         let b = ExecStats {
             rows_examined: 10,
@@ -1644,6 +2149,9 @@ mod tests {
             blocks_skipped: 40,
             plans_built: 50,
             scratch_reuses: 60,
+            nodes_reordered: 70,
+            plan_recompiles: 80,
+            rows_estimated: 90,
         };
         a.add(&b);
         assert_eq!(a.rows_examined, 11);
@@ -1652,6 +2160,156 @@ mod tests {
         assert_eq!(a.blocks_skipped, 44);
         assert_eq!(a.plans_built, 55);
         assert_eq!(a.scratch_reuses, 66);
+        assert_eq!(a.nodes_reordered, 77);
+        assert_eq!(a.plan_recompiles, 88);
+        assert_eq!(a.rows_estimated, 99);
+        assert_eq!(a.fanout_ratio(), Some(11.0 / 99.0));
+        assert_eq!(ExecStats::default().fanout_ratio(), None);
+    }
+
+    /// A Zipf-style hub: `Tag` 1 owns half of `Item`. Declaration-order
+    /// planning starts at the small predicated `Tag` table and probes
+    /// straight into the hub's 2500-row posting run; the cost-based planner
+    /// sees the hull on `Item.score` and the skewed `max_run` and flips the
+    /// order. Both must enumerate identical rows.
+    fn hub_db() -> Database {
+        let mut b = DatabaseBuilder::new("hub").with_block_rows(64);
+        b.add_table(
+            "Tag",
+            vec![
+                ColumnDef::new("name", DataType::Text),
+                ColumnDef::new("id", DataType::Int),
+            ],
+        )
+        .unwrap();
+        b.add_table(
+            "Item",
+            vec![
+                ColumnDef::new("tag", DataType::Int),
+                ColumnDef::new("score", DataType::Int),
+            ],
+        )
+        .unwrap();
+        for k in 1..=100i64 {
+            b.add_row("Tag", vec![format!("t{k}").into(), Value::Int(k)])
+                .unwrap();
+        }
+        for i in 0..5000i64 {
+            let tag = if i < 2500 { 1 } else { 2 + (i % 99) };
+            b.add_row("Item", vec![Value::Int(tag), Value::Int(i)])
+                .unwrap();
+        }
+        b.add_foreign_key("Item", "tag", "Tag", "id").unwrap();
+        b.build()
+    }
+
+    fn hub_query(db: &Database) -> PjQuery {
+        PjQuery {
+            nodes: vec![
+                db.catalog().table_id("Tag").unwrap(),
+                db.catalog().table_id("Item").unwrap(),
+            ],
+            joins: vec![JoinCond {
+                left_node: 0,
+                left_col: 1, // Tag.id
+                right_node: 1,
+                right_col: 0, // Item.tag
+            }],
+            projection: vec![(0, 0), (1, 1)], // Tag.name, Item.score
+        }
+    }
+
+    #[test]
+    fn cost_order_resists_hub_skew_and_stays_row_identical() {
+        let db = hub_db();
+        let q = hub_query(&db);
+        let is_t1 = |v: ValueRef<'_>| v == ValueRef::Text("t1");
+        let in_range =
+            |v: ValueRef<'_>| v.as_number().is_some_and(|x| (100.0..=120.0).contains(&x));
+        let preds = [
+            Some(ScanPred::new(&is_t1)),
+            Some(ScanPred::new(&in_range).with_range(100.0, 120.0)),
+        ];
+        let collect = |mode: JoinOrder| {
+            let prepared = q.prepare_with(&db, &preds, mode).unwrap();
+            let mut scratch = ExecScratch::new();
+            let mut stats = ExecStats::default();
+            let mut rows: Vec<Vec<Value>> = Vec::new();
+            prepared
+                .for_each_row(&db, &preds, &mut scratch, &mut stats, &mut |r| {
+                    rows.push(r.iter().map(|v| v.to_value()).collect());
+                    true
+                })
+                .unwrap();
+            rows.sort();
+            (rows, stats, prepared.nodes_reordered())
+        };
+        let (fixed_rows, fixed_stats, fixed_moved) = collect(JoinOrder::Fixed);
+        let (cost_rows, cost_stats, cost_moved) = collect(JoinOrder::Cost);
+        assert_eq!(fixed_rows, cost_rows, "plans must be row-identical");
+        assert_eq!(fixed_rows.len(), 21, "scores 100..=120 all live in the hub");
+        assert_eq!(fixed_moved, 0, "fixed mode never reorders");
+        assert!(cost_moved > 0, "cost mode flips the hub probe");
+        assert!(
+            cost_stats.rows_examined * 5 <= fixed_stats.rows_examined,
+            "cost order should dodge the hub: {} vs {}",
+            cost_stats.rows_examined,
+            fixed_stats.rows_examined
+        );
+        assert!(cost_stats.rows_estimated > 0);
+    }
+
+    /// Hub-concentrated parent keys make every probe hit the longest
+    /// posting run, so observed rows-examined diverges ~16x from the
+    /// blended estimate. After [`GUARD_MIN_RUNS`] runs the guard recompiles
+    /// exactly once (through the shared prepared query, so every later run
+    /// uses the replacement plan) and enumeration stays identical.
+    #[test]
+    fn adaptive_guard_recompiles_once_on_divergence() {
+        let mut b = DatabaseBuilder::new("diverge");
+        b.add_table("A", vec![ColumnDef::new("fk", DataType::Int)])
+            .unwrap();
+        b.add_table("B", vec![ColumnDef::new("t", DataType::Int)])
+            .unwrap();
+        for _ in 0..10 {
+            b.add_row("A", vec![Value::Int(1)]).unwrap();
+        }
+        for _ in 0..2000 {
+            b.add_row("B", vec![Value::Int(1)]).unwrap();
+        }
+        for k in 2..302i64 {
+            b.add_row("B", vec![Value::Int(k)]).unwrap();
+        }
+        b.add_foreign_key("A", "fk", "B", "t").unwrap();
+        let db = b.build();
+        let q = PjQuery {
+            nodes: vec![
+                db.catalog().table_id("A").unwrap(),
+                db.catalog().table_id("B").unwrap(),
+            ],
+            joins: vec![JoinCond {
+                left_node: 0,
+                left_col: 0,
+                right_node: 1,
+                right_col: 0,
+            }],
+            projection: vec![(0, 0)],
+        };
+        let prepared = q.prepare_with(&db, &[], JoinOrder::Cost).unwrap();
+        let mut scratch = ExecScratch::new();
+        let mut stats = ExecStats::default();
+        for run in 0..GUARD_MIN_RUNS + 2 {
+            let count = prepared
+                .count_matching(&db, &[], u64::MAX, &mut scratch, &mut stats)
+                .unwrap();
+            assert_eq!(count, 10 * 2000, "run {run} must enumerate every match");
+        }
+        assert_eq!(
+            stats.plan_recompiles, 1,
+            "guard recompiles exactly once despite further divergent runs"
+        );
+        // The observed ratio that tripped the guard is visible to callers.
+        assert!(stats.fanout_ratio().unwrap() > FANOUT_DIVERGENCE);
     }
 
     /// A selective range predicate with a hull hint skips whole blocks via

@@ -54,6 +54,9 @@ pub struct JoinIndex {
     offsets: Vec<u32>,
     rows: Vec<u32>,
     header: Vec<u32>,
+    /// Longest single-key posting run, folded during `build` so the
+    /// planner's estimation accessors stay O(1).
+    max_run: u32,
 }
 
 impl JoinIndex {
@@ -78,11 +81,13 @@ impl JoinIndex {
             *offsets.last_mut().expect("pushed above") = rows.len() as u32;
         }
         let header = build_header(&keys);
+        let max_run = offsets.windows(2).map(|w| w[1] - w[0]).max().unwrap_or(0);
         JoinIndex {
             keys,
             offsets,
             rows,
             header,
+            max_run,
         }
     }
 
@@ -135,6 +140,23 @@ impl JoinIndex {
     /// Total row ids stored across all keys.
     pub fn indexed_rows(&self) -> usize {
         self.rows.len()
+    }
+
+    /// Length of the longest single-key posting run — the worst-case
+    /// fan-out of one probe. The cost-based planner blends this with
+    /// [`JoinIndex::avg_run`] so a Zipf hub key cannot hide behind a
+    /// benign average.
+    pub fn max_run(&self) -> usize {
+        self.max_run as usize
+    }
+
+    /// Mean posting-run length (rows per distinct key); `0.0` when empty.
+    pub fn avg_run(&self) -> f64 {
+        if self.keys.is_empty() {
+            0.0
+        } else {
+            self.rows.len() as f64 / self.keys.len() as f64
+        }
     }
 
     /// Exact heap bytes of the CSR arrays and probe header — this is the

@@ -69,7 +69,8 @@ pub use database::{
 };
 pub use error::DbError;
 pub use exec::{
-    ExecScratch, ExecStats, JoinCond, PjQuery, PreparedQuery, ProjPred, RowCallback, ScanPred,
+    ExecScratch, ExecStats, JoinCond, JoinOrder, PjQuery, PreparedQuery, ProjPred, RowCallback,
+    ScanPred,
 };
 pub use graph::{EdgeId, JoinEdge, JoinTree, SchemaGraph};
 pub use index::{InvertedIndex, JoinIndex, Posting};

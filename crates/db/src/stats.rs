@@ -147,6 +147,11 @@ pub struct ColumnStats {
     pub histogram: Option<EquiDepthHistogram>,
     /// Up to `MCV_LIMIT` most common non-null values with their counts.
     pub most_common: Vec<(Value, u32)>,
+    /// Occurrence count of the single most frequent non-null value. For a
+    /// column covered by a CSR join index this equals the longest posting
+    /// run (both exclude NULLs), so the planner can read worst-case probe
+    /// fan-out without touching the index.
+    pub max_key_run: u32,
 }
 
 const MCV_LIMIT: usize = 12;
@@ -233,6 +238,7 @@ impl ColumnStats {
         }
         // Sort by descending frequency, tie-broken by value for determinism.
         mcv.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let max_key_run = mcv.first().map(|&(_, c)| c).unwrap_or(0);
         mcv.truncate(MCV_LIMIT);
         let (min_num, max_num) = if numbers.is_empty() {
             (None, None)
@@ -258,6 +264,7 @@ impl ColumnStats {
             max_text_len,
             histogram,
             most_common: mcv,
+            max_key_run,
         }
     }
 
@@ -347,6 +354,20 @@ impl StatsStore {
 
     pub fn table(&self, table: TableId) -> &[ColumnStats] {
         &self.per_table[table.index()]
+    }
+
+    /// Distinct non-null values of `(table, col)` — the planner's primary
+    /// cardinality input for equality selectivity and probe fan-out.
+    pub fn distinct_count(&self, table: TableId, col: u32) -> u32 {
+        self.per_table[table.index()][col as usize].distinct_count
+    }
+
+    /// Longest single-key run of `(table, col)`: how many rows the most
+    /// frequent value occupies. Mirrors the longest CSR posting run for
+    /// indexed columns (see [`ColumnStats::max_key_run`]) and bounds the
+    /// worst-case fan-out of one join probe on skewed data.
+    pub fn max_key_run(&self, table: TableId, col: u32) -> u32 {
+        self.per_table[table.index()][col as usize].max_key_run
     }
 
     /// Approximate heap bytes across every column's statistics.
