@@ -195,6 +195,10 @@ fn main() {
     // the cost-over-fixed gate runs in the smoke leg.
     join_order_bench(&phase);
 
+    // Streaming-vs-legacy CSV ingest (BENCH_ingest.json). The old-vs-new
+    // gate runs in the smoke leg; the 10M tier only when asked.
+    ingest_bench(&phase);
+
     if substrate_only {
         return;
     }
@@ -504,6 +508,135 @@ fn join_order_bench(phase: &str) {
             "cost order at {speedup:.2}x fixed on skew, need >= {min}x"
         );
         println!("join-order gate passed: {speedup:.2}x >= {min}x");
+    }
+}
+
+/// Data rows in the generated ingest-bench CSV (≈8 MB of text).
+const INGEST_ROWS: usize = 150_000;
+
+/// CSV-ingest bench (`BENCH_ingest.json`): the streaming zero-`Value`
+/// loader against the legacy per-row loader on one generated CSV
+/// (int/decimal/date/text columns, a slice of quoted fields with embedded
+/// commas). Both loaders run interleaved (machine drift hits both alike);
+/// medians of `REPS`, with the built databases asserted row-identical each
+/// repetition. `PRISM_BENCH_MIN_INGEST_SPEEDUP=<x>` exits non-zero unless
+/// streaming ≥ x · legacy throughput, and `PRISM_BENCH_INGEST_10M=1` also
+/// times the 10M-row `imdb_large` tier through the typed bulk path.
+fn ingest_bench(phase: &str) {
+    use prism_datasets::{imdb_large, vocab};
+    use prism_db::DatabaseBuilder;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let mut rng = StdRng::seed_from_u64(0x494e47 /* "ING" */);
+    let mut csv = String::with_capacity(INGEST_ROWS * 56);
+    csv.push_str("id,score,label,city,founded\n");
+    for i in 0..INGEST_ROWS {
+        let city = vocab::CITIES[rng.gen_range(0..vocab::CITIES.len())];
+        let score = rng.gen_range(0.0..100.0f64);
+        if i % 7 == 0 {
+            // Quoted label with an embedded comma: the slow unescape lane.
+            csv.push_str(&format!(
+                "{i},{score:.3},\"label {}, east\",{city},19{:02}-{:02}-{:02}\n",
+                i % 97,
+                rng.gen_range(10..99),
+                rng.gen_range(1..=12),
+                rng.gen_range(1..=28),
+            ));
+        } else {
+            csv.push_str(&format!(
+                "{i},{score:.3},label{},{city},19{:02}-{:02}-{:02}\n",
+                i % 97,
+                rng.gen_range(10..99),
+                rng.gen_range(1..=12),
+                rng.gen_range(1..=28),
+            ));
+        }
+    }
+
+    let mut legacy_ms = Vec::new();
+    let mut streaming_ms = Vec::new();
+    let mut streamed = None;
+    for _ in 0..REPS {
+        let (bl, d_legacy) = timed(|| {
+            let mut b = DatabaseBuilder::new("ingest_legacy");
+            b.add_table_from_csv_legacy("T", &csv).unwrap();
+            b
+        });
+        legacy_ms.push(d_legacy.as_secs_f64() * 1e3);
+        let (bs, d_streaming) = timed(|| {
+            let mut b = DatabaseBuilder::new("ingest");
+            b.add_table_from_csv("T", &csv).unwrap();
+            b
+        });
+        streaming_ms.push(d_streaming.as_secs_f64() * 1e3);
+        let (legacy_db, streaming_db) = (bl.build(), bs.build());
+        assert_eq!(legacy_db.total_rows(), streaming_db.total_rows());
+        let t = streaming_db.catalog().table_id("T").unwrap();
+        for r in [0u32, INGEST_ROWS as u32 / 2, INGEST_ROWS as u32 - 1] {
+            assert_eq!(
+                legacy_db.table(t).row(legacy_db.symbols(), r),
+                streaming_db.table(t).row(streaming_db.symbols(), r),
+                "loaders disagree on row {r}"
+            );
+        }
+        streamed = Some(streaming_db);
+    }
+    let streaming_db = streamed.expect("REPS >= 1");
+    let report = streaming_db.ingest_report();
+    let peak_mb = streaming_db.memory_report().peak_column_bytes() as f64 / 1e6;
+    let legacy_median = median(&mut legacy_ms);
+    let streaming_median = median(&mut streaming_ms);
+    let speedup = legacy_median / streaming_median;
+
+    // Optional 10M-row scale tier through the typed bulk-append path.
+    let tier10m = std::env::var("PRISM_BENCH_INGEST_10M").is_ok_and(|v| v == "1");
+    let tier_fields = if tier10m {
+        const TARGET: usize = 10_000_000;
+        let (db, d) = timed(|| imdb_large(42, TARGET));
+        let rows = db.total_rows();
+        let build_ms = d.as_secs_f64() * 1e3;
+        let peak = db.memory_report().peak_column_bytes() as f64 / 1e6;
+        format!(
+            "{rows},\n    \"tier10m_build_ms\": {build_ms:.1},\n    \
+             \"tier10m_rows_per_s\": {:.0},\n    \
+             \"tier10m_peak_column_mb\": {peak:.1}",
+            rows as f64 / d.as_secs_f64(),
+        )
+    } else {
+        "null,\n    \"tier10m_build_ms\": null,\n    \
+         \"tier10m_rows_per_s\": null,\n    \"tier10m_peak_column_mb\": null"
+            .to_string()
+    };
+
+    let entry = format!(
+        "{{\n    \"phase\": \"{phase}\",\n    \"csv_rows\": {INGEST_ROWS},\n    \
+         \"csv_bytes\": {},\n    \"reps\": {REPS},\n    \
+         \"legacy_median_ms\": {legacy_median:.1},\n    \
+         \"streaming_median_ms\": {streaming_median:.1},\n    \
+         \"ingest_speedup\": {speedup:.3},\n    \
+         \"streaming_mb_per_s\": {:.1},\n    \
+         \"streaming_rows_per_s\": {:.0},\n    \
+         \"parse_threads\": {},\n    \
+         \"peak_column_mb\": {peak_mb:.1},\n    \
+         \"tier10m_rows\": {tier_fields}\n  }}",
+        csv.len(),
+        report.mb_per_sec().unwrap_or(0.0),
+        report.rows_per_sec().unwrap_or(0.0),
+        report.parse_threads,
+    );
+    append_entry("BENCH_ingest.json", &entry);
+    println!("appended phase `{phase}` to BENCH_ingest.json:\n{entry}");
+
+    if let Ok(min) = std::env::var("PRISM_BENCH_MIN_INGEST_SPEEDUP") {
+        let min: f64 = min
+            .parse()
+            .expect("PRISM_BENCH_MIN_INGEST_SPEEDUP is a number");
+        assert!(
+            speedup >= min,
+            "streaming ingest at {speedup:.2}x legacy, need >= {min}x"
+        );
+        println!("ingest-speedup gate passed: {speedup:.2}x >= {min}x");
     }
 }
 

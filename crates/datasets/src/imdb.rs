@@ -8,15 +8,12 @@
 //! exercising Prism's result disambiguation).
 
 use crate::vocab;
+use crate::{flush, FLUSH_ROWS};
 use prism_db::schema::ColumnDef;
-use prism_db::types::{DataType, Date, Value};
+use prism_db::types::{DataType, Date};
 use prism_db::{Database, DatabaseBuilder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-
-fn txt(s: impl Into<String>) -> Value {
-    Value::Text(s.into())
-}
 
 /// Real anchor films: (title, year, runtime, rating, director).
 const ANCHORS: &[(&str, i64, i64, f64, &str)] = &[
@@ -26,6 +23,17 @@ const ANCHORS: &[(&str, i64, i64, f64, &str)] = &[
     ("Spirited Away", 2001, 125, 8.6, "Hayao Miyazaki"),
     ("Pulp Fiction", 1994, 154, 8.9, "Quentin Tarantino"),
 ];
+
+/// Approximate rows produced per unit of `scale` (people + movies +
+/// associations); [`imdb_large`] sizes its scale from this.
+const ROWS_PER_SCALE: usize = 530;
+
+/// Synthetic IMDB at a row-count target instead of an abstract scale — the
+/// standing large tier (10M rows ≈ scale 19k) used by the ingest bench and
+/// the `--ignored` scale smoke test.
+pub fn imdb_large(seed: u64, target_rows: usize) -> Database {
+    imdb(seed, target_rows.div_ceil(ROWS_PER_SCALE).max(1))
+}
 
 /// Build synthetic IMDB. Scale 1 ≈ 700 rows.
 pub fn imdb(seed: u64, scale: usize) -> Database {
@@ -98,24 +106,24 @@ pub fn imdb(seed: u64, scale: usize) -> Database {
         b.add_foreign_key(f_t, f_c, t_t, t_c).unwrap();
     }
 
+    // All fill goes through typed batches (the zero-`Value` bulk path); the
+    // RNG draw order matches the old per-row loops exactly, so every seed
+    // produces the same values it always did.
+    let mut genre_b = b.new_batch("Genre").unwrap();
     for (gid, g) in vocab::GENRES.iter().enumerate() {
-        b.add_row("Genre", vec![Value::Int(gid as i64), txt(*g)])
-            .unwrap();
+        genre_b.push_int(0, gid as i64);
+        genre_b.push_str(1, g);
     }
+    b.append_batch("Genre", genre_b).unwrap();
 
     // People: anchor directors first (stable ids), then synthetic fill.
+    let mut person_b = b.new_batch("Person").unwrap();
     let mut person_id = 0i64;
     let mut people: Vec<i64> = Vec::new();
     for (_, _, _, _, director) in ANCHORS {
-        b.add_row(
-            "Person",
-            vec![
-                Value::Int(person_id),
-                txt(*director),
-                Value::Int(rng.gen_range(1890..1970)),
-            ],
-        )
-        .unwrap();
+        person_b.push_int(0, person_id);
+        person_b.push_str(1, director);
+        person_b.push_int(2, rng.gen_range(1890..1970));
         people.push(person_id);
         person_id += 1;
     }
@@ -123,42 +131,35 @@ pub fn imdb(seed: u64, scale: usize) -> Database {
     for _ in 0..n_people {
         let fname = vocab::FIRST_NAMES[rng.gen_range(0..vocab::FIRST_NAMES.len())];
         let lname = vocab::LAST_NAMES[rng.gen_range(0..vocab::LAST_NAMES.len())];
-        let birth = if rng.gen_bool(0.9) {
-            Value::Int(rng.gen_range(1920i64..2000))
+        person_b.push_int(0, person_id);
+        person_b.push_string(1, format!("{fname} {lname}"));
+        if rng.gen_bool(0.9) {
+            person_b.push_int(2, rng.gen_range(1920i64..2000));
         } else {
-            Value::Null
-        };
-        b.add_row(
-            "Person",
-            vec![
-                Value::Int(person_id),
-                txt(format!("{fname} {lname}")),
-                birth,
-            ],
-        )
-        .unwrap();
+            person_b.push_null(2);
+        }
         people.push(person_id);
         person_id += 1;
+        if person_b.rows() >= FLUSH_ROWS {
+            person_b = flush(&mut b, "Person", person_b);
+        }
     }
+    b.append_batch("Person", person_b).unwrap();
 
     // Movies: anchors then synthetic.
+    let mut movie_b = b.new_batch("Movie").unwrap();
+    let mut directs_b = b.new_batch("Directs").unwrap();
     let mut movie_id = 0i64;
     let mut movies: Vec<i64> = Vec::new();
     for (i, (title, year, runtime, rating, _)) in ANCHORS.iter().enumerate() {
-        b.add_row(
-            "Movie",
-            vec![
-                Value::Int(movie_id),
-                txt(*title),
-                Value::Int(*year),
-                Value::Int(*runtime),
-                Value::Decimal(*rating),
-                Value::Date(Date::new(*year as i16, 6, 1)),
-            ],
-        )
-        .unwrap();
-        b.add_row("Directs", vec![Value::Int(movie_id), Value::Int(i as i64)])
-            .unwrap();
+        movie_b.push_int(0, movie_id);
+        movie_b.push_str(1, title);
+        movie_b.push_int(2, *year);
+        movie_b.push_int(3, *runtime);
+        movie_b.push_decimal(4, *rating);
+        movie_b.push_date(5, Date::new(*year as i16, 6, 1));
+        directs_b.push_int(0, movie_id);
+        directs_b.push_int(1, i as i64);
         movies.push(movie_id);
         movie_id += 1;
     }
@@ -168,54 +169,68 @@ pub fn imdb(seed: u64, scale: usize) -> Database {
         let noun = vocab::TITLE_NOUNS[rng.gen_range(0..vocab::TITLE_NOUNS.len())];
         let title = format!("The {adj} {noun} {}", i / 8 + 1);
         let year = rng.gen_range(1960i64..2019);
-        let rating = if rng.gen_bool(0.85) {
-            Value::Decimal((rng.gen_range(3.0..9.5f64) * 10.0).round() / 10.0)
-        } else {
-            Value::Null
-        };
-        b.add_row(
-            "Movie",
-            vec![
-                Value::Int(movie_id),
-                txt(title),
-                Value::Int(year),
-                Value::Int(rng.gen_range(70i64..200)),
-                rating,
-                Value::Date(Date::new(
-                    year as i16,
-                    rng.gen_range(1u8..=12),
-                    rng.gen_range(1u8..=28),
-                )),
-            ],
-        )
-        .unwrap();
+        let rating = rng
+            .gen_bool(0.85)
+            .then(|| (rng.gen_range(3.0..9.5f64) * 10.0).round() / 10.0);
+        movie_b.push_int(0, movie_id);
+        movie_b.push_string(1, title);
+        movie_b.push_int(2, year);
+        movie_b.push_int(3, rng.gen_range(70i64..200));
+        match rating {
+            Some(r) => movie_b.push_decimal(4, r),
+            None => movie_b.push_null(4),
+        }
+        movie_b.push_date(
+            5,
+            Date::new(
+                year as i16,
+                rng.gen_range(1u8..=12),
+                rng.gen_range(1u8..=28),
+            ),
+        );
         movies.push(movie_id);
         movie_id += 1;
+        if movie_b.rows() >= FLUSH_ROWS {
+            movie_b = flush(&mut b, "Movie", movie_b);
+        }
     }
+    b.append_batch("Movie", movie_b).unwrap();
 
     // Associations: casts (3–5 per movie), one director, 1–2 genres.
+    let mut cast_b = b.new_batch("CastInfo").unwrap();
+    let mut mg_b = b.new_batch("MovieGenre").unwrap();
     for &mid in &movies {
         let cast_n = rng.gen_range(3..=5);
         for _ in 0..cast_n {
             let pid = people[rng.gen_range(0..people.len())];
             let role = ["lead", "supporting", "cameo"][rng.gen_range(0..3usize)];
-            b.add_row(
-                "CastInfo",
-                vec![Value::Int(mid), Value::Int(pid), txt(role)],
-            )
-            .unwrap();
+            cast_b.push_int(0, mid);
+            cast_b.push_int(1, pid);
+            cast_b.push_str(2, role);
         }
         if mid >= ANCHORS.len() as i64 {
             let pid = people[rng.gen_range(0..people.len())];
-            b.add_row("Directs", vec![Value::Int(mid), Value::Int(pid)])
-                .unwrap();
+            directs_b.push_int(0, mid);
+            directs_b.push_int(1, pid);
         }
         for _ in 0..rng.gen_range(1..=2) {
             let gid = rng.gen_range(0..vocab::GENRES.len()) as i64;
-            b.add_row("MovieGenre", vec![Value::Int(mid), Value::Int(gid)])
-                .unwrap();
+            mg_b.push_int(0, mid);
+            mg_b.push_int(1, gid);
+        }
+        if cast_b.rows() >= FLUSH_ROWS {
+            cast_b = flush(&mut b, "CastInfo", cast_b);
+        }
+        if directs_b.rows() >= FLUSH_ROWS {
+            directs_b = flush(&mut b, "Directs", directs_b);
+        }
+        if mg_b.rows() >= FLUSH_ROWS {
+            mg_b = flush(&mut b, "MovieGenre", mg_b);
         }
     }
+    b.append_batch("CastInfo", cast_b).unwrap();
+    b.append_batch("Directs", directs_b).unwrap();
+    b.append_batch("MovieGenre", mg_b).unwrap();
 
     b.build()
 }
@@ -223,6 +238,7 @@ pub fn imdb(seed: u64, scale: usize) -> Database {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use prism_db::types::Value;
 
     #[test]
     fn schema_shape() {
@@ -249,6 +265,16 @@ mod tests {
             a.table(m).row(a.symbols(), 7),
             b2.table(m).row(b2.symbols(), 7)
         );
+    }
+
+    #[test]
+    fn imdb_large_hits_its_row_target() {
+        // Small target here; the 10M tier runs in the --ignored smoke test.
+        let db = imdb_large(42, 20_000);
+        let total = db.total_rows();
+        assert!((20_000..40_000).contains(&total), "target 20k, got {total}");
+        // All fill arrived through the bulk path.
+        assert_eq!(db.ingest_report().batch_rows, total);
     }
 
     #[test]

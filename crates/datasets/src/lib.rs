@@ -21,11 +21,28 @@ pub mod skewed;
 pub mod taskgen;
 pub mod vocab;
 
-pub use imdb::imdb;
+pub use imdb::{imdb, imdb_large};
 pub use mondial::mondial;
 pub use nba::nba;
 pub use skewed::{skewed, Zipf};
 pub use taskgen::{MappingTask, Resolution, TaskGenConfig, TaskGenerator};
+
+/// Rows a generator stages in one typed batch before appending. Bounds the
+/// staging memory of the large tiers while keeping appends chunky.
+pub(crate) const FLUSH_ROWS: usize = 16_384;
+
+/// Append `batch` to `table` and hand back a fresh batch for the same
+/// table. Generators push through [`prism_db::ColumnBatch`] (the
+/// zero-`Value` bulk path) and flush every [`FLUSH_ROWS`] rows.
+pub(crate) fn flush(
+    b: &mut prism_db::DatabaseBuilder,
+    table: &str,
+    batch: prism_db::ColumnBatch,
+) -> prism_db::ColumnBatch {
+    b.append_batch(table, batch)
+        .expect("generator batch matches its declared schema");
+    b.new_batch(table).expect("table is declared")
+}
 
 /// Convenience: all three demo databases at default scale, seeded
 /// deterministically.

@@ -10,23 +10,12 @@
 //! exists to resolve).
 
 use crate::vocab;
+use crate::{flush, FLUSH_ROWS};
 use prism_db::schema::ColumnDef;
-use prism_db::types::{DataType, Date, Value};
+use prism_db::types::{DataType, Date};
 use prism_db::{Database, DatabaseBuilder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-
-fn txt(s: impl Into<String>) -> Value {
-    Value::Text(s.into())
-}
-
-fn dec(x: f64) -> Value {
-    Value::Decimal(x)
-}
-
-fn int(x: i64) -> Value {
-    Value::Int(x)
-}
 
 /// Build synthetic Mondial. `scale` multiplies the synthetic fill volume
 /// (scale 1 ≈ 900 rows; scale 10 ≈ 5,500 rows); the embedded real rows are
@@ -38,43 +27,44 @@ pub fn mondial(seed: u64, scale: usize) -> Database {
 
     declare_schema(&mut b);
 
+    // All fill goes through typed batches (the zero-`Value` bulk path); the
+    // RNG draw order matches the old per-row loops exactly, so every seed
+    // produces the same values it always did.
+
     // Continents and countries are fixed real data.
+    let mut cont_b = b.new_batch("Continent").unwrap();
     for (name, area) in vocab::CONTINENTS {
-        b.add_row("Continent", vec![txt(*name), dec(*area)])
-            .unwrap();
+        cont_b.push_str(0, name);
+        cont_b.push_decimal(1, *area);
     }
+    b.append_batch("Continent", cont_b).unwrap();
+    let mut country_b = b.new_batch("Country").unwrap();
+    let mut enc_b = b.new_batch("encompasses").unwrap();
+    let mut pol_b = b.new_batch("Politics").unwrap();
     for (name, code, capital, continent) in vocab::COUNTRIES {
         let population = rng.gen_range(5_000_000i64..400_000_000);
         let area = rng.gen_range(50_000.0..10_000_000.0f64).round();
-        b.add_row(
-            "Country",
-            vec![
-                txt(*name),
-                txt(*code),
-                txt(*capital),
-                int(population),
-                dec(area),
-            ],
-        )
-        .unwrap();
-        b.add_row("encompasses", vec![txt(*code), txt(*continent), dec(100.0)])
-            .unwrap();
+        country_b.push_str(0, name);
+        country_b.push_str(1, code);
+        country_b.push_str(2, capital);
+        country_b.push_int(3, population);
+        country_b.push_decimal(4, area);
+        enc_b.push_str(0, code);
+        enc_b.push_str(1, continent);
+        enc_b.push_decimal(2, 100.0);
         // Politics: independence date and government form.
         let year = rng.gen_range(1500i16..1991);
         let month = rng.gen_range(1u8..=12);
         let day = rng.gen_range(1u8..=28);
         let gov =
             ["republic", "federal republic", "constitutional monarchy"][rng.gen_range(0..3usize)];
-        b.add_row(
-            "Politics",
-            vec![
-                txt(*code),
-                Value::Date(Date::new(year, month, day)),
-                txt(gov),
-            ],
-        )
-        .unwrap();
+        pol_b.push_str(0, code);
+        pol_b.push_date(1, Date::new(year, month, day));
+        pol_b.push_str(2, gov);
     }
+    b.append_batch("Country", country_b).unwrap();
+    b.append_batch("encompasses", enc_b).unwrap();
+    b.append_batch("Politics", pol_b).unwrap();
 
     // Provinces: real lists for USA/Canada/Germany, synthetic regions
     // elsewhere. Collect (name, country code) for later reference.
@@ -96,208 +86,212 @@ pub fn mondial(seed: u64, scale: usize) -> Database {
             provinces.push((format!("{name} Region {i}"), code));
         }
     }
+    let mut prov_b = b.new_batch("Province").unwrap();
     for (name, code) in &provinces {
         let population = rng.gen_range(100_000i64..40_000_000);
         let area = rng.gen_range(1_000.0..700_000.0f64).round();
-        b.add_row(
-            "Province",
-            vec![txt(name.clone()), txt(*code), int(population), dec(area)],
-        )
-        .unwrap();
+        prov_b.push_str(0, name);
+        prov_b.push_str(1, code);
+        prov_b.push_int(2, population);
+        prov_b.push_decimal(3, area);
+        if prov_b.rows() >= FLUSH_ROWS {
+            prov_b = flush(&mut b, "Province", prov_b);
+        }
     }
+    b.append_batch("Province", prov_b).unwrap();
 
     // Cities: every capital, plus fill cities in provinces. City names
     // repeat across provinces (as in reality), which exercises ambiguous
     // keyword matches.
+    let mut city_b = b.new_batch("City").unwrap();
     for (_, code, capital, _) in vocab::COUNTRIES {
         let prov = provinces
             .iter()
             .find(|(_, c)| c == code)
             .map(|(p, _)| p.clone())
             .unwrap_or_default();
-        b.add_row(
-            "City",
-            vec![
-                txt(*capital),
-                txt(*code),
-                txt(prov),
-                int(rng.gen_range(200_000i64..20_000_000)),
-                dec(rng.gen_range(0.0..2_000.0f64).round()),
-            ],
-        )
-        .unwrap();
+        city_b.push_str(0, capital);
+        city_b.push_str(1, code);
+        city_b.push_string(2, prov);
+        city_b.push_int(3, rng.gen_range(200_000i64..20_000_000));
+        city_b.push_decimal(4, rng.gen_range(0.0..2_000.0f64).round());
     }
     let cities_per_province = 2 * scale;
     for (prov, code) in &provinces {
         for _ in 0..cities_per_province {
             let name = vocab::CITIES[rng.gen_range(0..vocab::CITIES.len())];
             let population = rng.gen_range(5_000i64..900_000);
-            let elevation = if rng.gen_bool(0.9) {
-                dec(rng.gen_range(0.0..2_500.0f64).round())
-            } else {
-                Value::Null
-            };
-            b.add_row(
-                "City",
-                vec![
-                    txt(name),
-                    txt(*code),
-                    txt(prov.clone()),
-                    int(population),
-                    elevation,
-                ],
-            )
-            .unwrap();
+            let elevation = rng
+                .gen_bool(0.9)
+                .then(|| rng.gen_range(0.0..2_500.0f64).round());
+            city_b.push_str(0, name);
+            city_b.push_str(1, code);
+            city_b.push_str(2, prov);
+            city_b.push_int(3, population);
+            match elevation {
+                Some(e) => city_b.push_decimal(4, e),
+                None => city_b.push_null(4),
+            }
+            if city_b.rows() >= FLUSH_ROWS {
+                city_b = flush(&mut b, "City", city_b);
+            }
         }
     }
+    b.append_batch("City", city_b).unwrap();
 
     // Lakes: the real anchor lakes (including the paper's Table 1 rows),
     // then synthetic fill. Lake Tahoe gets its second geo row (Nevada).
+    let mut lake_b = b.new_batch("Lake").unwrap();
+    let mut geo_lake_b = b.new_batch("geo_lake").unwrap();
     for (name, area, depth, province, code) in vocab::LAKES {
-        b.add_row(
-            "Lake",
-            vec![
-                txt(*name),
-                dec(*area),
-                dec(*depth),
-                dec(rng.gen_range(0.0..2_000.0f64).round()),
-            ],
-        )
-        .unwrap();
-        b.add_row("geo_lake", vec![txt(*name), txt(*code), txt(*province)])
-            .unwrap();
+        lake_b.push_str(0, name);
+        lake_b.push_decimal(1, *area);
+        lake_b.push_decimal(2, *depth);
+        lake_b.push_decimal(3, rng.gen_range(0.0..2_000.0f64).round());
+        geo_lake_b.push_str(0, name);
+        geo_lake_b.push_str(1, code);
+        geo_lake_b.push_str(2, province);
     }
-    b.add_row(
-        "geo_lake",
-        vec![txt("Lake Tahoe"), txt("USA"), txt("Nevada")],
-    )
-    .unwrap();
+    geo_lake_b.push_str(0, "Lake Tahoe");
+    geo_lake_b.push_str(1, "USA");
+    geo_lake_b.push_str(2, "Nevada");
     let synth_lakes = 40 * scale;
     for i in 0..synth_lakes {
         let adj = vocab::TITLE_ADJECTIVES[rng.gen_range(0..vocab::TITLE_ADJECTIVES.len())];
         let noun = vocab::TITLE_NOUNS[rng.gen_range(0..vocab::TITLE_NOUNS.len())];
         let name = format!("Lake {adj} {noun} {i}");
-        let area = if rng.gen_bool(0.92) {
-            dec((10f64).powf(rng.gen_range(0.3..4.2)).round().max(1.0))
-        } else {
-            Value::Null // missing measurements, as in real Mondial
-        };
-        let depth = if rng.gen_bool(0.85) {
-            dec(rng.gen_range(2.0..600.0f64).round())
-        } else {
-            Value::Null
-        };
-        b.add_row(
-            "Lake",
-            vec![
-                txt(name.clone()),
-                area,
-                depth,
-                dec(rng.gen_range(0.0..3_000.0f64).round()),
-            ],
-        )
-        .unwrap();
+        // Missing measurements, as in real Mondial.
+        let area = rng
+            .gen_bool(0.92)
+            .then(|| (10f64).powf(rng.gen_range(0.3..4.2)).round().max(1.0));
+        let depth = rng
+            .gen_bool(0.85)
+            .then(|| rng.gen_range(2.0..600.0f64).round());
+        lake_b.push_str(0, &name);
+        match area {
+            Some(a) => lake_b.push_decimal(1, a),
+            None => lake_b.push_null(1),
+        }
+        match depth {
+            Some(d) => lake_b.push_decimal(2, d),
+            None => lake_b.push_null(2),
+        }
+        lake_b.push_decimal(3, rng.gen_range(0.0..3_000.0f64).round());
         // 1–2 geo rows for each synthetic lake.
         let geo_rows = 1 + usize::from(rng.gen_bool(0.25));
         for _ in 0..geo_rows {
             let (prov, code) = &provinces[rng.gen_range(0..provinces.len())];
-            b.add_row(
-                "geo_lake",
-                vec![txt(name.clone()), txt(*code), txt(prov.clone())],
-            )
-            .unwrap();
+            geo_lake_b.push_str(0, &name);
+            geo_lake_b.push_str(1, code);
+            geo_lake_b.push_str(2, prov);
+        }
+        if lake_b.rows() >= FLUSH_ROWS {
+            lake_b = flush(&mut b, "Lake", lake_b);
+        }
+        if geo_lake_b.rows() >= FLUSH_ROWS {
+            geo_lake_b = flush(&mut b, "geo_lake", geo_lake_b);
         }
     }
+    b.append_batch("Lake", lake_b).unwrap();
+    b.append_batch("geo_lake", geo_lake_b).unwrap();
 
     // Rivers.
+    let mut river_b = b.new_batch("River").unwrap();
+    let mut geo_river_b = b.new_batch("geo_river").unwrap();
     for (name, length, code) in vocab::RIVERS {
-        b.add_row(
-            "River",
-            vec![
-                txt(*name),
-                dec(*length),
-                dec(rng.gen_range(100.0..4_000.0f64).round()),
-            ],
-        )
-        .unwrap();
+        river_b.push_str(0, name);
+        river_b.push_decimal(1, *length);
+        river_b.push_decimal(2, rng.gen_range(100.0..4_000.0f64).round());
         let candidates: Vec<&(String, &str)> =
             provinces.iter().filter(|(_, c)| c == code).collect();
         let spans = 1 + rng.gen_range(0..2.min(candidates.len().max(1)));
         for s in 0..spans.min(candidates.len()) {
             let (prov, _) =
                 candidates[(s * 7 + rng.gen_range(0..candidates.len())) % candidates.len()];
-            b.add_row("geo_river", vec![txt(*name), txt(*code), txt(prov.clone())])
-                .unwrap();
+            geo_river_b.push_str(0, name);
+            geo_river_b.push_str(1, code);
+            geo_river_b.push_str(2, prov);
         }
     }
     for i in 0..(30 * scale) {
         let noun = vocab::TITLE_NOUNS[rng.gen_range(0..vocab::TITLE_NOUNS.len())];
         let name = format!("{noun} River {i}");
-        let length = if rng.gen_bool(0.9) {
-            dec(rng.gen_range(40.0..3_000.0f64).round())
-        } else {
-            Value::Null
-        };
-        b.add_row(
-            "River",
-            vec![
-                txt(name.clone()),
-                length,
-                dec(rng.gen_range(50.0..3_500.0f64).round()),
-            ],
-        )
-        .unwrap();
+        let length = rng
+            .gen_bool(0.9)
+            .then(|| rng.gen_range(40.0..3_000.0f64).round());
+        river_b.push_str(0, &name);
+        match length {
+            Some(l) => river_b.push_decimal(1, l),
+            None => river_b.push_null(1),
+        }
+        river_b.push_decimal(2, rng.gen_range(50.0..3_500.0f64).round());
         let (prov, code) = &provinces[rng.gen_range(0..provinces.len())];
-        b.add_row("geo_river", vec![txt(name), txt(*code), txt(prov.clone())])
-            .unwrap();
-    }
-
-    // Seas.
-    for (name, depth) in vocab::SEAS {
-        b.add_row("Sea", vec![txt(*name), dec(*depth)]).unwrap();
-        for _ in 0..rng.gen_range(1..4) {
-            let (prov, code) = &provinces[rng.gen_range(0..provinces.len())];
-            b.add_row("geo_sea", vec![txt(*name), txt(*code), txt(prov.clone())])
-                .unwrap();
+        geo_river_b.push_str(0, &name);
+        geo_river_b.push_str(1, code);
+        geo_river_b.push_str(2, prov);
+        if river_b.rows() >= FLUSH_ROWS {
+            river_b = flush(&mut b, "River", river_b);
+        }
+        if geo_river_b.rows() >= FLUSH_ROWS {
+            geo_river_b = flush(&mut b, "geo_river", geo_river_b);
         }
     }
+    b.append_batch("River", river_b).unwrap();
+    b.append_batch("geo_river", geo_river_b).unwrap();
+
+    // Seas.
+    let mut sea_b = b.new_batch("Sea").unwrap();
+    let mut geo_sea_b = b.new_batch("geo_sea").unwrap();
+    for (name, depth) in vocab::SEAS {
+        sea_b.push_str(0, name);
+        sea_b.push_decimal(1, *depth);
+        for _ in 0..rng.gen_range(1..4) {
+            let (prov, code) = &provinces[rng.gen_range(0..provinces.len())];
+            geo_sea_b.push_str(0, name);
+            geo_sea_b.push_str(1, code);
+            geo_sea_b.push_str(2, prov);
+        }
+    }
+    b.append_batch("Sea", sea_b).unwrap();
+    b.append_batch("geo_sea", geo_sea_b).unwrap();
 
     // Mountains.
+    let mut mtn_b = b.new_batch("Mountain").unwrap();
+    let mut geo_mtn_b = b.new_batch("geo_mountain").unwrap();
     for (name, height, code) in vocab::MOUNTAINS {
         let kind = ["volcano", "granite", "fold"][rng.gen_range(0..3usize)];
-        b.add_row("Mountain", vec![txt(*name), dec(*height), txt(kind)])
-            .unwrap();
+        mtn_b.push_str(0, name);
+        mtn_b.push_decimal(1, *height);
+        mtn_b.push_str(2, kind);
         let candidates: Vec<&(String, &str)> =
             provinces.iter().filter(|(_, c)| c == code).collect();
         if !candidates.is_empty() {
             let (prov, _) = candidates[rng.gen_range(0..candidates.len())];
-            b.add_row(
-                "geo_mountain",
-                vec![txt(*name), txt(*code), txt(prov.clone())],
-            )
-            .unwrap();
+            geo_mtn_b.push_str(0, name);
+            geo_mtn_b.push_str(1, code);
+            geo_mtn_b.push_str(2, prov);
         }
     }
     for i in 0..(30 * scale) {
         let adj = vocab::TITLE_ADJECTIVES[rng.gen_range(0..vocab::TITLE_ADJECTIVES.len())];
         let name = format!("Mount {adj} {i}");
         let kind = ["volcano", "granite", "fold"][rng.gen_range(0..3usize)];
-        b.add_row(
-            "Mountain",
-            vec![
-                txt(name.clone()),
-                dec(rng.gen_range(800.0..8_000.0f64).round()),
-                txt(kind),
-            ],
-        )
-        .unwrap();
+        mtn_b.push_str(0, &name);
+        mtn_b.push_decimal(1, rng.gen_range(800.0..8_000.0f64).round());
+        mtn_b.push_str(2, kind);
         let (prov, code) = &provinces[rng.gen_range(0..provinces.len())];
-        b.add_row(
-            "geo_mountain",
-            vec![txt(name), txt(*code), txt(prov.clone())],
-        )
-        .unwrap();
+        geo_mtn_b.push_str(0, &name);
+        geo_mtn_b.push_str(1, code);
+        geo_mtn_b.push_str(2, prov);
+        if mtn_b.rows() >= FLUSH_ROWS {
+            mtn_b = flush(&mut b, "Mountain", mtn_b);
+        }
+        if geo_mtn_b.rows() >= FLUSH_ROWS {
+            geo_mtn_b = flush(&mut b, "geo_mountain", geo_mtn_b);
+        }
     }
+    b.append_batch("Mountain", mtn_b).unwrap();
+    b.append_batch("geo_mountain", geo_mtn_b).unwrap();
 
     b.build()
 }
@@ -464,6 +458,7 @@ fn declare_schema(b: &mut DatabaseBuilder) {
 mod tests {
     use super::*;
     use prism_db::exec::{JoinCond, PjQuery};
+    use prism_db::types::Value;
 
     #[test]
     fn generation_is_deterministic() {

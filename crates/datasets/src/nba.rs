@@ -7,15 +7,12 @@
 //! full data-type list of the paper's metadata constraints.
 
 use crate::vocab;
+use crate::{flush, FLUSH_ROWS};
 use prism_db::schema::ColumnDef;
-use prism_db::types::{DataType, Date, Time, Value};
+use prism_db::types::{DataType, Date, Time};
 use prism_db::{Database, DatabaseBuilder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-
-fn txt(s: impl Into<String>) -> Value {
-    Value::Text(s.into())
-}
 
 /// Build synthetic NBA. Scale 1 ≈ 1,000 rows.
 pub fn nba(seed: u64, scale: usize) -> Database {
@@ -90,60 +87,58 @@ pub fn nba(seed: u64, scale: usize) -> Database {
         b.add_foreign_key(f_t, f_c, t_t, t_c).unwrap();
     }
 
+    // All fill goes through typed batches (the zero-`Value` bulk path); the
+    // RNG draw order matches the old per-row loops exactly, so every seed
+    // produces the same values it always did.
     let n_teams = vocab::TEAMS.len();
+    let mut team_b = b.new_batch("Team").unwrap();
     for (tid, (name, city, arena)) in vocab::TEAMS.iter().enumerate() {
-        b.add_row(
-            "Team",
-            vec![
-                Value::Int(tid as i64),
-                txt(*name),
-                txt(*city),
-                txt(*arena),
-                Value::Int(rng.gen_range(1946i64..1990)),
-            ],
-        )
-        .unwrap();
+        team_b.push_int(0, tid as i64);
+        team_b.push_str(1, name);
+        team_b.push_str(2, city);
+        team_b.push_str(3, arena);
+        team_b.push_int(4, rng.gen_range(1946i64..1990));
     }
+    b.append_batch("Team", team_b).unwrap();
 
     // Players: 10·scale per team, rostered for the 2018-19 season.
+    let mut player_b = b.new_batch("Player").unwrap();
+    let mut roster_b = b.new_batch("Roster").unwrap();
     let mut player_id = 0i64;
     let mut players: Vec<i64> = Vec::new();
     for tid in 0..n_teams {
         for _ in 0..10 * scale {
             let fname = vocab::FIRST_NAMES[rng.gen_range(0..vocab::FIRST_NAMES.len())];
             let lname = vocab::LAST_NAMES[rng.gen_range(0..vocab::LAST_NAMES.len())];
-            let college = if rng.gen_bool(0.8) {
-                txt(vocab::COLLEGES[rng.gen_range(0..vocab::COLLEGES.len())])
-            } else {
-                Value::Null
-            };
-            b.add_row(
-                "Player",
-                vec![
-                    Value::Int(player_id),
-                    txt(format!("{fname} {lname}")),
-                    Value::Int(rng.gen_range(175i64..225)),
-                    Value::Int(rng.gen_range(70i64..135)),
-                    college,
-                ],
-            )
-            .unwrap();
-            b.add_row(
-                "Roster",
-                vec![
-                    Value::Int(player_id),
-                    Value::Int(tid as i64),
-                    txt("2018-19"),
-                    Value::Int(rng.gen_range(0i64..99)),
-                ],
-            )
-            .unwrap();
+            let college = rng
+                .gen_bool(0.8)
+                .then(|| vocab::COLLEGES[rng.gen_range(0..vocab::COLLEGES.len())]);
+            player_b.push_int(0, player_id);
+            player_b.push_string(1, format!("{fname} {lname}"));
+            player_b.push_int(2, rng.gen_range(175i64..225));
+            player_b.push_int(3, rng.gen_range(70i64..135));
+            match college {
+                Some(c) => player_b.push_str(4, c),
+                None => player_b.push_null(4),
+            }
+            roster_b.push_int(0, player_id);
+            roster_b.push_int(1, tid as i64);
+            roster_b.push_str(2, "2018-19");
+            roster_b.push_int(3, rng.gen_range(0i64..99));
             players.push(player_id);
             player_id += 1;
+            if player_b.rows() >= FLUSH_ROWS {
+                player_b = flush(&mut b, "Player", player_b);
+                roster_b = flush(&mut b, "Roster", roster_b);
+            }
         }
     }
+    b.append_batch("Player", player_b).unwrap();
+    b.append_batch("Roster", roster_b).unwrap();
 
     // Games with box scores for 8 players per game.
+    let mut game_b = b.new_batch("Game").unwrap();
+    let mut stats_b = b.new_batch("PlayerGameStats").unwrap();
     let n_games = 60 * scale;
     for gid in 0..n_games {
         let home = rng.gen_range(0..n_teams) as i64;
@@ -163,34 +158,30 @@ pub fn nba(seed: u64, scale: usize) -> Database {
         );
         let home_score = rng.gen_range(85i64..135);
         let away_score = rng.gen_range(85i64..135);
-        b.add_row(
-            "Game",
-            vec![
-                Value::Int(gid as i64),
-                Value::Int(home),
-                Value::Int(away),
-                Value::Date(date),
-                Value::Time(tip),
-                Value::Int(home_score),
-                Value::Int(away_score),
-            ],
-        )
-        .unwrap();
+        game_b.push_int(0, gid as i64);
+        game_b.push_int(1, home);
+        game_b.push_int(2, away);
+        game_b.push_date(3, date);
+        game_b.push_time(4, tip);
+        game_b.push_int(5, home_score);
+        game_b.push_int(6, away_score);
         for _ in 0..8 {
             let pid = players[rng.gen_range(0..players.len())];
-            b.add_row(
-                "PlayerGameStats",
-                vec![
-                    Value::Int(gid as i64),
-                    Value::Int(pid),
-                    Value::Int(rng.gen_range(0i64..45)),
-                    Value::Int(rng.gen_range(0i64..18)),
-                    Value::Int(rng.gen_range(0i64..15)),
-                ],
-            )
-            .unwrap();
+            stats_b.push_int(0, gid as i64);
+            stats_b.push_int(1, pid);
+            stats_b.push_int(2, rng.gen_range(0i64..45));
+            stats_b.push_int(3, rng.gen_range(0i64..18));
+            stats_b.push_int(4, rng.gen_range(0i64..15));
+        }
+        if game_b.rows() >= FLUSH_ROWS {
+            game_b = flush(&mut b, "Game", game_b);
+        }
+        if stats_b.rows() >= FLUSH_ROWS {
+            stats_b = flush(&mut b, "PlayerGameStats", stats_b);
         }
     }
+    b.append_batch("Game", game_b).unwrap();
+    b.append_batch("PlayerGameStats", stats_b).unwrap();
 
     b.build()
 }

@@ -14,8 +14,9 @@
 //! with insertion order, keeping per-block zone maps tight so a range hull
 //! on score stays selective for the cost model.
 
+use crate::{flush, FLUSH_ROWS};
 use prism_db::schema::ColumnDef;
-use prism_db::types::{DataType, Value};
+use prism_db::types::DataType;
 use prism_db::{Database, DatabaseBuilder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -91,31 +92,39 @@ pub fn skewed(seed: u64, scale: usize, skew: f64) -> Database {
     )
     .unwrap();
 
+    let mut tag_b = b.new_batch("Tag").unwrap();
     for k in 1..=tags {
-        b.add_row(
-            "Tag",
-            vec![Value::Text(format!("tag{k}")), Value::Int(k as i64)],
-        )
-        .unwrap();
+        tag_b.push_string(0, format!("tag{k}"));
+        tag_b.push_int(1, k as i64);
+        if tag_b.rows() >= FLUSH_ROWS {
+            tag_b = flush(&mut b, "Tag", tag_b);
+        }
     }
+    b.append_batch("Tag", tag_b).unwrap();
+    let mut item_b = b.new_batch("Item").unwrap();
     for i in 0..ITEMS * scale {
         let tag = zipf.sample(&mut rng) as i64;
         // Ascending scores keep zone maps disjoint across blocks.
         let score = i as f64 + rng.gen_range(0.0..1.0);
-        let label = format!("label{}", i % 50);
-        b.add_row(
-            "Item",
-            vec![Value::Int(tag), Value::Decimal(score), Value::Text(label)],
-        )
-        .unwrap();
+        item_b.push_int(0, tag);
+        item_b.push_decimal(1, score);
+        item_b.push_string(2, format!("label{}", i % 50));
+        if item_b.rows() >= FLUSH_ROWS {
+            item_b = flush(&mut b, "Item", item_b);
+        }
     }
+    b.append_batch("Item", item_b).unwrap();
     const REGIONS: [&str; 6] = ["north", "south", "east", "west", "center", "offshore"];
+    let mut geo_b = b.new_batch("Geo").unwrap();
     for _ in 0..GEOS * scale {
         let tag = zipf.sample(&mut rng) as i64;
-        let region = REGIONS[rng.gen_range(0..REGIONS.len())];
-        b.add_row("Geo", vec![Value::Int(tag), Value::Text(region.into())])
-            .unwrap();
+        geo_b.push_int(0, tag);
+        geo_b.push_str(1, REGIONS[rng.gen_range(0..REGIONS.len())]);
+        if geo_b.rows() >= FLUSH_ROWS {
+            geo_b = flush(&mut b, "Geo", geo_b);
+        }
     }
+    b.append_batch("Geo", geo_b).unwrap();
 
     b.add_foreign_key("Item", "tag", "Tag", "id").unwrap();
     b.add_foreign_key("Geo", "tag", "Tag", "id").unwrap();

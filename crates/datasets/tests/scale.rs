@@ -1,0 +1,28 @@
+//! The 10M-row scale tier. Ignored by default — the weekly CI job runs it
+//! with `cargo test -q --release -- --ignored ingest_10m`.
+
+use prism_datasets::imdb_large;
+use prism_db::schema::TableId;
+
+/// Build the `imdb_large` tier at ten million rows through the typed bulk
+/// path and sanity-check volume, ingest accounting, and memory reporting.
+#[test]
+#[ignore = "multi-minute build; exercised by the weekly scale job"]
+fn ingest_10m() {
+    const TARGET: usize = 10_000_000;
+    let db = imdb_large(7, TARGET);
+    let total: usize = (0..db.catalog().table_count())
+        .map(|i| db.row_count(TableId(i as u32)))
+        .sum();
+    assert!(
+        (TARGET..TARGET * 2).contains(&total),
+        "imdb_large(7, {TARGET}) produced {total} rows"
+    );
+    // Every row arrived through ColumnBatch appends, none through add_row.
+    assert_eq!(db.ingest_report().batch_rows, total);
+    let report = db.memory_report();
+    assert!(
+        report.peak_column_bytes() > 0,
+        "ingest stats missing from {report}"
+    );
+}

@@ -1,0 +1,307 @@
+//! Typed bulk-append batches.
+//!
+//! [`ColumnBatch`] is the zero-`Value` ingest vehicle: callers push typed
+//! cells straight into per-column primitive vectors (`Vec<i64>`, `Vec<f64>`,
+//! local dictionary codes) and hand the whole batch to
+//! [`crate::Table::append_batch`], which validates arity / types / NOT NULL
+//! **per batch** instead of per cell and splices the vectors into column
+//! storage with bulk bitmap appends. Text cells are interned into a
+//! batch-local dictionary so a batch can be assembled off-thread (it holds
+//! no reference to the database's shared [`crate::SymbolTable`]); the append
+//! re-codes local ids into global ids in row-major first-occurrence order,
+//! which keeps global code assignment identical to the per-row
+//! [`crate::Table::push_row`] path.
+
+use crate::column::NULL_SYM;
+use crate::schema::TableSchema;
+use crate::types::{DataType, Date, Time};
+use std::collections::HashMap;
+
+/// A batch-local string dictionary: distinct strings stored once, cells
+/// hold dense local ids. Re-coded into the database interner at append.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct LocalDict {
+    pub(crate) strings: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl LocalDict {
+    fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.index.get(s) {
+            return id;
+        }
+        let id = u32::try_from(self.strings.len()).expect("batch dictionary overflow");
+        self.strings.push(s.to_string());
+        self.index.insert(s.to_string(), id);
+        id
+    }
+
+    fn intern_owned(&mut self, s: String) -> u32 {
+        if let Some(&id) = self.index.get(&s) {
+            return id;
+        }
+        let id = u32::try_from(self.strings.len()).expect("batch dictionary overflow");
+        self.strings.push(s.clone());
+        self.index.insert(s, id);
+        id
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.strings.len()
+    }
+}
+
+/// Typed payload of one batch column. NULL rows hold a placeholder in the
+/// data vector (0 / 0.0 / `NULL_SYM` / epoch date / midnight) and are
+/// flagged in the column's null bitmap, mirroring [`crate::Column`] layout.
+#[derive(Debug, Clone)]
+pub(crate) enum BatchData {
+    Int(Vec<i64>),
+    Decimal(Vec<f64>),
+    Text { codes: Vec<u32>, dict: LocalDict },
+    Date(Vec<Date>),
+    Time(Vec<Time>),
+}
+
+impl BatchData {
+    fn new(dtype: DataType) -> BatchData {
+        match dtype {
+            DataType::Int => BatchData::Int(Vec::new()),
+            DataType::Decimal => BatchData::Decimal(Vec::new()),
+            DataType::Text => BatchData::Text {
+                codes: Vec::new(),
+                dict: LocalDict::default(),
+            },
+            DataType::Date => BatchData::Date(Vec::new()),
+            DataType::Time => BatchData::Time(Vec::new()),
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            BatchData::Int(v) => v.len(),
+            BatchData::Decimal(v) => v.len(),
+            BatchData::Text { codes, .. } => codes.len(),
+            BatchData::Date(v) => v.len(),
+            BatchData::Time(v) => v.len(),
+        }
+    }
+
+    /// The type name used in batch/column mismatch errors.
+    pub(crate) fn kind_name(&self) -> &'static str {
+        match self {
+            BatchData::Int(_) => "int",
+            BatchData::Decimal(_) => "decimal",
+            BatchData::Text { .. } => "text",
+            BatchData::Date(_) => "date",
+            BatchData::Time(_) => "time",
+        }
+    }
+
+    /// Can a batch column of this kind land in a stored column of `dtype`?
+    /// Exactly the `push_row` rule: kinds match, plus Int widens to Decimal.
+    pub(crate) fn storable_as(&self, dtype: DataType) -> bool {
+        matches!(
+            (self, dtype),
+            (BatchData::Int(_), DataType::Int)
+                | (BatchData::Int(_), DataType::Decimal)
+                | (BatchData::Decimal(_), DataType::Decimal)
+                | (BatchData::Text { .. }, DataType::Text)
+                | (BatchData::Date(_), DataType::Date)
+                | (BatchData::Time(_), DataType::Time)
+        )
+    }
+}
+
+/// One batch column: typed data plus a null bitmap.
+#[derive(Debug, Clone)]
+pub(crate) struct BatchColumn {
+    pub(crate) data: BatchData,
+    pub(crate) nulls: crate::column::NullBitmap,
+}
+
+/// A typed bulk-append batch for one table. Cells are pushed columnar and
+/// append-ordered; [`crate::Table::append_batch`] (or
+/// [`crate::DatabaseBuilder::append_batch`]) validates and splices it into
+/// storage in one shot. The `push_*` methods panic if the cell kind cannot
+/// land in the column's declared type (`Int` into `Decimal` is the one
+/// allowed widening) — a programming error, mirroring the unreachable arms
+/// of the per-cell insert path; data errors (arity, ragged columns, NOT
+/// NULL) surface as `Err` from the append instead.
+#[derive(Debug, Clone)]
+pub struct ColumnBatch {
+    pub(crate) cols: Vec<BatchColumn>,
+}
+
+impl ColumnBatch {
+    /// An empty batch with one column per entry of `dtypes`.
+    pub fn from_dtypes(dtypes: &[DataType]) -> ColumnBatch {
+        ColumnBatch {
+            cols: dtypes
+                .iter()
+                .map(|&d| BatchColumn {
+                    data: BatchData::new(d),
+                    nulls: crate::column::NullBitmap::default(),
+                })
+                .collect(),
+        }
+    }
+
+    /// An empty batch shaped like `schema`.
+    pub fn for_schema(schema: &TableSchema) -> ColumnBatch {
+        let dtypes: Vec<DataType> = schema.columns.iter().map(|c| c.dtype).collect();
+        ColumnBatch::from_dtypes(&dtypes)
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Rows pushed into the first column (the append validates that every
+    /// column agrees).
+    pub fn rows(&self) -> usize {
+        self.cols.first().map(|c| c.data.len()).unwrap_or(0)
+    }
+
+    /// Reserve capacity for `rows` more rows in every column.
+    pub fn reserve(&mut self, rows: usize) {
+        for col in &mut self.cols {
+            match &mut col.data {
+                BatchData::Int(v) => v.reserve(rows),
+                BatchData::Decimal(v) => v.reserve(rows),
+                BatchData::Text { codes, .. } => codes.reserve(rows),
+                BatchData::Date(v) => v.reserve(rows),
+                BatchData::Time(v) => v.reserve(rows),
+            }
+        }
+    }
+
+    /// Append an integer cell to column `col`. Accepted by `Int` and
+    /// (widening at append) `Decimal` columns.
+    #[inline]
+    pub fn push_int(&mut self, col: usize, v: i64) {
+        let c = &mut self.cols[col];
+        match &mut c.data {
+            BatchData::Int(vec) => vec.push(v),
+            BatchData::Decimal(vec) => vec.push(v as f64),
+            other => panic!("push_int into a {} batch column", other.kind_name()),
+        }
+        c.nulls.push(false);
+    }
+
+    /// Append a decimal cell to column `col`. Like the raw storage path,
+    /// NaN is accepted (zone maps track it); `-0.0` is normalized.
+    #[inline]
+    pub fn push_decimal(&mut self, col: usize, v: f64) {
+        let c = &mut self.cols[col];
+        match &mut c.data {
+            BatchData::Decimal(vec) => vec.push(if v == 0.0 { 0.0 } else { v }),
+            other => panic!("push_decimal into a {} batch column", other.kind_name()),
+        }
+        c.nulls.push(false);
+    }
+
+    /// Append a text cell to column `col` (interned batch-locally).
+    #[inline]
+    pub fn push_str(&mut self, col: usize, s: &str) {
+        let c = &mut self.cols[col];
+        match &mut c.data {
+            BatchData::Text { codes, dict } => codes.push(dict.intern(s)),
+            other => panic!("push_str into a {} batch column", other.kind_name()),
+        }
+        c.nulls.push(false);
+    }
+
+    /// Owned-string variant of [`ColumnBatch::push_str`] — one allocation
+    /// fewer when the string was freshly built (e.g. `format!`).
+    #[inline]
+    pub fn push_string(&mut self, col: usize, s: String) {
+        let c = &mut self.cols[col];
+        match &mut c.data {
+            BatchData::Text { codes, dict } => codes.push(dict.intern_owned(s)),
+            other => panic!("push_string into a {} batch column", other.kind_name()),
+        }
+        c.nulls.push(false);
+    }
+
+    /// Append a date cell to column `col`.
+    #[inline]
+    pub fn push_date(&mut self, col: usize, d: Date) {
+        let c = &mut self.cols[col];
+        match &mut c.data {
+            BatchData::Date(vec) => vec.push(d),
+            other => panic!("push_date into a {} batch column", other.kind_name()),
+        }
+        c.nulls.push(false);
+    }
+
+    /// Append a time cell to column `col`.
+    #[inline]
+    pub fn push_time(&mut self, col: usize, t: Time) {
+        let c = &mut self.cols[col];
+        match &mut c.data {
+            BatchData::Time(vec) => vec.push(t),
+            other => panic!("push_time into a {} batch column", other.kind_name()),
+        }
+        c.nulls.push(false);
+    }
+
+    /// Append a NULL cell to column `col` (placeholder in data, bit in the
+    /// bitmap). NOT NULL enforcement happens at append, per batch.
+    #[inline]
+    pub fn push_null(&mut self, col: usize) {
+        let c = &mut self.cols[col];
+        match &mut c.data {
+            BatchData::Int(vec) => vec.push(0),
+            BatchData::Decimal(vec) => vec.push(0.0),
+            BatchData::Text { codes, .. } => codes.push(NULL_SYM),
+            BatchData::Date(vec) => vec.push(Date::new(0, 1, 1)),
+            BatchData::Time(vec) => vec.push(Time::new(0, 0, 0)),
+        }
+        c.nulls.push(true);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_tracks_rows_and_local_dictionary() {
+        let mut b = ColumnBatch::from_dtypes(&[DataType::Text, DataType::Int]);
+        b.push_str(0, "a");
+        b.push_int(1, 1);
+        b.push_str(0, "a");
+        b.push_int(1, 2);
+        b.push_null(0);
+        b.push_null(1);
+        assert_eq!(b.arity(), 2);
+        assert_eq!(b.rows(), 3);
+        let BatchData::Text { codes, dict } = &b.cols[0].data else {
+            panic!("text column expected");
+        };
+        assert_eq!(codes, &vec![0, 0, NULL_SYM]);
+        assert_eq!(dict.len(), 1);
+        assert_eq!(b.cols[0].nulls.count(), 1);
+    }
+
+    #[test]
+    fn int_pushes_widen_into_decimal_batch_columns() {
+        let mut b = ColumnBatch::from_dtypes(&[DataType::Decimal]);
+        b.push_int(0, 7);
+        b.push_decimal(0, -0.0);
+        let BatchData::Decimal(v) = &b.cols[0].data else {
+            panic!("decimal column expected");
+        };
+        assert_eq!(v, &vec![7.0, 0.0]);
+        assert!(v[1].is_sign_positive(), "-0.0 normalized");
+    }
+
+    #[test]
+    #[should_panic(expected = "push_str into a int batch column")]
+    fn kind_mismatch_panics() {
+        let mut b = ColumnBatch::from_dtypes(&[DataType::Int]);
+        b.push_str(0, "nope");
+    }
+}

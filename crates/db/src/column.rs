@@ -81,7 +81,7 @@ pub struct NullBitmap {
 }
 
 impl NullBitmap {
-    fn push(&mut self, null: bool) {
+    pub(crate) fn push(&mut self, null: bool) {
         let word = self.len / 64;
         if word >= self.words.len() {
             self.words.push(0);
@@ -91,6 +91,34 @@ impl NullBitmap {
             self.count += 1;
         }
         self.len += 1;
+    }
+
+    /// Bulk-append another bitmap's bits at the current length. Word-wise:
+    /// each source word lands as one (shift == 0) or two shifted ORs, so a
+    /// batch of N rows costs N/64 word operations instead of N bit pushes.
+    pub(crate) fn extend_from(&mut self, other: &NullBitmap) {
+        let offset = self.len;
+        self.len += other.len;
+        self.words.resize(self.len.div_ceil(64), 0);
+        self.count += other.count;
+        if other.count == 0 {
+            return;
+        }
+        let (base, shift) = (offset / 64, offset % 64);
+        for (i, &w) in other.words.iter().enumerate() {
+            if w == 0 {
+                continue;
+            }
+            self.words[base + i] |= w << shift;
+            if shift != 0 {
+                // Bits past `other.len` are never set, so a non-zero
+                // carry word is always in range.
+                let carry = w >> (64 - shift);
+                if carry != 0 {
+                    self.words[base + i + 1] |= carry;
+                }
+            }
+        }
     }
 
     #[inline]
@@ -266,10 +294,19 @@ pub struct Column {
     summary: Option<BlockMeta>,
     /// Rows per block; 0 until frozen or when the column fits one block.
     block_rows: u32,
+    /// Block size for *incremental* zone accumulation during bulk ingest
+    /// (0 = disabled). Set by the owning builder so zone maps can be folded
+    /// block-by-block as batches land, making the freeze an O(tail)
+    /// finalize instead of a full re-scan.
+    zone_hint: u32,
+    /// Rows already covered by accumulated entries of `blocks`. Invariant
+    /// while accumulating: `zoned_upto % zone_hint == 0` and
+    /// `blocks.len() == zoned_upto / zone_hint`.
+    zoned_upto: usize,
 }
 
 /// Placeholder code stored in `Sym` columns at NULL rows.
-const NULL_SYM: u32 = u32::MAX;
+pub(crate) const NULL_SYM: u32 = u32::MAX;
 
 impl Column {
     /// An empty column of declared type `dtype`.
@@ -287,7 +324,16 @@ impl Column {
             blocks: Vec::new(),
             summary: None,
             block_rows: 0,
+            zone_hint: 0,
+            zoned_upto: 0,
         }
+    }
+
+    /// Enable incremental zone accumulation at `block_rows` rows per block.
+    /// The builder calls this with its resolved block size so bulk appends
+    /// fold zone maps as they go and the freeze only scans the tail.
+    pub(crate) fn set_zone_hint(&mut self, block_rows: usize) {
+        self.zone_hint = block_rows as u32;
     }
 
     /// Upper bound (inclusive) of the symbol codes stored in this column;
@@ -331,10 +377,12 @@ impl Column {
     pub(crate) fn push(&mut self, v: Value, syms: &mut SymbolTable) {
         if !self.blocks.is_empty() || self.summary.is_some() {
             // Freeze is the last thing to happen to a column, but a mutation
-            // must never leave stale zone maps behind.
+            // must never leave stale zone maps behind. Per-cell pushes also
+            // abandon incremental accumulation (the freeze re-scans).
             self.blocks.clear();
             self.summary = None;
             self.block_rows = 0;
+            self.zoned_upto = 0;
         }
         match (&mut self.data, v) {
             (ColumnData::Int(vec), Value::Null) => {
@@ -379,6 +427,71 @@ impl Column {
                 self.nulls.push(false);
             }
             (_, v) => unreachable!("push of {} into {} column", v.type_name(), self.dtype),
+        }
+    }
+
+    /// Bulk-append pre-typed rows: a data vector shaped like this column
+    /// (already validated/widened and, for `Sym`, already carrying *global*
+    /// interner codes with `NULL_SYM` at null rows) plus the matching null
+    /// bitmap. Zone maps are folded incrementally for every complete
+    /// `zone_hint`-sized block the append closes, so the eventual freeze
+    /// only has to scan the tail.
+    pub(crate) fn append_parts(&mut self, part: &ColumnData, part_nulls: &NullBitmap) {
+        self.unfreeze_for_append();
+        match (&mut self.data, part) {
+            (ColumnData::Int(vec), ColumnData::Int(p)) => vec.extend_from_slice(p),
+            (ColumnData::Decimal(vec), ColumnData::Decimal(p)) => {
+                // Normalize -0.0 like the per-cell path, so bit-keyed joins
+                // and zone probes see one zero.
+                vec.extend(p.iter().map(|&d| if d == 0.0 { 0.0 } else { d }));
+            }
+            (ColumnData::Decimal(vec), ColumnData::Int(p)) => {
+                // Int batches widen into decimal columns, mirroring
+                // `push_row`'s per-cell widening.
+                vec.extend(p.iter().map(|&i| i as f64));
+            }
+            (ColumnData::Sym(vec), ColumnData::Sym(p)) => {
+                vec.extend_from_slice(p);
+                for &code in p {
+                    if code != NULL_SYM {
+                        self.max_sym = self.max_sym.max(code);
+                    }
+                }
+            }
+            _ => unreachable!("batch column shape mismatch is validated upstream"),
+        }
+        self.nulls.extend_from(part_nulls);
+        self.fold_zones_to_len();
+    }
+
+    /// Drop freeze artifacts (summary, tail block, `block_rows`) while
+    /// keeping the incrementally accumulated complete blocks, so appends
+    /// after a freeze stay O(new rows).
+    fn unfreeze_for_append(&mut self) {
+        if self.summary.is_some() {
+            self.summary = None;
+            self.block_rows = 0;
+            if self.zone_hint > 0 {
+                self.blocks
+                    .truncate(self.zoned_upto / self.zone_hint as usize);
+            } else {
+                self.blocks.clear();
+            }
+        }
+    }
+
+    /// Fold a zone-map entry for every complete `zone_hint`-sized block not
+    /// yet covered. No-op when accumulation is disabled.
+    fn fold_zones_to_len(&mut self) {
+        let hint = self.zone_hint as usize;
+        if hint == 0 {
+            return;
+        }
+        let n = self.len();
+        while self.zoned_upto + hint <= n {
+            let meta = self.chunk_meta(self.zoned_upto, self.zoned_upto + hint);
+            self.blocks.push(meta);
+            self.zoned_upto += hint;
         }
     }
 
@@ -459,7 +572,9 @@ impl Column {
     /// wouldn't touch) but still get the inline whole-column summary.
     pub(crate) fn freeze_blocks(&mut self, block_rows: usize) {
         debug_assert!(block_rows > 0);
-        self.blocks.clear();
+        // Re-freezing first strips the previous freeze's artifacts but keeps
+        // incrementally accumulated blocks, so repeat freezes stay O(tail).
+        self.unfreeze_for_append();
         let n = self.len();
         if n <= block_rows {
             // Single block: per-block zone maps could never skip anything a
@@ -467,16 +582,43 @@ impl Column {
             // but the inline whole-column summary is still computed (one
             // tight pass), so range and key probes can prove the entire
             // column empty.
+            self.blocks.clear();
+            self.zoned_upto = 0;
             self.block_rows = 0;
             self.summary = (n > 0).then(|| self.chunk_meta(0, n));
             return;
         }
-        self.block_rows = block_rows as u32;
-        self.blocks.reserve_exact(n.div_ceil(block_rows));
-        for start in (0..n).step_by(block_rows) {
-            let meta = self.chunk_meta(start, (start + block_rows).min(n));
-            self.blocks.push(meta);
+        let complete = (n / block_rows) * block_rows;
+        if self.zone_hint as usize == block_rows
+            && self.zoned_upto == complete
+            && self.blocks.len() == complete / block_rows
+            && complete > 0
+        {
+            // Fast path: ingest already folded a zone for every complete
+            // block at exactly this granularity — only the (< block_rows)
+            // tail is left to scan. `zoned_upto` stays at `complete`; the
+            // tail block is a freeze artifact that `unfreeze_for_append`
+            // strips again if more rows arrive.
+            if n > complete {
+                let meta = self.chunk_meta(complete, n);
+                self.blocks.push(meta);
+            }
+        } else {
+            // Slow path: no usable accumulation (per-cell inserts, or a
+            // different block size was requested) — full re-scan.
+            self.blocks.clear();
+            self.blocks.reserve_exact(n.div_ceil(block_rows));
+            for start in (0..n).step_by(block_rows) {
+                let meta = self.chunk_meta(start, (start + block_rows).min(n));
+                self.blocks.push(meta);
+            }
+            self.zoned_upto = if self.zone_hint as usize == block_rows {
+                complete
+            } else {
+                0
+            };
         }
+        self.block_rows = block_rows as u32;
         // The whole-column summary is the fold of the block zones — no
         // second pass over the data.
         let mut summary = self.blocks[0];

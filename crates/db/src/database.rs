@@ -11,6 +11,7 @@
 //! stay allocation- and hash-heavy-`Value`-free (see the `column` module
 //! docs for the key contract).
 
+use crate::batch::ColumnBatch;
 use crate::column::ColumnData;
 use crate::error::DbError;
 use crate::graph::{JoinEdge, SchemaGraph};
@@ -66,6 +67,7 @@ pub struct DatabaseBuilder {
     tables: Vec<Table>,
     symbols: SymbolTable,
     block_rows: Option<usize>,
+    ingest: IngestReport,
 }
 
 impl DatabaseBuilder {
@@ -76,7 +78,22 @@ impl DatabaseBuilder {
             tables: Vec::new(),
             symbols: SymbolTable::new(),
             block_rows: None,
+            ingest: IngestReport::default(),
         }
+    }
+
+    /// The block size `build()` will freeze at, resolved now. Columns get
+    /// this as their incremental-zone hint at declaration so bulk appends
+    /// fold zone maps block-by-block; if the effective size changes later
+    /// (a late [`DatabaseBuilder::with_block_rows`]), the freeze falls back
+    /// to a full re-scan — correctness never depends on the hint.
+    fn resolved_block_rows(&self) -> usize {
+        self.block_rows.unwrap_or_else(env_block_rows)
+    }
+
+    /// Mutable ingest accounting (the CSV ingest path updates it).
+    pub(crate) fn ingest_mut(&mut self) -> &mut IngestReport {
+        &mut self.ingest
     }
 
     /// Override the zone-map block size for this database (rows per block,
@@ -99,8 +116,48 @@ impl DatabaseBuilder {
             columns,
         };
         let id = self.catalog.add_table(schema)?;
-        self.tables.push(Table::new(self.catalog.table(id)));
+        let mut table = Table::new(self.catalog.table(id));
+        table.set_zone_hint(self.resolved_block_rows());
+        self.tables.push(table);
         Ok(id)
+    }
+
+    /// An empty [`ColumnBatch`] shaped like a declared table, for the typed
+    /// bulk-append path.
+    pub fn new_batch(&self, table: &str) -> Result<ColumnBatch, DbError> {
+        let tid = self
+            .catalog
+            .table_id(table)
+            .ok_or_else(|| DbError::UnknownTable(table.to_string()))?;
+        Ok(ColumnBatch::for_schema(self.catalog.table(tid)))
+    }
+
+    /// Bulk-append a typed batch into a declared table — the zero-`Value`
+    /// counterpart of [`DatabaseBuilder::add_rows`]. Arity, column lengths,
+    /// types, and NOT NULL are validated per batch; see
+    /// [`crate::Table::append_batch`].
+    pub fn append_batch(&mut self, table: &str, batch: ColumnBatch) -> Result<(), DbError> {
+        let tid = self
+            .catalog
+            .table_id(table)
+            .ok_or_else(|| DbError::UnknownTable(table.to_string()))?;
+        let schema = self.catalog.table(tid);
+        let rows = batch.rows();
+        self.tables[tid.index()].append_batch(schema, &mut self.symbols, batch)?;
+        self.ingest.batch_rows += rows;
+        Ok(())
+    }
+
+    /// [`DatabaseBuilder::append_batch`] by table id, without the bulk-batch
+    /// accounting — the CSV ingest path uses this and reports its rows under
+    /// the CSV counters instead.
+    pub(crate) fn append_batch_internal(
+        &mut self,
+        tid: TableId,
+        batch: ColumnBatch,
+    ) -> Result<(), DbError> {
+        let schema = self.catalog.table(tid);
+        self.tables[tid.index()].append_batch(schema, &mut self.symbols, batch)
     }
 
     /// Insert one row into a declared table.
@@ -143,6 +200,7 @@ impl DatabaseBuilder {
             mut tables,
             symbols,
             block_rows,
+            ingest,
         } = self;
 
         // Partition every column into fixed-size blocks and compute zone
@@ -182,15 +240,25 @@ impl DatabaseBuilder {
             }
         }
 
-        // Column statistics.
+        // Column statistics. Tables past the exact threshold use the
+        // sampled path so a 10M-row ingest does not pay a second full
+        // per-column scan (`PRISM_STATS_EXACT_ROWS` steers the cutover).
+        let stats_exact_rows = crate::stats::env_stats_exact_rows();
         let mut stats = StatsStore::new();
         for (tid, schema) in catalog.tables() {
             let table = &tables[tid.index()];
+            let sampled = table.row_count() > stats_exact_rows;
             let per_col = schema
                 .columns
                 .iter()
                 .enumerate()
-                .map(|(c, def)| ColumnStats::collect(table, &symbols, c as u32, def.dtype))
+                .map(|(c, def)| {
+                    if sampled {
+                        ColumnStats::collect_sampled(table, &symbols, c as u32, def.dtype)
+                    } else {
+                        ColumnStats::collect(table, &symbols, c as u32, def.dtype)
+                    }
+                })
                 .collect();
             stats.push_table(per_col);
         }
@@ -259,6 +327,7 @@ impl DatabaseBuilder {
             join_indexes,
             key_spaces,
             block_rows,
+            ingest,
         }
     }
 }
@@ -278,6 +347,8 @@ pub struct Database {
     key_spaces: Vec<Vec<KeySpace>>,
     /// Rows per zone-map block, fixed at build time.
     block_rows: usize,
+    /// Ingest-side accounting accumulated by the builder.
+    ingest: IngestReport,
 }
 
 impl Database {
@@ -400,7 +471,46 @@ impl Database {
             indexes,
             interner_bytes: self.symbols.heap_bytes(),
             stats_bytes: self.stats.heap_bytes(),
+            ingest: self.ingest.clone(),
         }
+    }
+
+    /// Ingest-side accounting: CSV bytes/rows/time and bulk-batch rows
+    /// accumulated while the builder loaded data.
+    pub fn ingest_report(&self) -> &IngestReport {
+        &self.ingest
+    }
+}
+
+/// Ingest-side accounting, accumulated by [`DatabaseBuilder`] across every
+/// CSV ingest and bulk-batch append, and surfaced by
+/// [`Database::memory_report`]. All fields are integers so the report stays
+/// `Eq`; derived rates are methods.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IngestReport {
+    /// CSV bytes parsed by the streaming reader.
+    pub csv_bytes: usize,
+    /// Rows ingested through the streaming CSV reader.
+    pub csv_rows: usize,
+    /// Wall nanoseconds spent parsing CSV (scan + typed parse + append).
+    pub csv_parse_nanos: u64,
+    /// Widest parse-thread count used by any CSV ingest (1 = sequential).
+    pub parse_threads: usize,
+    /// Rows ingested through the typed bulk-append path.
+    pub batch_rows: usize,
+}
+
+impl IngestReport {
+    /// CSV rows per second (`None` when nothing was CSV-ingested).
+    pub fn rows_per_sec(&self) -> Option<f64> {
+        (self.csv_parse_nanos > 0)
+            .then(|| self.csv_rows as f64 / (self.csv_parse_nanos as f64 / 1e9))
+    }
+
+    /// CSV megabytes per second (`None` when nothing was CSV-ingested).
+    pub fn mb_per_sec(&self) -> Option<f64> {
+        (self.csv_parse_nanos > 0)
+            .then(|| self.csv_bytes as f64 / 1e6 / (self.csv_parse_nanos as f64 / 1e9))
     }
 }
 
@@ -436,12 +546,20 @@ pub struct MemoryReport {
     pub interner_bytes: usize,
     /// Approximate per-column statistics bytes.
     pub stats_bytes: usize,
+    /// Ingest-side accounting (CSV parse throughput, bulk-batch rows).
+    pub ingest: IngestReport,
 }
 
 impl MemoryReport {
     /// Column bytes summed over all tables.
     pub fn total_column_bytes(&self) -> usize {
         self.tables.iter().map(|t| t.column_bytes).sum()
+    }
+
+    /// Column storage is append-only, so the ingest-time peak equals the
+    /// final total: data vectors + null bitmaps + zone maps across tables.
+    pub fn peak_column_bytes(&self) -> usize {
+        self.total_column_bytes()
     }
 
     /// Join-index bytes summed over all indexed columns.
@@ -481,6 +599,18 @@ impl std::fmt::Display for MemoryReport {
                 i.distinct_keys,
                 i.bytes,
                 i.indexed_rows,
+            )?;
+        }
+        if self.ingest.csv_rows > 0 || self.ingest.batch_rows > 0 {
+            writeln!(
+                f,
+                "ingest: {} csv rows ({} B, {:.1} MB/s, {:.0} rows/s, {} threads), {} batch rows",
+                self.ingest.csv_rows,
+                self.ingest.csv_bytes,
+                self.ingest.mb_per_sec().unwrap_or(0.0),
+                self.ingest.rows_per_sec().unwrap_or(0.0),
+                self.ingest.parse_threads.max(1),
+                self.ingest.batch_rows,
             )?;
         }
         writeln!(

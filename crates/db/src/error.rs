@@ -28,6 +28,15 @@ pub enum DbError {
     },
     /// A NULL was inserted into a column declared NOT NULL.
     NullViolation { table: String, column: String },
+    /// A bulk-append batch's columns disagree on row count.
+    RaggedBatch {
+        table: String,
+        column: String,
+        expected: usize,
+        got: usize,
+    },
+    /// A file-backed ingest could not read its input.
+    Io { path: String, message: String },
     /// `Value::Decimal` must hold a finite number; NaN/±inf are rejected so
     /// that values stay totally ordered and hashable.
     NonFiniteDecimal,
@@ -67,6 +76,18 @@ impl fmt::Display for DbError {
             ),
             DbError::NullViolation { table, column } => {
                 write!(f, "NULL inserted into NOT NULL column `{table}.{column}`")
+            }
+            DbError::RaggedBatch {
+                table,
+                column,
+                expected,
+                got,
+            } => write!(
+                f,
+                "batch column `{table}.{column}` has {got} rows but the batch's first column has {expected}"
+            ),
+            DbError::Io { path, message } => {
+                write!(f, "cannot read `{path}`: {message}")
             }
             DbError::NonFiniteDecimal => {
                 write!(f, "decimal values must be finite (no NaN or infinity)")

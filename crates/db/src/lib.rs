@@ -48,6 +48,7 @@
 //! [`DatabaseBuilder`] and never mutated afterwards, which is exactly the
 //! "preprocess a priori, then interactively query" lifecycle of the paper.
 
+pub mod batch;
 pub mod column;
 pub mod csv;
 pub mod database;
@@ -62,10 +63,12 @@ pub mod stats;
 pub mod table;
 pub mod types;
 
+pub use batch::ColumnBatch;
 pub use column::{BlockMeta, Column, ColumnData, NullBitmap, Zone};
 pub use csv::{infer_type, parse_csv};
 pub use database::{
-    Database, DatabaseBuilder, JoinIndexMemory, MemoryReport, TableMemory, DEFAULT_BLOCK_ROWS,
+    Database, DatabaseBuilder, IngestReport, JoinIndexMemory, MemoryReport, TableMemory,
+    DEFAULT_BLOCK_ROWS,
 };
 pub use error::DbError;
 pub use exec::{

@@ -6,7 +6,8 @@
 //! statistics collection. Text/date/time cells are interned in the owning
 //! database's [`SymbolTable`], so cell reads take the interner by reference.
 
-use crate::column::Column;
+use crate::batch::{BatchData, ColumnBatch};
+use crate::column::{Column, ColumnData, NULL_SYM};
 use crate::error::DbError;
 use crate::interner::SymbolTable;
 use crate::schema::TableSchema;
@@ -82,6 +83,121 @@ impl Table {
         Ok(())
     }
 
+    /// Splice a typed [`ColumnBatch`] into storage. Validation runs **per
+    /// batch** — arity, equal column lengths, kind-vs-type (with `Int`
+    /// batches widening into `Decimal` columns), and NOT NULL via the
+    /// batch's null counts — instead of per cell, and data lands via bulk
+    /// vector extends and word-wise bitmap appends. Text/date/time cells
+    /// are re-coded from the batch-local dictionary into `syms` in
+    /// row-major first-occurrence order, so global code assignment (and
+    /// therefore `Sym` zone maps) is identical to pushing the same rows
+    /// through [`Table::push_row`].
+    ///
+    /// On error nothing is appended.
+    pub fn append_batch(
+        &mut self,
+        schema: &TableSchema,
+        syms: &mut SymbolTable,
+        mut batch: ColumnBatch,
+    ) -> Result<(), DbError> {
+        if batch.arity() != schema.arity() {
+            return Err(DbError::ArityMismatch {
+                table: schema.name.clone(),
+                expected: schema.arity(),
+                got: batch.arity(),
+            });
+        }
+        let rows = batch.rows();
+        for (i, col) in batch.cols.iter().enumerate() {
+            let def = schema.column(i as u32);
+            if col.data.len() != rows {
+                return Err(DbError::RaggedBatch {
+                    table: schema.name.clone(),
+                    column: def.name.clone(),
+                    expected: rows,
+                    got: col.data.len(),
+                });
+            }
+            if !col.data.storable_as(def.dtype) {
+                return Err(DbError::TypeMismatch {
+                    table: schema.name.clone(),
+                    column: def.name.clone(),
+                    expected: def.dtype,
+                    got: col.data.kind_name(),
+                });
+            }
+            if !def.nullable && col.nulls.count() > 0 {
+                return Err(DbError::NullViolation {
+                    table: schema.name.clone(),
+                    column: def.name.clone(),
+                });
+            }
+        }
+        if rows == 0 {
+            return Ok(());
+        }
+        // Re-code dictionary cells into the shared interner. The pass is
+        // row-major across the batch's sym-kind columns so first-occurrence
+        // order — and thus global code assignment — matches the per-row
+        // insert path exactly.
+        let arity = batch.arity();
+        let sym_cols: Vec<usize> = (0..arity)
+            .filter(|&c| {
+                matches!(
+                    batch.cols[c].data,
+                    BatchData::Text { .. } | BatchData::Date(_) | BatchData::Time(_)
+                )
+            })
+            .collect();
+        let mut global_codes: Vec<Vec<u32>> = vec![Vec::new(); arity];
+        let mut remaps: Vec<Vec<u32>> = vec![Vec::new(); arity];
+        for &c in &sym_cols {
+            global_codes[c] = vec![NULL_SYM; rows];
+            if let BatchData::Text { dict, .. } = &batch.cols[c].data {
+                remaps[c] = vec![NULL_SYM; dict.len()];
+            }
+        }
+        if !sym_cols.is_empty() {
+            for row in 0..rows {
+                for &c in &sym_cols {
+                    let bc = &mut batch.cols[c];
+                    if bc.nulls.is_null(row) {
+                        continue;
+                    }
+                    global_codes[c][row] = match &mut bc.data {
+                        BatchData::Text { codes, dict } => {
+                            let local = codes[row] as usize;
+                            let cached = remaps[c][local];
+                            if cached != NULL_SYM {
+                                cached
+                            } else {
+                                // The local string moves into the interner;
+                                // later occurrences hit the remap cache.
+                                let s = std::mem::take(&mut dict.strings[local]);
+                                let id = syms.intern_text_owned(s);
+                                remaps[c][local] = id;
+                                id
+                            }
+                        }
+                        BatchData::Date(v) => syms.intern_date(v[row]),
+                        BatchData::Time(v) => syms.intern_time(v[row]),
+                        _ => unreachable!("sym_cols holds only dictionary kinds"),
+                    };
+                }
+            }
+        }
+        for (i, col) in batch.cols.iter_mut().enumerate() {
+            let part = match &mut col.data {
+                BatchData::Int(v) => ColumnData::Int(std::mem::take(v)),
+                BatchData::Decimal(v) => ColumnData::Decimal(std::mem::take(v)),
+                _ => ColumnData::Sym(std::mem::take(&mut global_codes[i])),
+            };
+            self.columns[i].append_parts(&part, &col.nulls);
+        }
+        self.nrows += rows;
+        Ok(())
+    }
+
     pub fn row_count(&self) -> usize {
         self.nrows
     }
@@ -114,6 +230,15 @@ impl Table {
     pub(crate) fn freeze_blocks(&mut self, block_rows: usize) {
         for c in &mut self.columns {
             c.freeze_blocks(block_rows);
+        }
+    }
+
+    /// Enable incremental zone accumulation on every column (see
+    /// [`crate::column`] docs); the builder calls this at declaration with
+    /// its resolved block size.
+    pub(crate) fn set_zone_hint(&mut self, block_rows: usize) {
+        for c in &mut self.columns {
+            c.set_zone_hint(block_rows);
         }
     }
 
