@@ -100,6 +100,14 @@ pub struct DiscoveryStats {
     /// Hindsight-optimal validations (populated for the Oracle scheduler,
     /// or on request via [`Discovery::run_with_oracle`]).
     pub oracle_validations: Option<u64>,
+    /// Validation rounds whose drain was overlapped with speculative
+    /// scoring (the pipelined engine; 0 under `pipeline: false`, one
+    /// validation thread, or the Naive/Oracle schedulers).
+    pub rounds_overlapped: u64,
+    /// Scores computed speculatively while a round drained.
+    pub speculative_scores: u64,
+    /// Speculative scores invalidated by reconciliation before use.
+    pub speculative_wasted: u64,
     /// Raw execution work.
     pub exec: ExecStats,
     /// Wall-clock time of the round.
@@ -235,27 +243,26 @@ pub(crate) fn run_round(
     stats.truncated |= fs.truncated;
 
     // Greedy schedulers run on the parallel validation engine; with
-    // `threads == 1` that is exactly the sequential loop.
+    // `threads == 1` that is exactly the sequential loop. With
+    // `config.pipeline` (the default) and more than one thread, rounds
+    // are pipelined: scoring of the next batch overlaps the previous
+    // batch's validation drain. `PRISM_PIPELINE=off` restores the exact
+    // phased path.
     let ctx = SchedCtx::new(db, constraints, &fs).with_deadline(Some(deadline));
     let threads = opts.threads;
+    let greedy = |model: &dyn crate::scheduler::FailureModel| {
+        if config.pipeline && threads > 1 {
+            Scheduler::run(&ctx, Engine::Pipelined { model, threads })
+        } else {
+            Scheduler::run(&ctx, Engine::Greedy { model, threads })
+        }
+    };
     let outcome: ScheduleOutcome = match config.scheduler {
         SchedulerKind::Naive => Scheduler::run(&ctx, Engine::Naive),
-        SchedulerKind::PathLength => Scheduler::run(
-            &ctx,
-            Engine::Greedy {
-                model: &PathLengthModel,
-                threads,
-            },
-        ),
+        SchedulerKind::PathLength => greedy(&PathLengthModel),
         SchedulerKind::Bayes => {
             let est = estimator.expect("Bayes scheduler requires a trained estimator");
-            Scheduler::run(
-                &ctx,
-                Engine::Greedy {
-                    model: &BayesModel::new(est, constraints),
-                    threads,
-                },
-            )
+            greedy(&BayesModel::new(est, constraints))
         }
         SchedulerKind::Oracle => {
             let (v, o) = oracle_schedule(db, constraints, &fs);
@@ -271,6 +278,9 @@ pub(crate) fn run_round(
     stats.validations = outcome.validations;
     stats.implied_successes = outcome.implied_successes;
     stats.implied_failures = outcome.implied_failures;
+    stats.rounds_overlapped = outcome.rounds_overlapped;
+    stats.speculative_scores = outcome.speculative_scores;
+    stats.speculative_wasted = outcome.speculative_wasted;
     stats.exec = outcome.exec;
 
     // Materialize the Result section, ranked for the browsing user:

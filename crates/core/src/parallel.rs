@@ -168,14 +168,35 @@ impl BatchRunner<'_> {
     /// set, the wait polls it so a long round raises the cancel flag for
     /// the workers' between-validations checks (without one, the
     /// coordinator parks until the workers' completion notify).
+    ///
+    /// This is the phased path: [`post`](Self::post) then immediately
+    /// [`wait_drain`](Self::wait_drain). The pipelined scheduler calls
+    /// them separately so it can speculate between the two.
     pub fn run(&mut self, batch: &[FilterId]) -> Vec<Option<bool>> {
+        self.post(batch);
+        self.wait_drain()
+    }
+
+    /// Hand `batch` to the pool as a detached round and return without
+    /// blocking: the round's verdict buffer doubles as its completion
+    /// queue, drained by [`wait_drain`](Self::wait_drain). At most one
+    /// round may be in flight per runner (pipeline depth 2: the
+    /// coordinator overlaps *scoring*, not a second validation round).
+    pub fn post(&mut self, batch: &[FilterId]) {
         let mut g = self.shared.round.lock().expect("pool lock");
+        debug_assert_eq!(g.pending, 0, "a round is already in flight");
         g.work = Some(Arc::new(RoundWork::new(batch)));
         g.verdicts.clear();
         g.verdicts.resize(batch.len(), None);
         g.pending = batch.len();
         g.generation += 1;
         self.shared.work.notify_all();
+    }
+
+    /// Block until the in-flight round posted by [`post`](Self::post) has
+    /// fully drained and return its per-slot verdicts in batch order.
+    pub fn wait_drain(&mut self) -> Vec<Option<bool>> {
+        let mut g = self.shared.round.lock().expect("pool lock");
         while g.pending > 0 {
             match self.deadline {
                 None => g = self.shared.done.wait(g).expect("pool lock"),

@@ -41,10 +41,17 @@
 //! accept the **identical candidate set** for every [`SchedulerKind`];
 //! only wall-clock time and the validation interleaving (hence the
 //! validation *counts*) may differ.
+//!
+//! [`Engine::Pipelined`] goes one step further: instead of idling while
+//! the slowest validation of a round drains, the coordinator posts the
+//! batch as a detached round and *speculatively scores* the next batch
+//! against the current pruning state, reconciling stale scores when the
+//! verdicts land (see [`greedy_pipelined`]). Speculation can only waste
+//! work, never change the accept set.
 
 use crate::constraints::TargetConstraints;
-use crate::filters::{FilterId, FilterSet};
-use crate::parallel::validate_with_pool;
+use crate::filters::{Filter, FilterId, FilterSet};
+use crate::parallel::{validate_with_pool, BatchRunner};
 use crate::validate::validate_filter_cached;
 use prism_bayes::BayesEstimator;
 use prism_db::{Database, ExecScratch, ExecStats};
@@ -213,6 +220,17 @@ pub struct ScheduleOutcome {
     /// owner (the work-stealing pool's load-balancing counter; always 0
     /// for sequential engines and `threads <= 1`).
     pub stolen: u64,
+    /// Validation rounds whose drain the coordinator overlapped with
+    /// speculative scoring of the next batch ([`Engine::Pipelined`] only;
+    /// phased engines report 0).
+    pub rounds_overlapped: u64,
+    /// Filter scores computed speculatively while a round drained on the
+    /// pool (phased engines report 0).
+    pub speculative_scores: u64,
+    /// Speculative scores invalidated by the drained round's verdicts
+    /// before the next batch selection could use them — the pipeline's
+    /// wasted work. Always `<= speculative_scores`.
+    pub speculative_wasted: u64,
     /// True if the deadline expired before every candidate was classified.
     pub timed_out: bool,
 }
@@ -281,6 +299,18 @@ pub enum Engine<'m> {
         model: &'m dyn FailureModel,
         threads: usize,
     },
+    /// `Greedy`, pipelined across rounds: the coordinator posts a batch to
+    /// the pool as a detached round, speculatively scores the next batch
+    /// while it drains, and reconciles stale scores when the verdicts
+    /// land. One of `threads` is reserved for the coordinator itself, so
+    /// the pool runs `threads - 1` validation workers. Speculation can
+    /// only waste work, never change results: the accept set is identical
+    /// to `Greedy`'s. `threads <= 1` falls back to the exact sequential
+    /// path (a lone thread has nothing to overlap).
+    Pipelined {
+        model: &'m dyn FailureModel,
+        threads: usize,
+    },
 }
 
 /// The one entry point for running a schedule. `run_greedy`,
@@ -296,6 +326,10 @@ impl Scheduler {
                 greedy_parallel(ctx, model, threads)
             }
             Engine::Greedy { model, .. } => greedy_sequential(ctx, model),
+            Engine::Pipelined { model, threads } if threads > 1 => {
+                greedy_pipelined(ctx, model, threads)
+            }
+            Engine::Pipelined { model, .. } => greedy_sequential(ctx, model),
         }
     }
 }
@@ -314,7 +348,23 @@ struct RunState {
     /// Executor scratch reused across every validation the coordinator
     /// runs itself (sequential engines); pool workers hold their own.
     scratch: ExecScratch,
+    /// Filters and candidates whose scheduling state changed since the
+    /// last [`reconcile`] — the pipelined engine's staleness feed. `None`
+    /// (phased engines) makes logging a no-op.
+    changelog: Option<ChangeLog>,
     outcome: ScheduleOutcome,
+}
+
+/// What changed while a round's verdicts were applied: the inputs of
+/// [`Scoring::score`] are exactly per-filter state (`fstate`) and
+/// per-candidate state (aliveness, `unresolved_tops`), so recording these
+/// two id streams lets [`reconcile`] invalidate precisely the speculative
+/// scores the verdicts could have changed. Duplicates are fine — touching
+/// is idempotent.
+#[derive(Default)]
+struct ChangeLog {
+    filters: Vec<FilterId>,
+    candidates: Vec<u32>,
 }
 
 impl RunState {
@@ -325,6 +375,7 @@ impl RunState {
             cstate: vec![CState::Alive; n_cands],
             unresolved_tops: ctx.fs.tops.iter().map(|v| v.len() as u32).collect(),
             scratch: ExecScratch::new(),
+            changelog: None,
             outcome: ScheduleOutcome::default(),
         };
         // Step-1 pre-validated filters start out succeeded (no propagation
@@ -353,17 +404,41 @@ impl RunState {
         self.cstate.contains(&CState::Alive)
     }
 
+    /// `t` is still pending and is an unresolved top of some alive
+    /// candidate — i.e. validating it is *required* progress, not just
+    /// information.
+    fn is_alive_pending_top(&self, fs: &FilterSet, t: FilterId) -> bool {
+        self.fstate[t.index()] == FState::Pending
+            && fs.filter(t).top_for.iter().any(|&c| self.alive(c))
+    }
+
+    #[inline]
+    fn log_filter(&mut self, f: FilterId) {
+        if let Some(log) = &mut self.changelog {
+            log.filters.push(f);
+        }
+    }
+
+    #[inline]
+    fn log_candidate(&mut self, c: u32) {
+        if let Some(log) = &mut self.changelog {
+            log.candidates.push(c);
+        }
+    }
+
     /// Mark `f` succeeded; propagate to subfilters; update acceptance.
     fn mark_success(&mut self, ctx: &SchedCtx<'_>, f: FilterId, implied: bool) {
         if self.fstate[f.index()] != FState::Pending {
             return;
         }
         self.fstate[f.index()] = FState::Succeeded;
+        self.log_filter(f);
         if implied {
             self.outcome.implied_successes += 1;
         }
         for &c in &ctx.fs.filter(f).top_for {
             self.unresolved_tops[c as usize] -= 1;
+            self.log_candidate(c);
         }
         for &s in &ctx.fs.filter(f).subfilters {
             self.mark_success(ctx, s, true);
@@ -379,15 +454,18 @@ impl RunState {
             return;
         }
         self.fstate[f.index()] = FState::Failed;
+        self.log_filter(f);
         if implied {
             self.outcome.implied_failures += 1;
         }
         for &c in &ctx.fs.filter(f).top_for {
             self.unresolved_tops[c as usize] -= 1;
+            self.log_candidate(c);
         }
         for &c in &ctx.fs.filter(f).members {
             if self.cstate[c as usize] == CState::Alive {
                 self.cstate[c as usize] = CState::Failed;
+                self.log_candidate(c);
             }
         }
         for &s in &ctx.fs.filter(f).superfilters {
@@ -404,6 +482,7 @@ impl RunState {
             .all(|t| self.fstate[t.index()] == FState::Succeeded);
         if all_tops_ok {
             self.cstate[c as usize] = CState::Accepted;
+            self.log_candidate(c);
             self.outcome.accepted.push(c);
         }
     }
@@ -500,6 +579,110 @@ impl Memo {
     }
 }
 
+/// The scoring context shared by every greedy engine: the failure model
+/// plus per-run [`Memo`]s of the two pure per-filter quantities
+/// (`P_fail`, `filter_cost`). The memos never go stale — only the
+/// *composed* score depends on mutable pruning state.
+struct Scoring<'m> {
+    model: &'m dyn FailureModel,
+    p_fail: Memo,
+    cost: Memo,
+}
+
+impl<'m> Scoring<'m> {
+    fn new(model: &'m dyn FailureModel, n_filters: usize) -> Scoring<'m> {
+        Scoring {
+            model,
+            p_fail: Memo::new(n_filters),
+            cost: Memo::new(n_filters),
+        }
+    }
+
+    /// The greedy objective for `f` under the current pruning state.
+    /// Benefit accounting:
+    ///   failure  → every alive member candidate dies, saving its
+    ///              remaining required top validations;
+    ///   success  → progress only if the filter IS an unresolved top (of
+    ///              itself or, via implication, of another candidate);
+    ///              non-top successes are pure information and score 0.
+    /// `NEG_INFINITY` marks irrelevant filters (no alive candidate
+    /// contains `f`) — aliveness never comes back, so irrelevance is
+    /// permanent and cacheable like any other score.
+    fn score(&mut self, ctx: &SchedCtx<'_>, state: &RunState, f: &Filter) -> f64 {
+        let fs = ctx.fs;
+        let kills_saved: u64 = f
+            .members
+            .iter()
+            .filter(|&&c| state.alive(c))
+            .map(|&c| state.unresolved_tops[c as usize].max(1) as u64)
+            .sum();
+        if kills_saved == 0 {
+            return f64::NEG_INFINITY;
+        }
+        let mut tops_resolved = 0u64;
+        if state.is_alive_pending_top(fs, f.id) {
+            tops_resolved += 1;
+        }
+        tops_resolved += f
+            .subfilters
+            .iter()
+            .filter(|&&s| state.is_alive_pending_top(fs, s))
+            .count() as u64;
+        let model = self.model;
+        let p = self
+            .p_fail
+            .get(f.id, || model.failure_probability(ctx.db, fs, f.id));
+        let c = self.cost.get(f.id, || filter_cost(ctx.db, fs, f.id));
+        (p * kills_saved as f64 + (1.0 - p) * tops_resolved as f64) / c
+    }
+}
+
+/// Epoch-tagged score cache for the pipelined engine. Every entry records
+/// the epoch it was computed at; [`reconcile`] bumps the epoch and stamps
+/// `touched` on exactly the filters whose score inputs the drained round's
+/// verdicts changed, so staleness is an O(1) comparison — no diffing, no
+/// whole-batch invalidation.
+struct ScoreCache {
+    /// Current reconciliation epoch; starts at 1 so `computed == 0` can
+    /// mean "never computed".
+    epoch: u64,
+    score: Vec<f64>,
+    /// Epoch each score was computed at (0 = never).
+    computed: Vec<u64>,
+    /// Epoch each filter was last invalidated at.
+    touched: Vec<u64>,
+    /// Epoch each filter was last speculatively scored at. A mark equal
+    /// to the epoch just closed means the score never survived to a
+    /// selection — [`reconcile`] counts it wasted (older marks are inert,
+    /// the score was either read or invalidated long ago).
+    spec: Vec<u64>,
+}
+
+impl ScoreCache {
+    fn new(n_filters: usize) -> ScoreCache {
+        ScoreCache {
+            epoch: 1,
+            score: vec![0.0; n_filters],
+            computed: vec![0; n_filters],
+            touched: vec![0; n_filters],
+            spec: vec![0; n_filters],
+        }
+    }
+
+    /// The cached score for `f` is current: computed at least once and not
+    /// invalidated since.
+    fn valid(&self, f: FilterId) -> bool {
+        let i = f.index();
+        self.computed[i] != 0 && self.computed[i] >= self.touched[i]
+    }
+
+    fn store(&mut self, f: FilterId, score: f64) {
+        let i = f.index();
+        self.score[i] = score;
+        self.computed[i] = self.epoch;
+    }
+}
+
 /// Mark `from` and its implication closure as blocked for this round's
 /// batch: everything reachable through subfilter chains (resolved by
 /// `from`'s success) and through superfilter chains (resolved by `from`'s
@@ -532,52 +715,39 @@ fn block_implication_closure(fs: &FilterSet, from: FilterId, blocked: &mut [bool
 /// Pick up to `max` pending filters for the next round, highest score
 /// first, mutually non-implying. `max == 1` reproduces the sequential
 /// greedy pick exactly. Empty result = scheduling is done.
+///
+/// With a [`ScoreCache`] (the pipelined engine), valid cached scores —
+/// speculative ones that survived reconciliation — are used as-is; a
+/// cache-valid score always equals what a fresh computation would
+/// produce, so caching cannot change the pick. Selection itself never
+/// stores: only [`speculate`], running inside a drain window, populates
+/// the cache, so every cache hit here is scoring work that was genuinely
+/// moved off the critical path (and the synchronous remainder is exactly
+/// the entries reconciliation invalidated).
 fn select_batch(
     ctx: &SchedCtx<'_>,
     state: &RunState,
-    model: &dyn FailureModel,
-    p_fail: &mut Memo,
-    cost: &mut Memo,
+    scoring: &mut Scoring<'_>,
     max: usize,
+    cache: Option<&ScoreCache>,
 ) -> Vec<FilterId> {
     let fs = ctx.fs;
-    // Score every pending filter relevant to an alive candidate. Benefit
-    // accounting:
-    //   failure  → every alive member candidate dies, saving its
-    //              remaining required top validations;
-    //   success  → progress only if the filter IS an unresolved top (of
-    //              itself or, via implication, of another candidate);
-    //              non-top successes are pure information and score 0.
-    let is_alive_pending_top = |t: FilterId| {
-        state.fstate[t.index()] == FState::Pending
-            && fs.filter(t).top_for.iter().any(|&c| state.alive(c))
-    };
+    // Score every pending filter relevant to an alive candidate (see
+    // [`Scoring::score`] for the benefit accounting; NEG_INFINITY =
+    // irrelevant, skipped exactly like the pre-cache code skipped
+    // kills_saved == 0).
     let mut scored: Vec<(f64, FilterId)> = Vec::new();
     for f in &fs.filters {
         if state.fstate[f.id.index()] != FState::Pending {
             continue;
         }
-        let kills_saved: u64 = f
-            .members
-            .iter()
-            .filter(|&&c| state.alive(c))
-            .map(|&c| state.unresolved_tops[c as usize].max(1) as u64)
-            .sum();
-        if kills_saved == 0 {
+        let score = match cache {
+            Some(c) if c.valid(f.id) => c.score[f.id.index()],
+            _ => scoring.score(ctx, state, f),
+        };
+        if score == f64::NEG_INFINITY {
             continue; // irrelevant: no alive candidate contains f
         }
-        let mut tops_resolved = 0u64;
-        if is_alive_pending_top(f.id) {
-            tops_resolved += 1;
-        }
-        tops_resolved += f
-            .subfilters
-            .iter()
-            .filter(|&&s| is_alive_pending_top(s))
-            .count() as u64;
-        let p = p_fail.get(f.id, || model.failure_probability(ctx.db, fs, f.id));
-        let c = cost.get(f.id, || filter_cost(ctx.db, fs, f.id));
-        let score = (p * kills_saved as f64 + (1.0 - p) * tops_resolved as f64) / c;
         scored.push((score, f.id));
     }
     if scored.is_empty() {
@@ -606,8 +776,13 @@ fn select_batch(
     let mut required: Vec<(f64, FilterId)> = fs
         .filters
         .iter()
-        .filter(|f| state.fstate[f.id.index()] == FState::Pending && is_alive_pending_top(f.id))
-        .map(|f| (cost.get(f.id, || filter_cost(ctx.db, fs, f.id)), f.id))
+        .filter(|f| {
+            state.fstate[f.id.index()] == FState::Pending && state.is_alive_pending_top(fs, f.id)
+        })
+        .map(|f| {
+            let c = scoring.cost.get(f.id, || filter_cost(ctx.db, fs, f.id));
+            (c, f.id)
+        })
         .collect();
     required.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("finite").then(a.1.cmp(&b.1)));
     for &(_, f) in &required {
@@ -632,8 +807,7 @@ fn select_batch(
 fn greedy_sequential(ctx: &SchedCtx<'_>, model: &dyn FailureModel) -> ScheduleOutcome {
     let fs = ctx.fs;
     let mut state = RunState::new(ctx);
-    let mut p_fail = Memo::new(fs.len());
-    let mut cost = Memo::new(fs.len());
+    let mut scoring = Scoring::new(model, fs.len());
     loop {
         if let Some(d) = ctx.deadline {
             if Instant::now() >= d {
@@ -644,7 +818,7 @@ fn greedy_sequential(ctx: &SchedCtx<'_>, model: &dyn FailureModel) -> ScheduleOu
         if !state.any_alive() {
             break;
         }
-        let batch = select_batch(ctx, &state, model, &mut p_fail, &mut cost, 1);
+        let batch = select_batch(ctx, &state, &mut scoring, 1, None);
         let Some(&pick) = batch.first() else { break };
         state.validate_now(ctx, pick);
     }
@@ -665,8 +839,7 @@ fn greedy_parallel(
 ) -> ScheduleOutcome {
     let fs = ctx.fs;
     let mut state = RunState::new(ctx);
-    let mut p_fail = Memo::new(fs.len());
-    let mut cost = Memo::new(fs.len());
+    let mut scoring = Scoring::new(model, fs.len());
     let (state, report) = validate_with_pool(ctx, threads, ctx.deadline, |pool| {
         loop {
             if pool.deadline_expired() {
@@ -676,7 +849,7 @@ fn greedy_parallel(
             if !state.any_alive() {
                 break;
             }
-            let batch = select_batch(ctx, &state, model, &mut p_fail, &mut cost, threads);
+            let batch = select_batch(ctx, &state, &mut scoring, threads, None);
             if batch.is_empty() {
                 break;
             }
@@ -687,6 +860,154 @@ fn greedy_parallel(
                     None => state.outcome.timed_out = true,
                 }
             }
+        }
+        state
+    });
+    let mut state = state;
+    state.outcome.exec.merge(&report.exec);
+    state.outcome.stolen = report.stolen;
+    state.finish()
+}
+
+/// Speculatively score every pending, not-in-flight filter whose cached
+/// score is stale, while the posted round drains on the pool. Observes the
+/// cooperative deadline *per score* — a deadline firing mid-speculation
+/// raises the cancel flag immediately, so workers skip their remaining
+/// validations within one validation slot, exactly as in the phased path.
+/// Returns the number of scores computed.
+fn speculate(
+    ctx: &SchedCtx<'_>,
+    state: &RunState,
+    scoring: &mut Scoring<'_>,
+    cache: &mut ScoreCache,
+    pool: &BatchRunner<'_>,
+    in_flight: &[bool],
+) -> u64 {
+    let mut computed = 0u64;
+    for f in &ctx.fs.filters {
+        let i = f.id.index();
+        if state.fstate[i] != FState::Pending || in_flight[i] || cache.valid(f.id) {
+            continue;
+        }
+        if pool.deadline_expired() {
+            break;
+        }
+        let s = scoring.score(ctx, state, f);
+        cache.store(f.id, s);
+        cache.spec[i] = cache.epoch;
+        computed += 1;
+    }
+    computed
+}
+
+/// Reconcile the score cache with the changes the drained round's verdicts
+/// made to the pruning state, and count the speculative scores they
+/// invalidated. The touch set is exactly the dependency cone of
+/// [`Scoring::score`]:
+///
+/// * a filter `g` whose `fstate` changed invalidates `g` itself and its
+///   direct superfilters (which count `g` in their `tops_resolved`);
+/// * a candidate `c` whose aliveness or `unresolved_tops` changed
+///   invalidates every filter of `c` (`per_candidate[c]` ⊇ all filters
+///   with `c` in `members` or `top_for`) and each of *their* direct
+///   superfilters (which see `c` through a subfilter's pending-top test).
+///
+/// Everything else a score reads (`P_fail`, `filter_cost`) is pure, so
+/// untouched cache entries remain exactly what a fresh computation would
+/// produce.
+fn reconcile(fs: &FilterSet, state: &mut RunState, cache: &mut ScoreCache) -> u64 {
+    let Some(log) = state.changelog.as_mut() else {
+        return 0;
+    };
+    let prev = cache.epoch;
+    cache.epoch += 1;
+    let mut wasted = 0u64;
+    let mut touch = |cache: &mut ScoreCache, f: FilterId| {
+        let i = f.index();
+        if cache.spec[i] == prev {
+            // Speculated during the round that just drained and
+            // invalidated before any selection could read it.
+            wasted += 1;
+            cache.spec[i] = 0;
+        }
+        cache.touched[i] = cache.epoch;
+    };
+    for &f in &log.filters {
+        touch(cache, f);
+        for &s in &fs.filter(f).superfilters {
+            touch(cache, s);
+        }
+    }
+    for &c in &log.candidates {
+        for &f in &fs.per_candidate[c as usize] {
+            touch(cache, f);
+            for &s in &fs.filter(f).superfilters {
+                touch(cache, s);
+            }
+        }
+    }
+    log.filters.clear();
+    log.candidates.clear();
+    wasted
+}
+
+/// The pipelined greedy schedule: post a batch to the pool as a detached
+/// round, speculatively score the next batch while it drains, reconcile
+/// when the verdicts land. The coordinator reserves one of `threads` for
+/// itself (it is genuinely busy scoring while the round drains), so the
+/// pool runs `threads - 1` validation workers.
+///
+/// Accepts the identical candidate set as the phased engines: verdicts
+/// are ground truth (schedule-order-independent), batch members are
+/// mutually non-implying exactly as in [`greedy_parallel`], and a
+/// cache-valid score always equals a fresh one ([`reconcile`] invalidates
+/// every score a verdict could have changed). Speculation only moves
+/// scoring work into the drain window — or wastes it.
+fn greedy_pipelined(
+    ctx: &SchedCtx<'_>,
+    model: &dyn FailureModel,
+    threads: usize,
+) -> ScheduleOutcome {
+    let fs = ctx.fs;
+    let mut state = RunState::new(ctx);
+    state.changelog = Some(ChangeLog::default());
+    let mut scoring = Scoring::new(model, fs.len());
+    let mut cache = ScoreCache::new(fs.len());
+    let mut in_flight = vec![false; fs.len()];
+    let workers = (threads - 1).max(1);
+    let (state, report) = validate_with_pool(ctx, workers, ctx.deadline, |pool| {
+        loop {
+            if pool.deadline_expired() {
+                state.outcome.timed_out = true;
+                break;
+            }
+            if !state.any_alive() {
+                break;
+            }
+            let batch = select_batch(ctx, &state, &mut scoring, workers, Some(&cache));
+            if batch.is_empty() {
+                break;
+            }
+            for &f in &batch {
+                in_flight[f.index()] = true;
+            }
+            pool.post(&batch);
+            state.outcome.rounds_overlapped += 1;
+            // The overlap window: the pool validates while we score.
+            state.outcome.speculative_scores +=
+                speculate(ctx, &state, &mut scoring, &mut cache, pool, &in_flight);
+            let verdicts = pool.wait_drain();
+            for &f in &batch {
+                in_flight[f.index()] = false;
+            }
+            for (f, verdict) in batch.iter().zip(verdicts) {
+                match verdict {
+                    Some(ok) => state.apply_validated(ctx, *f, ok),
+                    // Skipped by cancellation: the filter stays pending.
+                    None => state.outcome.timed_out = true,
+                }
+            }
+            state.outcome.speculative_wasted += reconcile(fs, &mut state, &mut cache);
         }
         state
     });
@@ -1228,9 +1549,8 @@ mod tests {
         let (_, fs) = prepare(&s);
         let ctx = SchedCtx::new(&s.db, &s.tc, &fs);
         let state = RunState::new(&ctx);
-        let mut p_fail = Memo::new(fs.len());
-        let mut cost = Memo::new(fs.len());
-        let batch = select_batch(&ctx, &state, &PathLengthModel, &mut p_fail, &mut cost, 8);
+        let mut scoring = Scoring::new(&PathLengthModel, fs.len());
+        let batch = select_batch(&ctx, &state, &mut scoring, 8, None);
         assert!(batch.len() > 1, "walkthrough offers parallel work");
         for (i, &a) in batch.iter().enumerate() {
             let mut blocked = vec![false; fs.len()];
@@ -1240,6 +1560,117 @@ mod tests {
                     !blocked[b.index()],
                     "{a:?} and {b:?} are implication-related"
                 );
+            }
+        }
+    }
+
+    fn run_pipelined(
+        db: &Database,
+        constraints: &TargetConstraints,
+        fs: &FilterSet,
+        model: &dyn FailureModel,
+        deadline: Option<Instant>,
+        threads: usize,
+    ) -> ScheduleOutcome {
+        let ctx = SchedCtx::new(db, constraints, fs).with_deadline(deadline);
+        Scheduler::run(&ctx, Engine::Pipelined { model, threads })
+    }
+
+    #[test]
+    fn pipelined_engine_accepts_the_identical_candidate_set() {
+        let s = walkthrough();
+        let (_, fs) = prepare(&s);
+        let est = prism_bayes::BayesEstimator::train(&s.db, &TrainConfig::default());
+        let seq_path = run_greedy(&s.db, &s.tc, &fs, &PathLengthModel, None);
+        let seq_bayes = run_greedy(&s.db, &s.tc, &fs, &BayesModel::new(&est, &s.tc), None);
+        for threads in [2, 4, 8] {
+            let pipe = run_pipelined(&s.db, &s.tc, &fs, &PathLengthModel, None, threads);
+            assert_eq!(
+                seq_path.accepted, pipe.accepted,
+                "path-length @ {threads} threads"
+            );
+            assert!(!pipe.timed_out);
+            // Counter invariants (satellite): the pipeline really
+            // overlapped rounds, really moved scoring into the drain
+            // windows, and waste never exceeds what was scored.
+            assert!(pipe.rounds_overlapped > 0, "@ {threads} threads");
+            assert!(pipe.speculative_scores > 0, "@ {threads} threads");
+            assert!(
+                pipe.speculative_wasted <= pipe.speculative_scores,
+                "wasted {} > scored {} @ {threads} threads",
+                pipe.speculative_wasted,
+                pipe.speculative_scores,
+            );
+            let pipe_bayes = run_pipelined(
+                &s.db,
+                &s.tc,
+                &fs,
+                &BayesModel::new(&est, &s.tc),
+                None,
+                threads,
+            );
+            assert_eq!(
+                seq_bayes.accepted, pipe_bayes.accepted,
+                "bayes @ {threads} threads"
+            );
+        }
+        // Phased engines report zero pipeline activity.
+        for phased in [
+            &seq_path,
+            &run_greedy_parallel(&s.db, &s.tc, &fs, &PathLengthModel, None, 4),
+            &run_naive(&s.db, &s.tc, &fs, None),
+        ] {
+            assert_eq!(phased.rounds_overlapped, 0);
+            assert_eq!(phased.speculative_scores, 0);
+            assert_eq!(phased.speculative_wasted, 0);
+        }
+    }
+
+    #[test]
+    fn pipelined_with_one_thread_is_the_sequential_path() {
+        let s = walkthrough();
+        let (_, fs) = prepare(&s);
+        let seq = run_greedy(&s.db, &s.tc, &fs, &PathLengthModel, None);
+        let one = run_pipelined(&s.db, &s.tc, &fs, &PathLengthModel, None, 1);
+        // Bit-for-bit identical outcome: one thread takes the exact
+        // sequential code path, no pool, no speculation.
+        assert_eq!(seq.accepted, one.accepted);
+        assert_eq!(seq.validations, one.validations);
+        assert_eq!(seq.implied_successes, one.implied_successes);
+        assert_eq!(seq.implied_failures, one.implied_failures);
+        assert_eq!(one.rounds_overlapped, 0);
+        assert_eq!(one.speculative_scores, 0);
+        let strip_plans = |e: &ExecStats| ExecStats {
+            plans_built: 0,
+            nodes_reordered: 0,
+            plan_recompiles: 0,
+            ..*e
+        };
+        assert_eq!(strip_plans(&seq.exec), strip_plans(&one.exec));
+    }
+
+    /// Satellite regression: the deadline must fire within one validation
+    /// slot even when the coordinator is mid-speculation — `speculate`
+    /// polls the cooperative flag per score, so a near-zero deadline
+    /// cancels the round instead of letting speculation run to the end of
+    /// the pending set first.
+    #[test]
+    fn pipelined_deadline_cancels_cooperatively() {
+        let s = walkthrough();
+        let (cands, fs) = prepare(&s);
+        for deadline in [
+            Instant::now() - std::time::Duration::from_millis(1),
+            Instant::now() + std::time::Duration::from_micros(50),
+        ] {
+            let start = Instant::now();
+            let outcome = run_pipelined(&s.db, &s.tc, &fs, &PathLengthModel, Some(deadline), 4);
+            assert!(outcome.timed_out);
+            // Cooperative, not instant — but nowhere near a full run.
+            assert!(start.elapsed() < std::time::Duration::from_secs(5));
+            // Soundness under interruption, as in the phased engines.
+            for &c in &outcome.accepted {
+                let rows = cands[c as usize].query.execute(&s.db, 100_000).unwrap();
+                assert!(!rows.is_empty());
             }
         }
     }

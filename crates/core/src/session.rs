@@ -179,6 +179,12 @@ impl<'a> Session<'a> {
 
     /// Step 3: hit "Start Searching!". Parses the grid, runs discovery, and
     /// stores the Result section.
+    ///
+    /// With `discovery.pipeline` (the default) and more than one
+    /// validation thread, scheduling rounds are pipelined — scoring of the
+    /// next batch overlaps the previous batch's validation drain. The
+    /// Result section is identical either way; `PRISM_PIPELINE=off` (or
+    /// `pipeline: false`) restores the phased path.
     pub fn start_searching(&mut self) -> Result<&DiscoveryResult, Error> {
         let constraints = self.grid.parse(&self.udfs)?;
         let result = self.engine.run(&constraints);
@@ -277,6 +283,37 @@ mod tests {
             .unwrap();
         assert_eq!(one.constraints.len(), 1);
         assert!(one.constraints[0].label.contains("Lake Tahoe"));
+    }
+
+    #[test]
+    fn pipeline_toggle_cannot_change_session_results() {
+        let db = mondial(42, 1);
+        let keys = |pipeline: bool| {
+            let config = SessionConfig {
+                discovery: DiscoveryConfig {
+                    validation_threads: 4,
+                    pipeline,
+                    ..DiscoveryConfig::default()
+                },
+                ..SessionConfig::default()
+            };
+            let mut session = Session::new(&db, config);
+            session
+                .set_sample_cell(0, 0, "California || Nevada")
+                .unwrap();
+            session.set_sample_cell(0, 1, "Lake Tahoe").unwrap();
+            session
+                .set_metadata_cell(2, "DataType=='decimal' AND MinValue>='0'")
+                .unwrap();
+            let result = session.start_searching().unwrap();
+            assert_eq!(result.stats.rounds_overlapped > 0, pipeline);
+            let mut k: Vec<String> = result.queries.iter().map(|q| q.key.clone()).collect();
+            k.sort();
+            k
+        };
+        let on = keys(true);
+        assert!(!on.is_empty());
+        assert_eq!(on, keys(false));
     }
 
     #[test]

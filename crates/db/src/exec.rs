@@ -446,7 +446,8 @@ pub struct PreparedQuery {
 }
 
 /// Runs the adaptive guard observes before it will consider recompiling:
-/// enough to average out one unlucky probe.
+/// enough to average out one unlucky probe. This is the generation-0
+/// threshold; each recompile doubles it (see [`MAX_RECOMPILES`]).
 const GUARD_MIN_RUNS: u64 = 8;
 
 /// Observed-vs-estimated rows-examined ratio beyond which a cost-ordered
@@ -454,19 +455,31 @@ const GUARD_MIN_RUNS: u64 = 8;
 /// early-exiting existence probes sit well below 1 and never trigger.
 const FANOUT_DIVERGENCE: f64 = 4.0;
 
+/// Recompiles one prepared plan may accumulate over its lifetime. Each
+/// generation's observation window doubles ([`GUARD_MIN_RUNS`] `<< gen`:
+/// 8, 16, 32 runs), so a plan that keeps diverging — a workload shift
+/// after the first correction — gets up to two more chances at
+/// progressively higher evidence bars, then settles.
+const MAX_RECOMPILES: usize = 3;
+
 /// Adaptive fan-out guard of one prepared plan. Plans live in write-once
 /// cache slots shared across sessions, so the guard works through interior
 /// mutability: per-node rows-examined accumulate in relaxed atomics, and
-/// when the running average diverges from the planner's estimate by more
-/// than [`FANOUT_DIVERGENCE`], the plan is recompiled **once** (into
-/// `replan`) with the observed per-node fan-out as feedback — every sharer
-/// of the cached [`PreparedQuery`] switches to the corrected order.
+/// when the running average diverges from the active plan's estimate by
+/// more than [`FANOUT_DIVERGENCE`], the plan is recompiled (into the next
+/// `replans` slot) with the observed per-node fan-out as feedback — every
+/// sharer of the cached [`PreparedQuery`] switches to the corrected order.
+/// Each recompile **re-arms** the guard: the counters reset so the next
+/// window observes only the new plan, the run threshold doubles, and
+/// after [`MAX_RECOMPILES`] generations the guard disarms for good.
 #[derive(Debug)]
 struct PlanGuard {
     runs: std::sync::atomic::AtomicU64,
     rows: std::sync::atomic::AtomicU64,
     node_rows: Vec<std::sync::atomic::AtomicU64>,
-    replan: std::sync::OnceLock<Plan>,
+    /// Write-once recompile slots, filled in order; the active plan is
+    /// the last filled slot (or the base plan when none is).
+    replans: [std::sync::OnceLock<Plan>; MAX_RECOMPILES],
 }
 
 impl PlanGuard {
@@ -477,7 +490,7 @@ impl PlanGuard {
             node_rows: (0..n)
                 .map(|_| std::sync::atomic::AtomicU64::new(0))
                 .collect(),
-            replan: std::sync::OnceLock::new(),
+            replans: [const { std::sync::OnceLock::new() }; MAX_RECOMPILES],
         }
     }
 }
@@ -496,36 +509,54 @@ impl PreparedQuery {
         self.plan.moved_nodes as u64
     }
 
-    /// The plan to run: the guard's recompiled plan when one exists, else
-    /// the plan compiled at prepare time — possibly recompiling right now
-    /// if enough divergent runs have accumulated.
+    /// The plan to run: the guard's newest recompiled plan when one
+    /// exists, else the plan compiled at prepare time — possibly
+    /// recompiling right now if enough divergent runs have accumulated
+    /// against the *current* generation's estimates. Each generation
+    /// doubles the run threshold and [`MAX_RECOMPILES`] caps the total.
     fn active_plan(&self, db: &Database, preds: &[ProjPred<'_>], stats: &mut ExecStats) -> &Plan {
         use std::sync::atomic::Ordering::Relaxed;
-        if let Some(p) = self.guard.replan.get() {
-            return p;
-        }
         if self.plan.mode != JoinOrder::Cost {
             return &self.plan; // Fixed mode is a full escape hatch
         }
+        // Generation = replans compiled so far; slots fill strictly in
+        // order, so the active plan is the last filled slot.
+        let generation = self
+            .guard
+            .replans
+            .iter()
+            .take_while(|slot| slot.get().is_some())
+            .count();
+        let current: &Plan = match generation {
+            0 => &self.plan,
+            g => self.guard.replans[g - 1]
+                .get()
+                .expect("slot counted as filled"),
+        };
+        if generation == MAX_RECOMPILES {
+            return current; // guard disarmed for good
+        }
         let runs = self.guard.runs.load(Relaxed);
-        if runs < GUARD_MIN_RUNS {
-            return &self.plan;
+        if runs < (GUARD_MIN_RUNS << generation) {
+            return current;
         }
         let avg = self.guard.rows.load(Relaxed) as f64 / runs as f64;
-        if avg <= FANOUT_DIVERGENCE * self.plan.est_rows.max(1.0) {
-            return &self.plan;
+        if avg <= FANOUT_DIVERGENCE * current.est_rows.max(1.0) {
+            return current;
         }
         let mut recompiled = false;
-        let p = self.guard.replan.get_or_init(|| {
+        let p = self.guard.replans[generation].get_or_init(|| {
             recompiled = true;
             // Per-node multipliers: how far each node's observed average
             // rows-examined overshot its estimate. Replanning with them
             // steers the order away from the nodes that actually exploded.
+            // Both vectors are indexed by join-tree node id, so zipping
+            // against any generation's estimates lines up.
             let mult: Vec<f64> = self
                 .guard
                 .node_rows
                 .iter()
-                .zip(&self.plan.est_node_rows)
+                .zip(&current.est_node_rows)
                 .map(|(obs, &est)| {
                     let obs = obs.load(Relaxed) as f64 / runs as f64;
                     (obs / est.max(1.0)).max(1.0)
@@ -535,6 +566,15 @@ impl PreparedQuery {
         });
         if recompiled {
             stats.plan_recompiles += 1;
+            // Re-arm: start a fresh observation window so the doubled
+            // threshold judges only the new plan's behavior. Relaxed
+            // stores may drop a concurrent run's increment — acceptable
+            // slack for a 4x heuristic trigger.
+            self.guard.runs.store(0, Relaxed);
+            self.guard.rows.store(0, Relaxed);
+            for acc in &self.guard.node_rows {
+                acc.store(0, Relaxed);
+            }
         }
         p
     }
@@ -2262,8 +2302,10 @@ mod tests {
     /// Hub-concentrated parent keys make every probe hit the longest
     /// posting run, so observed rows-examined diverges ~16x from the
     /// blended estimate. After [`GUARD_MIN_RUNS`] runs the guard recompiles
-    /// exactly once (through the shared prepared query, so every later run
-    /// uses the replacement plan) and enumeration stays identical.
+    /// exactly once here (through the shared prepared query, so every later
+    /// run uses the replacement plan) and enumeration stays identical: the
+    /// recompile re-arms the guard with a doubled 16-run window, and the
+    /// two post-recompile runs fall well short of it.
     #[test]
     fn adaptive_guard_recompiles_once_on_divergence() {
         let mut b = DatabaseBuilder::new("diverge");
@@ -2310,6 +2352,83 @@ mod tests {
         );
         // The observed ratio that tripped the guard is visible to callers.
         assert!(stats.fanout_ratio().unwrap() > FANOUT_DIVERGENCE);
+    }
+
+    /// The re-armed guard doubles its run threshold each generation
+    /// (8, 16, 32) and never recompiles more than [`MAX_RECOMPILES`]
+    /// times. Feedback multipliers fold the observed fan-out into each
+    /// replan's estimates, so a *natural* repeat divergence cannot be
+    /// staged against a frozen database — this test drives the guard's
+    /// counter windows directly and checks the state machine.
+    #[test]
+    fn rearmed_guard_doubles_thresholds_and_caps_recompiles() {
+        let mut b = DatabaseBuilder::new("rearm");
+        b.add_table("A", vec![ColumnDef::new("fk", DataType::Int)])
+            .unwrap();
+        b.add_table("B", vec![ColumnDef::new("t", DataType::Int)])
+            .unwrap();
+        for k in 0..16i64 {
+            b.add_row("A", vec![Value::Int(k % 4)]).unwrap();
+            b.add_row("B", vec![Value::Int(k)]).unwrap();
+        }
+        b.add_foreign_key("A", "fk", "B", "t").unwrap();
+        let db = b.build();
+        let q = PjQuery {
+            nodes: vec![
+                db.catalog().table_id("A").unwrap(),
+                db.catalog().table_id("B").unwrap(),
+            ],
+            joins: vec![JoinCond {
+                left_node: 0,
+                left_col: 0,
+                right_node: 1,
+                right_col: 0,
+            }],
+            projection: vec![(0, 0)],
+        };
+        let prepared = q.prepare_with(&db, &[], JoinOrder::Cost).unwrap();
+        let mut stats = ExecStats::default();
+        // Stage a divergent window of `runs` observations (a huge average
+        // keeps every generation past the 4x bar; node counters stay 0 so
+        // multipliers clamp to 1 and each replan's estimate stays small),
+        // then consult the guard the way every execution path does.
+        let window = |runs: u64, stats: &mut ExecStats| {
+            use std::sync::atomic::Ordering::Relaxed;
+            prepared.guard.runs.store(runs, Relaxed);
+            prepared
+                .guard
+                .rows
+                .store(runs.saturating_mul(1_000_000_000), Relaxed);
+            let _ = prepared.active_plan(&db, &[], stats);
+        };
+        // Generation 0 trips at the base threshold.
+        window(GUARD_MIN_RUNS, &mut stats);
+        assert_eq!(stats.plan_recompiles, 1, "base window arms the guard");
+        // Generation 1 needs a doubled window: 8 divergent runs no longer
+        // suffice, 16 do.
+        window(GUARD_MIN_RUNS, &mut stats);
+        assert_eq!(stats.plan_recompiles, 1, "8 runs are below the doubled bar");
+        window(GUARD_MIN_RUNS * 2, &mut stats);
+        assert_eq!(stats.plan_recompiles, 2, "16 runs re-trip the guard");
+        // Generation 2 doubles again to 32.
+        window(GUARD_MIN_RUNS * 2, &mut stats);
+        assert_eq!(
+            stats.plan_recompiles, 2,
+            "16 runs are below the tripled bar"
+        );
+        window(GUARD_MIN_RUNS * 4, &mut stats);
+        assert_eq!(
+            stats.plan_recompiles, 3,
+            "32 runs exhaust the recompile cap"
+        );
+        // However divergent later windows get, there is no fourth recompile.
+        window(GUARD_MIN_RUNS * 64, &mut stats);
+        window(u64::MAX / 1_000_000_000, &mut stats);
+        assert_eq!(
+            stats.plan_recompiles, 3,
+            "the guard is disarmed after MAX_RECOMPILES generations"
+        );
+        assert!(prepared.guard.replans.iter().all(|s| s.get().is_some()));
     }
 
     /// A selective range predicate with a hull hint skips whole blocks via
