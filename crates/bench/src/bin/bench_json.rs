@@ -322,11 +322,18 @@ const DEFAULT_SERVICE_SESSIONS: usize = 4;
 /// not parallel speedups) and the cross-session plan-cache counters.
 /// `PRISM_BENCH_REQUIRE_WARM_SERVICE=1` turns "every warm session compiles
 /// zero plans" into a hard gate for CI smoke.
+/// `PRISM_BENCH_REQUIRE_FAULT_FREE=1` asserts the fault-isolation layer
+/// is zero-cost when disarmed: with `PRISM_FAULT` unset, every benched
+/// round must report zero injected faults, zero retries, and an
+/// undegraded result — the containment layer may cost one branch, never
+/// a verdict.
 fn service_bench(phase: &str) {
     let sessions: usize = std::env::var("PRISM_SERVICE_SESSIONS")
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(DEFAULT_SERVICE_SESSIONS);
+    let require_fault_free =
+        std::env::var("PRISM_BENCH_REQUIRE_FAULT_FREE").is_ok_and(|v| v == "1");
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -350,6 +357,17 @@ fn service_bench(phase: &str) {
     let cold_plans_built = cold_result.stats.exec.plans_built;
     let expected_queries = cold_result.queries.len();
     assert!(expected_queries > 0, "walkthrough discovers queries");
+    if require_fault_free {
+        assert_eq!(
+            cold_result.stats.faults_injected, 0,
+            "fault injector fired with PRISM_FAULT unset"
+        );
+        assert_eq!(cold_result.stats.fault_retries, 0);
+        assert!(
+            !cold_result.degraded && cold_result.fault_reports.is_empty(),
+            "undisturbed round reported degradation"
+        );
+    }
 
     // Warm sessions: identical query classes, one thread per session. The
     // handles are owned, so moving each into its thread is the API working
@@ -371,6 +389,16 @@ fn service_bench(phase: &str) {
                             expected_queries,
                             "warm session diverged from the cold round"
                         );
+                        if require_fault_free {
+                            assert_eq!(
+                                r.stats.faults_injected, 0,
+                                "fault injector fired with PRISM_FAULT unset"
+                            );
+                            assert!(
+                                !r.degraded && r.fault_reports.is_empty(),
+                                "undisturbed warm round reported degradation"
+                            );
+                        }
                         r.stats.exec.plans_built
                     })
                 })
@@ -409,6 +437,12 @@ fn service_bench(phase: &str) {
             "warm sessions must be served entirely by the shared plan cache"
         );
         println!("warm-service gate passed: {sessions} warm sessions compiled 0 plans");
+    }
+    if require_fault_free {
+        println!(
+            "fault-free gate passed: {} rounds, 0 faults injected, 0 degraded",
+            sessions + 1
+        );
     }
 }
 

@@ -1,5 +1,6 @@
 //! Discovery configuration.
 
+use crate::faults::FaultSpec;
 use crate::scheduler::SchedulerKind;
 use std::time::Duration;
 
@@ -39,6 +40,13 @@ pub struct DiscoveryConfig {
     /// has nothing to overlap). Defaults to the `PRISM_PIPELINE`
     /// environment variable (`off`/`0`/`false` disable), otherwise `true`.
     pub pipeline: bool,
+    /// Deterministic fault injection for chaos testing ([`FaultSpec`]).
+    /// `None` (the default when `PRISM_FAULT` is unset) disables injection
+    /// entirely — the containment layer stays armed but costs one branch.
+    /// Set programmatically for per-session chaos, or via the environment:
+    /// `PRISM_FAULT=panic:0.01:seed42` fires an injected panic in ~1% of
+    /// injection-point visits, seeded so reruns fault identically.
+    pub faults: Option<FaultSpec>,
 }
 
 /// Resolve the default pipelining switch: `PRISM_PIPELINE=off` (or `0` /
@@ -51,6 +59,13 @@ pub fn default_pipeline() -> bool {
             v == "off" || v == "0" || v == "false"
         })
         .unwrap_or(false)
+}
+
+/// Resolve the default fault-injection spec from `PRISM_FAULT`. Unset,
+/// empty, or malformed values yield `None`: chaos is strictly opt-in and
+/// must never become load-bearing for a real deployment.
+pub fn default_faults() -> Option<FaultSpec> {
+    FaultSpec::from_env()
 }
 
 /// Resolve the default worker count: `PRISM_VALIDATION_THREADS` (CI runs
@@ -78,6 +93,7 @@ impl Default for DiscoveryConfig {
             scheduler: SchedulerKind::Bayes,
             validation_threads: default_validation_threads(),
             pipeline: default_pipeline(),
+            faults: default_faults(),
         }
     }
 }

@@ -8,12 +8,14 @@
 use crate::candidates::{enumerate_candidates, Candidate};
 use crate::config::DiscoveryConfig;
 use crate::constraints::TargetConstraints;
+use crate::faults::FaultReport;
 use crate::filters::{build_filters_with_cache, SharedPlanCache};
 use crate::related::find_related;
 use crate::scheduler::{
     oracle_schedule, BayesModel, Engine, PathLengthModel, SchedCtx, ScheduleOutcome, Scheduler,
     SchedulerKind,
 };
+use crate::validate::filter_query;
 use prism_bayes::{BayesEstimator, TrainConfig};
 use prism_db::{canonical_key, render_sql, Database, ExecStats, Value};
 use std::time::{Duration, Instant};
@@ -114,6 +116,17 @@ pub struct DiscoveryStats {
     pub elapsed: Duration,
     /// Candidate enumeration or filter decomposition was truncated.
     pub truncated: bool,
+    /// Faults the injection layer fired (0 unless chaos is armed via
+    /// `PRISM_FAULT` / [`DiscoveryConfig::faults`]).
+    pub faults_injected: u64,
+    /// Transient-fault retries performed by guarded validation slots.
+    pub fault_retries: u64,
+    /// Filters whose validation faulted (see
+    /// [`DiscoveryResult::fault_reports`]).
+    pub filters_faulted: u64,
+    /// Validation rounds the watchdog hard-abandoned past the deadline
+    /// grace window.
+    pub rounds_abandoned: u64,
 }
 
 /// The outcome of one discovery round.
@@ -124,6 +137,47 @@ pub struct DiscoveryResult {
     /// The round hit its time budget before classifying every candidate
     /// (the demo reports this as a failure/timeout).
     pub timed_out: bool,
+    /// Part of the search space could not be decided: at least one filter
+    /// validation faulted (or a validation round was hard-abandoned), so
+    /// `queries` is a **sound subset** of the full answer — every returned
+    /// query genuinely satisfies the constraints, but some satisfying
+    /// queries may be missing. Details in [`DiscoveryResult::fault_reports`].
+    pub degraded: bool,
+    /// One report per faulted filter: its PJ query (as SQL), the contained
+    /// panic message or retry-exhaustion reason, and how many candidates
+    /// it abandoned. Empty on a clean run.
+    pub fault_reports: Vec<FaultReport>,
+}
+
+impl DiscoveryResult {
+    /// User-facing summary of a degraded round, for the demo's Result
+    /// panel: one line per faulted filter naming its query and reason,
+    /// plus the watchdog's abandonment count. `None` for a clean round —
+    /// callers can `if let Some(notice)` straight into the UI.
+    pub fn degradation_notice(&self) -> Option<String> {
+        if !self.degraded {
+            return None;
+        }
+        let mut out =
+            String::from("partial results: part of the search space could not be validated\n");
+        for r in &self.fault_reports {
+            out.push_str(&format!(
+                "  - {} [{} candidate(s) abandoned, {} retr{}]: {}\n",
+                r.filter_sql,
+                r.candidates,
+                r.retries,
+                if r.retries == 1 { "y" } else { "ies" },
+                r.reason,
+            ));
+        }
+        if self.stats.rounds_abandoned > 0 {
+            out.push_str(&format!(
+                "  - {} validation round(s) hard-abandoned past the deadline\n",
+                self.stats.rounds_abandoned
+            ));
+        }
+        Some(out)
+    }
 }
 
 /// A reusable discovery engine over one database.
@@ -228,6 +282,8 @@ pub(crate) fn run_round(
             queries: Vec::new(),
             stats,
             timed_out: cand_set.truncated,
+            degraded: false,
+            fault_reports: Vec::new(),
         };
     }
 
@@ -248,7 +304,9 @@ pub(crate) fn run_round(
     // are pipelined: scoring of the next batch overlaps the previous
     // batch's validation drain. `PRISM_PIPELINE=off` restores the exact
     // phased path.
-    let ctx = SchedCtx::new(db, constraints, &fs).with_deadline(Some(deadline));
+    let ctx = SchedCtx::new(db, constraints, &fs)
+        .with_deadline(Some(deadline))
+        .with_faults(config.faults.clone());
     let threads = opts.threads;
     let greedy = |model: &dyn crate::scheduler::FailureModel| {
         if config.pipeline && threads > 1 {
@@ -282,6 +340,26 @@ pub(crate) fn run_round(
     stats.speculative_scores = outcome.speculative_scores;
     stats.speculative_wasted = outcome.speculative_wasted;
     stats.exec = outcome.exec;
+    stats.faults_injected = outcome.faults_injected;
+    stats.fault_retries = outcome.fault_retries;
+    stats.filters_faulted = outcome.faulted.len() as u64;
+    stats.rounds_abandoned = outcome.rounds_abandoned;
+
+    // Graceful degradation: contained faults shrink the answer instead of
+    // sinking the round. Name each undecidable filter (as SQL — the user's
+    // vocabulary) so the session can show *which* part of the search space
+    // the partial result does not cover.
+    let degraded = !outcome.faulted.is_empty() || outcome.rounds_abandoned > 0;
+    let fault_reports: Vec<FaultReport> = outcome
+        .faulted
+        .iter()
+        .map(|ff| FaultReport {
+            filter_sql: render_sql(&filter_query(db, fs.filter(ff.filter)), db),
+            reason: ff.reason.clone(),
+            retries: ff.retries,
+            candidates: ff.candidates.len(),
+        })
+        .collect();
 
     // Materialize the Result section, ranked for the browsing user:
     // fewer joins first (simpler mappings), then smaller estimated
@@ -323,6 +401,8 @@ pub(crate) fn run_round(
         queries,
         stats,
         timed_out: outcome.timed_out,
+        degraded,
+        fault_reports,
     }
 }
 

@@ -99,6 +99,12 @@ pub struct FilterSet {
     pub tops: Vec<Vec<FilterId>>,
     /// True if decomposition stopped early on the deadline.
     pub truncated: bool,
+    /// `decomposed[c]` = candidate `c` was reached before the deadline and
+    /// its filters exist. A candidate left `false` by truncation has *no*
+    /// filters at all, so acceptance checks must never treat its empty top
+    /// list as "all tops succeeded". Empty means "no truncation happened"
+    /// (hand-built sets): every candidate counts as decomposed.
+    pub decomposed: Vec<bool>,
     /// Lazily-populated prepared query plans, one slot per query class
     /// ([`Filter::query_class`]). Shared by every scheduling run over this
     /// filter set — the sequential coordinator, all pool workers, repeated
@@ -317,6 +323,7 @@ pub fn build_filters_with_cache(
     let mut set = FilterSet {
         per_candidate: vec![Vec::new(); candidates.len()],
         tops: vec![Vec::new(); candidates.len()],
+        decomposed: vec![false; candidates.len()],
         ..FilterSet::default()
     };
     let mut by_key: HashMap<FilterKey, FilterId> = HashMap::new();
@@ -326,8 +333,13 @@ pub fn build_filters_with_cache(
     // identity for resolution through the service-global cache.
     let mut class_by_query: HashMap<QueryKey, u32> = HashMap::new();
     let mut class_keys: Vec<QueryKey> = Vec::new();
-    // Subtree enumeration is per unique tree, cached.
-    let mut subtree_cache: HashMap<Vec<EdgeId>, Vec<JoinTree>> = HashMap::new();
+    // Subtree enumeration is per unique tree, cached. The key must carry
+    // the table set, not just the edge list: every single-table tree has
+    // the same empty edge list, and keying on edges alone would hand every
+    // later single-table candidate the *first* one's subtrees — no `is_top`
+    // match, no predicates, zero filters — and it would sail through
+    // acceptance unvalidated.
+    let mut subtree_cache: HashMap<(Vec<EdgeId>, Vec<TableId>), Vec<JoinTree>> = HashMap::new();
 
     for cand in candidates {
         if let Some(d) = deadline {
@@ -336,8 +348,9 @@ pub fn build_filters_with_cache(
                 break;
             }
         }
+        set.decomposed[cand.id] = true;
         let subtrees = subtree_cache
-            .entry(cand.tree.edges.clone())
+            .entry((cand.tree.edges.clone(), cand.tree.tables.clone()))
             .or_insert_with(|| db.graph().subtrees(&cand.tree))
             .clone();
         // Constrained assignments per sample.
@@ -674,5 +687,51 @@ mod tests {
         let fs = build_filters(&db, &cands, &tc, Some(past));
         assert!(fs.truncated);
         assert!(fs.is_empty());
+        // Truncated-away candidates must be marked undecomposed so the
+        // scheduler never mistakes their empty top lists for acceptance.
+        assert!(fs.decomposed.iter().all(|&d| !d));
+    }
+
+    #[test]
+    fn every_candidate_gets_its_own_top_filters() {
+        // Regression: the subtree cache used to key on the edge list alone,
+        // so all single-table candidates (empty edge list) shared the first
+        // one's subtrees — later ones ended up with zero filters and were
+        // accepted without any validation.
+        let db = mondial(42, 1);
+        // "Nevada" lives in several tables (Province.Name, geo_lake.Province,
+        // City.Province, …), so enumeration yields one single-table candidate
+        // per hosting table — all with the same empty edge list.
+        let tc = TargetConstraints::parse(1, &[vec![some("Nevada")]], &[]).unwrap();
+        let config = DiscoveryConfig::default();
+        let rel = find_related(&db, &tc, &config);
+        let cands = enumerate_candidates(&db, &rel, &config, None).candidates;
+        assert!(
+            cands
+                .iter()
+                .filter(|c| c.tree.edges.is_empty())
+                .map(|c| &c.tree.tables)
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+                > 1,
+            "fixture must produce single-table candidates on distinct tables"
+        );
+        let fs = build_filters(&db, &cands, &tc, None);
+        for cand in &cands {
+            assert!(fs.decomposed[cand.id]);
+            assert!(
+                !fs.tops[cand.id].is_empty(),
+                "candidate {} ({:?}) has no top filters",
+                cand.id,
+                cand.tree
+            );
+            assert!(
+                fs.tops[cand.id]
+                    .iter()
+                    .all(|&t| fs.filter(t).tree.tables == cand.tree.tables
+                        && fs.filter(t).tree.edges == cand.tree.edges),
+                "top filters must cover the candidate's own full tree"
+            );
+        }
     }
 }

@@ -45,6 +45,7 @@ pub mod constraints;
 pub mod discovery;
 pub mod error;
 pub mod explain;
+pub mod faults;
 pub mod filters;
 pub mod parallel;
 pub mod related;
@@ -54,13 +55,14 @@ pub mod session;
 pub mod validate;
 
 pub use candidates::Candidate;
-pub use config::{default_pipeline, default_validation_threads, DiscoveryConfig};
+pub use config::{default_faults, default_pipeline, default_validation_threads, DiscoveryConfig};
 pub use constraints::TargetConstraints;
 pub use discovery::{DiscoveredQuery, Discovery, DiscoveryResult, DiscoveryStats};
 pub use error::Error;
 pub use explain::QueryGraph;
+pub use faults::{FaultKind, FaultNote, FaultReport, FaultSite, FaultSpec, SlotVerdict};
 pub use filters::{Filter, FilterId, FilterSet, PlanCacheStats};
 pub use related::RelatedColumns;
-pub use scheduler::{Engine, SchedCtx, Scheduler, SchedulerKind};
+pub use scheduler::{Engine, FaultedFilter, SchedCtx, Scheduler, SchedulerKind};
 pub use service::{DiscoveryService, SessionHandle, ThreadBudget};
 pub use session::{Session, SessionConfig};

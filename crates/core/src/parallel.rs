@@ -14,7 +14,7 @@
 //!   drains its home shard — slots `w, w + T, w + 2T, …` — then sweeps the
 //!   whole batch **stealing** any slot still unclaimed, so a worker stuck
 //!   on one expensive validation never strands the rest of its shard. A
-//!   stolen slot is just `validate_filter_cached` against the thief's own
+//!   stolen slot is just a guarded validation against the thief's own
 //!   [`ExecScratch`];
 //! * verdicts are reported per slot, so the coordinator applies them in
 //!   batch order: the outcome is deterministic regardless of how the OS
@@ -24,16 +24,30 @@
 //! * a cooperative [`CancelFlag`] replaces the sequential scheduler's
 //!   between-validations deadline check: the coordinator raises it when
 //!   the deadline passes, workers test it between validations and skip
-//!   (rather than abort) the remaining work of the round.
+//!   (rather than abort) the remaining work of the round. The flag is also
+//!   threaded *into* each worker's [`ExecScratch`], so the executor's
+//!   in-query step tick can interrupt a long scan mid-validation;
+//! * every slot runs through [`crate::validate::validate_filter_guarded`]:
+//!   a panic inside a validation (a user UDF, an injected chaos fault, an
+//!   engine bug) is contained as [`SlotVerdict::Faulted`] and the worker's
+//!   scratch is quarantined and rebuilt — one bad filter can never
+//!   collapse the pool or poison a sibling's slot;
+//! * a coordinator-side **watchdog** escalates a round stuck past the
+//!   deadline: first the cooperative cancel flag, then — after a grace
+//!   window ([`abandon_grace`]) — a hard abandon that detaches the round
+//!   and reconciles its missing verdicts as [`SlotVerdict::Skipped`]
+//!   (unknown). Late reports from detached workers are dropped by a
+//!   generation check.
 //!
 //! Everything here is plain `std` — `thread::scope`, `Mutex`, `Condvar`,
 //! `AtomicBool` — because the workspace vendors no async or thread-pool
 //! dependencies.
 
 use crate::constraints::TargetConstraints;
+use crate::faults::{FaultCounters, SlotVerdict};
 use crate::filters::{FilterId, FilterSet, PlanCache};
 use crate::scheduler::SchedCtx;
-use crate::validate::validate_filter_cached;
+use crate::validate::{validate_filter_guarded, SlotEnv};
 use prism_db::{ExecScratch, ExecStats};
 use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -60,15 +74,16 @@ const _: () = {
 };
 
 /// Cooperative cancellation shared by the coordinator and all workers.
-/// Validation of a single filter is atomic (it cannot be interrupted
-/// mid-query, exactly like the old sequential loop, which only checked the
-/// deadline *between* validations); once raised, every not-yet-started
-/// validation is skipped.
-pub struct CancelFlag(AtomicBool);
+/// Once raised, every not-yet-started validation is skipped, and — through
+/// the [`Arc`] handle [`CancelFlag::shared`] plants in each worker's
+/// [`ExecScratch`] — the executor's step tick aborts in-flight scans at
+/// the next row boundary, so even a single enormous validation cannot
+/// blow through the round deadline unchecked.
+pub struct CancelFlag(Arc<AtomicBool>);
 
 impl CancelFlag {
     pub fn new() -> CancelFlag {
-        CancelFlag(AtomicBool::new(false))
+        CancelFlag(Arc::new(AtomicBool::new(false)))
     }
 
     pub fn cancel(&self) {
@@ -78,6 +93,25 @@ impl CancelFlag {
     pub fn is_cancelled(&self) -> bool {
         self.0.load(Ordering::Acquire)
     }
+
+    /// A shared handle for [`ExecScratch::set_cancel`]: the executor polls
+    /// it between rows.
+    pub fn shared(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.0)
+    }
+}
+
+/// How long past the deadline the coordinator's watchdog waits for
+/// cooperative cancellation to drain a round before hard-abandoning it.
+/// Generous relative to the executor's tick granularity (~1024 rows);
+/// `PRISM_FAULT_GRACE_MS` overrides it (chaos tests shrink the window).
+fn abandon_grace() -> Duration {
+    std::env::var("PRISM_FAULT_GRACE_MS")
+        .ok()
+        .and_then(|s| s.trim().parse::<u64>().ok())
+        .filter(|&ms| ms > 0)
+        .map(Duration::from_millis)
+        .unwrap_or(Duration::from_millis(200))
 }
 
 impl Default for CancelFlag {
@@ -113,15 +147,20 @@ impl RoundWork {
 
 /// One round of work plus the pool's lifecycle state, all behind one lock.
 struct RoundState {
-    /// Bumped per batch; workers use it to detect fresh work.
+    /// Bumped per batch; workers use it to detect fresh work — and, with
+    /// [`RoundState::abandoned`], to discard late reports against a round
+    /// the watchdog already reconciled.
     generation: u64,
     /// The current round's claimable batch; `None` before the first round.
     work: Option<Arc<RoundWork>>,
-    /// Per-slot verdicts; `None` = skipped because cancellation fired
-    /// before the validation started.
-    verdicts: Vec<Option<bool>>,
+    /// Per-slot verdicts, pre-filled with [`SlotVerdict::Skipped`] so an
+    /// abandoned round reads as all-unknown without further bookkeeping.
+    verdicts: Vec<SlotVerdict>,
     /// Batch slots not yet reported back.
     pending: usize,
+    /// The watchdog detached the in-flight round: its workers are still
+    /// running (cancel flag raised), but their verdicts no longer count.
+    abandoned: bool,
     shutdown: bool,
     /// Workers that have merged their stats and exited.
     exited: usize,
@@ -129,6 +168,10 @@ struct RoundState {
     exec: ExecStats,
     /// Slots validated by a worker outside their home shard, pool-lifetime.
     stolen: u64,
+    /// Per-worker fault counters, merged once per worker at shutdown.
+    faults: FaultCounters,
+    /// Rounds the watchdog hard-abandoned, pool-lifetime.
+    rounds_abandoned: u64,
 }
 
 struct PoolShared {
@@ -145,6 +188,8 @@ pub(crate) struct BatchRunner<'p> {
     shared: &'p PoolShared,
     cancel: &'p CancelFlag,
     deadline: Option<Instant>,
+    /// Watchdog escalation window past `deadline` (see [`abandon_grace`]).
+    grace: Duration,
 }
 
 impl BatchRunner<'_> {
@@ -172,7 +217,7 @@ impl BatchRunner<'_> {
     /// This is the phased path: [`post`](Self::post) then immediately
     /// [`wait_drain`](Self::wait_drain). The pipelined scheduler calls
     /// them separately so it can speculate between the two.
-    pub fn run(&mut self, batch: &[FilterId]) -> Vec<Option<bool>> {
+    pub fn run(&mut self, batch: &[FilterId]) -> Vec<SlotVerdict> {
         self.post(batch);
         self.wait_drain()
     }
@@ -187,15 +232,26 @@ impl BatchRunner<'_> {
         debug_assert_eq!(g.pending, 0, "a round is already in flight");
         g.work = Some(Arc::new(RoundWork::new(batch)));
         g.verdicts.clear();
-        g.verdicts.resize(batch.len(), None);
+        g.verdicts.resize(batch.len(), SlotVerdict::Skipped);
         g.pending = batch.len();
+        g.abandoned = false;
         g.generation += 1;
         self.shared.work.notify_all();
     }
 
     /// Block until the in-flight round posted by [`post`](Self::post) has
-    /// fully drained and return its per-slot verdicts in batch order.
-    pub fn wait_drain(&mut self) -> Vec<Option<bool>> {
+    /// fully drained — or until the watchdog gives up on it — and return
+    /// its per-slot verdicts in batch order.
+    ///
+    /// Watchdog escalation: at the deadline the cancel flag is raised
+    /// (cooperative — workers skip unstarted slots, in-flight executors
+    /// abort at the next step tick); if the round *still* has not drained
+    /// `grace` past the deadline, the round is **hard-abandoned** — marked
+    /// detached, its pending count zeroed, its unreported slots left as
+    /// [`SlotVerdict::Skipped`] (unknown). Detached workers keep running
+    /// harmlessly until their next report, which the generation/abandoned
+    /// check discards.
+    pub fn wait_drain(&mut self) -> Vec<SlotVerdict> {
         let mut g = self.shared.round.lock().expect("pool lock");
         while g.pending > 0 {
             match self.deadline {
@@ -207,8 +263,15 @@ impl BatchRunner<'_> {
                         .wait_timeout(g, Duration::from_millis(2))
                         .expect("pool lock");
                     g = guard;
-                    if !self.cancel.is_cancelled() && Instant::now() >= d {
+                    let now = Instant::now();
+                    if !self.cancel.is_cancelled() && now >= d {
                         self.cancel.cancel();
+                    }
+                    if now >= d + self.grace {
+                        g.abandoned = true;
+                        g.pending = 0;
+                        g.rounds_abandoned += 1;
+                        break;
                     }
                 }
             }
@@ -218,10 +281,13 @@ impl BatchRunner<'_> {
 }
 
 /// What a pool run produced besides the closure's result: the merged
-/// per-worker [`ExecStats`] and the work-stealing counter.
+/// per-worker [`ExecStats`], the work-stealing counter, and the fault
+/// ledger.
 pub(crate) struct PoolReport {
     pub exec: ExecStats,
     pub stolen: u64,
+    pub faults: FaultCounters,
+    pub rounds_abandoned: u64,
 }
 
 /// Run `coordinate` against a live pool of `threads` validation workers
@@ -241,10 +307,13 @@ pub(crate) fn validate_with_pool<R>(
             work: None,
             verdicts: Vec::new(),
             pending: 0,
+            abandoned: false,
             shutdown: false,
             exited: 0,
             exec: ExecStats::default(),
             stolen: 0,
+            faults: FaultCounters::default(),
+            rounds_abandoned: 0,
         }),
         work: Condvar::new(),
         done: Condvar::new(),
@@ -253,7 +322,7 @@ pub(crate) fn validate_with_pool<R>(
     std::thread::scope(|scope| {
         for w in 0..threads {
             let (shared, cancel, ctx) = (&shared, &cancel, &*ctx);
-            scope.spawn(move || worker_loop(w, threads, ctx, shared, cancel));
+            scope.spawn(move || worker_loop(w, threads, ctx, shared, cancel, deadline));
         }
         // Shut the workers down even if `coordinate` panics: without this
         // the scope would join forever against workers parked on `work`.
@@ -271,6 +340,7 @@ pub(crate) fn validate_with_pool<R>(
             shared: &shared,
             cancel: &cancel,
             deadline,
+            grace: abandon_grace(),
         };
         let result = coordinate(&mut runner);
         drop(guard); // normal path: request shutdown…
@@ -284,6 +354,8 @@ pub(crate) fn validate_with_pool<R>(
             PoolReport {
                 exec: g.exec,
                 stolen: g.stolen,
+                faults: g.faults,
+                rounds_abandoned: g.rounds_abandoned,
             },
         )
     })
@@ -298,11 +370,25 @@ fn worker_loop(
     ctx: &SchedCtx<'_>,
     shared: &PoolShared,
     cancel: &CancelFlag,
+    deadline: Option<Instant>,
 ) {
     let mut local_exec = ExecStats::default();
+    let mut local_faults = FaultCounters::default();
     // Thread-local executor scratch, reused across every validation this
     // worker runs (all rounds of the pool's lifetime): buffers are cleared
-    // between runs, never reallocated.
+    // between runs, never reallocated. The guarded validator arms it with
+    // the pool's cancel flag and deadline so the executor's step tick can
+    // interrupt scans mid-validation — and quarantines + rebuilds it if a
+    // validation unwinds through it.
+    let cancel_shared = cancel.shared();
+    let env = SlotEnv {
+        db: ctx.db,
+        fs: ctx.fs,
+        constraints: ctx.constraints,
+        faults: ctx.faults.as_ref(),
+        cancel: Some(&cancel_shared),
+        deadline,
+    };
     let mut scratch = ExecScratch::new();
     let mut seen_generation = 0u64;
     loop {
@@ -311,6 +397,7 @@ fn worker_loop(
             loop {
                 if g.shutdown {
                     g.exec.merge(&local_exec);
+                    g.faults.merge(&local_faults);
                     g.exited += 1;
                     shared.done.notify_all();
                     return;
@@ -322,25 +409,22 @@ fn worker_loop(
                 g = shared.work.wait(g).expect("pool lock");
             }
         };
-        // All validation happens outside the lock. A cancelled slot is
-        // still claimed and reported (verdict `None` — skipped, not
-        // failed: the coordinator sees a timeout), so `pending` always
-        // drains to zero.
-        let run_one = |slot: usize, scratch: &mut ExecScratch, exec: &mut ExecStats| {
+        // All validation happens outside the lock, fault-contained: a
+        // cancelled slot is still claimed and reported (`Skipped` —
+        // unknown, not failed), a panicking one reports `Faulted`, so
+        // `pending` always drains to zero unless the watchdog detaches
+        // the round first.
+        let mut run_one = |slot: usize,
+                           scratch: &mut ExecScratch,
+                           exec: &mut ExecStats|
+         -> SlotVerdict {
             if cancel.is_cancelled() {
-                None
+                SlotVerdict::Skipped
             } else {
-                Some(validate_filter_cached(
-                    ctx.db,
-                    ctx.fs,
-                    work.batch[slot],
-                    ctx.constraints,
-                    scratch,
-                    exec,
-                ))
+                validate_filter_guarded(&env, work.batch[slot], scratch, exec, &mut local_faults)
             }
         };
-        let mut verdicts: Vec<(usize, Option<bool>)> = Vec::new();
+        let mut verdicts: Vec<(usize, SlotVerdict)> = Vec::new();
         // Phase 1: the home shard, every slot attempted exactly once.
         let mut slot = w;
         while slot < work.batch.len() {
@@ -366,14 +450,22 @@ fn worker_loop(
         }
         if !verdicts.is_empty() {
             let mut g = shared.round.lock().expect("pool lock");
-            let n = verdicts.len();
-            for (s, v) in verdicts {
-                g.verdicts[s] = v;
-            }
-            g.pending -= n;
-            g.stolen += stolen;
-            if g.pending == 0 {
-                shared.done.notify_all();
+            if g.generation == seen_generation && !g.abandoned {
+                let n = verdicts.len();
+                for (s, v) in verdicts {
+                    g.verdicts[s] = v;
+                }
+                g.pending -= n;
+                g.stolen += stolen;
+                if g.pending == 0 {
+                    shared.done.notify_all();
+                }
+            } else {
+                // The watchdog detached this round (or a newer one was
+                // posted over it): the coordinator already reconciled these
+                // slots as unknown, so the verdicts are dropped. The
+                // steal counter still reflects work actually done.
+                g.stolen += stolen;
             }
         }
     }
@@ -391,6 +483,23 @@ mod tests {
         assert!(c.is_cancelled());
         c.cancel(); // idempotent
         assert!(c.is_cancelled());
+    }
+
+    #[test]
+    fn shared_handle_observes_cancellation() {
+        let c = CancelFlag::new();
+        let h = c.shared();
+        assert!(!h.load(Ordering::Acquire));
+        c.cancel();
+        assert!(h.load(Ordering::Acquire), "executor-side handle sees it");
+    }
+
+    #[test]
+    fn grace_window_defaults_sane() {
+        // Whatever the environment (chaos CI shrinks it), the watchdog
+        // window must be positive — zero would abandon every round at the
+        // deadline instant, before cooperative cancellation gets a chance.
+        assert!(abandon_grace() > Duration::ZERO);
     }
 
     #[test]

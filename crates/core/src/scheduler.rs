@@ -50,13 +50,18 @@
 //! work, never change the accept set.
 
 use crate::constraints::TargetConstraints;
+use crate::faults::{
+    delay_steps, injected_panic, FaultCounters, FaultKind, FaultNote, FaultSite, FaultSpec,
+    SlotVerdict,
+};
 use crate::filters::{Filter, FilterId, FilterSet};
 use crate::parallel::{validate_with_pool, BatchRunner};
-use crate::validate::validate_filter_cached;
+use crate::validate::{validate_filter_cached, validate_filter_guarded, SlotEnv};
 use prism_bayes::BayesEstimator;
 use prism_db::{Database, ExecScratch, ExecStats};
 use prism_lang::ValueConstraint;
 use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 /// Which validation strategy to use.
@@ -233,6 +238,34 @@ pub struct ScheduleOutcome {
     pub speculative_wasted: u64,
     /// True if the deadline expired before every candidate was classified.
     pub timed_out: bool,
+    /// Faults the injection layer fired across this run's validation
+    /// slots and speculative scorings (0 unless `PRISM_FAULT` /
+    /// [`SchedCtx::faults`] armed injection).
+    pub faults_injected: u64,
+    /// Transient-fault retries performed by guarded validation slots.
+    pub fault_retries: u64,
+    /// Validation rounds the watchdog hard-abandoned past the deadline
+    /// grace window (their unreported slots reconciled as unknown).
+    pub rounds_abandoned: u64,
+    /// Filters whose validation faulted — a contained panic (user UDF,
+    /// injected chaos, engine bug) or an exhausted transient-retry budget.
+    /// Each entry names the candidates it abandoned. Empty = clean run.
+    pub faulted: Vec<FaultedFilter>,
+}
+
+/// One faulted filter in a [`ScheduleOutcome`]: the scheduling-level
+/// record behind a degraded result's
+/// [`crate::faults::FaultReport`].
+#[derive(Debug, Clone)]
+pub struct FaultedFilter {
+    pub filter: FilterId,
+    /// Contained panic message or transient-exhaustion description.
+    pub reason: String,
+    /// Transient retries burned before the fault was declared.
+    pub retries: u32,
+    /// Alive candidates abandoned because this filter — one of their top
+    /// filters — can no longer be decided.
+    pub candidates: Vec<u32>,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -240,6 +273,9 @@ enum FState {
     Pending,
     Succeeded,
     Failed,
+    /// Validation faulted: the verdict is unobtainable, which is *not*
+    /// evidence — neither success nor failure propagates from here.
+    Faulted,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -247,6 +283,9 @@ enum CState {
     Alive,
     Accepted,
     Failed,
+    /// A top filter faulted: the candidate can never be proven, but was
+    /// not disproven either. Excluded from results, reported as degraded.
+    Abandoned,
 }
 
 /// The read-only side of one scheduling run: the frozen database, the
@@ -261,6 +300,9 @@ pub struct SchedCtx<'a> {
     pub fs: &'a FilterSet,
     /// Deadline after which the run reports `timed_out`; `None` = unbounded.
     pub deadline: Option<Instant>,
+    /// Deterministic fault injection for the `ValidationSlot` and
+    /// `SpeculativeScore` sites; `None` (the default) disables injection.
+    pub faults: Option<FaultSpec>,
 }
 
 impl<'a> SchedCtx<'a> {
@@ -274,11 +316,17 @@ impl<'a> SchedCtx<'a> {
             constraints,
             fs,
             deadline: None,
+            faults: None,
         }
     }
 
     pub fn with_deadline(mut self, deadline: Option<Instant>) -> SchedCtx<'a> {
         self.deadline = deadline;
+        self
+    }
+
+    pub fn with_faults(mut self, faults: Option<FaultSpec>) -> SchedCtx<'a> {
+        self.faults = faults;
         self
     }
 }
@@ -477,6 +525,15 @@ impl RunState {
         if self.cstate[c as usize] != CState::Alive {
             return;
         }
+        // A candidate the deadline-truncated decomposition never reached has
+        // no filters at all; `.all()` over its empty top list would be
+        // vacuously true and accept a completely unvalidated query. Such
+        // candidates simply stay Alive and are dropped when the round ends.
+        // (A *decomposed* candidate with an empty top list is legitimate —
+        // metadata-only tasks have no sample filters — and stays accepted.)
+        if !ctx.fs.decomposed.is_empty() && !ctx.fs.decomposed[c as usize] {
+            return;
+        }
         let all_tops_ok = ctx.fs.tops[c as usize]
             .iter()
             .all(|t| self.fstate[t.index()] == FState::Succeeded);
@@ -485,6 +542,34 @@ impl RunState {
             self.log_candidate(c);
             self.outcome.accepted.push(c);
         }
+    }
+
+    /// Mark `f` faulted: its verdict is unobtainable. Candidates that need
+    /// `f` as a top filter are **abandoned** (not failed — a crash proves
+    /// nothing about the data), and crucially *no* failure propagates to
+    /// superfilters: implication pruning only ever acts on ground-truth
+    /// verdicts, so one faulting filter cannot poison its siblings.
+    fn mark_faulted(&mut self, ctx: &SchedCtx<'_>, f: FilterId, note: FaultNote) {
+        if self.fstate[f.index()] != FState::Pending {
+            return;
+        }
+        self.fstate[f.index()] = FState::Faulted;
+        self.log_filter(f);
+        let mut abandoned = Vec::new();
+        for &c in &ctx.fs.filter(f).top_for {
+            self.unresolved_tops[c as usize] -= 1;
+            self.log_candidate(c);
+            if self.cstate[c as usize] == CState::Alive {
+                self.cstate[c as usize] = CState::Abandoned;
+                abandoned.push(c);
+            }
+        }
+        self.outcome.faulted.push(FaultedFilter {
+            filter: f,
+            reason: note.reason,
+            retries: note.retries,
+            candidates: abandoned,
+        });
     }
 
     /// Record one executed validation's verdict and propagate it.
@@ -497,18 +582,41 @@ impl RunState {
         }
     }
 
+    /// Apply one slot's verdict from a guarded validation (pool or
+    /// sequential): ground truth propagates, a skip flags the timeout (the
+    /// filter stays pending), a fault resolves the filter as undecidable.
+    fn apply_slot(&mut self, ctx: &SchedCtx<'_>, f: FilterId, v: SlotVerdict) {
+        match v {
+            SlotVerdict::Done(ok) => self.apply_validated(ctx, f, ok),
+            SlotVerdict::Skipped => self.outcome.timed_out = true,
+            SlotVerdict::Faulted(note) => self.mark_faulted(ctx, f, note),
+        }
+    }
+
     /// Validate one filter on the coordinator thread (sequential engines),
-    /// through the filter set's shared plan cache and this run's scratch.
+    /// through the filter set's shared plan cache and this run's scratch —
+    /// fault-contained exactly like a pool slot, with the run deadline
+    /// armed so the executor's step tick can interrupt a scan mid-filter.
     fn validate_now(&mut self, ctx: &SchedCtx<'_>, f: FilterId) {
-        let ok = validate_filter_cached(
-            ctx.db,
-            ctx.fs,
+        let env = SlotEnv {
+            db: ctx.db,
+            fs: ctx.fs,
+            constraints: ctx.constraints,
+            faults: ctx.faults.as_ref(),
+            cancel: None,
+            deadline: ctx.deadline,
+        };
+        let mut counters = FaultCounters::default();
+        let v = validate_filter_guarded(
+            &env,
             f,
-            ctx.constraints,
             &mut self.scratch,
             &mut self.outcome.exec,
+            &mut counters,
         );
-        self.apply_validated(ctx, f, ok);
+        self.outcome.faults_injected += counters.injected;
+        self.outcome.fault_retries += counters.retries;
+        self.apply_slot(ctx, f, v);
     }
 
     fn finish(mut self) -> ScheduleOutcome {
@@ -854,11 +962,7 @@ fn greedy_parallel(
                 break;
             }
             for (f, verdict) in batch.iter().zip(pool.run(&batch)) {
-                match verdict {
-                    Some(ok) => state.apply_validated(ctx, *f, ok),
-                    // Skipped by cancellation: the filter stays pending.
-                    None => state.outcome.timed_out = true,
-                }
+                state.apply_slot(ctx, *f, verdict);
             }
         }
         state
@@ -866,6 +970,9 @@ fn greedy_parallel(
     let mut state = state;
     state.outcome.exec.merge(&report.exec);
     state.outcome.stolen = report.stolen;
+    state.outcome.faults_injected += report.faults.injected;
+    state.outcome.fault_retries += report.faults.retries;
+    state.outcome.rounds_abandoned += report.rounds_abandoned;
     state.finish()
 }
 
@@ -874,7 +981,12 @@ fn greedy_parallel(
 /// cooperative deadline *per score* — a deadline firing mid-speculation
 /// raises the cancel flag immediately, so workers skip their remaining
 /// validations within one validation slot, exactly as in the phased path.
-/// Returns the number of scores computed.
+///
+/// Speculation is fault-contained at the `SpeculativeScore` injection
+/// site: a panic while scoring (injected or real) simply leaves that
+/// filter's cache entry unpopulated — [`select_batch`] recomputes it
+/// synchronously, so a scoring fault can cost time but never a verdict.
+/// Returns `(scores computed, faults injected)`.
 fn speculate(
     ctx: &SchedCtx<'_>,
     state: &RunState,
@@ -882,8 +994,9 @@ fn speculate(
     cache: &mut ScoreCache,
     pool: &BatchRunner<'_>,
     in_flight: &[bool],
-) -> u64 {
+) -> (u64, u64) {
     let mut computed = 0u64;
+    let mut injected = 0u64;
     for f in &ctx.fs.filters {
         let i = f.id.index();
         if state.fstate[i] != FState::Pending || in_flight[i] || cache.valid(f.id) {
@@ -892,12 +1005,29 @@ fn speculate(
         if pool.deadline_expired() {
             break;
         }
-        let s = scoring.score(ctx, state, f);
-        cache.store(f.id, s);
-        cache.spec[i] = cache.epoch;
-        computed += 1;
+        let fired = ctx
+            .faults
+            .as_ref()
+            .and_then(|s| s.check(FaultSite::SpeculativeScore, i as u64));
+        if fired.is_some() {
+            injected += 1;
+        }
+        let scored = catch_unwind(AssertUnwindSafe(|| {
+            match fired {
+                Some(FaultKind::Panic) => injected_panic(FaultSite::SpeculativeScore, i as u64),
+                Some(FaultKind::Delay) => delay_steps(1024),
+                // Scoring has no retry budget; a transient here is a no-op.
+                Some(FaultKind::Transient) | None => {}
+            }
+            scoring.score(ctx, state, f)
+        }));
+        if let Ok(s) = scored {
+            cache.store(f.id, s);
+            cache.spec[i] = cache.epoch;
+            computed += 1;
+        }
     }
-    computed
+    (computed, injected)
 }
 
 /// Reconcile the score cache with the changes the drained round's verdicts
@@ -994,18 +1124,16 @@ fn greedy_pipelined(
             pool.post(&batch);
             state.outcome.rounds_overlapped += 1;
             // The overlap window: the pool validates while we score.
-            state.outcome.speculative_scores +=
+            let (computed, injected) =
                 speculate(ctx, &state, &mut scoring, &mut cache, pool, &in_flight);
+            state.outcome.speculative_scores += computed;
+            state.outcome.faults_injected += injected;
             let verdicts = pool.wait_drain();
             for &f in &batch {
                 in_flight[f.index()] = false;
             }
             for (f, verdict) in batch.iter().zip(verdicts) {
-                match verdict {
-                    Some(ok) => state.apply_validated(ctx, *f, ok),
-                    // Skipped by cancellation: the filter stays pending.
-                    None => state.outcome.timed_out = true,
-                }
+                state.apply_slot(ctx, *f, verdict);
             }
             state.outcome.speculative_wasted += reconcile(fs, &mut state, &mut cache);
         }
@@ -1014,6 +1142,9 @@ fn greedy_pipelined(
     let mut state = state;
     state.outcome.exec.merge(&report.exec);
     state.outcome.stolen = report.stolen;
+    state.outcome.faults_injected += report.faults.injected;
+    state.outcome.fault_retries += report.faults.retries;
+    state.outcome.rounds_abandoned += report.rounds_abandoned;
     state.finish()
 }
 
@@ -1040,7 +1171,9 @@ fn naive_schedule(ctx: &SchedCtx<'_>) -> ScheduleOutcome {
             // for filters another candidate also contains, but do not let
             // success/failure imply anything beyond this candidate's fate.
             state.validate_now(ctx, t);
-            if state.fstate[t.index()] == FState::Failed {
+            // Anything short of success — failed, faulted, or skipped at
+            // the deadline — means this candidate cannot be accepted.
+            if state.fstate[t.index()] != FState::Succeeded {
                 continue 'cands;
             }
         }

@@ -27,12 +27,15 @@ use crate::constraints::TargetConstraints;
 use crate::discovery::{run_round, DiscoveryResult, RoundOptions};
 use crate::error::Error;
 use crate::explain::{all_picks, explain, ConstraintPick, QueryGraph};
+use crate::faults::FaultReport;
 use crate::filters::{PlanCacheStats, SharedPlanCache};
 use crate::scheduler::SchedulerKind;
 use crate::session::{ConstraintGrid, SessionConfig};
+use crate::validate::panic_message;
 use prism_bayes::{BayesEstimator, TrainConfig};
 use prism_db::Database;
 use prism_lang::UdfRegistry;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -282,6 +285,15 @@ impl SessionHandle {
     /// one granted slot itself (it scores speculatively while a batch
     /// drains) and the pool runs on the remaining `threads - 1`, so the
     /// budget's accounting is unchanged by pipelining.
+    ///
+    /// Fault isolation: the round runs inside a panic boundary. The
+    /// validation stack already contains per-slot faults ([`DiscoveryResult`]
+    /// degrades instead of failing); this last line of defense catches a
+    /// coordinator-level unwind too, so one faulting session can never
+    /// take down its siblings or poison the service — the thread lease
+    /// returns to the budget, shared state (plan cache, estimator) is
+    /// never mutated mid-panic, and the session stores an empty degraded
+    /// result naming the fault.
     pub fn start_searching(&mut self) -> Result<&DiscoveryResult, Error> {
         let constraints = self.grid.parse(&self.udfs)?;
         let config = &self.config.discovery;
@@ -290,18 +302,31 @@ impl SessionHandle {
             _ => self.svc.estimator.get(),
         };
         let lease = self.svc.budget.acquire(config.validation_threads);
-        let result = run_round(
-            &self.svc.db,
-            config,
-            estimator,
-            &constraints,
-            RoundOptions {
-                want_oracle: false,
-                shared_plans: Some(&self.svc.plans),
-                threads: lease.threads(),
-            },
-        );
+        let threads = lease.threads();
+        let round = catch_unwind(AssertUnwindSafe(|| {
+            run_round(
+                &self.svc.db,
+                config,
+                estimator,
+                &constraints,
+                RoundOptions {
+                    want_oracle: false,
+                    shared_plans: Some(&self.svc.plans),
+                    threads,
+                },
+            )
+        }));
         drop(lease);
+        let result = round.unwrap_or_else(|payload| DiscoveryResult {
+            degraded: true,
+            fault_reports: vec![FaultReport {
+                filter_sql: "(round coordinator)".to_string(),
+                reason: panic_message(&*payload),
+                retries: 0,
+                candidates: 0,
+            }],
+            ..DiscoveryResult::default()
+        });
         self.svc.rounds_run.fetch_add(1, Ordering::Relaxed);
         self.last_constraints = Some(constraints);
         self.last_result = Some(result);

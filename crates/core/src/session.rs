@@ -185,6 +185,13 @@ impl<'a> Session<'a> {
     /// next batch overlaps the previous batch's validation drain. The
     /// Result section is identical either way; `PRISM_PIPELINE=off` (or
     /// `pipeline: false`) restores the phased path.
+    ///
+    /// A faulting filter (a panicking UDF, an injected fault under
+    /// `PRISM_FAULT`) does not abort the search: its candidates are
+    /// abandoned, the Result section comes back with
+    /// [`DiscoveryResult::degraded`] set and a fault report per affected
+    /// filter, and every query listed is still fully validated. Use
+    /// [`Session::degradation_notice`] for the user-facing banner.
     pub fn start_searching(&mut self) -> Result<&DiscoveryResult, Error> {
         let constraints = self.grid.parse(&self.udfs)?;
         let result = self.engine.run(&constraints);
@@ -196,6 +203,14 @@ impl<'a> Session<'a> {
     /// The Result section of the last search.
     pub fn result(&self) -> Option<&DiscoveryResult> {
         self.last_result.as_ref()
+    }
+
+    /// The Result section's degradation banner: `None` when the last
+    /// search completed cleanly, `Some(text)` when faults or the watchdog
+    /// reduced it to a sound subset (see
+    /// [`DiscoveryResult::degradation_notice`]).
+    pub fn degradation_notice(&self) -> Option<String> {
+        self.last_result.as_ref()?.degradation_notice()
     }
 
     /// Step 4.1: the SQL text of one discovered query (Figure 4b).

@@ -20,15 +20,33 @@
 
 use crate::candidates::build_query;
 use crate::constraints::TargetConstraints;
+use crate::faults::{
+    attempt_token, delay_steps, injected_panic, FaultCounters, FaultKind, FaultNote, FaultSite,
+    FaultSpec, SlotVerdict,
+};
 use crate::filters::{Filter, FilterId, FilterSet, PlanCache};
-use prism_db::{Database, ExecScratch, ExecStats, PjQuery, ProjPred, ScanPred, ValueRef};
+use prism_db::{Database, DbError, ExecScratch, ExecStats, PjQuery, ProjPred, ScanPred, ValueRef};
 use prism_lang::matches_value_ref_with;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Validation without a cancel handle or deadline attached to the scratch
+/// cannot be interrupted, so the `Result` of the inner path is vacuous for
+/// the plain `bool` wrappers.
+const UNINTERRUPTED: &str = "validation without a cancel handle or deadline cannot be cancelled";
+
+/// Transient-fault retry budget per validation slot (attempt 0 plus up to
+/// this many retries).
+pub const MAX_TRANSIENT_RETRIES: u32 = 2;
 
 /// Validate `filter` against `db` under `constraints`. Returns whether the
 /// filter is satisfied; work is accumulated into `stats`.
 ///
 /// One-shot path: compiles the filter's query and uses a fresh scratch
-/// every call. Scheduling engines use [`validate_filter_cached`] instead.
+/// every call. Scheduling engines use [`validate_filter_guarded`] (fault
+/// containment) or [`validate_filter_cached`] instead.
 pub fn validate_filter(
     db: &Database,
     filter: &Filter,
@@ -36,7 +54,7 @@ pub fn validate_filter(
     stats: &mut ExecStats,
 ) -> bool {
     let mut scratch = ExecScratch::new();
-    run_validation(db, filter, constraints, None, &mut scratch, stats)
+    run_validation(db, filter, constraints, None, &mut scratch, stats).expect(UNINTERRUPTED)
 }
 
 /// Validate one filter of `fs`, reusing its shared prepared-plan cache and
@@ -44,6 +62,11 @@ pub fn validate_filter(
 /// only difference is that compilation happens at most once per query class
 /// ([`ExecStats::plans_built`]) and the scratch amortizes its allocations
 /// across calls ([`ExecStats::scratch_reuses`]).
+///
+/// The caller's scratch must not carry a cancel handle or deadline — this
+/// wrapper panics on interruption. Cancellation-aware callers (the
+/// validation pool, the sequential greedy loop) use
+/// [`validate_filter_guarded`].
 pub fn validate_filter_cached(
     db: &Database,
     fs: &FilterSet,
@@ -60,6 +83,129 @@ pub fn validate_filter_cached(
         scratch,
         stats,
     )
+    .expect(UNINTERRUPTED)
+}
+
+/// Everything a guarded validation slot shares with its siblings: the
+/// frozen inputs plus the round's interruption and fault-injection state.
+/// One of these lives per worker (or per sequential loop) and is reused
+/// across every slot it runs.
+pub(crate) struct SlotEnv<'a> {
+    pub db: &'a Database,
+    pub fs: &'a FilterSet,
+    pub constraints: &'a TargetConstraints,
+    /// Injection spec for the `ValidationSlot` site; `None` = chaos off.
+    pub faults: Option<&'a FaultSpec>,
+    /// The round's cancel flag, re-attached to a rebuilt scratch.
+    pub cancel: Option<&'a Arc<AtomicBool>>,
+    /// The round's deadline, re-attached to a rebuilt scratch.
+    pub deadline: Option<Instant>,
+}
+
+impl SlotEnv<'_> {
+    /// Arm `scratch` with this round's cancel flag and deadline so the
+    /// executor's in-query tick can interrupt long scans.
+    fn arm(&self, scratch: &mut ExecScratch) {
+        scratch.set_cancel(self.cancel.map(Arc::clone));
+        scratch.set_deadline(self.deadline);
+    }
+}
+
+/// Fault-contained validation of one slot: the engine-facing entry point
+/// of the robustness layer.
+///
+/// Differences from [`validate_filter_cached`]:
+///
+/// * a panic anywhere inside the validation (a user UDF, an injected chaos
+///   fault, a genuine engine bug) is caught; the slot reports
+///   [`SlotVerdict::Faulted`] with the panic message and the worker's
+///   scratch is **quarantined** — dropped and rebuilt, because an unwound
+///   executor may hold arbitrary partial state;
+/// * cooperative interruption ([`prism_db::Error::Cancelled`] from the
+///   executor's step tick) surfaces as [`SlotVerdict::Skipped`] — unknown,
+///   not failed;
+/// * injected transient faults are retried up to [`MAX_TRANSIENT_RETRIES`]
+///   times with exponential backoff in virtual steps (wall-clock free, so
+///   seeded chaos runs stay deterministic), re-rolling the injection
+///   decision per attempt.
+pub(crate) fn validate_filter_guarded(
+    env: &SlotEnv<'_>,
+    f: FilterId,
+    scratch: &mut ExecScratch,
+    stats: &mut ExecStats,
+    counters: &mut FaultCounters,
+) -> SlotVerdict {
+    env.arm(scratch);
+    let token = f.index() as u64;
+    let mut retries = 0u32;
+    for attempt in 0u32.. {
+        let fired = env
+            .faults
+            .and_then(|s| s.check(FaultSite::ValidationSlot, attempt_token(token, attempt)));
+        if fired.is_some() {
+            counters.injected += 1;
+        }
+        if matches!(fired, Some(FaultKind::Transient)) {
+            // Simulated retryable failure (a flaky page read, a poisoned
+            // cache line): no validation work happens this attempt.
+            if retries < MAX_TRANSIENT_RETRIES {
+                retries += 1;
+                counters.retries += 1;
+                delay_steps(64 << retries);
+                continue;
+            }
+            return SlotVerdict::Faulted(FaultNote {
+                reason: format!("transient fault persisted after {retries} retries"),
+                retries,
+            });
+        }
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            match fired {
+                Some(FaultKind::Panic) => {
+                    injected_panic(FaultSite::ValidationSlot, attempt_token(token, attempt))
+                }
+                Some(FaultKind::Delay) => delay_steps(4096),
+                Some(FaultKind::Transient) | None => {}
+            }
+            run_validation(
+                env.db,
+                env.fs.filter(f),
+                env.constraints,
+                Some(&env.fs.plans),
+                scratch,
+                stats,
+            )
+        }));
+        return match run {
+            Ok(Ok(b)) => SlotVerdict::Done(b),
+            Ok(Err(DbError::Cancelled)) => SlotVerdict::Skipped,
+            Ok(Err(e)) => SlotVerdict::Faulted(FaultNote {
+                reason: e.to_string(),
+                retries,
+            }),
+            Err(payload) => {
+                // Quarantine: the unwound scratch may hold partial state.
+                *scratch = ExecScratch::new();
+                env.arm(scratch);
+                SlotVerdict::Faulted(FaultNote {
+                    reason: panic_message(&*payload),
+                    retries,
+                })
+            }
+        };
+    }
+    unreachable!("the attempt loop always returns")
+}
+
+/// Best-effort text of a caught panic payload.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 fn run_validation(
@@ -69,7 +215,7 @@ fn run_validation(
     plans: Option<&PlanCache>,
     scratch: &mut ExecScratch,
     stats: &mut ExecStats,
-) -> bool {
+) -> Result<bool, DbError> {
     let sample = &constraints.samples[filter.sample];
     let udfs = &constraints.udfs;
     // One closure per projection slot (= per filter predicate). Cells reach
@@ -100,6 +246,10 @@ fn run_validation(
             Some(sp)
         })
         .collect();
+    // Preparation failures are construction bugs, not runtime faults — the
+    // expect stays. Execution errors propagate: `Cancelled` is the
+    // executor's cooperative-interruption tick firing mid-scan, and the
+    // guarded path must see it rather than have it swallowed here.
     const VALID: &str = "filter queries are structurally valid by construction";
     match plans {
         Some(cache) => {
@@ -112,9 +262,7 @@ fn run_validation(
                 stats.plans_built += 1;
                 stats.nodes_reordered += prepared.nodes_reordered();
             }
-            prepared
-                .exists_matching(db, &pred_refs, scratch, stats)
-                .expect(VALID)
+            prepared.exists_matching(db, &pred_refs, scratch, stats)
         }
         None => {
             stats.plans_built += 1;
@@ -122,9 +270,7 @@ fn run_validation(
                 .prepare(db, &pred_refs)
                 .expect(VALID);
             stats.nodes_reordered += prepared.nodes_reordered();
-            prepared
-                .exists_matching(db, &pred_refs, scratch, stats)
-                .expect(VALID)
+            prepared.exists_matching(db, &pred_refs, scratch, stats)
         }
     }
 }

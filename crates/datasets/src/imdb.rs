@@ -111,8 +111,8 @@ pub fn imdb(seed: u64, scale: usize) -> Database {
     // produces the same values it always did.
     let mut genre_b = b.new_batch("Genre").unwrap();
     for (gid, g) in vocab::GENRES.iter().enumerate() {
-        genre_b.push_int(0, gid as i64);
-        genre_b.push_str(1, g);
+        genre_b.push_int(0, gid as i64).unwrap();
+        genre_b.push_str(1, g).unwrap();
     }
     b.append_batch("Genre", genre_b).unwrap();
 
@@ -121,9 +121,9 @@ pub fn imdb(seed: u64, scale: usize) -> Database {
     let mut person_id = 0i64;
     let mut people: Vec<i64> = Vec::new();
     for (_, _, _, _, director) in ANCHORS {
-        person_b.push_int(0, person_id);
-        person_b.push_str(1, director);
-        person_b.push_int(2, rng.gen_range(1890..1970));
+        person_b.push_int(0, person_id).unwrap();
+        person_b.push_str(1, director).unwrap();
+        person_b.push_int(2, rng.gen_range(1890..1970)).unwrap();
         people.push(person_id);
         person_id += 1;
     }
@@ -131,10 +131,10 @@ pub fn imdb(seed: u64, scale: usize) -> Database {
     for _ in 0..n_people {
         let fname = vocab::FIRST_NAMES[rng.gen_range(0..vocab::FIRST_NAMES.len())];
         let lname = vocab::LAST_NAMES[rng.gen_range(0..vocab::LAST_NAMES.len())];
-        person_b.push_int(0, person_id);
-        person_b.push_string(1, format!("{fname} {lname}"));
+        person_b.push_int(0, person_id).unwrap();
+        person_b.push_string(1, format!("{fname} {lname}")).unwrap();
         if rng.gen_bool(0.9) {
-            person_b.push_int(2, rng.gen_range(1920i64..2000));
+            person_b.push_int(2, rng.gen_range(1920i64..2000)).unwrap();
         } else {
             person_b.push_null(2);
         }
@@ -152,14 +152,14 @@ pub fn imdb(seed: u64, scale: usize) -> Database {
     let mut movie_id = 0i64;
     let mut movies: Vec<i64> = Vec::new();
     for (i, (title, year, runtime, rating, _)) in ANCHORS.iter().enumerate() {
-        movie_b.push_int(0, movie_id);
-        movie_b.push_str(1, title);
-        movie_b.push_int(2, *year);
-        movie_b.push_int(3, *runtime);
-        movie_b.push_decimal(4, *rating);
-        movie_b.push_date(5, Date::new(*year as i16, 6, 1));
-        directs_b.push_int(0, movie_id);
-        directs_b.push_int(1, i as i64);
+        movie_b.push_int(0, movie_id).unwrap();
+        movie_b.push_str(1, title).unwrap();
+        movie_b.push_int(2, *year).unwrap();
+        movie_b.push_int(3, *runtime).unwrap();
+        movie_b.push_decimal(4, *rating).unwrap();
+        movie_b.push_date(5, Date::new(*year as i16, 6, 1)).unwrap();
+        directs_b.push_int(0, movie_id).unwrap();
+        directs_b.push_int(1, i as i64).unwrap();
         movies.push(movie_id);
         movie_id += 1;
     }
@@ -172,22 +172,24 @@ pub fn imdb(seed: u64, scale: usize) -> Database {
         let rating = rng
             .gen_bool(0.85)
             .then(|| (rng.gen_range(3.0..9.5f64) * 10.0).round() / 10.0);
-        movie_b.push_int(0, movie_id);
-        movie_b.push_string(1, title);
-        movie_b.push_int(2, year);
-        movie_b.push_int(3, rng.gen_range(70i64..200));
+        movie_b.push_int(0, movie_id).unwrap();
+        movie_b.push_string(1, title).unwrap();
+        movie_b.push_int(2, year).unwrap();
+        movie_b.push_int(3, rng.gen_range(70i64..200)).unwrap();
         match rating {
-            Some(r) => movie_b.push_decimal(4, r),
+            Some(r) => movie_b.push_decimal(4, r).unwrap(),
             None => movie_b.push_null(4),
         }
-        movie_b.push_date(
-            5,
-            Date::new(
-                year as i16,
-                rng.gen_range(1u8..=12),
-                rng.gen_range(1u8..=28),
-            ),
-        );
+        movie_b
+            .push_date(
+                5,
+                Date::new(
+                    year as i16,
+                    rng.gen_range(1u8..=12),
+                    rng.gen_range(1u8..=28),
+                ),
+            )
+            .unwrap();
         movies.push(movie_id);
         movie_id += 1;
         if movie_b.rows() >= FLUSH_ROWS {
@@ -204,19 +206,19 @@ pub fn imdb(seed: u64, scale: usize) -> Database {
         for _ in 0..cast_n {
             let pid = people[rng.gen_range(0..people.len())];
             let role = ["lead", "supporting", "cameo"][rng.gen_range(0..3usize)];
-            cast_b.push_int(0, mid);
-            cast_b.push_int(1, pid);
-            cast_b.push_str(2, role);
+            cast_b.push_int(0, mid).unwrap();
+            cast_b.push_int(1, pid).unwrap();
+            cast_b.push_str(2, role).unwrap();
         }
         if mid >= ANCHORS.len() as i64 {
             let pid = people[rng.gen_range(0..people.len())];
-            directs_b.push_int(0, mid);
-            directs_b.push_int(1, pid);
+            directs_b.push_int(0, mid).unwrap();
+            directs_b.push_int(1, pid).unwrap();
         }
         for _ in 0..rng.gen_range(1..=2) {
             let gid = rng.gen_range(0..vocab::GENRES.len()) as i64;
-            mg_b.push_int(0, mid);
-            mg_b.push_int(1, gid);
+            mg_b.push_int(0, mid).unwrap();
+            mg_b.push_int(1, gid).unwrap();
         }
         if cast_b.rows() >= FLUSH_ROWS {
             cast_b = flush(&mut b, "CastInfo", cast_b);

@@ -34,8 +34,8 @@ pub fn mondial(seed: u64, scale: usize) -> Database {
     // Continents and countries are fixed real data.
     let mut cont_b = b.new_batch("Continent").unwrap();
     for (name, area) in vocab::CONTINENTS {
-        cont_b.push_str(0, name);
-        cont_b.push_decimal(1, *area);
+        cont_b.push_str(0, name).unwrap();
+        cont_b.push_decimal(1, *area).unwrap();
     }
     b.append_batch("Continent", cont_b).unwrap();
     let mut country_b = b.new_batch("Country").unwrap();
@@ -44,23 +44,23 @@ pub fn mondial(seed: u64, scale: usize) -> Database {
     for (name, code, capital, continent) in vocab::COUNTRIES {
         let population = rng.gen_range(5_000_000i64..400_000_000);
         let area = rng.gen_range(50_000.0..10_000_000.0f64).round();
-        country_b.push_str(0, name);
-        country_b.push_str(1, code);
-        country_b.push_str(2, capital);
-        country_b.push_int(3, population);
-        country_b.push_decimal(4, area);
-        enc_b.push_str(0, code);
-        enc_b.push_str(1, continent);
-        enc_b.push_decimal(2, 100.0);
+        country_b.push_str(0, name).unwrap();
+        country_b.push_str(1, code).unwrap();
+        country_b.push_str(2, capital).unwrap();
+        country_b.push_int(3, population).unwrap();
+        country_b.push_decimal(4, area).unwrap();
+        enc_b.push_str(0, code).unwrap();
+        enc_b.push_str(1, continent).unwrap();
+        enc_b.push_decimal(2, 100.0).unwrap();
         // Politics: independence date and government form.
         let year = rng.gen_range(1500i16..1991);
         let month = rng.gen_range(1u8..=12);
         let day = rng.gen_range(1u8..=28);
         let gov =
             ["republic", "federal republic", "constitutional monarchy"][rng.gen_range(0..3usize)];
-        pol_b.push_str(0, code);
-        pol_b.push_date(1, Date::new(year, month, day));
-        pol_b.push_str(2, gov);
+        pol_b.push_str(0, code).unwrap();
+        pol_b.push_date(1, Date::new(year, month, day)).unwrap();
+        pol_b.push_str(2, gov).unwrap();
     }
     b.append_batch("Country", country_b).unwrap();
     b.append_batch("encompasses", enc_b).unwrap();
@@ -90,10 +90,10 @@ pub fn mondial(seed: u64, scale: usize) -> Database {
     for (name, code) in &provinces {
         let population = rng.gen_range(100_000i64..40_000_000);
         let area = rng.gen_range(1_000.0..700_000.0f64).round();
-        prov_b.push_str(0, name);
-        prov_b.push_str(1, code);
-        prov_b.push_int(2, population);
-        prov_b.push_decimal(3, area);
+        prov_b.push_str(0, name).unwrap();
+        prov_b.push_str(1, code).unwrap();
+        prov_b.push_int(2, population).unwrap();
+        prov_b.push_decimal(3, area).unwrap();
         if prov_b.rows() >= FLUSH_ROWS {
             prov_b = flush(&mut b, "Province", prov_b);
         }
@@ -110,11 +110,15 @@ pub fn mondial(seed: u64, scale: usize) -> Database {
             .find(|(_, c)| c == code)
             .map(|(p, _)| p.clone())
             .unwrap_or_default();
-        city_b.push_str(0, capital);
-        city_b.push_str(1, code);
-        city_b.push_string(2, prov);
-        city_b.push_int(3, rng.gen_range(200_000i64..20_000_000));
-        city_b.push_decimal(4, rng.gen_range(0.0..2_000.0f64).round());
+        city_b.push_str(0, capital).unwrap();
+        city_b.push_str(1, code).unwrap();
+        city_b.push_string(2, prov).unwrap();
+        city_b
+            .push_int(3, rng.gen_range(200_000i64..20_000_000))
+            .unwrap();
+        city_b
+            .push_decimal(4, rng.gen_range(0.0..2_000.0f64).round())
+            .unwrap();
     }
     let cities_per_province = 2 * scale;
     for (prov, code) in &provinces {
@@ -124,12 +128,12 @@ pub fn mondial(seed: u64, scale: usize) -> Database {
             let elevation = rng
                 .gen_bool(0.9)
                 .then(|| rng.gen_range(0.0..2_500.0f64).round());
-            city_b.push_str(0, name);
-            city_b.push_str(1, code);
-            city_b.push_str(2, prov);
-            city_b.push_int(3, population);
+            city_b.push_str(0, name).unwrap();
+            city_b.push_str(1, code).unwrap();
+            city_b.push_str(2, prov).unwrap();
+            city_b.push_int(3, population).unwrap();
             match elevation {
-                Some(e) => city_b.push_decimal(4, e),
+                Some(e) => city_b.push_decimal(4, e).unwrap(),
                 None => city_b.push_null(4),
             }
             if city_b.rows() >= FLUSH_ROWS {
@@ -144,17 +148,19 @@ pub fn mondial(seed: u64, scale: usize) -> Database {
     let mut lake_b = b.new_batch("Lake").unwrap();
     let mut geo_lake_b = b.new_batch("geo_lake").unwrap();
     for (name, area, depth, province, code) in vocab::LAKES {
-        lake_b.push_str(0, name);
-        lake_b.push_decimal(1, *area);
-        lake_b.push_decimal(2, *depth);
-        lake_b.push_decimal(3, rng.gen_range(0.0..2_000.0f64).round());
-        geo_lake_b.push_str(0, name);
-        geo_lake_b.push_str(1, code);
-        geo_lake_b.push_str(2, province);
+        lake_b.push_str(0, name).unwrap();
+        lake_b.push_decimal(1, *area).unwrap();
+        lake_b.push_decimal(2, *depth).unwrap();
+        lake_b
+            .push_decimal(3, rng.gen_range(0.0..2_000.0f64).round())
+            .unwrap();
+        geo_lake_b.push_str(0, name).unwrap();
+        geo_lake_b.push_str(1, code).unwrap();
+        geo_lake_b.push_str(2, province).unwrap();
     }
-    geo_lake_b.push_str(0, "Lake Tahoe");
-    geo_lake_b.push_str(1, "USA");
-    geo_lake_b.push_str(2, "Nevada");
+    geo_lake_b.push_str(0, "Lake Tahoe").unwrap();
+    geo_lake_b.push_str(1, "USA").unwrap();
+    geo_lake_b.push_str(2, "Nevada").unwrap();
     let synth_lakes = 40 * scale;
     for i in 0..synth_lakes {
         let adj = vocab::TITLE_ADJECTIVES[rng.gen_range(0..vocab::TITLE_ADJECTIVES.len())];
@@ -167,23 +173,25 @@ pub fn mondial(seed: u64, scale: usize) -> Database {
         let depth = rng
             .gen_bool(0.85)
             .then(|| rng.gen_range(2.0..600.0f64).round());
-        lake_b.push_str(0, &name);
+        lake_b.push_str(0, &name).unwrap();
         match area {
-            Some(a) => lake_b.push_decimal(1, a),
+            Some(a) => lake_b.push_decimal(1, a).unwrap(),
             None => lake_b.push_null(1),
         }
         match depth {
-            Some(d) => lake_b.push_decimal(2, d),
+            Some(d) => lake_b.push_decimal(2, d).unwrap(),
             None => lake_b.push_null(2),
         }
-        lake_b.push_decimal(3, rng.gen_range(0.0..3_000.0f64).round());
+        lake_b
+            .push_decimal(3, rng.gen_range(0.0..3_000.0f64).round())
+            .unwrap();
         // 1–2 geo rows for each synthetic lake.
         let geo_rows = 1 + usize::from(rng.gen_bool(0.25));
         for _ in 0..geo_rows {
             let (prov, code) = &provinces[rng.gen_range(0..provinces.len())];
-            geo_lake_b.push_str(0, &name);
-            geo_lake_b.push_str(1, code);
-            geo_lake_b.push_str(2, prov);
+            geo_lake_b.push_str(0, &name).unwrap();
+            geo_lake_b.push_str(1, code).unwrap();
+            geo_lake_b.push_str(2, prov).unwrap();
         }
         if lake_b.rows() >= FLUSH_ROWS {
             lake_b = flush(&mut b, "Lake", lake_b);
@@ -199,18 +207,20 @@ pub fn mondial(seed: u64, scale: usize) -> Database {
     let mut river_b = b.new_batch("River").unwrap();
     let mut geo_river_b = b.new_batch("geo_river").unwrap();
     for (name, length, code) in vocab::RIVERS {
-        river_b.push_str(0, name);
-        river_b.push_decimal(1, *length);
-        river_b.push_decimal(2, rng.gen_range(100.0..4_000.0f64).round());
+        river_b.push_str(0, name).unwrap();
+        river_b.push_decimal(1, *length).unwrap();
+        river_b
+            .push_decimal(2, rng.gen_range(100.0..4_000.0f64).round())
+            .unwrap();
         let candidates: Vec<&(String, &str)> =
             provinces.iter().filter(|(_, c)| c == code).collect();
         let spans = 1 + rng.gen_range(0..2.min(candidates.len().max(1)));
         for s in 0..spans.min(candidates.len()) {
             let (prov, _) =
                 candidates[(s * 7 + rng.gen_range(0..candidates.len())) % candidates.len()];
-            geo_river_b.push_str(0, name);
-            geo_river_b.push_str(1, code);
-            geo_river_b.push_str(2, prov);
+            geo_river_b.push_str(0, name).unwrap();
+            geo_river_b.push_str(1, code).unwrap();
+            geo_river_b.push_str(2, prov).unwrap();
         }
     }
     for i in 0..(30 * scale) {
@@ -219,16 +229,18 @@ pub fn mondial(seed: u64, scale: usize) -> Database {
         let length = rng
             .gen_bool(0.9)
             .then(|| rng.gen_range(40.0..3_000.0f64).round());
-        river_b.push_str(0, &name);
+        river_b.push_str(0, &name).unwrap();
         match length {
-            Some(l) => river_b.push_decimal(1, l),
+            Some(l) => river_b.push_decimal(1, l).unwrap(),
             None => river_b.push_null(1),
         }
-        river_b.push_decimal(2, rng.gen_range(50.0..3_500.0f64).round());
+        river_b
+            .push_decimal(2, rng.gen_range(50.0..3_500.0f64).round())
+            .unwrap();
         let (prov, code) = &provinces[rng.gen_range(0..provinces.len())];
-        geo_river_b.push_str(0, &name);
-        geo_river_b.push_str(1, code);
-        geo_river_b.push_str(2, prov);
+        geo_river_b.push_str(0, &name).unwrap();
+        geo_river_b.push_str(1, code).unwrap();
+        geo_river_b.push_str(2, prov).unwrap();
         if river_b.rows() >= FLUSH_ROWS {
             river_b = flush(&mut b, "River", river_b);
         }
@@ -243,13 +255,13 @@ pub fn mondial(seed: u64, scale: usize) -> Database {
     let mut sea_b = b.new_batch("Sea").unwrap();
     let mut geo_sea_b = b.new_batch("geo_sea").unwrap();
     for (name, depth) in vocab::SEAS {
-        sea_b.push_str(0, name);
-        sea_b.push_decimal(1, *depth);
+        sea_b.push_str(0, name).unwrap();
+        sea_b.push_decimal(1, *depth).unwrap();
         for _ in 0..rng.gen_range(1..4) {
             let (prov, code) = &provinces[rng.gen_range(0..provinces.len())];
-            geo_sea_b.push_str(0, name);
-            geo_sea_b.push_str(1, code);
-            geo_sea_b.push_str(2, prov);
+            geo_sea_b.push_str(0, name).unwrap();
+            geo_sea_b.push_str(1, code).unwrap();
+            geo_sea_b.push_str(2, prov).unwrap();
         }
     }
     b.append_batch("Sea", sea_b).unwrap();
@@ -260,29 +272,31 @@ pub fn mondial(seed: u64, scale: usize) -> Database {
     let mut geo_mtn_b = b.new_batch("geo_mountain").unwrap();
     for (name, height, code) in vocab::MOUNTAINS {
         let kind = ["volcano", "granite", "fold"][rng.gen_range(0..3usize)];
-        mtn_b.push_str(0, name);
-        mtn_b.push_decimal(1, *height);
-        mtn_b.push_str(2, kind);
+        mtn_b.push_str(0, name).unwrap();
+        mtn_b.push_decimal(1, *height).unwrap();
+        mtn_b.push_str(2, kind).unwrap();
         let candidates: Vec<&(String, &str)> =
             provinces.iter().filter(|(_, c)| c == code).collect();
         if !candidates.is_empty() {
             let (prov, _) = candidates[rng.gen_range(0..candidates.len())];
-            geo_mtn_b.push_str(0, name);
-            geo_mtn_b.push_str(1, code);
-            geo_mtn_b.push_str(2, prov);
+            geo_mtn_b.push_str(0, name).unwrap();
+            geo_mtn_b.push_str(1, code).unwrap();
+            geo_mtn_b.push_str(2, prov).unwrap();
         }
     }
     for i in 0..(30 * scale) {
         let adj = vocab::TITLE_ADJECTIVES[rng.gen_range(0..vocab::TITLE_ADJECTIVES.len())];
         let name = format!("Mount {adj} {i}");
         let kind = ["volcano", "granite", "fold"][rng.gen_range(0..3usize)];
-        mtn_b.push_str(0, &name);
-        mtn_b.push_decimal(1, rng.gen_range(800.0..8_000.0f64).round());
-        mtn_b.push_str(2, kind);
+        mtn_b.push_str(0, &name).unwrap();
+        mtn_b
+            .push_decimal(1, rng.gen_range(800.0..8_000.0f64).round())
+            .unwrap();
+        mtn_b.push_str(2, kind).unwrap();
         let (prov, code) = &provinces[rng.gen_range(0..provinces.len())];
-        geo_mtn_b.push_str(0, &name);
-        geo_mtn_b.push_str(1, code);
-        geo_mtn_b.push_str(2, prov);
+        geo_mtn_b.push_str(0, &name).unwrap();
+        geo_mtn_b.push_str(1, code).unwrap();
+        geo_mtn_b.push_str(2, prov).unwrap();
         if mtn_b.rows() >= FLUSH_ROWS {
             mtn_b = flush(&mut b, "Mountain", mtn_b);
         }

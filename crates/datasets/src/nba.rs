@@ -93,11 +93,11 @@ pub fn nba(seed: u64, scale: usize) -> Database {
     let n_teams = vocab::TEAMS.len();
     let mut team_b = b.new_batch("Team").unwrap();
     for (tid, (name, city, arena)) in vocab::TEAMS.iter().enumerate() {
-        team_b.push_int(0, tid as i64);
-        team_b.push_str(1, name);
-        team_b.push_str(2, city);
-        team_b.push_str(3, arena);
-        team_b.push_int(4, rng.gen_range(1946i64..1990));
+        team_b.push_int(0, tid as i64).unwrap();
+        team_b.push_str(1, name).unwrap();
+        team_b.push_str(2, city).unwrap();
+        team_b.push_str(3, arena).unwrap();
+        team_b.push_int(4, rng.gen_range(1946i64..1990)).unwrap();
     }
     b.append_batch("Team", team_b).unwrap();
 
@@ -113,18 +113,18 @@ pub fn nba(seed: u64, scale: usize) -> Database {
             let college = rng
                 .gen_bool(0.8)
                 .then(|| vocab::COLLEGES[rng.gen_range(0..vocab::COLLEGES.len())]);
-            player_b.push_int(0, player_id);
-            player_b.push_string(1, format!("{fname} {lname}"));
-            player_b.push_int(2, rng.gen_range(175i64..225));
-            player_b.push_int(3, rng.gen_range(70i64..135));
+            player_b.push_int(0, player_id).unwrap();
+            player_b.push_string(1, format!("{fname} {lname}")).unwrap();
+            player_b.push_int(2, rng.gen_range(175i64..225)).unwrap();
+            player_b.push_int(3, rng.gen_range(70i64..135)).unwrap();
             match college {
-                Some(c) => player_b.push_str(4, c),
+                Some(c) => player_b.push_str(4, c).unwrap(),
                 None => player_b.push_null(4),
             }
-            roster_b.push_int(0, player_id);
-            roster_b.push_int(1, tid as i64);
-            roster_b.push_str(2, "2018-19");
-            roster_b.push_int(3, rng.gen_range(0i64..99));
+            roster_b.push_int(0, player_id).unwrap();
+            roster_b.push_int(1, tid as i64).unwrap();
+            roster_b.push_str(2, "2018-19").unwrap();
+            roster_b.push_int(3, rng.gen_range(0i64..99)).unwrap();
             players.push(player_id);
             player_id += 1;
             if player_b.rows() >= FLUSH_ROWS {
@@ -158,20 +158,20 @@ pub fn nba(seed: u64, scale: usize) -> Database {
         );
         let home_score = rng.gen_range(85i64..135);
         let away_score = rng.gen_range(85i64..135);
-        game_b.push_int(0, gid as i64);
-        game_b.push_int(1, home);
-        game_b.push_int(2, away);
-        game_b.push_date(3, date);
-        game_b.push_time(4, tip);
-        game_b.push_int(5, home_score);
-        game_b.push_int(6, away_score);
+        game_b.push_int(0, gid as i64).unwrap();
+        game_b.push_int(1, home).unwrap();
+        game_b.push_int(2, away).unwrap();
+        game_b.push_date(3, date).unwrap();
+        game_b.push_time(4, tip).unwrap();
+        game_b.push_int(5, home_score).unwrap();
+        game_b.push_int(6, away_score).unwrap();
         for _ in 0..8 {
             let pid = players[rng.gen_range(0..players.len())];
-            stats_b.push_int(0, gid as i64);
-            stats_b.push_int(1, pid);
-            stats_b.push_int(2, rng.gen_range(0i64..45));
-            stats_b.push_int(3, rng.gen_range(0i64..18));
-            stats_b.push_int(4, rng.gen_range(0i64..15));
+            stats_b.push_int(0, gid as i64).unwrap();
+            stats_b.push_int(1, pid).unwrap();
+            stats_b.push_int(2, rng.gen_range(0i64..45)).unwrap();
+            stats_b.push_int(3, rng.gen_range(0i64..18)).unwrap();
+            stats_b.push_int(4, rng.gen_range(0i64..15)).unwrap();
         }
         if game_b.rows() >= FLUSH_ROWS {
             game_b = flush(&mut b, "Game", game_b);

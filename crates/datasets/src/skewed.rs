@@ -94,8 +94,8 @@ pub fn skewed(seed: u64, scale: usize, skew: f64) -> Database {
 
     let mut tag_b = b.new_batch("Tag").unwrap();
     for k in 1..=tags {
-        tag_b.push_string(0, format!("tag{k}"));
-        tag_b.push_int(1, k as i64);
+        tag_b.push_string(0, format!("tag{k}")).unwrap();
+        tag_b.push_int(1, k as i64).unwrap();
         if tag_b.rows() >= FLUSH_ROWS {
             tag_b = flush(&mut b, "Tag", tag_b);
         }
@@ -106,9 +106,9 @@ pub fn skewed(seed: u64, scale: usize, skew: f64) -> Database {
         let tag = zipf.sample(&mut rng) as i64;
         // Ascending scores keep zone maps disjoint across blocks.
         let score = i as f64 + rng.gen_range(0.0..1.0);
-        item_b.push_int(0, tag);
-        item_b.push_decimal(1, score);
-        item_b.push_string(2, format!("label{}", i % 50));
+        item_b.push_int(0, tag).unwrap();
+        item_b.push_decimal(1, score).unwrap();
+        item_b.push_string(2, format!("label{}", i % 50)).unwrap();
         if item_b.rows() >= FLUSH_ROWS {
             item_b = flush(&mut b, "Item", item_b);
         }
@@ -118,8 +118,10 @@ pub fn skewed(seed: u64, scale: usize, skew: f64) -> Database {
     let mut geo_b = b.new_batch("Geo").unwrap();
     for _ in 0..GEOS * scale {
         let tag = zipf.sample(&mut rng) as i64;
-        geo_b.push_int(0, tag);
-        geo_b.push_str(1, REGIONS[rng.gen_range(0..REGIONS.len())]);
+        geo_b.push_int(0, tag).unwrap();
+        geo_b
+            .push_str(1, REGIONS[rng.gen_range(0..REGIONS.len())])
+            .unwrap();
         if geo_b.rows() >= FLUSH_ROWS {
             geo_b = flush(&mut b, "Geo", geo_b);
         }

@@ -13,6 +13,7 @@
 //! [`crate::Table::push_row`] path.
 
 use crate::column::NULL_SYM;
+use crate::error::DbError;
 use crate::schema::TableSchema;
 use crate::types::{DataType, Date, Time};
 use std::collections::HashMap;
@@ -123,11 +124,12 @@ pub(crate) struct BatchColumn {
 /// A typed bulk-append batch for one table. Cells are pushed columnar and
 /// append-ordered; [`crate::Table::append_batch`] (or
 /// [`crate::DatabaseBuilder::append_batch`]) validates and splices it into
-/// storage in one shot. The `push_*` methods panic if the cell kind cannot
-/// land in the column's declared type (`Int` into `Decimal` is the one
-/// allowed widening) — a programming error, mirroring the unreachable arms
-/// of the per-cell insert path; data errors (arity, ragged columns, NOT
-/// NULL) surface as `Err` from the append instead.
+/// storage in one shot. The `push_*` methods return
+/// [`DbError::BatchKindMismatch`] if the cell kind cannot land in the
+/// column's declared type (`Int` into `Decimal` is the one allowed
+/// widening), so ingest faults are catchable errors rather than unwinds;
+/// data errors (arity, ragged columns, NOT NULL) surface as `Err` from the
+/// append instead.
 #[derive(Debug, Clone)]
 pub struct ColumnBatch {
     pub(crate) cols: Vec<BatchColumn>,
@@ -180,71 +182,77 @@ impl ColumnBatch {
     /// Append an integer cell to column `col`. Accepted by `Int` and
     /// (widening at append) `Decimal` columns.
     #[inline]
-    pub fn push_int(&mut self, col: usize, v: i64) {
+    pub fn push_int(&mut self, col: usize, v: i64) -> Result<(), DbError> {
         let c = &mut self.cols[col];
         match &mut c.data {
             BatchData::Int(vec) => vec.push(v),
             BatchData::Decimal(vec) => vec.push(v as f64),
-            other => panic!("push_int into a {} batch column", other.kind_name()),
+            other => return Err(kind_mismatch(col, "push_int", other)),
         }
         c.nulls.push(false);
+        Ok(())
     }
 
     /// Append a decimal cell to column `col`. Like the raw storage path,
     /// NaN is accepted (zone maps track it); `-0.0` is normalized.
     #[inline]
-    pub fn push_decimal(&mut self, col: usize, v: f64) {
+    pub fn push_decimal(&mut self, col: usize, v: f64) -> Result<(), DbError> {
         let c = &mut self.cols[col];
         match &mut c.data {
             BatchData::Decimal(vec) => vec.push(if v == 0.0 { 0.0 } else { v }),
-            other => panic!("push_decimal into a {} batch column", other.kind_name()),
+            other => return Err(kind_mismatch(col, "push_decimal", other)),
         }
         c.nulls.push(false);
+        Ok(())
     }
 
     /// Append a text cell to column `col` (interned batch-locally).
     #[inline]
-    pub fn push_str(&mut self, col: usize, s: &str) {
+    pub fn push_str(&mut self, col: usize, s: &str) -> Result<(), DbError> {
         let c = &mut self.cols[col];
         match &mut c.data {
             BatchData::Text { codes, dict } => codes.push(dict.intern(s)),
-            other => panic!("push_str into a {} batch column", other.kind_name()),
+            other => return Err(kind_mismatch(col, "push_str", other)),
         }
         c.nulls.push(false);
+        Ok(())
     }
 
     /// Owned-string variant of [`ColumnBatch::push_str`] — one allocation
     /// fewer when the string was freshly built (e.g. `format!`).
     #[inline]
-    pub fn push_string(&mut self, col: usize, s: String) {
+    pub fn push_string(&mut self, col: usize, s: String) -> Result<(), DbError> {
         let c = &mut self.cols[col];
         match &mut c.data {
             BatchData::Text { codes, dict } => codes.push(dict.intern_owned(s)),
-            other => panic!("push_string into a {} batch column", other.kind_name()),
+            other => return Err(kind_mismatch(col, "push_string", other)),
         }
         c.nulls.push(false);
+        Ok(())
     }
 
     /// Append a date cell to column `col`.
     #[inline]
-    pub fn push_date(&mut self, col: usize, d: Date) {
+    pub fn push_date(&mut self, col: usize, d: Date) -> Result<(), DbError> {
         let c = &mut self.cols[col];
         match &mut c.data {
             BatchData::Date(vec) => vec.push(d),
-            other => panic!("push_date into a {} batch column", other.kind_name()),
+            other => return Err(kind_mismatch(col, "push_date", other)),
         }
         c.nulls.push(false);
+        Ok(())
     }
 
     /// Append a time cell to column `col`.
     #[inline]
-    pub fn push_time(&mut self, col: usize, t: Time) {
+    pub fn push_time(&mut self, col: usize, t: Time) -> Result<(), DbError> {
         let c = &mut self.cols[col];
         match &mut c.data {
             BatchData::Time(vec) => vec.push(t),
-            other => panic!("push_time into a {} batch column", other.kind_name()),
+            other => return Err(kind_mismatch(col, "push_time", other)),
         }
         c.nulls.push(false);
+        Ok(())
     }
 
     /// Append a NULL cell to column `col` (placeholder in data, bit in the
@@ -263,6 +271,15 @@ impl ColumnBatch {
     }
 }
 
+#[cold]
+fn kind_mismatch(col: usize, pushed: &'static str, data: &BatchData) -> DbError {
+    DbError::BatchKindMismatch {
+        column: col,
+        pushed,
+        column_kind: data.kind_name(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -270,10 +287,10 @@ mod tests {
     #[test]
     fn batch_tracks_rows_and_local_dictionary() {
         let mut b = ColumnBatch::from_dtypes(&[DataType::Text, DataType::Int]);
-        b.push_str(0, "a");
-        b.push_int(1, 1);
-        b.push_str(0, "a");
-        b.push_int(1, 2);
+        b.push_str(0, "a").unwrap();
+        b.push_int(1, 1).unwrap();
+        b.push_str(0, "a").unwrap();
+        b.push_int(1, 2).unwrap();
         b.push_null(0);
         b.push_null(1);
         assert_eq!(b.arity(), 2);
@@ -289,8 +306,8 @@ mod tests {
     #[test]
     fn int_pushes_widen_into_decimal_batch_columns() {
         let mut b = ColumnBatch::from_dtypes(&[DataType::Decimal]);
-        b.push_int(0, 7);
-        b.push_decimal(0, -0.0);
+        b.push_int(0, 7).unwrap();
+        b.push_decimal(0, -0.0).unwrap();
         let BatchData::Decimal(v) = &b.cols[0].data else {
             panic!("decimal column expected");
         };
@@ -299,9 +316,15 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "push_str into a int batch column")]
-    fn kind_mismatch_panics() {
+    fn kind_mismatch_is_an_error_not_a_panic() {
         let mut b = ColumnBatch::from_dtypes(&[DataType::Int]);
-        b.push_str(0, "nope");
+        let err = b.push_str(0, "nope").unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "push_str into a int batch column (column 0)"
+        );
+        // The failed push left the column untouched — no phantom row.
+        assert_eq!(b.rows(), 0);
+        assert_eq!(b.cols[0].nulls.count(), 0);
     }
 }

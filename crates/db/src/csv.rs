@@ -34,9 +34,11 @@
 use crate::batch::ColumnBatch;
 use crate::database::DatabaseBuilder;
 use crate::error::DbError;
+use crate::faults::{self, FaultKind, FaultSite, FaultSpec};
 use crate::schema::{ColumnDef, TableId};
 use crate::types::{DataType, Date, Time, Value};
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Rows of the bounded type-inference sample. Columns still all-empty after
 /// the sample keep being scanned (those columns only) until a non-empty
@@ -463,24 +465,77 @@ fn parse_chunk(chunk: &str, start_row: usize, dtypes: &[DataType]) -> ChunkOutco
     }
 }
 
+/// Fault-isolated wrapper around [`parse_chunk`]: a panicking worker (real
+/// bug or injected chaos) is caught and retried once — an injected
+/// transient clears on the attempt-salted re-roll, a genuine bug repeats
+/// and surfaces as [`DbError::IngestPanic`] naming the chunk's first row.
+/// The builder is untouched either way, so a failed ingest leaves no
+/// partial table behind.
+fn parse_chunk_guarded(
+    chunk: &str,
+    start_row: usize,
+    dtypes: &[DataType],
+    inj: Option<&FaultSpec>,
+) -> Result<ChunkOutcome, DbError> {
+    let mut last_panic = String::new();
+    for attempt in 0..2u32 {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(spec) = inj {
+                let token = faults::attempt_token(start_row as u64, attempt);
+                match spec.check(FaultSite::CsvChunk, token) {
+                    Some(FaultKind::Panic) | Some(FaultKind::Transient) => {
+                        faults::injected_panic(FaultSite::CsvChunk, token)
+                    }
+                    Some(FaultKind::Delay) => faults::delay_steps(4096),
+                    None => {}
+                }
+            }
+            parse_chunk(chunk, start_row, dtypes)
+        }));
+        match result {
+            Ok(outcome) => return Ok(outcome),
+            Err(payload) => last_panic = panic_message(&payload),
+        }
+    }
+    Err(DbError::IngestPanic {
+        chunk_row: start_row,
+        message: last_panic,
+    })
+}
+
+/// Best-effort text of a panic payload (the `&str`/`String` forms cover
+/// `panic!` and `assert!`; anything else is opaque).
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Push one effective field into the batch under `dtype`; `false` on a
 /// parse conflict (nothing is pushed). NULL rule: trimmed-empty content is
 /// NULL everywhere; stored text keeps quoted fields verbatim and trims
 /// unquoted ones.
 fn push_field(batch: &mut ColumnBatch, c: usize, eff: &str, quoted: bool, dtype: DataType) -> bool {
+    // The batch was built from the same dtypes this function matches on,
+    // so a kind mismatch is structurally impossible.
+    const ALIGNED: &str = "batch columns are built from the dtypes being pushed";
     if dtype == DataType::Text {
         if quoted {
             if eff.is_empty() {
                 batch.push_null(c);
             } else {
-                batch.push_str(c, eff);
+                batch.push_str(c, eff).expect(ALIGNED);
             }
         } else {
             let t = eff.trim();
             if t.is_empty() {
                 batch.push_null(c);
             } else {
-                batch.push_str(c, t);
+                batch.push_str(c, t).expect(ALIGNED);
             }
         }
         return true;
@@ -493,28 +548,28 @@ fn push_field(batch: &mut ColumnBatch, c: usize, eff: &str, quoted: bool, dtype:
     match dtype {
         DataType::Int => match t.parse::<i64>() {
             Ok(v) => {
-                batch.push_int(c, v);
+                batch.push_int(c, v).expect(ALIGNED);
                 true
             }
             Err(_) => false,
         },
         DataType::Decimal => match t.parse::<f64>() {
             Ok(v) if v.is_finite() => {
-                batch.push_decimal(c, v);
+                batch.push_decimal(c, v).expect(ALIGNED);
                 true
             }
             _ => false,
         },
         DataType::Date => match Date::parse(t) {
             Some(d) => {
-                batch.push_date(c, d);
+                batch.push_date(c, d).expect(ALIGNED);
                 true
             }
             None => false,
         },
         DataType::Time => match Time::parse(t) {
             Some(v) => {
-                batch.push_time(c, v);
+                batch.push_time(c, v).expect(ALIGNED);
                 true
             }
             None => false,
@@ -709,13 +764,14 @@ impl DatabaseBuilder {
 
         // Parse rounds: conflicts fold into wider types and restart; the
         // demotion ladder (Int → Decimal → Text) bounds this at 3 rounds.
+        let inj = faults::env_spec();
         let (outcomes, used_threads) = loop {
             let chunks = split_chunks(bytes, data_start, threads);
             let outcomes: Vec<ChunkOutcome> = if chunks.len() <= 1 {
                 chunks
                     .into_iter()
-                    .map(|(r, sr)| parse_chunk(&text[r], sr, &dtypes))
-                    .collect()
+                    .map(|(r, sr)| parse_chunk_guarded(&text[r], sr, &dtypes, inj))
+                    .collect::<Result<_, DbError>>()?
             } else {
                 let dt: &[DataType] = &dtypes;
                 std::thread::scope(|s| {
@@ -723,14 +779,14 @@ impl DatabaseBuilder {
                         .iter()
                         .map(|(r, sr)| {
                             let (r, sr) = (r.clone(), *sr);
-                            s.spawn(move || parse_chunk(&text[r], sr, dt))
+                            s.spawn(move || parse_chunk_guarded(&text[r], sr, dt, inj))
                         })
                         .collect();
                     handles
                         .into_iter()
-                        .map(|h| h.join().expect("CSV parse worker panicked"))
-                        .collect()
-                })
+                        .map(|h| h.join().expect("guarded CSV worker cannot unwind"))
+                        .collect::<Result<_, DbError>>()
+                })?
             };
             if let Some((row, got)) = outcomes.iter().filter_map(|o| o.arity_err).min() {
                 return Err(DbError::ArityMismatch {

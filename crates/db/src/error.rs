@@ -44,6 +44,19 @@ pub enum DbError {
     ForeignKeyTypeMismatch { from: String, to: String },
     /// A PJ query referenced a node slot or column that is out of range.
     InvalidQuery(String),
+    /// Execution was abandoned cooperatively (deadline or cancel flag).
+    /// Not a query error: the caller asked the executor to stop.
+    Cancelled,
+    /// A typed batch push hit a column of a different kind (e.g.
+    /// `push_str` into an int column).
+    BatchKindMismatch {
+        column: usize,
+        pushed: &'static str,
+        column_kind: &'static str,
+    },
+    /// A parallel CSV chunk parser panicked (twice, so not a transient
+    /// fault); the chunk's starting row locates the bad input.
+    IngestPanic { chunk_row: usize, message: String },
 }
 
 impl fmt::Display for DbError {
@@ -99,6 +112,19 @@ impl fmt::Display for DbError {
                 )
             }
             DbError::InvalidQuery(msg) => write!(f, "invalid PJ query: {msg}"),
+            DbError::Cancelled => write!(f, "execution cancelled (deadline or cancel flag)"),
+            DbError::BatchKindMismatch {
+                column,
+                pushed,
+                column_kind,
+            } => write!(
+                f,
+                "{pushed} into a {column_kind} batch column (column {column})"
+            ),
+            DbError::IngestPanic { chunk_row, message } => write!(
+                f,
+                "CSV parse worker panicked on the chunk starting at row {chunk_row}: {message}"
+            ),
         }
     }
 }

@@ -642,12 +642,15 @@ impl PreparedQuery {
             pruners,
         };
         let mut st = SearchState {
-            assignment: &mut scratch.assignment,
-            memos: &mut scratch.memos,
-            node_rows: &mut scratch.node_rows,
             row_buf: Vec::new(),
             stats,
             cb,
+            steps: 0,
+            cancel: scratch.cancel.clone(),
+            deadline: scratch.deadline,
+            assignment: &mut scratch.assignment,
+            memos: &mut scratch.memos,
+            node_rows: &mut scratch.node_rows,
         };
         let result = search.run(0, &mut st).map(|_| ());
         // Feed the run back to the adaptive guard (relaxed atomics — exact
@@ -717,11 +720,31 @@ pub struct ExecScratch {
     /// Whether any run has used this scratch (drives
     /// [`ExecStats::scratch_reuses`]).
     used: bool,
+    /// Cooperative cancellation probe: row loops poll this every 1024
+    /// steps and abandon the run with [`DbError::Cancelled`] when raised.
+    /// Survives [`ExecScratch::reset_for`] — the attachment outlives runs.
+    cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
+    /// Hard deadline checked on the same stride (for callers with no flag
+    /// to raise, e.g. the sequential scheduler inside one long scan).
+    deadline: Option<std::time::Instant>,
 }
 
 impl ExecScratch {
     pub fn new() -> ExecScratch {
         ExecScratch::default()
+    }
+
+    /// Attach (or detach) a shared cancellation flag. While attached, any
+    /// run on this scratch returns [`DbError::Cancelled`] within ~1024 row
+    /// steps of the flag being raised — this is what lets a coordinator's
+    /// watchdog converge even when a validation is mid-scan.
+    pub fn set_cancel(&mut self, cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>) {
+        self.cancel = cancel;
+    }
+
+    /// Attach (or detach) a hard deadline checked inside row loops.
+    pub fn set_deadline(&mut self, deadline: Option<std::time::Instant>) {
+        self.deadline = deadline;
     }
 
     /// Clear and reshape for one run of `pq`, keeping allocations.
@@ -1214,6 +1237,39 @@ struct SearchState<'a, 'cb, 'st> {
     row_buf: Vec<ValueRef<'a>>,
     stats: &'st mut ExecStats,
     cb: RowCallback<'cb>,
+    /// Row steps since the run started; every 1024th step polls the
+    /// cancellation probe below. One increment + mask test per row when no
+    /// probe is attached — the blind-spot fix stays off the hot path.
+    steps: u64,
+    cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
+    deadline: Option<std::time::Instant>,
+}
+
+impl SearchState<'_, '_, '_> {
+    /// One row step: poll the cancellation probe on a 1024-step stride.
+    #[inline]
+    fn tick(&mut self) -> Result<(), DbError> {
+        self.steps = self.steps.wrapping_add(1);
+        if self.steps & 0x3FF == 0 && self.interrupted() {
+            return Err(DbError::Cancelled);
+        }
+        Ok(())
+    }
+
+    #[cold]
+    fn interrupted(&self) -> bool {
+        if let Some(c) = &self.cancel {
+            if c.load(std::sync::atomic::Ordering::Relaxed) {
+                return true;
+            }
+        }
+        if let Some(d) = self.deadline {
+            if std::time::Instant::now() >= d {
+                return true;
+            }
+        }
+        false
+    }
 }
 
 impl<'a> Search<'a> {
@@ -1298,6 +1354,7 @@ impl<'a> Search<'a> {
                     if column.join_key_in(row as usize, space) != Some(pk) {
                         // Key-rejected rows are counted here; key-matching
                         // rows are counted once inside try_row.
+                        st.tick()?;
                         st.stats.rows_examined += 1;
                         st.node_rows[node] += 1;
                         return Ok(true);
@@ -1359,6 +1416,10 @@ impl<'a> Search<'a> {
             if no_nulls {
                 for (r, &code) in codes.iter().enumerate() {
                     examined += 1;
+                    if examined & 0x3FF == 0 && st.interrupted() {
+                        result = Err(DbError::Cancelled);
+                        break 'scan;
+                    }
                     if !memo.check(code, || pred.matches(column.value_ref(syms, r))) {
                         continue;
                     }
@@ -1373,6 +1434,10 @@ impl<'a> Search<'a> {
             } else {
                 for (r, &code) in codes.iter().enumerate() {
                     examined += 1;
+                    if examined & 0x3FF == 0 && st.interrupted() {
+                        result = Err(DbError::Cancelled);
+                        break 'scan;
+                    }
                     let ok = if column.is_null(r) {
                         *memo
                             .null_verdict
@@ -1479,6 +1544,7 @@ impl<'a> Search<'a> {
         row: u32,
         st: &mut SearchState<'a, '_, '_>,
     ) -> Result<bool, DbError> {
+        st.tick()?;
         st.stats.rows_examined += 1;
         st.node_rows[node] += 1;
         let syms = self.db.symbols();

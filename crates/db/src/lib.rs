@@ -54,6 +54,7 @@ pub mod csv;
 pub mod database;
 pub mod error;
 pub mod exec;
+pub mod faults;
 pub mod graph;
 pub mod index;
 pub mod interner;
@@ -75,6 +76,7 @@ pub use exec::{
     ExecScratch, ExecStats, JoinCond, JoinOrder, PjQuery, PreparedQuery, ProjPred, RowCallback,
     ScanPred,
 };
+pub use faults::{FaultKind, FaultSite, FaultSpec};
 pub use graph::{EdgeId, JoinEdge, JoinTree, SchemaGraph};
 pub use index::{InvertedIndex, JoinIndex, Posting};
 pub use interner::SymbolTable;

@@ -32,6 +32,28 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Errors raised while evaluating user-supplied predicates at runtime (as
+/// opposed to [`ParseError`], which covers constraint text). User code is
+/// untrusted by construction: a registered UDF may panic on inputs its
+/// author never considered, and the engine must degrade that one
+/// evaluation, not the session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A registered UDF panicked while evaluating a cell or column. Carries
+    /// the UDF's (lowercased) registered name.
+    UdfPanic(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UdfPanic(name) => write!(f, "UDF @{name} panicked during evaluation"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

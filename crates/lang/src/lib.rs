@@ -37,7 +37,7 @@ pub use ast::{
     CmpOp, ConstraintExpr, Literal, MetaField, MetaPred, MetadataConstraint, ValueConstraint,
     ValuePred,
 };
-pub use error::ParseError;
+pub use error::{Error, ParseError};
 pub use eval::{
     estimate_selectivity, matches_value, matches_value_ref, matches_value_ref_with,
     matches_value_with, metadata_satisfied, metadata_satisfied_with, numeric_hull,

@@ -16,10 +16,13 @@
 //! for discovery soundness); [`UdfRegistry::missing_names`] lets front-ends
 //! report unknown names before searching.
 
+use crate::error::Error;
+use prism_db::faults::{self, FaultKind, FaultSite};
 use prism_db::stats::ColumnStats;
 use prism_db::types::Value;
 use std::collections::HashMap;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 /// A cell-level predicate.
@@ -64,20 +67,54 @@ impl UdfRegistry {
         self
     }
 
-    /// Evaluate a value UDF; unregistered names are false.
+    /// Evaluate a value UDF; unregistered names are false. User code is
+    /// untrusted: a panic inside the UDF (or an injected chaos fault at the
+    /// `UdfEval` site) is caught and re-raised with the UDF's name
+    /// attached, so the validation slot's containment layer above reports
+    /// *which* user function faulted instead of an anonymous unwind.
     pub fn eval_value(&self, name: &str, v: &Value) -> bool {
-        match self.value.get(&name.to_lowercase()) {
-            Some(f) => f(v),
-            None => false,
+        match self.try_eval_value(name, v) {
+            Ok(b) => b,
+            Err(e) => panic!("{e}"),
         }
     }
 
-    /// Evaluate a column UDF; unregistered names are false.
+    /// Panic-contained value-UDF evaluation: `Err(UdfPanic)` instead of an
+    /// unwind when the user's closure panics. Unregistered names are
+    /// `Ok(false)`.
+    pub fn try_eval_value(&self, name: &str, v: &Value) -> Result<bool, Error> {
+        let key = name.to_lowercase();
+        let Some(f) = self.value.get(&key) else {
+            return Ok(false);
+        };
+        catch_unwind(AssertUnwindSafe(|| {
+            inject_udf_fault(&key);
+            f(v)
+        }))
+        .map_err(|_| Error::UdfPanic(key))
+    }
+
+    /// Evaluate a column UDF; unregistered names are false. Panic handling
+    /// mirrors [`UdfRegistry::eval_value`].
     pub fn eval_column(&self, name: &str, stats: &ColumnStats) -> bool {
-        match self.column.get(&name.to_lowercase()) {
-            Some(f) => f(stats),
-            None => false,
+        match self.try_eval_column(name, stats) {
+            Ok(b) => b,
+            Err(e) => panic!("{e}"),
         }
+    }
+
+    /// Panic-contained column-UDF evaluation (see
+    /// [`UdfRegistry::try_eval_value`]).
+    pub fn try_eval_column(&self, name: &str, stats: &ColumnStats) -> Result<bool, Error> {
+        let key = name.to_lowercase();
+        let Some(f) = self.column.get(&key) else {
+            return Ok(false);
+        };
+        catch_unwind(AssertUnwindSafe(|| {
+            inject_udf_fault(&key);
+            f(stats)
+        }))
+        .map_err(|_| Error::UdfPanic(key))
     }
 
     pub fn has_value_udf(&self, name: &str) -> bool {
@@ -119,6 +156,21 @@ impl UdfRegistry {
             }
         }
         missing
+    }
+}
+
+/// The `UdfEval` chaos injection point (`PRISM_FAULT`): fires inside the
+/// contained region, keyed by the UDF's name so the same seed always
+/// faults the same functions. `Transient` is not meaningful here (UDF
+/// evaluation has no retry budget of its own) and is ignored.
+fn inject_udf_fault(name: &str) {
+    if let Some(spec) = faults::env_spec() {
+        let token = faults::name_token(name);
+        match spec.check(FaultSite::UdfEval, token) {
+            Some(FaultKind::Panic) => faults::injected_panic(FaultSite::UdfEval, token),
+            Some(FaultKind::Delay) => faults::delay_steps(2048),
+            Some(FaultKind::Transient) | None => {}
+        }
     }
 }
 
@@ -208,5 +260,51 @@ mod tests {
         let r = registry();
         let s = format!("{r:?}");
         assert!(s.contains("is_positive") && s.contains("mostly_non_null"));
+    }
+
+    #[test]
+    fn panicking_udf_is_contained_as_udf_panic() {
+        let mut r = UdfRegistry::new();
+        r.register_value("explodes", |_: &Value| -> bool {
+            panic!("user bug: index out of bounds")
+        });
+        let err = r.try_eval_value("Explodes", &Value::Int(1)).unwrap_err();
+        assert_eq!(err, Error::UdfPanic("explodes".to_string()));
+        assert!(err.to_string().contains("@explodes"));
+        // A healthy UDF in the same registry is unaffected afterwards.
+        r.register_value("fine", |_: &Value| true);
+        assert_eq!(r.try_eval_value("fine", &Value::Int(1)), Ok(true));
+    }
+
+    #[test]
+    fn panicking_column_udf_is_contained() {
+        let mut r = UdfRegistry::new();
+        r.register_column("bad_stats", |_: &ColumnStats| -> bool {
+            panic!("divide by zero")
+        });
+        let stats = ColumnStats {
+            dtype: prism_db::DataType::Int,
+            row_count: 0,
+            null_count: 0,
+            distinct_count: 0,
+            min_num: None,
+            max_num: None,
+            min_text: None,
+            max_text: None,
+            max_text_len: None,
+            histogram: None,
+            most_common: Vec::new(),
+            max_key_run: 0,
+        };
+        let err = r.try_eval_column("bad_stats", &stats).unwrap_err();
+        assert_eq!(err, Error::UdfPanic("bad_stats".to_string()));
+    }
+
+    #[test]
+    #[should_panic(expected = "UDF @explodes panicked")]
+    fn bool_interface_reraises_with_the_udf_name() {
+        let mut r = UdfRegistry::new();
+        r.register_value("explodes", |_: &Value| -> bool { panic!("boom") });
+        r.eval_value("explodes", &Value::Int(1));
     }
 }
